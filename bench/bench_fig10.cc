@@ -1,0 +1,61 @@
+// Figure 10: page-table size for the tables that beat hashed (normalized
+// < 1.0), adding superpage and partial-subblock PTE variants.
+//
+// Series: linear 1-level, clustered (base), clustered + superpage PTEs,
+// clustered + partial-subblock PTEs, hashed + superpage PTEs (two-table).
+// Superpage/PSB decisions come from the real OS policy over reservation-
+// placed frames, so the fss fractions are emergent, not assumed.
+#include <cstdio>
+
+#include "sim/experiments.h"
+#include "sim/report.h"
+#include "workload/workload.h"
+
+using namespace cpt;
+using sim::PtKind;
+using sim::Report;
+
+int main() {
+  std::printf(
+      "=== Figure 10: page table size with superpage/partial-subblock PTEs ===\n"
+      "    (normalized to conventional hashed page table size)\n\n");
+
+  const sim::SizeConfig kConfigs[] = {
+      {"linear-1level", PtKind::kLinear1, os::PteStrategy::kBaseOnly},
+      {"clustered", PtKind::kClustered, os::PteStrategy::kBaseOnly},
+      {"clustered+SP", PtKind::kClustered, os::PteStrategy::kSuperpage},
+      {"clustered+PSB", PtKind::kClustered, os::PteStrategy::kPartialSubblock},
+      {"hashed+SP", PtKind::kHashedMulti, os::PteStrategy::kSuperpage},
+  };
+
+  Report report({"workload", "linear-1lvl", "clustered", "clust+SP", "clust+PSB", "hashed+SP",
+                 "fss(SP)", "fss(PSB)"});
+  for (const std::string& name : sim::AllWorkloadNames()) {
+    const workload::WorkloadSpec& spec = workload::GetPaperWorkload(name);
+    std::vector<std::string> row = {name};
+    double fss_sp = 0.0;
+    double fss_psb = 0.0;
+    for (const sim::SizeConfig& config : kConfigs) {
+      const sim::SizeMeasurement m = sim::MeasurePtSize(spec, config);
+      row.push_back(Report::Fixed(m.normalized, 2));
+      const auto& c = m.census;
+      const double blocks = static_cast<double>(c.base_blocks + c.super_blocks + c.psb_blocks +
+                                                c.mixed_blocks);
+      if (config.strategy == os::PteStrategy::kSuperpage && blocks > 0) {
+        fss_sp = static_cast<double>(c.super_blocks) / blocks;
+      }
+      if (config.strategy == os::PteStrategy::kPartialSubblock && blocks > 0) {
+        fss_psb = static_cast<double>(c.psb_blocks + c.mixed_blocks) / blocks;
+      }
+    }
+    row.push_back(Report::Fixed(fss_sp, 2));
+    row.push_back(Report::Fixed(fss_psb, 2));
+    report.AddRow(std::move(row));
+  }
+  report.Print();
+  std::printf(
+      "\nExpected shape (paper): partial-subblock PTEs cut clustered size by up\n"
+      "to 80%% and superpage PTEs by up to 75%% on dense workloads; hashed+SP\n"
+      "improves similarly but from a larger base.\n");
+  return 0;
+}

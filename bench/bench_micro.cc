@@ -1,0 +1,93 @@
+// Wall-clock microbenchmarks (google-benchmark) of the page-table hot paths.
+//
+// The paper's metric is counted cache lines, not host nanoseconds, but the
+// data-structure work itself (hash, chain walk, array index) is also worth
+// tracking: it is the instruction overhead Section 6.1 argues is small on
+// superscalar processors.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "mem/cache_model.h"
+#include "sim/machine.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace cpt;
+
+std::unique_ptr<pt::PageTable> MakeLoaded(sim::PtKind kind, mem::CacheTouchModel& cache,
+                                          unsigned npages) {
+  sim::MachineOptions opts;
+  auto table = sim::MakePageTable(kind, cache, opts);
+  Rng rng(1);
+  for (unsigned i = 0; i < npages; ++i) {
+    // Bursty placement: runs of ~12 pages.
+    const Vpn base = rng.Below(1 << 24) & ~Vpn{0xF};
+    table->InsertBase(base + (i % 12), i & kMaxPpn, Attr::ReadWrite());
+  }
+  return table;
+}
+
+void BM_Lookup(benchmark::State& state, sim::PtKind kind) {
+  mem::CacheTouchModel cache(256);
+  auto table = MakeLoaded(kind, cache, 4096);
+  // Collect the mapped VAs by probing.
+  std::vector<VirtAddr> vas;
+  Rng rng(1);
+  for (unsigned i = 0; i < 4096; ++i) {
+    const Vpn base = rng.Below(1 << 24) & ~Vpn{0xF};
+    vas.push_back(VaOf(base + (i % 12)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cache.BeginWalk();
+    auto fill = table->Lookup(vas[i++ % vas.size()]);
+    cache.AbortWalk();
+    benchmark::DoNotOptimize(fill);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_InsertRemove(benchmark::State& state, sim::PtKind kind) {
+  mem::CacheTouchModel cache(256);
+  sim::MachineOptions opts;
+  auto table = sim::MakePageTable(kind, cache, opts);
+  Rng rng(2);
+  for (auto _ : state) {
+    const Vpn vpn = rng.Below(1 << 22);
+    table->InsertBase(vpn, vpn & kMaxPpn, Attr::ReadWrite());
+    table->RemoveBase(vpn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MachineAccess(benchmark::State& state) {
+  const auto& spec = workload::GetPaperWorkload("coral");
+  const auto snap = workload::BuildSnapshot(spec);
+  sim::MachineOptions opts;
+  opts.pt_kind = sim::PtKind::kClustered;
+  sim::Machine machine(opts, 1);
+  machine.Preload(snap);
+  workload::TraceGenerator gen(spec, snap);
+  for (auto _ : state) {
+    const auto r = gen.Next();
+    machine.Access(r.asid, r.va);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Lookup, clustered, cpt::sim::PtKind::kClustered);
+BENCHMARK_CAPTURE(BM_Lookup, hashed, cpt::sim::PtKind::kHashed);
+BENCHMARK_CAPTURE(BM_Lookup, linear, cpt::sim::PtKind::kLinear1);
+BENCHMARK_CAPTURE(BM_Lookup, forward, cpt::sim::PtKind::kForward);
+BENCHMARK_CAPTURE(BM_InsertRemove, clustered, cpt::sim::PtKind::kClustered);
+BENCHMARK_CAPTURE(BM_InsertRemove, hashed, cpt::sim::PtKind::kHashed);
+BENCHMARK_CAPTURE(BM_InsertRemove, linear, cpt::sim::PtKind::kLinear1);
+BENCHMARK_CAPTURE(BM_InsertRemove, forward, cpt::sim::PtKind::kForward);
+BENCHMARK(BM_MachineAccess);
+
+BENCHMARK_MAIN();

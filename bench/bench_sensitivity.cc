@@ -1,0 +1,316 @@
+// Sensitivity analyses and ablations the paper discusses but could not show
+// in full (Sections 6.3 and 7):
+//
+//   1. cache-line size: a subblock-16 clustered PTE spans multiple small
+//      lines, costing extra lines per miss (~ +0.125 @128B, +0.625 @64B);
+//   2. subblock factor: the space/time tradeoff of s = 4 / 8 / 16;
+//   3. hash-table load: bucket count vs chain length vs table size;
+//   4. packed 16-byte hashed PTEs (Section 7's 33% optimization);
+//   5. PSB search order: 4KB-table-first vs block-table-first (Section 6.3);
+//   6. superpage-index hashed vs two-table hashed (Section 4.2);
+//   7. complete-subblock prefetch on/off (Section 4.4).
+#include <cstdio>
+
+#include "sim/experiments.h"
+#include "sim/report.h"
+#include "workload/workload.h"
+
+using namespace cpt;
+using sim::Report;
+
+namespace {
+
+sim::AccessMeasurement Run(const char* workload, sim::MachineOptions opts,
+                           std::uint64_t trace_len = 400000) {
+  return sim::MeasureAccessTime(workload::GetPaperWorkload(workload), opts,
+                                sim::TraceLengthFromEnv(trace_len));
+}
+
+void CacheLineSweep() {
+  std::printf("--- 1. cache-line-size sensitivity (clustered, single-page TLB) ---\n\n");
+  Report r({"workload", "64B", "128B", "256B", "512B"});
+  for (const char* name : {"coral", "fftpde", "ml"}) {
+    std::vector<std::string> row = {name};
+    for (const std::uint32_t line : {64u, 128u, 256u, 512u}) {
+      sim::MachineOptions opts;
+      opts.pt_kind = sim::PtKind::kClustered;
+      opts.line_size = line;
+      row.push_back(Report::Fixed(Run(name, opts).avg_lines_per_miss, 2));
+    }
+    r.AddRow(std::move(row));
+  }
+  r.Print();
+  std::printf("\nSmall lines split the 144-byte clustered node: the paper predicts\n"
+              "+0.125 lines @128B and +0.625 @64B versus 256B lines.\n\n");
+}
+
+void SubblockFactorSweep() {
+  std::printf("--- 2. subblock factor: size vs access (single-page TLB, 64B lines) ---\n\n");
+  Report r({"workload", "s=4 size", "s=8 size", "s=16 size", "s=4 lines", "s=8 lines",
+            "s=16 lines"});
+  for (const char* name : {"coral", "gcc"}) {
+    const auto& spec = workload::GetPaperWorkload(name);
+    std::vector<std::string> row = {name};
+    std::vector<std::string> lines;
+    for (const unsigned s : {4u, 8u, 16u}) {
+      sim::MachineOptions opts;
+      opts.pt_kind = sim::PtKind::kClustered;
+      opts.subblock_factor = s;
+      opts.line_size = 64;  // Small lines make the time side visible.
+      const auto size = sim::MeasurePtSize(
+          spec, {"c", sim::PtKind::kClustered, os::PteStrategy::kBaseOnly}, opts);
+      row.push_back(Report::Fixed(size.normalized, 2));
+      lines.push_back(Report::Fixed(Run(name, opts).avg_lines_per_miss, 2));
+    }
+    row.insert(row.end(), lines.begin(), lines.end());
+    r.AddRow(std::move(row));
+  }
+  r.Print();
+  std::printf("\nSmaller factors waste less space on sparse blocks and fit one line,\n"
+              "but amortize the 16-byte tag+next overhead over fewer mappings.\n\n");
+}
+
+void BucketSweep() {
+  std::printf("--- 3. hash-table load factor (hashed, coral) ---\n\n");
+  Report r({"buckets", "load", "lines/miss"});
+  for (const std::uint32_t buckets : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+    sim::MachineOptions opts;
+    opts.pt_kind = sim::PtKind::kHashed;
+    opts.num_buckets = buckets;
+    const auto m = Run("coral", opts);
+    const double load = 4856.0 / buckets;  // coral maps ~4856 pages.
+    r.AddRow({Report::Num(buckets), Report::Fixed(load, 2),
+              Report::Fixed(m.avg_lines_per_miss, 2)});
+  }
+  r.Print();
+  std::printf("\nMore buckets cut chains toward the 1 + alpha/2 floor at the cost of\n"
+              "a bigger (mostly empty) bucket array (Section 7).\n\n");
+}
+
+void PackedPteNote() {
+  std::printf("--- 4. packed 16-byte hashed PTEs (Section 7) ---\n\n");
+  // Size changes by 33%; access is identical.  Show sizes via the analytic
+  // identity: packed = 2/3 * unpacked.
+  const auto& spec = workload::GetPaperWorkload("coral");
+  const auto unpacked =
+      sim::MeasurePtSize(spec, {"hashed", sim::PtKind::kHashed, os::PteStrategy::kBaseOnly});
+  std::printf("coral hashed: %lluB unpacked, %lluB packed (-33%%); clustered is still\n"
+              "smaller at %lluB and keeps a full-width next pointer.\n\n",
+              (unsigned long long)unpacked.bytes,
+              (unsigned long long)(unpacked.bytes * 2 / 3),
+              (unsigned long long)sim::MeasurePtSize(
+                  spec, {"c", sim::PtKind::kClustered, os::PteStrategy::kBaseOnly})
+                  .bytes);
+}
+
+void SearchOrder() {
+  std::printf("--- 5+6. hashed SP/PSB strategies (partial-subblock TLB) ---\n\n");
+  Report r({"workload", "2tbl base-first", "2tbl block-first", "sp-index", "clustered"});
+  for (const char* name : {"coral", "fftpde", "pthor"}) {
+    std::vector<std::string> row = {name};
+    {
+      sim::MachineOptions opts;
+      opts.pt_kind = sim::PtKind::kHashedMulti;
+      opts.tlb_kind = sim::TlbKind::kPartialSubblock;
+      row.push_back(Report::Fixed(Run(name, opts).avg_lines_per_miss, 2));
+    }
+    {
+      // Block-first search order: better when most misses hit PSB PTEs
+      // (Section 6.3's suggestion).
+      sim::MachineOptions opts;
+      opts.pt_kind = sim::PtKind::kHashedMulti;
+      opts.tlb_kind = sim::TlbKind::kPartialSubblock;
+      opts.hashed_block_first = true;
+      row.push_back(Report::Fixed(Run(name, opts).avg_lines_per_miss, 2));
+    }
+    {
+      sim::MachineOptions opts;
+      opts.pt_kind = sim::PtKind::kHashedSpIndex;
+      opts.tlb_kind = sim::TlbKind::kPartialSubblock;
+      row.push_back(Report::Fixed(Run(name, opts).avg_lines_per_miss, 2));
+    }
+    {
+      sim::MachineOptions opts;
+      opts.pt_kind = sim::PtKind::kClustered;
+      opts.tlb_kind = sim::TlbKind::kPartialSubblock;
+      row.push_back(Report::Fixed(Run(name, opts).avg_lines_per_miss, 2));
+    }
+    r.AddRow(std::move(row));
+  }
+  r.Print();
+  std::printf("\nThe superpage-index table avoids the second search but packs each\n"
+              "block's PTEs into one bucket; clustered beats both (Section 5).\n\n");
+}
+
+void PrefetchAblation() {
+  std::printf("--- 7. complete-subblock prefetch ablation (clustered) ---\n\n");
+  Report r({"workload", "prefetch misses", "no-prefetch misses", "subblock share"});
+  for (const char* name : {"coral", "fftpde", "mp3d"}) {
+    sim::MachineOptions on;
+    on.pt_kind = sim::PtKind::kClustered;
+    on.tlb_kind = sim::TlbKind::kCompleteSubblock;
+    on.prefetch_on_block_miss = true;
+    const auto with = Run(name, on);
+    sim::MachineOptions off = on;
+    off.prefetch_on_block_miss = false;
+    const auto without = Run(name, off);
+    const double share =
+        without.denominator_misses == 0
+            ? 0.0
+            : static_cast<double>(without.subblock_misses) /
+                  static_cast<double>(without.denominator_misses);
+    r.AddRow({name, Report::Num(with.denominator_misses),
+              Report::Num(without.denominator_misses), Report::Fixed(100.0 * share, 0) + "%"});
+  }
+  r.Print();
+  std::printf("\nPrefetch eliminates the subblock misses (Section 4.4: 50%% or more of\n"
+              "all misses) without ever causing an extra replacement.\n");
+}
+
+void SoftwareTlbAblation() {
+  std::printf("--- 8. software TLB layer (Sections 2 & 7) ---\n\n");
+  Report r({"backing", "plain lines/miss", "+swtlb", "+swtlb-clustered"});
+  for (const sim::PtKind kind : {sim::PtKind::kForward, sim::PtKind::kHashed,
+                                 sim::PtKind::kHashedInverted, sim::PtKind::kClustered}) {
+    std::vector<std::string> row = {sim::ToString(kind)};
+    {
+      sim::MachineOptions opts;
+      opts.pt_kind = kind;
+      row.push_back(Report::Fixed(Run("coral", opts, 1200000).avg_lines_per_miss, 2));
+    }
+    {
+      sim::MachineOptions opts;
+      opts.pt_kind = kind;
+      opts.swtlb_sets = 4096;
+      row.push_back(Report::Fixed(Run("coral", opts, 1200000).avg_lines_per_miss, 2));
+    }
+    {
+      sim::MachineOptions opts;
+      opts.pt_kind = kind;
+      opts.swtlb_sets = 4096;
+      opts.swtlb_clustered_entries = true;
+      row.push_back(Report::Fixed(Run("coral", opts, 1200000).avg_lines_per_miss, 2));
+    }
+    r.AddRow(std::move(row));
+  }
+  r.Print();
+  std::printf(
+      "\nA software TLB turns most misses into one memory access, rescuing slow\n"
+      "tables (forward-mapped 7.0 -> ~3); clustered swtlb entries cover whole\n"
+      "page blocks, raising the hit rate further when locality is bursty.\n\n");
+}
+
+void AdaptiveClusteredAblation() {
+  std::printf("--- 9. adaptive (varying-subblock-factor) clustered table (Section 3) ---\n\n");
+  Report r({"workload", "hashed", "clustered", "adaptive", "adaptive lines/miss"});
+  for (const char* name : {"gcc", "compress", "coral", "ml"}) {
+    const auto& spec = workload::GetPaperWorkload(name);
+    const auto hashed = sim::MeasurePtSize(spec, {"h", sim::PtKind::kHashed});
+    const auto fixed = sim::MeasurePtSize(spec, {"c", sim::PtKind::kClustered});
+    const auto adaptive = sim::MeasurePtSize(spec, {"a", sim::PtKind::kClusteredAdaptive});
+    sim::MachineOptions opts;
+    opts.pt_kind = sim::PtKind::kClusteredAdaptive;
+    r.AddRow({name, Report::Fixed(1.0, 2), Report::Fixed(fixed.normalized, 2),
+              Report::Fixed(adaptive.normalized, 2),
+              Report::Fixed(Run(name, opts).avg_lines_per_miss, 2)});
+  }
+  r.Print();
+  std::printf(
+      "\nVarying subblock factors (24-byte single-page nodes below six mapped\n"
+      "pages per block) win on sparse address spaces at a few extra chain\n"
+      "nodes' worth of lookup cost (Section 3's generalization).\n\n");
+}
+
+void InvertedAblation() {
+  std::printf("--- 10. inverted organization (bucket array of pointers, Section 2) ---\n\n");
+  Report r({"workload", "embedded-head", "inverted"});
+  for (const char* name : {"coral", "gcc"}) {
+    sim::MachineOptions embedded;
+    embedded.pt_kind = sim::PtKind::kHashed;
+    sim::MachineOptions inverted;
+    inverted.pt_kind = sim::PtKind::kHashedInverted;
+    r.AddRow({name, Report::Fixed(Run(name, embedded).avg_lines_per_miss, 2),
+              Report::Fixed(Run(name, inverted).avg_lines_per_miss, 2)});
+  }
+  r.Print();
+  std::printf("\nDereferencing a pointer bucket adds roughly one line to every miss —\n"
+              "why Figure 4's embedded-head organization is the baseline.\n");
+}
+
+void SharedTableAblation() {
+  std::printf("--- 11. shared vs per-process page tables (Section 7) ---\n\n");
+  // Small tables (512 buckets) make the load-factor impact visible.
+  Report r({"workload", "pt", "per-process", "shared"});
+  for (const char* name : {"compress", "gcc"}) {
+    for (const sim::PtKind kind : {sim::PtKind::kHashed, sim::PtKind::kClustered}) {
+      sim::MachineOptions per;
+      per.pt_kind = kind;
+      per.num_buckets = 512;
+      sim::MachineOptions shared = per;
+      shared.shared_page_table = true;
+      r.AddRow({name, sim::ToString(kind),
+                Report::Fixed(Run(name, per).avg_lines_per_miss, 2),
+                Report::Fixed(Run(name, shared).avg_lines_per_miss, 2)});
+    }
+  }
+  r.Print();
+  std::printf(
+      "\nOne shared table concentrates every process's PTEs (global effective\n"
+      "addresses, Section 7): the hashed table's load roughly multiplies by\n"
+      "the process count, while the clustered table's block-grained load\n"
+      "stays far from its knee.\n");
+}
+
+void TlbReachSweep() {
+  std::printf("--- 12. TLB reach: entries x design (coral, clustered PT) ---\n\n");
+  Report r({"entries", "single-page", "superpage", "partial-subblock", "complete-subblock"});
+  for (const unsigned entries : {32u, 64u, 128u, 256u}) {
+    std::vector<std::string> row = {Report::Num(entries)};
+    for (const sim::TlbKind tlb : {sim::TlbKind::kSinglePage, sim::TlbKind::kSuperpage,
+                                   sim::TlbKind::kPartialSubblock,
+                                   sim::TlbKind::kCompleteSubblock}) {
+      sim::MachineOptions opts;
+      opts.pt_kind = sim::PtKind::kClustered;
+      opts.tlb_kind = tlb;
+      opts.tlb_entries = entries;
+      row.push_back(Report::Num(Run("coral", opts, 600000).denominator_misses));
+    }
+    r.AddRow(std::move(row));
+  }
+  r.Print();
+  std::printf(
+      "\nMiss counts: superpage/subblock entries multiply each entry's reach by\n"
+      "up to 16x, the motivation for the TLB techniques the page table must\n"
+      "support (Section 4.1; [Tall95] reports 50-99%% miss reductions).\n\n");
+}
+
+void DualSizeTlbNote() {
+  std::printf("--- 13. set-associative two-page-size TLB ([Tall92] / Section 4.2) ---\n\n");
+  // Superpage indexing in hardware: base pages of one block compete for a
+  // set, mirroring the superpage-index hashed table's longer chains.
+  std::printf(
+      "Implemented as tlb::DualSizeSetAssocTlb: indexes with superpage-index\n"
+      "bits so both sizes hit without probing twice, at the cost of set\n"
+      "crowding (dual_size_tlb_test measures conflict evictions while other\n"
+      "sets sit idle) — the hardware analog of the superpage-index hashed\n"
+      "page table's longer chains.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Sensitivity analyses and ablations (Sections 6.3 & 7) ===\n\n");
+  CacheLineSweep();
+  SubblockFactorSweep();
+  BucketSweep();
+  PackedPteNote();
+  SearchOrder();
+  PrefetchAblation();
+  SoftwareTlbAblation();
+  AdaptiveClusteredAblation();
+  InvertedAblation();
+  SharedTableAblation();
+  TlbReachSweep();
+  DualSizeTlbNote();
+  return 0;
+}

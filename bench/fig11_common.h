@@ -1,0 +1,57 @@
+// Shared driver for the Figure 11 access-time benches: runs every trace
+// workload against a set of page-table kinds under one TLB design and prints
+// the paper's metric — average cache lines accessed per TLB miss, normalized
+// by the misses of the full-size (64-entry) TLB.
+#ifndef CPT_BENCH_FIG11_COMMON_H_
+#define CPT_BENCH_FIG11_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiments.h"
+#include "sim/report.h"
+#include "workload/workload.h"
+
+namespace cpt::bench {
+
+struct Fig11Series {
+  std::string label;
+  sim::PtKind pt_kind;
+};
+
+inline void RunFig11(const char* title, sim::TlbKind tlb_kind,
+                     const std::vector<Fig11Series>& series, const char* expectation) {
+  std::printf("%s\n    (avg cache lines accessed per TLB miss; 64-entry fully-assoc TLB)\n\n",
+              title);
+  std::vector<std::string> columns = {"workload", "misses"};
+  for (const auto& s : series) {
+    columns.push_back(s.label);
+  }
+  sim::Report report(columns);
+
+  const std::uint64_t trace_len = sim::TraceLengthFromEnv(0);
+  for (const std::string& name : sim::TraceWorkloadNames()) {
+    const workload::WorkloadSpec& spec = workload::GetPaperWorkload(name);
+    std::vector<std::string> row = {name};
+    bool first = true;
+    for (const auto& s : series) {
+      sim::MachineOptions opts;
+      opts.pt_kind = s.pt_kind;
+      opts.tlb_kind = tlb_kind;
+      const sim::AccessMeasurement m = sim::MeasureAccessTime(spec, opts, trace_len);
+      if (first) {
+        row.push_back(sim::Report::Num(m.denominator_misses));
+        first = false;
+      }
+      row.push_back(sim::Report::Fixed(m.avg_lines_per_miss, 2));
+    }
+    report.AddRow(std::move(row));
+  }
+  report.Print();
+  std::printf("\n%s\n", expectation);
+}
+
+}  // namespace cpt::bench
+
+#endif  // CPT_BENCH_FIG11_COMMON_H_

@@ -1,0 +1,54 @@
+// Page-aging (clock daemon) over different page tables — Section 3.1's
+// "other operations important to operating systems".
+//
+//   $ build/examples/clock_daemon
+//
+// TLB miss handlers set the referenced/modified bits in the PTEs they load,
+// lock-free; a page-out daemon periodically sweeps a range, counting and
+// clearing referenced bits to find cold pages.  Sweeps are range operations:
+// a clustered table visits one node per page block, a hashed table one node
+// per page.
+#include <cstdio>
+
+#include "sim/machine.h"
+#include "workload/workload.h"
+
+using namespace cpt;
+
+int main() {
+  const workload::WorkloadSpec& spec = workload::GetPaperWorkload("mp3d");
+  const workload::Snapshot snapshot = workload::BuildSnapshot(spec);
+
+  for (const sim::PtKind kind : {sim::PtKind::kHashed, sim::PtKind::kClustered}) {
+    sim::MachineOptions opts;
+    opts.pt_kind = kind;
+    opts.maintain_ref_bits = true;
+    sim::Machine machine(opts, 1);
+    machine.Preload(snapshot);
+
+    workload::TraceGenerator gen(spec, snapshot);
+    std::printf("=== %s ===\n", sim::ToString(kind).c_str());
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      // Run a burst of references, then sweep the heap like a clock hand.
+      for (int i = 0; i < 150000; ++i) {
+        const workload::Reference r = gen.Next();
+        machine.Access(r.asid, r.va, r.is_write);
+      }
+      const Vpn heap_first = VpnOf(0x10000000ull);
+      const std::uint64_t referenced =
+          machine.page_table(0).ScanAndClearReferenced(heap_first, 1100);
+      std::printf("  epoch %d: %llu heap mappings referenced since last sweep\n", epoch,
+                  (unsigned long long)referenced);
+    }
+    // Immediately re-sweeping finds nothing: the bits were cleared.
+    const std::uint64_t again =
+        machine.page_table(0).ScanAndClearReferenced(VpnOf(0x10000000ull), 1100);
+    std::printf("  immediate re-sweep: %llu (bits were cleared)\n\n",
+                (unsigned long long)again);
+  }
+  std::printf(
+      "Both tables age pages correctly; the clustered table's sweep touches a\n"
+      "node per 16-page block, the hashed table's one per page — the Section\n"
+      "3.1 range-operation advantage, measured in bench_rangeops.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Sparse 64-bit address spaces: why page-table choice matters.
+//
+//   $ build/examples/sparse_address_space
+//
+// Models a 64-bit application (in the style the paper's introduction
+// motivates) that maps many scattered objects — memory-mapped files, arenas,
+// thread stacks — across the full virtual address space, then compares the
+// memory footprint of all four page-table organizations as object count and
+// object size vary.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/cache_model.h"
+#include "sim/machine.h"
+
+using namespace cpt;
+
+namespace {
+
+// Maps `objects` objects of `pages_each` pages at random 64-bit addresses;
+// returns paper-model table bytes.
+std::uint64_t TableBytes(sim::PtKind kind, unsigned objects, unsigned pages_each,
+                         std::uint64_t seed) {
+  mem::CacheTouchModel cache(256);
+  sim::MachineOptions opts;
+  auto table = sim::MakePageTable(kind, cache, opts);
+  Rng rng(seed);
+  for (unsigned o = 0; o < objects; ++o) {
+    // Anywhere in the 52-bit VPN space, page-block aligned like a real mmap.
+    const Vpn base = (rng.Below(Vpn{1} << 48) & ~Vpn{0xF});
+    for (unsigned p = 0; p < pages_each; ++p) {
+      table->InsertBase(base + p, (o * pages_each + p) & kMaxPpn, Attr::ReadWrite());
+    }
+  }
+  return table->SizeBytesPaperModel();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("page-table bytes for scattered 64-bit objects (paper-model accounting)\n\n");
+  const sim::PtKind kKinds[] = {sim::PtKind::kLinear6, sim::PtKind::kForward,
+                                sim::PtKind::kHashed, sim::PtKind::kClustered};
+
+  std::printf("%-28s %12s %12s %12s %12s\n", "scenario", "linear-6lvl", "fwd-mapped", "hashed",
+              "clustered");
+  struct Scenario {
+    const char* label;
+    unsigned objects;
+    unsigned pages_each;
+  };
+  const Scenario kScenarios[] = {
+      {"1024 x 1-page objects", 1024, 1},
+      {"256 x 8-page buffers", 256, 8},
+      {"128 x 16-page arenas", 128, 16},
+      {"32 x 256-page files", 32, 256},
+      {"4 x 4096-page heaps", 4, 4096},
+  };
+  for (const Scenario& s : kScenarios) {
+    std::printf("%-28s", s.label);
+    for (const sim::PtKind kind : kKinds) {
+      const std::uint64_t bytes = TableBytes(kind, s.objects, s.pages_each, 42);
+      std::printf(" %11lluK", (unsigned long long)(bytes + 512) / 1024);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nIsolated single pages are the clustered table's worst case (a 144-byte\n"
+      "node per page vs hashed's 24); as soon as objects span a few pages —\n"
+      "the \"bursty\" sparsity the paper argues is typical — clustering wins,\n"
+      "while tree-structured tables pay for every 64-bit path they touch.\n");
+  return 0;
+}

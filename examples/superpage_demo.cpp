@@ -1,0 +1,62 @@
+// Superpage demo: how OS policy + page reservation + clustered page tables
+// combine to shrink the page table and cut TLB misses.
+//
+//   $ build/examples/superpage_demo
+//
+// Simulates an application that maps a 4MB buffer and streams over it, on
+// two machines: a single-page-size TLB with base PTEs, and a superpage TLB
+// (4KB + 64KB) with the dynamic page-size assignment policy.  Demonstrates
+// the paper's Section 4/5 claims end to end: fewer misses, smaller tables,
+// unchanged miss penalty.
+#include <cstdio>
+
+#include "sim/machine.h"
+
+using namespace cpt;
+
+namespace {
+
+void StreamBuffer(sim::Machine& machine, VirtAddr base, unsigned npages, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    for (unsigned p = 0; p < npages; ++p) {
+      // A few accesses per page, like a copy loop.
+      for (int k = 0; k < 4; ++k) {
+        machine.Access(0, base + p * kBasePageSize + k * 64);
+      }
+    }
+  }
+}
+
+void RunOne(const char* label, sim::TlbKind tlb_kind) {
+  sim::MachineOptions opts;
+  opts.pt_kind = sim::PtKind::kClustered;
+  opts.tlb_kind = tlb_kind;
+  sim::Machine machine(opts, 1);
+
+  const VirtAddr buffer = 0x10000000;
+  const unsigned npages = 1024;  // 4MB.
+  StreamBuffer(machine, buffer, npages, 8);
+
+  const auto& stats = machine.tlb().stats();
+  const auto& as = machine.address_space(0).stats();
+  std::printf("%-22s misses=%7llu  miss-ratio=%5.2f%%  pt-bytes=%6llu  "
+              "promotions=%llu  lines/miss=%.2f\n",
+              label, (unsigned long long)stats.misses, 100.0 * stats.MissRatio(),
+              (unsigned long long)machine.TotalPtBytesPaperModel(),
+              (unsigned long long)as.promotions, machine.AvgLinesPerMiss());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("streaming 8 rounds over a 4MB buffer (1024 pages), 4 touches/page\n\n");
+  RunOne("single-page TLB:", sim::TlbKind::kSinglePage);
+  RunOne("superpage TLB (64KB):", sim::TlbKind::kSuperpage);
+  RunOne("partial-subblock TLB:", sim::TlbKind::kPartialSubblock);
+  std::printf(
+      "\nWith the superpage TLB, the policy promotes every fully-touched 64KB\n"
+      "block: 64 superpage PTEs replace 1024 base mappings, the clustered page\n"
+      "table shrinks from 64 x 144B nodes to 64 x 24B nodes, and the TLB's\n"
+      "reach grows 16x — while each remaining miss still costs ~1 cache line.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Inspect the synthetic paper workloads: segment layouts, mapped-page
+// counts, block occupancy, and how each compares to its Table 1 target.
+//
+//   $ build/examples/workload_report [workload]
+//
+// Without arguments, summarizes all eleven workloads; with a name, prints
+// that workload's per-segment detail and block-occupancy histogram.
+#include <cstdio>
+#include <string>
+
+#include "core/clustered.h"
+#include "mem/cache_model.h"
+#include "sim/analytic.h"
+#include "workload/workload.h"
+
+using namespace cpt;
+
+namespace {
+
+void Summary() {
+  std::printf("%-10s %5s %7s %8s %8s %9s %10s\n", "workload", "procs", "pages", "blocks",
+              "occ/blk", "hashed", "paper");
+  for (const workload::WorkloadSpec& spec : workload::PaperWorkloads()) {
+    const workload::Snapshot snap = workload::BuildSnapshot(spec);
+    std::uint64_t pages = 0;
+    std::uint64_t blocks = 0;
+    for (std::size_t p = 0; p < snap.pages.size(); ++p) {
+      const auto flat = snap.FlatProcess(p);
+      pages += flat.size();
+      blocks += sim::analytic::Nactive(flat, 16);
+    }
+    std::uint64_t paper_bytes = 0;
+    for (const auto& ref : workload::PaperTable1()) {
+      if (ref.name == spec.name) {
+        paper_bytes = ref.hashed_pt_bytes;
+      }
+    }
+    std::printf("%-10s %5zu %7llu %8llu %8.1f %8lluKB %8lluKB\n", spec.name.c_str(),
+                spec.processes.size(), (unsigned long long)pages, (unsigned long long)blocks,
+                blocks == 0 ? 0.0 : static_cast<double>(pages) / static_cast<double>(blocks),
+                (unsigned long long)(pages * 24 / 1024), (unsigned long long)paper_bytes / 1024);
+  }
+  std::printf("\nocc/blk = mean mapped pages per 16-page block: the burstiness that\n"
+              "makes clustering effective (break-even vs hashed is 6).\n");
+}
+
+void Detail(const std::string& name) {
+  const workload::WorkloadSpec& spec = workload::GetPaperWorkload(name);
+  const workload::Snapshot snap = workload::BuildSnapshot(spec);
+  std::printf("workload %s (seed %llu, trace %llu refs%s)\n\n", spec.name.c_str(),
+              (unsigned long long)spec.seed, (unsigned long long)spec.default_trace_length,
+              spec.sequential_processes ? ", sequential processes" : "");
+  static const char* kPatterns[] = {"sequential", "strided", "random", "pointer-chase"};
+  for (std::size_t p = 0; p < spec.processes.size(); ++p) {
+    std::printf("process %zu (%s):\n", p, spec.processes[p].name.c_str());
+    for (std::size_t s = 0; s < spec.processes[p].segments.size(); ++s) {
+      const workload::Segment& seg = spec.processes[p].segments[s];
+      std::printf("  seg %zu: base=0x%012llx  %5zu/%llu pages (density %.2f, burst %.0f)  "
+                  "%s stride=%llu sojourn=%.0f\n",
+                  s, (unsigned long long)seg.base, snap.pages[p][s].size(),
+                  (unsigned long long)seg.span_pages, seg.density, seg.burst_mean,
+                  kPatterns[static_cast<int>(seg.pattern)],
+                  (unsigned long long)seg.stride_pages, seg.sojourn_mean);
+    }
+  }
+  // Block-occupancy histogram via an actual clustered table.
+  mem::CacheTouchModel cache(256);
+  core::ClusteredPageTable table(cache, {});
+  for (std::size_t p = 0; p < snap.pages.size(); ++p) {
+    for (const Vpn vpn : snap.FlatProcess(p)) {
+      // Offset per process so all processes fit one diagnostic table.
+      table.InsertBase(vpn + (Vpn{p} << 50), 1, Attr::ReadWrite());
+    }
+  }
+  std::printf("\nblock occupancy histogram (pages mapped per 16-page block):\n  %s\n",
+              table.BlockOccupancyHistogram().ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    Detail(argv[1]);
+  } else {
+    Summary();
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "common/pte.h"
+
+#include <sstream>
+
+namespace cpt {
+
+std::string MappingWord::ToString() const {
+  std::ostringstream os;
+  switch (kind()) {
+    case MappingKind::kBase:
+      os << "base{v=" << valid() << " ppn=0x" << std::hex << ppn() << " attr=0x" << attr().bits
+         << "}";
+      break;
+    case MappingKind::kSuperpage:
+      os << "super{v=" << valid() << " ppn=0x" << std::hex << ppn() << std::dec
+         << " pages=" << page_size().pages() << " attr=0x" << std::hex << attr().bits << "}";
+      break;
+    case MappingKind::kPartialSubblock:
+      os << "psb{vec=0x" << std::hex << valid_vector() << " ppn=0x" << ppn() << " attr=0x"
+         << attr().bits << "}";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace cpt

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Simulations must be reproducible run-to-run, so all randomness flows
+// through this splitmix64-seeded xoshiro256** generator rather than
+// std::random_device or unseeded std engines.
+#ifndef CPT_COMMON_RNG_H_
+#define CPT_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace cpt {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).  bound must be nonzero.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Geometric-ish burst length >= 1 with mean roughly `mean`.
+  std::uint64_t BurstLength(double mean) {
+    if (mean <= 1.0) {
+      return 1;
+    }
+    const double p = 1.0 / mean;
+    std::uint64_t n = 1;
+    while (!Chance(p) && n < 1000000) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace cpt
+
+#endif  // CPT_COMMON_RNG_H_

@@ -1,0 +1,29 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace cpt {
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    if (counts_[v] != 0) {
+      os << v << ":" << counts_[v] << " ";
+    }
+  }
+  return os.str();
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  std::ostringstream os;
+  if (bytes >= 1024 * 1024) {
+    os << (bytes + 512 * 1024) / (1024 * 1024) << "MB";
+  } else if (bytes >= 1024) {
+    os << (bytes + 512) / 1024 << "KB";
+  } else {
+    os << bytes << "B";
+  }
+  return os.str();
+}
+
+}  // namespace cpt

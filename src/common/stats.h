@@ -1,0 +1,77 @@
+// Small statistics helpers used by the simulator and benches.
+#ifndef CPT_COMMON_STATS_H_
+#define CPT_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpt {
+
+// Running mean / min / max over a stream of samples.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+// Histogram over small non-negative integer values (e.g. hash-chain lengths,
+// cache lines per walk).
+class Histogram {
+ public:
+  void Add(std::size_t value) {
+    if (value >= counts_.size()) {
+      counts_.resize(value + 1, 0);
+    }
+    ++counts_[value];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::size_t value) const {
+    return value < counts_.size() ? counts_[value] : 0;
+  }
+  std::size_t max_value() const { return counts_.empty() ? 0 : counts_.size() - 1; }
+
+  double mean() const {
+    if (total_ == 0) {
+      return 0.0;
+    }
+    double s = 0.0;
+    for (std::size_t v = 0; v < counts_.size(); ++v) {
+      s += static_cast<double>(v) * static_cast<double>(counts_[v]);
+    }
+    return s / static_cast<double>(total_);
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Formats byte counts the way the paper's tables do (KB with no decimals
+// above 1KB).
+std::string FormatBytes(std::uint64_t bytes);
+
+}  // namespace cpt
+
+#endif  // CPT_COMMON_STATS_H_

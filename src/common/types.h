@@ -1,0 +1,84 @@
+// Core address types and page geometry for the clustered-page-table library.
+//
+// Terminology follows Talluri, Hill & Khalidi (SOSP '95):
+//   - base page:   the smallest translation unit (4KB).
+//   - page block:  an aligned group of `subblock_factor` consecutive base
+//                  pages (e.g. sixteen 4KB pages = one 64KB block).
+//   - VPN:         virtual page number  (va >> 12).
+//   - VPBN:        virtual page block number (vpn / subblock_factor).
+//   - Boff:        block offset (vpn % subblock_factor).
+//   - PPN:         physical page number.
+#ifndef CPT_COMMON_TYPES_H_
+#define CPT_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <bit>
+
+namespace cpt {
+
+using VirtAddr = std::uint64_t;   // 64-bit virtual address.
+using PhysAddr = std::uint64_t;   // Physical address (paper assumes <= 40 bits).
+using Vpn = std::uint64_t;        // Virtual page number.
+using Vpbn = std::uint64_t;       // Virtual page block number.
+using Ppn = std::uint64_t;        // Physical page number.
+
+// 4KB base pages, as in the paper's base configuration.
+inline constexpr unsigned kBasePageShift = 12;
+inline constexpr std::uint64_t kBasePageSize = std::uint64_t{1} << kBasePageShift;
+inline constexpr std::uint64_t kBasePageMask = kBasePageSize - 1;
+
+// Paper's PTE format (Figure 1): 28-bit PPN => 40-bit physical addresses.
+inline constexpr unsigned kPpnBits = 28;
+inline constexpr Ppn kMaxPpn = (Ppn{1} << kPpnBits) - 1;
+
+// Default subblock factor used throughout the paper's evaluation.
+inline constexpr unsigned kDefaultSubblockFactor = 16;
+
+// Default (level-two) cache line size assumed when counting page-table
+// cache-line touches (Section 6.1).
+inline constexpr unsigned kDefaultCacheLineSize = 256;
+
+// Default number of hash buckets for hashed/clustered tables (Section 6.1).
+inline constexpr unsigned kDefaultHashBuckets = 4096;
+
+constexpr Vpn VpnOf(VirtAddr va) { return va >> kBasePageShift; }
+constexpr VirtAddr VaOf(Vpn vpn) { return vpn << kBasePageShift; }
+constexpr std::uint64_t PageOffset(VirtAddr va) { return va & kBasePageMask; }
+
+// Splits a VPN into (VPBN, Boff) for a power-of-two subblock factor.
+constexpr Vpbn VpbnOf(Vpn vpn, unsigned subblock_factor) {
+  return vpn / subblock_factor;
+}
+constexpr unsigned BoffOf(Vpn vpn, unsigned subblock_factor) {
+  return static_cast<unsigned>(vpn % subblock_factor);
+}
+constexpr Vpn FirstVpnOfBlock(Vpbn vpbn, unsigned subblock_factor) {
+  return vpbn * subblock_factor;
+}
+
+constexpr bool IsPowerOfTwo(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr unsigned Log2(std::uint64_t x) {
+  return static_cast<unsigned>(63 - std::countl_zero(x));
+}
+
+// A page size expressed as a power-of-two multiple of the base page size.
+// size_log2 == 0 is a 4KB base page; size_log2 == 4 is a 64KB superpage.
+struct PageSize {
+  unsigned size_log2 = 0;
+
+  constexpr unsigned pages() const { return 1u << size_log2; }
+  constexpr std::uint64_t bytes() const { return kBasePageSize << size_log2; }
+  constexpr bool is_base() const { return size_log2 == 0; }
+
+  friend constexpr bool operator==(PageSize a, PageSize b) = default;
+};
+
+inline constexpr PageSize kPage4K{0};
+inline constexpr PageSize kPage8K{1};
+inline constexpr PageSize kPage16K{2};
+inline constexpr PageSize kPage64K{4};
+
+}  // namespace cpt
+
+#endif  // CPT_COMMON_TYPES_H_

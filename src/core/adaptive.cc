@@ -1,0 +1,447 @@
+#include "core/adaptive.h"
+
+#include <bit>
+#include <cassert>
+
+namespace cpt::core {
+
+using pt::TlbFill;
+
+AdaptiveClusteredPageTable::AdaptiveClusteredPageTable(mem::CacheTouchModel& cache, Options opts)
+    : PageTable(cache),
+      opts_(opts),
+      factor_(opts.subblock_factor),
+      block_log2_(Log2(opts.subblock_factor)),
+      hasher_(opts.num_buckets, opts.hash_kind),
+      alloc_(cache.line_size(), opts.placement),
+      buckets_(opts.num_buckets, kNil) {
+  assert(IsPowerOfTwo(opts.num_buckets));
+  assert(IsPowerOfTwo(factor_) && factor_ >= 2 && factor_ <= kMaxFactor);
+  assert(opts.demote_occupancy < opts.promote_occupancy);
+  bucket_stride_ = std::bit_ceil(std::uint64_t{24});
+  bucket_base_ = alloc_.Allocate(std::uint64_t{opts_.num_buckets} * bucket_stride_);
+}
+
+AdaptiveClusteredPageTable::~AdaptiveClusteredPageTable() = default;
+
+std::uint64_t AdaptiveClusteredPageTable::WordTranslations(const MappingWord& w) const {
+  switch (w.kind()) {
+    case MappingKind::kBase:
+      return w.valid() ? 1 : 0;
+    case MappingKind::kSuperpage:
+      return w.valid() ? factor_ : 0;  // One compact node per covered block.
+    case MappingKind::kPartialSubblock: {
+      const std::uint32_t mask = factor_ >= 16 ? 0xFFFFu : ((1u << factor_) - 1);
+      return std::popcount(w.valid_vector() & mask);
+    }
+  }
+  return 0;
+}
+
+std::uint64_t AdaptiveClusteredPageTable::NodeTranslations(const Node& n) const {
+  if (n.kind == NodeKind::kSingle) {
+    return n.words[0].valid() ? 1 : 0;
+  }
+  if (n.kind == NodeKind::kArray) {
+    std::uint64_t total = 0;
+    for (const MappingWord& w : n.words) {
+      total += w.valid() ? 1 : 0;
+    }
+    return total;
+  }
+  return WordTranslations(n.words[0]);
+}
+
+std::int32_t AdaptiveClusteredPageTable::AllocNode(Vpbn tag, NodeKind kind, unsigned nwords) {
+  std::int32_t idx;
+  if (!free_nodes_.empty()) {
+    idx = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    arena_.push_back(Node{});
+    idx = static_cast<std::int32_t>(arena_.size() - 1);
+  }
+  const std::uint32_t b = hasher_(tag);
+  Node& n = arena_[idx];
+  n.tag = tag;
+  n.kind = kind;
+  n.boff = 0;
+  n.words.assign(nwords, MappingWord::Invalid());
+  n.next = buckets_[b];
+  buckets_[b] = idx;
+  n.addr = alloc_.Allocate(NodeBytes(n));
+  ++live_nodes_;
+  paper_bytes_ += NodeBytes(n);
+  return idx;
+}
+
+std::int32_t* AdaptiveClusteredPageTable::LinkOf(std::int32_t idx) {
+  const std::uint32_t b = hasher_(arena_[idx].tag);
+  std::int32_t* link = &buckets_[b];
+  while (*link != idx) {
+    assert(*link != kNil);
+    link = &arena_[*link].next;
+  }
+  return link;
+}
+
+void AdaptiveClusteredPageTable::UnlinkNode(std::int32_t idx) {
+  Node& n = arena_[idx];
+  paper_bytes_ -= NodeBytes(n);
+  alloc_.Free(n.addr, NodeBytes(n));
+  *LinkOf(idx) = n.next;
+  n = Node{};
+  free_nodes_.push_back(idx);
+  --live_nodes_;
+}
+
+TlbFill AdaptiveClusteredPageTable::FillFromWord(const Node& n, unsigned boff) const {
+  const Vpn block_first = n.tag << block_log2_;
+  TlbFill fill;
+  switch (n.kind) {
+    case NodeKind::kSingle:
+      fill.kind = MappingKind::kBase;
+      fill.base_vpn = block_first + n.boff;
+      fill.pages_log2 = 0;
+      fill.word = n.words[0];
+      break;
+    case NodeKind::kArray:
+      fill.kind = MappingKind::kBase;
+      fill.base_vpn = block_first + boff;
+      fill.pages_log2 = 0;
+      fill.word = n.words[boff];
+      break;
+    case NodeKind::kSuperpage: {
+      const MappingWord w = n.words[0];
+      fill.kind = MappingKind::kSuperpage;
+      fill.pages_log2 = w.page_size().size_log2;
+      fill.base_vpn = block_first & ~(Vpn{w.page_size().pages()} - 1);
+      fill.word = w;
+      break;
+    }
+    case NodeKind::kPsb:
+      fill.kind = MappingKind::kPartialSubblock;
+      fill.base_vpn = block_first;
+      fill.pages_log2 = block_log2_;
+      fill.word = n.words[0];
+      break;
+  }
+  return fill;
+}
+
+std::optional<TlbFill> AdaptiveClusteredPageTable::Lookup(VirtAddr va) {
+  const Vpn vpn = VpnOf(va);
+  const Vpbn vpbn = VpbnOf(vpn, factor_);
+  const unsigned boff = BoffOf(vpn, factor_);
+  const std::uint32_t b = hasher_(vpbn);
+  cache_.Touch(BucketAddr(b), 16);
+  bool head = true;
+  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    const Node& n = arena_[idx];
+    const PhysAddr addr = head ? BucketAddr(b) : n.addr;
+    head = false;
+    cache_.Touch(addr, 16);
+    if (n.tag != vpbn) {
+      continue;
+    }
+    // Read word 0 (the S/format check), then the selected word for arrays.
+    cache_.Touch(addr + 16, 8);
+    if (n.kind == NodeKind::kArray && boff != 0) {
+      cache_.Touch(addr + 16 + boff * 8ull, 8);
+    }
+    if (n.kind == NodeKind::kSingle && n.boff != boff) {
+      continue;
+    }
+    TlbFill fill = FillFromWord(n, boff);
+    if (fill.Covers(vpn)) {
+      return fill;
+    }
+  }
+  return std::nullopt;
+}
+
+void AdaptiveClusteredPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
+                                             std::vector<TlbFill>& out) {
+  assert(subblock_factor == factor_);
+  const Vpbn vpbn = VpbnOf(VpnOf(va), factor_);
+  const std::uint32_t b = hasher_(vpbn);
+  cache_.Touch(BucketAddr(b), 16);
+  bool head = true;
+  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    const Node& n = arena_[idx];
+    const PhysAddr addr = head ? BucketAddr(b) : n.addr;
+    head = false;
+    cache_.Touch(addr, 16);
+    if (n.tag != vpbn) {
+      continue;
+    }
+    cache_.Touch(addr + 16, 8ull * n.words.size());
+    if (n.kind == NodeKind::kArray) {
+      for (unsigned i = 0; i < factor_; ++i) {
+        if (n.words[i].valid()) {
+          out.push_back(FillFromWord(n, i));
+        }
+      }
+    } else if (n.words[0].valid()) {
+      out.push_back(FillFromWord(n, n.boff));
+    }
+  }
+}
+
+unsigned AdaptiveClusteredPageTable::BlockBaseOccupancy(Vpbn tag) const {
+  unsigned occupancy = 0;
+  for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
+    const Node& n = arena_[idx];
+    if (n.tag != tag) {
+      continue;
+    }
+    if (n.kind == NodeKind::kSingle) {
+      occupancy += n.words[0].valid() ? 1 : 0;
+    } else if (n.kind == NodeKind::kArray) {
+      for (const MappingWord& w : n.words) {
+        occupancy += w.valid() ? 1 : 0;
+      }
+    }
+  }
+  return occupancy;
+}
+
+void AdaptiveClusteredPageTable::PromoteToArray(Vpbn tag) {
+  // Gather the singles, free them, and build one array node.
+  MappingWord words[kMaxFactor];
+  for (unsigned i = 0; i < factor_; ++i) {
+    words[i] = MappingWord::Invalid();
+  }
+  const std::uint32_t b = hasher_(tag);
+  std::int32_t idx = buckets_[b];
+  while (idx != kNil) {
+    const std::int32_t next = arena_[idx].next;
+    Node& n = arena_[idx];
+    if (n.tag == tag && n.kind == NodeKind::kSingle) {
+      words[n.boff] = n.words[0];
+      live_translations_ -= NodeTranslations(n);
+      UnlinkNode(idx);
+    }
+    idx = next;
+  }
+  const std::int32_t array_idx = AllocNode(tag, NodeKind::kArray, factor_);
+  Node& array = arena_[array_idx];
+  for (unsigned i = 0; i < factor_; ++i) {
+    array.words[i] = words[i];
+  }
+  live_translations_ += NodeTranslations(array);
+  ++promotions_;
+}
+
+void AdaptiveClusteredPageTable::DemoteToSingles(Vpbn tag) {
+  std::int32_t array_idx = kNil;
+  for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
+    if (arena_[idx].tag == tag && arena_[idx].kind == NodeKind::kArray) {
+      array_idx = idx;
+      break;
+    }
+  }
+  if (array_idx == kNil) {
+    return;
+  }
+  MappingWord words[kMaxFactor];
+  for (unsigned i = 0; i < factor_; ++i) {
+    words[i] = arena_[array_idx].words[i];
+  }
+  live_translations_ -= NodeTranslations(arena_[array_idx]);
+  UnlinkNode(array_idx);
+  for (unsigned i = 0; i < factor_; ++i) {
+    if (words[i].valid()) {
+      const std::int32_t idx = AllocNode(tag, NodeKind::kSingle, 1);
+      arena_[idx].boff = static_cast<std::uint8_t>(i);
+      arena_[idx].words[0] = words[i];
+      ++live_translations_;
+    }
+  }
+  ++demotions_;
+}
+
+void AdaptiveClusteredPageTable::InsertBase(Vpn vpn, Ppn ppn, Attr attr) {
+  const Vpbn tag = VpbnOf(vpn, factor_);
+  const unsigned boff = BoffOf(vpn, factor_);
+  const MappingWord word = MappingWord::Base(ppn, attr);
+  // Upsert into an existing array or single node for this page.
+  for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
+    Node& n = arena_[idx];
+    if (n.tag != tag) {
+      continue;
+    }
+    if (n.kind == NodeKind::kArray) {
+      live_translations_ -= NodeTranslations(n);
+      n.words[boff] = word;
+      live_translations_ += NodeTranslations(n);
+      return;
+    }
+    if (n.kind == NodeKind::kSingle && n.boff == boff) {
+      n.words[0] = word;  // Replace: translation count unchanged (1 -> 1).
+      return;
+    }
+  }
+  // New single-page node; promote the block if it crossed the threshold.
+  const std::int32_t idx = AllocNode(tag, NodeKind::kSingle, 1);
+  arena_[idx].boff = static_cast<std::uint8_t>(boff);
+  arena_[idx].words[0] = word;
+  ++live_translations_;
+  if (BlockBaseOccupancy(tag) >= opts_.promote_occupancy) {
+    PromoteToArray(tag);
+  }
+}
+
+bool AdaptiveClusteredPageTable::RemoveBase(Vpn vpn) {
+  const Vpbn tag = VpbnOf(vpn, factor_);
+  const unsigned boff = BoffOf(vpn, factor_);
+  for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
+    Node& n = arena_[idx];
+    if (n.tag != tag) {
+      continue;
+    }
+    if (n.kind == NodeKind::kSingle && n.boff == boff && n.words[0].valid()) {
+      --live_translations_;
+      UnlinkNode(idx);
+      return true;
+    }
+    if (n.kind == NodeKind::kArray && n.words[boff].valid()) {
+      n.words[boff] = MappingWord::Invalid();
+      --live_translations_;
+      const unsigned occupancy = BlockBaseOccupancy(tag);
+      if (occupancy == 0) {
+        UnlinkNode(idx);
+      } else if (occupancy <= opts_.demote_occupancy) {
+        DemoteToSingles(tag);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdaptiveClusteredPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn,
+                                                 Attr attr) {
+  assert(size.pages() >= factor_ && "sub-block superpages use the fixed-factor table");
+  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
+  const unsigned blocks = size.pages() / factor_;
+  const Vpbn first = VpbnOf(base_vpn, factor_);
+  for (unsigned blk = 0; blk < blocks; ++blk) {
+    bool found = false;
+    for (std::int32_t idx = buckets_[hasher_(first + blk)]; idx != kNil;
+         idx = arena_[idx].next) {
+      Node& n = arena_[idx];
+      if (n.tag == first + blk && n.kind == NodeKind::kSuperpage) {
+        live_translations_ -= NodeTranslations(n);
+        n.words[0] = word;
+        live_translations_ += NodeTranslations(n);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      const std::int32_t idx = AllocNode(first + blk, NodeKind::kSuperpage, 1);
+      arena_[idx].words[0] = word;
+      live_translations_ += factor_;
+    }
+  }
+}
+
+bool AdaptiveClusteredPageTable::RemoveSuperpage(Vpn base_vpn, PageSize size) {
+  bool any = false;
+  const unsigned blocks = size.pages() >= factor_ ? size.pages() / factor_ : 1;
+  const Vpbn first = VpbnOf(base_vpn, factor_);
+  for (unsigned blk = 0; blk < blocks; ++blk) {
+    for (std::int32_t idx = buckets_[hasher_(first + blk)]; idx != kNil;
+         idx = arena_[idx].next) {
+      Node& n = arena_[idx];
+      if (n.tag == first + blk && n.kind == NodeKind::kSuperpage) {
+        live_translations_ -= NodeTranslations(n);
+        UnlinkNode(idx);
+        any = true;
+        break;
+      }
+    }
+  }
+  return any;
+}
+
+void AdaptiveClusteredPageTable::UpsertPartialSubblock(Vpn block_base_vpn,
+                                                       unsigned subblock_factor,
+                                                       Ppn block_base_ppn, Attr attr,
+                                                       std::uint16_t valid_vector) {
+  assert(subblock_factor == factor_ && factor_ <= MappingWord::kMaxPsbFactor);
+  const Vpbn tag = VpbnOf(block_base_vpn, factor_);
+  const MappingWord word = MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector);
+  for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
+    Node& n = arena_[idx];
+    if (n.tag == tag && n.kind == NodeKind::kPsb) {
+      live_translations_ -= NodeTranslations(n);
+      n.words[0] = word;
+      live_translations_ += NodeTranslations(n);
+      return;
+    }
+  }
+  const std::int32_t idx = AllocNode(tag, NodeKind::kPsb, 1);
+  arena_[idx].words[0] = word;
+  live_translations_ += WordTranslations(word);
+}
+
+bool AdaptiveClusteredPageTable::RemovePartialSubblock(Vpn block_base_vpn,
+                                                       unsigned /*subblock_factor*/) {
+  const Vpbn tag = VpbnOf(block_base_vpn, factor_);
+  for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
+    Node& n = arena_[idx];
+    if (n.tag == tag && n.kind == NodeKind::kPsb) {
+      live_translations_ -= NodeTranslations(n);
+      UnlinkNode(idx);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t AdaptiveClusteredPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages,
+                                                       Attr attr) {
+  if (npages == 0) {
+    return 0;
+  }
+  std::uint64_t searches = 0;
+  const Vpn last_vpn = first_vpn + npages - 1;
+  for (Vpbn tag = VpbnOf(first_vpn, factor_); tag <= VpbnOf(last_vpn, factor_); ++tag) {
+    ++searches;
+    for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
+      Node& n = arena_[idx];
+      if (n.tag != tag) {
+        continue;
+      }
+      for (std::size_t i = 0; i < n.words.size(); ++i) {
+        if (n.words[i].valid()) {
+          n.words[i] = n.words[i].with_attr(attr);
+        }
+      }
+    }
+  }
+  return searches;
+}
+
+std::uint64_t AdaptiveClusteredPageTable::SizeBytesActual() const { return alloc_.bytes_live(); }
+
+std::string AdaptiveClusteredPageTable::name() const {
+  return "clustered-adaptive-s" + std::to_string(factor_);
+}
+
+Histogram AdaptiveClusteredPageTable::ChainLengthHistogram() const {
+  Histogram h;
+  for (const std::int32_t head : buckets_) {
+    std::size_t len = 0;
+    for (std::int32_t idx = head; idx != kNil; idx = arena_[idx].next) {
+      ++len;
+    }
+    h.Add(len);
+  }
+  return h;
+}
+
+}  // namespace cpt::core

@@ -1,0 +1,427 @@
+#include "core/clustered.h"
+
+#include <bit>
+#include <cassert>
+
+namespace cpt::core {
+
+using pt::TlbFill;
+
+ClusteredPageTable::ClusteredPageTable(mem::CacheTouchModel& cache, Options opts)
+    : PageTable(cache),
+      opts_(opts),
+      factor_(opts.subblock_factor),
+      block_log2_(Log2(opts.subblock_factor)),
+      hasher_(opts.num_buckets, opts.hash_kind),
+      alloc_(cache.line_size(), opts.placement),
+      buckets_(opts.num_buckets, kNil) {
+  assert(IsPowerOfTwo(opts.num_buckets));
+  assert(IsPowerOfTwo(factor_) && factor_ >= 2 && factor_ <= kMaxSubblockFactor);
+  // Bucket heads are embedded base-size nodes: probing an empty bucket still
+  // reads one line, as in the hashed table.
+  bucket_stride_ = std::bit_ceil(16 + 8ull * factor_);
+  bucket_base_ = alloc_.Allocate(std::uint64_t{opts_.num_buckets} * bucket_stride_);
+}
+
+ClusteredPageTable::~ClusteredPageTable() = default;
+
+std::uint64_t ClusteredPageTable::NodeTranslations(const Node& n) const {
+  std::uint64_t total = 0;
+  const unsigned words = WordsInNode(n);
+  for (unsigned i = 0; i < words; ++i) {
+    const MappingWord& w = n.words[i];
+    switch (w.kind()) {
+      case MappingKind::kBase:
+        total += w.valid() ? 1 : 0;
+        break;
+      case MappingKind::kSuperpage:
+        // A replica of a larger superpage still only covers this node's
+        // slice; each word accounts for 2^sub_log2 base pages.
+        total += w.valid() ? (std::uint64_t{1} << n.sub_log2) : 0;
+        break;
+      case MappingKind::kPartialSubblock: {
+        const std::uint32_t mask = factor_ >= 16 ? 0xFFFFu : ((1u << factor_) - 1);
+        total += std::popcount(w.valid_vector() & mask);
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+bool ClusteredPageTable::NodeEmpty(const Node& n) const {
+  const unsigned words = WordsInNode(n);
+  for (unsigned i = 0; i < words; ++i) {
+    if (n.words[i].valid()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int32_t* ClusteredPageTable::FindLink(Vpbn tag, unsigned sub_log2, MappingKind kind0) {
+  std::int32_t* link = &buckets_[hasher_(tag)];
+  while (*link != kNil) {
+    Node& n = arena_[*link];
+    if (n.tag == tag && n.sub_log2 == sub_log2 && n.words[0].kind() == kind0) {
+      return link;
+    }
+    link = &n.next;
+  }
+  return nullptr;
+}
+
+const ClusteredPageTable::Node* ClusteredPageTable::FindNode(Vpbn tag, unsigned sub_log2,
+                                                             MappingKind kind0) const {
+  for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
+    const Node& n = arena_[idx];
+    if (n.tag == tag && n.sub_log2 == sub_log2 && n.words[0].kind() == kind0) {
+      return &n;
+    }
+  }
+  return nullptr;
+}
+
+ClusteredPageTable::Node& ClusteredPageTable::GetOrCreateNode(Vpbn tag, unsigned sub_log2,
+                                                              MappingKind kind0) {
+  if (std::int32_t* link = FindLink(tag, sub_log2, kind0)) {
+    return arena_[*link];
+  }
+  std::int32_t idx;
+  if (!free_nodes_.empty()) {
+    idx = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    arena_.push_back(Node{});
+    idx = static_cast<std::int32_t>(arena_.size() - 1);
+  }
+  const std::uint32_t b = hasher_(tag);
+  Node& n = arena_[idx];
+  n.tag = tag;
+  n.sub_log2 = static_cast<std::uint8_t>(sub_log2);
+  n.next = buckets_[b];
+  // Empty slots stay self-describing: sub-size superpage nodes carry the SZ
+  // field even in invalid words; PSB nodes carry a zero valid vector.
+  const unsigned words = factor_ >> sub_log2;
+  for (unsigned i = 0; i < words; ++i) {
+    switch (kind0) {
+      case MappingKind::kBase:
+        n.words[i] = MappingWord::Invalid();
+        break;
+      case MappingKind::kSuperpage:
+        n.words[i] = MappingWord::InvalidSuperpage(PageSize{sub_log2});
+        break;
+      case MappingKind::kPartialSubblock:
+        n.words[i] = MappingWord::PartialSubblock(0, Attr{}, 0);
+        break;
+    }
+  }
+  n.addr = alloc_.Allocate(NodeBytes(n));
+  buckets_[b] = idx;
+  ++live_nodes_;
+  paper_bytes_ += NodeBytes(n);
+  return n;
+}
+
+void ClusteredPageTable::UnlinkAndFree(std::int32_t* link) {
+  const std::int32_t idx = *link;
+  Node& n = arena_[idx];
+  paper_bytes_ -= NodeBytes(n);
+  alloc_.Free(n.addr, NodeBytes(n));
+  *link = n.next;
+  n = Node{};
+  free_nodes_.push_back(idx);
+  --live_nodes_;
+}
+
+TlbFill ClusteredPageTable::FillFromNode(const Node& n, unsigned word_idx) const {
+  const MappingWord w = n.words[word_idx];
+  const Vpn block_first = n.tag << block_log2_;
+  TlbFill fill;
+  fill.kind = w.kind();
+  fill.word = w;
+  switch (w.kind()) {
+    case MappingKind::kBase:
+      fill.base_vpn = block_first + word_idx;
+      fill.pages_log2 = 0;
+      break;
+    case MappingKind::kSuperpage: {
+      fill.pages_log2 = w.page_size().size_log2;
+      const Vpn slot_vpn = block_first + (Vpn{word_idx} << n.sub_log2);
+      fill.base_vpn = slot_vpn & ~(Vpn{w.page_size().pages()} - 1);
+      break;
+    }
+    case MappingKind::kPartialSubblock:
+      fill.base_vpn = block_first;
+      fill.pages_log2 = block_log2_;
+      break;
+  }
+  return fill;
+}
+
+std::optional<TlbFill> ClusteredPageTable::Lookup(VirtAddr va) {
+  const Vpn vpn = VpnOf(va);
+  const Vpbn vpbn = VpbnOf(vpn, factor_);
+  const unsigned boff = BoffOf(vpn, factor_);
+  const std::uint32_t b = hasher_(vpbn);
+  // The bucket head is an embedded node: one line even when empty.
+  cache_.Touch(BucketAddr(b), 16);
+  bool head = true;
+  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    const Node& n = arena_[idx];
+    const PhysAddr addr = head ? BucketAddr(b) : n.addr;
+    head = false;
+    // Chain traversal is identical to a hashed table: read tag and next.
+    cache_.Touch(addr, 16);
+    if (n.tag != vpbn) {
+      continue;
+    }
+    // Tag matched: read mapping[0] to consult the S field (Figure 8), then
+    // the block-offset-selected word.
+    cache_.Touch(addr + 16, 8);
+    const unsigned word_idx = boff >> n.sub_log2;
+    if (word_idx != 0) {
+      cache_.Touch(addr + 16 + word_idx * 8ull, 8);
+    }
+    TlbFill fill = FillFromNode(n, word_idx);
+    if (fill.Covers(vpn)) {
+      return fill;
+    }
+    // Valid-mapping check failed (invalid slot or subblock bit): continue
+    // searching the chain — another node may map this page (Section 5).
+  }
+  return std::nullopt;
+}
+
+void ClusteredPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
+                                     std::vector<TlbFill>& out) {
+  assert(subblock_factor == factor_);
+  const Vpn vpn = VpnOf(va);
+  const Vpbn vpbn = VpbnOf(vpn, factor_);
+  const std::uint32_t b = hasher_(vpbn);
+  cache_.Touch(BucketAddr(b), 16);
+  bool head = true;
+  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    const Node& n = arena_[idx];
+    const PhysAddr addr = head ? BucketAddr(b) : n.addr;
+    head = false;
+    cache_.Touch(addr, 16);
+    if (n.tag != vpbn) {
+      continue;
+    }
+    // All of the block's mappings are adjacent in this node; a clustered PTE
+    // mirrors a complete-subblock TLB entry (Section 4.4).
+    const unsigned words = WordsInNode(n);
+    cache_.Touch(addr + 16, 8ull * words);
+    for (unsigned i = 0; i < words; ++i) {
+      if (n.words[i].valid()) {
+        out.push_back(FillFromNode(n, i));
+      }
+    }
+  }
+}
+
+void ClusteredPageTable::InsertBase(Vpn vpn, Ppn ppn, Attr attr) {
+  Node& n = GetOrCreateNode(VpbnOf(vpn, factor_), 0, MappingKind::kBase);
+  live_translations_ -= NodeTranslations(n);
+  n.words[BoffOf(vpn, factor_)] = MappingWord::Base(ppn, attr);
+  live_translations_ += NodeTranslations(n);
+}
+
+bool ClusteredPageTable::RemoveBase(Vpn vpn) {
+  std::int32_t* link = FindLink(VpbnOf(vpn, factor_), 0, MappingKind::kBase);
+  if (link == nullptr) {
+    return false;
+  }
+  Node& n = arena_[*link];
+  MappingWord& slot = n.words[BoffOf(vpn, factor_)];
+  if (!slot.valid()) {
+    return false;
+  }
+  --live_translations_;
+  slot = MappingWord::Invalid();
+  if (NodeEmpty(n)) {
+    UnlinkAndFree(link);
+  }
+  return true;
+}
+
+void ClusteredPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
+  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
+  if (size.pages() < factor_) {
+    // A sub-size node: slots of 2^SZ pages each within one block.
+    Node& n = GetOrCreateNode(VpbnOf(base_vpn, factor_), size.size_log2, MappingKind::kSuperpage);
+    live_translations_ -= NodeTranslations(n);
+    n.words[BoffOf(base_vpn, factor_) >> size.size_log2] = word;
+    live_translations_ += NodeTranslations(n);
+    return;
+  }
+  // Block-sized or larger: one compact node per covered page block.  Larger
+  // superpages replicate once per clustered PTE — a factor of `s` fewer
+  // replicas than conventional page tables need (Section 5).
+  const unsigned blocks = size.pages() / factor_;
+  const Vpbn first_block = VpbnOf(base_vpn, factor_);
+  for (unsigned b = 0; b < blocks; ++b) {
+    Node& n = GetOrCreateNode(first_block + b, block_log2_, MappingKind::kSuperpage);
+    live_translations_ -= NodeTranslations(n);
+    n.words[0] = word;
+    live_translations_ += NodeTranslations(n);
+  }
+}
+
+bool ClusteredPageTable::RemoveSuperpage(Vpn base_vpn, PageSize size) {
+  if (size.pages() < factor_) {
+    std::int32_t* link =
+        FindLink(VpbnOf(base_vpn, factor_), size.size_log2, MappingKind::kSuperpage);
+    if (link == nullptr) {
+      return false;
+    }
+    Node& n = arena_[*link];
+    MappingWord& slot = n.words[BoffOf(base_vpn, factor_) >> size.size_log2];
+    if (!slot.valid()) {
+      return false;
+    }
+    live_translations_ -= size.pages();
+    slot = MappingWord::InvalidSuperpage(size);
+    if (NodeEmpty(n)) {
+      UnlinkAndFree(link);
+    }
+    return true;
+  }
+  bool any = false;
+  const unsigned blocks = size.pages() / factor_;
+  const Vpbn first_block = VpbnOf(base_vpn, factor_);
+  for (unsigned b = 0; b < blocks; ++b) {
+    if (std::int32_t* link = FindLink(first_block + b, block_log2_, MappingKind::kSuperpage)) {
+      live_translations_ -= NodeTranslations(arena_[*link]);
+      UnlinkAndFree(link);
+      any = true;
+    }
+  }
+  return any;
+}
+
+void ClusteredPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
+                                               Ppn block_base_ppn, Attr attr,
+                                               std::uint16_t valid_vector) {
+  assert(subblock_factor == factor_ && factor_ <= MappingWord::kMaxPsbFactor);
+  assert(block_base_vpn % factor_ == 0 && block_base_ppn % factor_ == 0);
+  Node& n =
+      GetOrCreateNode(VpbnOf(block_base_vpn, factor_), block_log2_, MappingKind::kPartialSubblock);
+  live_translations_ -= NodeTranslations(n);
+  n.words[0] = MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector);
+  live_translations_ += NodeTranslations(n);
+}
+
+bool ClusteredPageTable::RemovePartialSubblock(Vpn block_base_vpn, unsigned /*subblock_factor*/) {
+  std::int32_t* link =
+      FindLink(VpbnOf(block_base_vpn, factor_), block_log2_, MappingKind::kPartialSubblock);
+  if (link == nullptr) {
+    return false;
+  }
+  live_translations_ -= NodeTranslations(arena_[*link]);
+  UnlinkAndFree(link);
+  return true;
+}
+
+std::uint64_t ClusteredPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
+  if (npages == 0) {
+    return 0;
+  }
+  // One hash search per page block, not per base page (Section 3.1).
+  std::uint64_t searches = 0;
+  const Vpn last_vpn = first_vpn + npages - 1;
+  for (Vpbn tag = VpbnOf(first_vpn, factor_); tag <= VpbnOf(last_vpn, factor_); ++tag) {
+    ++searches;
+    for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
+      Node& n = arena_[idx];
+      if (n.tag != tag) {
+        continue;
+      }
+      const unsigned words = WordsInNode(n);
+      for (unsigned i = 0; i < words; ++i) {
+        if (!n.words[i].valid()) {
+          continue;
+        }
+        const Vpn word_first = (tag << block_log2_) + (Vpn{i} << n.sub_log2);
+        const Vpn word_last = word_first + (Vpn{1} << n.sub_log2) - 1;
+        if (word_last >= first_vpn && word_first <= last_vpn) {
+          n.words[i] = n.words[i].with_attr(attr);
+        }
+      }
+    }
+  }
+  return searches;
+}
+
+bool ClusteredPageTable::BlockReadyForPromotion(Vpbn vpbn) const {
+  const Node* n = FindNode(vpbn, 0, MappingKind::kBase);
+  if (n == nullptr) {
+    return false;
+  }
+  const Ppn first_ppn = n->words[0].ppn();
+  if (!n->words[0].valid() || first_ppn % factor_ != 0) {
+    return false;
+  }
+  for (unsigned i = 0; i < factor_; ++i) {
+    const MappingWord& w = n->words[i];
+    if (!w.valid() || w.kind() != MappingKind::kBase || w.ppn() != first_ppn + i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<MappingWord> ClusteredPageTable::PeekBase(Vpn vpn) const {
+  const Node* n = FindNode(VpbnOf(vpn, factor_), 0, MappingKind::kBase);
+  if (n == nullptr) {
+    return std::nullopt;
+  }
+  const MappingWord w = n->words[BoffOf(vpn, factor_)];
+  return w.valid() ? std::optional<MappingWord>(w) : std::nullopt;
+}
+
+std::uint64_t ClusteredPageTable::SizeBytesPaperModel() const { return paper_bytes_; }
+
+std::uint64_t ClusteredPageTable::SizeBytesActual() const {
+  // bytes_live already includes the embedded-head bucket array.
+  return alloc_.bytes_live();
+}
+
+std::uint64_t ClusteredPageTable::live_translations() const { return live_translations_; }
+
+std::string ClusteredPageTable::name() const {
+  return "clustered-s" + std::to_string(factor_);
+}
+
+Histogram ClusteredPageTable::ChainLengthHistogram() const {
+  Histogram h;
+  for (const std::int32_t head : buckets_) {
+    std::size_t len = 0;
+    for (std::int32_t idx = head; idx != kNil; idx = arena_[idx].next) {
+      ++len;
+    }
+    h.Add(len);
+  }
+  return h;
+}
+
+Histogram ClusteredPageTable::BlockOccupancyHistogram() const {
+  Histogram h;
+  for (std::uint32_t b = 0; b < buckets_.size(); ++b) {
+    for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+      const Node& n = arena_[idx];
+      if (n.sub_log2 == 0 && n.words[0].kind() == MappingKind::kBase) {
+        std::size_t occ = 0;
+        for (unsigned i = 0; i < factor_; ++i) {
+          occ += n.words[i].valid() ? 1 : 0;
+        }
+        h.Add(occ);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace cpt::core

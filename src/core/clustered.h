@@ -1,0 +1,134 @@
+// Clustered page table — the paper's central contribution (Sections 3 & 5).
+//
+// A hashed page table augmented with subblocking: each hash node stores one
+// VPBN tag and one next pointer for an aligned group of `subblock_factor`
+// consecutive base pages (a page block).  Node formats (Figure 7):
+//
+//   base node (complete-subblock PTE):  [tag][next][map0][map1]...[map s-1]
+//   partial-subblock PTE:               [tag][next][psb word]
+//   superpage PTE (block-sized):        [tag][next][superpage word]
+//   sub-size superpage node:            [tag][next][word0]...[word s/2^SZ-1]
+//
+// All formats co-reside on the same hash chains, discriminated by the S
+// field of the first mapping word (Figure 8): the TLB miss handler walks the
+// chain exactly as for a hashed table and only differs when reading the
+// mapping.  A tag match whose word does not cover the faulting page
+// continues down the chain, which lets one page block mix formats across
+// several nodes (e.g. one 8KB superpage plus two 4KB base pages in a 16KB
+// block, Section 5).
+//
+// Size accounting (Table 2): a base node costs 8s + 16 bytes, a compact
+// (superpage or PSB) node 24 bytes, and a sub-size node 16 + 8 * (s >> SZ).
+#ifndef CPT_CORE_CLUSTERED_H_
+#define CPT_CORE_CLUSTERED_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/stats.h"
+#include "mem/sim_alloc.h"
+#include "pt/page_table.h"
+
+namespace cpt::core {
+
+class ClusteredPageTable final : public pt::PageTable {
+ public:
+  static constexpr unsigned kMaxSubblockFactor = 64;
+
+  struct Options {
+    std::uint32_t num_buckets = kDefaultHashBuckets;
+    unsigned subblock_factor = kDefaultSubblockFactor;  // Power of two, <= 64.
+    HashKind hash_kind = HashKind::kMix;
+    mem::NodePlacement placement = mem::NodePlacement::kLineAligned;
+  };
+
+  ClusteredPageTable(mem::CacheTouchModel& cache, Options opts);
+  ~ClusteredPageTable() override;
+
+  // ---- PageTable interface ----
+  std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
+  void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<pt::TlbFill>& out) override;
+  void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
+  bool RemoveBase(Vpn vpn) override;
+  pt::PtFeatures features() const override {
+    return {.superpages = true, .partial_subblock = true, .adjacent_block_fetch = true};
+  }
+  void InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) override;
+  bool RemoveSuperpage(Vpn base_vpn, PageSize size) override;
+  void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor, Ppn block_base_ppn,
+                             Attr attr, std::uint16_t valid_vector) override;
+  bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) override;
+  std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
+  std::uint64_t SizeBytesPaperModel() const override;
+  std::uint64_t SizeBytesActual() const override;
+  std::uint64_t live_translations() const override;
+  std::string name() const override;
+
+  // ---- Clustered-specific operations ----
+
+  // True when every base page of the block holds a valid base mapping and
+  // the physical frames are properly placed — the incremental-promotion
+  // check Section 5 describes (the OS may then promote to a superpage PTE).
+  bool BlockReadyForPromotion(Vpbn vpbn) const;
+
+  // OS-side (uncounted) read of the base word for a page, if present.
+  std::optional<MappingWord> PeekBase(Vpn vpn) const;
+
+  // ---- Introspection ----
+  unsigned subblock_factor() const { return factor_; }
+  std::uint32_t num_buckets() const { return opts_.num_buckets; }
+  std::uint64_t node_count() const { return live_nodes_; }
+  double LoadFactor() const {
+    return static_cast<double>(live_nodes_) / static_cast<double>(opts_.num_buckets);
+  }
+  Histogram ChainLengthHistogram() const;
+  Histogram BlockOccupancyHistogram() const;  // Valid base mappings per base node.
+
+ private:
+  static constexpr std::int32_t kNil = -1;
+
+  struct Node {
+    Vpbn tag = 0;
+    std::uint8_t sub_log2 = 0;  // log2 base pages covered per word.
+    std::int32_t next = kNil;
+    PhysAddr addr = 0;
+    std::array<MappingWord, kMaxSubblockFactor> words{};
+  };
+
+  unsigned WordsInNode(const Node& n) const { return factor_ >> n.sub_log2; }
+  std::uint64_t NodeBytes(const Node& n) const { return 16 + 8ull * WordsInNode(n); }
+
+  // Base pages this node currently translates.
+  std::uint64_t NodeTranslations(const Node& n) const;
+  bool NodeEmpty(const Node& n) const;
+
+  std::int32_t* FindLink(Vpbn tag, unsigned sub_log2, MappingKind kind0);
+  const Node* FindNode(Vpbn tag, unsigned sub_log2, MappingKind kind0) const;
+  Node& GetOrCreateNode(Vpbn tag, unsigned sub_log2, MappingKind kind0);
+  void UnlinkAndFree(std::int32_t* link);
+  pt::TlbFill FillFromNode(const Node& n, unsigned word_idx) const;
+
+  // Embedded bucket-head addressing (see HashedPageTable::BucketAddr).
+  PhysAddr BucketAddr(std::uint32_t b) const { return bucket_base_ + b * bucket_stride_; }
+
+  Options opts_;
+  unsigned factor_;
+  unsigned block_log2_;
+  BucketHasher hasher_;
+  mem::SimAllocator alloc_;
+  PhysAddr bucket_base_ = 0;
+  std::uint64_t bucket_stride_ = 0;
+  std::vector<Node> arena_;
+  std::vector<std::int32_t> free_nodes_;
+  std::vector<std::int32_t> buckets_;
+  std::uint64_t live_nodes_ = 0;
+  std::uint64_t live_translations_ = 0;
+  std::uint64_t paper_bytes_ = 0;
+};
+
+}  // namespace cpt::core
+
+#endif  // CPT_CORE_CLUSTERED_H_

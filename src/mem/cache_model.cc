@@ -1,0 +1,53 @@
+#include "mem/cache_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/types.h"
+
+namespace cpt::mem {
+
+CacheTouchModel::CacheTouchModel(std::uint32_t line_size) : line_size_(line_size) {
+  assert(IsPowerOfTwo(line_size));
+  line_shift_ = Log2(line_size);
+  walk_lines_.reserve(32);
+}
+
+void CacheTouchModel::BeginWalk() {
+  walk_lines_.clear();
+  in_walk_ = true;
+}
+
+void CacheTouchModel::Touch(PhysAddr addr, std::uint64_t size) {
+  if (!in_walk_ || size == 0) {
+    return;
+  }
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + size - 1) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    // Walks touch a handful of lines, so a linear dedup scan beats a set.
+    if (std::find(walk_lines_.begin(), walk_lines_.end(), line) == walk_lines_.end()) {
+      walk_lines_.push_back(line);
+    }
+  }
+}
+
+void CacheTouchModel::EndWalk() {
+  if (!in_walk_) {
+    return;
+  }
+  in_walk_ = false;
+  total_lines_ += walk_lines_.size();
+  ++total_walks_;
+  per_walk_.Add(walk_lines_.size());
+}
+
+void CacheTouchModel::Reset() {
+  walk_lines_.clear();
+  in_walk_ = false;
+  total_lines_ = 0;
+  total_walks_ = 0;
+  per_walk_ = Histogram();
+}
+
+}  // namespace cpt::mem

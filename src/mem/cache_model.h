@@ -1,0 +1,79 @@
+// Cache-line touch accounting for page-table walks.
+//
+// The paper's "page table access time" metric is the average number of
+// distinct (level-two) cache lines accessed while servicing one TLB miss
+// (Section 6.1), assuming page-table data is rarely cache-resident.  Page
+// tables in this library place their structures at simulated physical
+// addresses; every walk records the byte ranges it reads through this model,
+// which counts distinct lines per walk and cumulative totals.
+#ifndef CPT_MEM_CACHE_MODEL_H_
+#define CPT_MEM_CACHE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace cpt::mem {
+
+class CacheTouchModel {
+ public:
+  explicit CacheTouchModel(std::uint32_t line_size = kDefaultCacheLineSize);
+
+  std::uint32_t line_size() const { return line_size_; }
+
+  // Starts accounting for one page-table walk (one TLB miss service).
+  void BeginWalk();
+
+  // Records a read of [addr, addr + size) in simulated physical memory.
+  void Touch(PhysAddr addr, std::uint64_t size);
+
+  // Distinct lines touched since BeginWalk().
+  unsigned LinesThisWalk() const { return static_cast<unsigned>(walk_lines_.size()); }
+
+  // Finishes the walk, folding its line count into the totals.
+  void EndWalk();
+
+  // Discards the current walk without counting it (used when a walk turns
+  // out to be a page fault, which is OS work rather than TLB-miss service).
+  void AbortWalk() {
+    walk_lines_.clear();
+    in_walk_ = false;
+  }
+
+  std::uint64_t total_lines() const { return total_lines_; }
+  std::uint64_t total_walks() const { return total_walks_; }
+  double AvgLinesPerWalk() const {
+    return total_walks_ == 0 ? 0.0
+                             : static_cast<double>(total_lines_) / static_cast<double>(total_walks_);
+  }
+  const Histogram& per_walk_histogram() const { return per_walk_; }
+
+  void Reset();
+
+ private:
+  std::uint32_t line_size_;
+  unsigned line_shift_;
+  std::vector<std::uint64_t> walk_lines_;  // distinct line ids of current walk
+  bool in_walk_ = false;
+  std::uint64_t total_lines_ = 0;
+  std::uint64_t total_walks_ = 0;
+  Histogram per_walk_;
+};
+
+// RAII helper: begins a walk on construction, ends it on destruction.
+class WalkScope {
+ public:
+  explicit WalkScope(CacheTouchModel& model) : model_(model) { model_.BeginWalk(); }
+  ~WalkScope() { model_.EndWalk(); }
+  WalkScope(const WalkScope&) = delete;
+  WalkScope& operator=(const WalkScope&) = delete;
+
+ private:
+  CacheTouchModel& model_;
+};
+
+}  // namespace cpt::mem
+
+#endif  // CPT_MEM_CACHE_MODEL_H_

@@ -1,0 +1,50 @@
+#include "mem/phys_mem.h"
+
+#include <cassert>
+
+namespace cpt::mem {
+
+PhysicalMemory::PhysicalMemory(std::uint64_t num_frames)
+    : num_frames_(num_frames), frames_free_(num_frames), used_(num_frames, false) {
+  assert(num_frames > 0 && num_frames <= kMaxPpn + 1);
+}
+
+std::optional<Ppn> PhysicalMemory::AllocFrame() {
+  if (frames_free_ == 0) {
+    return std::nullopt;
+  }
+  for (std::uint64_t i = 0; i < num_frames_; ++i) {
+    const Ppn p = (scan_hint_ + i) % num_frames_;
+    if (!used_[p]) {
+      used_[p] = true;
+      --frames_free_;
+      scan_hint_ = (p + 1) % num_frames_;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+bool PhysicalMemory::AllocSpecific(Ppn ppn) {
+  assert(ppn < num_frames_);
+  if (used_[ppn]) {
+    return false;
+  }
+  used_[ppn] = true;
+  --frames_free_;
+  return true;
+}
+
+void PhysicalMemory::FreeFrame(Ppn ppn) {
+  assert(ppn < num_frames_);
+  assert(used_[ppn]);
+  used_[ppn] = false;
+  ++frames_free_;
+}
+
+bool PhysicalMemory::IsFree(Ppn ppn) const {
+  assert(ppn < num_frames_);
+  return !used_[ppn];
+}
+
+}  // namespace cpt::mem

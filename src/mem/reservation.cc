@@ -1,0 +1,129 @@
+#include "mem/reservation.h"
+
+#include <cassert>
+
+namespace cpt::mem {
+
+ReservationAllocator::ReservationAllocator(std::uint64_t num_frames, unsigned subblock_factor)
+    : factor_(subblock_factor), num_frames_((num_frames / subblock_factor) * subblock_factor) {
+  assert(IsPowerOfTwo(subblock_factor) && subblock_factor <= 32);
+  assert(num_frames_ > 0);
+  const std::uint64_t num_groups = num_frames_ / factor_;
+  groups_.resize(num_groups);
+  free_groups_.reserve(num_groups);
+  // Push in reverse so low frame numbers are handed out first.
+  for (std::uint64_t g = num_groups; g-- > 0;) {
+    free_groups_.push_back(g);
+  }
+}
+
+std::optional<ReservationAllocator::FrameGrant> ReservationAllocator::Allocate(
+    std::uint64_t block_key, unsigned boff) {
+  assert(boff < factor_);
+  if (frames_used_ == num_frames_) {
+    return std::nullopt;
+  }
+
+  // 1. An existing reservation for this virtual block: use the matching slot.
+  if (auto it = by_owner_.find(block_key); it != by_owner_.end()) {
+    Group& grp = groups_[it->second];
+    assert(grp.state == GroupState::kReserved);
+    const std::uint32_t bit = 1u << boff;
+    assert((grp.used_mask & bit) == 0 && "double allocation of (block, boff)");
+    grp.used_mask |= bit;
+    ++frames_used_;
+    ++grants_;
+    ++placed_grants_;
+    return FrameGrant{it->second * factor_ + boff, true};
+  }
+
+  // 2. Reserve a fresh aligned group for this virtual block.
+  if (!free_groups_.empty()) {
+    const std::uint64_t g = free_groups_.back();
+    free_groups_.pop_back();
+    Group& grp = groups_[g];
+    grp.state = GroupState::kReserved;
+    grp.owner_key = block_key;
+    grp.used_mask = 1u << boff;
+    by_owner_.emplace(block_key, g);
+    reservation_fifo_.push_back(g);
+    ++reservations_made_;
+    ++frames_used_;
+    ++grants_;
+    ++placed_grants_;
+    return FrameGrant{g * factor_ + boff, true};
+  }
+
+  // 3. Memory pressure: draw from the fragment pool, breaking reservations
+  //    as needed.  The resulting frame is (almost surely) not properly
+  //    placed for this virtual block.  Pool entries can go stale (their
+  //    group fully emptied and was recycled, or a duplicate entry's frame
+  //    was already granted), so validate on pop.
+  for (;;) {
+    while (fragment_pool_.empty()) {
+      if (!BreakOneReservation()) {
+        return std::nullopt;  // All frames genuinely in use.
+      }
+    }
+    const Ppn ppn = fragment_pool_.back();
+    fragment_pool_.pop_back();
+    Group& grp = groups_[GroupOf(ppn)];
+    const std::uint32_t bit = 1u << (ppn % factor_);
+    if (grp.state != GroupState::kFragmented || (grp.used_mask & bit) != 0) {
+      continue;  // Stale entry.
+    }
+    grp.used_mask |= bit;
+    ++frames_used_;
+    ++grants_;
+    return FrameGrant{ppn, false};
+  }
+}
+
+bool ReservationAllocator::BreakOneReservation() {
+  while (!reservation_fifo_.empty()) {
+    const std::uint64_t g = reservation_fifo_.front();
+    reservation_fifo_.pop_front();
+    Group& grp = groups_[g];
+    if (grp.state != GroupState::kReserved) {
+      continue;  // Stale entry: reservation already released or broken.
+    }
+    by_owner_.erase(grp.owner_key);
+    grp.state = GroupState::kFragmented;
+    ++reservations_broken_;
+    for (unsigned slot = 0; slot < factor_; ++slot) {
+      if ((grp.used_mask & (1u << slot)) == 0) {
+        fragment_pool_.push_back(g * factor_ + slot);
+      }
+    }
+    if (!fragment_pool_.empty()) {
+      return true;
+    }
+    // A fully-used reservation yielded no frames; keep breaking.
+  }
+  return false;
+}
+
+void ReservationAllocator::Free(Ppn ppn) {
+  assert(ppn < num_frames_);
+  const std::uint64_t g = GroupOf(ppn);
+  Group& grp = groups_[g];
+  const std::uint32_t bit = 1u << (ppn % factor_);
+  assert((grp.used_mask & bit) != 0 && "freeing an unallocated frame");
+  grp.used_mask &= ~bit;
+  --frames_used_;
+  if (grp.state == GroupState::kFragmented) {
+    if (grp.used_mask == 0) {
+      grp.state = GroupState::kFree;
+      free_groups_.push_back(g);
+    } else {
+      fragment_pool_.push_back(ppn);
+    }
+  } else if (grp.state == GroupState::kReserved && grp.used_mask == 0) {
+    by_owner_.erase(grp.owner_key);
+    grp.state = GroupState::kFree;
+    free_groups_.push_back(g);
+    // Its fifo entry becomes stale and is skipped by BreakOneReservation.
+  }
+}
+
+}  // namespace cpt::mem

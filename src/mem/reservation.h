@@ -1,0 +1,95 @@
+// Page-reservation physical memory allocator.
+//
+// Superpages and partial-subblock TLB entries require *properly placed*
+// pages: the physical frame of base page `boff` within a page block must be
+// frame `block_base + boff` of an aligned physical block.  The paper relies
+// on the page-reservation algorithm of [Tall94]: on the first fault within a
+// virtual page block, reserve an entire aligned physical frame block and
+// place each subsequently-faulted page of that virtual block at its matching
+// slot.  Under memory pressure, reservations are broken and their unused
+// frames handed out individually (losing proper placement for new mappings).
+//
+// This class implements that algorithm over a pool of frames grouped into
+// aligned blocks of `subblock_factor` frames.
+#ifndef CPT_MEM_RESERVATION_H_
+#define CPT_MEM_RESERVATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cpt::mem {
+
+class ReservationAllocator {
+ public:
+  // `num_frames` is rounded down to a whole number of blocks.
+  ReservationAllocator(std::uint64_t num_frames, unsigned subblock_factor);
+
+  struct FrameGrant {
+    Ppn ppn = 0;
+    // True when ppn == block_base + boff within an aligned block reserved
+    // for this virtual page block, i.e. the page is properly placed.
+    bool properly_placed = false;
+  };
+
+  // Allocates a frame for base page `boff` of the virtual page block
+  // identified by `block_key` (an (address space, VPBN) key chosen by the
+  // caller).  The same (block_key, boff) must not be allocated twice without
+  // an intervening Free.  Returns nullopt when physical memory is exhausted.
+  std::optional<FrameGrant> Allocate(std::uint64_t block_key, unsigned boff);
+
+  // Releases a frame previously granted.
+  void Free(Ppn ppn);
+
+  unsigned subblock_factor() const { return factor_; }
+  std::uint64_t num_frames() const { return num_frames_; }
+  std::uint64_t frames_used() const { return frames_used_; }
+  std::uint64_t frames_free() const { return num_frames_ - frames_used_; }
+
+  // Diagnostics for the evaluation: how often placement succeeded.
+  std::uint64_t grants() const { return grants_; }
+  std::uint64_t properly_placed_grants() const { return placed_grants_; }
+  std::uint64_t reservations_made() const { return reservations_made_; }
+  std::uint64_t reservations_broken() const { return reservations_broken_; }
+
+ private:
+  enum class GroupState : std::uint8_t {
+    kFree,        // No frame in use, not reserved.
+    kReserved,    // Reserved for one virtual page block; slots map 1:1.
+    kFragmented,  // Reservation broken; free slots handed out individually.
+  };
+
+  struct Group {
+    GroupState state = GroupState::kFree;
+    std::uint64_t owner_key = 0;   // Valid when kReserved.
+    std::uint32_t used_mask = 0;   // Bit per slot.
+  };
+
+  std::uint64_t GroupOf(Ppn ppn) const { return ppn / factor_; }
+
+  // Breaks the least-recently-reserved reservation, moving its unused slots
+  // to the fragment pool.  Returns false if there is nothing to break.
+  bool BreakOneReservation();
+
+  unsigned factor_;
+  std::uint64_t num_frames_;
+  std::uint64_t frames_used_ = 0;
+  std::vector<Group> groups_;
+  std::vector<std::uint64_t> free_groups_;                    // Stack of kFree group ids.
+  std::unordered_map<std::uint64_t, std::uint64_t> by_owner_;  // block_key -> group id.
+  std::deque<std::uint64_t> reservation_fifo_;                // Steal victims, oldest first.
+  std::vector<Ppn> fragment_pool_;                            // Individually-free frames.
+
+  std::uint64_t grants_ = 0;
+  std::uint64_t placed_grants_ = 0;
+  std::uint64_t reservations_made_ = 0;
+  std::uint64_t reservations_broken_ = 0;
+};
+
+}  // namespace cpt::mem
+
+#endif  // CPT_MEM_RESERVATION_H_

@@ -1,0 +1,59 @@
+#include "mem/sim_alloc.h"
+
+#include <cassert>
+
+namespace cpt::mem {
+
+namespace {
+// Monotonic region ids; each allocator gets region_id << 44 (16TB apart).
+std::uint64_t next_region_id = 1;
+}  // namespace
+
+SimAllocator::SimAllocator(std::uint32_t line_size, NodePlacement placement)
+    : line_size_(line_size), placement_(placement) {
+  assert(IsPowerOfTwo(line_size));
+  bump_ = (next_region_id++ << 44) + kBasePageSize;
+}
+
+std::uint64_t SimAllocator::AlignmentFor(std::uint64_t size) const {
+  if (placement_ == NodePlacement::kPacked) {
+    return 8;
+  }
+  // Line-aligned placement: page-sized structures keep page alignment so the
+  // linear page table's leaf pages stay page-aligned.
+  return size >= kBasePageSize ? kBasePageSize : line_size_;
+}
+
+PhysAddr SimAllocator::Allocate(std::uint64_t size) {
+  assert(size > 0);
+  const std::uint64_t align = AlignmentFor(size);
+  const std::uint64_t rounded = (size + align - 1) & ~(align - 1);
+
+  bytes_live_ += size;
+  if (bytes_live_ > high_water_) {
+    high_water_ = bytes_live_;
+  }
+
+  auto it = free_lists_.find(rounded);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    const PhysAddr addr = it->second.back();
+    it->second.pop_back();
+    return addr;
+  }
+
+  bump_ = (bump_ + align - 1) & ~(align - 1);
+  const PhysAddr addr = bump_;
+  bump_ += rounded;
+  return addr;
+}
+
+void SimAllocator::Free(PhysAddr addr, std::uint64_t size) {
+  assert(addr != 0 && size > 0);
+  assert(bytes_live_ >= size);
+  const std::uint64_t align = AlignmentFor(size);
+  const std::uint64_t rounded = (size + align - 1) & ~(align - 1);
+  bytes_live_ -= size;
+  free_lists_[rounded].push_back(addr);
+}
+
+}  // namespace cpt::mem

@@ -1,0 +1,326 @@
+#include "pt/forward.h"
+
+#include <cassert>
+
+namespace cpt::pt {
+
+namespace {
+constexpr unsigned kPsbPagesLog2 = 4;
+}  // namespace
+
+ForwardMappedPageTable::ForwardMappedPageTable(mem::CacheTouchModel& cache, Options opts)
+    : PageTable(cache), opts_(opts), alloc_(cache.line_size(), opts.placement) {}
+
+ForwardMappedPageTable::~ForwardMappedPageTable() = default;
+
+TlbFill ForwardMappedPageTable::FillFromWord(Vpn vpn, MappingWord word) const {
+  TlbFill fill;
+  fill.kind = word.kind();
+  fill.word = word;
+  switch (word.kind()) {
+    case MappingKind::kBase:
+      fill.base_vpn = vpn;
+      fill.pages_log2 = 0;
+      break;
+    case MappingKind::kSuperpage:
+      fill.pages_log2 = word.page_size().size_log2;
+      fill.base_vpn = vpn & ~(Vpn{word.page_size().pages()} - 1);
+      break;
+    case MappingKind::kPartialSubblock:
+      fill.pages_log2 = kPsbPagesLog2;
+      fill.base_vpn = vpn & ~((Vpn{1} << kPsbPagesLog2) - 1);
+      break;
+  }
+  return fill;
+}
+
+void ForwardMappedPageTable::AddPath(Vpn vpn) {
+  // Ensure every intermediate node along the path exists, bumping child
+  // counts bottom-up.  A node's count is the number of its active children.
+  bool child_was_new = true;
+  for (unsigned level = 2; level <= kNumLevels && child_was_new; ++level) {
+    auto [it, inserted] = inner_[level].try_emplace(PrefixAt(vpn, level));
+    if (inserted) {
+      it->second.addr = alloc_.Allocate(NodeBytesOfLevel(level));
+    }
+    ++it->second.children;
+    child_was_new = inserted;
+  }
+}
+
+void ForwardMappedPageTable::RemovePath(Vpn vpn) {
+  bool child_died = true;
+  for (unsigned level = 2; level <= kNumLevels && child_died; ++level) {
+    auto it = inner_[level].find(PrefixAt(vpn, level));
+    assert(it != inner_[level].end() && it->second.children > 0);
+    child_died = --it->second.children == 0 && it->second.super_slots.empty();
+    if (child_died) {
+      alloc_.Free(it->second.addr, NodeBytesOfLevel(level));
+      inner_[level].erase(it);
+    }
+  }
+}
+
+void ForwardMappedPageTable::AddIntermediateSuper(Vpn vpn, unsigned level, MappingWord word) {
+  auto [it, inserted] = inner_[level].try_emplace(PrefixAt(vpn, level));
+  if (inserted) {
+    it->second.addr = alloc_.Allocate(NodeBytesOfLevel(level));
+  }
+  bool child_was_new = inserted;
+  for (unsigned l = level + 1; l <= kNumLevels && child_was_new; ++l) {
+    auto [pit, pinserted] = inner_[l].try_emplace(PrefixAt(vpn, l));
+    if (pinserted) {
+      pit->second.addr = alloc_.Allocate(NodeBytesOfLevel(l));
+    }
+    ++pit->second.children;
+    child_was_new = pinserted;
+  }
+  const unsigned idx = IndexAt(vpn, level);
+  auto& slots = it->second.super_slots;
+  if (slots.find(idx) == slots.end()) {
+    live_translations_ += word.page_size().pages();
+  }
+  slots[idx] = word;
+}
+
+void ForwardMappedPageTable::MaybeFreeInner(Vpn vpn, unsigned level) {
+  auto it = inner_[level].find(PrefixAt(vpn, level));
+  if (it == inner_[level].end() || it->second.children != 0 || !it->second.super_slots.empty()) {
+    return;
+  }
+  alloc_.Free(it->second.addr, NodeBytesOfLevel(level));
+  inner_[level].erase(it);
+  bool child_died = true;
+  for (unsigned l = level + 1; l <= kNumLevels && child_died; ++l) {
+    auto pit = inner_[l].find(PrefixAt(vpn, l));
+    assert(pit != inner_[l].end() && pit->second.children > 0);
+    child_died = --pit->second.children == 0 && pit->second.super_slots.empty();
+    if (child_died) {
+      alloc_.Free(pit->second.addr, NodeBytesOfLevel(l));
+      inner_[l].erase(pit);
+    }
+  }
+}
+
+ForwardMappedPageTable::Leaf& ForwardMappedPageTable::LeafFor(Vpn vpn) {
+  auto [it, inserted] = leaves_.try_emplace(PrefixAt(vpn, 1));
+  if (inserted) {
+    it->second.addr = alloc_.Allocate(NodeBytesOfLevel(1));
+    AddPath(vpn);
+  }
+  return it->second;
+}
+
+ForwardMappedPageTable::Leaf* ForwardMappedPageTable::FindLeaf(Vpn vpn) {
+  auto it = leaves_.find(PrefixAt(vpn, 1));
+  return it == leaves_.end() ? nullptr : &it->second;
+}
+
+void ForwardMappedPageTable::SetSlot(Vpn vpn, MappingWord word) {
+  Leaf& leaf = LeafFor(vpn);
+  MappingWord& slot = leaf.slots[IndexAt(vpn, 1)];
+  const bool was_occupied = slot != MappingWord::Invalid();
+  const bool was_translating = was_occupied && FillFromWord(vpn, slot).Covers(vpn);
+  const bool now_occupied = word != MappingWord::Invalid();
+  const bool now_translating = now_occupied && FillFromWord(vpn, word).Covers(vpn);
+  leaf.live += static_cast<unsigned>(now_occupied) - static_cast<unsigned>(was_occupied);
+  live_translations_ +=
+      static_cast<std::uint64_t>(now_translating) - static_cast<std::uint64_t>(was_translating);
+  slot = word;
+}
+
+MappingWord ForwardMappedPageTable::ClearSlot(Vpn vpn) {
+  Leaf* leaf = FindLeaf(vpn);
+  if (leaf == nullptr) {
+    return MappingWord::Invalid();
+  }
+  MappingWord& slot = leaf->slots[IndexAt(vpn, 1)];
+  const MappingWord old = slot;
+  if (old != MappingWord::Invalid()) {
+    if (FillFromWord(vpn, old).Covers(vpn)) {
+      --live_translations_;
+    }
+    slot = MappingWord::Invalid();
+    if (--leaf->live == 0) {
+      alloc_.Free(leaf->addr, NodeBytesOfLevel(1));
+      leaves_.erase(PrefixAt(vpn, 1));
+      RemovePath(vpn);
+    }
+  }
+  return old;
+}
+
+std::optional<TlbFill> ForwardMappedPageTable::Lookup(VirtAddr va) {
+  const Vpn vpn = VpnOf(va);
+  // Top-down walk: one PTP read per intermediate level, then the leaf PTE.
+  for (unsigned level = kNumLevels; level >= 2; --level) {
+    auto it = inner_[level].find(PrefixAt(vpn, level));
+    if (it == inner_[level].end()) {
+      return std::nullopt;
+    }
+    const unsigned idx = IndexAt(vpn, level);
+    cache_.Touch(it->second.addr + idx * 8, 8);
+    if (opts_.intermediate_superpages) {
+      auto slot_it = it->second.super_slots.find(idx);
+      if (slot_it != it->second.super_slots.end()) {
+        TlbFill fill = FillFromWord(vpn, slot_it->second);
+        if (fill.Covers(vpn)) {
+          return fill;  // Short-circuit: the PTP slot held a superpage PTE.
+        }
+        return std::nullopt;
+      }
+    }
+  }
+  Leaf* leaf = FindLeaf(vpn);
+  if (leaf == nullptr) {
+    return std::nullopt;
+  }
+  cache_.Touch(leaf->addr + IndexAt(vpn, 1) * 8, 8);
+  const MappingWord word = leaf->slots[IndexAt(vpn, 1)];
+  if (word == MappingWord::Invalid()) {
+    return std::nullopt;
+  }
+  TlbFill fill = FillFromWord(vpn, word);
+  if (!fill.Covers(vpn)) {
+    return std::nullopt;
+  }
+  return fill;
+}
+
+void ForwardMappedPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
+                                         std::vector<TlbFill>& out) {
+  // One tree descent, then the block's PTEs are adjacent in the leaf node.
+  const Vpn vpn = VpnOf(va);
+  const Vpn first = FirstVpnOfBlock(VpbnOf(vpn, subblock_factor), subblock_factor);
+  for (unsigned level = kNumLevels; level >= 2; --level) {
+    auto it = inner_[level].find(PrefixAt(first, level));
+    if (it == inner_[level].end()) {
+      return;
+    }
+    cache_.Touch(it->second.addr + IndexAt(first, level) * 8, 8);
+  }
+  Leaf* leaf = FindLeaf(first);
+  if (leaf == nullptr) {
+    return;
+  }
+  const unsigned slot0 = IndexAt(first, 1);
+  cache_.Touch(leaf->addr + slot0 * 8, std::uint64_t{subblock_factor} * 8);
+  for (unsigned i = 0; i < subblock_factor; ++i) {
+    const MappingWord word = leaf->slots[slot0 + i];
+    if (word == MappingWord::Invalid()) {
+      continue;
+    }
+    TlbFill fill = FillFromWord(first + i, word);
+    if (fill.Covers(first + i)) {
+      out.push_back(fill);
+    }
+  }
+}
+
+void ForwardMappedPageTable::InsertBase(Vpn vpn, Ppn ppn, Attr attr) {
+  SetSlot(vpn, MappingWord::Base(ppn, attr));
+}
+
+bool ForwardMappedPageTable::RemoveBase(Vpn vpn) {
+  return ClearSlot(vpn) != MappingWord::Invalid();
+}
+
+void ForwardMappedPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn,
+                                             Attr attr) {
+  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
+  if (opts_.intermediate_superpages) {
+    // Find the level whose subtree coverage equals the superpage size.
+    for (unsigned level = 2; level <= kNumLevels; ++level) {
+      if (ShiftOfLevel(level) == size.size_log2) {
+        AddIntermediateSuper(base_vpn, level, word);
+        return;
+      }
+    }
+  }
+  for (unsigned i = 0; i < size.pages(); ++i) {
+    SetSlot(base_vpn + i, word);
+  }
+}
+
+bool ForwardMappedPageTable::RemoveSuperpage(Vpn base_vpn, PageSize size) {
+  if (opts_.intermediate_superpages) {
+    for (unsigned level = 2; level <= kNumLevels; ++level) {
+      if (ShiftOfLevel(level) == size.size_log2) {
+        auto it = inner_[level].find(PrefixAt(base_vpn, level));
+        if (it == inner_[level].end()) {
+          return false;
+        }
+        const bool erased = it->second.super_slots.erase(IndexAt(base_vpn, level)) > 0;
+        if (erased) {
+          live_translations_ -= size.pages();
+          MaybeFreeInner(base_vpn, level);
+        }
+        return erased;
+      }
+    }
+  }
+  bool any = false;
+  for (unsigned i = 0; i < size.pages(); ++i) {
+    any |= ClearSlot(base_vpn + i) != MappingWord::Invalid();
+  }
+  return any;
+}
+
+void ForwardMappedPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
+                                                   Ppn block_base_ppn, Attr attr,
+                                                   std::uint16_t valid_vector) {
+  assert(subblock_factor == (1u << kPsbPagesLog2));
+  assert(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
+  const MappingWord word = MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector);
+  for (unsigned i = 0; i < subblock_factor; ++i) {
+    SetSlot(block_base_vpn + i, word);
+  }
+}
+
+bool ForwardMappedPageTable::RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) {
+  bool any = false;
+  for (unsigned i = 0; i < subblock_factor; ++i) {
+    any |= ClearSlot(block_base_vpn + i) != MappingWord::Invalid();
+  }
+  return any;
+}
+
+std::uint64_t ForwardMappedPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages,
+                                                   Attr attr) {
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    Leaf* leaf = FindLeaf(first_vpn + i);
+    if (leaf == nullptr) {
+      continue;
+    }
+    MappingWord& slot = leaf->slots[IndexAt(first_vpn + i, 1)];
+    if (slot != MappingWord::Invalid()) {
+      slot = slot.with_attr(attr);
+    }
+  }
+  return npages;
+}
+
+std::array<std::uint64_t, ForwardMappedPageTable::kNumLevels>
+ForwardMappedPageTable::ActiveNodesPerLevel() const {
+  std::array<std::uint64_t, kNumLevels> counts{};
+  counts[0] = leaves_.size();
+  for (unsigned level = 2; level <= kNumLevels; ++level) {
+    counts[level - 1] = inner_[level].size();
+  }
+  return counts;
+}
+
+std::uint64_t ForwardMappedPageTable::SizeBytesPaperModel() const {
+  std::uint64_t bytes = leaves_.size() * NodeBytesOfLevel(1);
+  for (unsigned level = 2; level <= kNumLevels; ++level) {
+    bytes += inner_[level].size() * NodeBytesOfLevel(level);
+  }
+  return bytes;
+}
+
+std::uint64_t ForwardMappedPageTable::SizeBytesActual() const { return alloc_.bytes_live(); }
+
+std::uint64_t ForwardMappedPageTable::live_translations() const { return live_translations_; }
+
+}  // namespace cpt::pt

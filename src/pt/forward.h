@@ -1,0 +1,127 @@
+// Forward-mapped page table — Figure 3 of the paper.
+//
+// A top-down n-ary tree: intermediate nodes hold page-table pointers (PTPs),
+// leaves hold PTEs, and each level is indexed by a fixed VPN field.
+// Extending to 64-bit addresses requires seven levels; the paper deems the
+// resulting seven memory accesses per TLB miss impractical — this
+// implementation exists as the paper's baseline and reproduces that cost.
+//
+// Level split (52 VPN bits): a 4-bit root and six 8-bit levels, leaf nodes
+// holding 256 PTEs.  The paper does not pin the split; Table 2's formulae
+// are parameterized by n_i and this choice satisfies sum(bits) = 52 with
+// nlevels = 7.
+//
+// Superpage / partial-subblock PTEs use Replicate-PTEs at the leaf sites.
+// As an extension (Section 4.2 "Forward-Mapped Intermediate Nodes"),
+// superpages whose size exactly matches a subtree's coverage can instead be
+// stored in the parent's PTP slot, short-circuiting the walk.
+#ifndef CPT_PT_FORWARD_H_
+#define CPT_PT_FORWARD_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/sim_alloc.h"
+#include "pt/page_table.h"
+
+namespace cpt::pt {
+
+class ForwardMappedPageTable final : public PageTable {
+ public:
+  static constexpr unsigned kNumLevels = 7;
+  // Bits consumed per level, leaf (level 1) first.
+  static constexpr std::array<unsigned, kNumLevels> kLevelBits = {8, 8, 8, 8, 8, 8, 4};
+  static constexpr unsigned kLeafEntries = 1u << kLevelBits[0];
+
+  struct Options {
+    // Store block-sized (and larger, level-aligned) superpages in
+    // intermediate PTP slots instead of replicating at leaf sites.  Only
+    // sizes equal to a full subtree's coverage qualify (e.g. 2^8 pages =
+    // 1MB); other sizes still replicate.
+    bool intermediate_superpages = false;
+    mem::NodePlacement placement = mem::NodePlacement::kLineAligned;
+  };
+
+  ForwardMappedPageTable(mem::CacheTouchModel& cache, Options opts);
+  ~ForwardMappedPageTable() override;
+
+  std::optional<TlbFill> Lookup(VirtAddr va) override;
+  void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<TlbFill>& out) override;
+  void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
+  bool RemoveBase(Vpn vpn) override;
+  PtFeatures features() const override {
+    return {.superpages = true, .partial_subblock = true, .adjacent_block_fetch = true};
+  }
+  void InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) override;
+  bool RemoveSuperpage(Vpn base_vpn, PageSize size) override;
+  void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor, Ppn block_base_ppn,
+                             Attr attr, std::uint16_t valid_vector) override;
+  bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) override;
+  std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
+  std::uint64_t SizeBytesPaperModel() const override;
+  std::uint64_t SizeBytesActual() const override;
+  std::uint64_t live_translations() const override;
+  std::string name() const override { return "forward-mapped"; }
+
+  // Active node counts per level (leaf first), for the size formulae.
+  std::array<std::uint64_t, kNumLevels> ActiveNodesPerLevel() const;
+
+ private:
+  struct Leaf {
+    PhysAddr addr = 0;
+    std::array<MappingWord, kLeafEntries> slots{};
+    unsigned live = 0;
+  };
+
+  struct Inner {
+    PhysAddr addr = 0;
+    std::uint32_t children = 0;
+    // Intermediate-superpage words keyed by slot index (extension).
+    std::unordered_map<unsigned, MappingWord> super_slots;
+  };
+
+  static constexpr unsigned ShiftOfLevel(unsigned level) {
+    unsigned shift = 0;
+    for (unsigned l = 1; l < level; ++l) {
+      shift += kLevelBits[l - 1];
+    }
+    return shift;
+  }
+  static constexpr unsigned IndexAt(Vpn vpn, unsigned level) {
+    return static_cast<unsigned>((vpn >> ShiftOfLevel(level)) & ((1u << kLevelBits[level - 1]) - 1));
+  }
+  static constexpr std::uint64_t PrefixAt(Vpn vpn, unsigned level) {
+    return vpn >> (ShiftOfLevel(level) + kLevelBits[level - 1]);
+  }
+  static constexpr std::uint64_t NodeBytesOfLevel(unsigned level) {
+    return (std::uint64_t{1} << kLevelBits[level - 1]) * 8;
+  }
+
+  Leaf& LeafFor(Vpn vpn);
+  Leaf* FindLeaf(Vpn vpn);
+  void SetSlot(Vpn vpn, MappingWord word);
+  MappingWord ClearSlot(Vpn vpn);
+  void AddPath(Vpn vpn);
+  void RemovePath(Vpn vpn);
+  // Ensures the node at `level` (and its ancestors) exists, then stores an
+  // intermediate superpage word in its PTP slot.
+  void AddIntermediateSuper(Vpn vpn, unsigned level, MappingWord word);
+  // Frees the node at `level` if it has no children and no super slots,
+  // cascading upward.
+  void MaybeFreeInner(Vpn vpn, unsigned level);
+  TlbFill FillFromWord(Vpn vpn, MappingWord word) const;
+
+  Options opts_;
+  mem::SimAllocator alloc_;
+  std::unordered_map<std::uint64_t, Leaf> leaves_;
+  // Levels 2..7: prefix -> Inner (level 7's only prefix is 0).
+  std::array<std::unordered_map<std::uint64_t, Inner>, kNumLevels + 1> inner_;
+  std::uint64_t live_translations_ = 0;
+};
+
+}  // namespace cpt::pt
+
+#endif  // CPT_PT_FORWARD_H_

@@ -1,0 +1,233 @@
+#include "pt/hashed.h"
+
+#include <bit>
+#include <cassert>
+
+#include "common/stats.h"
+
+namespace cpt::pt {
+
+namespace {
+
+// How many base-page translations one mapping word provides.
+std::uint64_t TranslationsOf(const MappingWord& w, unsigned psb_factor_log2) {
+  switch (w.kind()) {
+    case MappingKind::kBase:
+      return w.valid() ? 1 : 0;
+    case MappingKind::kSuperpage:
+      return w.valid() ? w.page_size().pages() : 0;
+    case MappingKind::kPartialSubblock: {
+      const unsigned factor = 1u << psb_factor_log2;
+      const std::uint16_t mask =
+          factor >= 16 ? std::uint16_t{0xFFFF} : static_cast<std::uint16_t>((1u << factor) - 1);
+      return std::popcount(static_cast<unsigned>(w.valid_vector() & mask));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+HashedPageTable::HashedPageTable(mem::CacheTouchModel& cache, Options opts)
+    : PageTable(cache),
+      opts_(opts),
+      hasher_(opts.num_buckets, opts.hash_kind),
+      alloc_(cache.line_size(), opts.placement),
+      buckets_(opts.num_buckets, kNil) {
+  assert(IsPowerOfTwo(opts.num_buckets));
+  bucket_stride_ = opts_.inverted ? 8 : std::bit_ceil(NodeBytes());
+  bucket_base_ = alloc_.Allocate(std::uint64_t{opts_.num_buckets} * bucket_stride_);
+}
+
+HashedPageTable::~HashedPageTable() = default;
+
+std::int32_t HashedPageTable::AllocNode() {
+  if (!free_nodes_.empty()) {
+    const std::int32_t idx = free_nodes_.back();
+    free_nodes_.pop_back();
+    return idx;
+  }
+  arena_.push_back(Node{});
+  return static_cast<std::int32_t>(arena_.size() - 1);
+}
+
+void HashedPageTable::FreeNode(std::int32_t idx) {
+  alloc_.Free(arena_[idx].addr, NodeBytes());
+  arena_[idx] = Node{};
+  free_nodes_.push_back(idx);
+}
+
+TlbFill HashedPageTable::FillFrom(const Node& n, Vpn /*faulting_vpn*/) const {
+  TlbFill fill;
+  fill.kind = n.word.kind();
+  fill.word = n.word;
+  fill.base_vpn = n.base_vpn;
+  switch (n.word.kind()) {
+    case MappingKind::kBase:
+      fill.pages_log2 = 0;
+      break;
+    case MappingKind::kSuperpage:
+      fill.pages_log2 = n.word.page_size().size_log2;
+      break;
+    case MappingKind::kPartialSubblock:
+      fill.pages_log2 = opts_.tag_shift;
+      break;
+  }
+  return fill;
+}
+
+std::optional<TlbFill> HashedPageTable::LookupKey(std::uint64_t key, Vpn faulting_vpn) {
+  const std::uint32_t b = hasher_(key);
+  // Embedded organization (Figure 4): the bucket head is itself a node, so
+  // reading it costs one line even for an empty bucket.  Inverted
+  // organization: the bucket holds a pointer; every node sits elsewhere.
+  bool head = true;
+  cache_.Touch(BucketAddr(b), opts_.inverted ? 8 : TagNextBytes());
+  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    const Node& n = arena_[idx];
+    const PhysAddr addr = (head && !opts_.inverted) ? BucketAddr(b) : n.addr;
+    // The handler reads the tag and next pointer of every node it visits.
+    cache_.Touch(addr, TagNextBytes());
+    if (n.key == key) {
+      // Read the mapping word of the matching node.
+      cache_.Touch(addr + TagNextBytes(), 8);
+      TlbFill fill = FillFrom(n, faulting_vpn);
+      if (fill.Covers(faulting_vpn)) {
+        return fill;
+      }
+      // Tag matched but this word does not map the faulting page (invalid
+      // subblock bit, or a smaller co-resident superpage): keep searching,
+      // as Section 5 requires.
+    }
+    head = false;
+  }
+  return std::nullopt;
+}
+
+std::optional<TlbFill> HashedPageTable::Lookup(VirtAddr va) {
+  const Vpn vpn = VpnOf(va);
+  return LookupKey(vpn >> opts_.tag_shift, vpn);
+}
+
+void HashedPageTable::UpsertWord(Vpn base_vpn, MappingWord word) {
+  const std::uint64_t key = base_vpn >> opts_.tag_shift;
+  const std::uint32_t b = hasher_(key);
+  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    Node& n = arena_[idx];
+    if (n.key == key && n.base_vpn == base_vpn && n.word.kind() == word.kind() &&
+        (word.kind() != MappingKind::kSuperpage ||
+         n.word.page_size() == word.page_size())) {
+      live_translations_ -= TranslationsOf(n.word, opts_.tag_shift);
+      n.word = word;
+      live_translations_ += TranslationsOf(word, opts_.tag_shift);
+      return;
+    }
+  }
+  const std::int32_t idx = AllocNode();
+  Node& n = arena_[idx];
+  n.key = key;
+  n.base_vpn = base_vpn;
+  n.word = word;
+  n.next = buckets_[b];
+  n.addr = alloc_.Allocate(NodeBytes());
+  buckets_[b] = idx;
+  ++live_nodes_;
+  live_translations_ += TranslationsOf(word, opts_.tag_shift);
+}
+
+bool HashedPageTable::RemoveKey(std::uint64_t key) {
+  const std::uint32_t b = hasher_(key);
+  std::int32_t* link = &buckets_[b];
+  bool removed = false;
+  while (*link != kNil) {
+    const std::int32_t idx = *link;
+    Node& n = arena_[idx];
+    if (n.key == key) {
+      live_translations_ -= TranslationsOf(n.word, opts_.tag_shift);
+      *link = n.next;
+      FreeNode(idx);
+      --live_nodes_;
+      removed = true;
+      continue;  // Remove every node with this key (mixed-size blocks).
+    }
+    link = &n.next;
+  }
+  return removed;
+}
+
+void HashedPageTable::InsertBase(Vpn vpn, Ppn ppn, Attr attr) {
+  assert(opts_.tag_shift == 0 && "base PTEs belong in a base-keyed table");
+  UpsertWord(vpn, MappingWord::Base(ppn, attr));
+}
+
+bool HashedPageTable::RemoveBase(Vpn vpn) {
+  assert(opts_.tag_shift == 0);
+  return RemoveKey(vpn);
+}
+
+std::optional<MappingWord> HashedPageTable::Peek(std::uint64_t key) const {
+  const std::uint32_t b = hasher_(key);
+  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    if (arena_[idx].key == key) {
+      return arena_[idx].word;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t HashedPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
+  // A base-keyed hashed table must search once per base page (Section 3.1):
+  // neighboring pages live in unrelated buckets.  A block-keyed table
+  // searches once per key.
+  if (npages == 0) {
+    return 0;
+  }
+  std::uint64_t searches = 0;
+  const std::uint64_t first_key = first_vpn >> opts_.tag_shift;
+  const std::uint64_t last_key = (first_vpn + npages - 1) >> opts_.tag_shift;
+  for (std::uint64_t key = first_key; key <= last_key; ++key) {
+    ++searches;
+    const std::uint32_t b = hasher_(key);
+    for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+      Node& n = arena_[idx];
+      if (n.key == key) {
+        n.word = n.word.with_attr(attr);
+      }
+    }
+  }
+  return searches;
+}
+
+std::uint64_t HashedPageTable::SizeBytesPaperModel() const { return live_nodes_ * NodeBytes(); }
+
+std::uint64_t HashedPageTable::SizeBytesActual() const {
+  // bytes_live already includes the embedded-head bucket array.
+  return alloc_.bytes_live();
+}
+
+std::uint64_t HashedPageTable::live_translations() const { return live_translations_; }
+
+std::string HashedPageTable::name() const {
+  std::string n = opts_.packed_pte ? "hashed-packed" : "hashed";
+  if (opts_.inverted) {
+    n += "-inverted";
+  }
+  if (opts_.tag_shift != 0) {
+    n += "-block";
+  }
+  return n;
+}
+
+Histogram HashedPageTable::ChainLengthHistogram() const {
+  Histogram h;
+  for (const std::int32_t head : buckets_) {
+    std::size_t len = 0;
+    for (std::int32_t idx = head; idx != kNil; idx = arena_[idx].next) {
+      ++len;
+    }
+    h.Add(len);
+  }
+  return h;
+}
+
+}  // namespace cpt::pt

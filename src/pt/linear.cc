@@ -1,0 +1,269 @@
+#include "pt/linear.h"
+
+#include <cassert>
+
+namespace cpt::pt {
+
+namespace {
+// Replicated PSB words cover one page block; the factor is fixed by the
+// 16-bit valid vector format.
+constexpr unsigned kPsbPagesLog2 = 4;
+}  // namespace
+
+LinearPageTable::LinearPageTable(mem::CacheTouchModel& cache, Options opts)
+    : PageTable(cache), opts_(opts), alloc_(cache.line_size(), opts.placement) {}
+
+LinearPageTable::~LinearPageTable() = default;
+
+TlbFill LinearPageTable::FillFromWord(Vpn vpn, MappingWord word) const {
+  TlbFill fill;
+  fill.kind = word.kind();
+  fill.word = word;
+  switch (word.kind()) {
+    case MappingKind::kBase:
+      fill.base_vpn = vpn;
+      fill.pages_log2 = 0;
+      break;
+    case MappingKind::kSuperpage:
+      fill.pages_log2 = word.page_size().size_log2;
+      fill.base_vpn = vpn & ~(Vpn{word.page_size().pages()} - 1);
+      break;
+    case MappingKind::kPartialSubblock:
+      fill.pages_log2 = kPsbPagesLog2;
+      fill.base_vpn = vpn & ~((Vpn{1} << kPsbPagesLog2) - 1);
+      break;
+  }
+  return fill;
+}
+
+LinearPageTable::Leaf& LinearPageTable::LeafFor(Vpn vpn) {
+  const std::uint64_t leaf_index = vpn >> kBitsPerLevel;
+  auto [it, inserted] = leaves_.try_emplace(leaf_index);
+  if (inserted) {
+    it->second.addr = alloc_.Allocate(kBasePageSize);
+    AddUpperLevels(leaf_index);
+  }
+  return it->second;
+}
+
+LinearPageTable::Leaf* LinearPageTable::FindLeaf(Vpn vpn) {
+  auto it = leaves_.find(vpn >> kBitsPerLevel);
+  return it == leaves_.end() ? nullptr : &it->second;
+}
+
+void LinearPageTable::AddUpperLevels(std::uint64_t leaf_index) {
+  std::uint64_t child_key = leaf_index;
+  for (unsigned level = 2; level <= kNumLevels; ++level) {
+    const std::uint64_t key = child_key >> kBitsPerLevel;
+    if (upper_[level][key]++ != 0) {
+      break;  // This subtree already existed; ancestors are already counted.
+    }
+    child_key = key;
+  }
+}
+
+void LinearPageTable::RemoveUpperLevels(std::uint64_t leaf_index) {
+  std::uint64_t child_key = leaf_index;
+  for (unsigned level = 2; level <= kNumLevels; ++level) {
+    const std::uint64_t key = child_key >> kBitsPerLevel;
+    auto it = upper_[level].find(key);
+    assert(it != upper_[level].end() && it->second > 0);
+    if (--it->second != 0) {
+      break;
+    }
+    upper_[level].erase(it);
+    child_key = key;
+  }
+}
+
+void LinearPageTable::SetSlot(Vpn vpn, MappingWord word) {
+  Leaf& leaf = LeafFor(vpn);
+  MappingWord& slot = leaf.slots[vpn % kPtesPerPage];
+  const bool was_occupied = slot != MappingWord::Invalid();
+  const bool was_translating = was_occupied && FillFromWord(vpn, slot).Covers(vpn);
+  const bool now_occupied = word != MappingWord::Invalid();
+  const bool now_translating = now_occupied && FillFromWord(vpn, word).Covers(vpn);
+  leaf.live += static_cast<unsigned>(now_occupied) - static_cast<unsigned>(was_occupied);
+  live_translations_ +=
+      static_cast<std::uint64_t>(now_translating) - static_cast<std::uint64_t>(was_translating);
+  slot = word;
+}
+
+MappingWord LinearPageTable::ClearSlot(Vpn vpn) {
+  Leaf* leaf = FindLeaf(vpn);
+  if (leaf == nullptr) {
+    return MappingWord::Invalid();
+  }
+  MappingWord& slot = leaf->slots[vpn % kPtesPerPage];
+  const MappingWord old = slot;
+  if (old != MappingWord::Invalid()) {
+    if (FillFromWord(vpn, old).Covers(vpn)) {
+      --live_translations_;
+    }
+    slot = MappingWord::Invalid();
+    if (--leaf->live == 0) {
+      const std::uint64_t leaf_index = vpn >> kBitsPerLevel;
+      alloc_.Free(leaf->addr, kBasePageSize);
+      leaves_.erase(leaf_index);
+      RemoveUpperLevels(leaf_index);
+    }
+  }
+  return old;
+}
+
+std::optional<TlbFill> LinearPageTable::Lookup(VirtAddr va) {
+  const Vpn vpn = VpnOf(va);
+  Leaf* leaf = FindLeaf(vpn);
+  if (leaf == nullptr) {
+    return std::nullopt;  // The PTE page itself is unmapped: page fault.
+  }
+  const unsigned slot = static_cast<unsigned>(vpn % kPtesPerPage);
+  // One access to the (virtually addressed) PTE — always a single line.
+  cache_.Touch(leaf->addr + slot * 8, 8);
+  const MappingWord word = leaf->slots[slot];
+  if (word == MappingWord::Invalid()) {
+    return std::nullopt;
+  }
+  TlbFill fill = FillFromWord(vpn, word);
+  if (!fill.Covers(vpn)) {
+    return std::nullopt;  // e.g. PSB replica whose valid bit for vpn is clear.
+  }
+  return fill;
+}
+
+void LinearPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
+                                  std::vector<TlbFill>& out) {
+  // Mappings for the whole page block are adjacent PTE slots: one read of
+  // subblock_factor*8 bytes.  Page blocks never straddle leaf pages because
+  // 512 is a multiple of the subblock factor.
+  const Vpn vpn = VpnOf(va);
+  const Vpn first = FirstVpnOfBlock(VpbnOf(vpn, subblock_factor), subblock_factor);
+  Leaf* leaf = FindLeaf(first);
+  if (leaf == nullptr) {
+    return;
+  }
+  const unsigned slot0 = static_cast<unsigned>(first % kPtesPerPage);
+  cache_.Touch(leaf->addr + slot0 * 8, std::uint64_t{subblock_factor} * 8);
+  for (unsigned i = 0; i < subblock_factor; ++i) {
+    const MappingWord word = leaf->slots[slot0 + i];
+    if (word == MappingWord::Invalid()) {
+      continue;
+    }
+    TlbFill fill = FillFromWord(first + i, word);
+    if (fill.Covers(first + i)) {
+      out.push_back(fill);
+    }
+  }
+}
+
+void LinearPageTable::InsertBase(Vpn vpn, Ppn ppn, Attr attr) {
+  SetSlot(vpn, MappingWord::Base(ppn, attr));
+}
+
+bool LinearPageTable::RemoveBase(Vpn vpn) { return ClearSlot(vpn) != MappingWord::Invalid(); }
+
+void LinearPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
+  // Replicate-PTEs (Section 4.2): the superpage PTE is stored at the page
+  // table site of every base page it covers.
+  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
+  for (unsigned i = 0; i < size.pages(); ++i) {
+    SetSlot(base_vpn + i, word);
+  }
+}
+
+bool LinearPageTable::RemoveSuperpage(Vpn base_vpn, PageSize size) {
+  bool any = false;
+  for (unsigned i = 0; i < size.pages(); ++i) {
+    any |= ClearSlot(base_vpn + i) != MappingWord::Invalid();
+  }
+  return any;
+}
+
+void LinearPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
+                                            Ppn block_base_ppn, Attr attr,
+                                            std::uint16_t valid_vector) {
+  // Replicated at every base site; updating the vector rewrites all replicas
+  // (the §4.3 multi-PTE update cost of replication).
+  assert(subblock_factor == (1u << kPsbPagesLog2));
+  assert(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
+  const MappingWord word = MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector);
+  for (unsigned i = 0; i < subblock_factor; ++i) {
+    SetSlot(block_base_vpn + i, word);
+  }
+}
+
+bool LinearPageTable::RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) {
+  bool any = false;
+  for (unsigned i = 0; i < subblock_factor; ++i) {
+    any |= ClearSlot(block_base_vpn + i) != MappingWord::Invalid();
+  }
+  return any;
+}
+
+std::uint64_t LinearPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
+  // Direct array indexing: one slot visit per page.
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    Leaf* leaf = FindLeaf(first_vpn + i);
+    if (leaf == nullptr) {
+      continue;
+    }
+    MappingWord& slot = leaf->slots[(first_vpn + i) % kPtesPerPage];
+    if (slot != MappingWord::Invalid()) {
+      slot = slot.with_attr(attr);
+    }
+  }
+  return npages;
+}
+
+std::array<std::uint64_t, LinearPageTable::kNumLevels> LinearPageTable::ActiveNodesPerLevel()
+    const {
+  std::array<std::uint64_t, kNumLevels> counts{};
+  counts[0] = leaves_.size();
+  for (unsigned level = 2; level <= kNumLevels; ++level) {
+    counts[level - 1] = upper_[level].size();
+  }
+  return counts;
+}
+
+std::uint64_t LinearPageTable::SizeBytesPaperModel() const {
+  std::uint64_t pages = leaves_.size();
+  if (opts_.size_model == SizeModel::kSixLevel) {
+    for (unsigned level = 2; level <= kNumLevels; ++level) {
+      pages += upper_[level].size();
+    }
+  }
+  std::uint64_t bytes = pages * kBasePageSize;
+  if (opts_.size_model == SizeModel::kHashedUpper) {
+    // A hashed table (24-byte PTEs) stores the translations to the
+    // first-level linear page table: (4KB + 24) * Nactive(512).
+    bytes += leaves_.size() * 24;
+  }
+  return bytes;
+}
+
+std::uint64_t LinearPageTable::SizeBytesActual() const {
+  std::uint64_t bytes = alloc_.bytes_live();
+  if (opts_.size_model == SizeModel::kSixLevel) {
+    for (unsigned level = 2; level <= kNumLevels; ++level) {
+      bytes += upper_[level].size() * kBasePageSize;
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t LinearPageTable::live_translations() const { return live_translations_; }
+
+std::string LinearPageTable::name() const {
+  switch (opts_.size_model) {
+    case SizeModel::kSixLevel:
+      return "linear-6level";
+    case SizeModel::kOneLevel:
+      return "linear-1level";
+    case SizeModel::kHashedUpper:
+      return "linear-hashed";
+  }
+  return "linear";
+}
+
+}  // namespace cpt::pt

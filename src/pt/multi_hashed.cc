@@ -1,0 +1,297 @@
+#include "pt/multi_hashed.h"
+
+#include <bit>
+#include <cassert>
+
+namespace cpt::pt {
+
+// ---------------------------------------------------------------------------
+// MultiTableHashed
+// ---------------------------------------------------------------------------
+
+namespace {
+
+HashedPageTable::Options BaseTableOptions(const MultiTableHashed::Options& o) {
+  return HashedPageTable::Options{
+      .num_buckets = o.num_buckets,
+      .tag_shift = 0,
+      .packed_pte = o.packed_pte,
+      .hash_kind = o.hash_kind,
+      .placement = o.placement,
+  };
+}
+
+HashedPageTable::Options BlockTableOptions(const MultiTableHashed::Options& o) {
+  return HashedPageTable::Options{
+      .num_buckets = o.num_buckets,
+      .tag_shift = Log2(o.subblock_factor),
+      .packed_pte = o.packed_pte,
+      .hash_kind = o.hash_kind,
+      .placement = o.placement,
+  };
+}
+
+}  // namespace
+
+MultiTableHashed::MultiTableHashed(mem::CacheTouchModel& cache, Options opts)
+    : PageTable(cache),
+      opts_(opts),
+      block_shift_(Log2(opts.subblock_factor)),
+      base_(cache, BaseTableOptions(opts)),
+      block_(cache, BlockTableOptions(opts)) {
+  assert(IsPowerOfTwo(opts.subblock_factor));
+}
+
+std::optional<TlbFill> MultiTableHashed::Lookup(VirtAddr va) {
+  const Vpn vpn = VpnOf(va);
+  HashedPageTable* first = &base_;
+  HashedPageTable* second = &block_;
+  std::uint64_t first_key = vpn;
+  std::uint64_t second_key = vpn >> block_shift_;
+  if (opts_.order == SearchOrder::kBlockFirst) {
+    std::swap(first, second);
+    std::swap(first_key, second_key);
+  }
+  if (auto fill = first->LookupKey(first_key, vpn)) {
+    return fill;
+  }
+  // The first search failed; the TLB miss handler must now search the other
+  // page table — this second full search is the cost Section 6.3 highlights.
+  return second->LookupKey(second_key, vpn);
+}
+
+void MultiTableHashed::InsertBase(Vpn vpn, Ppn ppn, Attr attr) { base_.InsertBase(vpn, ppn, attr); }
+
+bool MultiTableHashed::RemoveBase(Vpn vpn) { return base_.RemoveBase(vpn); }
+
+void MultiTableHashed::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
+  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  block_.UpsertWord(base_vpn, MappingWord::Superpage(base_ppn, attr, size));
+}
+
+bool MultiTableHashed::RemoveSuperpage(Vpn base_vpn, PageSize /*size*/) {
+  return block_.RemoveKey(base_vpn >> block_shift_);
+}
+
+void MultiTableHashed::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
+                                             Ppn block_base_ppn, Attr attr,
+                                             std::uint16_t valid_vector) {
+  assert(subblock_factor == opts_.subblock_factor);
+  assert(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
+  block_.UpsertWord(block_base_vpn,
+                    MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector));
+}
+
+bool MultiTableHashed::RemovePartialSubblock(Vpn block_base_vpn, unsigned /*subblock_factor*/) {
+  return block_.RemoveKey(block_base_vpn >> block_shift_);
+}
+
+std::uint64_t MultiTableHashed::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
+  return base_.ProtectRange(first_vpn, npages, attr) +
+         block_.ProtectRange(first_vpn, npages, attr);
+}
+
+std::uint64_t MultiTableHashed::SizeBytesPaperModel() const {
+  return base_.SizeBytesPaperModel() + block_.SizeBytesPaperModel();
+}
+
+std::uint64_t MultiTableHashed::SizeBytesActual() const {
+  return base_.SizeBytesActual() + block_.SizeBytesActual();
+}
+
+std::uint64_t MultiTableHashed::live_translations() const {
+  return base_.live_translations() + block_.live_translations();
+}
+
+std::string MultiTableHashed::name() const {
+  return opts_.order == SearchOrder::kBaseFirst ? "hashed-multi" : "hashed-multi-blockfirst";
+}
+
+// ---------------------------------------------------------------------------
+// SuperpageIndexHashed
+// ---------------------------------------------------------------------------
+
+SuperpageIndexHashed::SuperpageIndexHashed(mem::CacheTouchModel& cache, Options opts)
+    : PageTable(cache),
+      opts_(opts),
+      block_shift_(Log2(opts.subblock_factor)),
+      hasher_(opts.num_buckets, opts.hash_kind),
+      alloc_(cache.line_size(), opts.placement),
+      buckets_(opts.num_buckets, kNil) {
+  assert(IsPowerOfTwo(opts.num_buckets) && IsPowerOfTwo(opts.subblock_factor));
+  bucket_base_ = alloc_.Allocate(std::uint64_t{opts_.num_buckets} * 32);
+}
+
+TlbFill SuperpageIndexHashed::FillFrom(const Node& n) const {
+  return TlbFill{.kind = n.word.kind(),
+                 .base_vpn = n.base_vpn,
+                 .pages_log2 = n.pages_log2,
+                 .word = n.word};
+}
+
+std::uint64_t SuperpageIndexHashed::TranslationCount(const Node& n) const {
+  switch (n.word.kind()) {
+    case MappingKind::kBase:
+      return n.word.valid() ? 1 : 0;
+    case MappingKind::kSuperpage:
+      return n.word.valid() ? (std::uint64_t{1} << n.pages_log2) : 0;
+    case MappingKind::kPartialSubblock:
+      return std::popcount(static_cast<unsigned>(n.word.valid_vector()));
+  }
+  return 0;
+}
+
+std::optional<TlbFill> SuperpageIndexHashed::Lookup(VirtAddr va) {
+  const Vpn vpn = VpnOf(va);
+  const std::uint32_t b = hasher_(vpn >> block_shift_);
+  cache_.Touch(BucketAddr(b), 16);
+  bool head = true;
+  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    const Node& n = arena_[idx];
+    const PhysAddr addr = head ? BucketAddr(b) : n.addr;
+    head = false;
+    cache_.Touch(addr, 16);
+    // Tag comparison checks whether this node's covered range contains the
+    // faulting page; superpage and base PTEs for one block share the bucket.
+    if ((vpn >> n.pages_log2) == (n.base_vpn >> n.pages_log2)) {
+      cache_.Touch(addr + 16, 8);
+      TlbFill fill = FillFrom(n);
+      if (fill.Covers(vpn)) {
+        return fill;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::int32_t* SuperpageIndexHashed::FindLink(Vpn base_vpn, unsigned pages_log2, MappingKind kind) {
+  const std::uint32_t b = hasher_(base_vpn >> block_shift_);
+  std::int32_t* link = &buckets_[b];
+  while (*link != kNil) {
+    Node& n = arena_[*link];
+    if (n.base_vpn == base_vpn && n.pages_log2 == pages_log2 && n.word.kind() == kind) {
+      return link;
+    }
+    link = &n.next;
+  }
+  return nullptr;
+}
+
+void SuperpageIndexHashed::Upsert(Vpn base_vpn, unsigned pages_log2, MappingWord word) {
+  if (std::int32_t* link = FindLink(base_vpn, pages_log2, word.kind())) {
+    Node& n = arena_[*link];
+    live_translations_ -= TranslationCount(n);
+    n.word = word;
+    live_translations_ += TranslationCount(n);
+    return;
+  }
+  std::int32_t idx;
+  if (!free_nodes_.empty()) {
+    idx = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    arena_.push_back(Node{});
+    idx = static_cast<std::int32_t>(arena_.size() - 1);
+  }
+  const std::uint32_t b = hasher_(base_vpn >> block_shift_);
+  Node& n = arena_[idx];
+  n.base_vpn = base_vpn;
+  n.pages_log2 = pages_log2;
+  n.word = word;
+  n.next = buckets_[b];
+  n.addr = alloc_.Allocate(24);
+  buckets_[b] = idx;
+  ++live_nodes_;
+  live_translations_ += TranslationCount(n);
+}
+
+bool SuperpageIndexHashed::Remove(Vpn base_vpn, unsigned pages_log2, MappingKind kind) {
+  std::int32_t* link = FindLink(base_vpn, pages_log2, kind);
+  if (link == nullptr) {
+    return false;
+  }
+  const std::int32_t idx = *link;
+  Node& n = arena_[idx];
+  live_translations_ -= TranslationCount(n);
+  *link = n.next;
+  alloc_.Free(n.addr, 24);
+  n = Node{};
+  free_nodes_.push_back(idx);
+  --live_nodes_;
+  return true;
+}
+
+void SuperpageIndexHashed::InsertBase(Vpn vpn, Ppn ppn, Attr attr) {
+  Upsert(vpn, 0, MappingWord::Base(ppn, attr));
+}
+
+bool SuperpageIndexHashed::RemoveBase(Vpn vpn) { return Remove(vpn, 0, MappingKind::kBase); }
+
+void SuperpageIndexHashed::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
+  // Superpages larger than the hash-index size "must be handled another way"
+  // (Section 4.2); this implementation restricts them to the index size.
+  assert(size.pages() <= opts_.subblock_factor);
+  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  Upsert(base_vpn, size.size_log2, MappingWord::Superpage(base_ppn, attr, size));
+}
+
+bool SuperpageIndexHashed::RemoveSuperpage(Vpn base_vpn, PageSize size) {
+  return Remove(base_vpn, size.size_log2, MappingKind::kSuperpage);
+}
+
+void SuperpageIndexHashed::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
+                                                 Ppn block_base_ppn, Attr attr,
+                                                 std::uint16_t valid_vector) {
+  assert(subblock_factor == opts_.subblock_factor);
+  Upsert(block_base_vpn, block_shift_,
+         MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector));
+}
+
+bool SuperpageIndexHashed::RemovePartialSubblock(Vpn block_base_vpn, unsigned /*subblock_factor*/) {
+  return Remove(block_base_vpn, block_shift_, MappingKind::kPartialSubblock);
+}
+
+std::uint64_t SuperpageIndexHashed::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
+  if (npages == 0) {
+    return 0;
+  }
+  // One bucket search per page block; every node overlapping the range gets
+  // its attributes rewritten.
+  std::uint64_t searches = 0;
+  const Vpn last_vpn = first_vpn + npages - 1;
+  for (std::uint64_t key = first_vpn >> block_shift_; key <= (last_vpn >> block_shift_); ++key) {
+    ++searches;
+    const std::uint32_t b = hasher_(key);
+    for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+      Node& n = arena_[idx];
+      if ((n.base_vpn >> block_shift_) == key && n.base_vpn >= first_vpn &&
+          n.base_vpn <= last_vpn) {
+        n.word = n.word.with_attr(attr);
+      }
+    }
+  }
+  return searches;
+}
+
+std::uint64_t SuperpageIndexHashed::SizeBytesPaperModel() const { return live_nodes_ * 24; }
+
+std::uint64_t SuperpageIndexHashed::SizeBytesActual() const {
+  // bytes_live already includes the embedded-head bucket array.
+  return alloc_.bytes_live();
+}
+
+std::uint64_t SuperpageIndexHashed::live_translations() const { return live_translations_; }
+
+Histogram SuperpageIndexHashed::ChainLengthHistogram() const {
+  Histogram h;
+  for (const std::int32_t head : buckets_) {
+    std::size_t len = 0;
+    for (std::int32_t idx = head; idx != kNil; idx = arena_[idx].next) {
+      ++len;
+    }
+    h.Add(len);
+  }
+  return h;
+}
+
+}  // namespace cpt::pt

@@ -1,0 +1,159 @@
+// Abstract page-table interface shared by all four organizations.
+//
+// The TLB-miss path (Lookup / LookupBlock) is cache-line accounted through a
+// mem::CacheTouchModel, reproducing the paper's "average number of cache
+// lines accessed per TLB miss" metric.  The OS update path (Insert*/Remove*/
+// ProtectRange) is not line-counted, but range operations report how many
+// structure probes they performed so Section 3.1's qualitative claims can be
+// measured (clustered tables search once per page block; hashed tables once
+// per base page).
+//
+// Superpage and partial-subblock (PSB) insertion strategies differ per
+// organization, per Sections 4 and 5:
+//   - linear / forward-mapped: replicate the PTE at every covered base site;
+//   - hashed:                  a second page table keyed by page block
+//                              (see MultiTableHashed);
+//   - clustered:               stored in place, discriminated by the S field.
+// Tables that cannot store a format return false from supports().
+#ifndef CPT_PT_PAGE_TABLE_H_
+#define CPT_PT_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/pte.h"
+#include "common/types.h"
+#include "mem/cache_model.h"
+
+namespace cpt::pt {
+
+// What a successful page-table walk loads into the TLB.
+struct TlbFill {
+  MappingKind kind = MappingKind::kBase;
+  Vpn base_vpn = 0;         // First VPN covered by this entry.
+  unsigned pages_log2 = 0;  // log2(base pages covered).
+  MappingWord word{};
+
+  unsigned pages() const { return 1u << pages_log2; }
+
+  bool Covers(Vpn vpn) const {
+    if ((vpn >> pages_log2) != (base_vpn >> pages_log2) || vpn < base_vpn) {
+      return false;
+    }
+    if (kind == MappingKind::kPartialSubblock) {
+      return word.subpage_valid(static_cast<unsigned>(vpn - base_vpn));
+    }
+    return word.valid();
+  }
+
+  // Physical page for a covered VPN.
+  Ppn Translate(Vpn vpn) const {
+    const unsigned off = static_cast<unsigned>(vpn - base_vpn);
+    switch (kind) {
+      case MappingKind::kBase:
+        return word.ppn();
+      case MappingKind::kSuperpage:
+        return word.ppn() + off;
+      case MappingKind::kPartialSubblock:
+        return word.subpage_ppn(off);
+    }
+    return word.ppn();
+  }
+};
+
+// Capability bits: which PTE formats a table can store natively or via its
+// designated strategy.
+struct PtFeatures {
+  bool superpages = false;
+  bool partial_subblock = false;
+  bool adjacent_block_fetch = false;  // Block prefetch reads adjacent memory.
+};
+
+class PageTable {
+ public:
+  explicit PageTable(mem::CacheTouchModel& cache) : cache_(cache) {}
+  virtual ~PageTable() = default;
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  // ---- TLB miss path (cache-line counted) ----
+
+  // Walks the table for `va`.  Returns nullopt on page fault.  The walk's
+  // cache-line touches are recorded in cache() between BeginWalk/EndWalk,
+  // which the caller (sim::Machine or WalkScope) brackets.
+  virtual std::optional<TlbFill> Lookup(VirtAddr va) = 0;
+
+  // Complete-subblock prefetch (Section 4.4): fetches mappings for every
+  // resident base page of va's page block of `subblock_factor` pages.
+  // The default implementation performs one full Lookup per base page, which
+  // is the multiple-probe cost the paper charges hashed tables; tables with
+  // adjacent PTE storage override it.
+  virtual void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<TlbFill>& out);
+
+  // ---- OS update path ----
+
+  virtual void InsertBase(Vpn vpn, Ppn ppn, Attr attr) = 0;
+  virtual bool RemoveBase(Vpn vpn) = 0;
+
+  virtual PtFeatures features() const { return {}; }
+
+  // Installs one superpage PTE covering [base_vpn, base_vpn + size.pages()).
+  // base_vpn and base_ppn must be size-aligned.  Precondition: supports
+  // superpages.
+  virtual void InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr);
+  virtual bool RemoveSuperpage(Vpn base_vpn, PageSize size);
+
+  // Installs or updates the partial-subblock PTE for the page block starting
+  // at block_base_vpn (block_base_ppn block-aligned, one valid bit per base
+  // page).  Precondition: supports partial-subblock PTEs.
+  virtual void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
+                                     Ppn block_base_ppn, Attr attr, std::uint16_t valid_vector);
+  virtual bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor);
+
+  // Rewrites attributes for [first_vpn, first_vpn + npages) where mapped.
+  // Returns the number of structure searches performed (Section 3.1 metric).
+  virtual std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) = 0;
+
+  // ORs `set_mask` into and clears `clear_mask` from the attribute bits of
+  // the word covering vpn.  This is the TLB miss handler's lock-free
+  // referenced/modified-bit update (Section 3.1) and the page daemon's
+  // clear; the word's line was just read by the walk, so it is uncounted.
+  // Returns false when no mapping covers vpn.  The default implementation
+  // re-walks (uncounted) and asks the table to rewrite the found word; it
+  // works for every organization because UpdateWordAttr dispatches on the
+  // fill the walk produced.
+  virtual bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask);
+
+  // Reads the attribute bits of the covering word without counting lines.
+  std::optional<Attr> PeekAttr(Vpn vpn);
+
+  // Clock-daemon sweep: counts pages in [first_vpn, first_vpn+npages) whose
+  // referenced bit is set, clearing it (Section 3.1's page-aging scan).
+  std::uint64_t ScanAndClearReferenced(Vpn first_vpn, std::uint64_t npages);
+
+  // ---- Metrics ----
+
+  // Page-table bytes under the paper's appendix accounting (payload bytes
+  // per PTE / per tree node; empty buckets free).
+  virtual std::uint64_t SizeBytesPaperModel() const = 0;
+
+  // Physically-allocated bytes, including bucket arrays and slack.
+  virtual std::uint64_t SizeBytesActual() const = 0;
+
+  // Number of base-page translations currently stored (superpage/PSB PTEs
+  // count each valid covered page).
+  virtual std::uint64_t live_translations() const = 0;
+
+  virtual std::string name() const = 0;
+
+  mem::CacheTouchModel& cache() { return cache_; }
+
+ protected:
+  mem::CacheTouchModel& cache_;
+};
+
+}  // namespace cpt::pt
+
+#endif  // CPT_PT_PAGE_TABLE_H_

@@ -1,0 +1,110 @@
+// Software TLB (Sections 2 and 7): a memory-resident, set-associative cache
+// of recently-used translations between the hardware TLB and the native page
+// table — the UltraSPARC TSB / PowerPC page-table style.
+//
+// Unlike a hashed page table, a software TLB pre-allocates a fixed array of
+// entries with no next pointers: a miss handler probe reads exactly one
+// entry (one cache line) and either hits or falls through to the backing
+// page table, refilling the slot on the way out.  Section 7 notes that a
+// software TLB reduces the frequency of page-table accesses, making the
+// backing table's flexibility (e.g. clustered range operations) the
+// deciding factor.
+//
+// Two entry formats:
+//   - base entries: one VPN tag + one mapping word (16 bytes);
+//   - clustered entries: one VPBN tag + `subblock_factor` mapping words —
+//     the clustered software TLB of [Tall95], which covers a whole page
+//     block per slot and so hits on spatially-local misses.
+//
+// Implemented as a PageTable decorator: Lookup() probes the array first;
+// updates write through to the backing table and invalidate affected slots.
+#ifndef CPT_PT_SOFTWARE_TLB_H_
+#define CPT_PT_SOFTWARE_TLB_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/hash.h"
+#include "mem/sim_alloc.h"
+#include "pt/page_table.h"
+
+namespace cpt::pt {
+
+class SoftwareTlb final : public PageTable {
+ public:
+  struct Options {
+    std::uint32_t num_sets = 2048;  // Power of two.
+    unsigned ways = 2;              // Associativity.
+    // Use clustered (page-block) entries instead of single-page entries.
+    bool clustered_entries = false;
+    unsigned subblock_factor = kDefaultSubblockFactor;
+    HashKind hash_kind = HashKind::kMix;
+    mem::NodePlacement placement = mem::NodePlacement::kLineAligned;
+  };
+
+  SoftwareTlb(mem::CacheTouchModel& cache, std::unique_ptr<PageTable> backing, Options opts);
+  ~SoftwareTlb() override;
+
+  // ---- PageTable interface ----
+  std::optional<TlbFill> Lookup(VirtAddr va) override;
+  void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<TlbFill>& out) override;
+  void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
+  bool RemoveBase(Vpn vpn) override;
+  PtFeatures features() const override { return backing_->features(); }
+  void InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) override;
+  bool RemoveSuperpage(Vpn base_vpn, PageSize size) override;
+  void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor, Ppn block_base_ppn,
+                             Attr attr, std::uint16_t valid_vector) override;
+  bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) override;
+  std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
+  std::uint64_t SizeBytesPaperModel() const override;
+  std::uint64_t SizeBytesActual() const override;
+  std::uint64_t live_translations() const override { return backing_->live_translations(); }
+  std::string name() const override;
+
+  PageTable& backing() { return *backing_; }
+  std::uint64_t probe_hits() const { return hits_; }
+  std::uint64_t probe_misses() const { return misses_; }
+  double HitRatio() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  void FlushCache();
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;           // VPN or VPBN.
+    bool valid = false;
+    std::uint64_t stamp = 0;         // For way replacement.
+    std::vector<TlbFill> fills;      // 1 fill (base) or up to s (clustered).
+  };
+
+  std::uint64_t KeyOf(Vpn vpn) const {
+    return opts_.clustered_entries ? VpbnOf(vpn, opts_.subblock_factor) : vpn;
+  }
+  std::uint64_t EntryBytes() const {
+    return opts_.clustered_entries ? 8 + 8ull * opts_.subblock_factor : 16;
+  }
+  Entry* Probe(std::uint64_t key, bool count_touch);
+  void Refill(std::uint64_t key, Vpn vpn, const TlbFill& fill);
+  void InvalidateKey(std::uint64_t key);
+  void InvalidateRange(Vpn first_vpn, std::uint64_t npages);
+  PhysAddr SlotAddr(std::uint32_t set, unsigned way) const;
+
+  Options opts_;
+  std::unique_ptr<PageTable> backing_;
+  BucketHasher hasher_;
+  mem::SimAllocator alloc_;
+  PhysAddr array_base_ = 0;
+  std::uint64_t slot_stride_ = 0;
+  std::vector<Entry> entries_;  // num_sets * ways.
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cpt::pt
+
+#endif  // CPT_PT_SOFTWARE_TLB_H_

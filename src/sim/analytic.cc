@@ -1,0 +1,68 @@
+#include "sim/analytic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cpt::sim::analytic {
+
+std::uint64_t Nactive(const std::vector<Vpn>& mapped, std::uint64_t region_pages) {
+  assert(region_pages > 0);
+  std::vector<std::uint64_t> regions;
+  regions.reserve(mapped.size());
+  for (const Vpn vpn : mapped) {
+    regions.push_back(vpn / region_pages);
+  }
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  return regions.size();
+}
+
+std::uint64_t MultiLevelLinearBytes(const std::vector<Vpn>& mapped, unsigned nlevels) {
+  std::uint64_t bytes = 0;
+  for (unsigned i = 1; i <= nlevels; ++i) {
+    bytes += kBasePageSize * Nactive(mapped, std::uint64_t{1} << (9 * i));
+  }
+  return bytes;
+}
+
+std::uint64_t LinearWithHashedBytes(const std::vector<Vpn>& mapped) {
+  return (kBasePageSize + 24) * Nactive(mapped, 512);
+}
+
+std::uint64_t ForwardMappedBytes(const std::vector<Vpn>& mapped) {
+  // Level split must mirror pt::ForwardMappedPageTable::kLevelBits:
+  // leaf-first bits {8,8,8,8,8,8,4}.
+  static constexpr unsigned kBits[7] = {8, 8, 8, 8, 8, 8, 4};
+  std::uint64_t bytes = 0;
+  unsigned shift = 0;
+  for (unsigned i = 0; i < 7; ++i) {
+    shift += kBits[i];
+    const std::uint64_t entries = std::uint64_t{1} << kBits[i];
+    bytes += entries * 8 * Nactive(mapped, std::uint64_t{1} << shift);
+  }
+  return bytes;
+}
+
+std::uint64_t HashedBytes(const std::vector<Vpn>& mapped) { return 24 * Nactive(mapped, 1); }
+
+std::uint64_t ClusteredBytes(const std::vector<Vpn>& mapped, unsigned subblock_factor) {
+  return (8ull * subblock_factor + 16) * Nactive(mapped, subblock_factor);
+}
+
+double ClusteredWithSpBytes(const std::vector<Vpn>& mapped, unsigned subblock_factor,
+                            double fss) {
+  assert(fss >= 0.0 && fss <= 1.0);
+  const double nactive = static_cast<double>(Nactive(mapped, subblock_factor));
+  return 24.0 * nactive * fss +
+         static_cast<double>(8 * subblock_factor + 16) * nactive * (1.0 - fss);
+}
+
+double HashChainLines(double load_factor) { return 1.0 + load_factor / 2.0; }
+
+double LinearLines(double nested_miss_ratio, double nested_lines) {
+  return 1.0 + nested_miss_ratio * nested_lines;
+}
+
+double ForwardLines(unsigned nlevels) { return static_cast<double>(nlevels); }
+
+}  // namespace cpt::sim::analytic

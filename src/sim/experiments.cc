@@ -1,0 +1,93 @@
+#include "sim/experiments.h"
+
+#include <cstdlib>
+
+namespace cpt::sim {
+
+SizeMeasurement MeasurePtSize(const workload::WorkloadSpec& spec, const SizeConfig& config,
+                              MachineOptions base_opts) {
+  const workload::Snapshot snapshot = workload::BuildSnapshot(spec);
+
+  auto build = [&](PtKind kind, os::PteStrategy strategy) {
+    MachineOptions opts = base_opts;
+    opts.pt_kind = kind;
+    opts.tlb_kind = TlbKind::kSinglePage;
+    opts.strategy = strategy;
+    auto machine = std::make_unique<Machine>(opts, static_cast<unsigned>(spec.processes.size()));
+    machine->Preload(snapshot);
+    return machine;
+  };
+
+  SizeMeasurement m;
+  m.workload = spec.name;
+  {
+    auto machine = build(config.pt_kind, config.strategy);
+    m.bytes = machine->TotalPtBytesPaperModel();
+    for (unsigned p = 0; p < machine->num_processes(); ++p) {
+      const auto census = machine->address_space(p).Census();
+      m.census.base_blocks += census.base_blocks;
+      m.census.super_blocks += census.super_blocks;
+      m.census.psb_blocks += census.psb_blocks;
+      m.census.mixed_blocks += census.mixed_blocks;
+    }
+  }
+  {
+    auto hashed = build(PtKind::kHashed, os::PteStrategy::kBaseOnly);
+    m.hashed_bytes = hashed->TotalPtBytesPaperModel();
+  }
+  m.normalized = m.hashed_bytes == 0
+                     ? 0.0
+                     : static_cast<double>(m.bytes) / static_cast<double>(m.hashed_bytes);
+  return m;
+}
+
+AccessMeasurement MeasureAccessTime(const workload::WorkloadSpec& spec, MachineOptions opts,
+                                    std::uint64_t trace_len) {
+  if (trace_len == 0) {
+    trace_len = spec.default_trace_length;
+  }
+  const workload::Snapshot snapshot = workload::BuildSnapshot(spec);
+  Machine machine(opts, static_cast<unsigned>(spec.processes.size()));
+  machine.Preload(snapshot);
+
+  workload::TraceGenerator gen(spec, snapshot);
+  for (std::uint64_t i = 0; i < trace_len; ++i) {
+    const workload::Reference ref = gen.Next();
+    machine.Access(ref.asid, ref.va);
+  }
+
+  AccessMeasurement m;
+  m.workload = spec.name;
+  m.avg_lines_per_miss = machine.AvgLinesPerMiss();
+  m.denominator_misses = machine.DenominatorMisses();
+  m.effective_misses = machine.tlb().stats().misses;
+  m.block_misses = machine.tlb().stats().block_misses;
+  m.subblock_misses = machine.tlb().stats().subblock_misses;
+  m.trace_refs = trace_len;
+  m.miss_ratio = machine.tlb().stats().MissRatio();
+  m.pt_bytes = machine.TotalPtBytesPaperModel();
+  return m;
+}
+
+std::vector<std::string> TraceWorkloadNames() {
+  return {"coral", "nasa7", "compress", "fftpde", "wave5",
+          "mp3d",  "spice", "pthor",    "ml",     "gcc"};
+}
+
+std::vector<std::string> AllWorkloadNames() {
+  auto names = TraceWorkloadNames();
+  names.push_back("kernel");
+  return names;
+}
+
+std::uint64_t TraceLengthFromEnv(std::uint64_t fallback) {
+  if (const char* env = std::getenv("CPT_TRACE_LEN")) {
+    const std::uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace cpt::sim

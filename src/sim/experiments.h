@@ -1,0 +1,72 @@
+// Experiment drivers reproducing the paper's evaluation (Section 6).
+//
+// Size experiments build per-process page tables from a workload snapshot by
+// pre-faulting every mapped page through the OS layer (so physical placement
+// and PTE-format decisions are made by the real policy code), then read the
+// paper-model byte counts.  Access-time experiments additionally run a
+// reference trace through the Machine and report the average number of
+// cache lines touched per TLB miss.
+#ifndef CPT_SIM_EXPERIMENTS_H_
+#define CPT_SIM_EXPERIMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/address_space.h"
+#include "sim/machine.h"
+#include "workload/workload.h"
+
+namespace cpt::sim {
+
+// One page-table configuration measured by the size experiments.
+struct SizeConfig {
+  std::string label;
+  PtKind pt_kind;
+  os::PteStrategy strategy = os::PteStrategy::kBaseOnly;
+};
+
+struct SizeMeasurement {
+  std::string workload;
+  std::uint64_t bytes = 0;        // Paper-model page-table bytes (all processes).
+  std::uint64_t hashed_bytes = 0; // Same workload's conventional hashed bytes.
+  double normalized = 0.0;        // bytes / hashed_bytes.
+  // OS census after preload, for fss diagnostics.
+  os::AddressSpace::BlockCensus census;
+};
+
+// Builds page tables of the given kind/strategy for every process of the
+// workload and returns the paper-model size plus diagnostics.
+SizeMeasurement MeasurePtSize(const workload::WorkloadSpec& spec, const SizeConfig& config,
+                              MachineOptions base_opts = {});
+
+struct AccessMeasurement {
+  std::string workload;
+  double avg_lines_per_miss = 0.0;
+  std::uint64_t denominator_misses = 0;
+  std::uint64_t effective_misses = 0;
+  std::uint64_t block_misses = 0;     // Complete-subblock TLBs.
+  std::uint64_t subblock_misses = 0;  // Complete-subblock TLBs.
+  std::uint64_t trace_refs = 0;
+  double miss_ratio = 0.0;
+  std::uint64_t pt_bytes = 0;
+};
+
+// Runs `trace_len` references of the workload's trace on a machine with the
+// given options and reports the Figure 11 metric.  trace_len == 0 uses the
+// workload's default.
+AccessMeasurement MeasureAccessTime(const workload::WorkloadSpec& spec, MachineOptions opts,
+                                    std::uint64_t trace_len = 0);
+
+// Names of the trace-driven workloads (all but the kernel snapshot).
+std::vector<std::string> TraceWorkloadNames();
+// All workload names including "kernel".
+std::vector<std::string> AllWorkloadNames();
+
+// Reads a trace-length override from the CPT_TRACE_LEN environment variable
+// (benches use it to trade precision for speed); falls back to `fallback`.
+std::uint64_t TraceLengthFromEnv(std::uint64_t fallback);
+
+}  // namespace cpt::sim
+
+#endif  // CPT_SIM_EXPERIMENTS_H_

@@ -1,0 +1,171 @@
+// The simulated machine: one TLB, per-process page tables and address
+// spaces, a shared physical frame pool with page reservation, and a cache-
+// line touch model — the equivalent of the paper's in-kernel trap-driven
+// simulator (Section 6.1).
+//
+// An Access() models one memory reference:
+//   TLB probe → on a miss, a cache-line-counted page-table walk → TLB fill.
+// A walk that page-faults is aborted (uncounted), the OS fault handler runs
+// (frame allocation, PTE insertion, possible promotion), and the walk
+// re-runs counted.  Complete-subblock block misses optionally prefetch the
+// whole block's mappings in one walk (Section 4.4).
+//
+// Linear page tables get the paper's reserved-entry treatment: the effective
+// TLB loses `linear_reserved_entries` entries to page-table mappings, while
+// a full-size reference TLB provides the normalization denominator, so the
+// reported cache-lines-per-miss metric includes the opportunity cost of the
+// reserved entries (Section 6.1).
+#ifndef CPT_SIM_MACHINE_H_
+#define CPT_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/cache_model.h"
+#include "mem/reservation.h"
+#include "os/address_space.h"
+#include "pt/page_table.h"
+#include "tlb/tlb.h"
+#include "workload/workload.h"
+
+namespace cpt::sim {
+
+enum class PtKind : std::uint8_t {
+  kLinear6,        // Multi-level (6-level) linear page table.
+  kLinear1,        // Linear, optimistic 1-level size accounting.
+  kLinearHashed,   // Linear leaves + hashed upper levels (Table 2 row).
+  kForward,        // 7-level forward-mapped tree.
+  kHashed,         // Conventional hashed page table.
+  kHashedMulti,    // Hashed + second block-keyed table for SP/PSB PTEs.
+  kHashedSpIndex,  // Superpage-index hashed (single table, block hash).
+  kClustered,      // Clustered page table (the paper's contribution).
+  kClusteredAdaptive,  // Clustered with varying subblock factors (Section 3).
+  kHashedInverted,     // Inverted organization: bucket array of pointers.
+};
+
+enum class TlbKind : std::uint8_t {
+  kSinglePage,
+  kSuperpage,
+  kPartialSubblock,
+  kCompleteSubblock,
+};
+
+std::string ToString(PtKind kind);
+std::string ToString(TlbKind kind);
+
+struct MachineOptions {
+  PtKind pt_kind = PtKind::kClustered;
+  TlbKind tlb_kind = TlbKind::kSinglePage;
+  unsigned tlb_entries = 64;
+  // Linear page tables reserve this many TLB entries for their own mappings.
+  unsigned linear_reserved_entries = 8;
+  unsigned subblock_factor = kDefaultSubblockFactor;
+  std::uint32_t num_buckets = kDefaultHashBuckets;
+  std::uint32_t line_size = kDefaultCacheLineSize;
+  bool prefetch_on_block_miss = true;  // Complete-subblock TLBs only.
+  // MultiTableHashed only: search the block-keyed table before the 4KB
+  // table (the Section 6.3 suggestion for PSB-heavy workloads).
+  bool hashed_block_first = false;
+  // Interpose a software TLB (TSB) between the hardware TLB and the page
+  // table (Sections 2 & 7).  0 disables it.
+  std::uint32_t swtlb_sets = 0;
+  unsigned swtlb_ways = 2;
+  bool swtlb_clustered_entries = false;
+  // Section 7: use one page table shared by all processes (global effective
+  // addresses, as in single-address-space or segmented systems) instead of
+  // one table per process.  Process ids are folded into the high VPN bits,
+  // so user-space addresses must stay below 2^48 (all trace workloads do).
+  bool shared_page_table = false;
+  // Section 3.1: the TLB miss handler updates the referenced (and, for
+  // stores, modified) bits of the PTE it loads, lock-free.  Off by default
+  // so the Figure 11 metrics stay pure walk costs.
+  bool maintain_ref_bits = false;
+  std::uint64_t phys_frames = 1ull << 22;  // 16GB: ample for every workload.
+  // PTE strategy; defaults to the natural match for the TLB kind
+  // (base-only / superpage / partial-subblock / base-only).
+  std::optional<os::PteStrategy> strategy;
+};
+
+// Creates a page table of the given kind (shared by Machine and the
+// snapshot-only size experiments).
+std::unique_ptr<pt::PageTable> MakePageTable(PtKind kind, mem::CacheTouchModel& cache,
+                                             const MachineOptions& opts);
+
+class Machine {
+ public:
+  Machine(MachineOptions opts, unsigned num_processes);
+  ~Machine();
+
+  // Models one memory reference by process `asid`.
+  void Access(tlb::Asid asid, VirtAddr va, bool is_write = false);
+
+  // Pre-faults every page so the trace starts with a fully-populated page
+  // table (the paper's simulators see resident pages only).
+  void Preload(const workload::Snapshot& snapshot);
+
+  void Run(const std::vector<workload::Reference>& trace);
+
+  // ---- Metrics ----
+  const mem::CacheTouchModel& cache() const { return cache_; }
+  tlb::Tlb& tlb() { return *tlb_; }
+  const tlb::Tlb& tlb() const { return *tlb_; }
+
+  // Denominator misses: the full-size reference TLB when one exists
+  // (linear page tables), otherwise the effective TLB's own misses.
+  std::uint64_t DenominatorMisses() const;
+  // The paper's access-time metric.
+  double AvgLinesPerMiss() const;
+
+  std::uint64_t TotalPtBytesPaperModel() const;
+  std::uint64_t TotalPtBytesActual() const;
+  std::uint64_t TotalPageFaults() const;
+
+  unsigned num_processes() const { return num_processes_; }
+  pt::PageTable& page_table(tlb::Asid asid) { return *CtxOf(asid).table; }
+  os::AddressSpace& address_space(tlb::Asid asid) { return *CtxOf(asid).aspace; }
+  const MachineOptions& options() const { return opts_; }
+
+ private:
+  struct ProcessCtx {
+    std::unique_ptr<pt::PageTable> table;
+    std::unique_ptr<os::AddressSpace> aspace;
+  };
+
+  bool IsLinear() const {
+    return opts_.pt_kind == PtKind::kLinear6 || opts_.pt_kind == PtKind::kLinear1 ||
+           opts_.pt_kind == PtKind::kLinearHashed;
+  }
+  os::PteStrategy EffectiveStrategy() const;
+  std::unique_ptr<tlb::Tlb> MakeTlb(unsigned entries) const;
+  ProcessCtx& CtxOf(tlb::Asid asid) {
+    return procs_[opts_.shared_page_table ? 0 : asid];
+  }
+  const ProcessCtx& CtxOf(tlb::Asid asid) const {
+    return procs_[opts_.shared_page_table ? 0 : asid];
+  }
+  // Folds the process id into the high VPN bits under a shared table.
+  VirtAddr EffectiveVa(tlb::Asid asid, VirtAddr va) const {
+    return opts_.shared_page_table ? va ^ (VirtAddr{asid} << 49) : va;
+  }
+  // Counted walk; page faults are handled and the walk re-runs.  Returns
+  // nullopt only if memory is exhausted.
+  std::optional<pt::TlbFill> WalkCounted(ProcessCtx& proc, VirtAddr va);
+  // Uncounted walk for reference-TLB refills.
+  std::optional<pt::TlbFill> WalkUncounted(ProcessCtx& proc, VirtAddr va);
+
+  MachineOptions opts_;
+  unsigned num_processes_ = 1;
+  mem::CacheTouchModel cache_;
+  mem::ReservationAllocator frames_;
+  std::vector<ProcessCtx> procs_;
+  std::unique_ptr<tlb::Tlb> tlb_;      // Effective TLB (56 entries for linear).
+  std::unique_ptr<tlb::Tlb> ref_tlb_;  // Full-size reference TLB (linear only).
+  std::vector<pt::TlbFill> block_fills_;  // Scratch for prefetch.
+};
+
+}  // namespace cpt::sim
+
+#endif  // CPT_SIM_MACHINE_H_

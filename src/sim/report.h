@@ -1,0 +1,33 @@
+// Fixed-width text tables matching the paper's rows/series, used by the
+// bench binaries to print each reproduced table and figure.
+#ifndef CPT_SIM_REPORT_H_
+#define CPT_SIM_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpt::sim {
+
+class Report {
+ public:
+  explicit Report(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Helpers for common cell formats.
+  static std::string Num(std::uint64_t v);
+  static std::string Fixed(double v, int decimals = 2);
+  static std::string Kb(std::uint64_t bytes);
+
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cpt::sim
+
+#endif  // CPT_SIM_REPORT_H_

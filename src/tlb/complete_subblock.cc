@@ -1,0 +1,93 @@
+#include "tlb/complete_subblock.h"
+
+#include <cassert>
+
+namespace cpt::tlb {
+
+CompleteSubblockTlb::CompleteSubblockTlb(unsigned num_entries, unsigned subblock_factor)
+    : Tlb(num_entries), factor_(subblock_factor), entries_(num_entries) {
+  assert(IsPowerOfTwo(subblock_factor) && subblock_factor <= kMaxFactor);
+}
+
+CompleteSubblockTlb::Entry* CompleteSubblockTlb::FindTag(Asid asid, Vpbn vpbn) {
+  for (Entry& e : entries_) {
+    if (e.valid && e.asid == asid && e.vpbn == vpbn) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+CompleteSubblockTlb::Entry& CompleteSubblockTlb::AllocEntry(Asid asid, Vpbn vpbn) {
+  Entry* victim = &entries_[0];
+  for (Entry& e : entries_) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (victim->valid && e.stamp < victim->stamp) {
+      victim = &e;
+    }
+  }
+  *victim = Entry{};
+  victim->asid = asid;
+  victim->vpbn = vpbn;
+  victim->valid = true;
+  victim->stamp = NextStamp();
+  return *victim;
+}
+
+LookupOutcome CompleteSubblockTlb::Lookup(Asid asid, Vpn vpn) {
+  const Vpbn vpbn = VpbnOf(vpn, factor_);
+  Entry* e = FindTag(asid, vpbn);
+  if (e == nullptr) {
+    RecordMiss(LookupOutcome::kBlockMiss);
+    return LookupOutcome::kBlockMiss;
+  }
+  const unsigned boff = BoffOf(vpn, factor_);
+  if ((e->vector >> boff) & 1u) {
+    e->stamp = NextStamp();
+    RecordHit();
+    return LookupOutcome::kHit;
+  }
+  RecordMiss(LookupOutcome::kSubblockMiss);
+  return LookupOutcome::kSubblockMiss;
+}
+
+void CompleteSubblockTlb::Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) {
+  const Vpbn vpbn = VpbnOf(vpn, factor_);
+  Entry* e = FindTag(asid, vpbn);
+  if (e == nullptr) {
+    e = &AllocEntry(asid, vpbn);
+  }
+  const unsigned boff = BoffOf(vpn, factor_);
+  e->vector |= std::uint64_t{1} << boff;
+  e->ppns[boff] = fill.Translate(vpn);
+  e->stamp = NextStamp();
+}
+
+void CompleteSubblockTlb::InsertBlock(Asid asid, Vpn vpn, std::span<const pt::TlbFill> fills) {
+  const Vpbn vpbn = VpbnOf(vpn, factor_);
+  Entry* e = FindTag(asid, vpbn);
+  if (e == nullptr) {
+    e = &AllocEntry(asid, vpbn);
+  }
+  const Vpn first = FirstVpnOfBlock(vpbn, factor_);
+  for (const pt::TlbFill& fill : fills) {
+    for (unsigned i = 0; i < factor_; ++i) {
+      if (fill.Covers(first + i)) {
+        e->vector |= std::uint64_t{1} << i;
+        e->ppns[i] = fill.Translate(first + i);
+      }
+    }
+  }
+  e->stamp = NextStamp();
+}
+
+void CompleteSubblockTlb::Flush() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+}  // namespace cpt::tlb

@@ -1,0 +1,66 @@
+// Set-associative two-page-size TLB — the [Tall92] design Section 4.2's
+// superpage-index hashed page table mirrors in software.
+//
+// A set-associative TLB cannot know a mapping's page size before indexing,
+// so it always indexes with the *superpage-index* bits (the VPN bits above
+// the largest page's offset).  Every entry in the selected set is then tag-
+// compared under its own size: a base-page entry matches on the full VPN, a
+// superpage entry on the block number.  Consequence: all base pages of one
+// page block compete for one set — the same crowding that shows up as long
+// chains in the superpage-index hashed table.
+#ifndef CPT_TLB_DUAL_SIZE_SETASSOC_H_
+#define CPT_TLB_DUAL_SIZE_SETASSOC_H_
+
+#include <vector>
+
+#include "common/hash.h"
+#include "tlb/tlb.h"
+
+namespace cpt::tlb {
+
+class DualSizeSetAssocTlb final : public Tlb {
+ public:
+  // num_entries = num_sets * ways.  superpage_log2 is the large page size
+  // (log2 base pages), also the index granularity.
+  DualSizeSetAssocTlb(unsigned num_sets, unsigned ways, unsigned superpage_log2 = 4);
+
+  LookupOutcome Lookup(Asid asid, Vpn vpn) override;
+  void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) override;
+  void Flush() override;
+  std::string name() const override { return "dual-size-setassoc"; }
+
+  unsigned num_sets() const { return num_sets_; }
+  unsigned ways() const { return ways_; }
+  // Conflict evictions: replacements that happened while other sets had
+  // invalid entries — the set-crowding cost of superpage indexing.
+  std::uint64_t conflict_evictions() const { return conflict_evictions_; }
+
+ private:
+  struct Entry {
+    Asid asid = 0;
+    Vpn base_vpn = 0;
+    Ppn base_ppn = 0;
+    unsigned pages_log2 = 0;  // 0 = base page; superpage_log2 = large page.
+    bool valid = false;
+    std::uint64_t stamp = 0;
+  };
+
+  unsigned SetOf(Vpn vpn) const {
+    return static_cast<unsigned>((vpn >> superpage_log2_) & (num_sets_ - 1));
+  }
+  bool Matches(const Entry& e, Asid asid, Vpn vpn) const {
+    return e.valid && e.asid == asid &&
+           (vpn >> e.pages_log2) == (e.base_vpn >> e.pages_log2);
+  }
+
+  unsigned num_sets_;
+  unsigned ways_;
+  unsigned superpage_log2_;
+  std::vector<Entry> entries_;  // num_sets * ways.
+  std::uint64_t invalid_entries_ = 0;
+  std::uint64_t conflict_evictions_ = 0;
+};
+
+}  // namespace cpt::tlb
+
+#endif  // CPT_TLB_DUAL_SIZE_SETASSOC_H_

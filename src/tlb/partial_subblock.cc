@@ -1,0 +1,101 @@
+#include "tlb/partial_subblock.h"
+
+#include <cassert>
+
+namespace cpt::tlb {
+
+PartialSubblockTlb::PartialSubblockTlb(unsigned num_entries, unsigned subblock_factor)
+    : Tlb(num_entries),
+      factor_(subblock_factor),
+      block_log2_(Log2(subblock_factor)),
+      entries_(num_entries) {
+  assert(IsPowerOfTwo(subblock_factor) && subblock_factor <= 16);
+}
+
+bool PartialSubblockTlb::Covers(const Entry& e, Asid asid, Vpn vpn) const {
+  if (!e.valid || e.asid != asid) {
+    return false;
+  }
+  if (!e.block_entry) {
+    return e.single_vpn == vpn;
+  }
+  if (VpbnOf(vpn, factor_) != e.vpbn) {
+    return false;
+  }
+  return (e.vector >> BoffOf(vpn, factor_)) & 1u;
+}
+
+LookupOutcome PartialSubblockTlb::Lookup(Asid asid, Vpn vpn) {
+  for (Entry& e : entries_) {
+    if (Covers(e, asid, vpn)) {
+      e.stamp = NextStamp();
+      RecordHit();
+      if (e.block_entry) {
+        ++psb_hits_;
+      }
+      return LookupOutcome::kHit;
+    }
+  }
+  RecordMiss(LookupOutcome::kMiss);
+  return LookupOutcome::kMiss;
+}
+
+void PartialSubblockTlb::Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) {
+  Entry incoming;
+  incoming.asid = asid;
+  incoming.valid = true;
+  switch (fill.kind) {
+    case MappingKind::kPartialSubblock:
+      incoming.block_entry = true;
+      incoming.vpbn = VpbnOf(fill.base_vpn, factor_);
+      incoming.block_ppn = fill.word.ppn();
+      incoming.vector = fill.word.valid_vector();
+      break;
+    case MappingKind::kSuperpage:
+      if (fill.pages_log2 == block_log2_) {
+        // A block-sized superpage is an all-valid partial-subblock entry.
+        incoming.block_entry = true;
+        incoming.vpbn = VpbnOf(fill.base_vpn, factor_);
+        incoming.block_ppn = fill.word.ppn();
+        incoming.vector =
+            factor_ >= 16 ? std::uint16_t{0xFFFF} : static_cast<std::uint16_t>((1u << factor_) - 1);
+      } else {
+        // Other sizes don't fit this entry format: map the faulting page.
+        incoming.block_entry = false;
+        incoming.single_vpn = vpn;
+        incoming.single_ppn = fill.Translate(vpn);
+      }
+      break;
+    case MappingKind::kBase:
+      incoming.block_entry = false;
+      incoming.single_vpn = vpn;
+      incoming.single_ppn = fill.Translate(vpn);
+      break;
+  }
+
+  Entry* victim = &entries_[0];
+  for (Entry& e : entries_) {
+    const bool same_slot =
+        e.valid && e.asid == asid && e.block_entry == incoming.block_entry &&
+        (incoming.block_entry ? e.vpbn == incoming.vpbn : e.single_vpn == incoming.single_vpn);
+    if (same_slot) {
+      victim = &e;  // Refresh (e.g. the PSB vector grew a bit).
+      break;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.stamp < victim->stamp) {
+      victim = &e;
+    }
+  }
+  incoming.stamp = NextStamp();
+  *victim = incoming;
+}
+
+void PartialSubblockTlb::Flush() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+}  // namespace cpt::tlb

@@ -1,0 +1,47 @@
+#include "tlb/single_page.h"
+
+namespace cpt::tlb {
+
+SinglePageTlb::SinglePageTlb(unsigned num_entries) : Tlb(num_entries), entries_(num_entries) {}
+
+LookupOutcome SinglePageTlb::Lookup(Asid asid, Vpn vpn) {
+  for (Entry& e : entries_) {
+    if (e.valid && e.asid == asid && e.vpn == vpn) {
+      e.stamp = NextStamp();
+      RecordHit();
+      return LookupOutcome::kHit;
+    }
+  }
+  RecordMiss(LookupOutcome::kMiss);
+  return LookupOutcome::kMiss;
+}
+
+void SinglePageTlb::Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) {
+  // A single-page TLB holds exactly one base translation regardless of the
+  // fill's coverage (a superpage fill still installs only the faulting page).
+  Entry* victim = &entries_[0];
+  for (Entry& e : entries_) {
+    if (e.valid && e.asid == asid && e.vpn == vpn) {
+      victim = &e;  // Re-insert over the stale entry.
+      break;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.stamp < victim->stamp) {
+      victim = &e;
+    }
+  }
+  victim->asid = asid;
+  victim->vpn = vpn;
+  victim->ppn = fill.Translate(vpn);
+  victim->valid = true;
+  victim->stamp = NextStamp();
+}
+
+void SinglePageTlb::Flush() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+}  // namespace cpt::tlb

@@ -1,0 +1,36 @@
+// Conventional single-page-size TLB: one base page per entry (Figure 11a's
+// 64-entry fully-associative baseline, also the normalization reference for
+// every other experiment).
+#ifndef CPT_TLB_SINGLE_PAGE_H_
+#define CPT_TLB_SINGLE_PAGE_H_
+
+#include <vector>
+
+#include "tlb/tlb.h"
+
+namespace cpt::tlb {
+
+class SinglePageTlb final : public Tlb {
+ public:
+  explicit SinglePageTlb(unsigned num_entries);
+
+  LookupOutcome Lookup(Asid asid, Vpn vpn) override;
+  void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) override;
+  void Flush() override;
+  std::string name() const override { return "single-page"; }
+
+ private:
+  struct Entry {
+    Asid asid = 0;
+    Vpn vpn = 0;
+    Ppn ppn = 0;
+    bool valid = false;
+    std::uint64_t stamp = 0;
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cpt::tlb
+
+#endif  // CPT_TLB_SINGLE_PAGE_H_

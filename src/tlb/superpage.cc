@@ -1,0 +1,60 @@
+#include "tlb/superpage.h"
+
+namespace cpt::tlb {
+
+SuperpageTlb::SuperpageTlb(unsigned num_entries) : Tlb(num_entries), entries_(num_entries) {}
+
+LookupOutcome SuperpageTlb::Lookup(Asid asid, Vpn vpn) {
+  for (Entry& e : entries_) {
+    if (e.valid && e.asid == asid && (vpn >> e.pages_log2) == (e.base_vpn >> e.pages_log2)) {
+      e.stamp = NextStamp();
+      RecordHit();
+      if (e.pages_log2 > 0) {
+        ++super_hits_;
+      }
+      return LookupOutcome::kHit;
+    }
+  }
+  RecordMiss(LookupOutcome::kMiss);
+  return LookupOutcome::kMiss;
+}
+
+void SuperpageTlb::Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) {
+  Entry incoming;
+  incoming.asid = asid;
+  incoming.valid = true;
+  if (fill.kind == MappingKind::kPartialSubblock) {
+    // No valid vector in a superpage entry: install just the faulting page.
+    incoming.base_vpn = vpn;
+    incoming.base_ppn = fill.Translate(vpn);
+    incoming.pages_log2 = 0;
+  } else {
+    incoming.base_vpn = fill.base_vpn;
+    incoming.base_ppn = fill.word.ppn();
+    incoming.pages_log2 = fill.pages_log2;
+  }
+
+  Entry* victim = &entries_[0];
+  for (Entry& e : entries_) {
+    if (e.valid && e.asid == asid && e.base_vpn == incoming.base_vpn &&
+        e.pages_log2 == incoming.pages_log2) {
+      victim = &e;
+      break;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.stamp < victim->stamp) {
+      victim = &e;
+    }
+  }
+  incoming.stamp = NextStamp();
+  *victim = incoming;
+}
+
+void SuperpageTlb::Flush() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+}  // namespace cpt::tlb

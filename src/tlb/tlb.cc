@@ -1,0 +1,5 @@
+#include "tlb/tlb.h"
+
+// Base-class behaviour lives in the header; this TU anchors the vtable.
+
+namespace cpt::tlb {}  // namespace cpt::tlb

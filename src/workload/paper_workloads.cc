@@ -1,0 +1,314 @@
+// Definitions of the paper's ten evaluation workloads plus the kernel
+// address space (Table 1 / Section 6.2).
+//
+// Calibration targets, per workload:
+//   - mapped pages ~= Table 1 column 5 (hashed page-table bytes) / 24;
+//   - dense/sparse + bursty character per Section 6.3's discussion
+//     (coral/ML/kernel dense; gcc/compress sparse multiprogrammed);
+//   - TLB-miss intensity ordered like Table 1 column 4, tuned through
+//     sojourn_mean (mean accesses per page between page changes: with a
+//     40-cycle miss penalty, %time ~= 40/(sojourn + 40)).
+//
+// Address layouts are 64-bit style (text low; heap mid; mmap segment and
+// stack high) so the 6-level linear tree pays its upper-level costs.
+#include "workload/workload.h"
+
+#include <cassert>
+
+namespace cpt::workload {
+
+namespace {
+
+constexpr VirtAddr kTextBase = 0x0000000000400000ull;
+constexpr VirtAddr kHeapBase = 0x0000000010000000ull;
+constexpr VirtAddr kDataBase = 0x0000000020000000ull;
+constexpr VirtAddr kMmapBase = 0x00007f0000000000ull;
+constexpr VirtAddr kStackTop = 0x00007fffff000000ull;
+
+// Distance between unrelated processes' layouts (keeps reservation keys and
+// linear-tree paths distinct per process even though each process has its
+// own page table).
+constexpr VirtAddr kProcStride = 0x0000010000000000ull;
+
+// A segment holding ~mapped_pages mapped pages at the given density.
+Segment Seg(VirtAddr base, std::uint64_t mapped_pages, double density, double burst,
+            double weight, AccessPattern pat, double sojourn, std::uint64_t stride = 1) {
+  Segment s;
+  s.base = base;
+  s.span_pages = static_cast<std::uint64_t>(static_cast<double>(mapped_pages) / density);
+  s.density = density;
+  s.burst_mean = burst;
+  s.weight = weight;
+  s.pattern = pat;
+  s.sojourn_mean = sojourn;
+  s.stride_pages = stride;
+  return s;
+}
+
+WorkloadSpec Coral() {
+  // Deductive database running a nested-loop join: ~20MB of relation data
+  // and rule space, dense and bursty; 50% of user time in TLB handling makes
+  // it the most miss-intensive workload (sojourn ~40).
+  WorkloadSpec w;
+  w.name = "coral";
+  w.default_trace_length = 2'000'000;
+  w.seed = 101;
+  ProcessSpec p;
+  p.name = "coral";
+  p.segments = {
+      Seg(kTextBase, 180, 0.98, 90, 0.5, AccessPattern::kSequential, 200),
+      Seg(kHeapBase, 3600, 0.96, 48, 6.0, AccessPattern::kRandom, 34),
+      Seg(kDataBase, 1100, 0.95, 40, 3.0, AccessPattern::kSequential, 40),
+      Seg(kStackTop - (64ull << kBasePageShift), 50, 0.9, 12, 0.3,
+          AccessPattern::kSequential, 120),
+  };
+  w.processes = {p};
+  return w;
+}
+
+WorkloadSpec Nasa7() {
+  // NASA kernels: dense FORTRAN arrays walked with large strides (matrix
+  // columns); small footprint but very high miss intensity (40% TLB time).
+  WorkloadSpec w;
+  w.name = "nasa7";
+  w.default_trace_length = 4'000'000;
+  w.seed = 102;
+  ProcessSpec p;
+  p.name = "nasa7";
+  p.segments = {
+      Seg(kTextBase, 60, 1.0, 60, 0.3, AccessPattern::kSequential, 300),
+      Seg(kDataBase, 800, 1.0, 200, 6.0, AccessPattern::kStrided, 52, 67),
+      Seg(kStackTop - (40ull << kBasePageShift), 30, 1.0, 30, 0.2,
+          AccessPattern::kSequential, 200),
+  };
+  w.processes = {p};
+  return w;
+}
+
+WorkloadSpec Compress() {
+  // Two processes in parallel (Section 7 footnote): compress itself
+  // (random probes of its hash tables) plus the driver script — small,
+  // sparser address spaces.
+  WorkloadSpec w;
+  w.name = "compress";
+  w.default_trace_length = 4'000'000;
+  w.seed = 103;
+  w.timeslice = 20'000;
+  ProcessSpec compress;
+  compress.name = "compress";
+  compress.segments = {
+      Seg(kTextBase, 25, 0.9, 10, 0.3, AccessPattern::kSequential, 210),
+      Seg(kHeapBase, 190, 0.72, 10, 4.0, AccessPattern::kRandom, 72),
+  };
+  ProcessSpec script;
+  script.name = "script";
+  script.segments = {
+      Seg(kProcStride + kTextBase, 45, 0.55, 5, 1.0, AccessPattern::kSequential, 115),
+      Seg(kProcStride + kHeapBase, 55, 0.5, 5, 1.0, AccessPattern::kRandom, 100),
+      Seg(kProcStride + kMmapBase, 26, 0.5, 4, 0.5, AccessPattern::kSequential, 140),
+  };
+  w.processes = {compress, script};
+  return w;
+}
+
+WorkloadSpec Fftpde() {
+  // NAS FFT over a 64x64x64 grid: one large dense array, transpose passes
+  // stride across it (21% TLB time).
+  WorkloadSpec w;
+  w.name = "fftpde";
+  w.default_trace_length = 2'000'000;
+  w.seed = 104;
+  ProcessSpec p;
+  p.name = "fftpde";
+  p.segments = {
+      Seg(kTextBase, 80, 1.0, 80, 0.3, AccessPattern::kSequential, 400),
+      Seg(kDataBase, 3600, 1.0, 400, 8.0, AccessPattern::kStrided, 130, 64),
+      Seg(kStackTop - (48ull << kBasePageShift), 40, 1.0, 40, 0.2,
+          AccessPattern::kSequential, 400),
+  };
+  w.processes = {p};
+  return w;
+}
+
+WorkloadSpec Wave5() {
+  // Particle-in-cell FORTRAN: several dense arrays, mixed strided and
+  // streaming access (14% TLB time).
+  WorkloadSpec w;
+  w.name = "wave5";
+  w.default_trace_length = 3'000'000;
+  w.seed = 105;
+  ProcessSpec p;
+  p.name = "wave5";
+  p.segments = {
+      Seg(kTextBase, 90, 1.0, 90, 0.3, AccessPattern::kSequential, 500),
+      Seg(kDataBase, 2400, 0.99, 300, 5.0, AccessPattern::kStrided, 210, 41),
+      Seg(kDataBase + (1ull << 30), 1100, 0.98, 150, 3.0, AccessPattern::kSequential, 240),
+  };
+  w.processes = {p};
+  return w;
+}
+
+WorkloadSpec Mp3d() {
+  // SPLASH rarefied-fluid particle simulation: random particle array
+  // updates against a small cell grid (11% TLB time).
+  WorkloadSpec w;
+  w.name = "mp3d";
+  w.default_trace_length = 4'000'000;
+  w.seed = 106;
+  ProcessSpec p;
+  p.name = "mp3d";
+  p.segments = {
+      Seg(kTextBase, 40, 1.0, 40, 0.3, AccessPattern::kSequential, 600),
+      Seg(kHeapBase, 1050, 0.97, 60, 6.0, AccessPattern::kRandom, 300),
+      Seg(kDataBase, 130, 0.95, 30, 2.0, AccessPattern::kSequential, 350),
+  };
+  w.processes = {p};
+  return w;
+}
+
+WorkloadSpec Spice() {
+  // Circuit simulator: sparse-matrix pointer structures chased during the
+  // solve phase (7% TLB time).
+  WorkloadSpec w;
+  w.name = "spice";
+  w.default_trace_length = 6'000'000;
+  w.seed = 107;
+  ProcessSpec p;
+  p.name = "spice";
+  p.segments = {
+      Seg(kTextBase, 140, 0.95, 35, 0.5, AccessPattern::kSequential, 700),
+      Seg(kHeapBase, 700, 0.9, 25, 4.0, AccessPattern::kPointerChase, 500),
+      Seg(kStackTop - (64ull << kBasePageShift), 60, 0.9, 15, 0.4,
+          AccessPattern::kSequential, 500),
+  };
+  w.processes = {p};
+  return w;
+}
+
+WorkloadSpec Pthor() {
+  // SPLASH logic simulator: large linked element/event structures, somewhat
+  // sparse and chased unpredictably (7% TLB time).
+  WorkloadSpec w;
+  w.name = "pthor";
+  w.default_trace_length = 3'000'000;
+  w.seed = 108;
+  ProcessSpec p;
+  p.name = "pthor";
+  p.segments = {
+      Seg(kTextBase, 120, 0.95, 40, 0.4, AccessPattern::kSequential, 700),
+      Seg(kHeapBase, 2900, 0.78, 11, 6.0, AccessPattern::kPointerChase, 480),
+      Seg(kMmapBase, 780, 0.75, 10, 2.0, AccessPattern::kRandom, 520),
+  };
+  w.processes = {p};
+  return w;
+}
+
+WorkloadSpec Ml() {
+  // Standard ML garbage-collector stress test: two large semispaces — one
+  // allocated sequentially, one traversed by the copying collector — dense
+  // and big (194KB of hashed PTEs) but only 4% TLB time.
+  WorkloadSpec w;
+  w.name = "ml";
+  w.default_trace_length = 6'000'000;
+  w.seed = 109;
+  ProcessSpec p;
+  p.name = "ml";
+  p.segments = {
+      Seg(kTextBase, 220, 0.98, 70, 0.4, AccessPattern::kSequential, 1400),
+      Seg(kHeapBase, 4000, 0.97, 120, 4.0, AccessPattern::kSequential, 900),
+      Seg(kHeapBase + (1ull << 31), 3900, 0.97, 110, 4.0, AccessPattern::kPointerChase, 1100),
+  };
+  w.processes = {p};
+  return w;
+}
+
+WorkloadSpec Gcc() {
+  // Multiprogrammed compile: cc1 plus the small helper processes (make, sh,
+  // script, as) running sequentially; many sparse little address spaces
+  // (Section 6.3 footnote 3), only 2% TLB time.
+  WorkloadSpec w;
+  w.name = "gcc";
+  w.default_trace_length = 6'000'000;
+  w.seed = 110;
+  w.sequential_processes = true;
+  ProcessSpec cc1;
+  cc1.name = "cc1";
+  cc1.segments = {
+      Seg(kTextBase, 290, 0.85, 20, 1.0, AccessPattern::kSequential, 2400),
+      Seg(kHeapBase, 520, 0.6, 7, 3.0, AccessPattern::kPointerChase, 1800),
+      Seg(kStackTop - (96ull << kBasePageShift), 50, 0.8, 9, 0.4,
+          AccessPattern::kSequential, 2000),
+      // Shared libraries mapped far away in the 64-bit layout.
+      Seg(kMmapBase, 30, 0.5, 5, 0.3, AccessPattern::kSequential, 2200),
+  };
+  w.processes.push_back(cc1);
+  const char* helpers[] = {"make", "sh", "script", "as"};
+  std::uint64_t helper_pages[] = {150, 110, 100, 230};
+  for (unsigned i = 0; i < 4; ++i) {
+    ProcessSpec h;
+    h.name = helpers[i];
+    const VirtAddr off = kProcStride * (i + 1);
+    h.segments = {
+        Seg(off + kTextBase, helper_pages[i] / 2, 0.5, 5, 1.0, AccessPattern::kSequential,
+            2600),
+        Seg(off + kHeapBase, helper_pages[i] / 2, 0.45, 4, 1.0, AccessPattern::kRandom, 2600),
+        Seg(off + kMmapBase + (VirtAddr{i} << 32), 10, 0.4, 3, 0.3,
+            AccessPattern::kSequential, 2600),
+    };
+    w.processes.push_back(h);
+  }
+  return w;
+}
+
+WorkloadSpec Kernel() {
+  // The kernel address space (Table 1 last row): used only for the size
+  // experiments.  Dense text and page structures, bursty slab areas.
+  WorkloadSpec w;
+  w.name = "kernel";
+  w.seed = 111;
+  ProcessSpec p;
+  p.name = "kernel";
+  p.segments = {
+      Seg(0xFFFFF00000000000ull, 1500, 0.99, 300, 1.0, AccessPattern::kSequential, 100),
+      Seg(0xFFFFF00100000000ull, 3900, 0.82, 13, 1.0, AccessPattern::kRandom, 100),
+      Seg(0xFFFFF00200000000ull, 2100, 0.97, 90, 1.0, AccessPattern::kSequential, 100),
+      Seg(0xFFFFF00300000000ull, 450, 0.6, 7, 1.0, AccessPattern::kRandom, 100),
+  };
+  w.processes = {p};
+  return w;
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& PaperWorkloads() {
+  static const std::vector<WorkloadSpec> kAll = {
+      Coral(), Nasa7(), Compress(), Fftpde(), Wave5(), Mp3d(),
+      Spice(), Pthor(), Ml(),       Gcc(),    Kernel(),
+  };
+  return kAll;
+}
+
+const WorkloadSpec& GetPaperWorkload(const std::string& name) {
+  for (const WorkloadSpec& w : PaperWorkloads()) {
+    if (w.name == name) {
+      return w;
+    }
+  }
+  assert(false && "unknown workload name");
+  static const WorkloadSpec kEmpty{};
+  return kEmpty;
+}
+
+const std::vector<PaperReference>& PaperTable1() {
+  static const std::vector<PaperReference> kTable = {
+      {"coral", 119 * 1024, 50.0},   {"nasa7", 21 * 1024, 40.0},
+      {"compress", 8 * 1024, 26.0},  {"fftpde", 88 * 1024, 21.0},
+      {"wave5", 86 * 1024, 14.0},    {"mp3d", 29 * 1024, 11.0},
+      {"spice", 22 * 1024, 7.0},     {"pthor", 92 * 1024, 7.0},
+      {"ml", 194 * 1024, 4.0},       {"gcc", 34 * 1024, 2.0},
+      {"kernel", 186 * 1024, -1.0},
+  };
+  return kTable;
+}
+
+}  // namespace cpt::workload

@@ -1,0 +1,145 @@
+// Synthetic workloads standing in for the paper's ten traced programs.
+//
+// The paper drove its simulators with trap-driven traces of real programs on
+// Solaris (Section 6.2, Table 1).  Without those traces, each workload here
+// is a generator with two faces:
+//
+//   1. an address-space *snapshot* — which virtual pages are mapped at peak
+//      memory use.  Segment layout, density, and burstiness are calibrated
+//      so the hashed-page-table footprint matches Table 1 column 5 and the
+//      dense/sparse character matches Section 6.3's discussion.  Snapshots
+//      drive the page-table *size* experiments (Figures 9 & 10).
+//
+//   2. a reference *trace* — a stream of (asid, va) touches whose spatial
+//      locality class matches the program (strided FP loops, pointer-chasing
+//      GC, sequential scans, multiprogrammed mixes).  Traces drive the
+//      *access-time* experiments (Figure 11, Table 1 miss counts).
+//
+// Everything is deterministic given the spec's seed.
+#ifndef CPT_WORKLOAD_WORKLOAD_H_
+#define CPT_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "tlb/tlb.h"
+
+namespace cpt::workload {
+
+enum class AccessPattern : std::uint8_t {
+  kSequential,    // March through mapped pages in order (scans, streaming FP).
+  kStrided,       // Fixed large stride through mapped pages (matrix columns).
+  kRandom,        // Uniform over the segment's mapped pages (hash tables).
+  kPointerChase,  // Fixed random permutation cycle (linked structures, GC).
+};
+
+struct Segment {
+  VirtAddr base = 0;          // Page-aligned start of the virtual span.
+  std::uint64_t span_pages = 0;  // Virtual span length.
+  double density = 1.0;       // Fraction of span pages actually mapped.
+  double burst_mean = 16.0;   // Mean mapped-run length (spatial burstiness).
+  double weight = 1.0;        // Relative access frequency.
+  AccessPattern pattern = AccessPattern::kSequential;
+  std::uint64_t stride_pages = 1;  // For kStrided.
+  double sojourn_mean = 8.0;  // Mean consecutive accesses to one page.
+  double write_fraction = 0.3;  // Probability a reference is a store.
+};
+
+struct ProcessSpec {
+  std::string name;
+  std::vector<Segment> segments;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::vector<ProcessSpec> processes;
+  std::uint64_t default_trace_length = 2'000'000;
+  std::uint64_t seed = 1;
+  // Multiprogramming: references per scheduling slice (interleaved
+  // round-robin).  Ignored when sequential_processes is set.
+  std::uint64_t timeslice = 50'000;
+  // Run processes one after another (gcc-style make pipelines) instead of
+  // interleaving them.
+  bool sequential_processes = false;
+};
+
+struct Reference {
+  tlb::Asid asid = 0;
+  VirtAddr va = 0;
+  bool is_write = false;
+};
+
+// Which pages each process has mapped, per segment, in fault order.
+struct Snapshot {
+  // pages[process][segment] = mapped VPNs in ascending order.
+  std::vector<std::vector<std::vector<Vpn>>> pages;
+
+  std::uint64_t TotalPages() const;
+  std::uint64_t ProcessPages(std::size_t process) const;
+  // Flattened mapped VPNs of one process, ascending.
+  std::vector<Vpn> FlatProcess(std::size_t process) const;
+};
+
+// Materializes the mapped-page sets of every segment.
+Snapshot BuildSnapshot(const WorkloadSpec& spec);
+
+// Generates the reference trace over a snapshot's mapped pages.
+class TraceGenerator {
+ public:
+  TraceGenerator(const WorkloadSpec& spec, const Snapshot& snapshot);
+
+  // Next reference; wraps process schedules indefinitely.
+  Reference Next();
+
+  // Convenience: materialize n references.
+  std::vector<Reference> Generate(std::uint64_t n);
+
+ private:
+  struct SegmentState {
+    const Segment* spec = nullptr;
+    const std::vector<Vpn>* pages = nullptr;
+    std::uint64_t cursor = 0;
+    std::vector<std::uint32_t> chase_perm;  // Lazy permutation for kPointerChase.
+  };
+  struct ProcessState {
+    std::vector<SegmentState> segments;
+    std::vector<double> cumulative_weight;
+    double total_weight = 0;
+    Vpn current_page = 0;
+    std::uint64_t sojourn_left = 0;
+    SegmentState* current_segment = nullptr;
+  };
+
+  Reference EmitFrom(ProcessState& p, tlb::Asid asid);
+  void PickNewPage(ProcessState& p);
+
+  const WorkloadSpec& spec_;
+  Rng rng_;
+  std::vector<ProcessState> procs_;
+  std::size_t active_proc_ = 0;
+  std::uint64_t slice_left_;
+};
+
+// The paper's evaluation workloads (Table 1), plus the kernel address-space
+// snapshot.  Names: coral, nasa7, compress, fftpde, wave5, mp3d, spice,
+// pthor, ml, gcc, kernel.
+const std::vector<WorkloadSpec>& PaperWorkloads();
+
+// Finds a paper workload by name; aborts on unknown names.
+const WorkloadSpec& GetPaperWorkload(const std::string& name);
+
+// Table 1 reference values for EXPERIMENTS.md comparisons (bytes of hashed
+// page table memory as published).
+struct PaperReference {
+  std::string name;
+  std::uint64_t hashed_pt_bytes;  // Table 1 column 5.
+  double pct_time_tlb;            // Table 1 column 4 (user time %).
+};
+const std::vector<PaperReference>& PaperTable1();
+
+}  // namespace cpt::workload
+
+#endif  // CPT_WORKLOAD_WORKLOAD_H_

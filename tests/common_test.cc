@@ -1,0 +1,186 @@
+// Tests for common utilities: deterministic RNG, bucket hashing, and the
+// statistics helpers.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace cpt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(43);
+  bool any_diff = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    any_diff |= a2.Next() != c.Next();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.Range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BurstLengthHasRequestedMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.BurstLength(16.0));
+  }
+  EXPECT_NEAR(sum / n, 16.0, 1.0);
+}
+
+TEST(RngTest, BurstLengthIsAtLeastOne) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.BurstLength(0.1), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BucketHasher
+// ---------------------------------------------------------------------------
+
+TEST(HashTest, StaysInBucketRange) {
+  const BucketHasher h(4096);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(h(rng.Next()), 4096u);
+  }
+}
+
+TEST(HashTest, MixSpreadsAlignedSegmentBases) {
+  // Region bases that are multiples of the bucket count must not collapse
+  // onto overlapping bucket ranges (the aliasing the fold hash suffers).
+  const BucketHasher mix(4096, HashKind::kMix);
+  std::set<std::uint32_t> buckets;
+  for (std::uint64_t base = 0; base < 64; ++base) {
+    buckets.insert(mix(base * 4096));
+  }
+  EXPECT_GT(buckets.size(), 56u) << "near-perfect spread expected";
+}
+
+TEST(HashTest, FoldIsDeterministicAndCheap) {
+  const BucketHasher fold(4096, HashKind::kFold);
+  EXPECT_EQ(fold(0x12345), fold(0x12345));
+  // Sequential keys map to distinct buckets (no within-range collisions).
+  std::set<std::uint32_t> buckets;
+  for (std::uint64_t k = 0x1000; k < 0x1100; ++k) {
+    buckets.insert(fold(k));
+  }
+  EXPECT_EQ(buckets.size(), 256u);
+}
+
+TEST(HashTest, MixDistributionIsRoughlyUniform) {
+  const BucketHasher h(256, HashKind::kMix);
+  std::vector<unsigned> counts(256, 0);
+  for (std::uint64_t k = 0; k < 256 * 64; ++k) {
+    ++counts[h(k * 0x10001)];
+  }
+  for (const unsigned c : counts) {
+    EXPECT_GT(c, 16u);
+    EXPECT_LT(c, 256u);
+  }
+}
+
+TEST(HashTest, SaltSeparatesContexts) {
+  const BucketHasher a(4096, HashKind::kMix, /*context_salt=*/1);
+  const BucketHasher b(4096, HashKind::kMix, /*context_salt=*/2);
+  unsigned differing = 0;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    differing += a(k) != b(k) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 200u);
+}
+
+TEST(HashTest, Mix64Avalanche) {
+  // Flipping one input bit flips roughly half the output bits.
+  for (unsigned bit = 0; bit < 64; bit += 7) {
+    const std::uint64_t a = Mix64(0x123456789ABCDEFull);
+    const std::uint64_t b = Mix64(0x123456789ABCDEFull ^ (1ull << bit));
+    const int flipped = std::popcount(a ^ b);
+    EXPECT_GT(flipped, 16) << "bit " << bit;
+    EXPECT_LT(flipped, 48) << "bit " << bit;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 9.0);
+}
+
+TEST(StatsTest, HistogramCountsAndMean) {
+  Histogram h;
+  h.Add(1);
+  h.Add(1);
+  h.Add(4);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.max_value(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_NE(h.ToString().find("1:2"), std::string::npos);
+}
+
+TEST(StatsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3MB");
+}
+
+}  // namespace
+}  // namespace cpt

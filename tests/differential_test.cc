@@ -1,0 +1,120 @@
+// Differential invariants across the whole simulator:
+//   - the TLB's behaviour must be independent of the page-table choice
+//     (same strategy => identical miss streams, Section 6.1's premise that
+//     the normalization denominator "is independent of the page table type");
+//   - runs are bit-for-bit deterministic;
+//   - structural size identities hold between organizations.
+#include <gtest/gtest.h>
+
+#include "sim/experiments.h"
+#include "sim/machine.h"
+#include "workload/workload.h"
+
+namespace cpt::sim {
+namespace {
+
+TEST(DifferentialTest, TlbMissesIndependentOfPageTableKind) {
+  // Under the base-only strategy, every PT kind serves identical fills, so
+  // the 64-entry TLB must miss identically.
+  const auto& spec = workload::GetPaperWorkload("compress");
+  std::uint64_t reference_misses = 0;
+  for (const PtKind pt : {PtKind::kHashed, PtKind::kClustered, PtKind::kForward,
+                          PtKind::kHashedSpIndex, PtKind::kClusteredAdaptive}) {
+    MachineOptions opts;
+    opts.pt_kind = pt;
+    const auto m = MeasureAccessTime(spec, opts, 120000);
+    if (reference_misses == 0) {
+      reference_misses = m.denominator_misses;
+    }
+    EXPECT_EQ(m.denominator_misses, reference_misses) << ToString(pt);
+  }
+}
+
+TEST(DifferentialTest, SuperpageTlbMissesIndependentOfSpCapableTables) {
+  const auto& spec = workload::GetPaperWorkload("mp3d");
+  std::uint64_t reference_misses = 0;
+  for (const PtKind pt :
+       {PtKind::kHashedMulti, PtKind::kClustered, PtKind::kLinear1, PtKind::kForward}) {
+    MachineOptions opts;
+    opts.pt_kind = pt;
+    opts.tlb_kind = TlbKind::kSuperpage;
+    const auto m = MeasureAccessTime(spec, opts, 120000);
+    if (reference_misses == 0) {
+      reference_misses = m.denominator_misses;
+    }
+    EXPECT_EQ(m.denominator_misses, reference_misses) << ToString(pt);
+  }
+}
+
+TEST(DifferentialTest, RunsAreDeterministic) {
+  const auto& spec = workload::GetPaperWorkload("coral");
+  MachineOptions opts;
+  opts.pt_kind = PtKind::kClustered;
+  const auto a = MeasureAccessTime(spec, opts, 150000);
+  const auto b = MeasureAccessTime(spec, opts, 150000);
+  EXPECT_EQ(a.denominator_misses, b.denominator_misses);
+  EXPECT_DOUBLE_EQ(a.avg_lines_per_miss, b.avg_lines_per_miss);
+  EXPECT_EQ(a.pt_bytes, b.pt_bytes);
+}
+
+TEST(DifferentialTest, ClusteredSizeIdentityAgainstHashed) {
+  // For any snapshot: clustered bytes = 144 * blocks, hashed = 24 * pages,
+  // and blocks <= pages <= 16 * blocks.
+  for (const auto& name : AllWorkloadNames()) {
+    const auto& spec = workload::GetPaperWorkload(name);
+    const auto hashed = MeasurePtSize(spec, {"h", PtKind::kHashed});
+    const auto clustered = MeasurePtSize(spec, {"c", PtKind::kClustered});
+    const std::uint64_t pages = hashed.bytes / 24;
+    const std::uint64_t blocks = clustered.bytes / 144;
+    EXPECT_LE(blocks, pages) << name;
+    EXPECT_LE(pages, blocks * 16) << name;
+  }
+}
+
+TEST(DifferentialTest, SwTlbNeverChangesTranslationResults) {
+  // Wrapping any table in a software TLB must not change which pages
+  // translate or to what — only the cost.
+  const auto& spec = workload::GetPaperWorkload("compress");
+  MachineOptions plain;
+  plain.pt_kind = PtKind::kClustered;
+  MachineOptions cached = plain;
+  cached.swtlb_sets = 256;
+  const auto a = MeasureAccessTime(spec, plain, 100000);
+  const auto b = MeasureAccessTime(spec, cached, 100000);
+  EXPECT_EQ(a.denominator_misses, b.denominator_misses);
+  EXPECT_EQ(a.miss_ratio, b.miss_ratio);
+}
+
+TEST(DifferentialTest, PrefetchNeverIncreasesMisses) {
+  // Section 4.4: prefetch cannot pollute, so misses with prefetch <= without.
+  for (const char* name : {"coral", "mp3d", "fftpde"}) {
+    const auto& spec = workload::GetPaperWorkload(name);
+    MachineOptions with;
+    with.pt_kind = PtKind::kClustered;
+    with.tlb_kind = TlbKind::kCompleteSubblock;
+    with.prefetch_on_block_miss = true;
+    MachineOptions without = with;
+    without.prefetch_on_block_miss = false;
+    const auto a = MeasureAccessTime(spec, with, 150000);
+    const auto b = MeasureAccessTime(spec, without, 150000);
+    EXPECT_LE(a.denominator_misses, b.denominator_misses) << name;
+    EXPECT_EQ(a.block_misses, b.block_misses) << name
+        << ": prefetch only removes subblock misses";
+  }
+}
+
+TEST(DifferentialTest, BlockMissesBoundedByBlockCount) {
+  // A complete-subblock TLB's distinct tags cover all mapped blocks; with
+  // prefetch, subblock misses only occur for pages faulted in after their
+  // block's last block-miss — zero here because Preload precedes the trace.
+  const auto& spec = workload::GetPaperWorkload("mp3d");
+  MachineOptions opts;
+  opts.pt_kind = PtKind::kClustered;
+  opts.tlb_kind = TlbKind::kCompleteSubblock;
+  const auto m = MeasureAccessTime(spec, opts, 150000);
+  EXPECT_EQ(m.subblock_misses, 0u);
+  EXPECT_EQ(m.block_misses, m.effective_misses);
+}
+
+}  // namespace
+}  // namespace cpt::sim

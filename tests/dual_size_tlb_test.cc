@@ -1,0 +1,97 @@
+// Tests for the set-associative two-page-size TLB ([Tall92], the hardware
+// analog of superpage-index hashing).
+#include "tlb/dual_size_setassoc.h"
+
+#include <gtest/gtest.h>
+
+namespace cpt::tlb {
+namespace {
+
+pt::TlbFill BaseFill(Vpn vpn, Ppn ppn) {
+  return pt::TlbFill{.kind = MappingKind::kBase,
+                     .base_vpn = vpn,
+                     .pages_log2 = 0,
+                     .word = MappingWord::Base(ppn, Attr::ReadWrite())};
+}
+
+pt::TlbFill SuperFill(Vpn base_vpn, Ppn base_ppn) {
+  return pt::TlbFill{.kind = MappingKind::kSuperpage,
+                     .base_vpn = base_vpn,
+                     .pages_log2 = 4,
+                     .word = MappingWord::Superpage(base_ppn, Attr::ReadWrite(), kPage64K)};
+}
+
+TEST(DualSizeTlbTest, BothSizesHitViaSuperpageIndex) {
+  DualSizeSetAssocTlb tlb(16, 2);
+  tlb.Insert(0, 0x4000, SuperFill(0x4000, 0x100));
+  tlb.Insert(0, 0x9003, BaseFill(0x9003, 0x7));
+  for (unsigned i = 0; i < 16; ++i) {
+    EXPECT_EQ(tlb.Lookup(0, 0x4000 + i), LookupOutcome::kHit) << i;
+  }
+  EXPECT_EQ(tlb.Lookup(0, 0x9003), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, 0x9004), LookupOutcome::kMiss);
+}
+
+TEST(DualSizeTlbTest, BasePagesOfOneBlockCompeteForOneSet) {
+  // 2-way sets: three base pages from one 16-page block all index the same
+  // set and cannot coexist — the crowding superpage indexing causes.
+  DualSizeSetAssocTlb tlb(16, 2);
+  tlb.Insert(0, 0x8000, BaseFill(0x8000, 1));
+  tlb.Insert(0, 0x8001, BaseFill(0x8001, 2));
+  tlb.Insert(0, 0x8002, BaseFill(0x8002, 3));  // Evicts one of the first two.
+  unsigned hits = 0;
+  for (const Vpn vpn : {0x8000ull, 0x8001ull, 0x8002ull}) {
+    hits += tlb.Lookup(0, vpn) == LookupOutcome::kHit ? 1 : 0;
+  }
+  EXPECT_EQ(hits, 2u);
+  EXPECT_GE(tlb.conflict_evictions(), 1u) << "capacity existed in other sets";
+}
+
+TEST(DualSizeTlbTest, DistinctBlocksSpreadAcrossSets) {
+  DualSizeSetAssocTlb tlb(16, 2);
+  for (unsigned b = 0; b < 16; ++b) {
+    tlb.Insert(0, (0x100 + b) * 16ull, BaseFill((0x100 + b) * 16ull, b));
+  }
+  for (unsigned b = 0; b < 16; ++b) {
+    EXPECT_EQ(tlb.Lookup(0, (0x100 + b) * 16ull), LookupOutcome::kHit) << b;
+  }
+  EXPECT_EQ(tlb.conflict_evictions(), 0u);
+}
+
+TEST(DualSizeTlbTest, SetLruReplacement) {
+  DualSizeSetAssocTlb tlb(16, 2);
+  tlb.Insert(0, 0x8000, BaseFill(0x8000, 1));
+  tlb.Insert(0, 0x8001, BaseFill(0x8001, 2));
+  EXPECT_EQ(tlb.Lookup(0, 0x8000), LookupOutcome::kHit);  // 0x8001 is LRU.
+  tlb.Insert(0, 0x8002, BaseFill(0x8002, 3));
+  EXPECT_EQ(tlb.Lookup(0, 0x8000), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, 0x8001), LookupOutcome::kMiss);
+}
+
+TEST(DualSizeTlbTest, PsbFillDegradesToBaseEntry) {
+  DualSizeSetAssocTlb tlb(16, 2);
+  tlb.Insert(0, 0x8005,
+             pt::TlbFill{.kind = MappingKind::kPartialSubblock,
+                         .base_vpn = 0x8000,
+                         .pages_log2 = 4,
+                         .word = MappingWord::PartialSubblock(0x40, Attr::ReadWrite(), 0xFFFF)});
+  EXPECT_EQ(tlb.Lookup(0, 0x8005), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, 0x8006), LookupOutcome::kMiss);
+}
+
+TEST(DualSizeTlbTest, AsidsSeparate) {
+  DualSizeSetAssocTlb tlb(16, 2);
+  tlb.Insert(0, 0x4000, SuperFill(0x4000, 0x100));
+  EXPECT_EQ(tlb.Lookup(1, 0x4000), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, 0x4000), LookupOutcome::kHit);
+}
+
+TEST(DualSizeTlbTest, FlushResetsEverything) {
+  DualSizeSetAssocTlb tlb(16, 2);
+  tlb.Insert(0, 0x4000, SuperFill(0x4000, 0x100));
+  tlb.Flush();
+  EXPECT_EQ(tlb.Lookup(0, 0x4000), LookupOutcome::kMiss);
+}
+
+}  // namespace
+}  // namespace cpt::tlb

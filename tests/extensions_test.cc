@@ -1,0 +1,292 @@
+// Tests for the paper's Section 2/3/7 extensions: the software TLB (TSB)
+// layer with base and clustered entries, the inverted hashed organization,
+// and the adaptive (varying-subblock-factor) clustered table.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/adaptive.h"
+#include "core/clustered.h"
+#include "mem/cache_model.h"
+#include "pt/hashed.h"
+#include "pt/software_tlb.h"
+#include "sim/experiments.h"
+
+namespace cpt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SoftwareTlb
+// ---------------------------------------------------------------------------
+
+class SwTlbTest : public ::testing::Test {
+ protected:
+  SwTlbTest() : cache_(256) {}
+
+  std::unique_ptr<pt::SoftwareTlb> Make(bool clustered_entries) {
+    auto backing = std::make_unique<pt::HashedPageTable>(cache_, pt::HashedPageTable::Options{});
+    return std::make_unique<pt::SoftwareTlb>(
+        cache_, std::move(backing),
+        pt::SoftwareTlb::Options{.num_sets = 64,
+                                 .ways = 2,
+                                 .clustered_entries = clustered_entries});
+  }
+
+  std::optional<pt::TlbFill> Lookup(pt::PageTable& t, Vpn vpn) {
+    mem::WalkScope scope(cache_);
+    return t.Lookup(VaOf(vpn));
+  }
+
+  mem::CacheTouchModel cache_;
+};
+
+TEST_F(SwTlbTest, SecondLookupHitsTheCache) {
+  auto t = Make(false);
+  t->InsertBase(0x1234, 0x9, Attr::ReadWrite());
+  ASSERT_TRUE(Lookup(*t, 0x1234).has_value());
+  EXPECT_EQ(t->probe_misses(), 1u);
+  ASSERT_TRUE(Lookup(*t, 0x1234).has_value());
+  EXPECT_EQ(t->probe_hits(), 1u);
+}
+
+TEST_F(SwTlbTest, CacheHitCostsOneLine) {
+  auto t = Make(false);
+  t->InsertBase(0x1234, 0x9, Attr::ReadWrite());
+  Lookup(*t, 0x1234);  // Fill.
+  cache_.Reset();
+  Lookup(*t, 0x1234);  // Hit.
+  EXPECT_EQ(cache_.total_lines(), 1u) << "a software TLB hit is one memory access";
+}
+
+TEST_F(SwTlbTest, MissPaysProbePlusBackingWalk) {
+  auto t = Make(false);
+  t->InsertBase(0x1234, 0x9, Attr::ReadWrite());
+  cache_.Reset();
+  Lookup(*t, 0x1234);  // Probe misses, backing walk runs.
+  EXPECT_GE(cache_.total_lines(), 2u);
+}
+
+TEST_F(SwTlbTest, TranslationsComeFromBacking) {
+  auto t = Make(false);
+  t->InsertBase(0x42, 0x7, Attr::ReadWrite());
+  const auto fill = Lookup(*t, 0x42);
+  ASSERT_TRUE(fill.has_value());
+  EXPECT_EQ(fill->Translate(0x42), 0x7u);
+  EXPECT_EQ(t->live_translations(), 1u);
+}
+
+TEST_F(SwTlbTest, UpdatesInvalidateCachedEntries) {
+  auto t = Make(false);
+  t->InsertBase(0x100, 0x1, Attr::ReadWrite());
+  Lookup(*t, 0x100);  // Cache it.
+  t->InsertBase(0x100, 0x2, Attr::ReadWrite());
+  const auto fill = Lookup(*t, 0x100);
+  ASSERT_TRUE(fill.has_value());
+  EXPECT_EQ(fill->Translate(0x100), 0x2u) << "stale slot must have been invalidated";
+  t->RemoveBase(0x100);
+  EXPECT_FALSE(Lookup(*t, 0x100).has_value());
+}
+
+TEST_F(SwTlbTest, ClusteredEntriesHitOnNeighborPages) {
+  auto base = Make(false);
+  auto clustered = Make(true);
+  for (unsigned i = 0; i < 16; ++i) {
+    base->InsertBase(0x200 + i, i, Attr::ReadWrite());
+    clustered->InsertBase(0x200 + i, i, Attr::ReadWrite());
+  }
+  // Touch page 0 of the block, then page 5.
+  Lookup(*base, 0x200);
+  Lookup(*clustered, 0x200);
+  const auto base_misses = base->probe_misses();
+  const auto clust_misses = clustered->probe_misses();
+  Lookup(*base, 0x205);
+  Lookup(*clustered, 0x205);
+  EXPECT_EQ(base->probe_misses(), base_misses + 1) << "base entry covers one page";
+  EXPECT_EQ(clustered->probe_misses(), clust_misses) << "clustered entry covers the block";
+}
+
+TEST_F(SwTlbTest, SizeIncludesPreallocatedArray) {
+  auto t = Make(false);
+  // 64 sets * 2 ways * 16B = 2048, plus backing bytes.
+  EXPECT_EQ(t->SizeBytesPaperModel(), 2048u);
+  t->InsertBase(1, 1, Attr::ReadWrite());
+  EXPECT_EQ(t->SizeBytesPaperModel(), 2048u + 24u);
+}
+
+TEST_F(SwTlbTest, SuperpageInvalidationCoversWholeRange) {
+  auto backing = std::make_unique<pt::HashedPageTable>(cache_, pt::HashedPageTable::Options{});
+  // Note: a plain hashed backing cannot store superpages, so use base pages
+  // through the decorator and verify range invalidation via ProtectRange.
+  auto t = Make(false);
+  for (unsigned i = 0; i < 4; ++i) {
+    t->InsertBase(0x300 + i, i, Attr::ReadWrite());
+    Lookup(*t, 0x300 + i);  // Cache them all.
+  }
+  t->ProtectRange(0x300, 4, Attr::ReadOnly());
+  for (unsigned i = 0; i < 4; ++i) {
+    const auto fill = Lookup(*t, 0x300 + i);
+    ASSERT_TRUE(fill.has_value());
+    EXPECT_EQ(fill->word.attr(), Attr::ReadOnly()) << "page " << i;
+  }
+}
+
+TEST_F(SwTlbTest, MakesForwardMappedTablesPractical) {
+  // Section 7: "A software TLB ... makes it practical to use a slower
+  // forward-mapped page table."  Plain forward-mapped walks cost 7 lines;
+  // with a software TLB most hardware-TLB misses resolve in one.
+  const auto& spec = workload::GetPaperWorkload("coral");
+  sim::MachineOptions without;
+  without.pt_kind = sim::PtKind::kForward;
+  const auto plain = sim::MeasureAccessTime(spec, without, 800000);
+  sim::MachineOptions with = without;
+  with.swtlb_sets = 4096;
+  const auto cached = sim::MeasureAccessTime(spec, with, 800000);
+  EXPECT_NEAR(plain.avg_lines_per_miss, 7.0, 0.05);
+  EXPECT_LT(cached.avg_lines_per_miss, plain.avg_lines_per_miss / 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Inverted hashed organization
+// ---------------------------------------------------------------------------
+
+TEST(InvertedHashedTest, LookupPaysPointerPlusNode) {
+  mem::CacheTouchModel cache(256);
+  pt::HashedPageTable t(cache, {.inverted = true});
+  t.InsertBase(0x100, 1, Attr::ReadWrite());
+  cache.Reset();
+  {
+    mem::WalkScope scope(cache);
+    ASSERT_TRUE(t.Lookup(VaOf(0x100)).has_value());
+  }
+  EXPECT_EQ(cache.total_lines(), 2u) << "pointer array + node";
+}
+
+TEST(InvertedHashedTest, EmptyBucketCostsOnlyThePointer) {
+  mem::CacheTouchModel cache(256);
+  pt::HashedPageTable t(cache, {.inverted = true});
+  cache.Reset();
+  {
+    mem::WalkScope scope(cache);
+    EXPECT_FALSE(t.Lookup(VaOf(0x55555)).has_value());
+  }
+  EXPECT_EQ(cache.total_lines(), 1u);
+}
+
+TEST(InvertedHashedTest, BucketArrayIsSmallerThanEmbedded) {
+  mem::CacheTouchModel cache(256);
+  pt::HashedPageTable inverted(cache, {.inverted = true});
+  pt::HashedPageTable embedded(cache, {});
+  EXPECT_LT(inverted.SizeBytesActual(), embedded.SizeBytesActual());
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveClusteredPageTable
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveTest, IsolatedPagesUseCompactNodes) {
+  mem::CacheTouchModel cache(256);
+  core::AdaptiveClusteredPageTable t(cache, {});
+  t.InsertBase(0x100, 1, Attr::ReadWrite());
+  EXPECT_EQ(t.SizeBytesPaperModel(), 24u) << "one 24-byte single-page node";
+  t.InsertBase(0x900, 2, Attr::ReadWrite());
+  EXPECT_EQ(t.SizeBytesPaperModel(), 48u);
+  EXPECT_EQ(t.promotions(), 0u);
+}
+
+TEST(AdaptiveTest, DenseBlockPromotesToArrayNode) {
+  mem::CacheTouchModel cache(256);
+  core::AdaptiveClusteredPageTable t(cache, {});
+  for (unsigned i = 0; i < 6; ++i) {
+    t.InsertBase(0x100 + i, i, Attr::ReadWrite());
+  }
+  EXPECT_EQ(t.promotions(), 1u);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.SizeBytesPaperModel(), 144u);
+  for (unsigned i = 0; i < 6; ++i) {
+    mem::WalkScope scope(cache);
+    const auto fill = t.Lookup(VaOf(0x100 + i));
+    ASSERT_TRUE(fill.has_value()) << "page " << i;
+    EXPECT_EQ(fill->Translate(0x100 + i), i);
+  }
+}
+
+TEST(AdaptiveTest, SparseRemovalDemotesBackToSingles) {
+  mem::CacheTouchModel cache(256);
+  core::AdaptiveClusteredPageTable t(cache, {});
+  for (unsigned i = 0; i < 8; ++i) {
+    t.InsertBase(0x100 + i, i, Attr::ReadWrite());
+  }
+  EXPECT_EQ(t.promotions(), 1u);
+  for (unsigned i = 0; i < 5; ++i) {
+    EXPECT_TRUE(t.RemoveBase(0x100 + i));
+  }
+  EXPECT_EQ(t.demotions(), 1u);
+  EXPECT_EQ(t.SizeBytesPaperModel(), 3u * 24) << "three singles again";
+  for (unsigned i = 5; i < 8; ++i) {
+    mem::WalkScope scope(cache);
+    EXPECT_TRUE(t.Lookup(VaOf(0x100 + i)).has_value());
+  }
+}
+
+TEST(AdaptiveTest, NeverWorseThanBothFixedChoices) {
+  // Property: the adaptive table is never more than one node over the
+  // better of {pure-hashed 24B/page, pure-clustered (8s+16)/block} — the
+  // point of Section 3's varying-factor generalization.
+  mem::CacheTouchModel cache(256);
+  core::AdaptiveClusteredPageTable adaptive(cache, {});
+  core::ClusteredPageTable fixed(cache, {});
+  pt::HashedPageTable hashed(cache, {});
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const Vpn vpn = rng.Below(4000);
+    if (rng.Chance(0.65)) {
+      adaptive.InsertBase(vpn, vpn, Attr::ReadWrite());
+      fixed.InsertBase(vpn, vpn, Attr::ReadWrite());
+      hashed.InsertBase(vpn, vpn, Attr::ReadWrite());
+    } else {
+      adaptive.RemoveBase(vpn);
+      fixed.RemoveBase(vpn);
+      hashed.RemoveBase(vpn);
+    }
+  }
+  const std::uint64_t best =
+      std::min(fixed.SizeBytesPaperModel(), hashed.SizeBytesPaperModel());
+  EXPECT_LE(adaptive.SizeBytesPaperModel(), best + 144)
+      << "adaptive must track the better fixed choice";
+  EXPECT_EQ(adaptive.live_translations(), fixed.live_translations());
+}
+
+TEST(AdaptiveTest, MixedSparseAndDenseBlocksGetDifferentFormats) {
+  mem::CacheTouchModel cache(256);
+  core::AdaptiveClusteredPageTable t(cache, {});
+  // A dense block (16 pages) and four isolated pages.
+  for (unsigned i = 0; i < 16; ++i) {
+    t.InsertBase(0x100 + i, i, Attr::ReadWrite());
+  }
+  for (unsigned i = 0; i < 4; ++i) {
+    t.InsertBase(0x1000 + i * 64, i, Attr::ReadWrite());
+  }
+  EXPECT_EQ(t.SizeBytesPaperModel(), 144u + 4 * 24);
+  // Fixed clustered would pay 5 * 144; hashed would pay 20 * 24.
+  EXPECT_LT(t.SizeBytesPaperModel(), 5u * 144);
+  EXPECT_LT(t.SizeBytesPaperModel(), 20u * 24);
+}
+
+TEST(AdaptiveTest, SuperpageAndPsbUseCompactNodes) {
+  mem::CacheTouchModel cache(256);
+  core::AdaptiveClusteredPageTable t(cache, {});
+  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  t.UpsertPartialSubblock(0x8000, 16, 0x200, Attr::ReadWrite(), 0x00FF);
+  EXPECT_EQ(t.SizeBytesPaperModel(), 48u);
+  {
+    mem::WalkScope scope(cache);
+    EXPECT_EQ(t.Lookup(VaOf(0x4008))->Translate(0x4008), 0x108u);
+    EXPECT_EQ(t.Lookup(VaOf(0x8003))->Translate(0x8003), 0x203u);
+    EXPECT_FALSE(t.Lookup(VaOf(0x8009)).has_value());
+  }
+  EXPECT_TRUE(t.RemoveSuperpage(0x4000, kPage64K));
+  EXPECT_TRUE(t.RemovePartialSubblock(0x8000, 16));
+  EXPECT_EQ(t.SizeBytesPaperModel(), 0u);
+}
+
+}  // namespace
+}  // namespace cpt

@@ -1,0 +1,267 @@
+// Unit tests for the hashed page table and its superpage/PSB strategies:
+// chain behaviour, packed PTEs, block-keyed tables, two-table search order,
+// and the superpage-index variant's chain packing.
+#include "pt/hashed.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mem/cache_model.h"
+#include "pt/multi_hashed.h"
+
+namespace cpt::pt {
+namespace {
+
+class HashedTest : public ::testing::Test {
+ protected:
+  HashedTest() : cache_(256), table_(cache_, {}) {}
+
+  std::optional<TlbFill> Lookup(Vpn vpn) {
+    mem::WalkScope scope(cache_);
+    return table_.Lookup(VaOf(vpn));
+  }
+
+  unsigned LinesFor(Vpn vpn) {
+    cache_.Reset();
+    Lookup(vpn);
+    return static_cast<unsigned>(cache_.total_lines());
+  }
+
+  mem::CacheTouchModel cache_;
+  HashedPageTable table_;
+};
+
+TEST_F(HashedTest, TwentyFourBytesPerPte) {
+  for (Vpn vpn = 0; vpn < 10; ++vpn) {
+    table_.InsertBase(0x5000 + vpn, vpn, Attr::ReadWrite());
+  }
+  EXPECT_EQ(table_.SizeBytesPaperModel(), 240u);
+  EXPECT_EQ(table_.node_count(), 10u);
+}
+
+TEST_F(HashedTest, SingleNodeLookupTouchesOneLine) {
+  table_.InsertBase(0x100, 1, Attr::ReadWrite());
+  EXPECT_EQ(LinesFor(0x100), 1u);
+}
+
+TEST_F(HashedTest, EmptyBucketProbeTouchesHeadLine) {
+  EXPECT_EQ(LinesFor(0xABCDE), 1u) << "the embedded head slot is always read";
+}
+
+TEST_F(HashedTest, ChainCollisionsCostExtraLines) {
+  // Force collisions with a tiny table: 4 buckets, 64 PTEs -> chains of ~16.
+  mem::CacheTouchModel cache(256);
+  HashedPageTable t(cache, {.num_buckets = 4});
+  for (Vpn vpn = 0; vpn < 64; ++vpn) {
+    t.InsertBase(vpn, vpn, Attr::ReadWrite());
+  }
+  const Histogram chains = t.ChainLengthHistogram();
+  EXPECT_EQ(chains.total(), 4u);
+  EXPECT_DOUBLE_EQ(chains.mean(), 16.0);
+  // Looking up the chain tail touches many distinct lines.
+  std::uint64_t max_lines = 0;
+  for (Vpn vpn = 0; vpn < 64; ++vpn) {
+    cache.Reset();
+    {
+      mem::WalkScope scope(cache);
+      ASSERT_TRUE(t.Lookup(VaOf(vpn)).has_value());
+    }
+    max_lines = std::max(max_lines, cache.total_lines());
+  }
+  EXPECT_GE(max_lines, 8u);
+}
+
+TEST_F(HashedTest, PackedVariantShrinksSizeOnly) {
+  mem::CacheTouchModel cache(256);
+  HashedPageTable packed(cache, {.packed_pte = true});
+  for (Vpn vpn = 0; vpn < 10; ++vpn) {
+    packed.InsertBase(vpn * 997, vpn, Attr::ReadWrite());
+    table_.InsertBase(vpn * 997, vpn, Attr::ReadWrite());
+  }
+  EXPECT_EQ(packed.SizeBytesPaperModel(), 160u);  // 16 bytes per PTE.
+  EXPECT_EQ(table_.SizeBytesPaperModel(), 240u);
+  EXPECT_EQ(packed.SizeBytesPaperModel() * 3, table_.SizeBytesPaperModel() * 2)
+      << "Section 7: packing saves 33%";
+  for (Vpn vpn = 0; vpn < 10; ++vpn) {
+    mem::WalkScope scope(cache);
+    EXPECT_TRUE(packed.Lookup(VaOf(vpn * 997)).has_value());
+  }
+}
+
+TEST_F(HashedTest, BlockKeyedTableStoresSuperpageAndPsb) {
+  mem::CacheTouchModel cache(256);
+  HashedPageTable block(cache, {.tag_shift = 4});
+  block.UpsertWord(0x4000, MappingWord::Superpage(0x100, Attr::ReadWrite(), kPage64K));
+  {
+    mem::WalkScope scope(cache);
+    const auto fill = block.Lookup(VaOf(0x4009));
+    ASSERT_TRUE(fill.has_value());
+    EXPECT_EQ(fill->Translate(0x4009), 0x109u);
+  }
+  block.UpsertWord(0x8000, MappingWord::PartialSubblock(0x200, Attr::ReadWrite(), 0x0010));
+  {
+    mem::WalkScope scope(cache);
+    EXPECT_TRUE(block.Lookup(VaOf(0x8004)).has_value());
+    EXPECT_FALSE(block.Lookup(VaOf(0x8005)).has_value());
+  }
+  EXPECT_EQ(block.live_translations(), 17u);
+}
+
+TEST_F(HashedTest, UpsertReplacesPsbVectorInPlace) {
+  mem::CacheTouchModel cache(256);
+  HashedPageTable block(cache, {.tag_shift = 4});
+  block.UpsertWord(0x8000, MappingWord::PartialSubblock(0x200, Attr::ReadWrite(), 0x0001));
+  block.UpsertWord(0x8000, MappingWord::PartialSubblock(0x200, Attr::ReadWrite(), 0x0003));
+  EXPECT_EQ(block.node_count(), 1u);
+  EXPECT_EQ(block.live_translations(), 2u);
+}
+
+TEST_F(HashedTest, PeekDoesNotTouchCache) {
+  table_.InsertBase(0x42, 0x7, Attr::ReadWrite());
+  cache_.Reset();
+  const auto word = table_.Peek(0x42);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(word->ppn(), 0x7u);
+  EXPECT_EQ(cache_.total_lines(), 0u);
+}
+
+TEST_F(HashedTest, RandomChurnKeepsStructureConsistent) {
+  Rng rng(17);
+  std::uint64_t inserted = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const Vpn vpn = rng.Below(2000);
+    if (rng.Chance(0.6)) {
+      const bool fresh = !table_.Peek(vpn).has_value();
+      table_.InsertBase(vpn, vpn, Attr::ReadWrite());
+      inserted += fresh ? 1 : 0;
+    } else {
+      inserted -= table_.RemoveBase(vpn) ? 1 : 0;
+    }
+    ASSERT_EQ(table_.node_count(), inserted);
+    ASSERT_EQ(table_.SizeBytesPaperModel(), inserted * 24);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MultiTableHashed
+// ---------------------------------------------------------------------------
+
+TEST(MultiTableHashedTest, BaseFirstPaysTwoSearchesForSuperpages) {
+  mem::CacheTouchModel cache(256);
+  MultiTableHashed t(cache, {});
+  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  t.InsertBase(0x9000, 0x1, Attr::ReadWrite());
+  cache.Reset();
+  {
+    mem::WalkScope scope(cache);
+    ASSERT_TRUE(t.Lookup(VaOf(0x4005)).has_value());
+  }
+  const auto superpage_lines = cache.total_lines();
+  cache.Reset();
+  {
+    mem::WalkScope scope(cache);
+    ASSERT_TRUE(t.Lookup(VaOf(0x9000)).has_value());
+  }
+  const auto base_lines = cache.total_lines();
+  EXPECT_EQ(base_lines, 1u) << "base PTE found in the first table";
+  EXPECT_EQ(superpage_lines, 2u) << "superpage PTE pays the empty 4KB search first";
+}
+
+TEST(MultiTableHashedTest, BlockFirstReversesTheCost) {
+  mem::CacheTouchModel cache(256);
+  MultiTableHashed t(cache, {.order = MultiTableHashed::SearchOrder::kBlockFirst});
+  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  t.InsertBase(0x9000, 0x1, Attr::ReadWrite());
+  cache.Reset();
+  {
+    mem::WalkScope scope(cache);
+    ASSERT_TRUE(t.Lookup(VaOf(0x4005)).has_value());
+  }
+  EXPECT_EQ(cache.total_lines(), 1u);
+  cache.Reset();
+  {
+    mem::WalkScope scope(cache);
+    ASSERT_TRUE(t.Lookup(VaOf(0x9000)).has_value());
+  }
+  EXPECT_EQ(cache.total_lines(), 2u);
+}
+
+TEST(MultiTableHashedTest, SizeSumsBothTables) {
+  mem::CacheTouchModel cache(256);
+  MultiTableHashed t(cache, {});
+  t.InsertBase(0x9000, 0x1, Attr::ReadWrite());
+  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  EXPECT_EQ(t.SizeBytesPaperModel(), 48u);
+  EXPECT_EQ(t.live_translations(), 17u);
+}
+
+TEST(MultiTableHashedTest, ProtectRangeCoversBothTables) {
+  mem::CacheTouchModel cache(256);
+  MultiTableHashed t(cache, {});
+  t.InsertBase(0x4010, 0x1, Attr::ReadWrite());
+  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  t.ProtectRange(0x4000, 32, Attr::ReadOnly());
+  mem::WalkScope scope(cache);
+  EXPECT_EQ(t.Lookup(VaOf(0x4005))->word.attr(), Attr::ReadOnly());
+  EXPECT_EQ(t.Lookup(VaOf(0x4010))->word.attr(), Attr::ReadOnly());
+}
+
+// ---------------------------------------------------------------------------
+// SuperpageIndexHashed
+// ---------------------------------------------------------------------------
+
+TEST(SuperpageIndexTest, OneProbeButLongerChains) {
+  mem::CacheTouchModel cache(256);
+  SuperpageIndexHashed t(cache, {});
+  // Sixteen base pages of one block all chain into one bucket.
+  for (unsigned i = 0; i < 16; ++i) {
+    t.InsertBase(0x100 + i, i, Attr::ReadWrite());
+  }
+  const Histogram chains = t.ChainLengthHistogram();
+  EXPECT_EQ(chains.max_value(), 16u) << "the whole block shares a bucket";
+  // A lookup still needs only one bucket search, but may visit many nodes.
+  cache.Reset();
+  {
+    mem::WalkScope scope(cache);
+    ASSERT_TRUE(t.Lookup(VaOf(0x100)).has_value());
+  }
+  EXPECT_GE(cache.total_lines(), 1u);
+}
+
+TEST(SuperpageIndexTest, PsbPteShortensChains) {
+  mem::CacheTouchModel cache(256);
+  SuperpageIndexHashed t(cache, {});
+  t.UpsertPartialSubblock(0x100, 16, 0x40, Attr::ReadWrite(), 0xFFFF);
+  EXPECT_EQ(t.ChainLengthHistogram().max_value(), 1u)
+      << "one PSB PTE replaces sixteen chained base PTEs (Section 4.3)";
+  for (unsigned i = 0; i < 16; ++i) {
+    mem::WalkScope scope(cache);
+    EXPECT_TRUE(t.Lookup(VaOf(0x100 + i)).has_value());
+  }
+}
+
+TEST(SuperpageIndexTest, SmallerSuperpagesCoResideInBucket) {
+  mem::CacheTouchModel cache(256);
+  SuperpageIndexHashed t(cache, {});
+  t.InsertSuperpage(0x100, kPage16K, 0x20, Attr::ReadWrite());   // Pages 0-3.
+  t.InsertSuperpage(0x104, kPage16K, 0x60, Attr::ReadWrite());   // Pages 4-7.
+  t.InsertBase(0x108, 0x99, Attr::ReadWrite());
+  mem::WalkScope scope(cache);
+  EXPECT_EQ(t.Lookup(VaOf(0x102))->Translate(0x102), 0x22u);
+  EXPECT_EQ(t.Lookup(VaOf(0x105))->Translate(0x105), 0x61u);
+  EXPECT_EQ(t.Lookup(VaOf(0x108))->Translate(0x108), 0x99u);
+  EXPECT_FALSE(t.Lookup(VaOf(0x109)).has_value());
+}
+
+TEST(SuperpageIndexTest, RejectsSuperpagesLargerThanIndex) {
+  mem::CacheTouchModel cache(256);
+  SuperpageIndexHashed t(cache, {});
+  // A 64KB superpage equals the index size and is fine; larger must be
+  // "handled another way" (Section 4.2) and is rejected by contract.
+  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  EXPECT_EQ(t.live_translations(), 16u);
+  EXPECT_DEBUG_DEATH(t.InsertSuperpage(0x8000, PageSize{5}, 0x200, Attr::ReadWrite()), "");
+}
+
+}  // namespace
+}  // namespace cpt::pt

@@ -1,0 +1,150 @@
+// Unit tests for the bit-level mapping-word formats (Figures 1, 6, 7).
+#include "common/pte.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace cpt {
+namespace {
+
+TEST(AttrTest, FlagOperations) {
+  Attr a = Attr::ReadWrite();
+  EXPECT_TRUE(a.test(Attr::kRead));
+  EXPECT_TRUE(a.test(Attr::kWrite));
+  EXPECT_TRUE(a.test(Attr::kCacheable));
+  EXPECT_FALSE(a.test(Attr::kExecute));
+
+  const Attr b = a.with(Attr::kExecute);
+  EXPECT_TRUE(b.test(Attr::kExecute));
+  EXPECT_FALSE(a.test(Attr::kExecute)) << "with() must not mutate";
+
+  const Attr c = b.without(Attr::kWrite);
+  EXPECT_FALSE(c.test(Attr::kWrite));
+  EXPECT_TRUE(c.test(Attr::kRead));
+}
+
+TEST(MappingWordTest, BaseRoundTrip) {
+  const MappingWord w = MappingWord::Base(0xABCDEF1, Attr::ReadOnly());
+  EXPECT_TRUE(w.valid());
+  EXPECT_EQ(w.kind(), MappingKind::kBase);
+  EXPECT_EQ(w.ppn(), 0xABCDEF1u);
+  EXPECT_EQ(w.attr(), Attr::ReadOnly());
+}
+
+TEST(MappingWordTest, BaseMaxPpnRoundTrip) {
+  const MappingWord w = MappingWord::Base(kMaxPpn, Attr{0xFFF});
+  EXPECT_EQ(w.ppn(), kMaxPpn);
+  EXPECT_EQ(w.attr().bits, 0xFFF);
+  EXPECT_EQ(w.kind(), MappingKind::kBase);
+}
+
+TEST(MappingWordTest, InvalidIsNotValid) {
+  EXPECT_FALSE(MappingWord::Invalid().valid());
+  EXPECT_EQ(MappingWord::Invalid().kind(), MappingKind::kBase);
+  EXPECT_EQ(MappingWord::Invalid().bits(), 0u);
+}
+
+TEST(MappingWordTest, SuperpageRoundTrip) {
+  const MappingWord w = MappingWord::Superpage(0x1000, Attr::ReadWrite(), kPage64K);
+  EXPECT_TRUE(w.valid());
+  EXPECT_EQ(w.kind(), MappingKind::kSuperpage);
+  EXPECT_EQ(w.page_size(), kPage64K);
+  EXPECT_EQ(w.page_size().pages(), 16u);
+  EXPECT_EQ(w.ppn(), 0x1000u);
+}
+
+TEST(MappingWordTest, SuperpageSizesEncodeInSzField) {
+  for (unsigned log2 = 1; log2 <= 15; ++log2) {
+    const MappingWord w = MappingWord::Superpage(0, Attr{}, PageSize{log2});
+    EXPECT_EQ(w.page_size().size_log2, log2) << "SZ=" << log2;
+    EXPECT_TRUE(w.valid());
+  }
+}
+
+TEST(MappingWordTest, InvalidSuperpageKeepsSzReadable) {
+  const MappingWord w = MappingWord::InvalidSuperpage(kPage16K);
+  EXPECT_FALSE(w.valid());
+  EXPECT_EQ(w.kind(), MappingKind::kSuperpage);
+  EXPECT_EQ(w.page_size(), kPage16K);
+}
+
+TEST(MappingWordTest, PartialSubblockRoundTrip) {
+  const MappingWord w = MappingWord::PartialSubblock(0x40, Attr::ReadWrite(), 0x8421);
+  EXPECT_EQ(w.kind(), MappingKind::kPartialSubblock);
+  EXPECT_EQ(w.valid_vector(), 0x8421);
+  EXPECT_EQ(w.ppn(), 0x40u);
+  EXPECT_TRUE(w.valid());
+}
+
+TEST(MappingWordTest, PartialSubblockValidityTracksVector) {
+  const MappingWord empty = MappingWord::PartialSubblock(0x40, Attr{}, 0);
+  EXPECT_FALSE(empty.valid());
+  const MappingWord one = empty.with_subpage_valid(7);
+  EXPECT_TRUE(one.valid());
+  EXPECT_TRUE(one.subpage_valid(7));
+  EXPECT_FALSE(one.subpage_valid(6));
+  const MappingWord back = one.without_subpage_valid(7);
+  EXPECT_FALSE(back.valid());
+}
+
+TEST(MappingWordTest, PartialSubblockSubpagePpn) {
+  // Block-aligned PPN 0x40; page at offset 5 lives at frame 0x45 when the
+  // block is properly placed.
+  const MappingWord w = MappingWord::PartialSubblock(0x40, Attr{}, 0xFFFF);
+  for (unsigned boff = 0; boff < 16; ++boff) {
+    EXPECT_EQ(w.subpage_ppn(boff), 0x40u + boff);
+  }
+}
+
+TEST(MappingWordTest, PsbVectorDoesNotCorruptPpnOrAttr) {
+  const MappingWord w = MappingWord::PartialSubblock(kMaxPpn & ~0xFull, Attr{0xABC}, 0xFFFF);
+  EXPECT_EQ(w.ppn(), kMaxPpn & ~0xFull);
+  EXPECT_EQ(w.attr().bits, 0xABC);
+  EXPECT_EQ(w.valid_vector(), 0xFFFF);
+}
+
+TEST(MappingWordTest, WithAttrPreservesEverythingElse) {
+  const MappingWord w = MappingWord::Superpage(0x777, Attr{0x111}, kPage64K);
+  const MappingWord w2 = w.with_attr(Attr{0xFFF});
+  EXPECT_EQ(w2.attr().bits, 0xFFF);
+  EXPECT_EQ(w2.ppn(), 0x777u);
+  EXPECT_EQ(w2.page_size(), kPage64K);
+  EXPECT_EQ(w2.kind(), MappingKind::kSuperpage);
+}
+
+TEST(MappingWordTest, EightBytes) { EXPECT_EQ(sizeof(MappingWord), 8u); }
+
+TEST(TypesTest, VpnDecomposition) {
+  const VirtAddr va = 0x0000123456789ABCull;
+  EXPECT_EQ(VpnOf(va), va >> 12);
+  EXPECT_EQ(PageOffset(va), 0xABCull);
+  EXPECT_EQ(VaOf(VpnOf(va)), va & ~kBasePageMask);
+}
+
+TEST(TypesTest, BlockDecomposition) {
+  const Vpn vpn = 0x12345;
+  EXPECT_EQ(VpbnOf(vpn, 16), vpn / 16);
+  EXPECT_EQ(BoffOf(vpn, 16), vpn % 16);
+  EXPECT_EQ(FirstVpnOfBlock(VpbnOf(vpn, 16), 16) + BoffOf(vpn, 16), vpn);
+}
+
+TEST(TypesTest, PageSizeBytes) {
+  EXPECT_EQ(kPage4K.bytes(), 4096u);
+  EXPECT_EQ(kPage64K.bytes(), 65536u);
+  EXPECT_EQ(kPage64K.pages(), 16u);
+  EXPECT_TRUE(kPage4K.is_base());
+  EXPECT_FALSE(kPage64K.is_base());
+}
+
+TEST(TypesTest, Log2AndPowers) {
+  EXPECT_EQ(Log2(1), 0u);
+  EXPECT_EQ(Log2(16), 4u);
+  EXPECT_EQ(Log2(4096), 12u);
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(48));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+}
+
+}  // namespace
+}  // namespace cpt

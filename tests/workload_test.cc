@@ -1,0 +1,188 @@
+// Tests for the workload generators: determinism, calibration against
+// Table 1, density/burstiness properties, and trace well-formedness.
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace cpt::workload {
+namespace {
+
+TEST(SnapshotTest, DeterministicForSameSeed) {
+  const WorkloadSpec& spec = GetPaperWorkload("coral");
+  const Snapshot a = BuildSnapshot(spec);
+  const Snapshot b = BuildSnapshot(spec);
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  EXPECT_EQ(a.pages, b.pages);
+}
+
+TEST(SnapshotTest, DifferentSeedsDiffer) {
+  WorkloadSpec spec = GetPaperWorkload("coral");
+  const Snapshot a = BuildSnapshot(spec);
+  spec.seed ^= 0x5555;
+  const Snapshot b = BuildSnapshot(spec);
+  EXPECT_NE(a.pages, b.pages);
+}
+
+TEST(SnapshotTest, PagesAreSortedUniqueAndInSegment) {
+  for (const WorkloadSpec& spec : PaperWorkloads()) {
+    const Snapshot snap = BuildSnapshot(spec);
+    ASSERT_EQ(snap.pages.size(), spec.processes.size()) << spec.name;
+    for (std::size_t p = 0; p < snap.pages.size(); ++p) {
+      ASSERT_EQ(snap.pages[p].size(), spec.processes[p].segments.size());
+      for (std::size_t s = 0; s < snap.pages[p].size(); ++s) {
+        const auto& pages = snap.pages[p][s];
+        const Segment& seg = spec.processes[p].segments[s];
+        EXPECT_TRUE(std::is_sorted(pages.begin(), pages.end()));
+        EXPECT_TRUE(std::adjacent_find(pages.begin(), pages.end()) == pages.end())
+            << "duplicates in " << spec.name;
+        if (!pages.empty()) {
+          EXPECT_GE(pages.front(), VpnOf(seg.base));
+          EXPECT_LE(pages.back(), VpnOf(seg.base) + seg.span_pages);
+        }
+      }
+    }
+  }
+}
+
+TEST(SnapshotTest, DensityRoughlyHonored) {
+  for (const WorkloadSpec& spec : PaperWorkloads()) {
+    const Snapshot snap = BuildSnapshot(spec);
+    for (std::size_t p = 0; p < snap.pages.size(); ++p) {
+      for (std::size_t s = 0; s < snap.pages[p].size(); ++s) {
+        const Segment& seg = spec.processes[p].segments[s];
+        const double got =
+            static_cast<double>(snap.pages[p][s].size()) / static_cast<double>(seg.span_pages);
+        EXPECT_NEAR(got, seg.density, 0.25) << spec.name << " proc " << p << " seg " << s;
+      }
+    }
+  }
+}
+
+TEST(CalibrationTest, HashedPtBytesMatchTable1Within10Percent) {
+  for (const PaperReference& ref : PaperTable1()) {
+    const WorkloadSpec& spec = GetPaperWorkload(ref.name);
+    const Snapshot snap = BuildSnapshot(spec);
+    const std::uint64_t hashed_bytes = snap.TotalPages() * 24;
+    const double rel = static_cast<double>(hashed_bytes) /
+                       static_cast<double>(ref.hashed_pt_bytes);
+    EXPECT_GT(rel, 0.90) << ref.name;
+    EXPECT_LT(rel, 1.10) << ref.name;
+  }
+}
+
+TEST(TraceTest, DeterministicForSameSeed) {
+  const WorkloadSpec& spec = GetPaperWorkload("mp3d");
+  const Snapshot snap = BuildSnapshot(spec);
+  TraceGenerator g1(spec, snap);
+  TraceGenerator g2(spec, snap);
+  for (int i = 0; i < 10000; ++i) {
+    const Reference a = g1.Next();
+    const Reference b = g2.Next();
+    ASSERT_EQ(a.asid, b.asid);
+    ASSERT_EQ(a.va, b.va);
+  }
+}
+
+TEST(TraceTest, ReferencesStayOnMappedPages) {
+  for (const char* name : {"coral", "gcc", "compress", "ml"}) {
+    const WorkloadSpec& spec = GetPaperWorkload(name);
+    const Snapshot snap = BuildSnapshot(spec);
+    std::vector<std::set<Vpn>> mapped(snap.pages.size());
+    for (std::size_t p = 0; p < snap.pages.size(); ++p) {
+      const auto flat = snap.FlatProcess(p);
+      mapped[p].insert(flat.begin(), flat.end());
+    }
+    TraceGenerator gen(spec, snap);
+    for (int i = 0; i < 20000; ++i) {
+      const Reference r = gen.Next();
+      ASSERT_LT(r.asid, mapped.size()) << name;
+      EXPECT_TRUE(mapped[r.asid].count(VpnOf(r.va)) == 1)
+          << name << ": reference to unmapped page at step " << i;
+    }
+  }
+}
+
+TEST(TraceTest, MultiprogrammedWorkloadsInterleaveAsids) {
+  const WorkloadSpec& spec = GetPaperWorkload("compress");
+  const Snapshot snap = BuildSnapshot(spec);
+  TraceGenerator gen(spec, snap);
+  std::set<tlb::Asid> seen;
+  for (int i = 0; i < 100000; ++i) {
+    seen.insert(gen.Next().asid);
+  }
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(TraceTest, SequentialProcessesRunInTurn) {
+  const WorkloadSpec& spec = GetPaperWorkload("gcc");
+  const Snapshot snap = BuildSnapshot(spec);
+  TraceGenerator gen(spec, snap);
+  // Within the first share, only asid 0 runs.
+  const std::uint64_t share = spec.default_trace_length / spec.processes.size();
+  for (std::uint64_t i = 0; i + 1 < share; ++i) {
+    ASSERT_EQ(gen.Next().asid, 0u) << "step " << i;
+  }
+  // Across the full schedule every process appears.
+  std::set<tlb::Asid> seen;
+  for (std::uint64_t i = 0; i < spec.default_trace_length; ++i) {
+    seen.insert(gen.Next().asid);
+  }
+  EXPECT_EQ(seen.size(), spec.processes.size());
+}
+
+TEST(TraceTest, SojournControlsPageChangeRate) {
+  // Two otherwise-identical single-segment workloads: the one with the
+  // larger sojourn must change pages less often.
+  auto make = [](double sojourn) {
+    WorkloadSpec w;
+    w.name = "test";
+    w.seed = 9;
+    ProcessSpec p;
+    p.name = "p";
+    Segment seg;
+    seg.base = 0x10000000;
+    seg.span_pages = 1000;
+    seg.density = 1.0;
+    seg.pattern = AccessPattern::kRandom;
+    seg.sojourn_mean = sojourn;
+    p.segments = {seg};
+    w.processes = {p};
+    return w;
+  };
+  auto page_changes = [](const WorkloadSpec& spec) {
+    const Snapshot snap = BuildSnapshot(spec);
+    TraceGenerator gen(spec, snap);
+    Vpn last = ~Vpn{0};
+    std::uint64_t changes = 0;
+    for (int i = 0; i < 50000; ++i) {
+      const Vpn vpn = VpnOf(gen.Next().va);
+      changes += vpn != last;
+      last = vpn;
+    }
+    return changes;
+  };
+  const auto fast = page_changes(make(4));
+  const auto slow = page_changes(make(64));
+  EXPECT_GT(fast, slow * 5);
+}
+
+TEST(PaperWorkloadsTest, AllElevenPresent) {
+  EXPECT_EQ(PaperWorkloads().size(), 11u);
+  for (const char* name : {"coral", "nasa7", "compress", "fftpde", "wave5", "mp3d", "spice",
+                           "pthor", "ml", "gcc", "kernel"}) {
+    EXPECT_EQ(GetPaperWorkload(name).name, name);
+  }
+}
+
+TEST(PaperWorkloadsTest, MultiprogrammedShapesMatchPaper) {
+  EXPECT_EQ(GetPaperWorkload("compress").processes.size(), 2u);
+  EXPECT_EQ(GetPaperWorkload("gcc").processes.size(), 5u);
+  EXPECT_TRUE(GetPaperWorkload("gcc").sequential_processes);
+  EXPECT_FALSE(GetPaperWorkload("compress").sequential_processes);
+}
+
+}  // namespace
+}  // namespace cpt::workload
