@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11d.dir/bench_fig11d.cc.o"
+  "CMakeFiles/bench_fig11d.dir/bench_fig11d.cc.o.d"
+  "bench_fig11d"
+  "bench_fig11d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9.dir/bench_fig9.cc.o"
+  "CMakeFiles/bench_fig9.dir/bench_fig9.cc.o.d"
+  "bench_fig9"
+  "bench_fig9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

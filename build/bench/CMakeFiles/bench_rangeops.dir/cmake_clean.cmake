@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rangeops.dir/bench_rangeops.cc.o"
+  "CMakeFiles/bench_rangeops.dir/bench_rangeops.cc.o.d"
+  "bench_rangeops"
+  "bench_rangeops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rangeops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_daemon.dir/clock_daemon.cpp.o"
+  "CMakeFiles/clock_daemon.dir/clock_daemon.cpp.o.d"
+  "clock_daemon"
+  "clock_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_page_size.dir/multi_page_size.cpp.o"
+  "CMakeFiles/multi_page_size.dir/multi_page_size.cpp.o.d"
+  "multi_page_size"
+  "multi_page_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_page_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

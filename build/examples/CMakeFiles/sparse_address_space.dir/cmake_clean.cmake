@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_address_space.dir/sparse_address_space.cpp.o"
+  "CMakeFiles/sparse_address_space.dir/sparse_address_space.cpp.o.d"
+  "sparse_address_space"
+  "sparse_address_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_address_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superpage_demo.dir/superpage_demo.cpp.o"
+  "CMakeFiles/superpage_demo.dir/superpage_demo.cpp.o.d"
+  "superpage_demo"
+  "superpage_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superpage_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

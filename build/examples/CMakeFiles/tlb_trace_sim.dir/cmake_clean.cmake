@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_trace_sim.dir/tlb_trace_sim.cpp.o"
+  "CMakeFiles/tlb_trace_sim.dir/tlb_trace_sim.cpp.o.d"
+  "tlb_trace_sim"
+  "tlb_trace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_trace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_report.dir/workload_report.cpp.o"
+  "CMakeFiles/workload_report.dir/workload_report.cpp.o.d"
+  "workload_report"
+  "workload_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_common.dir/pte.cc.o"
+  "CMakeFiles/cpt_common.dir/pte.cc.o.d"
+  "CMakeFiles/cpt_common.dir/stats.cc.o"
+  "CMakeFiles/cpt_common.dir/stats.cc.o.d"
+  "libcpt_common.a"
+  "libcpt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

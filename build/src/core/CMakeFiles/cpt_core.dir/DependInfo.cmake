@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/cpt_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/cpt_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/clustered.cc" "src/core/CMakeFiles/cpt_core.dir/clustered.cc.o" "gcc" "src/core/CMakeFiles/cpt_core.dir/clustered.cc.o.d"
+  "/root/repo/src/core/multi_size.cc" "src/core/CMakeFiles/cpt_core.dir/multi_size.cc.o" "gcc" "src/core/CMakeFiles/cpt_core.dir/multi_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cpt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/cpt_pt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

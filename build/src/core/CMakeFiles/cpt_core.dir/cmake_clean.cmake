@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_core.dir/adaptive.cc.o"
+  "CMakeFiles/cpt_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/cpt_core.dir/clustered.cc.o"
+  "CMakeFiles/cpt_core.dir/clustered.cc.o.d"
+  "CMakeFiles/cpt_core.dir/multi_size.cc.o"
+  "CMakeFiles/cpt_core.dir/multi_size.cc.o.d"
+  "libcpt_core.a"
+  "libcpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

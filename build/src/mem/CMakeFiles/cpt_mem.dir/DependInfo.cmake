@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_model.cc" "src/mem/CMakeFiles/cpt_mem.dir/cache_model.cc.o" "gcc" "src/mem/CMakeFiles/cpt_mem.dir/cache_model.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/mem/CMakeFiles/cpt_mem.dir/phys_mem.cc.o" "gcc" "src/mem/CMakeFiles/cpt_mem.dir/phys_mem.cc.o.d"
+  "/root/repo/src/mem/reservation.cc" "src/mem/CMakeFiles/cpt_mem.dir/reservation.cc.o" "gcc" "src/mem/CMakeFiles/cpt_mem.dir/reservation.cc.o.d"
+  "/root/repo/src/mem/sim_alloc.cc" "src/mem/CMakeFiles/cpt_mem.dir/sim_alloc.cc.o" "gcc" "src/mem/CMakeFiles/cpt_mem.dir/sim_alloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

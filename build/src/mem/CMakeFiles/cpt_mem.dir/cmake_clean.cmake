@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_mem.dir/cache_model.cc.o"
+  "CMakeFiles/cpt_mem.dir/cache_model.cc.o.d"
+  "CMakeFiles/cpt_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/cpt_mem.dir/phys_mem.cc.o.d"
+  "CMakeFiles/cpt_mem.dir/reservation.cc.o"
+  "CMakeFiles/cpt_mem.dir/reservation.cc.o.d"
+  "CMakeFiles/cpt_mem.dir/sim_alloc.cc.o"
+  "CMakeFiles/cpt_mem.dir/sim_alloc.cc.o.d"
+  "libcpt_mem.a"
+  "libcpt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

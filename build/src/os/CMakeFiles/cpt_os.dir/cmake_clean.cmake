@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_os.dir/address_space.cc.o"
+  "CMakeFiles/cpt_os.dir/address_space.cc.o.d"
+  "libcpt_os.a"
+  "libcpt_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/forward.cc" "src/pt/CMakeFiles/cpt_pt.dir/forward.cc.o" "gcc" "src/pt/CMakeFiles/cpt_pt.dir/forward.cc.o.d"
+  "/root/repo/src/pt/hashed.cc" "src/pt/CMakeFiles/cpt_pt.dir/hashed.cc.o" "gcc" "src/pt/CMakeFiles/cpt_pt.dir/hashed.cc.o.d"
+  "/root/repo/src/pt/linear.cc" "src/pt/CMakeFiles/cpt_pt.dir/linear.cc.o" "gcc" "src/pt/CMakeFiles/cpt_pt.dir/linear.cc.o.d"
+  "/root/repo/src/pt/multi_hashed.cc" "src/pt/CMakeFiles/cpt_pt.dir/multi_hashed.cc.o" "gcc" "src/pt/CMakeFiles/cpt_pt.dir/multi_hashed.cc.o.d"
+  "/root/repo/src/pt/page_table.cc" "src/pt/CMakeFiles/cpt_pt.dir/page_table.cc.o" "gcc" "src/pt/CMakeFiles/cpt_pt.dir/page_table.cc.o.d"
+  "/root/repo/src/pt/software_tlb.cc" "src/pt/CMakeFiles/cpt_pt.dir/software_tlb.cc.o" "gcc" "src/pt/CMakeFiles/cpt_pt.dir/software_tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cpt_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_pt.dir/forward.cc.o"
+  "CMakeFiles/cpt_pt.dir/forward.cc.o.d"
+  "CMakeFiles/cpt_pt.dir/hashed.cc.o"
+  "CMakeFiles/cpt_pt.dir/hashed.cc.o.d"
+  "CMakeFiles/cpt_pt.dir/linear.cc.o"
+  "CMakeFiles/cpt_pt.dir/linear.cc.o.d"
+  "CMakeFiles/cpt_pt.dir/multi_hashed.cc.o"
+  "CMakeFiles/cpt_pt.dir/multi_hashed.cc.o.d"
+  "CMakeFiles/cpt_pt.dir/page_table.cc.o"
+  "CMakeFiles/cpt_pt.dir/page_table.cc.o.d"
+  "CMakeFiles/cpt_pt.dir/software_tlb.cc.o"
+  "CMakeFiles/cpt_pt.dir/software_tlb.cc.o.d"
+  "libcpt_pt.a"
+  "libcpt_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cpt_pt.
+# This may be replaced when dependencies are built.

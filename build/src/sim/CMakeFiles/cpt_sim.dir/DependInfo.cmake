@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analytic.cc" "src/sim/CMakeFiles/cpt_sim.dir/analytic.cc.o" "gcc" "src/sim/CMakeFiles/cpt_sim.dir/analytic.cc.o.d"
+  "/root/repo/src/sim/experiments.cc" "src/sim/CMakeFiles/cpt_sim.dir/experiments.cc.o" "gcc" "src/sim/CMakeFiles/cpt_sim.dir/experiments.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/cpt_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/cpt_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/cpt_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/cpt_sim.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cpt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/cpt_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/cpt_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cpt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cpt_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_sim.dir/analytic.cc.o"
+  "CMakeFiles/cpt_sim.dir/analytic.cc.o.d"
+  "CMakeFiles/cpt_sim.dir/experiments.cc.o"
+  "CMakeFiles/cpt_sim.dir/experiments.cc.o.d"
+  "CMakeFiles/cpt_sim.dir/machine.cc.o"
+  "CMakeFiles/cpt_sim.dir/machine.cc.o.d"
+  "CMakeFiles/cpt_sim.dir/report.cc.o"
+  "CMakeFiles/cpt_sim.dir/report.cc.o.d"
+  "libcpt_sim.a"
+  "libcpt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlb/complete_subblock.cc" "src/tlb/CMakeFiles/cpt_tlb.dir/complete_subblock.cc.o" "gcc" "src/tlb/CMakeFiles/cpt_tlb.dir/complete_subblock.cc.o.d"
+  "/root/repo/src/tlb/dual_size_setassoc.cc" "src/tlb/CMakeFiles/cpt_tlb.dir/dual_size_setassoc.cc.o" "gcc" "src/tlb/CMakeFiles/cpt_tlb.dir/dual_size_setassoc.cc.o.d"
+  "/root/repo/src/tlb/partial_subblock.cc" "src/tlb/CMakeFiles/cpt_tlb.dir/partial_subblock.cc.o" "gcc" "src/tlb/CMakeFiles/cpt_tlb.dir/partial_subblock.cc.o.d"
+  "/root/repo/src/tlb/single_page.cc" "src/tlb/CMakeFiles/cpt_tlb.dir/single_page.cc.o" "gcc" "src/tlb/CMakeFiles/cpt_tlb.dir/single_page.cc.o.d"
+  "/root/repo/src/tlb/superpage.cc" "src/tlb/CMakeFiles/cpt_tlb.dir/superpage.cc.o" "gcc" "src/tlb/CMakeFiles/cpt_tlb.dir/superpage.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/tlb/CMakeFiles/cpt_tlb.dir/tlb.cc.o" "gcc" "src/tlb/CMakeFiles/cpt_tlb.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/cpt_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cpt_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_tlb.dir/complete_subblock.cc.o"
+  "CMakeFiles/cpt_tlb.dir/complete_subblock.cc.o.d"
+  "CMakeFiles/cpt_tlb.dir/dual_size_setassoc.cc.o"
+  "CMakeFiles/cpt_tlb.dir/dual_size_setassoc.cc.o.d"
+  "CMakeFiles/cpt_tlb.dir/partial_subblock.cc.o"
+  "CMakeFiles/cpt_tlb.dir/partial_subblock.cc.o.d"
+  "CMakeFiles/cpt_tlb.dir/single_page.cc.o"
+  "CMakeFiles/cpt_tlb.dir/single_page.cc.o.d"
+  "CMakeFiles/cpt_tlb.dir/superpage.cc.o"
+  "CMakeFiles/cpt_tlb.dir/superpage.cc.o.d"
+  "CMakeFiles/cpt_tlb.dir/tlb.cc.o"
+  "CMakeFiles/cpt_tlb.dir/tlb.cc.o.d"
+  "libcpt_tlb.a"
+  "libcpt_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

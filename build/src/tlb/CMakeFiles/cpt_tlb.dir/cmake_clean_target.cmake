@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpt_tlb.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_workload.dir/paper_workloads.cc.o"
+  "CMakeFiles/cpt_workload.dir/paper_workloads.cc.o.d"
+  "CMakeFiles/cpt_workload.dir/workload.cc.o"
+  "CMakeFiles/cpt_workload.dir/workload.cc.o.d"
+  "libcpt_workload.a"
+  "libcpt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustered_test.dir/clustered_test.cc.o"
+  "CMakeFiles/clustered_test.dir/clustered_test.cc.o.d"
+  "clustered_test"
+  "clustered_test.pdb"
+  "clustered_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_size_tlb_test.dir/dual_size_tlb_test.cc.o"
+  "CMakeFiles/dual_size_tlb_test.dir/dual_size_tlb_test.cc.o.d"
+  "dual_size_tlb_test"
+  "dual_size_tlb_test.pdb"
+  "dual_size_tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_size_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

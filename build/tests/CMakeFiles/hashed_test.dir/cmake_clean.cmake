@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashed_test.dir/hashed_test.cc.o"
+  "CMakeFiles/hashed_test.dir/hashed_test.cc.o.d"
+  "hashed_test"
+  "hashed_test.pdb"
+  "hashed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

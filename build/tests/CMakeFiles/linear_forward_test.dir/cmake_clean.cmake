@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_forward_test.dir/linear_forward_test.cc.o"
+  "CMakeFiles/linear_forward_test.dir/linear_forward_test.cc.o.d"
+  "linear_forward_test"
+  "linear_forward_test.pdb"
+  "linear_forward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_forward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_matrix_test.dir/machine_matrix_test.cc.o"
+  "CMakeFiles/machine_matrix_test.dir/machine_matrix_test.cc.o.d"
+  "machine_matrix_test"
+  "machine_matrix_test.pdb"
+  "machine_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_size_test.dir/multi_size_test.cc.o"
+  "CMakeFiles/multi_size_test.dir/multi_size_test.cc.o.d"
+  "multi_size_test"
+  "multi_size_test.pdb"
+  "multi_size_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_size_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

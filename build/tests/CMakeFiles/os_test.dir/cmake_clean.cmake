@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_test.dir/os_test.cc.o"
+  "CMakeFiles/os_test.dir/os_test.cc.o.d"
+  "os_test"
+  "os_test.pdb"
+  "os_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_conformance_test.dir/pt_conformance_test.cc.o"
+  "CMakeFiles/pt_conformance_test.dir/pt_conformance_test.cc.o.d"
+  "pt_conformance_test"
+  "pt_conformance_test.pdb"
+  "pt_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pte_test.dir/pte_test.cc.o"
+  "CMakeFiles/pte_test.dir/pte_test.cc.o.d"
+  "pte_test"
+  "pte_test.pdb"
+  "pte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

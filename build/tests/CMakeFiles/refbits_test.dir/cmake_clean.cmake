@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refbits_test.dir/refbits_test.cc.o"
+  "CMakeFiles/refbits_test.dir/refbits_test.cc.o.d"
+  "refbits_test"
+  "refbits_test.pdb"
+  "refbits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refbits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

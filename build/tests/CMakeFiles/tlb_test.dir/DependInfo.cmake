@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tlb_test.cc" "tests/CMakeFiles/tlb_test.dir/tlb_test.cc.o" "gcc" "tests/CMakeFiles/tlb_test.dir/tlb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cpt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/cpt_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/cpt_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cpt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cpt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cpt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_test.dir/tlb_test.cc.o"
+  "CMakeFiles/tlb_test.dir/tlb_test.cc.o.d"
+  "tlb_test"
+  "tlb_test.pdb"
+  "tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

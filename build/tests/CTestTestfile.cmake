@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pte_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_model_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/pt_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/clustered_test[1]_include.cmake")
+include("/root/repo/build/tests/tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hashed_test[1]_include.cmake")
+include("/root/repo/build/tests/linear_forward_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_size_test[1]_include.cmake")
+include("/root/repo/build/tests/refbits_test[1]_include.cmake")
+include("/root/repo/build/tests/dual_size_tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
