@@ -1,0 +1,795 @@
+#include "check/auditor.h"
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "check/audit_visitor.h"
+#include "common/pte.h"
+#include "common/types.h"
+#include "core/adaptive.h"
+#include "core/clustered.h"
+#include "core/multi_size.h"
+#include "mem/reservation.h"
+#include "pt/forward.h"
+#include "pt/hashed.h"
+#include "pt/linear.h"
+#include "pt/multi_hashed.h"
+#include "pt/software_tlb.h"
+#include "tlb/complete_subblock.h"
+#include "tlb/dual_size_setassoc.h"
+#include "tlb/partial_subblock.h"
+#include "tlb/single_page.h"
+#include "tlb/superpage.h"
+
+namespace cpt::check {
+
+void AuditReport::Merge(const AuditReport& other, std::string_view prefix) {
+  for (const std::string& d : other.defects) {
+    std::string merged(prefix);
+    merged += ": ";
+    merged += d;
+    defects.push_back(std::move(merged));
+  }
+}
+
+std::string AuditReport::Summary() const {
+  std::string out;
+  for (const std::string& d : defects) {
+    if (!out.empty()) {
+      out += '\n';
+    }
+    out += d;
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::uint64_t kSkip = ~std::uint64_t{0};
+
+std::string Str(std::uint64_t v) { return std::to_string(v); }
+
+// One collected node: the view metadata plus a copy of its word array (the
+// view's `words` pointer is only valid during the walk).
+struct CollectedNode {
+  PtNodeView meta;
+  std::vector<MappingWord> words;
+};
+
+class NodeCollector final : public PtAuditVisitor {
+ public:
+  void OnNode(const PtNodeView& node) override {
+    CollectedNode cn;
+    cn.meta = node;
+    cn.words.assign(node.words, node.words + node.num_words);
+    cn.meta.words = nullptr;
+    nodes.push_back(std::move(cn));
+  }
+  void OnChainCycle(std::uint32_t bucket) override { cycles.push_back(bucket); }
+
+  std::vector<CollectedNode> nodes;
+  std::vector<std::uint32_t> cycles;
+};
+
+// Tracks which base pages are covered by a valid translation, to catch two
+// nodes translating the same page.
+class CoverageMap {
+ public:
+  void Add(Vpn vpn) {
+    if (++count_[vpn] == 2 && examples_.size() < 4) {
+      examples_.push_back(vpn);
+    }
+  }
+  void Report(AuditReport& report) const {
+    std::uint64_t dups = 0;
+    for (const auto& [vpn, n] : count_) {
+      if (n > 1) {
+        ++dups;
+      }
+    }
+    if (dups == 0) {
+      return;
+    }
+    std::ostringstream os;
+    os << dups << " base page(s) covered by more than one valid mapping; e.g. vpn";
+    for (const Vpn vpn : examples_) {
+      os << " 0x" << std::hex << vpn;
+    }
+    report.Add(os.str());
+  }
+
+ private:
+  std::unordered_map<Vpn, unsigned> count_;
+  std::vector<Vpn> examples_;
+};
+
+struct WordCheckParams {
+  unsigned psb_factor = 16;      // Pages per partial-subblock valid vector.
+  bool uniform_kind = false;     // Multi-word nodes must not mix formats.
+  bool check_nonempty = false;   // Chain nodes must translate >= 1 page
+                                 // (empty PSB nodes tolerated).
+  bool superpage_full_claim = false;  // Org counts a superpage word's full
+                                      // 2^SZ pages even beyond its slot.
+};
+
+std::string NodeId(const CollectedNode& cn) {
+  std::ostringstream os;
+  os << "node tag=0x" << std::hex << cn.meta.tag << " base_vpn=0x" << cn.meta.base_vpn
+     << std::dec << " bucket=" << cn.meta.bucket;
+  return os.str();
+}
+
+// Verifies one node's mapping words (format discrimination, alignment, PSB
+// vector bounds), adds its valid translations to `coverage`, and returns how
+// many base pages the node translates under the organization's own counting
+// rules.
+std::uint64_t CheckNodeWords(const CollectedNode& cn, const WordCheckParams& p,
+                             CoverageMap& coverage, AuditReport& report) {
+  const PtNodeView& m = cn.meta;
+  const std::uint64_t span = std::uint64_t{1} << m.sub_log2;
+  std::uint64_t translations = 0;
+  bool have_kind = false;
+  MappingKind kind0 = MappingKind::kBase;
+  bool any_valid = false;
+
+  for (unsigned i = 0; i < cn.words.size(); ++i) {
+    const MappingWord& w = cn.words[i];
+    const Vpn slot_base = m.base_vpn + std::uint64_t{i} * span;
+    switch (w.kind()) {
+      case MappingKind::kBase:
+        if (!w.valid()) {
+          continue;  // Empty slot.
+        }
+        if (span > 1) {
+          report.Add(NodeId(cn) + ": base word in a slot spanning " + Str(span) + " pages");
+        }
+        coverage.Add(slot_base);
+        ++translations;
+        break;
+      case MappingKind::kSuperpage: {
+        if (!w.valid()) {
+          continue;  // Empty slot of a sub-size node.
+        }
+        const unsigned sz = w.page_size().size_log2;
+        const std::uint64_t claim = std::uint64_t{1} << sz;
+        // Hashed tables (superpage_full_claim) store one node per superpage:
+        // the word's own 2^SZ-page claim is the coverage, and claims smaller
+        // than the keying span are legitimate (an 8KB superpage in a
+        // block-keyed table).  Clustered-family tables instead store replica
+        // slices: every slot of span 2^S is covered by its word, and a word
+        // claiming less than its slot would leave pages untranslated.
+        if (claim < span && !p.superpage_full_claim) {
+          report.Add(NodeId(cn) + ": superpage word (SZ=" + Str(sz) +
+                     ") smaller than its slot span " + Str(span));
+        }
+        if (w.ppn() % claim != 0) {
+          report.Add(NodeId(cn) + ": superpage PPN " + Str(w.ppn()) + " not aligned to 2^" +
+                     Str(sz) + " pages");
+        }
+        const std::uint64_t cover = p.superpage_full_claim ? claim : span;
+        for (std::uint64_t j = 0; j < cover; ++j) {
+          coverage.Add(slot_base + j);
+        }
+        translations += cover;
+        break;
+      }
+      case MappingKind::kPartialSubblock: {
+        const unsigned factor = p.psb_factor;
+        const std::uint64_t mask =
+            factor >= 16 ? 0xFFFFu : ((std::uint64_t{1} << factor) - 1);
+        const std::uint16_t vec = w.valid_vector();
+        if ((vec & ~mask) != 0) {
+          report.Add(NodeId(cn) + ": PSB valid bits beyond subblock factor " + Str(factor));
+        }
+        if (vec != 0 && w.ppn() % factor != 0) {
+          report.Add(NodeId(cn) + ": PSB block PPN " + Str(w.ppn()) + " not aligned to factor " +
+                     Str(factor));
+        }
+        if (vec == 0) {
+          continue;  // Empty PSB word.
+        }
+        const Vpn block_base = slot_base & ~(Vpn{factor} - 1);
+        for (unsigned j = 0; j < factor; ++j) {
+          const Vpn page = block_base + j;
+          if (((vec >> j) & 1u) != 0 && page >= slot_base && page < slot_base + span) {
+            coverage.Add(page);
+            ++translations;
+          }
+        }
+        break;
+      }
+    }
+    // The word provided at least one translation; enforce one format per
+    // multi-word node (the S-field discrimination).
+    any_valid = true;
+    if (!have_kind) {
+      have_kind = true;
+      kind0 = w.kind();
+    } else if (p.uniform_kind && w.kind() != kind0) {
+      report.Add(NodeId(cn) + ": mixed mapping formats within one node");
+    }
+  }
+
+  if (p.check_nonempty && !any_valid &&
+      (cn.words.empty() || cn.words[0].kind() != MappingKind::kPartialSubblock)) {
+    report.Add(NodeId(cn) + ": live node translates nothing");
+  }
+  return translations;
+}
+
+struct ChainExpectations {
+  // tag -> bucket the node must hang on; null skips the bucket check.
+  std::function<std::uint32_t(std::uint64_t)> bucket_of;
+  unsigned tag_shift = 0;  // Invariant: tag == base_vpn >> tag_shift.
+  std::uint64_t nodes = kSkip;
+  std::uint64_t translations = kSkip;
+  std::uint64_t paper_bytes = kSkip;  // Sum of 16 + 8 * num_words per node.
+};
+
+void AuditChain(const NodeCollector& c, const WordCheckParams& wcp,
+                const ChainExpectations& expect, CoverageMap& coverage, AuditReport& report) {
+  for (const std::uint32_t b : c.cycles) {
+    report.Add("hash chain at bucket " + Str(b) + " is cyclic or has an out-of-range index");
+  }
+  std::uint64_t translations = 0;
+  std::uint64_t bytes = 0;
+  for (const CollectedNode& cn : c.nodes) {
+    if (expect.bucket_of && expect.bucket_of(cn.meta.tag) != cn.meta.bucket) {
+      report.Add(NodeId(cn) + ": hangs on bucket " + Str(cn.meta.bucket) +
+                 " but its tag hashes to bucket " + Str(expect.bucket_of(cn.meta.tag)));
+    }
+    if ((cn.meta.base_vpn >> expect.tag_shift) != cn.meta.tag) {
+      report.Add(NodeId(cn) + ": tag inconsistent with base VPN (misaligned tag)");
+    }
+    translations += CheckNodeWords(cn, wcp, coverage, report);
+    bytes += 16 + 8ull * cn.words.size();
+  }
+  if (expect.nodes != kSkip && c.nodes.size() != expect.nodes) {
+    report.Add("walk saw " + Str(c.nodes.size()) + " nodes but the table counts " +
+               Str(expect.nodes));
+  }
+  if (expect.translations != kSkip && translations != expect.translations) {
+    report.Add("walk recounted " + Str(translations) + " translations but the table counts " +
+               Str(expect.translations));
+  }
+  if (expect.paper_bytes != kSkip && bytes != expect.paper_bytes) {
+    report.Add("walk recounted " + Str(bytes) + " paper-model bytes but the table counts " +
+               Str(expect.paper_bytes));
+  }
+}
+
+}  // namespace
+
+AuditReport StructuralAuditor::Audit(const core::ClusteredPageTable& table) {
+  NodeCollector c;
+  table.AuditVisit(c);
+  WordCheckParams wcp;
+  wcp.psb_factor = table.subblock_factor();
+  wcp.uniform_kind = true;
+  wcp.check_nonempty = true;
+  ChainExpectations expect;
+  expect.bucket_of = [&table](std::uint64_t tag) { return table.BucketOfTag(tag); };
+  expect.tag_shift = Log2(table.subblock_factor());
+  expect.nodes = table.node_count();
+  expect.translations = table.live_translations();
+  expect.paper_bytes = table.SizeBytesPaperModel();
+  AuditReport report;
+  CoverageMap coverage;
+  AuditChain(c, wcp, expect, coverage, report);
+  coverage.Report(report);
+  return report;
+}
+
+AuditReport StructuralAuditor::Audit(const core::AdaptiveClusteredPageTable& table) {
+  NodeCollector c;
+  table.AuditVisit(c);
+  WordCheckParams wcp;
+  wcp.psb_factor = table.subblock_factor();
+  wcp.uniform_kind = true;
+  wcp.check_nonempty = true;
+  ChainExpectations expect;
+  expect.bucket_of = [&table](std::uint64_t tag) { return table.BucketOfTag(tag); };
+  expect.tag_shift = Log2(table.subblock_factor());
+  expect.nodes = table.node_count();
+  expect.translations = table.live_translations();
+  expect.paper_bytes = table.SizeBytesPaperModel();
+  AuditReport report;
+  CoverageMap coverage;
+  // Adaptive single-page nodes carry the block offset in base_vpn; the tag
+  // check still holds because boff < subblock_factor.
+  AuditChain(c, wcp, expect, coverage, report);
+  coverage.Report(report);
+  return report;
+}
+
+AuditReport StructuralAuditor::Audit(const pt::HashedPageTable& table) {
+  NodeCollector c;
+  table.AuditVisit(c);
+  WordCheckParams wcp;
+  wcp.psb_factor = table.tag_shift() > 0 ? (1u << table.tag_shift()) : 16;
+  wcp.superpage_full_claim = true;  // TranslationsOf counts the full 2^SZ.
+  ChainExpectations expect;
+  expect.bucket_of = [&table](std::uint64_t key) { return table.BucketOfKey(key); };
+  expect.tag_shift = table.tag_shift();
+  expect.nodes = table.node_count();
+  expect.translations = table.live_translations();
+  AuditReport report;
+  CoverageMap coverage;
+  AuditChain(c, wcp, expect, coverage, report);
+  coverage.Report(report);
+  return report;
+}
+
+AuditReport StructuralAuditor::Audit(const pt::MultiTableHashed& table) {
+  AuditReport report;
+  report.Merge(Audit(table.base_table()), "base table");
+  report.Merge(Audit(table.block_table()), "block table");
+  // Cross-table duplicate coverage: the OS keeps the two tables disjoint
+  // (PSB vector bits for placed pages, base PTEs for the rest).
+  NodeCollector base;
+  table.base_table().AuditVisit(base);
+  NodeCollector block;
+  table.block_table().AuditVisit(block);
+  CoverageMap coverage;
+  AuditReport scratch;  // Per-table defects were already reported above.
+  WordCheckParams base_wcp;
+  base_wcp.superpage_full_claim = true;
+  WordCheckParams block_wcp;
+  block_wcp.psb_factor = 1u << table.block_table().tag_shift();
+  block_wcp.superpage_full_claim = true;
+  for (const CollectedNode& cn : base.nodes) {
+    CheckNodeWords(cn, base_wcp, coverage, scratch);
+  }
+  for (const CollectedNode& cn : block.nodes) {
+    CheckNodeWords(cn, block_wcp, coverage, scratch);
+  }
+  coverage.Report(report);
+  return report;
+}
+
+AuditReport StructuralAuditor::Audit(const pt::SuperpageIndexHashed& table) {
+  NodeCollector c;
+  table.AuditVisit(c);
+  WordCheckParams wcp;
+  wcp.psb_factor = 1u << table.block_shift();
+  ChainExpectations expect;
+  const unsigned shift = table.block_shift();
+  expect.bucket_of = [&table, shift](std::uint64_t tag) {
+    return table.BucketOfVpn(tag << shift);
+  };
+  expect.tag_shift = shift;
+  expect.nodes = table.node_count();
+  expect.translations = table.live_translations();
+  AuditReport report;
+  CoverageMap coverage;
+  AuditChain(c, wcp, expect, coverage, report);
+  coverage.Report(report);
+  return report;
+}
+
+AuditReport StructuralAuditor::Audit(const pt::LinearPageTable& table) {
+  NodeCollector c;
+  table.AuditVisit(c);
+  AuditReport report;
+  CoverageMap coverage;
+  WordCheckParams wcp;  // Leaves mix formats (Replicate-PTEs); all defaults.
+  std::uint64_t translations = 0;
+  std::array<std::unordered_set<std::uint64_t>, pt::LinearPageTable::kNumLevels + 1> prefixes;
+  for (const CollectedNode& cn : c.nodes) {
+    translations += CheckNodeWords(cn, wcp, coverage, report);
+    // Recount the leaf's live-slot counter (carried in `index`).
+    unsigned occupied = 0;
+    for (const MappingWord& w : cn.words) {
+      if (w != MappingWord::Invalid()) {
+        ++occupied;
+      }
+    }
+    if (occupied != static_cast<unsigned>(cn.meta.index)) {
+      report.Add(NodeId(cn) + ": leaf live counter " + Str(cn.meta.index) + " but " +
+                 Str(occupied) + " occupied slots");
+    }
+    for (unsigned level = 2; level <= pt::LinearPageTable::kNumLevels; ++level) {
+      prefixes[level].insert(cn.meta.tag >>
+                             (pt::LinearPageTable::kBitsPerLevel * (level - 1)));
+    }
+  }
+  // Replicate-PTE slots are distinct VPNs, so duplicate coverage here always
+  // means corruption.
+  coverage.Report(report);
+  if (translations != table.live_translations()) {
+    report.Add("walk recounted " + Str(translations) + " translations but the table counts " +
+               Str(table.live_translations()));
+  }
+  const auto counts = table.ActiveNodesPerLevel();
+  if (counts[0] != c.nodes.size()) {
+    report.Add("table counts " + Str(counts[0]) + " leaves but the walk saw " +
+               Str(c.nodes.size()));
+  }
+  for (unsigned level = 2; level <= pt::LinearPageTable::kNumLevels; ++level) {
+    if (counts[level - 1] != prefixes[level].size()) {
+      report.Add("level " + Str(level) + " counts " + Str(counts[level - 1]) +
+                 " active nodes; leaves imply " + Str(prefixes[level].size()));
+    }
+  }
+  return report;
+}
+
+AuditReport StructuralAuditor::Audit(const pt::ForwardMappedPageTable& table) {
+  using Fwd = pt::ForwardMappedPageTable;
+  // Reconstruct the level shifts from the public split so the auditor can
+  // recompute each node's ancestors.
+  std::array<unsigned, Fwd::kNumLevels + 2> shift{};
+  for (unsigned level = 1; level <= Fwd::kNumLevels; ++level) {
+    shift[level + 1] = shift[level] + Fwd::kLevelBits[level - 1];
+  }
+  const auto prefix_at = [&shift](Vpn vpn, unsigned level) {
+    return vpn >> shift[level + 1];
+  };
+
+  NodeCollector c;
+  table.AuditVisit(c);
+  AuditReport report;
+  CoverageMap coverage;
+  WordCheckParams wcp;
+  std::uint64_t translations = 0;
+  std::uint64_t leaves = 0;
+  std::array<std::unordered_set<std::uint64_t>, Fwd::kNumLevels + 1> prefixes;
+  for (const CollectedNode& cn : c.nodes) {
+    translations += CheckNodeWords(cn, wcp, coverage, report);
+    const unsigned level = cn.meta.bucket;  // AuditVisit stores the level here.
+    if (level == 1) {
+      ++leaves;
+      unsigned occupied = 0;
+      for (const MappingWord& w : cn.words) {
+        if (w != MappingWord::Invalid()) {
+          ++occupied;
+        }
+      }
+      if (occupied != static_cast<unsigned>(cn.meta.index)) {
+        report.Add(NodeId(cn) + ": leaf live counter " + Str(cn.meta.index) + " but " +
+                   Str(occupied) + " occupied slots");
+      }
+    }
+    // Every node (leaf or intermediate-superpage holder) keeps its ancestors
+    // alive.
+    for (unsigned l = std::max(level, 2u); l <= Fwd::kNumLevels; ++l) {
+      prefixes[l].insert(prefix_at(cn.meta.base_vpn, l));
+    }
+  }
+  coverage.Report(report);
+  if (translations != table.live_translations()) {
+    report.Add("walk recounted " + Str(translations) + " translations but the table counts " +
+               Str(table.live_translations()));
+  }
+  const auto counts = table.ActiveNodesPerLevel();
+  if (counts[0] != leaves) {
+    report.Add("table counts " + Str(counts[0]) + " leaves but the walk saw " + Str(leaves));
+  }
+  for (unsigned level = 2; level <= Fwd::kNumLevels; ++level) {
+    if (counts[level - 1] != prefixes[level].size()) {
+      report.Add("level " + Str(level) + " counts " + Str(counts[level - 1]) +
+                 " active nodes; leaves and intermediate superpages imply " +
+                 Str(prefixes[level].size()));
+    }
+  }
+  return report;
+}
+
+AuditReport StructuralAuditor::AuditPageTable(const pt::PageTable& table) {
+  if (const auto* t = dynamic_cast<const pt::SoftwareTlb*>(&table)) {
+    AuditReport report;
+    report.Merge(AuditPageTable(t->backing()), "swtlb backing");
+    return report;
+  }
+  if (const auto* t = dynamic_cast<const core::ClusteredPageTable*>(&table)) {
+    return Audit(*t);
+  }
+  if (const auto* t = dynamic_cast<const core::AdaptiveClusteredPageTable*>(&table)) {
+    return Audit(*t);
+  }
+  if (const auto* t = dynamic_cast<const core::MultiSizeClustered*>(&table)) {
+    AuditReport report;
+    report.Merge(Audit(t->small_table()), "small table");
+    report.Merge(Audit(t->large_table()), "large table");
+    return report;
+  }
+  if (const auto* t = dynamic_cast<const pt::MultiTableHashed*>(&table)) {
+    return Audit(*t);
+  }
+  if (const auto* t = dynamic_cast<const pt::SuperpageIndexHashed*>(&table)) {
+    return Audit(*t);
+  }
+  if (const auto* t = dynamic_cast<const pt::HashedPageTable*>(&table)) {
+    return Audit(*t);
+  }
+  if (const auto* t = dynamic_cast<const pt::LinearPageTable*>(&table)) {
+    return Audit(*t);
+  }
+  if (const auto* t = dynamic_cast<const pt::ForwardMappedPageTable*>(&table)) {
+    return Audit(*t);
+  }
+  return AuditReport{};  // Unknown organization: nothing to check.
+}
+
+// ---------------------------------------------------------------------------
+// TLBs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class EntryCollector final : public TlbAuditVisitor {
+ public:
+  void OnEntry(const TlbEntryView& entry) override { entries.push_back(entry); }
+  std::vector<TlbEntryView> entries;
+};
+
+std::string EntryId(const TlbEntryView& e) {
+  std::ostringstream os;
+  os << "entry asid=" << e.asid << " base_vpn=0x" << std::hex << e.base_vpn;
+  return os.str();
+}
+
+void CheckNoDuplicateTags(const std::vector<TlbEntryView>& entries, AuditReport& report) {
+  std::unordered_set<std::uint64_t> seen;
+  for (const TlbEntryView& e : entries) {
+    if (!e.valid) {
+      continue;
+    }
+    // Tag identity: (asid, base_vpn, block form).  Hash them together; the
+    // VPN occupies at most 52 bits.
+    const std::uint64_t key =
+        (e.base_vpn << 1 | (e.block_entry ? 1u : 0u)) ^ (std::uint64_t{e.asid} << 54);
+    if (!seen.insert(key).second) {
+      report.Add(EntryId(e) + ": duplicate TLB tag");
+    }
+  }
+}
+
+}  // namespace
+
+AuditReport StructuralAuditor::AuditTlb(const tlb::Tlb& t) {
+  AuditReport report;
+  EntryCollector c;
+  if (const auto* tlb = dynamic_cast<const tlb::SinglePageTlb*>(&t)) {
+    tlb->AuditVisit(c);
+    CheckNoDuplicateTags(c.entries, report);
+    return report;
+  }
+  if (const auto* tlb = dynamic_cast<const tlb::SuperpageTlb*>(&t)) {
+    tlb->AuditVisit(c);
+    for (const TlbEntryView& e : c.entries) {
+      if (!e.valid) {
+        continue;
+      }
+      const std::uint64_t pages = std::uint64_t{1} << e.pages_log2;
+      if (e.base_vpn % pages != 0) {
+        report.Add(EntryId(e) + ": VPN not aligned to its 2^" + Str(e.pages_log2) +
+                   "-page size");
+      }
+      if (e.base_ppn % pages != 0) {
+        report.Add(EntryId(e) + ": PPN not aligned to its 2^" + Str(e.pages_log2) +
+                   "-page size");
+      }
+    }
+    // No overlap check: without TLB shootdown, stale-but-consistent entries
+    // may legitimately overlap newer ones.
+    return report;
+  }
+  if (const auto* tlb = dynamic_cast<const tlb::PartialSubblockTlb*>(&t)) {
+    tlb->AuditVisit(c);
+    const unsigned factor = tlb->subblock_factor();
+    const std::uint64_t mask =
+        factor >= 16 ? 0xFFFFu : ((std::uint64_t{1} << factor) - 1);
+    for (const TlbEntryView& e : c.entries) {
+      if (!e.valid || !e.block_entry) {
+        continue;
+      }
+      if ((e.valid_vector & ~mask) != 0) {
+        report.Add(EntryId(e) + ": valid bits beyond subblock factor " + Str(factor));
+      }
+      if (e.valid_vector == 0) {
+        report.Add(EntryId(e) + ": block entry with empty valid vector");
+      }
+      if (e.base_ppn % factor != 0) {
+        report.Add(EntryId(e) + ": block PPN not aligned to factor " + Str(factor));
+      }
+      if (e.base_vpn % factor != 0) {
+        report.Add(EntryId(e) + ": block VPN not aligned to factor " + Str(factor));
+      }
+    }
+    CheckNoDuplicateTags(c.entries, report);
+    return report;
+  }
+  if (const auto* tlb = dynamic_cast<const tlb::CompleteSubblockTlb*>(&t)) {
+    tlb->AuditVisit(c);
+    const unsigned factor = tlb->subblock_factor();
+    const std::uint64_t mask =
+        factor >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << factor) - 1);
+    for (const TlbEntryView& e : c.entries) {
+      if (!e.valid) {
+        continue;
+      }
+      if ((e.valid_vector & ~mask) != 0) {
+        report.Add(EntryId(e) + ": valid bits beyond subblock factor " + Str(factor));
+      }
+      if (e.base_vpn % factor != 0) {
+        report.Add(EntryId(e) + ": block VPN not aligned to factor " + Str(factor));
+      }
+      if (e.translations.size() !=
+          static_cast<std::size_t>(std::popcount(e.valid_vector & mask))) {
+        report.Add(EntryId(e) + ": translation count disagrees with the valid vector");
+      }
+    }
+    CheckNoDuplicateTags(c.entries, report);
+    return report;
+  }
+  if (const auto* tlb = dynamic_cast<const tlb::DualSizeSetAssocTlb*>(&t)) {
+    tlb->AuditVisit(c);
+    const unsigned super_log2 = tlb->superpage_log2();
+    std::uint64_t invalid = 0;
+    for (const TlbEntryView& e : c.entries) {
+      if (!e.valid) {
+        ++invalid;
+        continue;
+      }
+      const unsigned expected_set =
+          static_cast<unsigned>((e.base_vpn >> super_log2) & (tlb->num_sets() - 1));
+      if (e.set != expected_set) {
+        report.Add(EntryId(e) + ": stored in set " + Str(e.set) + " but indexes to set " +
+                   Str(expected_set));
+      }
+      if (e.pages_log2 != 0 && e.pages_log2 != super_log2) {
+        report.Add(EntryId(e) + ": page size 2^" + Str(e.pages_log2) +
+                   " is neither base nor the superpage size");
+      }
+      const std::uint64_t pages = std::uint64_t{1} << e.pages_log2;
+      if (e.base_vpn % pages != 0 || e.base_ppn % pages != 0) {
+        report.Add(EntryId(e) + ": VPN/PPN not aligned to its page size");
+      }
+    }
+    if (invalid != tlb->invalid_entries()) {
+      report.Add("TLB counts " + Str(tlb->invalid_entries()) + " invalid entries but the walk saw " +
+                 Str(invalid));
+    }
+    return report;
+  }
+  return report;  // Unknown TLB design: nothing to check.
+}
+
+// ---------------------------------------------------------------------------
+// Reservation allocator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ReservationCollector final : public ReservationAuditVisitor {
+ public:
+  void OnGroup(const ReservationGroupView& group) override { groups.push_back(group); }
+  void OnFreeListGroup(std::uint64_t group) override { free_list.push_back(group); }
+  void OnFragmentFrame(Ppn ppn) override { fragment_pool.push_back(ppn); }
+  void OnOwnerEntry(std::uint64_t key, std::uint64_t group) override {
+    owners.emplace_back(key, group);
+  }
+  void OnGrant(Ppn ppn, std::uint64_t block_key, unsigned boff, bool properly_placed) override {
+    grants.push_back({ppn, block_key, boff, properly_placed});
+  }
+
+  struct Grant {
+    Ppn ppn;
+    std::uint64_t block_key;
+    unsigned boff;
+    bool properly_placed;
+  };
+
+  std::vector<ReservationGroupView> groups;
+  std::vector<std::uint64_t> free_list;
+  std::vector<Ppn> fragment_pool;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> owners;
+  std::vector<Grant> grants;
+};
+
+}  // namespace
+
+AuditReport StructuralAuditor::Audit(const mem::ReservationAllocator& alloc) {
+  AuditReport report;
+  ReservationCollector c;
+  alloc.AuditVisit(c);
+  const unsigned factor = alloc.subblock_factor();
+
+  std::uint64_t used = 0;
+  std::uint64_t free_groups = 0;
+  for (const ReservationGroupView& g : c.groups) {
+    used += std::popcount(g.used_mask);
+    switch (g.state) {
+      case GroupStateView::kFree:
+        ++free_groups;
+        if (g.used_mask != 0) {
+          report.Add("group " + Str(g.group) + " is free but has used frames");
+        }
+        break;
+      case GroupStateView::kReserved:
+        if (g.used_mask == 0) {
+          report.Add("group " + Str(g.group) + " is reserved but entirely unused");
+        }
+        break;
+      case GroupStateView::kFragmented:
+        break;
+    }
+  }
+  if (used != alloc.frames_used()) {
+    report.Add("group masks account for " + Str(used) + " used frames but the allocator counts " +
+               Str(alloc.frames_used()));
+  }
+
+  // Owner map <-> group state, both directions.
+  std::unordered_map<std::uint64_t, std::uint64_t> owner_of;  // group -> key
+  for (const auto& [key, g] : c.owners) {
+    owner_of[g] = key;
+    if (g >= c.groups.size()) {
+      report.Add("owner map points at out-of-range group " + Str(g));
+      continue;
+    }
+    const ReservationGroupView& grp = c.groups[g];
+    if (grp.state != GroupStateView::kReserved) {
+      report.Add("owner map entry for key " + Str(key) + " points at group " + Str(g) +
+                 " which is not reserved");
+    } else if (grp.owner_key != key) {
+      report.Add("group " + Str(g) + " records owner " + Str(grp.owner_key) +
+                 " but the owner map files it under " + Str(key));
+    }
+  }
+  for (const ReservationGroupView& g : c.groups) {
+    if (g.state == GroupStateView::kReserved && owner_of.find(g.group) == owner_of.end()) {
+      report.Add("group " + Str(g.group) + " is reserved but absent from the owner map");
+    }
+  }
+
+  // Free list: exact, duplicate-free, and only kFree groups.
+  std::unordered_set<std::uint64_t> free_seen;
+  for (const std::uint64_t g : c.free_list) {
+    if (!free_seen.insert(g).second) {
+      report.Add("group " + Str(g) + " appears twice on the free list");
+      continue;
+    }
+    if (g >= c.groups.size() || c.groups[g].state != GroupStateView::kFree) {
+      report.Add("free list holds group " + Str(g) + " which is not free");
+    }
+  }
+  if (free_seen.size() != free_groups) {
+    report.Add("free list holds " + Str(free_seen.size()) + " groups but " + Str(free_groups) +
+               " groups are free");
+  }
+
+  // Fragment pool entries may be stale (documented); only range-check them.
+  for (const Ppn ppn : c.fragment_pool) {
+    if (ppn >= alloc.num_frames()) {
+      report.Add("fragment pool holds out-of-range frame " + Str(ppn));
+    }
+  }
+
+  if (alloc.grant_log_enabled()) {
+    for (const ReservationCollector::Grant& g : c.grants) {
+      const std::uint64_t group = g.ppn / factor;
+      const std::uint32_t bit = 1u << (g.ppn % factor);
+      if (group >= c.groups.size() || (c.groups[group].used_mask & bit) == 0) {
+        report.Add("granted frame " + Str(g.ppn) + " is not marked used in its group");
+      }
+      if (g.properly_placed && g.ppn % factor != g.boff) {
+        report.Add("grant for boff " + Str(g.boff) + " claims proper placement but sits at frame " +
+                   Str(g.ppn));
+      }
+    }
+    if (c.grants.size() != alloc.frames_used()) {
+      report.Add("grant log holds " + Str(c.grants.size()) + " frames but the allocator counts " +
+                 Str(alloc.frames_used()) + " used");
+    }
+  }
+  return report;
+}
+
+}  // namespace cpt::check

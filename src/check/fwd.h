@@ -1,0 +1,19 @@
+// Forward declarations for the audit subsystem, so audited headers can
+// declare `AuditVisit` hooks and the TestBackdoor friendship without pulling
+// in the visitor definitions.
+#ifndef CPT_CHECK_FWD_H_
+#define CPT_CHECK_FWD_H_
+
+namespace cpt::check {
+
+class PtAuditVisitor;
+class TlbAuditVisitor;
+class ReservationAuditVisitor;
+
+// Test-only corruption seeding (tests/check_test.cc).  The single friend
+// every audited class grants; production code never touches it.
+class TestBackdoor;
+
+}  // namespace cpt::check
+
+#endif  // CPT_CHECK_FWD_H_

@@ -1,0 +1,115 @@
+// Test-only corruption seeding for the invariant auditor.
+//
+// The corruption tests must prove that StructuralAuditor actually detects
+// broken invariants, which requires breaking them on purpose.  Every audited
+// class friends check::TestBackdoor (declared in check/fwd.h) so the damage
+// can be done surgically — bypassing the public API, which is designed to
+// make these states unreachable.
+//
+// Each helper returns true when it found live state to corrupt; tests should
+// ASSERT_TRUE the return value so an empty table never silently passes.
+//
+// This header must only be included from test code.
+#ifndef CPT_CHECK_TEST_BACKDOOR_H_
+#define CPT_CHECK_TEST_BACKDOOR_H_
+
+#include <cstdint>
+
+#include "core/clustered.h"
+#include "mem/reservation.h"
+#include "pt/hashed.h"
+
+namespace cpt::check {
+
+class TestBackdoor {
+ public:
+  // Bumps the first live node's base_vpn by one tag stride so that
+  // base_vpn >> tag_shift no longer matches the node's key — the
+  // "misaligned tag" defect.
+  static bool CorruptHashedBaseVpn(pt::HashedPageTable& table) {
+    for (std::int32_t head : table.buckets_) {
+      if (head == pt::HashedPageTable::kNil) {
+        continue;
+      }
+      table.arena_[head].base_vpn += Vpn{1} << table.opts_.tag_shift;
+      return true;
+    }
+    return false;
+  }
+
+  // Clones the head node of the first non-empty chain and links the clone in
+  // front of it.  Node/translation/byte totals are adjusted so the *only*
+  // surviving defect is the duplicated coverage of the cloned node's pages.
+  static bool SeedDuplicateCoverage(core::ClusteredPageTable& table) {
+    constexpr std::int32_t kNil = core::ClusteredPageTable::kNil;
+    for (std::uint32_t b = 0; b < table.buckets_.size(); ++b) {
+      const std::int32_t head = table.buckets_[b];
+      if (head == kNil) {
+        continue;
+      }
+      const auto original = table.arena_[head];
+      std::int32_t clone;
+      if (!table.free_nodes_.empty()) {
+        clone = table.free_nodes_.back();
+        table.free_nodes_.pop_back();
+      } else {
+        clone = static_cast<std::int32_t>(table.arena_.size());
+        table.arena_.emplace_back();
+      }
+      table.arena_[clone] = original;
+      table.arena_[clone].next = head;
+      table.buckets_[b] = clone;
+      table.live_nodes_ += 1;
+      table.live_translations_ += table.NodeTranslations(original);
+      table.paper_bytes_ += table.NodeBytes(original);
+      return true;
+    }
+    return false;
+  }
+
+  // Points the tail of the first non-empty chain back at its head, turning
+  // the chain into a cycle (a self-loop when the chain has one node).
+  static bool SeedChainCycle(core::ClusteredPageTable& table) {
+    constexpr std::int32_t kNil = core::ClusteredPageTable::kNil;
+    for (std::int32_t head : table.buckets_) {
+      if (head == kNil) {
+        continue;
+      }
+      std::int32_t tail = head;
+      while (table.arena_[tail].next != kNil) {
+        tail = table.arena_[tail].next;
+      }
+      table.arena_[tail].next = head;
+      return true;
+    }
+    return false;
+  }
+
+  // Clears one used bit in the first group that has any, so the per-group
+  // masks no longer sum to frames_used().
+  static bool CorruptReservationMask(mem::ReservationAllocator& alloc) {
+    for (auto& group : alloc.groups_) {
+      if (group.used_mask != 0) {
+        group.used_mask &= group.used_mask - 1;  // Drop lowest set bit.
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Rewrites the first logged grant to claim proper placement at a slot
+  // offset the frame cannot occupy, so the grant-placement audit fires.
+  // Requires EnableGrantLog() before the grant was made.
+  static bool MisplaceGrant(mem::ReservationAllocator& alloc) {
+    for (auto& [ppn, record] : alloc.live_grants_) {
+      record.properly_placed = true;
+      record.boff = static_cast<unsigned>((ppn + 1) % alloc.factor_);
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace cpt::check
+
+#endif  // CPT_CHECK_TEST_BACKDOOR_H_

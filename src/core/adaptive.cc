@@ -1,7 +1,9 @@
 #include "core/adaptive.h"
 
 #include <bit>
-#include <cassert>
+
+#include "check/audit_visitor.h"
+#include "common/check.h"
 
 namespace cpt::core {
 
@@ -15,9 +17,9 @@ AdaptiveClusteredPageTable::AdaptiveClusteredPageTable(mem::CacheTouchModel& cac
       hasher_(opts.num_buckets, opts.hash_kind),
       alloc_(cache.line_size(), opts.placement),
       buckets_(opts.num_buckets, kNil) {
-  assert(IsPowerOfTwo(opts.num_buckets));
-  assert(IsPowerOfTwo(factor_) && factor_ >= 2 && factor_ <= kMaxFactor);
-  assert(opts.demote_occupancy < opts.promote_occupancy);
+  CPT_CHECK(IsPowerOfTwo(opts.num_buckets));
+  CPT_CHECK(IsPowerOfTwo(factor_) && factor_ >= 2 && factor_ <= kMaxFactor);
+  CPT_CHECK(opts.demote_occupancy < opts.promote_occupancy);
   bucket_stride_ = std::bit_ceil(std::uint64_t{24});
   bucket_base_ = alloc_.Allocate(std::uint64_t{opts_.num_buckets} * bucket_stride_);
 }
@@ -79,7 +81,7 @@ std::int32_t* AdaptiveClusteredPageTable::LinkOf(std::int32_t idx) {
   const std::uint32_t b = hasher_(arena_[idx].tag);
   std::int32_t* link = &buckets_[b];
   while (*link != idx) {
-    assert(*link != kNil);
+    CPT_DCHECK(*link != kNil);
     link = &arena_[*link].next;
   }
   return link;
@@ -162,7 +164,7 @@ std::optional<TlbFill> AdaptiveClusteredPageTable::Lookup(VirtAddr va) {
 
 void AdaptiveClusteredPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
                                              std::vector<TlbFill>& out) {
-  assert(subblock_factor == factor_);
+  CPT_DCHECK(subblock_factor == factor_);
   const Vpbn vpbn = VpbnOf(VpnOf(va), factor_);
   const std::uint32_t b = hasher_(vpbn);
   cache_.Touch(BucketAddr(b), 16);
@@ -322,8 +324,8 @@ bool AdaptiveClusteredPageTable::RemoveBase(Vpn vpn) {
 
 void AdaptiveClusteredPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn,
                                                  Attr attr) {
-  assert(size.pages() >= factor_ && "sub-block superpages use the fixed-factor table");
-  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(size.pages() >= factor_, "sub-block superpages use the fixed-factor table");
+  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
   const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
   const unsigned blocks = size.pages() / factor_;
   const Vpbn first = VpbnOf(base_vpn, factor_);
@@ -371,7 +373,7 @@ void AdaptiveClusteredPageTable::UpsertPartialSubblock(Vpn block_base_vpn,
                                                        unsigned subblock_factor,
                                                        Ppn block_base_ppn, Attr attr,
                                                        std::uint16_t valid_vector) {
-  assert(subblock_factor == factor_ && factor_ <= MappingWord::kMaxPsbFactor);
+  CPT_DCHECK(subblock_factor == factor_ && factor_ <= MappingWord::kMaxPsbFactor);
   const Vpbn tag = VpbnOf(block_base_vpn, factor_);
   const MappingWord word = MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector);
   for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
@@ -430,6 +432,45 @@ std::uint64_t AdaptiveClusteredPageTable::SizeBytesActual() const { return alloc
 
 std::string AdaptiveClusteredPageTable::name() const {
   return "clustered-adaptive-s" + std::to_string(factor_);
+}
+
+void AdaptiveClusteredPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
+  const std::uint64_t step_limit = live_nodes_ + 1;
+  for (std::uint32_t b = 0; b < buckets_.size(); ++b) {
+    std::uint64_t steps = 0;
+    for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+      if (++steps > step_limit || idx < 0 ||
+          static_cast<std::size_t>(idx) >= arena_.size()) {
+        visitor.OnChainCycle(b);
+        break;
+      }
+      const Node& n = arena_[idx];
+      check::PtNodeView view;
+      view.bucket = b;
+      view.tag = n.tag;
+      view.index = idx;
+      view.addr = n.addr;
+      view.words = n.words.data();
+      view.num_words = static_cast<unsigned>(n.words.size());
+      switch (n.kind) {
+        case NodeKind::kSingle:
+          view.base_vpn = (n.tag << block_log2_) + n.boff;
+          view.sub_log2 = 0;
+          break;
+        case NodeKind::kArray:
+          view.base_vpn = n.tag << block_log2_;
+          view.sub_log2 = 0;
+          break;
+        case NodeKind::kSuperpage:
+        case NodeKind::kPsb:
+          // One compact word covering the whole block.
+          view.base_vpn = n.tag << block_log2_;
+          view.sub_log2 = block_log2_;
+          break;
+      }
+      visitor.OnNode(view);
+    }
+  }
 }
 
 Histogram AdaptiveClusteredPageTable::ChainLengthHistogram() const {

@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/fwd.h"
 #include "common/hash.h"
 #include "common/stats.h"
 #include "mem/sim_alloc.h"
@@ -71,7 +72,14 @@ class AdaptiveClusteredPageTable final : public pt::PageTable {
   std::uint64_t demotions() const { return demotions_; }
   Histogram ChainLengthHistogram() const;
 
+  // ---- Invariant auditing (src/check) ----
+  unsigned subblock_factor() const { return factor_; }
+  std::uint32_t BucketOfTag(Vpbn tag) const { return hasher_(tag); }
+  void AuditVisit(check::PtAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   static constexpr std::int32_t kNil = -1;
   static constexpr unsigned kMaxFactor = 64;
 

@@ -1,7 +1,9 @@
 #include "core/clustered.h"
 
 #include <bit>
-#include <cassert>
+
+#include "check/audit_visitor.h"
+#include "common/check.h"
 
 namespace cpt::core {
 
@@ -15,8 +17,8 @@ ClusteredPageTable::ClusteredPageTable(mem::CacheTouchModel& cache, Options opts
       hasher_(opts.num_buckets, opts.hash_kind),
       alloc_(cache.line_size(), opts.placement),
       buckets_(opts.num_buckets, kNil) {
-  assert(IsPowerOfTwo(opts.num_buckets));
-  assert(IsPowerOfTwo(factor_) && factor_ >= 2 && factor_ <= kMaxSubblockFactor);
+  CPT_CHECK(IsPowerOfTwo(opts.num_buckets));
+  CPT_CHECK(IsPowerOfTwo(factor_) && factor_ >= 2 && factor_ <= kMaxSubblockFactor);
   // Bucket heads are embedded base-size nodes: probing an empty bucket still
   // reads one line, as in the hashed table.
   bucket_stride_ = std::bit_ceil(16 + 8ull * factor_);
@@ -195,7 +197,7 @@ std::optional<TlbFill> ClusteredPageTable::Lookup(VirtAddr va) {
 
 void ClusteredPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
                                      std::vector<TlbFill>& out) {
-  assert(subblock_factor == factor_);
+  CPT_DCHECK(subblock_factor == factor_);
   const Vpn vpn = VpnOf(va);
   const Vpbn vpbn = VpbnOf(vpn, factor_);
   const std::uint32_t b = hasher_(vpbn);
@@ -247,7 +249,7 @@ bool ClusteredPageTable::RemoveBase(Vpn vpn) {
 }
 
 void ClusteredPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
-  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
   const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
   if (size.pages() < factor_) {
     // A sub-size node: slots of 2^SZ pages each within one block.
@@ -305,8 +307,8 @@ bool ClusteredPageTable::RemoveSuperpage(Vpn base_vpn, PageSize size) {
 void ClusteredPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
                                                Ppn block_base_ppn, Attr attr,
                                                std::uint16_t valid_vector) {
-  assert(subblock_factor == factor_ && factor_ <= MappingWord::kMaxPsbFactor);
-  assert(block_base_vpn % factor_ == 0 && block_base_ppn % factor_ == 0);
+  CPT_DCHECK(subblock_factor == factor_ && factor_ <= MappingWord::kMaxPsbFactor);
+  CPT_DCHECK(block_base_vpn % factor_ == 0 && block_base_ppn % factor_ == 0);
   Node& n =
       GetOrCreateNode(VpbnOf(block_base_vpn, factor_), block_log2_, MappingKind::kPartialSubblock);
   live_translations_ -= NodeTranslations(n);
@@ -393,6 +395,31 @@ std::uint64_t ClusteredPageTable::live_translations() const { return live_transl
 
 std::string ClusteredPageTable::name() const {
   return "clustered-s" + std::to_string(factor_);
+}
+
+void ClusteredPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
+  const std::uint64_t step_limit = live_nodes_ + 1;
+  for (std::uint32_t b = 0; b < buckets_.size(); ++b) {
+    std::uint64_t steps = 0;
+    for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+      if (++steps > step_limit || idx < 0 ||
+          static_cast<std::size_t>(idx) >= arena_.size()) {
+        visitor.OnChainCycle(b);
+        break;
+      }
+      const Node& n = arena_[idx];
+      check::PtNodeView view;
+      view.bucket = b;
+      view.tag = n.tag;
+      view.base_vpn = n.tag << block_log2_;
+      view.sub_log2 = n.sub_log2;
+      view.words = n.words.data();
+      view.num_words = WordsInNode(n);
+      view.index = idx;
+      view.addr = n.addr;
+      visitor.OnNode(view);
+    }
+  }
 }
 
 Histogram ClusteredPageTable::ChainLengthHistogram() const {

@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/fwd.h"
 #include "common/hash.h"
 #include "common/stats.h"
 #include "mem/sim_alloc.h"
@@ -87,7 +88,13 @@ class ClusteredPageTable final : public pt::PageTable {
   Histogram ChainLengthHistogram() const;
   Histogram BlockOccupancyHistogram() const;  // Valid base mappings per base node.
 
+  // ---- Invariant auditing (src/check) ----
+  std::uint32_t BucketOfTag(Vpbn tag) const { return hasher_(tag); }
+  void AuditVisit(check::PtAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   static constexpr std::int32_t kNil = -1;
 
   struct Node {

@@ -1,6 +1,6 @@
 #include "core/multi_size.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace cpt::core {
 
@@ -22,7 +22,7 @@ MultiSizeClustered::MultiSizeClustered(mem::CacheTouchModel& cache, Options opts
       opts_(opts),
       small_(cache, TableOptions(opts, opts.small_factor)),
       large_(cache, TableOptions(opts, opts.large_factor)) {
-  assert(opts.small_factor < opts.large_factor);
+  CPT_CHECK(opts.small_factor < opts.large_factor);
 }
 
 std::optional<pt::TlbFill> MultiSizeClustered::Lookup(VirtAddr va) {

@@ -60,6 +60,8 @@ class MultiSizeClustered final : public pt::PageTable {
 
   ClusteredPageTable& small_table() { return small_; }
   ClusteredPageTable& large_table() { return large_; }
+  const ClusteredPageTable& small_table() const { return small_; }
+  const ClusteredPageTable& large_table() const { return large_; }
 
  private:
   Options opts_;

@@ -1,14 +1,14 @@
 #include "mem/cache_model.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace cpt::mem {
 
 CacheTouchModel::CacheTouchModel(std::uint32_t line_size) : line_size_(line_size) {
-  assert(IsPowerOfTwo(line_size));
+  CPT_CHECK(IsPowerOfTwo(line_size));
   line_shift_ = Log2(line_size);
   walk_lines_.reserve(32);
 }

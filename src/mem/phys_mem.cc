@@ -1,12 +1,12 @@
 #include "mem/phys_mem.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace cpt::mem {
 
 PhysicalMemory::PhysicalMemory(std::uint64_t num_frames)
     : num_frames_(num_frames), frames_free_(num_frames), used_(num_frames, false) {
-  assert(num_frames > 0 && num_frames <= kMaxPpn + 1);
+  CPT_CHECK(num_frames > 0 && num_frames <= kMaxPpn + 1);
 }
 
 std::optional<Ppn> PhysicalMemory::AllocFrame() {
@@ -26,7 +26,7 @@ std::optional<Ppn> PhysicalMemory::AllocFrame() {
 }
 
 bool PhysicalMemory::AllocSpecific(Ppn ppn) {
-  assert(ppn < num_frames_);
+  CPT_DCHECK(ppn < num_frames_);
   if (used_[ppn]) {
     return false;
   }
@@ -36,14 +36,14 @@ bool PhysicalMemory::AllocSpecific(Ppn ppn) {
 }
 
 void PhysicalMemory::FreeFrame(Ppn ppn) {
-  assert(ppn < num_frames_);
-  assert(used_[ppn]);
+  CPT_DCHECK(ppn < num_frames_);
+  CPT_DCHECK(used_[ppn]);
   used_[ppn] = false;
   ++frames_free_;
 }
 
 bool PhysicalMemory::IsFree(Ppn ppn) const {
-  assert(ppn < num_frames_);
+  CPT_DCHECK(ppn < num_frames_);
   return !used_[ppn];
 }
 

@@ -1,13 +1,17 @@
 #include "mem/reservation.h"
 
-#include <cassert>
+#include <bit>
+
+#include "check/audit_visitor.h"
+#include "common/check.h"
 
 namespace cpt::mem {
 
 ReservationAllocator::ReservationAllocator(std::uint64_t num_frames, unsigned subblock_factor)
     : factor_(subblock_factor), num_frames_((num_frames / subblock_factor) * subblock_factor) {
-  assert(IsPowerOfTwo(subblock_factor) && subblock_factor <= 32);
-  assert(num_frames_ > 0);
+  CPT_CHECK(IsPowerOfTwo(subblock_factor) && subblock_factor <= 32,
+            "group masks are 32-bit");
+  CPT_CHECK(num_frames_ > 0);
   const std::uint64_t num_groups = num_frames_ / factor_;
   groups_.resize(num_groups);
   free_groups_.reserve(num_groups);
@@ -19,7 +23,7 @@ ReservationAllocator::ReservationAllocator(std::uint64_t num_frames, unsigned su
 
 std::optional<ReservationAllocator::FrameGrant> ReservationAllocator::Allocate(
     std::uint64_t block_key, unsigned boff) {
-  assert(boff < factor_);
+  CPT_DCHECK(boff < factor_);
   if (frames_used_ == num_frames_) {
     return std::nullopt;
   }
@@ -27,14 +31,16 @@ std::optional<ReservationAllocator::FrameGrant> ReservationAllocator::Allocate(
   // 1. An existing reservation for this virtual block: use the matching slot.
   if (auto it = by_owner_.find(block_key); it != by_owner_.end()) {
     Group& grp = groups_[it->second];
-    assert(grp.state == GroupState::kReserved);
+    CPT_DCHECK(grp.state == GroupState::kReserved);
     const std::uint32_t bit = 1u << boff;
-    assert((grp.used_mask & bit) == 0 && "double allocation of (block, boff)");
+    CPT_DCHECK((grp.used_mask & bit) == 0, "double allocation of (block, boff)");
     grp.used_mask |= bit;
     ++frames_used_;
     ++grants_;
     ++placed_grants_;
-    return FrameGrant{it->second * factor_ + boff, true};
+    const Ppn ppn = it->second * factor_ + boff;
+    RecordGrant(ppn, block_key, boff, /*properly_placed=*/true);
+    return FrameGrant{ppn, true};
   }
 
   // 2. Reserve a fresh aligned group for this virtual block.
@@ -51,7 +57,9 @@ std::optional<ReservationAllocator::FrameGrant> ReservationAllocator::Allocate(
     ++frames_used_;
     ++grants_;
     ++placed_grants_;
-    return FrameGrant{g * factor_ + boff, true};
+    const Ppn ppn = g * factor_ + boff;
+    RecordGrant(ppn, block_key, boff, /*properly_placed=*/true);
+    return FrameGrant{ppn, true};
   }
 
   // 3. Memory pressure: draw from the fragment pool, breaking reservations
@@ -75,7 +83,15 @@ std::optional<ReservationAllocator::FrameGrant> ReservationAllocator::Allocate(
     grp.used_mask |= bit;
     ++frames_used_;
     ++grants_;
+    RecordGrant(ppn, block_key, boff, /*properly_placed=*/false);
     return FrameGrant{ppn, false};
+  }
+}
+
+void ReservationAllocator::RecordGrant(Ppn ppn, std::uint64_t block_key, unsigned boff,
+                                       bool properly_placed) {
+  if (grant_log_enabled_) {
+    live_grants_[ppn] = GrantRecord{block_key, boff, properly_placed};
   }
 }
 
@@ -104,13 +120,16 @@ bool ReservationAllocator::BreakOneReservation() {
 }
 
 void ReservationAllocator::Free(Ppn ppn) {
-  assert(ppn < num_frames_);
+  CPT_DCHECK(ppn < num_frames_);
   const std::uint64_t g = GroupOf(ppn);
   Group& grp = groups_[g];
   const std::uint32_t bit = 1u << (ppn % factor_);
-  assert((grp.used_mask & bit) != 0 && "freeing an unallocated frame");
+  CPT_DCHECK((grp.used_mask & bit) != 0, "freeing an unallocated frame");
   grp.used_mask &= ~bit;
   --frames_used_;
+  if (grant_log_enabled_) {
+    live_grants_.erase(ppn);
+  }
   if (grp.state == GroupState::kFragmented) {
     if (grp.used_mask == 0) {
       grp.state = GroupState::kFree;
@@ -123,6 +142,42 @@ void ReservationAllocator::Free(Ppn ppn) {
     grp.state = GroupState::kFree;
     free_groups_.push_back(g);
     // Its fifo entry becomes stale and is skipped by BreakOneReservation.
+  }
+}
+
+void ReservationAllocator::AuditVisit(check::ReservationAuditVisitor& visitor) const {
+  for (std::uint64_t g = 0; g < groups_.size(); ++g) {
+    const Group& grp = groups_[g];
+    check::ReservationGroupView view;
+    view.group = g;
+    switch (grp.state) {
+      case GroupState::kFree:
+        view.state = check::GroupStateView::kFree;
+        break;
+      case GroupState::kReserved:
+        view.state = check::GroupStateView::kReserved;
+        break;
+      case GroupState::kFragmented:
+        view.state = check::GroupStateView::kFragmented;
+        break;
+    }
+    view.owner_key = grp.owner_key;
+    view.used_mask = grp.used_mask;
+    visitor.OnGroup(view);
+  }
+  for (const std::uint64_t g : free_groups_) {
+    visitor.OnFreeListGroup(g);
+  }
+  for (const Ppn ppn : fragment_pool_) {
+    visitor.OnFragmentFrame(ppn);
+  }
+  for (const auto& [key, g] : by_owner_) {
+    visitor.OnOwnerEntry(key, g);
+  }
+  if (grant_log_enabled_) {
+    for (const auto& [ppn, rec] : live_grants_) {
+      visitor.OnGrant(ppn, rec.block_key, rec.boff, rec.properly_placed);
+    }
   }
 }
 

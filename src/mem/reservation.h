@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/fwd.h"
 #include "common/types.h"
 
 namespace cpt::mem {
@@ -56,7 +57,21 @@ class ReservationAllocator {
   std::uint64_t reservations_made() const { return reservations_made_; }
   std::uint64_t reservations_broken() const { return reservations_broken_; }
 
+  // ---- Invariant auditing (src/check) ----
+
+  // Records every outstanding grant so the auditor can verify that granted
+  // frames are marked used and that properly-placed grants really sit at
+  // block_base + boff.  Off by default (it costs a hash insert per grant).
+  void EnableGrantLog() { grant_log_enabled_ = true; }
+  bool grant_log_enabled() const { return grant_log_enabled_; }
+
+  // Reports every group, free-list entry, fragment-pool frame, owner-map
+  // entry, and (when the grant log is on) outstanding grant.
+  void AuditVisit(check::ReservationAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   enum class GroupState : std::uint8_t {
     kFree,        // No frame in use, not reserved.
     kReserved,    // Reserved for one virtual page block; slots map 1:1.
@@ -75,6 +90,9 @@ class ReservationAllocator {
   // to the fragment pool.  Returns false if there is nothing to break.
   bool BreakOneReservation();
 
+  // Logs a grant when the grant log is enabled; no-op otherwise.
+  void RecordGrant(Ppn ppn, std::uint64_t block_key, unsigned boff, bool properly_placed);
+
   unsigned factor_;
   std::uint64_t num_frames_;
   std::uint64_t frames_used_ = 0;
@@ -88,6 +106,14 @@ class ReservationAllocator {
   std::uint64_t placed_grants_ = 0;
   std::uint64_t reservations_made_ = 0;
   std::uint64_t reservations_broken_ = 0;
+
+  struct GrantRecord {
+    std::uint64_t block_key = 0;
+    unsigned boff = 0;
+    bool properly_placed = false;
+  };
+  bool grant_log_enabled_ = false;
+  std::unordered_map<Ppn, GrantRecord> live_grants_;  // Grant-log entries.
 };
 
 }  // namespace cpt::mem

@@ -1,6 +1,6 @@
 #include "mem/sim_alloc.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace cpt::mem {
 
@@ -11,7 +11,7 @@ std::uint64_t next_region_id = 1;
 
 SimAllocator::SimAllocator(std::uint32_t line_size, NodePlacement placement)
     : line_size_(line_size), placement_(placement) {
-  assert(IsPowerOfTwo(line_size));
+  CPT_CHECK(IsPowerOfTwo(line_size));
   bump_ = (next_region_id++ << 44) + kBasePageSize;
 }
 
@@ -25,7 +25,7 @@ std::uint64_t SimAllocator::AlignmentFor(std::uint64_t size) const {
 }
 
 PhysAddr SimAllocator::Allocate(std::uint64_t size) {
-  assert(size > 0);
+  CPT_DCHECK(size > 0);
   const std::uint64_t align = AlignmentFor(size);
   const std::uint64_t rounded = (size + align - 1) & ~(align - 1);
 
@@ -48,8 +48,8 @@ PhysAddr SimAllocator::Allocate(std::uint64_t size) {
 }
 
 void SimAllocator::Free(PhysAddr addr, std::uint64_t size) {
-  assert(addr != 0 && size > 0);
-  assert(bytes_live_ >= size);
+  CPT_DCHECK(addr != 0 && size > 0);
+  CPT_DCHECK(bytes_live_ >= size);
   const std::uint64_t align = AlignmentFor(size);
   const std::uint64_t rounded = (size + align - 1) & ~(align - 1);
   bytes_live_ -= size;

@@ -1,7 +1,7 @@
 #include "os/address_space.h"
 
 #include <bit>
-#include <cassert>
+#include "common/check.h"
 
 namespace cpt::os {
 
@@ -13,21 +13,21 @@ AddressSpace::AddressSpace(std::uint32_t id, pt::PageTable& table,
       opts_(opts),
       factor_(opts.subblock_factor),
       block_size_{Log2(opts.subblock_factor)} {
-  assert(IsPowerOfTwo(factor_));
-  assert(factor_ == frames.subblock_factor());
+  CPT_CHECK(IsPowerOfTwo(factor_));
+  CPT_CHECK(factor_ == frames.subblock_factor());
   if (opts_.strategy == PteStrategy::kPartialSubblock) {
-    assert(factor_ <= MappingWord::kMaxPsbFactor);
-    assert(table_.features().partial_subblock);
+    CPT_CHECK(factor_ <= MappingWord::kMaxPsbFactor);
+    CPT_CHECK(table_.features().partial_subblock);
   }
   if (opts_.strategy == PteStrategy::kSuperpage) {
-    assert(table_.features().superpages);
+    CPT_CHECK(table_.features().superpages);
   }
 }
 
 AddressSpace::~AddressSpace() = default;
 
 Ppn AddressSpace::BlockPpnBase(const BlockState& b) const {
-  assert(b.placed_mask != 0);
+  CPT_DCHECK(b.placed_mask != 0);
   const unsigned slot = static_cast<unsigned>(std::countr_zero(b.placed_mask));
   return b.ppns[slot] - slot;
 }

@@ -1,6 +1,7 @@
 #include "pt/forward.h"
 
-#include <cassert>
+#include "check/audit_visitor.h"
+#include "common/check.h"
 
 namespace cpt::pt {
 
@@ -52,7 +53,7 @@ void ForwardMappedPageTable::RemovePath(Vpn vpn) {
   bool child_died = true;
   for (unsigned level = 2; level <= kNumLevels && child_died; ++level) {
     auto it = inner_[level].find(PrefixAt(vpn, level));
-    assert(it != inner_[level].end() && it->second.children > 0);
+    CPT_DCHECK(it != inner_[level].end() && it->second.children > 0);
     child_died = --it->second.children == 0 && it->second.super_slots.empty();
     if (child_died) {
       alloc_.Free(it->second.addr, NodeBytesOfLevel(level));
@@ -93,7 +94,7 @@ void ForwardMappedPageTable::MaybeFreeInner(Vpn vpn, unsigned level) {
   bool child_died = true;
   for (unsigned l = level + 1; l <= kNumLevels && child_died; ++l) {
     auto pit = inner_[l].find(PrefixAt(vpn, l));
-    assert(pit != inner_[l].end() && pit->second.children > 0);
+    CPT_DCHECK(pit != inner_[l].end() && pit->second.children > 0);
     child_died = --pit->second.children == 0 && pit->second.super_slots.empty();
     if (child_died) {
       alloc_.Free(pit->second.addr, NodeBytesOfLevel(l));
@@ -227,7 +228,7 @@ bool ForwardMappedPageTable::RemoveBase(Vpn vpn) {
 
 void ForwardMappedPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn,
                                              Attr attr) {
-  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
   const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
   if (opts_.intermediate_superpages) {
     // Find the level whose subtree coverage equals the superpage size.
@@ -270,8 +271,8 @@ bool ForwardMappedPageTable::RemoveSuperpage(Vpn base_vpn, PageSize size) {
 void ForwardMappedPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
                                                    Ppn block_base_ppn, Attr attr,
                                                    std::uint16_t valid_vector) {
-  assert(subblock_factor == (1u << kPsbPagesLog2));
-  assert(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
+  CPT_DCHECK(subblock_factor == (1u << kPsbPagesLog2));
+  CPT_DCHECK(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
   const MappingWord word = MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector);
   for (unsigned i = 0; i < subblock_factor; ++i) {
     SetSlot(block_base_vpn + i, word);
@@ -299,6 +300,41 @@ std::uint64_t ForwardMappedPageTable::ProtectRange(Vpn first_vpn, std::uint64_t 
     }
   }
   return npages;
+}
+
+void ForwardMappedPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
+  // Leaves: one view per leaf node; `index` carries the live-slot counter,
+  // `bucket` the tree level (1 = leaf).
+  for (const auto& [prefix, leaf] : leaves_) {
+    check::PtNodeView view;
+    view.bucket = 1;
+    view.tag = prefix;
+    view.base_vpn = prefix << kLevelBits[0];
+    view.sub_log2 = 0;
+    view.words = leaf.slots.data();
+    view.num_words = kLeafEntries;
+    view.index = static_cast<std::int32_t>(leaf.live);
+    view.addr = leaf.addr;
+    visitor.OnNode(view);
+  }
+  // Intermediate-superpage words: one single-word view each, sub_log2 set to
+  // the subtree coverage of that level.
+  for (unsigned level = 2; level <= kNumLevels; ++level) {
+    for (const auto& [prefix, inner] : inner_[level]) {
+      for (const auto& [idx, word] : inner.super_slots) {
+        check::PtNodeView view;
+        view.bucket = level;
+        view.tag = prefix;
+        view.base_vpn = ((prefix << kLevelBits[level - 1]) | idx) << ShiftOfLevel(level);
+        view.sub_log2 = ShiftOfLevel(level);
+        view.words = &word;
+        view.num_words = 1;
+        view.index = static_cast<std::int32_t>(inner.children);
+        view.addr = inner.addr;
+        visitor.OnNode(view);
+      }
+    }
+  }
 }
 
 std::array<std::uint64_t, ForwardMappedPageTable::kNumLevels>

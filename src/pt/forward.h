@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/fwd.h"
 #include "mem/sim_alloc.h"
 #include "pt/page_table.h"
 
@@ -69,7 +70,12 @@ class ForwardMappedPageTable final : public PageTable {
   // Active node counts per level (leaf first), for the size formulae.
   std::array<std::uint64_t, kNumLevels> ActiveNodesPerLevel() const;
 
+  // ---- Invariant auditing (src/check) ----
+  void AuditVisit(check::PtAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   struct Leaf {
     PhysAddr addr = 0;
     std::array<MappingWord, kLeafEntries> slots{};

@@ -1,8 +1,9 @@
 #include "pt/hashed.h"
 
 #include <bit>
-#include <cassert>
 
+#include "check/audit_visitor.h"
+#include "common/check.h"
 #include "common/stats.h"
 
 namespace cpt::pt {
@@ -34,7 +35,7 @@ HashedPageTable::HashedPageTable(mem::CacheTouchModel& cache, Options opts)
       hasher_(opts.num_buckets, opts.hash_kind),
       alloc_(cache.line_size(), opts.placement),
       buckets_(opts.num_buckets, kNil) {
-  assert(IsPowerOfTwo(opts.num_buckets));
+  CPT_CHECK(IsPowerOfTwo(opts.num_buckets));
   bucket_stride_ = opts_.inverted ? 8 : std::bit_ceil(NodeBytes());
   bucket_base_ = alloc_.Allocate(std::uint64_t{opts_.num_buckets} * bucket_stride_);
 }
@@ -156,12 +157,12 @@ bool HashedPageTable::RemoveKey(std::uint64_t key) {
 }
 
 void HashedPageTable::InsertBase(Vpn vpn, Ppn ppn, Attr attr) {
-  assert(opts_.tag_shift == 0 && "base PTEs belong in a base-keyed table");
+  CPT_DCHECK(opts_.tag_shift == 0, "base PTEs belong in a base-keyed table");
   UpsertWord(vpn, MappingWord::Base(ppn, attr));
 }
 
 bool HashedPageTable::RemoveBase(Vpn vpn) {
-  assert(opts_.tag_shift == 0);
+  CPT_DCHECK(opts_.tag_shift == 0);
   return RemoveKey(vpn);
 }
 
@@ -216,6 +217,31 @@ std::string HashedPageTable::name() const {
     n += "-block";
   }
   return n;
+}
+
+void HashedPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
+  const std::uint64_t step_limit = live_nodes_ + 1;
+  for (std::uint32_t b = 0; b < buckets_.size(); ++b) {
+    std::uint64_t steps = 0;
+    for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+      if (++steps > step_limit || idx < 0 ||
+          static_cast<std::size_t>(idx) >= arena_.size()) {
+        visitor.OnChainCycle(b);
+        break;
+      }
+      const Node& n = arena_[idx];
+      check::PtNodeView view;
+      view.bucket = b;
+      view.tag = n.key;
+      view.base_vpn = n.base_vpn;
+      view.sub_log2 = opts_.tag_shift;
+      view.words = &n.word;
+      view.num_words = 1;
+      view.index = idx;
+      view.addr = n.addr;
+      visitor.OnNode(view);
+    }
+  }
 }
 
 Histogram HashedPageTable::ChainLengthHistogram() const {

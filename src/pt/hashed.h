@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/fwd.h"
 #include "common/hash.h"
 #include "common/stats.h"
 #include "mem/sim_alloc.h"
@@ -81,7 +82,20 @@ class HashedPageTable final : public PageTable {
   }
   Histogram ChainLengthHistogram() const;
 
+  // ---- Invariant auditing (src/check) ----
+
+  // The bucket a chain key belongs in, for bucket-membership verification.
+  std::uint32_t BucketOfKey(std::uint64_t key) const { return hasher_(key); }
+  bool packed_pte() const { return opts_.packed_pte; }
+
+  // Walks every chain node, reporting a read-only view of each to the
+  // visitor.  Chain walks are bounded at the live node count; running past
+  // the bound reports a cycle and stops that bucket.
+  void AuditVisit(check::PtAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   static constexpr std::int32_t kNil = -1;
 
   struct Node {

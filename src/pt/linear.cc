@@ -1,6 +1,7 @@
 #include "pt/linear.h"
 
-#include <cassert>
+#include "check/audit_visitor.h"
+#include "common/check.h"
 
 namespace cpt::pt {
 
@@ -67,7 +68,7 @@ void LinearPageTable::RemoveUpperLevels(std::uint64_t leaf_index) {
   for (unsigned level = 2; level <= kNumLevels; ++level) {
     const std::uint64_t key = child_key >> kBitsPerLevel;
     auto it = upper_[level].find(key);
-    assert(it != upper_[level].end() && it->second > 0);
+    CPT_DCHECK(it != upper_[level].end() && it->second > 0);
     if (--it->second != 0) {
       break;
     }
@@ -165,7 +166,7 @@ bool LinearPageTable::RemoveBase(Vpn vpn) { return ClearSlot(vpn) != MappingWord
 void LinearPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
   // Replicate-PTEs (Section 4.2): the superpage PTE is stored at the page
   // table site of every base page it covers.
-  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
   const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
   for (unsigned i = 0; i < size.pages(); ++i) {
     SetSlot(base_vpn + i, word);
@@ -185,8 +186,8 @@ void LinearPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subbloc
                                             std::uint16_t valid_vector) {
   // Replicated at every base site; updating the vector rewrites all replicas
   // (the §4.3 multi-PTE update cost of replication).
-  assert(subblock_factor == (1u << kPsbPagesLog2));
-  assert(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
+  CPT_DCHECK(subblock_factor == (1u << kPsbPagesLog2));
+  CPT_DCHECK(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
   const MappingWord word = MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector);
   for (unsigned i = 0; i < subblock_factor; ++i) {
     SetSlot(block_base_vpn + i, word);
@@ -214,6 +215,24 @@ std::uint64_t LinearPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages,
     }
   }
   return npages;
+}
+
+void LinearPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
+  // A linear table has no hash chains: each leaf page becomes one node view.
+  // `index` carries the leaf's live-slot counter so the auditor can check it
+  // against the occupied slots it sees in `words`.
+  for (const auto& [leaf_index, leaf] : leaves_) {
+    check::PtNodeView view;
+    view.bucket = 0;
+    view.tag = leaf_index;
+    view.base_vpn = leaf_index << kBitsPerLevel;
+    view.sub_log2 = 0;
+    view.words = leaf.slots.data();
+    view.num_words = kPtesPerPage;
+    view.index = static_cast<std::int32_t>(leaf.live);
+    view.addr = leaf.addr;
+    visitor.OnNode(view);
+  }
 }
 
 std::array<std::uint64_t, LinearPageTable::kNumLevels> LinearPageTable::ActiveNodesPerLevel()

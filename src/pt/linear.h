@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/fwd.h"
 #include "mem/sim_alloc.h"
 #include "pt/page_table.h"
 
@@ -78,7 +79,12 @@ class LinearPageTable final : public PageTable {
   // Tree-node counts per level (level 1 = leaves), for the size formulae.
   std::array<std::uint64_t, kNumLevels> ActiveNodesPerLevel() const;
 
+  // ---- Invariant auditing (src/check) ----
+  void AuditVisit(check::PtAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   struct Leaf {
     PhysAddr addr = 0;
     std::array<MappingWord, kPtesPerPage> slots{};

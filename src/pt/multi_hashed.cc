@@ -1,7 +1,9 @@
 #include "pt/multi_hashed.h"
 
 #include <bit>
-#include <cassert>
+
+#include "check/audit_visitor.h"
+#include "common/check.h"
 
 namespace cpt::pt {
 
@@ -39,7 +41,7 @@ MultiTableHashed::MultiTableHashed(mem::CacheTouchModel& cache, Options opts)
       block_shift_(Log2(opts.subblock_factor)),
       base_(cache, BaseTableOptions(opts)),
       block_(cache, BlockTableOptions(opts)) {
-  assert(IsPowerOfTwo(opts.subblock_factor));
+  CPT_CHECK(IsPowerOfTwo(opts.subblock_factor));
 }
 
 std::optional<TlbFill> MultiTableHashed::Lookup(VirtAddr va) {
@@ -65,7 +67,7 @@ void MultiTableHashed::InsertBase(Vpn vpn, Ppn ppn, Attr attr) { base_.InsertBas
 bool MultiTableHashed::RemoveBase(Vpn vpn) { return base_.RemoveBase(vpn); }
 
 void MultiTableHashed::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
-  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
   block_.UpsertWord(base_vpn, MappingWord::Superpage(base_ppn, attr, size));
 }
 
@@ -76,8 +78,8 @@ bool MultiTableHashed::RemoveSuperpage(Vpn base_vpn, PageSize /*size*/) {
 void MultiTableHashed::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
                                              Ppn block_base_ppn, Attr attr,
                                              std::uint16_t valid_vector) {
-  assert(subblock_factor == opts_.subblock_factor);
-  assert(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
+  CPT_DCHECK(subblock_factor == opts_.subblock_factor);
+  CPT_DCHECK(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
   block_.UpsertWord(block_base_vpn,
                     MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector));
 }
@@ -107,6 +109,14 @@ std::string MultiTableHashed::name() const {
   return opts_.order == SearchOrder::kBaseFirst ? "hashed-multi" : "hashed-multi-blockfirst";
 }
 
+void MultiTableHashed::AuditVisit(check::PtAuditVisitor& visitor) const {
+  // Bucket numbers of the two constituent tables overlap; per-table bucket
+  // checks should use base_table()/block_table() directly.  This combined
+  // walk serves whole-table coverage checks.
+  base_.AuditVisit(visitor);
+  block_.AuditVisit(visitor);
+}
+
 // ---------------------------------------------------------------------------
 // SuperpageIndexHashed
 // ---------------------------------------------------------------------------
@@ -118,7 +128,7 @@ SuperpageIndexHashed::SuperpageIndexHashed(mem::CacheTouchModel& cache, Options 
       hasher_(opts.num_buckets, opts.hash_kind),
       alloc_(cache.line_size(), opts.placement),
       buckets_(opts.num_buckets, kNil) {
-  assert(IsPowerOfTwo(opts.num_buckets) && IsPowerOfTwo(opts.subblock_factor));
+  CPT_CHECK(IsPowerOfTwo(opts.num_buckets) && IsPowerOfTwo(opts.subblock_factor));
   bucket_base_ = alloc_.Allocate(std::uint64_t{opts_.num_buckets} * 32);
 }
 
@@ -230,8 +240,8 @@ bool SuperpageIndexHashed::RemoveBase(Vpn vpn) { return Remove(vpn, 0, MappingKi
 void SuperpageIndexHashed::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
   // Superpages larger than the hash-index size "must be handled another way"
   // (Section 4.2); this implementation restricts them to the index size.
-  assert(size.pages() <= opts_.subblock_factor);
-  assert(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(size.pages() <= opts_.subblock_factor);
+  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
   Upsert(base_vpn, size.size_log2, MappingWord::Superpage(base_ppn, attr, size));
 }
 
@@ -242,7 +252,7 @@ bool SuperpageIndexHashed::RemoveSuperpage(Vpn base_vpn, PageSize size) {
 void SuperpageIndexHashed::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
                                                  Ppn block_base_ppn, Attr attr,
                                                  std::uint16_t valid_vector) {
-  assert(subblock_factor == opts_.subblock_factor);
+  CPT_DCHECK(subblock_factor == opts_.subblock_factor);
   Upsert(block_base_vpn, block_shift_,
          MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector));
 }
@@ -281,6 +291,31 @@ std::uint64_t SuperpageIndexHashed::SizeBytesActual() const {
 }
 
 std::uint64_t SuperpageIndexHashed::live_translations() const { return live_translations_; }
+
+void SuperpageIndexHashed::AuditVisit(check::PtAuditVisitor& visitor) const {
+  const std::uint64_t step_limit = live_nodes_ + 1;
+  for (std::uint32_t b = 0; b < buckets_.size(); ++b) {
+    std::uint64_t steps = 0;
+    for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+      if (++steps > step_limit || idx < 0 ||
+          static_cast<std::size_t>(idx) >= arena_.size()) {
+        visitor.OnChainCycle(b);
+        break;
+      }
+      const Node& n = arena_[idx];
+      check::PtNodeView view;
+      view.bucket = b;
+      view.tag = n.base_vpn >> block_shift_;
+      view.base_vpn = n.base_vpn;
+      view.sub_log2 = n.pages_log2;
+      view.words = &n.word;
+      view.num_words = 1;
+      view.index = idx;
+      view.addr = n.addr;
+      visitor.OnNode(view);
+    }
+  }
+}
 
 Histogram SuperpageIndexHashed::ChainLengthHistogram() const {
   Histogram h;

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/fwd.h"
 #include "common/hash.h"
 #include "mem/sim_alloc.h"
 #include "pt/hashed.h"
@@ -64,6 +65,11 @@ class MultiTableHashed final : public PageTable {
 
   HashedPageTable& base_table() { return base_; }
   HashedPageTable& block_table() { return block_; }
+  const HashedPageTable& base_table() const { return base_; }
+  const HashedPageTable& block_table() const { return block_; }
+
+  // ---- Invariant auditing (src/check) ----
+  void AuditVisit(check::PtAuditVisitor& visitor) const;
 
  private:
   Options opts_;
@@ -100,7 +106,15 @@ class SuperpageIndexHashed final : public PageTable {
 
   Histogram ChainLengthHistogram() const;
 
+  // ---- Invariant auditing (src/check) ----
+  unsigned block_shift() const { return block_shift_; }
+  std::uint64_t node_count() const { return live_nodes_; }
+  std::uint32_t BucketOfVpn(Vpn vpn) const { return hasher_(vpn >> block_shift_); }
+  void AuditVisit(check::PtAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   static constexpr std::int32_t kNil = -1;
 
   // A node tagged by the exact range it covers; hashed by page block.

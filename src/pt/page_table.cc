@@ -1,6 +1,6 @@
 #include "pt/page_table.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace cpt::pt {
 
@@ -72,22 +72,22 @@ std::uint64_t PageTable::ScanAndClearReferenced(Vpn first_vpn, std::uint64_t npa
 
 void PageTable::InsertSuperpage(Vpn /*base_vpn*/, PageSize /*size*/, Ppn /*base_ppn*/,
                                 Attr /*attr*/) {
-  assert(false && "this page table does not support superpage PTEs");
+  CPT_CHECK(false, "this page table does not support superpage PTEs");
 }
 
 bool PageTable::RemoveSuperpage(Vpn /*base_vpn*/, PageSize /*size*/) {
-  assert(false && "this page table does not support superpage PTEs");
+  CPT_CHECK(false, "this page table does not support superpage PTEs");
   return false;
 }
 
 void PageTable::UpsertPartialSubblock(Vpn /*block_base_vpn*/, unsigned /*subblock_factor*/,
                                       Ppn /*block_base_ppn*/, Attr /*attr*/,
                                       std::uint16_t /*valid_vector*/) {
-  assert(false && "this page table does not support partial-subblock PTEs");
+  CPT_CHECK(false, "this page table does not support partial-subblock PTEs");
 }
 
 bool PageTable::RemovePartialSubblock(Vpn /*block_base_vpn*/, unsigned /*subblock_factor*/) {
-  assert(false && "this page table does not support partial-subblock PTEs");
+  CPT_CHECK(false, "this page table does not support partial-subblock PTEs");
   return false;
 }
 

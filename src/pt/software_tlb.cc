@@ -1,7 +1,7 @@
 #include "pt/software_tlb.h"
 
 #include <bit>
-#include <cassert>
+#include "common/check.h"
 
 namespace cpt::pt {
 
@@ -12,8 +12,8 @@ SoftwareTlb::SoftwareTlb(mem::CacheTouchModel& cache, std::unique_ptr<PageTable>
       backing_(std::move(backing)),
       hasher_(opts.num_sets, opts.hash_kind),
       alloc_(cache.line_size(), opts.placement) {
-  assert(IsPowerOfTwo(opts.num_sets) && opts.ways >= 1);
-  assert(backing_ != nullptr);
+  CPT_CHECK(IsPowerOfTwo(opts.num_sets) && opts.ways >= 1);
+  CPT_CHECK(backing_ != nullptr);
   slot_stride_ = std::bit_ceil(EntryBytes());
   array_base_ =
       alloc_.Allocate(std::uint64_t{opts_.num_sets} * opts_.ways * slot_stride_);

@@ -65,6 +65,7 @@ class SoftwareTlb final : public PageTable {
   std::string name() const override;
 
   PageTable& backing() { return *backing_; }
+  const PageTable& backing() const { return *backing_; }
   std::uint64_t probe_hits() const { return hits_; }
   std::uint64_t probe_misses() const { return misses_; }
   double HitRatio() const {

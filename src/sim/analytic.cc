@@ -1,12 +1,13 @@
 #include "sim/analytic.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace cpt::sim::analytic {
 
 std::uint64_t Nactive(const std::vector<Vpn>& mapped, std::uint64_t region_pages) {
-  assert(region_pages > 0);
+  CPT_CHECK(region_pages > 0);
   std::vector<std::uint64_t> regions;
   regions.reserve(mapped.size());
   for (const Vpn vpn : mapped) {
@@ -51,7 +52,7 @@ std::uint64_t ClusteredBytes(const std::vector<Vpn>& mapped, unsigned subblock_f
 
 double ClusteredWithSpBytes(const std::vector<Vpn>& mapped, unsigned subblock_factor,
                             double fss) {
-  assert(fss >= 0.0 && fss <= 1.0);
+  CPT_CHECK(fss >= 0.0 && fss <= 1.0);
   const double nactive = static_cast<double>(Nactive(mapped, subblock_factor));
   return 24.0 * nactive * fss +
          static_cast<double>(8 * subblock_factor + 16) * nactive * (1.0 - fss);

@@ -66,6 +66,11 @@ AccessMeasurement MeasureAccessTime(const workload::WorkloadSpec& spec, MachineO
   m.trace_refs = trace_len;
   m.miss_ratio = machine.tlb().stats().MissRatio();
   m.pt_bytes = machine.TotalPtBytesPaperModel();
+  if (opts.audit) {
+    const check::AuditReport audit = machine.AuditAll();
+    m.audit_defects = audit.defects.size();
+    m.audit_summary = audit.Summary();
+  }
   return m;
 }
 

@@ -50,6 +50,10 @@ struct AccessMeasurement {
   std::uint64_t trace_refs = 0;
   double miss_ratio = 0.0;
   std::uint64_t pt_bytes = 0;
+  // Defects found by Machine::AuditAll() after the run (opts.audit only;
+  // 0 when auditing was off or every invariant held).
+  std::uint64_t audit_defects = 0;
+  std::string audit_summary;  // The defect list, "" when clean.
 };
 
 // Runs `trace_len` references of the workload's trace on a machine with the

@@ -1,7 +1,7 @@
 #include "sim/machine.h"
 
-#include <cassert>
-
+#include "check/shadow_oracle.h"
+#include "common/check.h"
 #include "core/adaptive.h"
 #include "core/clustered.h"
 #include "pt/forward.h"
@@ -159,7 +159,10 @@ Machine::Machine(MachineOptions opts, unsigned num_processes)
       num_processes_(num_processes),
       cache_(opts.line_size),
       frames_(opts.phys_frames, opts.subblock_factor) {
-  assert(num_processes >= 1);
+  CPT_CHECK(num_processes >= 1);
+  if (opts_.audit) {
+    frames_.EnableGrantLog();
+  }
   const os::PteStrategy strategy = EffectiveStrategy();
   // A shared page table (Section 7) serves every process through one
   // context; per-process tables get one context each.
@@ -168,6 +171,11 @@ Machine::Machine(MachineOptions opts, unsigned num_processes)
   for (unsigned p = 0; p < num_ctx; ++p) {
     ProcessCtx ctx;
     ctx.table = MakePageTable(opts_.pt_kind, cache_, opts_);
+    if (opts_.audit) {
+      // The oracle wraps outermost — above any software TLB — so it also
+      // cross-checks the software TLB's write-through invalidation.
+      ctx.table = std::make_unique<check::ShadowedPageTable>(cache_, std::move(ctx.table));
+    }
     ctx.aspace = std::make_unique<os::AddressSpace>(
         p, *ctx.table, frames_,
         os::AddressSpaceOptions{.strategy = strategy,
@@ -179,7 +187,7 @@ Machine::Machine(MachineOptions opts, unsigned num_processes)
   // has fewer entries, while the normalization denominator still uses the
   // full-size TLB (Section 6.1).
   if (IsLinear()) {
-    assert(opts_.tlb_entries > opts_.linear_reserved_entries);
+    CPT_CHECK(opts_.tlb_entries > opts_.linear_reserved_entries);
     tlb_ = MakeTlb(opts_.tlb_entries - opts_.linear_reserved_entries);
     ref_tlb_ = MakeTlb(opts_.tlb_entries);
   } else {
@@ -203,7 +211,7 @@ std::optional<pt::TlbFill> Machine::WalkCounted(ProcessCtx& proc, VirtAddr va) {
   cache_.BeginWalk();
   auto fill = proc.table->Lookup(va);
   cache_.EndWalk();
-  assert(fill && "fault handler mapped the page; the walk must succeed");
+  CPT_DCHECK(fill.has_value(), "fault handler mapped the page; the walk must succeed");
   return fill;
 }
 
@@ -215,7 +223,7 @@ std::optional<pt::TlbFill> Machine::WalkUncounted(ProcessCtx& proc, VirtAddr va)
 }
 
 void Machine::Access(tlb::Asid asid, VirtAddr va, bool is_write) {
-  assert(asid < num_processes_);
+  CPT_DCHECK(asid < num_processes_);
   ProcessCtx& proc = CtxOf(asid);
   va = EffectiveVa(asid, va);
   const Vpn vpn = VpnOf(va);
@@ -292,7 +300,7 @@ void Machine::Access(tlb::Asid asid, VirtAddr va, bool is_write) {
 }
 
 void Machine::Preload(const workload::Snapshot& snapshot) {
-  assert(snapshot.pages.size() == num_processes_);
+  CPT_CHECK(snapshot.pages.size() == num_processes_);
   for (std::size_t p = 0; p < snapshot.pages.size(); ++p) {
     const auto asid = static_cast<tlb::Asid>(p);
     for (const auto& seg_pages : snapshot.pages[p]) {
@@ -333,6 +341,26 @@ std::uint64_t Machine::TotalPtBytesActual() const {
     total += p.table->SizeBytesActual();
   }
   return total;
+}
+
+check::AuditReport Machine::AuditAll() const {
+  check::AuditReport report;
+  for (std::size_t p = 0; p < procs_.size(); ++p) {
+    const pt::PageTable* table = procs_[p].table.get();
+    const std::string prefix = "proc " + std::to_string(p);
+    if (opts_.audit) {
+      const auto& shadow = static_cast<const check::ShadowedPageTable&>(*table);
+      report.Merge(shadow.FinalCheck(), prefix + " oracle");
+      table = &shadow.inner();
+    }
+    report.Merge(check::StructuralAuditor::AuditPageTable(*table), prefix);
+  }
+  report.Merge(check::StructuralAuditor::Audit(frames_), "frames");
+  report.Merge(check::StructuralAuditor::AuditTlb(*tlb_), "tlb");
+  if (ref_tlb_) {
+    report.Merge(check::StructuralAuditor::AuditTlb(*ref_tlb_), "ref-tlb");
+  }
+  return report;
 }
 
 std::uint64_t Machine::TotalPageFaults() const {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "check/auditor.h"
 #include "mem/cache_model.h"
 #include "mem/reservation.h"
 #include "os/address_space.h"
@@ -84,6 +85,11 @@ struct MachineOptions {
   // so the Figure 11 metrics stay pure walk costs.
   bool maintain_ref_bits = false;
   std::uint64_t phys_frames = 1ull << 22;  // 16GB: ample for every workload.
+  // Invariant auditing (src/check): wraps every page table in the shadow-map
+  // differential oracle and logs reservation grants so AuditAll() can verify
+  // them.  Off by default — the oracle costs a hash probe per table access,
+  // which would perturb the Figure 11 timing comparisons.
+  bool audit = false;
   // PTE strategy; defaults to the natural match for the TLB kind
   // (base-only / superpage / partial-subblock / base-only).
   std::optional<os::PteStrategy> strategy;
@@ -126,7 +132,14 @@ class Machine {
   unsigned num_processes() const { return num_processes_; }
   pt::PageTable& page_table(tlb::Asid asid) { return *CtxOf(asid).table; }
   os::AddressSpace& address_space(tlb::Asid asid) { return *CtxOf(asid).aspace; }
+  mem::ReservationAllocator& frames() { return frames_; }
+  const mem::ReservationAllocator& frames() const { return frames_; }
   const MachineOptions& options() const { return opts_; }
+
+  // Runs every structural audit — each process's page table, the frame
+  // allocator, and the TLB(s) — plus, when options().audit is set, each
+  // shadow oracle's final check.  An ok() report means every invariant held.
+  check::AuditReport AuditAll() const;
 
  private:
   struct ProcessCtx {

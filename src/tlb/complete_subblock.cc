@@ -1,12 +1,14 @@
 #include "tlb/complete_subblock.h"
 
-#include <cassert>
+#include "check/audit_visitor.h"
+#include "common/check.h"
 
 namespace cpt::tlb {
 
 CompleteSubblockTlb::CompleteSubblockTlb(unsigned num_entries, unsigned subblock_factor)
     : Tlb(num_entries), factor_(subblock_factor), entries_(num_entries) {
-  assert(IsPowerOfTwo(subblock_factor) && subblock_factor <= kMaxFactor);
+  CPT_CHECK(IsPowerOfTwo(subblock_factor) && subblock_factor <= kMaxFactor,
+            "per-entry valid vector is one 64-bit word");
 }
 
 CompleteSubblockTlb::Entry* CompleteSubblockTlb::FindTag(Asid asid, Vpbn vpbn) {
@@ -87,6 +89,29 @@ void CompleteSubblockTlb::InsertBlock(Asid asid, Vpn vpn, std::span<const pt::Tl
 void CompleteSubblockTlb::Flush() {
   for (Entry& e : entries_) {
     e.valid = false;
+  }
+}
+
+void CompleteSubblockTlb::AuditVisit(check::TlbAuditVisitor& visitor) const {
+  for (const Entry& e : entries_) {
+    check::TlbEntryView view;
+    view.set = 0;
+    view.valid = e.valid;
+    view.asid = e.asid;
+    view.stamp = e.stamp;
+    view.base_vpn = FirstVpnOfBlock(e.vpbn, factor_);
+    view.base_ppn = 0;
+    view.pages_log2 = Log2(factor_);
+    view.valid_vector = e.vector;
+    view.block_entry = true;
+    if (e.valid) {
+      for (unsigned i = 0; i < factor_; ++i) {
+        if ((e.vector >> i) & 1u) {
+          view.translations.emplace_back(view.base_vpn + i, e.ppns[i]);
+        }
+      }
+    }
+    visitor.OnEntry(view);
   }
 }
 

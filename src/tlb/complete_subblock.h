@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "check/fwd.h"
 #include "tlb/tlb.h"
 
 namespace cpt::tlb {
@@ -37,7 +38,12 @@ class CompleteSubblockTlb final : public Tlb {
 
   unsigned subblock_factor() const { return factor_; }
 
+  // ---- Invariant auditing (src/check) ----
+  void AuditVisit(check::TlbAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   struct Entry {
     Asid asid = 0;
     Vpbn vpbn = 0;

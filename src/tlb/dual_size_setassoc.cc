@@ -1,6 +1,7 @@
 #include "tlb/dual_size_setassoc.h"
 
-#include <cassert>
+#include "check/audit_visitor.h"
+#include "common/check.h"
 
 namespace cpt::tlb {
 
@@ -11,7 +12,7 @@ DualSizeSetAssocTlb::DualSizeSetAssocTlb(unsigned num_sets, unsigned ways,
       ways_(ways),
       superpage_log2_(superpage_log2),
       entries_(std::size_t{num_sets} * ways) {
-  assert(IsPowerOfTwo(num_sets) && ways >= 1);
+  CPT_CHECK(IsPowerOfTwo(num_sets) && ways >= 1, "set index must be a bit field");
   invalid_entries_ = entries_.size();
 }
 
@@ -86,6 +87,23 @@ void DualSizeSetAssocTlb::Flush() {
     e.valid = false;
   }
   invalid_entries_ = entries_.size();
+}
+
+void DualSizeSetAssocTlb::AuditVisit(check::TlbAuditVisitor& visitor) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    check::TlbEntryView view;
+    view.set = static_cast<unsigned>(i / ways_);
+    view.valid = e.valid;
+    view.asid = e.asid;
+    view.stamp = e.stamp;
+    view.base_vpn = e.base_vpn;
+    view.base_ppn = e.base_ppn;
+    view.pages_log2 = e.pages_log2;
+    view.valid_vector = 1;
+    view.block_entry = e.pages_log2 > 0;
+    visitor.OnEntry(view);
+  }
 }
 
 }  // namespace cpt::tlb

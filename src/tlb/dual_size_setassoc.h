@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "check/fwd.h"
 #include "common/hash.h"
 #include "tlb/tlb.h"
 
@@ -35,7 +36,14 @@ class DualSizeSetAssocTlb final : public Tlb {
   // invalid entries — the set-crowding cost of superpage indexing.
   std::uint64_t conflict_evictions() const { return conflict_evictions_; }
 
+  // ---- Invariant auditing (src/check) ----
+  unsigned superpage_log2() const { return superpage_log2_; }
+  std::uint64_t invalid_entries() const { return invalid_entries_; }
+  void AuditVisit(check::TlbAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   struct Entry {
     Asid asid = 0;
     Vpn base_vpn = 0;

@@ -1,6 +1,7 @@
 #include "tlb/partial_subblock.h"
 
-#include <cassert>
+#include "check/audit_visitor.h"
+#include "common/check.h"
 
 namespace cpt::tlb {
 
@@ -9,7 +10,8 @@ PartialSubblockTlb::PartialSubblockTlb(unsigned num_entries, unsigned subblock_f
       factor_(subblock_factor),
       block_log2_(Log2(subblock_factor)),
       entries_(num_entries) {
-  assert(IsPowerOfTwo(subblock_factor) && subblock_factor <= 16);
+  CPT_CHECK(IsPowerOfTwo(subblock_factor) && subblock_factor <= 16,
+            "PSB valid vectors hold at most 16 bits");
 }
 
 bool PartialSubblockTlb::Covers(const Entry& e, Asid asid, Vpn vpn) const {
@@ -95,6 +97,29 @@ void PartialSubblockTlb::Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) {
 void PartialSubblockTlb::Flush() {
   for (Entry& e : entries_) {
     e.valid = false;
+  }
+}
+
+void PartialSubblockTlb::AuditVisit(check::TlbAuditVisitor& visitor) const {
+  for (const Entry& e : entries_) {
+    check::TlbEntryView view;
+    view.set = 0;
+    view.valid = e.valid;
+    view.asid = e.asid;
+    view.stamp = e.stamp;
+    view.block_entry = e.block_entry;
+    if (e.block_entry) {
+      view.base_vpn = FirstVpnOfBlock(e.vpbn, factor_);
+      view.base_ppn = e.block_ppn;
+      view.pages_log2 = block_log2_;
+      view.valid_vector = e.vector;
+    } else {
+      view.base_vpn = e.single_vpn;
+      view.base_ppn = e.single_ppn;
+      view.pages_log2 = 0;
+      view.valid_vector = 1;
+    }
+    visitor.OnEntry(view);
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "check/fwd.h"
 #include "tlb/tlb.h"
 
 namespace cpt::tlb {
@@ -29,7 +30,12 @@ class PartialSubblockTlb final : public Tlb {
                             : static_cast<double>(psb_hits_) / static_cast<double>(stats_.hits);
   }
 
+  // ---- Invariant auditing (src/check) ----
+  void AuditVisit(check::TlbAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   struct Entry {
     Asid asid = 0;
     Vpbn vpbn = 0;

@@ -1,5 +1,7 @@
 #include "tlb/single_page.h"
 
+#include "check/audit_visitor.h"
+
 namespace cpt::tlb {
 
 SinglePageTlb::SinglePageTlb(unsigned num_entries) : Tlb(num_entries), entries_(num_entries) {}
@@ -41,6 +43,25 @@ void SinglePageTlb::Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) {
 void SinglePageTlb::Flush() {
   for (Entry& e : entries_) {
     e.valid = false;
+  }
+}
+
+void SinglePageTlb::AuditVisit(check::TlbAuditVisitor& visitor) const {
+  for (const Entry& e : entries_) {
+    check::TlbEntryView view;
+    view.set = 0;
+    view.valid = e.valid;
+    view.asid = e.asid;
+    view.stamp = e.stamp;
+    view.base_vpn = e.vpn;
+    view.base_ppn = e.ppn;
+    view.pages_log2 = 0;
+    view.valid_vector = 1;
+    view.block_entry = false;
+    if (e.valid) {
+      view.translations.emplace_back(e.vpn, e.ppn);
+    }
+    visitor.OnEntry(view);
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "check/fwd.h"
 #include "tlb/tlb.h"
 
 namespace cpt::tlb {
@@ -19,7 +20,12 @@ class SinglePageTlb final : public Tlb {
   void Flush() override;
   std::string name() const override { return "single-page"; }
 
+  // ---- Invariant auditing (src/check) ----
+  void AuditVisit(check::TlbAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   struct Entry {
     Asid asid = 0;
     Vpn vpn = 0;

@@ -1,5 +1,7 @@
 #include "tlb/superpage.h"
 
+#include "check/audit_visitor.h"
+
 namespace cpt::tlb {
 
 SuperpageTlb::SuperpageTlb(unsigned num_entries) : Tlb(num_entries), entries_(num_entries) {}
@@ -54,6 +56,22 @@ void SuperpageTlb::Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) {
 void SuperpageTlb::Flush() {
   for (Entry& e : entries_) {
     e.valid = false;
+  }
+}
+
+void SuperpageTlb::AuditVisit(check::TlbAuditVisitor& visitor) const {
+  for (const Entry& e : entries_) {
+    check::TlbEntryView view;
+    view.set = 0;
+    view.valid = e.valid;
+    view.asid = e.asid;
+    view.stamp = e.stamp;
+    view.base_vpn = e.base_vpn;
+    view.base_ppn = e.base_ppn;
+    view.pages_log2 = e.pages_log2;
+    view.valid_vector = 1;
+    view.block_entry = e.pages_log2 > 0;
+    visitor.OnEntry(view);
   }
 }
 

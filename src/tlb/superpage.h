@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "check/fwd.h"
 #include "tlb/tlb.h"
 
 namespace cpt::tlb {
@@ -26,7 +27,12 @@ class SuperpageTlb final : public Tlb {
                             : static_cast<double>(super_hits_) / static_cast<double>(stats_.hits);
   }
 
+  // ---- Invariant auditing (src/check) ----
+  void AuditVisit(check::TlbAuditVisitor& visitor) const;
+
  private:
+  friend class check::TestBackdoor;
+
   struct Entry {
     Asid asid = 0;
     Vpn base_vpn = 0;

@@ -13,7 +13,7 @@
 // stack high) so the 6-level linear tree pays its upper-level costs.
 #include "workload/workload.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace cpt::workload {
 
@@ -294,7 +294,7 @@ const WorkloadSpec& GetPaperWorkload(const std::string& name) {
       return w;
     }
   }
-  assert(false && "unknown workload name");
+  CPT_CHECK(false, "unknown workload name");
   static const WorkloadSpec kEmpty{};
   return kEmpty;
 }

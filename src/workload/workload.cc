@@ -1,7 +1,7 @@
 #include "workload/workload.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 
 namespace cpt::workload {
 
@@ -39,7 +39,7 @@ namespace {
 // with run lengths around burst_mean and gap lengths chosen so the overall
 // mapped fraction approaches `density`.
 std::vector<Vpn> LayoutSegment(const Segment& seg, Rng& rng) {
-  assert(seg.density > 0.0 && seg.density <= 1.0);
+  CPT_CHECK(seg.density > 0.0 && seg.density <= 1.0);
   std::vector<Vpn> mapped;
   mapped.reserve(static_cast<std::size_t>(static_cast<double>(seg.span_pages) * seg.density) + 8);
   const Vpn first = VpnOf(seg.base);

@@ -43,10 +43,15 @@ TEST_P(MachineMatrixTest, RunsWorkloadSliceWithInvariantsIntact) {
   MachineOptions opts;
   opts.pt_kind = pt;
   opts.tlb_kind = tlb;
+  // Differential oracle: every Insert/Remove is mirrored into a shadow map
+  // and every Lookup cross-checked; AuditAll() then verifies the structural
+  // invariants of the table, the frame allocator, and the TLB.
+  opts.audit = true;
   const auto& spec = workload::GetPaperWorkload("mp3d");
   const AccessMeasurement m = MeasureAccessTime(spec, opts, 60000);
 
   // Global invariants of any valid run:
+  EXPECT_EQ(m.audit_defects, 0u) << m.audit_summary;
   EXPECT_GT(m.denominator_misses, 0u) << "the trace must stress the TLB";
   EXPECT_GE(m.avg_lines_per_miss, 0.99) << "every counted miss touches >= 1 line";
   EXPECT_GT(m.pt_bytes, 0u);
@@ -93,8 +98,12 @@ TEST_P(SwTlbMatrixTest, SoftwareTlbWrapsEveryOrganization) {
   MachineOptions opts;
   opts.pt_kind = GetParam();
   opts.swtlb_sets = 1024;
+  // The oracle wraps above the software TLB, so a stale cached fill that
+  // escaped write-through invalidation would surface as a defect here.
+  opts.audit = true;
   const auto& spec = workload::GetPaperWorkload("compress");
   const AccessMeasurement m = MeasureAccessTime(spec, opts, 60000);
+  EXPECT_EQ(m.audit_defects, 0u) << m.audit_summary;
   EXPECT_GT(m.denominator_misses, 0u);
   EXPECT_GE(m.avg_lines_per_miss, 0.99);
 }
