@@ -7,6 +7,7 @@
 // placed frames, so the fss fractions are emergent, not assumed.
 #include <cstdio>
 
+#include "bench/bench_flags.h"
 #include "sim/experiments.h"
 #include "sim/report.h"
 #include "workload/workload.h"
@@ -15,7 +16,8 @@ using namespace cpt;
 using sim::PtKind;
 using sim::Report;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("bench_fig10", &argc, argv);
   std::printf(
       "=== Figure 10: page table size with superpage/partial-subblock PTEs ===\n"
       "    (normalized to conventional hashed page table size)\n\n");
@@ -37,6 +39,7 @@ int main() {
     double fss_psb = 0.0;
     for (const sim::SizeConfig& config : kConfigs) {
       const sim::SizeMeasurement m = sim::MeasurePtSize(spec, config);
+      io.RecordSize(config.label, m);
       row.push_back(Report::Fixed(m.normalized, 2));
       const auto& c = m.census;
       const double blocks = static_cast<double>(c.base_blocks + c.super_blocks + c.psb_blocks +
@@ -52,6 +55,7 @@ int main() {
     row.push_back(Report::Fixed(fss_psb, 2));
     report.AddRow(std::move(row));
   }
+  io.RecordTable("Figure 10: page table size with superpage/partial-subblock PTEs", report);
   report.Print();
   std::printf(
       "\nExpected shape (paper): partial-subblock PTEs cut clustered size by up\n"

@@ -2,11 +2,12 @@
 // All page tables hold base PTEs only.
 #include "bench/fig11_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using cpt::bench::Fig11Series;
   using cpt::sim::PtKind;
+  cpt::bench::BenchIo io("bench_fig11a", &argc, argv);
   cpt::bench::RunFig11(
-      "=== Figure 11a: single-page-size TLB ===", cpt::sim::TlbKind::kSinglePage,
+      io, "=== Figure 11a: single-page-size TLB ===", cpt::sim::TlbKind::kSinglePage,
       {
           {"linear", PtKind::kLinear1},
           {"fwd-mapped", PtKind::kForward},

@@ -5,11 +5,12 @@
 // first); clustered stores superpage PTEs in place via the S field.
 #include "bench/fig11_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using cpt::bench::Fig11Series;
   using cpt::sim::PtKind;
+  cpt::bench::BenchIo io("bench_fig11b", &argc, argv);
   cpt::bench::RunFig11(
-      "=== Figure 11b: superpage TLB (4KB + 64KB) ===", cpt::sim::TlbKind::kSuperpage,
+      io, "=== Figure 11b: superpage TLB (4KB + 64KB) ===", cpt::sim::TlbKind::kSuperpage,
       {
           {"linear", PtKind::kLinear1},
           {"fwd-mapped", PtKind::kForward},

@@ -6,11 +6,12 @@
 // bench_sensitivity measures that variant).
 #include "bench/fig11_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using cpt::bench::Fig11Series;
   using cpt::sim::PtKind;
+  cpt::bench::BenchIo io("bench_fig11c", &argc, argv);
   cpt::bench::RunFig11(
-      "=== Figure 11c: partial-subblock TLB (subblock factor 16) ===",
+      io, "=== Figure 11c: partial-subblock TLB (subblock factor 16) ===",
       cpt::sim::TlbKind::kPartialSubblock,
       {
           {"linear", PtKind::kLinear1},

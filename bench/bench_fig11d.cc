@@ -4,11 +4,12 @@
 // for linear/forward/clustered, sixteen independent probes for hashed.
 #include "bench/fig11_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using cpt::bench::Fig11Series;
   using cpt::sim::PtKind;
+  cpt::bench::BenchIo io("bench_fig11d", &argc, argv);
   cpt::bench::RunFig11(
-      "=== Figure 11d: complete-subblock TLB (subblock factor 16, prefetch) ===",
+      io, "=== Figure 11d: complete-subblock TLB (subblock factor 16, prefetch) ===",
       cpt::sim::TlbKind::kCompleteSubblock,
       {
           {"linear", PtKind::kLinear1},

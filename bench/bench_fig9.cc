@@ -5,6 +5,7 @@
 // hashed (the 1.0 reference), clustered (subblock factor 16).
 #include <cstdio>
 
+#include "bench/bench_flags.h"
 #include "sim/experiments.h"
 #include "sim/report.h"
 #include "workload/workload.h"
@@ -13,7 +14,8 @@ using namespace cpt;
 using sim::PtKind;
 using sim::Report;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("bench_fig9", &argc, argv);
   std::printf("=== Figure 9: page table size, single page size (normalized to hashed) ===\n\n");
 
   const sim::SizeConfig kConfigs[] = {
@@ -35,6 +37,7 @@ int main() {
     std::vector<std::string> cells;
     for (const sim::SizeConfig& config : kConfigs) {
       const sim::SizeMeasurement m = sim::MeasurePtSize(spec, config);
+      io.RecordSize(config.label, m);
       cells.push_back(Report::Fixed(m.normalized, 2));
       hashed_kb = Report::Kb(m.hashed_bytes);
     }
@@ -42,6 +45,7 @@ int main() {
     row.insert(row.end(), cells.begin(), cells.end());
     report.AddRow(std::move(row));
   }
+  io.RecordTable("Figure 9: page table size, single page size", report);
   report.Print();
   std::printf(
       "\nExpected shape (paper): clustered < 1.0 everywhere and <= the best\n"

@@ -1,0 +1,221 @@
+// Shared command-line telemetry flags for every bench binary:
+//
+//   --json=<path>   write a schema-versioned JSON report of everything the
+//                   bench measured (paper metrics, walk-shape histograms,
+//                   wall-clock throughput, RNG seed, full machine options)
+//   --trace=<path>  write the walk-event stream as JSONL: one context line
+//                   per measurement (series, workload, seed, options), then
+//                   one line per event recorded by a bounded ring buffer
+//
+// Both flags are parsed and *removed* from argv, so a wrapped argument
+// parser (google-benchmark in bench_micro) never sees them.  With neither
+// flag, Hooks() returns empty hooks, no tracer is ever attached, and the
+// bench's text output is bit-identical to the pre-telemetry binaries.
+#ifndef CPT_BENCH_BENCH_FLAGS_H_
+#define CPT_BENCH_BENCH_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+#include "sim/experiments.h"
+#include "sim/report.h"
+#include "sim/serialize.h"
+
+namespace cpt::bench {
+
+// Version of the JSON document layout; bump on breaking schema changes.
+// tools/check_bench_json.py validates against this.
+inline constexpr std::uint64_t kBenchSchemaVersion = 1;
+
+class BenchIo {
+ public:
+  // Parses --json=<path> / --trace=<path> out of argv (compacting it and
+  // updating *argc).  A malformed flag (missing =path) aborts with usage.
+  BenchIo(std::string bench_name, int* argc, char** argv)
+      : bench_name_(std::move(bench_name)) {
+    std::string json_path;
+    std::string trace_path;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("--json", 0) == 0 &&
+          (arg.size() == 6 || arg[6] == '=')) {
+        json_path = RequireValue(arg, "--json");
+      } else if (arg.rfind("--trace", 0) == 0 &&
+                 (arg.size() == 7 || arg[7] == '=')) {
+        trace_path = RequireValue(arg, "--trace");
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+    argv[*argc] = nullptr;
+
+    if (!trace_path.empty()) {
+      trace_os_.open(trace_path);
+      if (!trace_os_) {
+        Die("cannot open trace file", trace_path);
+      }
+      ring_ = std::make_unique<obs::RingBufferTracer>();
+      // Header line so a trace file is self-describing.
+      obs::JsonWriter w(trace_os_, /*pretty=*/false);
+      w.BeginObject();
+      w.KV("type", "header");
+      w.KV("schema", "cpt-bench-trace");
+      w.KV("schema_version", kBenchSchemaVersion);
+      w.KV("bench", bench_name_);
+      w.EndObject();
+      trace_os_ << '\n';
+    }
+    if (!json_path.empty()) {
+      json_os_.open(json_path);
+      if (!json_os_) {
+        Die("cannot open json file", json_path);
+      }
+      writer_ = std::make_unique<obs::JsonWriter>(json_os_, /*pretty=*/true);
+      writer_->BeginObject();
+      writer_->KV("schema", "cpt-bench-report");
+      writer_->KV("schema_version", kBenchSchemaVersion);
+      writer_->KV("bench", bench_name_);
+      // Non-zero when CPT_TRACE_LEN shortened the runs (CI small presets).
+      writer_->KV("trace_len_override", sim::TraceLengthFromEnv(0));
+      writer_->Key("entries");
+      writer_->BeginArray();
+    }
+  }
+
+  ~BenchIo() {
+    if (writer_ != nullptr) {
+      writer_->EndArray();
+      writer_->EndObject();
+      json_os_ << '\n';
+    }
+  }
+
+  BenchIo(const BenchIo&) = delete;
+  BenchIo& operator=(const BenchIo&) = delete;
+
+  bool json_enabled() const { return writer_ != nullptr; }
+  bool trace_enabled() const { return ring_ != nullptr; }
+
+  // Hooks for MeasureAccessTime: histograms are collected only when a JSON
+  // report wants them; events are recorded only when a trace file wants
+  // them.  Default-constructed (both flags absent) attaches nothing.
+  sim::MeasureHooks Hooks() const {
+    return sim::MeasureHooks{.tracer = ring_.get(), .collect = json_enabled()};
+  }
+
+  // Records one access-time measurement under a series label ("clustered",
+  // "hashed-2tbl", ...), and flushes the trace ring into one JSONL section.
+  void RecordAccess(std::string_view series, const sim::AccessMeasurement& m) {
+    if (writer_ != nullptr) {
+      writer_->BeginObject();
+      writer_->KV("type", "access");
+      writer_->KV("series", series);
+      writer_->Key("measurement");
+      sim::ToJson(*writer_, m);
+      writer_->EndObject();
+    }
+    FlushTraceSection("access", series, m.workload, m.rng_seed, m.options);
+  }
+
+  // Records one size measurement (no events: size runs only preload).
+  void RecordSize(std::string_view series, const sim::SizeMeasurement& m) {
+    if (writer_ != nullptr) {
+      writer_->BeginObject();
+      writer_->KV("type", "size");
+      writer_->KV("series", series);
+      writer_->Key("measurement");
+      sim::ToJson(*writer_, m);
+      writer_->EndObject();
+    }
+  }
+
+  // Records the printed text table verbatim, so JSON consumers can diff
+  // exactly what the terminal showed.
+  void RecordTable(std::string_view title, const sim::Report& report) {
+    if (writer_ == nullptr) {
+      return;
+    }
+    writer_->BeginObject();
+    writer_->KV("type", "table");
+    writer_->KV("title", title);
+    writer_->Key("table");
+    report.ToJson(*writer_);
+    writer_->EndObject();
+  }
+
+  // Escape hatch for bench-specific entries; `fill` must emit the members of
+  // one object (type/series keys are written for it).
+  template <typename Fn>
+  void RecordCustom(std::string_view type, std::string_view series, Fn&& fill) {
+    if (writer_ == nullptr) {
+      return;
+    }
+    writer_->BeginObject();
+    writer_->KV("type", type);
+    writer_->KV("series", series);
+    fill(*writer_);
+    writer_->EndObject();
+  }
+
+ private:
+  static std::string RequireValue(std::string_view arg, std::string_view flag) {
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos || eq + 1 == arg.size()) {
+      std::fprintf(stderr, "usage: %.*s=<path>\n", static_cast<int>(flag.size()),
+                   flag.data());
+      std::exit(2);
+    }
+    return std::string(arg.substr(eq + 1));
+  }
+
+  [[noreturn]] static void Die(const char* what, const std::string& path) {
+    std::fprintf(stderr, "bench_flags: %s: %s\n", what, path.c_str());
+    std::exit(2);
+  }
+
+  // One trace section: a context line stamped with seed + options (satellite
+  // 2: every trace identifies its run), then the ring's surviving events.
+  void FlushTraceSection(std::string_view type, std::string_view series,
+                         std::string_view workload, std::uint64_t rng_seed,
+                         const sim::MachineOptions& opts) {
+    if (ring_ == nullptr) {
+      return;
+    }
+    {
+      obs::JsonWriter w(trace_os_, /*pretty=*/false);
+      w.BeginObject();
+      w.KV("type", "context");
+      w.KV("entry_type", type);
+      w.KV("series", series);
+      w.KV("workload", workload);
+      w.KV("rng_seed", rng_seed);
+      w.KV("events_recorded", ring_->total_recorded());
+      w.KV("events_dropped", ring_->dropped());
+      w.Key("options");
+      sim::ToJson(w, opts);
+      w.EndObject();
+    }
+    trace_os_ << '\n';
+    ring_->WriteJsonl(trace_os_);
+    ring_->Clear();
+  }
+
+  std::string bench_name_;
+  std::ofstream trace_os_;
+  std::ofstream json_os_;
+  std::unique_ptr<obs::JsonWriter> writer_;  // After json_os_: destroyed first.
+  std::unique_ptr<obs::RingBufferTracer> ring_;
+};
+
+}  // namespace cpt::bench
+
+#endif  // CPT_BENCH_BENCH_FLAGS_H_

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "bench/bench_flags.h"
 #include "common/rng.h"
 #include "mem/cache_model.h"
 #include "sim/machine.h"
@@ -78,6 +79,33 @@ void BM_MachineAccess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// Forwards each finished benchmark into the shared --json report (one
+// "micro" entry per run) while still printing the normal console table.
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonForwardingReporter(bench::BenchIo& io) : io_(io) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      io_.RecordCustom("micro", run.benchmark_name(), [&](obs::JsonWriter& w) {
+        w.KV("iterations", static_cast<std::uint64_t>(run.iterations));
+        w.KV("real_time_ns", run.GetAdjustedRealTime());
+        w.KV("cpu_time_ns", run.GetAdjustedCPUTime());
+        for (const auto& [name, counter] : run.counters) {
+          w.KV(name, static_cast<double>(counter.value));
+        }
+      });
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchIo& io_;
+};
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Lookup, clustered, cpt::sim::PtKind::kClustered);
@@ -90,4 +118,16 @@ BENCHMARK_CAPTURE(BM_InsertRemove, linear, cpt::sim::PtKind::kLinear1);
 BENCHMARK_CAPTURE(BM_InsertRemove, forward, cpt::sim::PtKind::kForward);
 BENCHMARK(BM_MachineAccess);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): BenchIo must strip --json/--trace
+// from argv before benchmark::Initialize rejects them as unknown flags.
+int main(int argc, char** argv) {
+  cpt::bench::BenchIo io("bench_micro", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonForwardingReporter reporter(io);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 //   - lock acquisitions for range updates follow the same per-node count.
 #include <cstdio>
 
+#include "bench/bench_flags.h"
 #include "core/clustered.h"
 #include "mem/cache_model.h"
 #include "pt/hashed.h"
@@ -16,7 +17,8 @@
 using namespace cpt;
 using sim::Report;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("bench_rangeops", &argc, argv);
   std::printf("=== Section 3.1: page-table manipulation operations ===\n\n");
 
   mem::CacheTouchModel cache(256);
@@ -35,7 +37,15 @@ int main() {
     const std::uint64_t cs = clustered.ProtectRange(base, npages, Attr::ReadOnly());
     r.AddRow({Report::Num(npages), Report::Num(hs), Report::Num(cs),
               Report::Num(hashed.node_count()), Report::Num(clustered.node_count())});
+    io.RecordCustom("rangeops", "protect-range", [&](obs::JsonWriter& w) {
+      w.KV("npages", npages);
+      w.KV("hashed_searches", hs);
+      w.KV("clustered_searches", cs);
+      w.KV("hashed_nodes", hashed.node_count());
+      w.KV("clustered_nodes", clustered.node_count());
+    });
   }
+  io.RecordTable("Section 3.1: page-table manipulation operations", r);
   r.Print();
 
   std::printf("\nInsertion amortization: mapping one dense 64KB block performs\n");

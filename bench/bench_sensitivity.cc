@@ -11,6 +11,7 @@
 //   7. complete-subblock prefetch on/off (Section 4.4).
 #include <cstdio>
 
+#include "bench/bench_flags.h"
 #include "sim/experiments.h"
 #include "sim/report.h"
 #include "workload/workload.h"
@@ -20,13 +21,21 @@ using sim::Report;
 
 namespace {
 
+// Telemetry sink shared by every section; set once in main().  Each section
+// names itself in g_section so JSON entries carry "section/pt-kind" series.
+bench::BenchIo* g_io = nullptr;
+const char* g_section = "";
+
 sim::AccessMeasurement Run(const char* workload, sim::MachineOptions opts,
                            std::uint64_t trace_len = 400000) {
-  return sim::MeasureAccessTime(workload::GetPaperWorkload(workload), opts,
-                                sim::TraceLengthFromEnv(trace_len));
+  auto m = sim::MeasureAccessTime(workload::GetPaperWorkload(workload), opts,
+                                  sim::TraceLengthFromEnv(trace_len), g_io->Hooks());
+  g_io->RecordAccess(std::string(g_section) + "/" + sim::ToString(opts.pt_kind), m);
+  return m;
 }
 
 void CacheLineSweep() {
+  g_section = "cache-line";
   std::printf("--- 1. cache-line-size sensitivity (clustered, single-page TLB) ---\n\n");
   Report r({"workload", "64B", "128B", "256B", "512B"});
   for (const char* name : {"coral", "fftpde", "ml"}) {
@@ -39,12 +48,14 @@ void CacheLineSweep() {
     }
     r.AddRow(std::move(row));
   }
+  g_io->RecordTable("cache-line-size sensitivity", r);
   r.Print();
   std::printf("\nSmall lines split the 144-byte clustered node: the paper predicts\n"
               "+0.125 lines @128B and +0.625 @64B versus 256B lines.\n\n");
 }
 
 void SubblockFactorSweep() {
+  g_section = "subblock-factor";
   std::printf("--- 2. subblock factor: size vs access (single-page TLB, 64B lines) ---\n\n");
   Report r({"workload", "s=4 size", "s=8 size", "s=16 size", "s=4 lines", "s=8 lines",
             "s=16 lines"});
@@ -59,18 +70,21 @@ void SubblockFactorSweep() {
       opts.line_size = 64;  // Small lines make the time side visible.
       const auto size = sim::MeasurePtSize(
           spec, {"c", sim::PtKind::kClustered, os::PteStrategy::kBaseOnly}, opts);
+      g_io->RecordSize(std::string(g_section) + "/s=" + std::to_string(s), size);
       row.push_back(Report::Fixed(size.normalized, 2));
       lines.push_back(Report::Fixed(Run(name, opts).avg_lines_per_miss, 2));
     }
     row.insert(row.end(), lines.begin(), lines.end());
     r.AddRow(std::move(row));
   }
+  g_io->RecordTable("subblock factor: size vs access", r);
   r.Print();
   std::printf("\nSmaller factors waste less space on sparse blocks and fit one line,\n"
               "but amortize the 16-byte tag+next overhead over fewer mappings.\n\n");
 }
 
 void BucketSweep() {
+  g_section = "bucket-load";
   std::printf("--- 3. hash-table load factor (hashed, coral) ---\n\n");
   Report r({"buckets", "load", "lines/miss"});
   for (const std::uint32_t buckets : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
@@ -82,12 +96,14 @@ void BucketSweep() {
     r.AddRow({Report::Num(buckets), Report::Fixed(load, 2),
               Report::Fixed(m.avg_lines_per_miss, 2)});
   }
+  g_io->RecordTable("hash-table load factor", r);
   r.Print();
   std::printf("\nMore buckets cut chains toward the 1 + alpha/2 floor at the cost of\n"
               "a bigger (mostly empty) bucket array (Section 7).\n\n");
 }
 
 void PackedPteNote() {
+  g_section = "packed-pte";
   std::printf("--- 4. packed 16-byte hashed PTEs (Section 7) ---\n\n");
   // Size changes by 33%; access is identical.  Show sizes via the analytic
   // identity: packed = 2/3 * unpacked.
@@ -104,6 +120,7 @@ void PackedPteNote() {
 }
 
 void SearchOrder() {
+  g_section = "search-order";
   std::printf("--- 5+6. hashed SP/PSB strategies (partial-subblock TLB) ---\n\n");
   Report r({"workload", "2tbl base-first", "2tbl block-first", "sp-index", "clustered"});
   for (const char* name : {"coral", "fftpde", "pthor"}) {
@@ -137,12 +154,14 @@ void SearchOrder() {
     }
     r.AddRow(std::move(row));
   }
+  g_io->RecordTable("hashed SP/PSB strategies", r);
   r.Print();
   std::printf("\nThe superpage-index table avoids the second search but packs each\n"
               "block's PTEs into one bucket; clustered beats both (Section 5).\n\n");
 }
 
 void PrefetchAblation() {
+  g_section = "prefetch";
   std::printf("--- 7. complete-subblock prefetch ablation (clustered) ---\n\n");
   Report r({"workload", "prefetch misses", "no-prefetch misses", "subblock share"});
   for (const char* name : {"coral", "fftpde", "mp3d"}) {
@@ -162,12 +181,14 @@ void PrefetchAblation() {
     r.AddRow({name, Report::Num(with.denominator_misses),
               Report::Num(without.denominator_misses), Report::Fixed(100.0 * share, 0) + "%"});
   }
+  g_io->RecordTable("complete-subblock prefetch ablation", r);
   r.Print();
   std::printf("\nPrefetch eliminates the subblock misses (Section 4.4: 50%% or more of\n"
               "all misses) without ever causing an extra replacement.\n");
 }
 
 void SoftwareTlbAblation() {
+  g_section = "swtlb";
   std::printf("--- 8. software TLB layer (Sections 2 & 7) ---\n\n");
   Report r({"backing", "plain lines/miss", "+swtlb", "+swtlb-clustered"});
   for (const sim::PtKind kind : {sim::PtKind::kForward, sim::PtKind::kHashed,
@@ -193,6 +214,7 @@ void SoftwareTlbAblation() {
     }
     r.AddRow(std::move(row));
   }
+  g_io->RecordTable("software TLB layer", r);
   r.Print();
   std::printf(
       "\nA software TLB turns most misses into one memory access, rescuing slow\n"
@@ -201,6 +223,7 @@ void SoftwareTlbAblation() {
 }
 
 void AdaptiveClusteredAblation() {
+  g_section = "adaptive";
   std::printf("--- 9. adaptive (varying-subblock-factor) clustered table (Section 3) ---\n\n");
   Report r({"workload", "hashed", "clustered", "adaptive", "adaptive lines/miss"});
   for (const char* name : {"gcc", "compress", "coral", "ml"}) {
@@ -214,6 +237,7 @@ void AdaptiveClusteredAblation() {
               Report::Fixed(adaptive.normalized, 2),
               Report::Fixed(Run(name, opts).avg_lines_per_miss, 2)});
   }
+  g_io->RecordTable("adaptive clustered table", r);
   r.Print();
   std::printf(
       "\nVarying subblock factors (24-byte single-page nodes below six mapped\n"
@@ -222,6 +246,7 @@ void AdaptiveClusteredAblation() {
 }
 
 void InvertedAblation() {
+  g_section = "inverted";
   std::printf("--- 10. inverted organization (bucket array of pointers, Section 2) ---\n\n");
   Report r({"workload", "embedded-head", "inverted"});
   for (const char* name : {"coral", "gcc"}) {
@@ -232,12 +257,14 @@ void InvertedAblation() {
     r.AddRow({name, Report::Fixed(Run(name, embedded).avg_lines_per_miss, 2),
               Report::Fixed(Run(name, inverted).avg_lines_per_miss, 2)});
   }
+  g_io->RecordTable("inverted organization", r);
   r.Print();
   std::printf("\nDereferencing a pointer bucket adds roughly one line to every miss —\n"
               "why Figure 4's embedded-head organization is the baseline.\n");
 }
 
 void SharedTableAblation() {
+  g_section = "shared-table";
   std::printf("--- 11. shared vs per-process page tables (Section 7) ---\n\n");
   // Small tables (512 buckets) make the load-factor impact visible.
   Report r({"workload", "pt", "per-process", "shared"});
@@ -253,6 +280,7 @@ void SharedTableAblation() {
                 Report::Fixed(Run(name, shared).avg_lines_per_miss, 2)});
     }
   }
+  g_io->RecordTable("shared vs per-process page tables", r);
   r.Print();
   std::printf(
       "\nOne shared table concentrates every process's PTEs (global effective\n"
@@ -262,6 +290,7 @@ void SharedTableAblation() {
 }
 
 void TlbReachSweep() {
+  g_section = "tlb-reach";
   std::printf("--- 12. TLB reach: entries x design (coral, clustered PT) ---\n\n");
   Report r({"entries", "single-page", "superpage", "partial-subblock", "complete-subblock"});
   for (const unsigned entries : {32u, 64u, 128u, 256u}) {
@@ -277,6 +306,7 @@ void TlbReachSweep() {
     }
     r.AddRow(std::move(row));
   }
+  g_io->RecordTable("TLB reach: entries x design", r);
   r.Print();
   std::printf(
       "\nMiss counts: superpage/subblock entries multiply each entry's reach by\n"
@@ -298,7 +328,9 @@ void DualSizeTlbNote() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("bench_sensitivity", &argc, argv);
+  g_io = &io;
   std::printf("=== Sensitivity analyses and ablations (Sections 6.3 & 7) ===\n\n");
   CacheLineSweep();
   SubblockFactorSweep();

@@ -7,6 +7,7 @@
 // page-table footprints are the calibrated quantities.
 #include <cstdio>
 
+#include "bench/bench_flags.h"
 #include "sim/experiments.h"
 #include "sim/report.h"
 #include "workload/workload.h"
@@ -14,7 +15,8 @@
 using namespace cpt;
 using sim::Report;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("bench_table1", &argc, argv);
   std::printf("=== Table 1: workload characteristics ===\n\n");
   Report report({"workload", "refs", "TLB misses", "miss%", "est time in TLB", "hashed PT",
                  "paper PT"});
@@ -25,7 +27,9 @@ int main() {
     sim::MachineOptions opts;
     opts.pt_kind = sim::PtKind::kHashed;
     opts.tlb_kind = sim::TlbKind::kSinglePage;
-    const sim::AccessMeasurement m = sim::MeasureAccessTime(spec, opts, trace_len);
+    const sim::AccessMeasurement m =
+        sim::MeasureAccessTime(spec, opts, trace_len, io.Hooks());
+    io.RecordAccess("hashed-single-page", m);
 
     // Model: 1 cycle per reference plus a 40-cycle TLB miss penalty
     // (Section 6.2's accounting).
@@ -49,9 +53,11 @@ int main() {
     const workload::WorkloadSpec& spec = workload::GetPaperWorkload("kernel");
     const sim::SizeMeasurement m = sim::MeasurePtSize(
         spec, {"hashed", sim::PtKind::kHashed, os::PteStrategy::kBaseOnly});
+    io.RecordSize("hashed", m);
     report.AddRow({"kernel", "-", "-", "-", "-", Report::Kb(m.hashed_bytes),
                    Report::Kb(186 * 1024)});
   }
+  io.RecordTable("Table 1: workload characteristics", report);
   report.Print();
   std::printf(
       "\nPaper ordering (most to least TLB-bound): coral, nasa7, compress,\n"

@@ -5,6 +5,7 @@
 // estimate with the simulated cache-lines-per-miss figure.
 #include <cstdio>
 
+#include "bench/bench_flags.h"
 #include "sim/analytic.h"
 #include "sim/experiments.h"
 #include "sim/report.h"
@@ -26,7 +27,8 @@ std::vector<Vpn> AllMappedPages(const workload::Snapshot& snap) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("bench_table2", &argc, argv);
   std::printf("=== Table 2: analytic size formulae vs structural simulation ===\n\n");
   Report size_report({"workload", "hashed(sim)", "hashed(eq)", "clust(sim)", "clust(eq)",
                       "lin6(sim)", "lin6(eq)", "fwd(sim)", "fwd(eq)"});
@@ -56,12 +58,17 @@ int main() {
         spec, {"linear6", sim::PtKind::kLinear6, os::PteStrategy::kBaseOnly});
     const auto forward = sim::MeasurePtSize(
         spec, {"forward", sim::PtKind::kForward, os::PteStrategy::kBaseOnly});
+    io.RecordSize("hashed", hashed);
+    io.RecordSize("clustered", clustered);
+    io.RecordSize("linear6", linear6);
+    io.RecordSize("forward", forward);
 
     size_report.AddRow({name, Report::Kb(hashed.bytes), Report::Kb(eq_hashed),
                         Report::Kb(clustered.bytes), Report::Kb(eq_clustered),
                         Report::Kb(linear6.bytes), Report::Kb(eq_linear6),
                         Report::Kb(forward.bytes), Report::Kb(eq_forward)});
   }
+  io.RecordTable("Table 2: analytic size formulae vs structural simulation", size_report);
   size_report.Print();
 
   std::printf("\n--- Access-time estimate: 1 + alpha/2 vs simulation (single-page TLB) ---\n\n");
@@ -83,10 +90,12 @@ int main() {
 
     sim::MachineOptions h_opts;
     h_opts.pt_kind = sim::PtKind::kHashed;
-    const auto h = sim::MeasureAccessTime(spec, h_opts, trace_len);
+    const auto h = sim::MeasureAccessTime(spec, h_opts, trace_len, io.Hooks());
+    io.RecordAccess("hashed", h);
     sim::MachineOptions c_opts;
     c_opts.pt_kind = sim::PtKind::kClustered;
-    const auto c = sim::MeasureAccessTime(spec, c_opts, trace_len);
+    const auto c = sim::MeasureAccessTime(spec, c_opts, trace_len, io.Hooks());
+    io.RecordAccess("clustered", c);
 
     access_report.AddRow({name, Report::Fixed(alpha_hashed, 3),
                           Report::Fixed(sim::analytic::HashChainLines(alpha_hashed), 2),
@@ -95,6 +104,7 @@ int main() {
                           Report::Fixed(sim::analytic::HashChainLines(alpha_clust), 2),
                           Report::Fixed(c.avg_lines_per_miss, 2)});
   }
+  io.RecordTable("Table 2: access-time estimate 1 + alpha/2 vs simulation", access_report);
   access_report.Print();
   std::printf(
       "\nThe size formulae are exact for hashed/clustered/forward and for the\n"

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
 #include "sim/experiments.h"
 #include "sim/report.h"
 #include "workload/workload.h"
@@ -20,7 +21,7 @@ struct Fig11Series {
   sim::PtKind pt_kind;
 };
 
-inline void RunFig11(const char* title, sim::TlbKind tlb_kind,
+inline void RunFig11(BenchIo& io, const char* title, sim::TlbKind tlb_kind,
                      const std::vector<Fig11Series>& series, const char* expectation) {
   std::printf("%s\n    (avg cache lines accessed per TLB miss; 64-entry fully-assoc TLB)\n\n",
               title);
@@ -39,7 +40,9 @@ inline void RunFig11(const char* title, sim::TlbKind tlb_kind,
       sim::MachineOptions opts;
       opts.pt_kind = s.pt_kind;
       opts.tlb_kind = tlb_kind;
-      const sim::AccessMeasurement m = sim::MeasureAccessTime(spec, opts, trace_len);
+      const sim::AccessMeasurement m =
+          sim::MeasureAccessTime(spec, opts, trace_len, io.Hooks());
+      io.RecordAccess(s.label, m);
       if (first) {
         row.push_back(sim::Report::Num(m.denominator_misses));
         first = false;
@@ -48,6 +51,7 @@ inline void RunFig11(const char* title, sim::TlbKind tlb_kind,
     }
     report.AddRow(std::move(row));
   }
+  io.RecordTable(title, report);
   report.Print();
   std::printf("\n%s\n", expectation);
 }

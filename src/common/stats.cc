@@ -11,6 +11,9 @@ std::string Histogram::ToString() const {
       os << v << ":" << counts_[v] << " ";
     }
   }
+  if (overflow_ != 0) {
+    os << ">=" << max_buckets_ << ":" << overflow_ << " ";
+  }
   return os.str();
 }
 

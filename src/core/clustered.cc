@@ -169,12 +169,20 @@ std::optional<TlbFill> ClusteredPageTable::Lookup(VirtAddr va) {
   // The bucket head is an embedded node: one line even when empty.
   cache_.Touch(BucketAddr(b), 16);
   bool head = true;
+  std::uint32_t chain_pos = 0;
+  obs::WalkTracer* const tracer = cache_.tracer();
   for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
     const Node& n = arena_[idx];
     const PhysAddr addr = head ? BucketAddr(b) : n.addr;
     head = false;
     // Chain traversal is identical to a hashed table: read tag and next.
     cache_.Touch(addr, 16);
+    if (tracer != nullptr) {
+      tracer->Record({.kind = obs::EventKind::kWalkStep,
+                      .vpn = vpn,
+                      .step = ++chain_pos,
+                      .lines = static_cast<std::uint32_t>(cache_.LinesThisWalk())});
+    }
     if (n.tag != vpbn) {
       continue;
     }

@@ -40,6 +40,10 @@ void CacheTouchModel::EndWalk() {
   total_lines_ += walk_lines_.size();
   ++total_walks_;
   per_walk_.Add(walk_lines_.size());
+  if (tracer_ != nullptr) {
+    tracer_->Record({.kind = obs::EventKind::kWalkEnd,
+                     .lines = static_cast<std::uint32_t>(walk_lines_.size())});
+  }
 }
 
 void CacheTouchModel::Reset() {

@@ -14,6 +14,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace cpt::mem {
 
@@ -22,6 +23,16 @@ class CacheTouchModel {
   explicit CacheTouchModel(std::uint32_t line_size = kDefaultCacheLineSize);
 
   std::uint32_t line_size() const { return line_size_; }
+
+  // ---- Telemetry (src/obs) ----
+  // The cache model doubles as the walk-event bus: every page table holds a
+  // reference to it, so attaching one tracer here makes the whole machine's
+  // walk activity observable.  Null (the default) means every emit site is
+  // a single predicted-not-taken branch; no simulated count ever depends on
+  // whether a tracer is attached.
+  void set_tracer(obs::WalkTracer* tracer) { tracer_ = tracer; }
+  obs::WalkTracer* tracer() const { return tracer_; }
+  bool in_walk() const { return in_walk_; }
 
   // Starts accounting for one page-table walk (one TLB miss service).
   void BeginWalk();
@@ -38,6 +49,9 @@ class CacheTouchModel {
   // Discards the current walk without counting it (used when a walk turns
   // out to be a page fault, which is OS work rather than TLB-miss service).
   void AbortWalk() {
+    if (tracer_ != nullptr && in_walk_) {
+      tracer_->Record({.kind = obs::EventKind::kWalkAbort});
+    }
     walk_lines_.clear();
     in_walk_ = false;
   }
@@ -60,6 +74,7 @@ class CacheTouchModel {
   std::uint64_t total_lines_ = 0;
   std::uint64_t total_walks_ = 0;
   Histogram per_walk_;
+  obs::WalkTracer* tracer_ = nullptr;
 };
 
 // RAII helper: begins a walk on construction, ends it on destruction.

@@ -90,6 +90,12 @@ std::optional<ReservationAllocator::FrameGrant> ReservationAllocator::Allocate(
 
 void ReservationAllocator::RecordGrant(Ppn ppn, std::uint64_t block_key, unsigned boff,
                                        bool properly_placed) {
+  if (tracer_ != nullptr) {
+    tracer_->Record({.kind = obs::EventKind::kReservationGrant,
+                     .vpn = block_key,
+                     .step = boff,
+                     .value = properly_placed ? 1u : 0u});
+  }
   if (grant_log_enabled_) {
     live_grants_[ppn] = GrantRecord{block_key, boff, properly_placed};
   }

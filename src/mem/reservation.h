@@ -22,6 +22,7 @@
 
 #include "check/fwd.h"
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace cpt::mem {
 
@@ -56,6 +57,12 @@ class ReservationAllocator {
   std::uint64_t properly_placed_grants() const { return placed_grants_; }
   std::uint64_t reservations_made() const { return reservations_made_; }
   std::uint64_t reservations_broken() const { return reservations_broken_; }
+
+  // ---- Telemetry (src/obs) ----
+
+  // Publishes one kReservationGrant event per Allocate() through the tracer
+  // (value = properly placed).  Null tracer (default) costs one branch.
+  void set_tracer(obs::WalkTracer* tracer) { tracer_ = tracer; }
 
   // ---- Invariant auditing (src/check) ----
 
@@ -114,6 +121,7 @@ class ReservationAllocator {
   };
   bool grant_log_enabled_ = false;
   std::unordered_map<Ppn, GrantRecord> live_grants_;  // Grant-log entries.
+  obs::WalkTracer* tracer_ = nullptr;
 };
 
 }  // namespace cpt::mem

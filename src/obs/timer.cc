@@ -1,0 +1,50 @@
+#include "obs/timer.h"
+
+#include "common/check.h"
+#include "obs/json_writer.h"
+
+namespace cpt::obs {
+
+void PhaseProfiler::Begin(std::string_view name) {
+  CPT_CHECK(active_ < 0, "PhaseProfiler phases do not nest");
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].name == name) {
+      active_ = static_cast<std::int64_t>(i);
+      started_ = std::chrono::steady_clock::now();
+      return;
+    }
+  }
+  phases_.push_back(Phase{std::string(name), 0.0, 0});
+  active_ = static_cast<std::int64_t>(phases_.size() - 1);
+  started_ = std::chrono::steady_clock::now();
+}
+
+void PhaseProfiler::End() {
+  CPT_CHECK(active_ >= 0, "PhaseProfiler::End() without Begin()");
+  Phase& p = phases_[static_cast<std::size_t>(active_)];
+  p.seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+  ++p.count;
+  active_ = -1;
+}
+
+double PhaseProfiler::TotalSeconds() const {
+  double total = 0.0;
+  for (const Phase& p : phases_) {
+    total += p.seconds;
+  }
+  return total;
+}
+
+void PhaseProfiler::ToJson(JsonWriter& w) const {
+  w.BeginArray();
+  for (const Phase& p : phases_) {
+    w.BeginObject();
+    w.KV("name", p.name);
+    w.KV("seconds", p.seconds);
+    w.KV("count", p.count);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+}  // namespace cpt::obs

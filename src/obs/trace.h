@@ -1,0 +1,146 @@
+// Walk-event tracing: the structured-event channel of the telemetry layer.
+//
+// The simulator's interesting activity all happens inside the TLB miss
+// handler, which is exactly what the paper measures (Section 6.1): chain
+// nodes visited, cache lines touched, faults taken, PTEs promoted, frames
+// reserved.  Components publish those moments as WalkEvents through a
+// WalkTracer hook:
+//
+//   Machine            — TLB probe hit/miss (with block/subblock kind),
+//                        page faults, block-prefetch fills
+//   page tables        — one kWalkStep per chain node / tree level visited,
+//                        carrying the chain position and lines-so-far
+//   CacheTouchModel    — kWalkEnd (counted walk finished, total lines) and
+//                        kWalkAbort (walk discarded, e.g. it page-faulted)
+//   SoftwareTlb        — TSB probe hit/miss
+//   ReservationAllocator — frame grants (with placement outcome)
+//   AddressSpace       — superpage promotions
+//
+// The hook is a nullable pointer checked before every emit: with no tracer
+// attached the cost is one predictable branch, and the simulated *counts*
+// are never affected either way, so the paper-figure numbers are identical
+// with and without tracing (the bit-identical-output guarantee the benches
+// rely on).
+#ifndef CPT_OBS_TRACE_H_
+#define CPT_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace cpt::obs {
+
+enum class EventKind : std::uint8_t {
+  kTlbHit = 0,
+  kTlbMiss,          // Conventional miss.
+  kTlbBlockMiss,     // Complete-subblock TLB: tag absent.
+  kTlbSubblockMiss,  // Complete-subblock TLB: tag present, subblock invalid.
+  kWalkStep,         // One chain node / tree level visited during a walk.
+  kWalkEnd,          // Counted walk finished; `lines` = distinct lines touched.
+  kWalkAbort,        // Walk discarded (page fault or uncounted reference walk).
+  kPageFault,        // OS fault handler ran for `vpn`.
+  kPtePromotion,     // A block's base PTEs were replaced by a superpage PTE.
+  kBlockPrefetch,    // Complete-subblock block fill; `value` = fills installed.
+  kReservationGrant, // Frame granted; `value` = 1 if properly placed.
+  kSwTlbHit,         // Software-TLB (TSB) probe hit.
+  kSwTlbMiss,        // Software-TLB probe missed to the backing table.
+};
+inline constexpr std::size_t kEventKindCount = 13;
+
+const char* ToString(EventKind kind);
+
+struct WalkEvent {
+  EventKind kind = EventKind::kTlbHit;
+  std::uint16_t asid = 0;   // Process id where the publisher knows it.
+  std::uint64_t vpn = 0;    // Faulting/affected virtual page number.
+  std::uint32_t step = 0;   // Chain position or tree level (kWalkStep).
+  std::uint32_t lines = 0;  // Distinct cache lines touched so far / in total.
+  std::uint64_t value = 0;  // Kind-specific payload (see EventKind).
+};
+
+// Per-kind event totals; indexable by EventKind.
+class EventCounts {
+ public:
+  std::uint64_t& operator[](EventKind k) { return counts_[static_cast<std::size_t>(k)]; }
+  std::uint64_t operator[](EventKind k) const { return counts_[static_cast<std::size_t>(k)]; }
+  std::uint64_t total() const;
+  // All TLB misses of any kind (the traced side of TlbStats::misses).
+  std::uint64_t TlbMisses() const;
+
+ private:
+  std::array<std::uint64_t, kEventKindCount> counts_{};
+};
+
+class WalkTracer {
+ public:
+  virtual ~WalkTracer() = default;
+  virtual void Record(const WalkEvent& event) = 0;
+};
+
+// Bounded ring-buffer recorder: keeps the most recent `capacity` events,
+// counting (rather than keeping) everything older.  Dump order is oldest
+// surviving event first.
+class RingBufferTracer final : public WalkTracer {
+ public:
+  explicit RingBufferTracer(std::size_t capacity = 1 << 16);
+
+  void Record(const WalkEvent& event) override;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return buffer_.size(); }
+  // Events pushed out of the ring since construction (or the last Clear()).
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total_recorded() const { return total_; }
+  const EventCounts& counts() const { return counts_; }
+
+  // Buffered events, oldest first.
+  std::vector<WalkEvent> Events() const;
+
+  // One compact JSON object per line per buffered event.
+  void WriteJsonl(std::ostream& os) const;
+
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<WalkEvent> buffer_;  // Ring storage.
+  std::size_t next_ = 0;           // Insertion cursor once full.
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_ = 0;
+  EventCounts counts_;
+};
+
+// Aggregating tracer: histograms the walk-shape quantities the paper's
+// evaluation is built from — chain length (kWalkStep count per counted
+// walk) and lines per walk — plus per-kind event totals.  Optionally
+// forwards every event to a downstream tracer (e.g. a RingBufferTracer
+// backing a --trace file).
+class StatsTracer final : public WalkTracer {
+ public:
+  explicit StatsTracer(WalkTracer* forward = nullptr) : forward_(forward) {}
+
+  void Record(const WalkEvent& event) override;
+
+  const EventCounts& counts() const { return counts_; }
+  // Chain nodes / tree levels visited per *counted* walk.
+  const Histogram& chain_length() const { return chain_length_; }
+  // Distinct cache lines touched per counted walk.
+  const Histogram& lines_per_walk() const { return lines_per_walk_; }
+
+ private:
+  WalkTracer* forward_;
+  EventCounts counts_;
+  Histogram chain_length_;
+  Histogram lines_per_walk_;
+  std::uint32_t pending_steps_ = 0;  // kWalkStep events since the last walk boundary.
+};
+
+// Serializes one event as a compact JSON object (no trailing newline).
+void EventToJson(std::ostream& os, const WalkEvent& event);
+
+}  // namespace cpt::obs
+
+#endif  // CPT_OBS_TRACE_H_

@@ -53,6 +53,12 @@ bool AddressSpace::TouchPage(VirtAddr va) {
     return false;
   }
   ++stats_.faults;
+  if (obs::WalkTracer* const tracer = table_.cache().tracer()) {
+    tracer->Record({.kind = obs::EventKind::kPageFault,
+                    .asid = static_cast<std::uint16_t>(id_),
+                    .vpn = vpn,
+                    .value = grant->properly_placed ? 1u : 0u});
+  }
   ++resident_pages_;
   block.resident_mask |= bit;
   block.ppns[boff] = grant->ppn;
@@ -109,6 +115,12 @@ void AddressSpace::MaybePromote(Vpbn vpbn, BlockState& block) {
   table_.InsertSuperpage(first, block_size_, BlockPpnBase(block), opts_.default_attr);
   block.promoted = true;
   ++stats_.promotions;
+  if (obs::WalkTracer* const tracer = table_.cache().tracer()) {
+    tracer->Record({.kind = obs::EventKind::kPtePromotion,
+                    .asid = static_cast<std::uint16_t>(id_),
+                    .vpn = first,
+                    .value = factor_});
+  }
 }
 
 bool AddressSpace::IsResident(Vpn vpn) const {

@@ -153,7 +153,9 @@ MappingWord ForwardMappedPageTable::ClearSlot(Vpn vpn) {
 
 std::optional<TlbFill> ForwardMappedPageTable::Lookup(VirtAddr va) {
   const Vpn vpn = VpnOf(va);
+  obs::WalkTracer* const tracer = cache_.tracer();
   // Top-down walk: one PTP read per intermediate level, then the leaf PTE.
+  // Walk-step events use tree depth as the chain position (root = step 1).
   for (unsigned level = kNumLevels; level >= 2; --level) {
     auto it = inner_[level].find(PrefixAt(vpn, level));
     if (it == inner_[level].end()) {
@@ -161,6 +163,12 @@ std::optional<TlbFill> ForwardMappedPageTable::Lookup(VirtAddr va) {
     }
     const unsigned idx = IndexAt(vpn, level);
     cache_.Touch(it->second.addr + idx * 8, 8);
+    if (tracer != nullptr) {
+      tracer->Record({.kind = obs::EventKind::kWalkStep,
+                      .vpn = vpn,
+                      .step = kNumLevels - level + 1,
+                      .lines = static_cast<std::uint32_t>(cache_.LinesThisWalk())});
+    }
     if (opts_.intermediate_superpages) {
       auto slot_it = it->second.super_slots.find(idx);
       if (slot_it != it->second.super_slots.end()) {

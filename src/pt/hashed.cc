@@ -83,12 +83,20 @@ std::optional<TlbFill> HashedPageTable::LookupKey(std::uint64_t key, Vpn faultin
   // reading it costs one line even for an empty bucket.  Inverted
   // organization: the bucket holds a pointer; every node sits elsewhere.
   bool head = true;
+  std::uint32_t chain_pos = 0;
+  obs::WalkTracer* const tracer = cache_.tracer();
   cache_.Touch(BucketAddr(b), opts_.inverted ? 8 : TagNextBytes());
   for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
     const Node& n = arena_[idx];
     const PhysAddr addr = (head && !opts_.inverted) ? BucketAddr(b) : n.addr;
     // The handler reads the tag and next pointer of every node it visits.
     cache_.Touch(addr, TagNextBytes());
+    if (tracer != nullptr) {
+      tracer->Record({.kind = obs::EventKind::kWalkStep,
+                      .vpn = faulting_vpn,
+                      .step = ++chain_pos,
+                      .lines = static_cast<std::uint32_t>(cache_.LinesThisWalk())});
+    }
     if (n.key == key) {
       // Read the mapping word of the matching node.
       cache_.Touch(addr + TagNextBytes(), 8);

@@ -121,6 +121,12 @@ std::optional<TlbFill> LinearPageTable::Lookup(VirtAddr va) {
   const unsigned slot = static_cast<unsigned>(vpn % kPtesPerPage);
   // One access to the (virtually addressed) PTE — always a single line.
   cache_.Touch(leaf->addr + slot * 8, 8);
+  if (obs::WalkTracer* const tracer = cache_.tracer()) {
+    tracer->Record({.kind = obs::EventKind::kWalkStep,
+                    .vpn = vpn,
+                    .step = 1,
+                    .lines = static_cast<std::uint32_t>(cache_.LinesThisWalk())});
+  }
   const MappingWord word = leaf->slots[slot];
   if (word == MappingWord::Invalid()) {
     return std::nullopt;

@@ -46,10 +46,14 @@ SoftwareTlb::Entry* SoftwareTlb::Probe(std::uint64_t key, bool count_touch) {
 std::optional<TlbFill> SoftwareTlb::Lookup(VirtAddr va) {
   const Vpn vpn = VpnOf(va);
   const std::uint64_t key = KeyOf(vpn);
+  obs::WalkTracer* const tracer = cache_.tracer();
   if (Entry* e = Probe(key, /*count_touch=*/true)) {
     for (const TlbFill& fill : e->fills) {
       if (fill.Covers(vpn)) {
         ++hits_;
+        if (tracer != nullptr) {
+          tracer->Record({.kind = obs::EventKind::kSwTlbHit, .vpn = vpn});
+        }
         return fill;
       }
     }
@@ -57,6 +61,9 @@ std::optional<TlbFill> SoftwareTlb::Lookup(VirtAddr va) {
     // whose block gained a page since the refill): fall through.
   }
   ++misses_;
+  if (tracer != nullptr) {
+    tracer->Record({.kind = obs::EventKind::kSwTlbMiss, .vpn = vpn});
+  }
   // Miss: consult the backing page table (full walk cost) and refill.
   auto fill = backing_->Lookup(va);
   if (fill.has_value()) {

@@ -2,10 +2,14 @@
 
 #include <cstdlib>
 
+#include "obs/timer.h"
+
 namespace cpt::sim {
 
 SizeMeasurement MeasurePtSize(const workload::WorkloadSpec& spec, const SizeConfig& config,
                               MachineOptions base_opts) {
+  SizeMeasurement m;
+  obs::ScopedTimer timer(&m.wall_seconds);
   const workload::Snapshot snapshot = workload::BuildSnapshot(spec);
 
   auto build = [&](PtKind kind, os::PteStrategy strategy) {
@@ -18,10 +22,11 @@ SizeMeasurement MeasurePtSize(const workload::WorkloadSpec& spec, const SizeConf
     return machine;
   };
 
-  SizeMeasurement m;
   m.workload = spec.name;
+  m.rng_seed = spec.seed;
   {
     auto machine = build(config.pt_kind, config.strategy);
+    m.options = machine->options();
     m.bytes = machine->TotalPtBytesPaperModel();
     for (unsigned p = 0; p < machine->num_processes(); ++p) {
       const auto census = machine->address_space(p).Census();
@@ -42,21 +47,35 @@ SizeMeasurement MeasurePtSize(const workload::WorkloadSpec& spec, const SizeConf
 }
 
 AccessMeasurement MeasureAccessTime(const workload::WorkloadSpec& spec, MachineOptions opts,
-                                    std::uint64_t trace_len) {
+                                    std::uint64_t trace_len, const MeasureHooks& hooks) {
   if (trace_len == 0) {
     trace_len = spec.default_trace_length;
   }
   const workload::Snapshot snapshot = workload::BuildSnapshot(spec);
   Machine machine(opts, static_cast<unsigned>(spec.processes.size()));
   machine.Preload(snapshot);
+  const std::uint64_t preload_faults = machine.TotalPageFaults();
 
-  workload::TraceGenerator gen(spec, snapshot);
-  for (std::uint64_t i = 0; i < trace_len; ++i) {
-    const workload::Reference ref = gen.Next();
-    machine.Access(ref.asid, ref.va);
+  // Attach after Preload: events describe the measured trace, not the
+  // preload fault storm.  The aggregator forwards to the caller's tracer so
+  // one pass feeds both the histograms and a --trace ring buffer.
+  obs::StatsTracer stats(hooks.tracer);
+  if (hooks.collect) {
+    machine.AttachTracer(&stats);
+  } else if (hooks.tracer != nullptr) {
+    machine.AttachTracer(hooks.tracer);
   }
 
   AccessMeasurement m;
+  workload::TraceGenerator gen(spec, snapshot);
+  {
+    obs::ScopedTimer timer(&m.wall_seconds);
+    for (std::uint64_t i = 0; i < trace_len; ++i) {
+      const workload::Reference ref = gen.Next();
+      machine.Access(ref.asid, ref.va);
+    }
+  }
+
   m.workload = spec.name;
   m.avg_lines_per_miss = machine.AvgLinesPerMiss();
   m.denominator_misses = machine.DenominatorMisses();
@@ -66,6 +85,19 @@ AccessMeasurement MeasureAccessTime(const workload::WorkloadSpec& spec, MachineO
   m.trace_refs = trace_len;
   m.miss_ratio = machine.tlb().stats().MissRatio();
   m.pt_bytes = machine.TotalPtBytesPaperModel();
+  m.page_faults = machine.TotalPageFaults() - preload_faults;
+  m.rng_seed = spec.seed;
+  m.options = machine.options();
+  if (m.wall_seconds > 0.0) {
+    m.refs_per_sec = static_cast<double>(trace_len) / m.wall_seconds;
+    m.misses_per_sec = static_cast<double>(m.effective_misses) / m.wall_seconds;
+  }
+  if (hooks.collect) {
+    m.telemetry_valid = true;
+    m.chain_length = stats.chain_length();
+    m.lines_per_walk = stats.lines_per_walk();
+    m.events = stats.counts();
+  }
   if (opts.audit) {
     const check::AuditReport audit = machine.AuditAll();
     m.audit_defects = audit.defects.size();

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
+#include "obs/trace.h"
 #include "os/address_space.h"
 #include "sim/machine.h"
 #include "workload/workload.h"
@@ -33,6 +35,10 @@ struct SizeMeasurement {
   double normalized = 0.0;        // bytes / hashed_bytes.
   // OS census after preload, for fss diagnostics.
   os::AddressSpace::BlockCensus census;
+  // Provenance + timing, stamped into JSON output.
+  std::uint64_t rng_seed = 0;     // The workload spec's seed.
+  double wall_seconds = 0.0;      // Snapshot build + preload time.
+  MachineOptions options;         // Options of the measured (non-baseline) build.
 };
 
 // Builds page tables of the given kind/strategy for every process of the
@@ -54,13 +60,36 @@ struct AccessMeasurement {
   // 0 when auditing was off or every invariant held).
   std::uint64_t audit_defects = 0;
   std::string audit_summary;  // The defect list, "" when clean.
+  // Provenance + timing, stamped into JSON output.
+  std::uint64_t page_faults = 0;    // Faults during the measured trace.
+  std::uint64_t rng_seed = 0;       // The workload spec's seed.
+  double wall_seconds = 0.0;        // Trace-replay time (excludes preload).
+  double refs_per_sec = 0.0;
+  double misses_per_sec = 0.0;      // Effective-TLB misses per second.
+  MachineOptions options;           // Full machine configuration.
+  // Walk-shape telemetry; populated when MeasureHooks::collect is set.
+  bool telemetry_valid = false;
+  Histogram chain_length;           // Chain nodes / tree levels per counted walk.
+  Histogram lines_per_walk;         // Distinct cache lines per counted walk.
+  obs::EventCounts events;          // Per-kind event totals over the trace.
+};
+
+// Optional observation hooks for MeasureAccessTime.  The tracer (and the
+// internal StatsTracer used when `collect` is set) is attached *after*
+// Preload, so events cover the measured trace only — not the preload fault
+// storm.  With default hooks no tracer is ever attached and the run is
+// byte-for-byte the pre-telemetry behavior.
+struct MeasureHooks {
+  obs::WalkTracer* tracer = nullptr;  // Receives every WalkEvent of the trace.
+  bool collect = false;               // Fill the telemetry fields above.
 };
 
 // Runs `trace_len` references of the workload's trace on a machine with the
 // given options and reports the Figure 11 metric.  trace_len == 0 uses the
 // workload's default.
 AccessMeasurement MeasureAccessTime(const workload::WorkloadSpec& spec, MachineOptions opts,
-                                    std::uint64_t trace_len = 0);
+                                    std::uint64_t trace_len = 0,
+                                    const MeasureHooks& hooks = {});
 
 // Names of the trace-driven workloads (all but the kernel snapshot).
 std::vector<std::string> TraceWorkloadNames();

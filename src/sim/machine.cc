@@ -197,6 +197,14 @@ Machine::Machine(MachineOptions opts, unsigned num_processes)
 
 Machine::~Machine() = default;
 
+void Machine::AttachTracer(obs::WalkTracer* tracer) {
+  tracer_ = tracer;
+  // One pointer on the cache-touch model makes every page table observable
+  // (they all count lines through it); the frame allocator reports grants.
+  cache_.set_tracer(tracer);
+  frames_.set_tracer(tracer);
+}
+
 std::optional<pt::TlbFill> Machine::WalkCounted(ProcessCtx& proc, VirtAddr va) {
   cache_.BeginWalk();
   if (auto fill = proc.table->Lookup(va)) {
@@ -234,6 +242,23 @@ void Machine::Access(tlb::Asid asid, VirtAddr va, bool is_write) {
   }
 
   const tlb::LookupOutcome outcome = tlb_->Lookup(asid, vpn);
+  if (tracer_ != nullptr) {
+    obs::EventKind kind = obs::EventKind::kTlbHit;
+    switch (outcome) {
+      case tlb::LookupOutcome::kHit:
+        break;
+      case tlb::LookupOutcome::kMiss:
+        kind = obs::EventKind::kTlbMiss;
+        break;
+      case tlb::LookupOutcome::kBlockMiss:
+        kind = obs::EventKind::kTlbBlockMiss;
+        break;
+      case tlb::LookupOutcome::kSubblockMiss:
+        kind = obs::EventKind::kTlbSubblockMiss;
+        break;
+    }
+    tracer_->Record({.kind = kind, .asid = asid, .vpn = vpn});
+  }
   if (!tlb::IsMiss(outcome)) {
     if (ref_missed) {
       // Can only happen transiently (different effective/reference insert
@@ -270,6 +295,12 @@ void Machine::Access(tlb::Asid asid, VirtAddr va, bool is_write) {
       cache_.EndWalk();
     }
     cs_tlb.InsertBlock(asid, vpn, block_fills_);
+    if (tracer_ != nullptr) {
+      tracer_->Record({.kind = obs::EventKind::kBlockPrefetch,
+                       .asid = asid,
+                       .vpn = vpn,
+                       .value = block_fills_.size()});
+    }
     if (ref_missed) {
       auto& ref = static_cast<tlb::CompleteSubblockTlb&>(*ref_tlb_);
       ref.InsertBlock(asid, vpn, block_fills_);

@@ -108,6 +108,13 @@ class Machine {
   // Models one memory reference by process `asid`.
   void Access(tlb::Asid asid, VirtAddr va, bool is_write = false);
 
+  // ---- Telemetry (src/obs) ----
+  // Publishes every TLB probe, walk step, page fault, promotion, and
+  // reservation grant through `tracer` (nullptr detaches).  Simulated counts
+  // are identical with and without a tracer; only wall-clock time differs.
+  void AttachTracer(obs::WalkTracer* tracer);
+  obs::WalkTracer* tracer() const { return tracer_; }
+
   // Pre-faults every page so the trace starts with a fully-populated page
   // table (the paper's simulators see resident pages only).
   void Preload(const workload::Snapshot& snapshot);
@@ -177,6 +184,7 @@ class Machine {
   std::unique_ptr<tlb::Tlb> tlb_;      // Effective TLB (56 entries for linear).
   std::unique_ptr<tlb::Tlb> ref_tlb_;  // Full-size reference TLB (linear only).
   std::vector<pt::TlbFill> block_fills_;  // Scratch for prefetch.
+  obs::WalkTracer* tracer_ = nullptr;
 };
 
 }  // namespace cpt::sim

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/json_writer.h"
+
 namespace cpt::sim {
 
 Report::Report(std::vector<std::string> columns) : columns_(std::move(columns)) {}
@@ -57,5 +59,26 @@ std::string Report::ToString() const {
 }
 
 void Report::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void Report::ToJson(obs::JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("columns");
+  w.BeginArray();
+  for (const std::string& c : columns_) {
+    w.String(c);
+  }
+  w.EndArray();
+  w.Key("rows");
+  w.BeginArray();
+  for (const auto& row : rows_) {
+    w.BeginArray();
+    for (const std::string& cell : row) {
+      w.String(cell);
+    }
+    w.EndArray();
+  }
+  w.EndArray();
+  w.EndObject();
+}
 
 }  // namespace cpt::sim

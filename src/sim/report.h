@@ -7,6 +7,10 @@
 #include <string>
 #include <vector>
 
+namespace cpt::obs {
+class JsonWriter;
+}  // namespace cpt::obs
+
 namespace cpt::sim {
 
 class Report {
@@ -22,6 +26,10 @@ class Report {
 
   std::string ToString() const;
   void Print() const;
+
+  // Emits {"columns": [...], "rows": [[...], ...]} — the table's cells
+  // verbatim, so a JSON consumer sees exactly what the text report printed.
+  void ToJson(obs::JsonWriter& w) const;
 
  private:
   std::vector<std::string> columns_;

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Schema checker for the --json / --trace output of the bench binaries.
+
+Stdlib-only (the repo's no-new-dependencies rule).  Validates the
+schema-versioned envelope that bench/bench_flags.h emits, the per-entry
+shapes that src/sim/serialize.cc writes, and (optionally) that every line
+of a --trace JSONL file parses and carries a known event kind.
+
+Usage:
+  tools/check_bench_json.py report.json [report2.json ...]
+  tools/check_bench_json.py --trace trace.jsonl report.json
+
+Exit status 0 iff every file validates; failures print one line each.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cpt-bench-report"
+SCHEMA_VERSION = 1
+
+# Per-kind event totals live under these names (obs::ToString in
+# src/obs/trace.cc); the trace checker accepts exactly this set.
+EVENT_KINDS = {
+    "tlb_hit", "tlb_miss", "tlb_block_miss", "tlb_subblock_miss",
+    "walk_step", "walk_end", "walk_abort", "page_fault", "pte_promotion",
+    "block_prefetch", "reservation_grant", "swtlb_hit", "swtlb_miss",
+}
+
+ACCESS_FIELDS = {
+    "workload": str,
+    "avg_lines_per_miss": (int, float),
+    "denominator_misses": int,
+    "effective_misses": int,
+    "trace_refs": int,
+    "miss_ratio": (int, float),
+    "pt_bytes": int,
+    "page_faults": int,
+    "rng_seed": int,
+    "timing": dict,
+    "options": dict,
+}
+
+SIZE_FIELDS = {
+    "workload": str,
+    "bytes": int,
+    "hashed_bytes": int,
+    "normalized": (int, float),
+    "census": dict,
+    "rng_seed": int,
+    "wall_seconds": (int, float),
+    "options": dict,
+}
+
+OPTION_FIELDS = {
+    "pt_kind", "tlb_kind", "tlb_entries", "subblock_factor", "num_buckets",
+    "line_size", "phys_frames",
+}
+
+
+class Failure(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise Failure(msg)
+
+
+def check_fields(obj, fields, where):
+    for name, types in fields.items():
+        require(name in obj, f"{where}: missing field '{name}'")
+        require(isinstance(obj[name], types),
+                f"{where}: field '{name}' has type {type(obj[name]).__name__}")
+
+
+def check_options(opts, where):
+    missing = OPTION_FIELDS - opts.keys()
+    require(not missing, f"{where}: options missing {sorted(missing)}")
+
+
+def check_measurement_entry(entry, i):
+    where = f"entries[{i}] ({entry['type']}/{entry.get('series', '?')})"
+    require("series" in entry, f"{where}: missing 'series'")
+    require("measurement" in entry, f"{where}: missing 'measurement'")
+    m = entry["measurement"]
+    fields = ACCESS_FIELDS if entry["type"] == "access" else SIZE_FIELDS
+    check_fields(m, fields, where)
+    check_options(m["options"], where)
+    if entry["type"] == "access":
+        require(m["denominator_misses"] <= m["effective_misses"] + m.get("block_misses", 0)
+                + m.get("subblock_misses", 0) or m["denominator_misses"] >= 0,
+                f"{where}: nonsensical miss counts")
+        for kind in m.get("events", {}):
+            require(kind in EVENT_KINDS, f"{where}: unknown event kind '{kind}'")
+        for histo in m.get("histograms", {}).values():
+            require({"total", "mean", "overflow", "counts"} <= histo.keys(),
+                    f"{where}: malformed histogram")
+
+
+def check_table_entry(entry, i):
+    where = f"entries[{i}] (table)"
+    require("title" in entry, f"{where}: missing 'title'")
+    table = entry.get("table")
+    require(isinstance(table, dict), f"{where}: missing 'table'")
+    cols = table.get("columns")
+    rows = table.get("rows")
+    require(isinstance(cols, list) and cols, f"{where}: missing columns")
+    require(isinstance(rows, list), f"{where}: missing rows")
+    for r, row in enumerate(rows):
+        require(len(row) == len(cols),
+                f"{where}: row {r} has {len(row)} cells for {len(cols)} columns")
+
+
+def check_report(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    require(doc.get("schema") == SCHEMA, f"schema is {doc.get('schema')!r}")
+    require(doc.get("schema_version") == SCHEMA_VERSION,
+            f"schema_version is {doc.get('schema_version')!r}")
+    require(isinstance(doc.get("bench"), str) and doc["bench"],
+            "missing bench name")
+    entries = doc.get("entries")
+    require(isinstance(entries, list) and entries, "empty entries array")
+    for i, entry in enumerate(entries):
+        require(isinstance(entry.get("type"), str), f"entries[{i}]: missing type")
+        if entry["type"] in ("access", "size"):
+            check_measurement_entry(entry, i)
+        elif entry["type"] == "table":
+            check_table_entry(entry, i)
+        # Custom entry types (micro, rangeops, ...) only need type + series.
+        else:
+            require("series" in entry, f"entries[{i}]: missing 'series'")
+    return len(entries)
+
+
+def check_trace(path):
+    n = 0
+    with open(path, encoding="utf-8") as f:
+        header = json.loads(f.readline())
+        require(header.get("schema") == "cpt-bench-trace", "bad trace header")
+        for lineno, line in enumerate(f, start=2):
+            rec = json.loads(line)
+            if rec.get("type") == "context":
+                require("series" in rec and "rng_seed" in rec,
+                        f"line {lineno}: malformed context record")
+                continue
+            require(rec.get("kind") in EVENT_KINDS,
+                    f"line {lineno}: unknown kind {rec.get('kind')!r}")
+            n += 1
+    return n
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reports", nargs="*", help="--json report files")
+    parser.add_argument("--trace", action="append", default=[],
+                        help="--trace JSONL files")
+    args = parser.parse_args()
+    if not args.reports and not args.trace:
+        parser.error("nothing to check")
+
+    failed = False
+    for path in args.reports:
+        try:
+            n = check_report(path)
+            print(f"OK   {path}: {n} entries")
+        except (Failure, json.JSONDecodeError, OSError) as e:
+            print(f"FAIL {path}: {e}")
+            failed = True
+    for path in args.trace:
+        try:
+            n = check_trace(path)
+            print(f"OK   {path}: {n} events")
+        except (Failure, json.JSONDecodeError, OSError) as e:
+            print(f"FAIL {path}: {e}")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
