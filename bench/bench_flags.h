@@ -6,11 +6,18 @@
 //   --trace=<path>  write the walk-event stream as JSONL: one context line
 //                   per measurement (series, workload, seed, options), then
 //                   one line per event recorded by a bounded ring buffer
+//   --perfetto=<path>  render the walk-event stream as Chrome trace-event
+//                   JSON loadable in ui.perfetto.dev: one track per
+//                   component plus counter tracks (see obs/perfetto.h)
 //
-// Both flags are parsed and *removed* from argv, so a wrapped argument
-// parser (google-benchmark in bench_micro) never sees them.  With neither
-// flag, Hooks() returns empty hooks, no tracer is ever attached, and the
-// bench's text output is bit-identical to the pre-telemetry binaries.
+// All flags are parsed and *removed* from argv, so a wrapped argument
+// parser (google-benchmark in bench_micro) never sees them.  With no flags,
+// Hooks() returns empty hooks, no tracer is ever attached, and the bench's
+// text output is bit-identical to the pre-telemetry binaries.
+//
+// Error handling: an unopenable path, a malformed flag, or a stream that
+// goes bad while writing all terminate the bench with a nonzero exit and a
+// message naming the file — a truncated report must never look like success.
 #ifndef CPT_BENCH_BENCH_FLAGS_H_
 #define CPT_BENCH_BENCH_FLAGS_H_
 
@@ -22,7 +29,10 @@
 #include <string>
 #include <string_view>
 
+#include "obs/attribution.h"
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/perfetto.h"
 #include "obs/trace.h"
 #include "sim/experiments.h"
 #include "sim/report.h"
@@ -36,12 +46,14 @@ inline constexpr std::uint64_t kBenchSchemaVersion = 1;
 
 class BenchIo {
  public:
-  // Parses --json=<path> / --trace=<path> out of argv (compacting it and
-  // updating *argc).  A malformed flag (missing =path) aborts with usage.
+  // Parses --json=<path> / --trace=<path> / --perfetto=<path> out of argv
+  // (compacting it and updating *argc).  A malformed flag (missing =path)
+  // aborts with usage.
   BenchIo(std::string bench_name, int* argc, char** argv)
       : bench_name_(std::move(bench_name)) {
     std::string json_path;
     std::string trace_path;
+    std::string perfetto_path;
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
       const std::string_view arg = argv[i];
@@ -51,6 +63,9 @@ class BenchIo {
       } else if (arg.rfind("--trace", 0) == 0 &&
                  (arg.size() == 7 || arg[7] == '=')) {
         trace_path = RequireValue(arg, "--trace");
+      } else if (arg.rfind("--perfetto", 0) == 0 &&
+                 (arg.size() == 10 || arg[10] == '=')) {
+        perfetto_path = RequireValue(arg, "--perfetto");
       } else {
         argv[out++] = argv[i];
       }
@@ -58,7 +73,16 @@ class BenchIo {
     *argc = out;
     argv[*argc] = nullptr;
 
+    if (!perfetto_path.empty()) {
+      perfetto_path_ = perfetto_path;
+      perfetto_os_.open(perfetto_path);
+      if (!perfetto_os_) {
+        Die("cannot open perfetto file", perfetto_path);
+      }
+      perfetto_ = std::make_unique<obs::PerfettoExporter>(perfetto_os_);
+    }
     if (!trace_path.empty()) {
+      trace_path_ = trace_path;
       trace_os_.open(trace_path);
       if (!trace_os_) {
         Die("cannot open trace file", trace_path);
@@ -75,6 +99,7 @@ class BenchIo {
       trace_os_ << '\n';
     }
     if (!json_path.empty()) {
+      json_path_ = json_path;
       json_os_.open(json_path);
       if (!json_os_) {
         Die("cannot open json file", json_path);
@@ -89,13 +114,36 @@ class BenchIo {
       writer_->Key("entries");
       writer_->BeginArray();
     }
+    tee_.Add(ring_.get());
+    tee_.Add(perfetto_.get());
   }
 
   ~BenchIo() {
     if (writer_ != nullptr) {
       writer_->EndArray();
+      if (!metrics_.empty()) {
+        writer_->Key("metrics");
+        metrics_.ToJson(*writer_);
+      }
       writer_->EndObject();
       json_os_ << '\n';
+      json_os_.flush();
+      if (!json_os_) {
+        DieLate("json report write failed", json_path_);
+      }
+    }
+    if (perfetto_ != nullptr) {
+      perfetto_->Finish();
+      perfetto_os_.flush();
+      if (!perfetto_os_) {
+        DieLate("perfetto trace write failed", perfetto_path_);
+      }
+    }
+    if (trace_os_.is_open()) {
+      trace_os_.flush();
+      if (!trace_os_) {
+        DieLate("trace file write failed", trace_path_);
+      }
     }
   }
 
@@ -104,12 +152,22 @@ class BenchIo {
 
   bool json_enabled() const { return writer_ != nullptr; }
   bool trace_enabled() const { return ring_ != nullptr; }
+  bool perfetto_enabled() const { return perfetto_ != nullptr; }
 
   // Hooks for MeasureAccessTime: histograms are collected only when a JSON
-  // report wants them; events are recorded only when a trace file wants
-  // them.  Default-constructed (both flags absent) attaches nothing.
-  sim::MeasureHooks Hooks() const {
-    return sim::MeasureHooks{.tracer = ring_.get(), .collect = json_enabled()};
+  // report wants them; events are recorded when a trace file or a Perfetto
+  // trace wants them (both at once fan out through a tee).
+  // Default-constructed (no flags) attaches nothing.
+  sim::MeasureHooks Hooks() {
+    obs::WalkTracer* tracer = nullptr;
+    if (ring_ != nullptr && perfetto_ != nullptr) {
+      tracer = &tee_;
+    } else if (ring_ != nullptr) {
+      tracer = ring_.get();
+    } else if (perfetto_ != nullptr) {
+      tracer = perfetto_.get();
+    }
+    return sim::MeasureHooks{.tracer = tracer, .collect = json_enabled()};
   }
 
   // Records one access-time measurement under a series label ("clustered",
@@ -122,8 +180,15 @@ class BenchIo {
       writer_->Key("measurement");
       sim::ToJson(*writer_, m);
       writer_->EndObject();
+      if (m.telemetry_valid) {
+        obs::ExportTo(metrics_, m.attribution,
+                      {{"series", std::string(series)},
+                       {"workload", m.workload},
+                       {"pt", sim::ToString(m.options.pt_kind)}});
+      }
     }
     FlushTraceSection("access", series, m.workload, m.rng_seed, m.options);
+    MarkSection("access", series, m.workload);
   }
 
   // Records one size measurement (no events: size runs only preload).
@@ -136,6 +201,7 @@ class BenchIo {
       sim::ToJson(*writer_, m);
       writer_->EndObject();
     }
+    MarkSection("size", series, m.workload);
   }
 
   // Records the printed text table verbatim, so JSON consumers can diff
@@ -182,6 +248,30 @@ class BenchIo {
     std::exit(2);
   }
 
+  // Late failures (detected while closing output files) exit 1 rather than
+  // the usage-error 2; callers and CI just need nonzero + a clear message.
+  [[noreturn]] static void DieLate(const char* what, const std::string& path) {
+    std::fprintf(stderr, "bench_flags: %s: %s\n", what, path.c_str());
+    std::exit(1);
+  }
+
+  // Marks a completed measurement on the Perfetto sections track, so a
+  // bench-long trace is navigable by series/workload.
+  void MarkSection(std::string_view type, std::string_view series,
+                   std::string_view workload) {
+    if (perfetto_ == nullptr) {
+      return;
+    }
+    std::string label(type);
+    label += ' ';
+    label += series;
+    if (!workload.empty()) {
+      label += '/';
+      label += workload;
+    }
+    perfetto_->BeginSection(label);
+  }
+
   // One trace section: a context line stamped with seed + options (satellite
   // 2: every trace identifies its run), then the ring's surviving events.
   void FlushTraceSection(std::string_view type, std::string_view series,
@@ -210,10 +300,17 @@ class BenchIo {
   }
 
   std::string bench_name_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::string perfetto_path_;
   std::ofstream trace_os_;
   std::ofstream json_os_;
+  std::ofstream perfetto_os_;
   std::unique_ptr<obs::JsonWriter> writer_;  // After json_os_: destroyed first.
   std::unique_ptr<obs::RingBufferTracer> ring_;
+  std::unique_ptr<obs::PerfettoExporter> perfetto_;  // After perfetto_os_.
+  obs::TeeTracer tee_;  // Fans events out when both --trace and --perfetto.
+  obs::MetricRegistry metrics_;  // Attribution instruments, dumped at exit.
 };
 
 }  // namespace cpt::bench

@@ -195,6 +195,12 @@ std::optional<TlbFill> ClusteredPageTable::Lookup(VirtAddr va) {
     }
     TlbFill fill = FillFromNode(n, word_idx);
     if (fill.Covers(vpn)) {
+      if (tracer != nullptr) {
+        tracer->Record({.kind = obs::EventKind::kWalkHit,
+                        .vpn = vpn,
+                        .step = chain_pos,
+                        .value = pt::WalkHitValue(fill)});
+      }
       return fill;
     }
     // Valid-mapping check failed (invalid slot or subblock bit): continue

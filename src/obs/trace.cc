@@ -6,33 +6,20 @@
 namespace cpt::obs {
 
 const char* ToString(EventKind kind) {
-  switch (kind) {
-    case EventKind::kTlbHit:
-      return "tlb_hit";
-    case EventKind::kTlbMiss:
-      return "tlb_miss";
-    case EventKind::kTlbBlockMiss:
-      return "tlb_block_miss";
-    case EventKind::kTlbSubblockMiss:
-      return "tlb_subblock_miss";
-    case EventKind::kWalkStep:
-      return "walk_step";
-    case EventKind::kWalkEnd:
-      return "walk_end";
-    case EventKind::kWalkAbort:
-      return "walk_abort";
-    case EventKind::kPageFault:
-      return "page_fault";
-    case EventKind::kPtePromotion:
-      return "pte_promotion";
-    case EventKind::kBlockPrefetch:
-      return "block_prefetch";
-    case EventKind::kReservationGrant:
-      return "reservation_grant";
-    case EventKind::kSwTlbHit:
-      return "swtlb_hit";
-    case EventKind::kSwTlbMiss:
-      return "swtlb_miss";
+  const auto idx = static_cast<std::size_t>(kind);
+  return idx < kEventKindCount ? kEventKindNames[idx] : "?";
+}
+
+const char* ToString(WalkHitClass cls) {
+  switch (cls) {
+    case WalkHitClass::kBase:
+      return "base";
+    case WalkHitClass::kSuperpage:
+      return "superpage";
+    case WalkHitClass::kPartialSubblock:
+      return "partial-subblock";
+    case WalkHitClass::kSwTlb:
+      return "swtlb";
   }
   return "?";
 }
@@ -122,13 +109,17 @@ void EventToJson(std::ostream& os, const WalkEvent& event) {
   w.KV("kind", ToString(event.kind));
   w.KV("asid", std::uint64_t{event.asid});
   w.KV("vpn", event.vpn);
-  if (event.kind == EventKind::kWalkStep) {
+  if (event.kind == EventKind::kWalkStep || event.kind == EventKind::kWalkHit) {
     w.KV("step", std::uint64_t{event.step});
   }
   if (event.kind == EventKind::kWalkStep || event.kind == EventKind::kWalkEnd) {
     w.KV("lines", std::uint64_t{event.lines});
   }
   switch (event.kind) {
+    case EventKind::kWalkHit:
+      w.KV("class", ToString(WalkHitClassOf(event.value)));
+      w.KV("pages_log2", std::uint64_t{WalkHitPagesLog2Of(event.value)});
+      break;
     case EventKind::kBlockPrefetch:
       w.KV("fills", event.value);
       break;

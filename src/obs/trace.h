@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <ostream>
 #include <vector>
 
@@ -39,6 +40,8 @@ enum class EventKind : std::uint8_t {
   kTlbBlockMiss,     // Complete-subblock TLB: tag absent.
   kTlbSubblockMiss,  // Complete-subblock TLB: tag present, subblock invalid.
   kWalkStep,         // One chain node / tree level visited during a walk.
+  kWalkHit,          // Structure found the PTE: `step` = chain position of the
+                     // match, `value` = EncodeWalkHitClass(...) of the fill.
   kWalkEnd,          // Counted walk finished; `lines` = distinct lines touched.
   kWalkAbort,        // Walk discarded (page fault or uncounted reference walk).
   kPageFault,        // OS fault handler ran for `vpn`.
@@ -48,9 +51,54 @@ enum class EventKind : std::uint8_t {
   kSwTlbHit,         // Software-TLB (TSB) probe hit.
   kSwTlbMiss,        // Software-TLB probe missed to the backing table.
 };
-inline constexpr std::size_t kEventKindCount = 13;
+inline constexpr std::size_t kEventKindCount = 14;
+
+// JSON names of the event kinds, indexable by EventKind.  This array is the
+// single source of truth for the wire format: ToString() indexes it, and
+// tools/check_bench_json.py regex-parses this initializer at check time so
+// the validator cannot drift from the enum.  Keep one quoted name per kind,
+// in enum order.
+inline constexpr const char* kEventKindNames[kEventKindCount] = {
+    "tlb_hit",           // kTlbHit
+    "tlb_miss",          // kTlbMiss
+    "tlb_block_miss",    // kTlbBlockMiss
+    "tlb_subblock_miss", // kTlbSubblockMiss
+    "walk_step",         // kWalkStep
+    "walk_hit",          // kWalkHit
+    "walk_end",          // kWalkEnd
+    "walk_abort",        // kWalkAbort
+    "page_fault",        // kPageFault
+    "pte_promotion",     // kPtePromotion
+    "block_prefetch",    // kBlockPrefetch
+    "reservation_grant", // kReservationGrant
+    "swtlb_hit",         // kSwTlbHit
+    "swtlb_miss",        // kSwTlbMiss
+};
 
 const char* ToString(EventKind kind);
+
+// What kind of mapping a kWalkHit delivered, mirroring MappingKind without
+// depending on common/pte.h (obs sits below the PTE layer).
+enum class WalkHitClass : std::uint8_t {
+  kBase = 0,           // 4KB base-page PTE.
+  kSuperpage,          // Superpage PTE.
+  kPartialSubblock,    // Partial-subblock PTE.
+  kSwTlb,              // Served from the software TLB (TSB), any format.
+};
+inline constexpr std::size_t kWalkHitClassCount = 4;
+const char* ToString(WalkHitClass cls);
+
+// kWalkHit `value` payload: the mapping class plus log2(base pages covered),
+// so attribution can split superpage hits by page size if it wants to.
+constexpr std::uint64_t EncodeWalkHitClass(WalkHitClass cls, unsigned pages_log2) {
+  return (std::uint64_t{pages_log2} << 8) | static_cast<std::uint64_t>(cls);
+}
+constexpr WalkHitClass WalkHitClassOf(std::uint64_t value) {
+  return static_cast<WalkHitClass>(value & 0xff);
+}
+constexpr unsigned WalkHitPagesLog2Of(std::uint64_t value) {
+  return static_cast<unsigned>((value >> 8) & 0xff);
+}
 
 struct WalkEvent {
   EventKind kind = EventKind::kTlbHit;
@@ -136,6 +184,35 @@ class StatsTracer final : public WalkTracer {
   Histogram chain_length_;
   Histogram lines_per_walk_;
   std::uint32_t pending_steps_ = 0;  // kWalkStep events since the last walk boundary.
+};
+
+// Fan-out tracer: forwards every event to each attached downstream tracer,
+// in attachment order.  Null sinks are ignored, so callers can compose
+// optional consumers (ring buffer, Perfetto exporter) without branching.
+class TeeTracer final : public WalkTracer {
+ public:
+  TeeTracer() = default;
+  TeeTracer(std::initializer_list<WalkTracer*> sinks) {
+    for (WalkTracer* s : sinks) {
+      Add(s);
+    }
+  }
+
+  void Add(WalkTracer* sink) {
+    if (sink != nullptr) {
+      sinks_.push_back(sink);
+    }
+  }
+  std::size_t size() const { return sinks_.size(); }
+
+  void Record(const WalkEvent& event) override {
+    for (WalkTracer* s : sinks_) {
+      s->Record(event);
+    }
+  }
+
+ private:
+  std::vector<WalkTracer*> sinks_;
 };
 
 // Serializes one event as a compact JSON object (no trailing newline).

@@ -174,6 +174,12 @@ std::optional<TlbFill> ForwardMappedPageTable::Lookup(VirtAddr va) {
       if (slot_it != it->second.super_slots.end()) {
         TlbFill fill = FillFromWord(vpn, slot_it->second);
         if (fill.Covers(vpn)) {
+          if (tracer != nullptr) {
+            tracer->Record({.kind = obs::EventKind::kWalkHit,
+                            .vpn = vpn,
+                            .step = kNumLevels - level + 1,
+                            .value = WalkHitValue(fill)});
+          }
           return fill;  // Short-circuit: the PTP slot held a superpage PTE.
         }
         return std::nullopt;
@@ -192,6 +198,13 @@ std::optional<TlbFill> ForwardMappedPageTable::Lookup(VirtAddr va) {
   TlbFill fill = FillFromWord(vpn, word);
   if (!fill.Covers(vpn)) {
     return std::nullopt;
+  }
+  if (tracer != nullptr) {
+    // The leaf PTE read is the final level of the tree walk.
+    tracer->Record({.kind = obs::EventKind::kWalkHit,
+                    .vpn = vpn,
+                    .step = kNumLevels,
+                    .value = WalkHitValue(fill)});
   }
   return fill;
 }

@@ -102,6 +102,12 @@ std::optional<TlbFill> HashedPageTable::LookupKey(std::uint64_t key, Vpn faultin
       cache_.Touch(addr + TagNextBytes(), 8);
       TlbFill fill = FillFrom(n, faulting_vpn);
       if (fill.Covers(faulting_vpn)) {
+        if (tracer != nullptr) {
+          tracer->Record({.kind = obs::EventKind::kWalkHit,
+                          .vpn = faulting_vpn,
+                          .step = chain_pos,
+                          .value = WalkHitValue(fill)});
+        }
         return fill;
       }
       // Tag matched but this word does not map the faulting page (invalid

@@ -135,6 +135,12 @@ std::optional<TlbFill> LinearPageTable::Lookup(VirtAddr va) {
   if (!fill.Covers(vpn)) {
     return std::nullopt;  // e.g. PSB replica whose valid bit for vpn is clear.
   }
+  if (obs::WalkTracer* const tracer = cache_.tracer()) {
+    tracer->Record({.kind = obs::EventKind::kWalkHit,
+                    .vpn = vpn,
+                    .step = 1,
+                    .value = WalkHitValue(fill)});
+  }
   return fill;
 }
 

@@ -156,17 +156,31 @@ std::optional<TlbFill> SuperpageIndexHashed::Lookup(VirtAddr va) {
   const std::uint32_t b = hasher_(vpn >> block_shift_);
   cache_.Touch(BucketAddr(b), 16);
   bool head = true;
+  std::uint32_t chain_pos = 0;
+  obs::WalkTracer* const tracer = cache_.tracer();
   for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
     const Node& n = arena_[idx];
     const PhysAddr addr = head ? BucketAddr(b) : n.addr;
     head = false;
     cache_.Touch(addr, 16);
+    if (tracer != nullptr) {
+      tracer->Record({.kind = obs::EventKind::kWalkStep,
+                      .vpn = vpn,
+                      .step = ++chain_pos,
+                      .lines = static_cast<std::uint32_t>(cache_.LinesThisWalk())});
+    }
     // Tag comparison checks whether this node's covered range contains the
     // faulting page; superpage and base PTEs for one block share the bucket.
     if ((vpn >> n.pages_log2) == (n.base_vpn >> n.pages_log2)) {
       cache_.Touch(addr + 16, 8);
       TlbFill fill = FillFrom(n);
       if (fill.Covers(vpn)) {
+        if (tracer != nullptr) {
+          tracer->Record({.kind = obs::EventKind::kWalkHit,
+                          .vpn = vpn,
+                          .step = chain_pos,
+                          .value = WalkHitValue(fill)});
+        }
         return fill;
       }
     }

@@ -63,6 +63,22 @@ struct TlbFill {
   }
 };
 
+// kWalkHit `value` payload for a fill (attribution's page-class dimension).
+constexpr obs::WalkHitClass WalkHitClassFor(MappingKind kind) {
+  switch (kind) {
+    case MappingKind::kBase:
+      return obs::WalkHitClass::kBase;
+    case MappingKind::kSuperpage:
+      return obs::WalkHitClass::kSuperpage;
+    case MappingKind::kPartialSubblock:
+      return obs::WalkHitClass::kPartialSubblock;
+  }
+  return obs::WalkHitClass::kBase;
+}
+constexpr std::uint64_t WalkHitValue(const TlbFill& fill) {
+  return obs::EncodeWalkHitClass(WalkHitClassFor(fill.kind), fill.pages_log2);
+}
+
 // Capability bits: which PTE formats a table can store natively or via its
 // designated strategy.
 struct PtFeatures {

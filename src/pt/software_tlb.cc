@@ -53,6 +53,13 @@ std::optional<TlbFill> SoftwareTlb::Lookup(VirtAddr va) {
         ++hits_;
         if (tracer != nullptr) {
           tracer->Record({.kind = obs::EventKind::kSwTlbHit, .vpn = vpn});
+          // A TSB hit resolves the walk without reaching the backing table;
+          // step 0 distinguishes it from any real chain position.
+          tracer->Record({.kind = obs::EventKind::kWalkHit,
+                          .vpn = vpn,
+                          .step = 0,
+                          .value = obs::EncodeWalkHitClass(obs::WalkHitClass::kSwTlb,
+                                                           fill.pages_log2)});
         }
         return fill;
       }

@@ -46,6 +46,46 @@ SizeMeasurement MeasurePtSize(const workload::WorkloadSpec& spec, const SizeConf
   return m;
 }
 
+namespace {
+
+obs::SegmentClass SegmentClassOf(workload::SegmentKind kind) {
+  switch (kind) {
+    case workload::SegmentKind::kText:
+      return obs::SegmentClass::kText;
+    case workload::SegmentKind::kHeap:
+      return obs::SegmentClass::kHeap;
+    case workload::SegmentKind::kData:
+      return obs::SegmentClass::kData;
+    case workload::SegmentKind::kMmap:
+      return obs::SegmentClass::kMmap;
+    case workload::SegmentKind::kStack:
+      return obs::SegmentClass::kStack;
+    case workload::SegmentKind::kUnknown:
+      return obs::SegmentClass::kUnknown;
+  }
+  return obs::SegmentClass::kUnknown;
+}
+
+// Registers every spec segment's VPN range under the VPNs the Machine will
+// actually put in walk events.  With a shared page table those are effective
+// (asid-salted) addresses; the salt only flips bits above any segment span,
+// so applying it to the base relocates the whole range intact.
+obs::SegmentMap BuildSegmentMap(const workload::WorkloadSpec& spec, bool shared_page_table) {
+  obs::SegmentMap map;
+  for (std::size_t p = 0; p < spec.processes.size(); ++p) {
+    const auto asid = static_cast<std::uint16_t>(p);
+    for (const workload::Segment& seg : spec.processes[p].segments) {
+      const VirtAddr base =
+          shared_page_table ? seg.base ^ (VirtAddr{asid} << 49) : seg.base;
+      const std::uint64_t begin = VpnOf(base);
+      map.Add(asid, begin, begin + seg.span_pages, SegmentClassOf(seg.kind));
+    }
+  }
+  return map;
+}
+
+}  // namespace
+
 AccessMeasurement MeasureAccessTime(const workload::WorkloadSpec& spec, MachineOptions opts,
                                     std::uint64_t trace_len, const MeasureHooks& hooks) {
   if (trace_len == 0) {
@@ -57,11 +97,14 @@ AccessMeasurement MeasureAccessTime(const workload::WorkloadSpec& spec, MachineO
   const std::uint64_t preload_faults = machine.TotalPageFaults();
 
   // Attach after Preload: events describe the measured trace, not the
-  // preload fault storm.  The aggregator forwards to the caller's tracer so
-  // one pass feeds both the histograms and a --trace ring buffer.
+  // preload fault storm.  The chain is machine -> attribution -> histogram
+  // aggregator -> caller's tracer, so one pass feeds the per-dimension
+  // breakdown, the histograms, and a --trace ring buffer together.
+  const obs::SegmentMap segments = BuildSegmentMap(spec, opts.shared_page_table);
   obs::StatsTracer stats(hooks.tracer);
+  obs::AttributionTracer attribution(&segments, &stats);
   if (hooks.collect) {
-    machine.AttachTracer(&stats);
+    machine.AttachTracer(&attribution);
   } else if (hooks.tracer != nullptr) {
     machine.AttachTracer(hooks.tracer);
   }
@@ -97,6 +140,7 @@ AccessMeasurement MeasureAccessTime(const workload::WorkloadSpec& spec, MachineO
     m.chain_length = stats.chain_length();
     m.lines_per_walk = stats.lines_per_walk();
     m.events = stats.counts();
+    m.attribution = attribution.Result();
   }
   if (opts.audit) {
     const check::AuditReport audit = machine.AuditAll();

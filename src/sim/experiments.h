@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/attribution.h"
 #include "obs/trace.h"
 #include "os/address_space.h"
 #include "sim/machine.h"
@@ -72,6 +73,9 @@ struct AccessMeasurement {
   Histogram chain_length;           // Chain nodes / tree levels per counted walk.
   Histogram lines_per_walk;         // Distinct cache lines per counted walk.
   obs::EventCounts events;          // Per-kind event totals over the trace.
+  // Per-dimension lines/miss breakdown (segment, page class, outcome); each
+  // dimension's lines sum to the numerator of avg_lines_per_miss.
+  obs::AttributionResult attribution;
 };
 
 // Optional observation hooks for MeasureAccessTime.  The tracer (and the

@@ -103,6 +103,10 @@ void ToJson(obs::JsonWriter& w, const AccessMeasurement& m) {
       }
     }
     w.EndObject();
+    if (!m.attribution.empty()) {
+      w.Key("attribution");
+      obs::ToJson(w, m.attribution);
+    }
   }
   w.Key("options");
   ToJson(w, m.options);

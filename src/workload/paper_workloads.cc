@@ -30,9 +30,31 @@ constexpr VirtAddr kStackTop = 0x00007fffff000000ull;
 // own page table).
 constexpr VirtAddr kProcStride = 0x0000010000000000ull;
 
+// Recovers the logical region of a composed segment base.  Per-process
+// offsets are kProcStride multiples, so the within-chunk offset identifies
+// text/heap/data; mmap and stack share the high chunks, with the stack run
+// hanging just below kStackTop.  Arena bases composed with offsets large
+// enough to cross a region boundary must pass an explicit kind to Seg().
+SegmentKind ClassifySegmentBase(VirtAddr base) {
+  const VirtAddr chunk = base / kProcStride;
+  const VirtAddr local = base % kProcStride;
+  if (chunk >= kMmapBase / kProcStride) {
+    return local >= (kStackTop % kProcStride) - (1ull << 32) ? SegmentKind::kStack
+                                                             : SegmentKind::kMmap;
+  }
+  if (local >= kDataBase) {
+    return SegmentKind::kData;
+  }
+  if (local >= kHeapBase) {
+    return SegmentKind::kHeap;
+  }
+  return SegmentKind::kText;
+}
+
 // A segment holding ~mapped_pages mapped pages at the given density.
 Segment Seg(VirtAddr base, std::uint64_t mapped_pages, double density, double burst,
-            double weight, AccessPattern pat, double sojourn, std::uint64_t stride = 1) {
+            double weight, AccessPattern pat, double sojourn, std::uint64_t stride = 1,
+            SegmentKind kind = SegmentKind::kUnknown) {
   Segment s;
   s.base = base;
   s.span_pages = static_cast<std::uint64_t>(static_cast<double>(mapped_pages) / density);
@@ -42,6 +64,7 @@ Segment Seg(VirtAddr base, std::uint64_t mapped_pages, double density, double bu
   s.pattern = pat;
   s.sojourn_mean = sojourn;
   s.stride_pages = stride;
+  s.kind = kind == SegmentKind::kUnknown ? ClassifySegmentBase(base) : kind;
   return s;
 }
 
@@ -216,7 +239,8 @@ WorkloadSpec Ml() {
   p.segments = {
       Seg(kTextBase, 220, 0.98, 70, 0.4, AccessPattern::kSequential, 1400),
       Seg(kHeapBase, 4000, 0.97, 120, 4.0, AccessPattern::kSequential, 900),
-      Seg(kHeapBase + (1ull << 31), 3900, 0.97, 110, 4.0, AccessPattern::kPointerChase, 1100),
+      Seg(kHeapBase + (1ull << 31), 3900, 0.97, 110, 4.0, AccessPattern::kPointerChase, 1100, 1,
+          SegmentKind::kHeap),  // Second heap arena; offset crosses into the data region.
   };
   w.processes = {p};
   return w;

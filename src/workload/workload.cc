@@ -5,6 +5,24 @@
 
 namespace cpt::workload {
 
+const char* ToString(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kText:
+      return "text";
+    case SegmentKind::kHeap:
+      return "heap";
+    case SegmentKind::kData:
+      return "data";
+    case SegmentKind::kMmap:
+      return "mmap";
+    case SegmentKind::kStack:
+      return "stack";
+    case SegmentKind::kUnknown:
+      return "unknown";
+  }
+  return "invalid";
+}
+
 std::uint64_t Snapshot::TotalPages() const {
   std::uint64_t total = 0;
   for (const auto& proc : pages) {

@@ -19,6 +19,7 @@
 #ifndef CPT_WORKLOAD_WORKLOAD_H_
 #define CPT_WORKLOAD_WORKLOAD_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -36,6 +37,21 @@ enum class AccessPattern : std::uint8_t {
   kPointerChase,  // Fixed random permutation cycle (linked structures, GC).
 };
 
+// Logical role of a segment within its process's address space.  Carried on
+// the spec (rather than re-derived from raw addresses downstream) because
+// per-process layout offsets make address-based classification ambiguous.
+enum class SegmentKind : std::uint8_t {
+  kText,
+  kHeap,
+  kData,
+  kMmap,
+  kStack,
+  kUnknown,
+};
+inline constexpr std::size_t kSegmentKindCount = 6;
+
+const char* ToString(SegmentKind kind);
+
 struct Segment {
   VirtAddr base = 0;          // Page-aligned start of the virtual span.
   std::uint64_t span_pages = 0;  // Virtual span length.
@@ -46,6 +62,7 @@ struct Segment {
   std::uint64_t stride_pages = 1;  // For kStrided.
   double sojourn_mean = 8.0;  // Mean consecutive accesses to one page.
   double write_fraction = 0.3;  // Probability a reference is a store.
+  SegmentKind kind = SegmentKind::kUnknown;
 };
 
 struct ProcessSpec {

@@ -224,6 +224,36 @@ TEST(RingBufferTracerTest, WriteJsonlEmitsOneParsableObjectPerEvent) {
             "\"properly_placed\":true}\n");
 }
 
+TEST(RingBufferTracerTest, WriteJsonlAfterWraparoundIsChronological) {
+  // The dump a --trace file gets after the ring wrapped: exactly the newest
+  // `capacity` events, oldest first, with the overflow visible in dropped().
+  RingBufferTracer ring(3);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.Record(StepEvent(i));
+  }
+  EXPECT_EQ(ring.dropped(), 7u);
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  std::ostringstream os;
+  ring.WriteJsonl(os);
+  EXPECT_EQ(os.str(),
+            "{\"kind\":\"walk_step\",\"asid\":0,\"vpn\":7,\"step\":1,\"lines\":1}\n"
+            "{\"kind\":\"walk_step\",\"asid\":0,\"vpn\":8,\"step\":1,\"lines\":1}\n"
+            "{\"kind\":\"walk_step\",\"asid\":0,\"vpn\":9,\"step\":1,\"lines\":1}\n");
+  // A wrap that lands mid-buffer (insertion cursor not at slot 0) must still
+  // dump in chronological order.
+  ring.Clear();
+  for (std::uint64_t i = 0; i < 4; ++i) {  // 4 = one past capacity.
+    ring.Record(StepEvent(i));
+  }
+  EXPECT_EQ(ring.dropped(), 1u);
+  std::ostringstream os2;
+  ring.WriteJsonl(os2);
+  EXPECT_EQ(os2.str(),
+            "{\"kind\":\"walk_step\",\"asid\":0,\"vpn\":1,\"step\":1,\"lines\":1}\n"
+            "{\"kind\":\"walk_step\",\"asid\":0,\"vpn\":2,\"step\":1,\"lines\":1}\n"
+            "{\"kind\":\"walk_step\",\"asid\":0,\"vpn\":3,\"step\":1,\"lines\":1}\n");
+}
+
 // --- StatsTracer ---------------------------------------------------------
 
 TEST(StatsTracerTest, ChainLengthCountsStepsPerCountedWalk) {

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Compares two cpt-bench-report JSON files and fails on unexplained drift.
+
+The simulator is deterministic: for an identical RNG seed and trace length,
+every *simulated* metric (miss counts, lines per miss, page-table bytes,
+histograms, attribution cells, ...) must match the baseline bit for bit.
+Wall-clock-derived keys (wall_seconds, refs_per_sec, misses_per_sec) are
+machine noise; they are reported but only enforced when --time-tol is given.
+
+Usage:
+  tools/bench_diff.py baseline.json current.json
+  tools/bench_diff.py baseline.json current.json --time-tol 0.5
+
+Exit status: 0 = no drift, 1 = drift found, 2 = usage / malformed input.
+Stdlib-only (the repo's no-new-dependencies rule).
+"""
+
+import argparse
+import json
+import sys
+
+# Keys whose values are wall-clock measurements, not simulated quantities.
+# Matched on the final path component anywhere in a measurement.
+TIMING_KEYS = {"wall_seconds", "refs_per_sec", "misses_per_sec"}
+
+
+def flatten(value, prefix=""):
+    """Yields (dotted_path, scalar) pairs for a nested JSON value."""
+    if isinstance(value, dict):
+        for k in sorted(value):
+            yield from flatten(value[k], f"{prefix}.{k}" if prefix else k)
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            yield from flatten(v, f"{prefix}[{i}]")
+    else:
+        yield prefix, value
+
+
+def is_timing(path):
+    last = path.rsplit(".", 1)[-1]
+    return last.split("[", 1)[0] in TIMING_KEYS
+
+
+def entry_key(entry):
+    """Stable identity of a report entry across runs."""
+    kind = entry.get("type", "?")
+    if kind == "table":
+        return ("table", entry.get("title", "?"))
+    series = entry.get("series", "?")
+    workload = entry.get("measurement", {}).get("workload", "")
+    return (kind, series, workload)
+
+
+def metric_key(inst):
+    return (inst.get("name", "?"), tuple(sorted(inst.get("labels", {}).items())))
+
+
+class Diff:
+    """Accumulates per-metric rows and renders the human-readable table."""
+
+    def __init__(self, time_tol):
+        self.time_tol = time_tol
+        self.rows = []          # (where, metric, baseline, current, verdict)
+        self.hard_failures = 0  # Simulated drift or structural mismatch.
+        self.timing_failures = 0
+
+    def structural(self, where, message):
+        self.rows.append((where, "<structure>", "", "", message))
+        self.hard_failures += 1
+
+    def compare_scalars(self, where, path, base, cur):
+        if base == cur:
+            return
+        if is_timing(path):
+            rel = None
+            if isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+                denom = max(abs(base), abs(cur), 1e-12)
+                rel = abs(cur - base) / denom
+            if self.time_tol is not None and (rel is None or rel > self.time_tol):
+                self.rows.append((where, path, base, cur,
+                                  f"TIMING DRIFT {rel:.1%} > tol {self.time_tol:.0%}"))
+                self.timing_failures += 1
+            else:
+                note = f"timing noise ({rel:.1%})" if rel is not None else "timing noise"
+                self.rows.append((where, path, base, cur, note))
+            return
+        self.rows.append((where, path, base, cur, "SIMULATED DRIFT"))
+        self.hard_failures += 1
+
+    def compare_tree(self, where, base, cur):
+        base_flat = dict(flatten(base))
+        cur_flat = dict(flatten(cur))
+        for path in sorted(base_flat.keys() | cur_flat.keys()):
+            if path not in cur_flat:
+                self.structural(where, f"'{path}' missing from current")
+            elif path not in base_flat:
+                self.structural(where, f"'{path}' not in baseline")
+            else:
+                self.compare_scalars(where, path, base_flat[path], cur_flat[path])
+
+    @property
+    def failed(self):
+        return self.hard_failures + self.timing_failures > 0
+
+    def render(self, out=sys.stdout):
+        if not self.rows:
+            print("bench_diff: no differences", file=out)
+            return
+        headers = ("entry", "metric", "baseline", "current", "verdict")
+        table = [headers] + [
+            (w, p, _fmt(b), _fmt(c), v) for w, p, b, c, v in self.rows]
+        widths = [max(len(row[i]) for row in table) for i in range(5)]
+        for r, row in enumerate(table):
+            print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip(),
+                  file=out)
+            if r == 0:
+                print("  ".join("-" * w for w in widths), file=out)
+
+
+def _fmt(v):
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def diff_reports(baseline, current, time_tol):
+    d = Diff(time_tol)
+
+    for field in ("schema", "schema_version", "bench", "trace_len_override"):
+        if baseline.get(field) != current.get(field):
+            d.structural("<header>",
+                         f"{field}: baseline {baseline.get(field)!r} vs "
+                         f"current {current.get(field)!r}")
+    if d.hard_failures:
+        # A different bench or trace length explains every downstream delta;
+        # stop here with a focused message instead of pages of noise.
+        return d
+
+    base_entries = {entry_key(e): e for e in baseline.get("entries", [])}
+    cur_entries = {entry_key(e): e for e in current.get("entries", [])}
+    for key in sorted(base_entries.keys() | cur_entries.keys()):
+        where = "/".join(str(k) for k in key)
+        if key not in cur_entries:
+            d.structural(where, "entry missing from current")
+        elif key not in base_entries:
+            d.structural(where, "entry not in baseline")
+        else:
+            d.compare_tree(where, base_entries[key], cur_entries[key])
+
+    base_metrics = {metric_key(m): m for m in baseline.get("metrics", [])}
+    cur_metrics = {metric_key(m): m for m in current.get("metrics", [])}
+    for key in sorted(base_metrics.keys() | cur_metrics.keys()):
+        where = f"metrics/{key[0]}{list(key[1])}"
+        if key not in cur_metrics:
+            d.structural(where, "instrument missing from current")
+        elif key not in base_metrics:
+            d.structural(where, "instrument not in baseline")
+        else:
+            d.compare_tree(where, base_metrics[key], cur_metrics[key])
+    return d
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline report")
+    parser.add_argument("current", help="freshly generated report")
+    parser.add_argument("--time-tol", type=float, default=None, metavar="FRAC",
+                        help="fail when a timing key drifts more than this "
+                             "relative fraction (default: report only)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+        with open(args.current, encoding="utf-8") as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+
+    d = diff_reports(baseline, current, args.time_tol)
+    d.render()
+    if d.failed:
+        print(f"\nbench_diff: FAIL ({d.hard_failures} simulated/structural, "
+              f"{d.timing_failures} timing)")
+        return 1
+    noise = sum(1 for r in d.rows if "timing" in r[4])
+    print(f"\nbench_diff: OK ({noise} timing-noise keys ignored)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

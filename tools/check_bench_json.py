@@ -9,24 +9,48 @@ of a --trace JSONL file parses and carries a known event kind.
 Usage:
   tools/check_bench_json.py report.json [report2.json ...]
   tools/check_bench_json.py --trace trace.jsonl report.json
+  tools/check_bench_json.py --perfetto trace.perfetto.json
 
 Exit status 0 iff every file validates; failures print one line each.
 """
 
 import argparse
 import json
+import re
 import sys
+from pathlib import Path
 
 SCHEMA = "cpt-bench-report"
 SCHEMA_VERSION = 1
 
-# Per-kind event totals live under these names (obs::ToString in
-# src/obs/trace.cc); the trace checker accepts exactly this set.
-EVENT_KINDS = {
-    "tlb_hit", "tlb_miss", "tlb_block_miss", "tlb_subblock_miss",
-    "walk_step", "walk_end", "walk_abort", "page_fault", "pte_promotion",
-    "block_prefetch", "reservation_grant", "swtlb_hit", "swtlb_miss",
-}
+# The single source of truth for event-kind names is the kEventKindNames
+# table in src/obs/trace.h; parse it at check time so the checker can never
+# drift from the C++ enum.
+DEFAULT_TRACE_HEADER = Path(__file__).resolve().parent.parent / "src" / "obs" / "trace.h"
+
+
+def load_event_kinds(header_path):
+    """Extracts the kEventKindNames string table from the obs trace header."""
+    text = Path(header_path).read_text(encoding="utf-8")
+    m = re.search(r"kEventKindNames\[[^\]]*\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
+    if m is None:
+        raise Failure(f"{header_path}: kEventKindNames table not found")
+    kinds = set(re.findall(r'"([^"]+)"', m.group(1)))
+    if not kinds:
+        raise Failure(f"{header_path}: kEventKindNames table is empty")
+    count = re.search(r"kEventKindCount\s*=\s*(\d+)", text)
+    if count and int(count.group(1)) != len(kinds):
+        raise Failure(
+            f"{header_path}: kEventKindCount={count.group(1)} but "
+            f"{len(kinds)} names parsed")
+    return kinds
+
+
+# Populated in main() from --trace-header (or the in-repo default).
+EVENT_KINDS = set()
+
+# The three attribution dimensions serialize.cc emits, in order.
+ATTRIBUTION_DIMS = ("by_segment", "by_page_class", "by_outcome")
 
 ACCESS_FIELDS = {
     "workload": str,
@@ -80,6 +104,27 @@ def check_options(opts, where):
     require(not missing, f"{where}: options missing {sorted(missing)}")
 
 
+def check_attribution(attr, where):
+    """Shape + reconciliation: each dimension partitions the counted walks,
+    so its per-cell walks/lines sums must equal the section totals."""
+    for field in ("walks", "lines", "steps"):
+        require(isinstance(attr.get(field), int),
+                f"{where}: attribution missing int '{field}'")
+    for dim in ATTRIBUTION_DIMS:
+        cells = attr.get(dim)
+        require(isinstance(cells, list), f"{where}: attribution missing '{dim}'")
+        for c, cell in enumerate(cells):
+            for field in ("walks", "lines", "steps"):
+                require(isinstance(cell.get(field), int),
+                        f"{where}: {dim}[{c}] missing int '{field}'")
+            require(isinstance(cell.get("label"), str) and cell["label"],
+                    f"{where}: {dim}[{c}] missing label")
+        for field in ("walks", "lines"):
+            total = sum(cell[field] for cell in cells)
+            require(total == attr[field],
+                    f"{where}: {dim} {field} sum {total} != total {attr[field]}")
+
+
 def check_measurement_entry(entry, i):
     where = f"entries[{i}] ({entry['type']}/{entry.get('series', '?')})"
     require("series" in entry, f"{where}: missing 'series'")
@@ -97,6 +142,8 @@ def check_measurement_entry(entry, i):
         for histo in m.get("histograms", {}).values():
             require({"total", "mean", "overflow", "counts"} <= histo.keys(),
                     f"{where}: malformed histogram")
+        if "attribution" in m:
+            check_attribution(m["attribution"], where)
 
 
 def check_table_entry(entry, i):
@@ -132,6 +179,13 @@ def check_report(path):
         # Custom entry types (micro, rangeops, ...) only need type + series.
         else:
             require("series" in entry, f"entries[{i}]: missing 'series'")
+    if "metrics" in doc:
+        require(isinstance(doc["metrics"], list), "metrics is not a list")
+        for j, inst in enumerate(doc["metrics"]):
+            require(isinstance(inst.get("name"), str) and inst["name"],
+                    f"metrics[{j}]: missing name")
+            require(inst.get("type") in ("counter", "gauge", "histogram", "stats"),
+                    f"metrics[{j}]: bad type {inst.get('type')!r}")
     return len(entries)
 
 
@@ -152,14 +206,50 @@ def check_trace(path):
     return n
 
 
+def check_perfetto(path):
+    """Validates a --perfetto file as well-formed Chrome trace-event JSON."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    require(isinstance(events, list) and events, "missing traceEvents array")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        ph = ev.get("ph")
+        require(isinstance(ph, str) and len(ph) == 1, f"{where}: bad ph")
+        require(isinstance(ev.get("name"), str) and ev["name"],
+                f"{where}: missing name")
+        require(isinstance(ev.get("pid"), int), f"{where}: missing pid")
+        if ph != "M":  # Metadata events have no timestamp.
+            require(isinstance(ev.get("ts"), int), f"{where}: missing ts")
+        if ph == "X":
+            require(isinstance(ev.get("dur"), int) and ev["dur"] > 0,
+                    f"{where}: complete event without positive dur")
+        if ph == "C":
+            require(isinstance(ev.get("args"), dict) and ev["args"],
+                    f"{where}: counter event without args")
+        if ph == "i":
+            require(ev.get("s") in (None, "t", "p", "g"), f"{where}: bad scope")
+    return len(events)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("reports", nargs="*", help="--json report files")
     parser.add_argument("--trace", action="append", default=[],
                         help="--trace JSONL files")
+    parser.add_argument("--perfetto", action="append", default=[],
+                        help="--perfetto Chrome trace-event files")
+    parser.add_argument("--trace-header", default=str(DEFAULT_TRACE_HEADER),
+                        help="obs trace header defining kEventKindNames")
     args = parser.parse_args()
-    if not args.reports and not args.trace:
+    if not args.reports and not args.trace and not args.perfetto:
         parser.error("nothing to check")
+
+    try:
+        EVENT_KINDS.update(load_event_kinds(args.trace_header))
+    except (Failure, OSError) as e:
+        print(f"FAIL {args.trace_header}: {e}")
+        return 1
 
     failed = False
     for path in args.reports:
@@ -173,6 +263,13 @@ def main():
         try:
             n = check_trace(path)
             print(f"OK   {path}: {n} events")
+        except (Failure, json.JSONDecodeError, OSError) as e:
+            print(f"FAIL {path}: {e}")
+            failed = True
+    for path in args.perfetto:
+        try:
+            n = check_perfetto(path)
+            print(f"OK   {path}: {n} trace events")
         except (Failure, json.JSONDecodeError, OSError) as e:
             print(f"FAIL {path}: {e}")
             failed = True
