@@ -38,7 +38,7 @@ class ShadowedPageTable final : public pt::PageTable {
   ~ShadowedPageTable() override;
 
   // ---- PageTable interface (forwarded, mirrored, cross-checked) ----
-  std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
+  [[nodiscard]] std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
   void LookupBlock(VirtAddr va, unsigned subblock_factor,
                    std::vector<pt::TlbFill>& out) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;

@@ -28,7 +28,7 @@ namespace cpt::check_internal {
   std::fprintf(stderr, "%s failed: %s at %s:%d%s%s\n", kind, expr, file, line,
                msg != nullptr ? " — " : "", msg != nullptr ? msg : "");
   std::fflush(stderr);
-  std::abort();
+  std::abort();  // cpt-lint: allow(check-macro-hygiene) — the macros' own failure path
 }
 
 }  // namespace cpt::check_internal

@@ -49,7 +49,7 @@ class AdaptiveClusteredPageTable final : public pt::PageTable {
   AdaptiveClusteredPageTable(mem::CacheTouchModel& cache, Options opts);
   ~AdaptiveClusteredPageTable() override;
 
-  std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
+  [[nodiscard]] std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
   void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<pt::TlbFill>& out) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;

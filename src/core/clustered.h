@@ -50,7 +50,7 @@ class ClusteredPageTable final : public pt::PageTable {
   ~ClusteredPageTable() override;
 
   // ---- PageTable interface ----
-  std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
+  [[nodiscard]] std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
   void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<pt::TlbFill>& out) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;

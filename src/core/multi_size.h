@@ -40,7 +40,7 @@ class MultiSizeClustered final : public pt::PageTable {
 
   MultiSizeClustered(mem::CacheTouchModel& cache, Options opts);
 
-  std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
+  [[nodiscard]] std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
   void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<pt::TlbFill>& out) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;

@@ -7,22 +7,25 @@
 
 namespace cpt::obs {
 
+namespace {
+
+// Report labels of the segment classes, indexable by SegmentClass.
+constexpr const char* kSegmentClassNames[] = {
+    "text",     // kText
+    "heap",     // kHeap
+    "data",     // kData
+    "mmap",     // kMmap
+    "stack",    // kStack
+    "unknown",  // kUnknown
+};
+static_assert(std::size(kSegmentClassNames) == kSegmentClassCount,
+              "every SegmentClass needs a report label, in enum order");
+
+}  // namespace
+
 const char* ToString(SegmentClass cls) {
-  switch (cls) {
-    case SegmentClass::kText:
-      return "text";
-    case SegmentClass::kHeap:
-      return "heap";
-    case SegmentClass::kData:
-      return "data";
-    case SegmentClass::kMmap:
-      return "mmap";
-    case SegmentClass::kStack:
-      return "stack";
-    case SegmentClass::kUnknown:
-      return "unknown";
-  }
-  return "?";
+  const auto idx = static_cast<std::size_t>(cls);
+  return idx < kSegmentClassCount ? kSegmentClassNames[idx] : "?";
 }
 
 void SegmentMap::Add(std::uint16_t asid, std::uint64_t begin_vpn, std::uint64_t end_vpn,
@@ -67,15 +70,16 @@ SegmentClass SegmentMap::Classify(std::uint16_t asid, std::uint64_t vpn) const {
 
 namespace {
 
-const char* OutcomeName(std::size_t index) {
-  // Order matches AttributionTracer::kOutcomeCount: fault, prefetch, swtlb,
-  // hit@1..hit@8, overflow.
-  static constexpr const char* kNames[] = {
-      "fault",  "prefetch", "swtlb", "hit@1", "hit@2", "hit@3",
-      "hit@4",  "hit@5",    "hit@6", "hit@7", "hit@8", "overflow",
-  };
-  return kNames[index];
-}
+// Report labels of the outcome axis: fault, prefetch, swtlb, hit@1..hit@8,
+// overflow — the index layout CommitWalk() computes.
+constexpr const char* kOutcomeNames[] = {
+    "fault",  "prefetch", "swtlb", "hit@1", "hit@2", "hit@3",
+    "hit@4",  "hit@5",    "hit@6", "hit@7", "hit@8", "overflow",
+};
+static_assert(std::size(kOutcomeNames) == AttributionTracer::kOutcomeCount,
+              "every outcome index needs a report label, in axis order");
+
+const char* OutcomeName(std::size_t index) { return kOutcomeNames[index]; }
 
 }  // namespace
 
@@ -159,7 +163,9 @@ void AttributionTracer::Record(const WalkEvent& event) {
     CommitWalk();
   }
 
-  switch (event.kind) {
+  // Only the walk-service protocol events drive the state machine; the
+  // remaining kinds (promotions, grants, ...) are passed through untouched.
+  switch (event.kind) {  // cpt-lint: allow(exhaustive-enum-switch)
     case EventKind::kTlbMiss:
     case EventKind::kTlbBlockMiss:
     case EventKind::kTlbSubblockMiss:

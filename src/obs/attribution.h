@@ -48,6 +48,8 @@ enum class SegmentClass : std::uint8_t {
   kUnknown,
 };
 inline constexpr std::size_t kSegmentClassCount = 6;
+static_assert(static_cast<std::size_t>(SegmentClass::kUnknown) + 1 == kSegmentClassCount,
+              "kSegmentClassCount must track the last SegmentClass enumerator");
 const char* ToString(SegmentClass cls);
 
 // Maps (asid, vpn) to a SegmentClass through a set of half-open VPN ranges.
@@ -125,13 +127,8 @@ class AttributionTracer final : public WalkTracer {
   std::uint64_t walks() const { return walks_; }
   std::uint64_t lines() const { return lines_total_; }
 
- private:
-  struct Cell {
-    std::uint64_t walks = 0;
-    std::uint64_t lines = 0;
-    std::uint64_t steps = 0;
-  };
-
+  // Axis geometry, public so the name tables in attribution.cc (and any
+  // validator) can static_assert against it.
   // Page-class axis: WalkHitClass values, then block prefetch, then unknown.
   static constexpr std::size_t kPageClassCount = kWalkHitClassCount + 2;
   static constexpr std::size_t kBlockClassIndex = kWalkHitClassCount;
@@ -141,6 +138,13 @@ class AttributionTracer final : public WalkTracer {
   // overflow (hit deeper than node 8).
   static constexpr std::size_t kMaxHitNode = 8;
   static constexpr std::size_t kOutcomeCount = 3 + kMaxHitNode + 1;
+
+ private:
+  struct Cell {
+    std::uint64_t walks = 0;
+    std::uint64_t lines = 0;
+    std::uint64_t steps = 0;
+  };
 
   void BeginWalk(const WalkEvent& event);
   void CommitWalk();

@@ -53,12 +53,15 @@ enum class EventKind : std::uint8_t {
 };
 inline constexpr std::size_t kEventKindCount = 14;
 
+static_assert(static_cast<std::size_t>(EventKind::kSwTlbMiss) + 1 == kEventKindCount,
+              "kEventKindCount must track the last EventKind enumerator");
+
 // JSON names of the event kinds, indexable by EventKind.  This array is the
 // single source of truth for the wire format: ToString() indexes it, and
-// tools/check_bench_json.py regex-parses this initializer at check time so
-// the validator cannot drift from the enum.  Keep one quoted name per kind,
-// in enum order.
-inline constexpr const char* kEventKindNames[kEventKindCount] = {
+// tools/cpt_lint.py --export-enums parses this initializer so Python-side
+// validators (tools/check_bench_json.py) cannot drift from the enum.  Keep
+// one quoted name per kind, in enum order; the static_asserts pin both ends.
+inline constexpr const char* kEventKindNames[] = {
     "tlb_hit",           // kTlbHit
     "tlb_miss",          // kTlbMiss
     "tlb_block_miss",    // kTlbBlockMiss
@@ -74,6 +77,8 @@ inline constexpr const char* kEventKindNames[kEventKindCount] = {
     "swtlb_hit",         // kSwTlbHit
     "swtlb_miss",        // kSwTlbMiss
 };
+static_assert(std::size(kEventKindNames) == kEventKindCount,
+              "every EventKind needs a JSON wire name, in enum order");
 
 const char* ToString(EventKind kind);
 
@@ -86,6 +91,8 @@ enum class WalkHitClass : std::uint8_t {
   kSwTlb,              // Served from the software TLB (TSB), any format.
 };
 inline constexpr std::size_t kWalkHitClassCount = 4;
+static_assert(static_cast<std::size_t>(WalkHitClass::kSwTlb) + 1 == kWalkHitClassCount,
+              "kWalkHitClassCount must track the last WalkHitClass enumerator");
 const char* ToString(WalkHitClass cls);
 
 // kWalkHit `value` payload: the mapping class plus log2(base pages covered),

@@ -49,7 +49,7 @@ class ForwardMappedPageTable final : public PageTable {
   ForwardMappedPageTable(mem::CacheTouchModel& cache, Options opts);
   ~ForwardMappedPageTable() override;
 
-  std::optional<TlbFill> Lookup(VirtAddr va) override;
+  [[nodiscard]] std::optional<TlbFill> Lookup(VirtAddr va) override;
   void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<TlbFill>& out) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;

@@ -53,7 +53,7 @@ class HashedPageTable final : public PageTable {
   ~HashedPageTable() override;
 
   // ---- PageTable interface ----
-  std::optional<TlbFill> Lookup(VirtAddr va) override;
+  [[nodiscard]] std::optional<TlbFill> Lookup(VirtAddr va) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;
   std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
@@ -69,7 +69,7 @@ class HashedPageTable final : public PageTable {
   bool RemoveKey(std::uint64_t key);
   // Chain walk for the key; cache-line counted.  `faulting_vpn` selects the
   // covered page when building the fill.
-  std::optional<TlbFill> LookupKey(std::uint64_t key, Vpn faulting_vpn);
+  [[nodiscard]] std::optional<TlbFill> LookupKey(std::uint64_t key, Vpn faulting_vpn);
   // Uncounted read of the stored word (OS-side inspection).
   std::optional<MappingWord> Peek(std::uint64_t key) const;
 

@@ -58,7 +58,7 @@ class LinearPageTable final : public PageTable {
   LinearPageTable(mem::CacheTouchModel& cache, Options opts);
   ~LinearPageTable() override;
 
-  std::optional<TlbFill> Lookup(VirtAddr va) override;
+  [[nodiscard]] std::optional<TlbFill> Lookup(VirtAddr va) override;
   void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<TlbFill>& out) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;

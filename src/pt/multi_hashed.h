@@ -48,7 +48,7 @@ class MultiTableHashed final : public PageTable {
 
   MultiTableHashed(mem::CacheTouchModel& cache, Options opts);
 
-  std::optional<TlbFill> Lookup(VirtAddr va) override;
+  [[nodiscard]] std::optional<TlbFill> Lookup(VirtAddr va) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;
   PtFeatures features() const override { return {.superpages = true, .partial_subblock = true}; }
@@ -89,7 +89,7 @@ class SuperpageIndexHashed final : public PageTable {
 
   SuperpageIndexHashed(mem::CacheTouchModel& cache, Options opts);
 
-  std::optional<TlbFill> Lookup(VirtAddr va) override;
+  [[nodiscard]] std::optional<TlbFill> Lookup(VirtAddr va) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;
   PtFeatures features() const override { return {.superpages = true, .partial_subblock = true}; }

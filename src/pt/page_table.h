@@ -99,7 +99,7 @@ class PageTable {
   // Walks the table for `va`.  Returns nullopt on page fault.  The walk's
   // cache-line touches are recorded in cache() between BeginWalk/EndWalk,
   // which the caller (sim::Machine or WalkScope) brackets.
-  virtual std::optional<TlbFill> Lookup(VirtAddr va) = 0;
+  [[nodiscard]] virtual std::optional<TlbFill> Lookup(VirtAddr va) = 0;
 
   // Complete-subblock prefetch (Section 4.4): fetches mappings for every
   // resident base page of va's page block of `subblock_factor` pages.

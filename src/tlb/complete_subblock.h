@@ -27,7 +27,7 @@ class CompleteSubblockTlb final : public Tlb {
 
   CompleteSubblockTlb(unsigned num_entries, unsigned subblock_factor);
 
-  LookupOutcome Lookup(Asid asid, Vpn vpn) override;
+  [[nodiscard]] LookupOutcome Lookup(Asid asid, Vpn vpn) override;
   void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) override;
   void Flush() override;
   std::string name() const override { return "complete-subblock"; }

@@ -25,7 +25,7 @@ class DualSizeSetAssocTlb final : public Tlb {
   // (log2 base pages), also the index granularity.
   DualSizeSetAssocTlb(unsigned num_sets, unsigned ways, unsigned superpage_log2 = 4);
 
-  LookupOutcome Lookup(Asid asid, Vpn vpn) override;
+  [[nodiscard]] LookupOutcome Lookup(Asid asid, Vpn vpn) override;
   void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) override;
   void Flush() override;
   std::string name() const override { return "dual-size-setassoc"; }

@@ -15,7 +15,7 @@ class SinglePageTlb final : public Tlb {
  public:
   explicit SinglePageTlb(unsigned num_entries);
 
-  LookupOutcome Lookup(Asid asid, Vpn vpn) override;
+  [[nodiscard]] LookupOutcome Lookup(Asid asid, Vpn vpn) override;
   void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) override;
   void Flush() override;
   std::string name() const override { return "single-page"; }

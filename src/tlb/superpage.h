@@ -16,7 +16,7 @@ class SuperpageTlb final : public Tlb {
  public:
   explicit SuperpageTlb(unsigned num_entries);
 
-  LookupOutcome Lookup(Asid asid, Vpn vpn) override;
+  [[nodiscard]] LookupOutcome Lookup(Asid asid, Vpn vpn) override;
   void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) override;
   void Flush() override;
   std::string name() const override { return "superpage"; }

@@ -52,7 +52,7 @@ class Tlb {
   Tlb& operator=(const Tlb&) = delete;
 
   // Probes the TLB for (asid, vpn), updating recency and statistics.
-  virtual LookupOutcome Lookup(Asid asid, Vpn vpn) = 0;
+  [[nodiscard]] virtual LookupOutcome Lookup(Asid asid, Vpn vpn) = 0;
 
   // Installs the page-table fill that satisfied a miss on (asid, vpn).
   virtual void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) = 0;

@@ -49,6 +49,8 @@ enum class SegmentKind : std::uint8_t {
   kUnknown,
 };
 inline constexpr std::size_t kSegmentKindCount = 6;
+static_assert(static_cast<std::size_t>(SegmentKind::kUnknown) + 1 == kSegmentKindCount,
+              "kSegmentKindCount must track the last SegmentKind enumerator");
 
 const char* ToString(SegmentKind kind);
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Agreement check: the compiled binary vs the linter's source parse.
+
+Runs the cpt_dump_enums helper (path passed as argv[1]) and
+`tools/cpt_lint.py --export-enums`, then requires that for every enum the
+binary dumps, the linter parsed the same enumerator count and — where a
+k<Enum>Names table exists — the same wire names in the same order.  This is
+the drift gate for tools/check_bench_json.py, which consumes the linter's
+export: if this passes, the Python validator's name list is exactly what
+ToString() compiles to.
+"""
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT = REPO_ROOT / "tools" / "cpt_lint.py"
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: enum_sync_check.py <path-to-cpt_dump_enums>")
+        return 2
+    dumped = json.loads(subprocess.run(
+        [sys.argv[1]], capture_output=True, text=True, check=True).stdout)
+    exported = json.loads(subprocess.run(
+        [sys.executable, str(LINT), "--export-enums"],
+        cwd=REPO_ROOT, capture_output=True, text=True, check=True).stdout)
+
+    assert dumped["schema"] == "cpt-dump-enums", dumped["schema"]
+    assert exported["schema"] == "cpt-lint-enums", exported["schema"]
+
+    errors = []
+    for name, binary in dumped["enums"].items():
+        parsed = exported["enums"].get(name)
+        if parsed is None:
+            errors.append(f"{name}: binary dumps it, linter never parsed it")
+            continue
+        if binary["count"] != len(parsed["enumerators"]):
+            errors.append(
+                f"{name}: binary count {binary['count']} != parsed "
+                f"{len(parsed['enumerators'])} enumerators")
+        parsed_names = parsed.get("names")
+        if parsed_names is not None and binary["names"] != parsed_names:
+            errors.append(
+                f"{name}: name mismatch\n  binary: {binary['names']}\n"
+                f"  parsed: {parsed_names}")
+        if parsed_names is None:
+            errors.append(
+                f"{name}: linter found no k{name}Names table to pin")
+    if errors:
+        print("enum sync check FAILED:")
+        for e in errors:
+            print(" ", e)
+        return 1
+    print(f"enum sync check passed: {len(dumped['enums'])} enums agree "
+          "(binary == linter parse)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

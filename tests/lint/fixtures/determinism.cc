@@ -1,0 +1,38 @@
+// Fixture: determinism-guards.
+//
+// The simulator must be bit-identical run to run: all randomness goes
+// through cpt::Rng, all timing through obs/timer.h, and floats never get
+// compared with == (the bench gate compares serialized decimals instead).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fx {
+
+// BAD: libc rand() draws from hidden global state.
+int RollDie() {
+  return std::rand() % 6;
+}
+
+// BAD: seeding from the wall clock makes runs unrepeatable.
+unsigned ClockSeed() {
+  return static_cast<unsigned>(std::time(nullptr));
+}
+
+// BAD: random_device is nondeterministic by design.
+unsigned HardwareSeed() {
+  std::random_device rd;
+  return rd();
+}
+
+// BAD: exact float equality.
+bool Converged(double ratio) {
+  return ratio == 1.0;
+}
+
+// GOOD: integer comparison is exact; nothing to flag.
+bool Done(int remaining) {
+  return remaining == 0;
+}
+
+}  // namespace fx

@@ -1,0 +1,70 @@
+// Fixture: exhaustive-enum-switch.
+//
+// A pared-down clone of the real EventKind contract enum with switches that
+// drop cases.  The linter infers the switched enum from the case labels, so
+// these local definitions exercise the same paths the real tree does.
+#include <cstdint>
+
+namespace fx {
+
+enum class EventKind : std::uint8_t {
+  kTlbHit = 0,
+  kTlbMiss,
+  kWalkStep,
+  kWalkEnd,
+};
+
+enum class WalkHitClass : std::uint8_t {
+  kBase = 0,
+  kSuperpage,
+};
+
+// BAD: misses kWalkEnd, and the default hides it.
+const char* Name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTlbHit:
+      return "tlb_hit";
+    case EventKind::kTlbMiss:
+      return "tlb_miss";
+    case EventKind::kWalkStep:
+      return "walk_step";
+    default:
+      return "?";
+  }
+}
+
+// BAD: misses kSuperpage with no default at all.
+int Weight(WalkHitClass cls) {
+  switch (cls) {
+    case WalkHitClass::kBase:
+      return 1;
+  }
+  return 0;
+}
+
+// GOOD: covers every enumerator (default allowed on top).
+const char* FullName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTlbHit:
+      return "tlb_hit";
+    case EventKind::kTlbMiss:
+      return "tlb_miss";
+    case EventKind::kWalkStep:
+      return "walk_step";
+    case EventKind::kWalkEnd:
+      return "walk_end";
+  }
+  return "?";
+}
+
+// GOOD: non-exhaustive but justified and suppressed.
+bool IsMiss(EventKind kind) {
+  switch (kind) {  // cpt-lint: allow(exhaustive-enum-switch)
+    case EventKind::kTlbMiss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace fx

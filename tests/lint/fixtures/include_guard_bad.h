@@ -1,0 +1,10 @@
+// Fixture: include-guard.  Guard name does not follow the
+// CPT_<PATH>_H_ convention for this path.
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+namespace fx {
+inline int Answer() { return 42; }
+}  // namespace fx
+
+#endif  // WRONG_GUARD_NAME_H

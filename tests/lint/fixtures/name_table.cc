@@ -1,0 +1,34 @@
+// Fixture: name-table-sync.
+//
+// Name tables adjacent to a contract enum must be pinned to the enum's count
+// constant by a static_assert.
+#include <cstdint>
+#include <iterator>
+
+namespace fx {
+
+// BAD: table with no static_assert tying it to kEventKindCount.
+enum class EventKind : std::uint8_t {
+  kTlbHit = 0,
+  kTlbMiss,
+};
+inline constexpr std::size_t kEventKindCount = 2;
+inline constexpr const char* kEventKindNames[] = {
+    "tlb_hit",
+    "tlb_miss",
+};
+
+// GOOD: table pinned to the count constant.
+enum class WalkHitClass : std::uint8_t {
+  kBase = 0,
+  kSuperpage,
+};
+inline constexpr std::size_t kWalkHitClassCount = 2;
+inline constexpr const char* kWalkHitClassNames[] = {
+    "base",
+    "superpage",
+};
+static_assert(std::size(kWalkHitClassNames) == kWalkHitClassCount,
+              "every WalkHitClass needs a name");
+
+}  // namespace fx

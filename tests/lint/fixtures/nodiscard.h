@@ -1,0 +1,28 @@
+// Fixture: nodiscard-query.  Lookup-style query declarations must be
+// [[nodiscard]] — discarding a lookup result is always a bug.
+#ifndef CPT_TESTS_LINT_FIXTURES_NODISCARD_H_
+#define CPT_TESTS_LINT_FIXTURES_NODISCARD_H_
+
+#include <cstdint>
+
+namespace fx {
+
+struct Result {
+  bool hit = false;
+};
+
+class Table {
+ public:
+  // BAD: missing [[nodiscard]].
+  Result Lookup(std::uint64_t vpn) const;
+
+  // GOOD: already annotated.
+  [[nodiscard]] Result LookupKey(std::uint64_t key) const;
+
+  // GOOD: void-returning mutator named Lookup-ish is not a query.
+  void Insert(std::uint64_t vpn);
+};
+
+}  // namespace fx
+
+#endif  // CPT_TESTS_LINT_FIXTURES_NODISCARD_H_

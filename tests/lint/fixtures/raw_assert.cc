@@ -1,0 +1,26 @@
+// Fixture: check-macro-hygiene.
+//
+// Raw assert()/abort() bypass the simulator's always-on CPT_CHECK contract
+// (CMake strips NDEBUG precisely so checks stay live in Release benches).
+#include <cassert>
+#include <cstdlib>
+
+namespace fx {
+
+// BAD: raw assert compiles out under NDEBUG.
+int Narrow(long v) {
+  assert(v >= 0);
+  return static_cast<int>(v);
+}
+
+// BAD: raw abort gives no expression/location context.
+void Fail() {
+  std::abort();
+}
+
+// GOOD: suppressed with a justification.
+void FailHard() {
+  std::abort();  // cpt-lint: allow(check-macro-hygiene) — fixture's own failure path
+}
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Fixture: suppression machinery.  Every violation below is covered by a
+// line allow() or an off()/on() block, so the expected finding set is empty.
+#include <cstdlib>
+
+namespace fx {
+
+void LineSuppressed() {
+  std::abort();  // cpt-lint: allow(check-macro-hygiene) — exercised on purpose
+}
+
+// cpt-lint: off(determinism-guards)
+int BlockSuppressed() {
+  return std::rand();
+}
+// cpt-lint: on(determinism-guards)
+
+// cpt-lint: allow(check-macro-hygiene)
+void NextLineSuppressed() { std::abort(); }
+
+}  // namespace fx

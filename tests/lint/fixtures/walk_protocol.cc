@@ -1,0 +1,52 @@
+// Fixture: walk-protocol-pairing.
+//
+// Walk brackets (BeginWalk/EndWalk/AbortWalk) must pair within a function
+// body, and among emitted walk events kWalkHit must precede kWalkEnd.
+namespace fx {
+
+struct Event {
+  int kind;
+};
+
+enum class EventKind { kWalkStep, kWalkHit, kWalkEnd, kWalkAbort };
+
+struct Cache {
+  void BeginWalk();
+  void EndWalk();
+  void AbortWalk();
+};
+
+struct Tracer {
+  void Record(EventKind k);
+};
+
+// BAD: BeginWalk with no EndWalk/AbortWalk on any path.
+void LeakyWalk(Cache& cache) {
+  cache.BeginWalk();
+}
+
+// BAD: kWalkEnd emitted before kWalkHit.
+void BackwardsProtocol(Cache& cache, Tracer& tracer) {
+  cache.BeginWalk();
+  tracer.Record(EventKind::kWalkEnd);
+  tracer.Record(EventKind::kWalkHit);
+  cache.EndWalk();
+}
+
+// GOOD: begin/end paired, hit before end.
+void ProperWalk(Cache& cache, Tracer& tracer) {
+  cache.BeginWalk();
+  tracer.Record(EventKind::kWalkStep);
+  tracer.Record(EventKind::kWalkHit);
+  tracer.Record(EventKind::kWalkEnd);
+  cache.EndWalk();
+}
+
+// GOOD: abort path closes the bracket too.
+void AbortedWalk(Cache& cache, Tracer& tracer) {
+  cache.BeginWalk();
+  tracer.Record(EventKind::kWalkAbort);
+  cache.AbortWalk();
+}
+
+}  // namespace fx

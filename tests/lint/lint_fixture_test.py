@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Golden-file tests for tools/cpt_lint.py.
+
+Each fixture under tests/lint/fixtures/ carries seeded contract violations;
+tests/lint/expected/<fixture>.expected lists the findings the linter must
+produce, one `line:rule` per line (empty file = the linter must stay silent,
+which is how the suppression fixture is pinned).  On top of the goldens this
+runner exercises the baseline round-trip (grandfathering silences a finding,
+a *new* finding still fails) and --fix (autofixed files re-lint clean).
+
+Run directly or through ctest (`lint_fixtures`).  Exits non-zero with a
+unified diff of expected-vs-actual on any mismatch.
+"""
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+TEST_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TEST_DIR.parents[1]
+LINT = REPO_ROOT / "tools" / "cpt_lint.py"
+FIXTURES = TEST_DIR / "fixtures"
+EXPECTED = TEST_DIR / "expected"
+
+FAILURES = []
+
+
+def fail(name, message):
+    FAILURES.append(name)
+    print(f"FAIL {name}: {message}")
+
+
+def run_lint(*argv, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, str(LINT), *argv],
+        cwd=cwd, capture_output=True, text=True, check=False)
+
+
+def lint_findings(path, *extra):
+    proc = run_lint("--ignore-scope", "--no-baseline", "--json", *extra, str(path))
+    try:
+        data = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        raise AssertionError(
+            f"non-JSON linter output for {path}:\n{proc.stdout}\n{proc.stderr}")
+    return proc.returncode, data["findings"]
+
+
+def golden_tests():
+    fixtures = sorted(FIXTURES.glob("*.cc")) + sorted(FIXTURES.glob("*.h"))
+    assert fixtures, f"no fixtures found under {FIXTURES}"
+    for fixture in fixtures:
+        name = f"golden/{fixture.name}"
+        golden = EXPECTED / (fixture.name + ".expected")
+        if not golden.exists():
+            fail(name, f"missing golden file {golden}")
+            continue
+        want = [ln for ln in golden.read_text().splitlines() if ln.strip()]
+        code, findings = lint_findings(fixture)
+        got = [f"{f['line']}:{f['rule']}" for f in findings]
+        if got != want:
+            fail(name, "findings mismatch\n  expected: " + repr(want) +
+                 "\n  actual:   " + repr(got))
+            continue
+        want_code = 1 if want else 0
+        if code != want_code:
+            fail(name, f"exit code {code}, expected {want_code}")
+            continue
+        print(f"ok   {name} ({len(want)} findings)")
+
+
+def baseline_roundtrip_test():
+    """Grandfathered findings pass; a new finding still fails."""
+    name = "baseline/roundtrip"
+    fixture = FIXTURES / "determinism.cc"
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = Path(tmp) / "baseline.json"
+        # Grandfather the current findings.
+        proc = run_lint("--ignore-scope", "--baseline", str(baseline),
+                        "--write-baseline", str(fixture))
+        if proc.returncode != 0:
+            return fail(name, f"--write-baseline failed:\n{proc.stdout}{proc.stderr}")
+        # Same file against the fresh baseline: everything grandfathered.
+        proc = run_lint("--ignore-scope", "--baseline", str(baseline), str(fixture))
+        if proc.returncode != 0:
+            return fail(name, f"grandfathered run not clean:\n{proc.stdout}")
+        if "grandfathered" not in proc.stdout:
+            return fail(name, f"expected grandfathered count in:\n{proc.stdout}")
+        # Seed one more violation: a new finding must fail despite the baseline.
+        bad = Path(tmp) / "determinism.cc"
+        bad.write_text(fixture.read_text() +
+                       "\nnamespace fx { int Extra() { return std::rand(); } }\n")
+        proc = run_lint("--ignore-scope", "--baseline", str(baseline),
+                        "--root", tmp, str(bad))
+        if proc.returncode == 0:
+            return fail(name, f"new finding slipped past the baseline:\n{proc.stdout}")
+    print(f"ok   {name}")
+
+
+def fix_test():
+    """--fix rewrites raw assert()/<cassert>; the fixed file re-lints clean."""
+    name = "fix/raw_assert"
+    with tempfile.TemporaryDirectory() as tmp:
+        victim = Path(tmp) / "raw_assert.cc"
+        shutil.copy(FIXTURES / "raw_assert.cc", victim)
+        proc = run_lint("--ignore-scope", "--no-baseline", "--fix",
+                        "--rules", "check-macro-hygiene",
+                        "--root", tmp, str(victim))
+        del proc  # Exit code reflects pre-fix findings; re-lint decides.
+        text = victim.read_text()
+        if "CPT_DCHECK(v >= 0)" not in text:
+            return fail(name, f"assert not rewritten:\n{text}")
+        if "#include <cassert>" in text:
+            return fail(name, f"<cassert> include not removed:\n{text}")
+        # Only the (unfixable) raw aborts may remain.
+        code, findings = lint_findings(victim, "--root", tmp,
+                                       "--rules", "check-macro-hygiene")
+        leftover = {f["message"].split(";")[0] for f in findings}
+        if leftover != {'raw abort()'}:
+            return fail(name, f"unexpected post-fix findings: {findings}")
+    print(f"ok   {name}")
+
+
+def nodiscard_fix_test():
+    """--fix inserts [[nodiscard]] and the result re-lints clean."""
+    name = "fix/nodiscard"
+    with tempfile.TemporaryDirectory() as tmp:
+        victim = Path(tmp) / "nodiscard.h"
+        shutil.copy(FIXTURES / "nodiscard.h", victim)
+        run_lint("--ignore-scope", "--no-baseline", "--fix",
+                 "--rules", "nodiscard-query", "--root", tmp, str(victim))
+        text = victim.read_text()
+        if "[[nodiscard]] Result Lookup(" not in text:
+            return fail(name, f"[[nodiscard]] not inserted:\n{text}")
+        code, findings = lint_findings(victim, "--root", tmp,
+                                       "--rules", "nodiscard-query")
+        if code != 0 or findings:
+            return fail(name, f"post-fix findings remain: {findings}")
+    print(f"ok   {name}")
+
+
+def main():
+    golden_tests()
+    baseline_roundtrip_test()
+    fix_test()
+    nodiscard_fix_test()
+    if FAILURES:
+        print(f"\n{len(FAILURES)} lint fixture test(s) failed")
+        return 1
+    print("\nall lint fixture tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,9 @@ bool CombinationSupported(PtKind pt, TlbKind tlb) {
   if (!needs_sp) {
     return true;
   }
-  switch (pt) {
+  // Intentionally non-exhaustive: this is a filter naming the unsupported
+  // organizations, not a per-kind dispatch.
+  switch (pt) {  // cpt-lint: allow(exhaustive-enum-switch)
     case PtKind::kHashed:
     case PtKind::kHashedInverted:
       return false;

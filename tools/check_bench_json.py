@@ -16,7 +16,6 @@ Exit status 0 iff every file validates; failures print one line each.
 
 import argparse
 import json
-import re
 import sys
 from pathlib import Path
 
@@ -24,26 +23,47 @@ SCHEMA = "cpt-bench-report"
 SCHEMA_VERSION = 1
 
 # The single source of truth for event-kind names is the kEventKindNames
-# table in src/obs/trace.h; parse it at check time so the checker can never
-# drift from the C++ enum.
-DEFAULT_TRACE_HEADER = Path(__file__).resolve().parent.parent / "src" / "obs" / "trace.h"
+# table in src/obs/trace.h.  Rather than regex-scraping the header here,
+# this checker asks the project linter for its structured enum export
+# (`tools/cpt_lint.py --export-enums`) — one parser, shared by every
+# Python-side consumer, pinned to the compiled binary by the
+# `lint_enum_sync` ctest.
+TOOLS_DIR = Path(__file__).resolve().parent
 
 
-def load_event_kinds(header_path):
-    """Extracts the kEventKindNames string table from the obs trace header."""
-    text = Path(header_path).read_text(encoding="utf-8")
-    m = re.search(r"kEventKindNames\[[^\]]*\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
-    if m is None:
-        raise Failure(f"{header_path}: kEventKindNames table not found")
-    kinds = set(re.findall(r'"([^"]+)"', m.group(1)))
-    if not kinds:
-        raise Failure(f"{header_path}: kEventKindNames table is empty")
-    count = re.search(r"kEventKindCount\s*=\s*(\d+)", text)
-    if count and int(count.group(1)) != len(kinds):
+def load_event_kinds(enums_json=None):
+    """EventKind wire names from the linter's enum export.
+
+    `enums_json` may point to a pre-exported cpt-lint-enums JSON file
+    (useful for testing against a doctored export); by default the cpt_lint
+    module is imported and queried in-process.
+    """
+    if enums_json is not None:
+        doc = json.loads(Path(enums_json).read_text(encoding="utf-8"))
+    else:
+        sys.path.insert(0, str(TOOLS_DIR))
+        try:
+            import cpt_lint
+        finally:
+            sys.path.pop(0)
+        doc = cpt_lint.export_enums()
+    if doc.get("schema") != "cpt-lint-enums":
+        raise Failure(f"enum export has schema {doc.get('schema')!r}, "
+                      "expected 'cpt-lint-enums'")
+    entry = doc.get("enums", {}).get("EventKind")
+    if entry is None:
+        raise Failure("enum export has no EventKind entry")
+    names = entry.get("names")
+    if not names:
+        raise Failure("EventKind export carries no kEventKindNames table")
+    if len(names) != len(entry["enumerators"]):
         raise Failure(
-            f"{header_path}: kEventKindCount={count.group(1)} but "
-            f"{len(kinds)} names parsed")
-    return kinds
+            f"EventKind has {len(entry['enumerators'])} enumerators but "
+            f"{len(names)} wire names")
+    count = entry.get("count")
+    if count is not None and count != len(names):
+        raise Failure(f"kEventKindCount={count} but {len(names)} names exported")
+    return set(names)
 
 
 # Populated in main() from --trace-header (or the in-repo default).
@@ -239,17 +259,33 @@ def main():
                         help="--trace JSONL files")
     parser.add_argument("--perfetto", action="append", default=[],
                         help="--perfetto Chrome trace-event files")
-    parser.add_argument("--trace-header", default=str(DEFAULT_TRACE_HEADER),
-                        help="obs trace header defining kEventKindNames")
+    parser.add_argument("--enums-json", default=None,
+                        help="pre-exported cpt-lint-enums JSON (default: "
+                             "import tools/cpt_lint.py and export in-process)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the cpt_lint enum import path and exit")
     args = parser.parse_args()
-    if not args.reports and not args.trace and not args.perfetto:
+    if not args.self_test and not args.reports and not args.trace and not args.perfetto:
         parser.error("nothing to check")
 
     try:
-        EVENT_KINDS.update(load_event_kinds(args.trace_header))
-    except (Failure, OSError) as e:
-        print(f"FAIL {args.trace_header}: {e}")
+        EVENT_KINDS.update(load_event_kinds(args.enums_json))
+    except (Failure, OSError, json.JSONDecodeError) as e:
+        print(f"FAIL loading event kinds: {e}")
         return 1
+
+    if args.self_test:
+        # The protocol kinds every bench trace is built from must be present;
+        # their absence means the cpt_lint import or parse went wrong.
+        core = {"tlb_hit", "tlb_miss", "walk_step", "walk_hit", "walk_end",
+                "walk_abort", "page_fault"}
+        missing = core - EVENT_KINDS
+        if missing:
+            print(f"FAIL self-test: core event kinds missing: {sorted(missing)}")
+            return 1
+        print(f"OK   self-test: {len(EVENT_KINDS)} event kinds via cpt_lint "
+              f"({', '.join(sorted(core))}, ...)")
+        return 0
 
     failed = False
     for path in args.reports:

@@ -1,0 +1,1179 @@
+#!/usr/bin/env python3
+"""cpt-lint: project-specific static analysis for the clustered-page-table simulator.
+
+The simulator's headline numbers are pure counting metrics, so the repo's
+correctness story is contract discipline: walk events must stay paired,
+switches over contract enums must stay exhaustive, enum<->name tables must
+stay in sync, and nothing nondeterministic may leak into simulated counts.
+The runtime half of those contracts lives in src/check (StructuralAuditor,
+ShadowedPageTable); this tool is the static half, run at build/CI time
+before a trace is ever produced.
+
+Stdlib-only, tokenizer-based (no libclang).  The tokenizer understands
+comments, string/char literals (including raw strings), preprocessor
+directives, and multi-character operators; rules pattern-match over the
+token stream, which is exact enough for this codebase's styled C++ and
+fails loudly (via the fixture tests) when it is not.
+
+Rules (see DESIGN.md "Static analysis" for the catalog and policy):
+
+  exhaustive-enum-switch  switches over contract enums (EventKind,
+                          MappingKind, SegmentKind, ...) must list every
+                          enumerator or carry a suppression.
+  name-table-sync         k<Enum>Names arrays need an adjacent
+                          static_assert and one entry per enumerator.
+  walk-protocol-pairing   BeginWalk must pair with EndWalk/AbortWalk (or
+                          WalkScope) in the same function; a function
+                          emitting both kWalkHit and kWalkEnd must emit
+                          the hit first.
+  check-macro-hygiene     no raw assert()/abort()/<cassert> in simulator
+                          code; use CPT_CHECK / CPT_DCHECK.
+  determinism-guards      no rand()/time()/std::random_device outside
+                          common/rng.h; no float literal ==/!= compares.
+  include-guard           headers use canonical CPT_..._H_ guards with a
+                          matching  #endif  //  comment.
+  nodiscard-query         Lookup/LookupKey query methods in headers must
+                          be [[nodiscard]].
+
+Suppressions:
+  // cpt-lint: allow(rule[, rule])   suppress on this line (trailing) or,
+                                     when the comment stands alone, on the
+                                     comment line and the next line.
+  // cpt-lint: off(rule)  ...  // cpt-lint: on(rule)
+                                     block suppression (to end of file when
+                                     never turned back on).
+
+Baseline: findings fingerprinted as rule + path + message (line-number
+free) may be grandfathered in tools/cpt_lint_baseline.json; anything not
+in the baseline fails the run.  CI keeps the baseline empty.
+
+Usage:
+  tools/cpt_lint.py --all              lint the whole tree (gating)
+  tools/cpt_lint.py src/pt/hashed.cc   lint specific files
+  tools/cpt_lint.py --all --json       machine-readable findings
+  tools/cpt_lint.py --all --fix        apply fixes for mechanical rules
+  tools/cpt_lint.py --export-enums     JSON dump of enums + name tables
+                                       (consumed by check_bench_json.py)
+"""
+
+import argparse
+import fnmatch
+import json
+import re
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "cpt_lint_baseline.json"
+
+# Directory roots scanned by --all, relative to the repo root.
+LINT_ROOTS = ("src", "bench", "examples", "tests", "tools")
+SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
+# Known-bad lint-test inputs must never gate the real tree.
+EXCLUDED_GLOBS = ("tests/lint/fixtures/*",)
+
+# Enums whose switches must stay exhaustive as enumerators are added.
+# Deliberately broad: every closed-vocabulary enum in the simulator's
+# contracts.  A switch that intentionally handles a subset carries a
+# suppression explaining why.
+CONTRACT_ENUMS = {
+    "EventKind", "WalkHitClass", "SegmentClass", "SegmentKind",
+    "MappingKind", "LookupOutcome", "PtKind", "TlbKind", "AccessPattern",
+    "PteStrategy", "GroupState", "GroupStateView", "NodeKind", "SizeModel",
+    "SearchOrder", "HashKind", "NodePlacement", "AuditVerdict",
+}
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+NUM_RE = re.compile(r"\.?[0-9](?:[0-9a-zA-Z_'.]|[eEpP][+-])*")
+RAW_PREFIX_RE = re.compile(r"^(?:u8|u|U|L)?R$")
+MULTI_OPS = sorted(
+    ["::", "->", "++", "--", "<<=", ">>=", "<<", ">>", "<=>", "<=", ">=",
+     "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+     "^=", "->*", ".*", "..."],
+    key=len, reverse=True)
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "pos")
+
+    def __init__(self, kind, text, line, pos):
+        self.kind = kind  # id | num | str | chr | punct
+        self.text = text
+        self.line = line
+        self.pos = pos
+
+    def __repr__(self):
+        return f"Token({self.kind},{self.text!r},L{self.line})"
+
+
+class Comment:
+    __slots__ = ("line", "end_line", "text", "standalone")
+
+    def __init__(self, line, end_line, text, standalone):
+        self.line = line
+        self.end_line = end_line
+        self.text = text
+        self.standalone = standalone
+
+
+class Directive:
+    __slots__ = ("line", "text", "pos", "end")
+
+    def __init__(self, line, text, pos, end):
+        self.line = line
+        self.text = text
+        self.pos = pos  # byte offset of '#'
+        self.end = end  # byte offset one past the directive's last char
+
+
+def tokenize(text):
+    """Returns (tokens, comments, directives) for one C++ source string."""
+    tokens, comments, directives = [], [], []
+    i, line, n = 0, 1, len(text)
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#" and at_line_start:
+            start, start_line = i, line
+            while i < n and text[i] != "\n":
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    i += 2
+                    line += 1
+                    continue
+                if text[i:i + 2] == "/*":  # comment inside a directive
+                    j = text.find("*/", i + 2)
+                    j = n if j < 0 else j + 2
+                    line += text.count("\n", i, j)
+                    i = j
+                    continue
+                i += 1
+            directives.append(Directive(start_line, text[start:i], start, i))
+            continue
+        if c == "/" and text[i:i + 2] == "//":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            comments.append(Comment(line, line, text[i:j], at_line_start))
+            i = j
+            continue
+        if c == "/" and text[i:i + 2] == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            body = text[i:j]
+            comments.append(Comment(line, line + body.count("\n"), body, at_line_start))
+            line += body.count("\n")
+            i = j
+            continue
+        at_line_start = False
+        if c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            j = min(j + 1, n)
+            tokens.append(Token("str", text[i:j], line, i))
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            j = min(j + 1, n)
+            tokens.append(Token("chr", text[i:j], line, i))
+            i = j
+            continue
+        m = ID_RE.match(text, i)
+        if m:
+            word = m.group(0)
+            # Raw string literal: R"delim( ... )delim" (any encoding prefix).
+            if RAW_PREFIX_RE.match(word) and m.end() < n and text[m.end()] == '"':
+                dend = text.find("(", m.end())
+                delim = text[m.end() + 1:dend]
+                close = text.find(")" + delim + '"', dend)
+                close = n if close < 0 else close + len(delim) + 2
+                tokens.append(Token("str", text[i:close], line, i))
+                line += text.count("\n", i, close)
+                i = close
+                continue
+            tokens.append(Token("id", word, line, i))
+            i = m.end()
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            m = NUM_RE.match(text, i)
+            tokens.append(Token("num", m.group(0), line, i))
+            i = m.end()
+            continue
+        for op in MULTI_OPS:
+            if text.startswith(op, i):
+                tokens.append(Token("punct", op, line, i))
+                i += len(op)
+                break
+        else:
+            tokens.append(Token("punct", c, line, i))
+            i += 1
+    return tokens, comments, directives
+
+
+def is_float_literal(tok):
+    if tok.kind != "num":
+        return False
+    t = tok.text.replace("'", "")
+    while t and t[-1] in "fFlL":
+        t = t[:-1]
+    if t.startswith(("0x", "0X")):
+        return False
+    return "." in t or "e" in t or "E" in t
+
+
+# ---------------------------------------------------------------------------
+# Source files and suppressions
+# ---------------------------------------------------------------------------
+
+SUPP_RE = re.compile(r"cpt-lint:\s*(allow|off|on)\s*\(\s*([A-Za-z0-9_,\s\-]*?)\s*\)")
+
+
+class SourceFile:
+    def __init__(self, path, root=REPO_ROOT):
+        self.path = Path(path)
+        try:
+            self.rel = self.path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            self.rel = self.path.as_posix()
+        self.text = self.path.read_text(encoding="utf-8")
+        self.tokens, self.comments, self.directives = tokenize(self.text)
+        self._allow = {}   # line -> set(rule)
+        self._blocks = []  # (rule, start_line, end_line_inclusive)
+        self._parse_suppressions()
+
+    def _parse_suppressions(self):
+        open_blocks = {}  # rule -> start line
+        max_line = self.text.count("\n") + 1
+        for comment in self.comments:
+            for m in SUPP_RE.finditer(comment.text):
+                verb = m.group(1)
+                rules = [r.strip() for r in m.group(2).split(",") if r.strip()]
+                for rule in rules:
+                    if rule not in RULES:
+                        print(f"{self.rel}:{comment.line}: warning: suppression names "
+                              f"unknown rule '{rule}'", file=sys.stderr)
+                        continue
+                    if verb == "allow":
+                        self._allow.setdefault(comment.line, set()).add(rule)
+                        if comment.standalone:
+                            self._allow.setdefault(comment.end_line + 1, set()).add(rule)
+                    elif verb == "off":
+                        open_blocks.setdefault(rule, comment.line)
+                    elif verb == "on":
+                        start = open_blocks.pop(rule, None)
+                        if start is not None:
+                            self._blocks.append((rule, start, comment.line))
+        for rule, start in open_blocks.items():
+            self._blocks.append((rule, start, max_line))
+
+    def suppressed(self, rule, line):
+        if rule in self._allow.get(line, ()):
+            return True
+        return any(r == rule and s <= line <= e for r, s, e in self._blocks)
+
+
+class Finding:
+    def __init__(self, rule, sf, line, message, fixes=None):
+        self.rule = rule
+        self.path = sf.rel
+        self.line = line
+        self.message = message
+        self.fixes = fixes or []  # [(start_offset, end_offset, replacement)]
+
+    @property
+    def fingerprint(self):
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_json(self):
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message, "fixable": bool(self.fixes),
+                "fingerprint": self.fingerprint}
+
+
+# ---------------------------------------------------------------------------
+# Project-wide context: enums, count constants, name tables
+# ---------------------------------------------------------------------------
+
+class EnumDef:
+    def __init__(self, name, sf, line, enumerators):
+        self.name = name
+        self.file = sf.rel
+        self.line = line
+        self.enumerators = enumerators
+
+
+class NameTable:
+    def __init__(self, name, sf, line, end_line, strings, tok_range):
+        self.name = name
+        self.file = sf.rel
+        self.line = line
+        self.end_line = end_line
+        self.strings = strings
+        self.tok_range = tok_range  # (first_index, semicolon_index)
+
+
+def _match_paren(tokens, i, open_ch, close_ch):
+    """tokens[i] must be open_ch; returns index of the matching close_ch."""
+    depth = 0
+    while i < len(tokens):
+        t = tokens[i].text
+        if t == open_ch:
+            depth += 1
+        elif t == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(tokens) - 1
+
+
+def parse_enums(sf):
+    out = []
+    toks = sf.tokens
+    i = 0
+    while i < len(toks):
+        if toks[i].text != "enum" or toks[i].kind != "id":
+            i += 1
+            continue
+        j = i + 1
+        if j < len(toks) and toks[j].text in ("class", "struct"):
+            j += 1
+        if j >= len(toks) or toks[j].kind != "id":
+            i = j
+            continue
+        name_tok = toks[j]
+        j += 1
+        while j < len(toks) and toks[j].text not in ("{", ";"):
+            j += 1  # underlying-type clause
+        if j >= len(toks) or toks[j].text != "{":
+            i = j  # forward declaration
+            continue
+        close = _match_paren(toks, j, "{", "}")
+        enumerators = []
+        expect_name = True
+        depth = 0
+        for k in range(j + 1, close):
+            t = toks[k]
+            if t.text in ("(", "{", "["):
+                depth += 1
+            elif t.text in (")", "}", "]"):
+                depth -= 1
+            elif depth == 0 and t.text == ",":
+                expect_name = True
+            elif depth == 0 and expect_name and t.kind == "id":
+                enumerators.append(t.text)
+                expect_name = False
+        out.append(EnumDef(name_tok.text, sf, name_tok.line, enumerators))
+        i = close + 1
+    return out
+
+
+COUNT_CONST_RE = re.compile(r"^k\w*Count$")
+NAME_TABLE_RE = re.compile(r"^k[A-Z]\w*Names$")
+
+
+def parse_count_consts(sf):
+    out = {}
+    toks = sf.tokens
+    for i, t in enumerate(toks):
+        if (t.kind == "id" and COUNT_CONST_RE.match(t.text)
+                and i + 2 < len(toks) and toks[i + 1].text == "="
+                and toks[i + 2].kind == "num"):
+            try:
+                out[t.text] = int(toks[i + 2].text.replace("'", ""), 0)
+            except ValueError:
+                pass
+    return out
+
+
+def parse_name_tables(sf):
+    out = []
+    toks = sf.tokens
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if not (t.kind == "id" and NAME_TABLE_RE.match(t.text)):
+            i += 1
+            continue
+        j = i + 1
+        if j >= len(toks) or toks[j].text != "[":
+            i += 1
+            continue
+        j = _match_paren(toks, j, "[", "]") + 1
+        if j + 1 >= len(toks) or toks[j].text != "=" or toks[j + 1].text != "{":
+            i += 1  # an indexing use, not a definition
+            continue
+        close = _match_paren(toks, j + 1, "{", "}")
+        depth = 0
+        strings = []
+        for k in range(j + 2, close):
+            tk = toks[k]
+            if tk.text in ("{", "(", "["):
+                depth += 1
+            elif tk.text in ("}", ")", "]"):
+                depth -= 1
+            elif depth == 0 and tk.kind == "str":
+                strings.append(json_unquote(tk.text))
+        semi = close + 1 if close + 1 < len(toks) and toks[close + 1].text == ";" else close
+        out.append(NameTable(t.text, sf, t.line, toks[semi].line, strings, (i, semi)))
+        i = semi + 1
+    return out
+
+
+def json_unquote(cpp_string_token):
+    """Decodes a simple C++ string literal token to its value."""
+    s = cpp_string_token
+    if s.startswith(("u8", "u", "U", "L")):
+        s = s.lstrip("u8UL")
+    if s.startswith('R"'):
+        body = s[2:-1]
+        delim, _, rest = body.partition("(")
+        return rest[: len(rest) - len(delim) - 1] if delim else rest[:-1]
+    try:
+        return json.loads(s)
+    except (json.JSONDecodeError, ValueError):
+        return s.strip('"')
+
+
+class Project:
+    """Cross-file context shared by all rules."""
+
+    def __init__(self, files):
+        self.files = files
+        self.enums = {}         # name -> [EnumDef]
+        self.count_consts = {}  # name -> int
+        self.name_tables = []   # [NameTable]
+        for sf in files:
+            for e in parse_enums(sf):
+                self.enums.setdefault(e.name, []).append(e)
+            self.count_consts.update(parse_count_consts(sf))
+            self.name_tables.extend(parse_name_tables(sf))
+
+    def enum_for_switch(self, name, seen_enumerators, rel=None):
+        """The unique EnumDef consistent with the observed case labels.
+
+        A definition in the file being linted shadows same-named enums
+        elsewhere (test fixtures and doubles clone contract enums locally).
+        """
+        defs = self.enums.get(name, [])
+        consistent = [d for d in defs if seen_enumerators <= set(d.enumerators)]
+        if rel is not None:
+            local = [d for d in consistent if d.file == rel]
+            if local:
+                consistent = local
+        if len(consistent) == 1:
+            return consistent[0]
+        if consistent and all(set(d.enumerators) == set(consistent[0].enumerators)
+                              for d in consistent):
+            return consistent[0]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Rule framework
+# ---------------------------------------------------------------------------
+
+RULES = {}
+
+
+class Rule:
+    name = ""
+    help = ""
+    # fnmatch globs over repo-relative posix paths; empty = all lintable files.
+    include = ()
+    exclude = ()
+
+    def applies(self, rel):
+        if self.exclude and any(fnmatch.fnmatch(rel, g) for g in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(fnmatch.fnmatch(rel, g) for g in self.include)
+
+    def check(self, sf, project):
+        raise NotImplementedError
+
+
+def register(cls):
+    RULES[cls.name] = cls()
+    return cls
+
+
+# ---- exhaustive-enum-switch -----------------------------------------------
+
+@register
+class ExhaustiveEnumSwitch(Rule):
+    name = "exhaustive-enum-switch"
+    help = ("switch statements over contract enums must list every enumerator "
+            "(or carry a suppression explaining the subset)")
+
+    def check(self, sf, project):
+        findings = []
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind == "id" and t.text == "switch":
+                self._check_switch(sf, project, toks, i, findings)
+        return findings
+
+    def _check_switch(self, sf, project, toks, i, findings):
+        # Find the controlled body: switch ( cond ) { ... }
+        j = i + 1
+        if j >= len(toks) or toks[j].text != "(":
+            return
+        j = _match_paren(toks, j, "(", ")") + 1
+        if j >= len(toks) or toks[j].text != "{":
+            return
+        close = _match_paren(toks, j, "{", "}")
+        labels = {}  # enum name -> set(enumerator)
+        k = j + 1
+        while k < close:
+            tk = toks[k]
+            if tk.kind == "id" and tk.text == "switch":
+                # Nested switch: its labels belong to it, not to us (the
+                # outer token scan in check() will visit it on its own).
+                nj = k + 1
+                if nj < len(toks) and toks[nj].text == "(":
+                    nj = _match_paren(toks, nj, "(", ")") + 1
+                if nj < len(toks) and toks[nj].text == "{":
+                    k = _match_paren(toks, nj, "{", "}") + 1
+                    continue
+            if tk.kind == "id" and tk.text == "case":
+                ids = []
+                k += 1
+                while k < close and toks[k].text != ":":
+                    if toks[k].kind == "id":
+                        ids.append(toks[k].text)
+                    k += 1
+                if len(ids) >= 2:
+                    labels.setdefault(ids[-2], set()).add(ids[-1])
+                continue
+            k += 1
+        for enum_name, seen in labels.items():
+            if enum_name not in CONTRACT_ENUMS:
+                continue
+            enum_def = project.enum_for_switch(enum_name, seen, sf.rel)
+            if enum_def is None:
+                continue
+            missing = sorted(set(enum_def.enumerators) - seen)
+            if not missing:
+                continue
+            shown = ", ".join(missing[:6]) + (", ..." if len(missing) > 6 else "")
+            findings.append(Finding(
+                self.name, sf, toks[i].line,
+                f"switch over {enum_name} is missing {len(missing)} of "
+                f"{len(enum_def.enumerators)} enumerators: {shown}"))
+
+
+# ---- name-table-sync -------------------------------------------------------
+
+@register
+class NameTableSync(Rule):
+    name = "name-table-sync"
+    help = ("k<Enum>Names arrays must sit adjacent to a static_assert tying "
+            "their length to the enum, and carry one entry per enumerator")
+    ADJACENT_LINES = 4
+
+    def check(self, sf, project):
+        findings = []
+        asserts = self._static_assert_spans(sf)
+        for table in (t for t in project.name_tables if t.file == sf.rel):
+            if not self._has_adjacent_assert(table, asserts):
+                findings.append(Finding(
+                    self.name, sf, table.line,
+                    f"name table {table.name} has no adjacent "
+                    f"static_assert(std::size({table.name}) == ...) within "
+                    f"{self.ADJACENT_LINES} lines"))
+            enum_name = table.name[1:-len("Names")]
+            enum_def = project.enum_for_switch(enum_name, set(), sf.rel)
+            if enum_def is not None and len(table.strings) != len(enum_def.enumerators):
+                findings.append(Finding(
+                    self.name, sf, table.line,
+                    f"{table.name} has {len(table.strings)} entries but enum "
+                    f"{enum_name} has {len(enum_def.enumerators)} enumerators"))
+        return findings
+
+    @staticmethod
+    def _static_assert_spans(sf):
+        spans = []
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind == "id" and t.text == "static_assert" and i + 1 < len(toks) \
+                    and toks[i + 1].text == "(":
+                close = _match_paren(toks, i + 1, "(", ")")
+                names = {tk.text for tk in toks[i + 2:close] if tk.kind == "id"}
+                spans.append((t.line, toks[close].line, names))
+        return spans
+
+    def _has_adjacent_assert(self, table, asserts):
+        for start, end, names in asserts:
+            if table.name not in names:
+                continue
+            if (abs(start - table.end_line) <= self.ADJACENT_LINES
+                    or abs(end - table.line) <= self.ADJACENT_LINES):
+                return True
+        return False
+
+
+# ---- walk-protocol-pairing -------------------------------------------------
+
+def function_bodies(toks):
+    """Yields (start_index, end_index) spans of function bodies.
+
+    Heuristic: a '{' opens a function body when, scanning back over type
+    and specifier tokens, the previous structural token is ')'.  Nested
+    braces (blocks, lambdas, initializers) inside a body are part of it.
+    """
+    skippable = {"const", "noexcept", "override", "final", "mutable", "&", "&&",
+                 "->", "::", "<", ">", ",", "*", "]", "[", "try"}
+    depth = 0
+    fn_start = fn_depth = None
+    for i, t in enumerate(toks):
+        if t.text == "{":
+            if fn_start is None and _is_function_header(toks, i, skippable):
+                fn_start, fn_depth = i, depth
+            depth += 1
+        elif t.text == "}":
+            depth -= 1
+            if fn_start is not None and depth == fn_depth:
+                yield fn_start, i
+                fn_start = fn_depth = None
+
+
+def _is_function_header(toks, brace_index, skippable):
+    j = brace_index - 1
+    budget = 24
+    while j >= 0 and budget > 0:
+        t = toks[j]
+        if t.text == ")":
+            return True
+        if t.kind == "id" and (t.text in skippable or ID_RE.match(t.text)):
+            # Identifiers cover trailing return types and ctor-init names;
+            # anything structural ends the scan below.
+            j -= 1
+            budget -= 1
+            continue
+        if t.text in skippable:
+            j -= 1
+            budget -= 1
+            continue
+        return False
+    return False
+
+
+@register
+class WalkProtocolPairing(Rule):
+    name = "walk-protocol-pairing"
+    help = ("BeginWalk() needs a matching EndWalk()/AbortWalk() (or WalkScope) "
+            "in the same function, and kWalkHit must be emitted before kWalkEnd")
+    include = ("src/pt/*", "src/tlb/*", "src/mem/*", "src/sim/*", "src/core/*",
+               "src/os/*", "tests/lint/fixtures/*")
+    # The cache model defines the walk brackets themselves (WalkScope's ctor
+    # and dtor intentionally split the pair across two bodies).
+    exclude = ("src/mem/cache_model.h", "src/mem/cache_model.cc")
+
+    WALK_EVENTS = ("kWalkHit", "kWalkEnd", "kWalkAbort", "kWalkStep")
+
+    def check(self, sf, project):
+        findings = []
+        toks = sf.tokens
+        for start, end in function_bodies(toks):
+            self._check_body(sf, toks, start, end, findings)
+        return findings
+
+    def _check_body(self, sf, toks, start, end, findings):
+        begin = finish = None
+        emissions = []  # (event_name, line) inside Record(...) calls
+        i = start
+        while i <= end:
+            t = toks[i]
+            prev = toks[i - 1].text if i > 0 else ""
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            if t.kind == "id" and prev in (".", "->") and nxt == "(":
+                if t.text == "BeginWalk" and begin is None:
+                    begin = t
+                elif t.text in ("EndWalk", "AbortWalk") and finish is None:
+                    finish = t
+            if t.kind == "id" and t.text == "WalkScope" and finish is None:
+                finish = t
+            if t.kind == "id" and t.text == "Record" and nxt == "(":
+                close = _match_paren(toks, i + 1, "(", ")")
+                for k in range(i + 2, close):
+                    tk = toks[k]
+                    if tk.kind == "id" and tk.text in self.WALK_EVENTS \
+                            and toks[k - 1].text == "::":
+                        emissions.append((tk.text, tk.line))
+                i = close + 1
+                continue
+            i += 1
+        if begin is not None and finish is None:
+            findings.append(Finding(
+                self.name, sf, begin.line,
+                "BeginWalk() without a matching EndWalk()/AbortWalk() or "
+                "WalkScope in the same function"))
+        hit = next((line for name, line in emissions if name == "kWalkHit"), None)
+        walk_end = next((line for name, line in emissions if name == "kWalkEnd"), None)
+        if hit is not None and walk_end is not None and walk_end < hit:
+            findings.append(Finding(
+                self.name, sf, walk_end,
+                "kWalkEnd emitted before kWalkHit in the same function "
+                "(the hit marker must precede the walk-end bracket)"))
+
+
+# ---- check-macro-hygiene ---------------------------------------------------
+
+@register
+class CheckMacroHygiene(Rule):
+    name = "check-macro-hygiene"
+    help = ("simulator code uses CPT_CHECK/CPT_DCHECK, never raw assert()/"
+            "abort()/<cassert>")
+    include = ("src/*", "bench/*", "examples/*", "tools/*", "tests/lint/fixtures/*")
+
+    INCLUDE_RE = re.compile(r"#\s*include\s*[<\"](cassert|assert\.h)[>\"]")
+
+    def check(self, sf, project):
+        findings = []
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            prev = toks[i - 1].text if i > 0 else ""
+            if t.kind != "id" or nxt != "(":
+                continue
+            if t.text == "assert" and prev not in (".", "->"):
+                findings.append(Finding(
+                    self.name, sf, t.line,
+                    "raw assert(); use CPT_DCHECK (hot path) or CPT_CHECK "
+                    "(always-on) from common/check.h",
+                    fixes=[(t.pos, t.pos + len(t.text), "CPT_DCHECK")]))
+            elif t.text == "abort" and prev not in (".", "->"):
+                findings.append(Finding(
+                    self.name, sf, t.line,
+                    "raw abort(); use CPT_CHECK(false, \"reason\") so the "
+                    "failure prints expression and location"))
+        for d in sf.directives:
+            if self.INCLUDE_RE.search(d.text):
+                findings.append(Finding(
+                    self.name, sf, d.line,
+                    "#include <cassert> in simulator code; include "
+                    "common/check.h instead",
+                    fixes=[(d.pos, min(d.end + 1, len(sf.text)), "")]))
+        return findings
+
+
+# ---- determinism-guards ----------------------------------------------------
+
+@register
+class DeterminismGuards(Rule):
+    name = "determinism-guards"
+    help = ("all randomness flows through common/rng.h and all timing through "
+            "obs/timer.h; no float-literal ==/!= comparisons")
+    include = ("src/*", "bench/*", "examples/*", "tests/*")
+    exclude = ("src/common/rng.h",)
+
+    BANNED_CALLS = {"rand", "srand", "drand48", "random", "time", "clock",
+                    "gettimeofday", "timespec_get"}
+    BANNED_TYPES = {"random_device"}
+
+    def check(self, sf, project):
+        findings = []
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            prev = toks[i - 1].text if i > 0 else ""
+            if t.kind == "id" and t.text in self.BANNED_TYPES:
+                findings.append(Finding(
+                    self.name, sf, t.line,
+                    f"std::{t.text} is nondeterministic; seed a cpt::Rng "
+                    "(common/rng.h) instead"))
+            elif (t.kind == "id" and t.text in self.BANNED_CALLS
+                    and nxt == "(" and prev not in (".", "->")):
+                findings.append(Finding(
+                    self.name, sf, t.line,
+                    f"{t.text}() breaks run-to-run reproducibility; use "
+                    "cpt::Rng (common/rng.h) for randomness or obs/timer.h "
+                    "for timing"))
+            elif t.text in ("==", "!=") and (
+                    (i > 0 and is_float_literal(toks[i - 1]))
+                    or (i + 1 < len(toks) and is_float_literal(toks[i + 1]))):
+                findings.append(Finding(
+                    self.name, sf, t.line,
+                    "exact float comparison against a literal; compare "
+                    "integers or use an explicit tolerance"))
+        return findings
+
+
+# ---- include-guard ---------------------------------------------------------
+
+IFNDEF_RE = re.compile(r"#\s*ifndef\s+(\w+)")
+DEFINE_RE = re.compile(r"#\s*define\s+(\w+)")
+ENDIF_RE = re.compile(r"#\s*endif(?:\s*//\s*(\w+))?")
+PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once")
+
+
+@register
+class IncludeGuard(Rule):
+    name = "include-guard"
+    help = ("headers carry canonical CPT_<PATH>_H_ guards with a matching "
+            "'#endif  // <GUARD>' trailer")
+    include = ("src/*.h", "src/*/*.h", "bench/*.h", "tests/lint/fixtures/*.h")
+
+    @staticmethod
+    def expected_guard(rel):
+        parts = Path(rel).parts
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        stem = Path(parts[-1]).stem
+        pieces = [p.upper() for p in parts[:-1]] + [stem.upper()]
+        return "CPT_" + "_".join(re.sub(r"[^A-Z0-9]", "_", p) for p in pieces) + "_H_"
+
+    def check(self, sf, project):
+        if not sf.rel.endswith((".h", ".hpp")):
+            return []  # Intrinsically a header rule, even under --ignore-scope.
+        want = self.expected_guard(sf.rel)
+        findings = []
+        ds = sf.directives
+        if any(PRAGMA_ONCE_RE.search(d.text) for d in ds):
+            findings.append(Finding(
+                self.name, sf, 1,
+                f"#pragma once; use the canonical guard {want}"))
+            return findings
+        if len(ds) < 3:
+            findings.append(Finding(
+                self.name, sf, 1, f"missing include guard {want}"))
+            return findings
+        first, second, last = ds[0], ds[1], ds[-1]
+        m_if, m_def = IFNDEF_RE.match(first.text), DEFINE_RE.match(second.text)
+        m_end = ENDIF_RE.match(last.text)
+        if not m_if or not m_def or not m_end:
+            findings.append(Finding(
+                self.name, sf, first.line,
+                f"header does not open with #ifndef/#define and close with "
+                f"#endif (expected guard {want})"))
+            return findings
+        got_if, got_def = m_if.group(1), m_def.group(1)
+        if got_if != want or got_def != want:
+            findings.append(Finding(
+                self.name, sf, first.line,
+                f"include guard is {got_if} (expected {want})",
+                fixes=[(first.pos, first.end, f"#ifndef {want}"),
+                       (second.pos, second.end, f"#define {want}")]
+                if got_if == got_def else []))
+        if m_end.group(1) != want and got_if == want:
+            findings.append(Finding(
+                self.name, sf, last.line,
+                f"#endif lacks the '  // {want}' trailer",
+                fixes=[(last.pos, last.end, f"#endif  // {want}")]))
+        return findings
+
+
+# ---- nodiscard-query -------------------------------------------------------
+
+@register
+class NodiscardQuery(Rule):
+    name = "nodiscard-query"
+    help = ("Lookup/LookupKey query declarations in headers must be "
+            "[[nodiscard]]: discarding a fill is always a bug")
+    include = ("src/*.h", "src/*/*.h", "tests/lint/fixtures/*.h")
+
+    QUERY_METHODS = {"Lookup", "LookupKey"}
+    DECL_STOP = {";", "{", "}"}
+
+    def check(self, sf, project):
+        findings = []
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.text not in self.QUERY_METHODS:
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].text != "(":
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            if prev is None or prev.text in (".", "->", "::", "(", ",", "=", "return", "!"):
+                continue  # a call, not a declaration
+            decl_start, prefix = self._decl_prefix(toks, i)
+            texts = [p.text for p in prefix]
+            if not texts or texts[-1] == "void":
+                continue  # void return: nothing to discard
+            if "nodiscard" in texts:
+                continue
+            first = toks[decl_start]
+            findings.append(Finding(
+                self.name, sf, t.line,
+                f"{t.text}() returns a value callers must not drop; declare "
+                f"it [[nodiscard]]",
+                fixes=[(first.pos, first.pos, "[[nodiscard]] ")]))
+        return findings
+
+    def _decl_prefix(self, toks, name_index):
+        j = name_index - 1
+        while j >= 0:
+            t = toks[j]
+            if t.text in self.DECL_STOP:
+                break
+            if t.text == ":" and j > 0 and toks[j - 1].text in (
+                    "public", "private", "protected"):
+                break
+            j -= 1
+        start = j + 1
+        return start, toks[start:name_index]
+
+
+# ---------------------------------------------------------------------------
+# Enum export (the single source of truth for Python-side validators)
+# ---------------------------------------------------------------------------
+
+def export_enums_data(project):
+    enums = {}
+    for name, defs in sorted(project.enums.items()):
+        d = defs[0]
+        entry = {
+            "file": d.file,
+            "line": d.line,
+            "enumerators": d.enumerators,
+        }
+        count_name = f"k{name}Count"
+        if count_name in project.count_consts:
+            entry["count_constant"] = count_name
+            entry["count"] = project.count_consts[count_name]
+        table = next((t for t in project.name_tables if t.name == f"k{name}Names"), None)
+        if table is not None:
+            entry["names"] = table.strings
+            entry["names_table"] = {"name": table.name, "file": table.file,
+                                    "line": table.line}
+        enums[name] = entry
+    return {"schema": "cpt-lint-enums", "version": 1, "enums": enums}
+
+
+def export_enums(root=REPO_ROOT, roots=("src",)):
+    """Module API for check_bench_json.py and the agreement tests."""
+    files = collect_source_files(root, roots=roots)
+    return export_enums_data(Project(files))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def collect_source_files(root=REPO_ROOT, roots=LINT_ROOTS):
+    out = []
+    root = Path(root)
+    for sub in roots:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            if any(fnmatch.fnmatch(rel, g) for g in EXCLUDED_GLOBS):
+                continue
+            out.append(SourceFile(path, root=root))
+    return out
+
+
+def run_rules(files, project, rule_names=None, ignore_scope=False):
+    findings = []
+    for sf in files:
+        for name, rule in RULES.items():
+            if rule_names is not None and name not in rule_names:
+                continue
+            if not ignore_scope and not rule.applies(sf.rel):
+                continue
+            for f in rule.check(sf, project):
+                if not sf.suppressed(f.rule, f.line):
+                    findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def load_baseline(path):
+    if path is None or not Path(path).exists():
+        return Counter()
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return Counter(data.get("findings", {}))
+
+
+def write_baseline(path, findings):
+    counts = Counter(f.fingerprint for f in findings)
+    payload = {"schema": "cpt-lint-baseline", "version": 1,
+               "findings": dict(sorted(counts.items()))}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(findings, baseline):
+    """Returns (new_findings, grandfathered, stale_fingerprints)."""
+    remaining = Counter(baseline)
+    new, old = [], []
+    for f in findings:
+        if remaining.get(f.fingerprint, 0) > 0:
+            remaining[f.fingerprint] -= 1
+            old.append(f)
+        else:
+            new.append(f)
+    stale = sorted(fp for fp, n in remaining.items() if n > 0)
+    return new, old, stale
+
+
+def apply_fixes(findings, root=REPO_ROOT):
+    by_path = {}
+    for f in findings:
+        for span in f.fixes:
+            by_path.setdefault(f.path, []).append(span)
+    fixed_files = 0
+    for rel, spans in by_path.items():
+        path = Path(root) / rel
+        text = path.read_text(encoding="utf-8")
+        spans.sort(key=lambda s: s[0], reverse=True)
+        last_start = None
+        for start, end, repl in spans:
+            if last_start is not None and end > last_start:
+                continue  # overlapping fix; first one wins
+            text = text[:start] + repl + text[end:]
+            last_start = start
+        path.write_text(text, encoding="utf-8")
+        fixed_files += 1
+    return fixed_files
+
+
+def print_human(findings, files_by_rel, stale):
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+        sf = files_by_rel.get(f.path)
+        if sf is not None:
+            lines = sf.text.splitlines()
+            if 0 < f.line <= len(lines):
+                src = lines[f.line - 1].rstrip()
+                if f.fixes:
+                    print(f"  - {src}")
+                    fixed = apply_spans_to_line(sf, f)
+                    if fixed is not None:
+                        print(f"  + {fixed}")
+                else:
+                    print(f"    {src}")
+    for fp in stale:
+        print(f"stale baseline entry (fixed? run --write-baseline): {fp}")
+
+
+def apply_spans_to_line(sf, finding):
+    """Renders the post-fix version of the finding's first fixed line."""
+    spans = [s for s in finding.fixes]
+    if not spans:
+        return None
+    text = sf.text
+    spans.sort(key=lambda s: s[0], reverse=True)
+    for start, end, repl in spans:
+        text = text[:start] + repl + text[end:]
+    lines = text.splitlines()
+    idx = min(finding.line - 1, len(lines) - 1)
+    return lines[idx].rstrip() if 0 <= idx < len(lines) else None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="project-specific static analysis for the cpt simulator",
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", help="files to lint (default: --all)")
+    parser.add_argument("--all", action="store_true",
+                        help=f"lint every source file under {', '.join(LINT_ROOTS)}/")
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply fixes for mechanical rules, then report the rest")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline (report everything)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--export-enums", action="store_true",
+                        help="dump enums/name tables under src/ as JSON and exit")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--rules", help="comma-separated subset of rules to run")
+    parser.add_argument("--ignore-scope", action="store_true",
+                        help="run every rule on every file (fixture tests)")
+    parser.add_argument("--root", default=str(REPO_ROOT),
+                        help="repository root (for relative paths and guards)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in sorted(RULES.items()):
+            print(f"{name}: {rule.help}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if args.export_enums:
+        print(json.dumps(export_enums(root), indent=2))
+        return 0
+
+    if args.paths:
+        files = [SourceFile(p, root=root) for p in args.paths]
+        # Enum/name-table context always comes from the full src tree, so
+        # linting one .cc still knows the enums its switches dispatch over.
+        seen = {sf.rel for sf in files}
+        context = files + [sf for sf in collect_source_files(root, roots=("src",))
+                           if sf.rel not in seen]
+        project = Project(context)
+    else:
+        files = collect_source_files(root)
+        project = Project(files)
+    rule_names = set(args.rules.split(",")) if args.rules else None
+    if rule_names is not None:
+        unknown = rule_names - RULES.keys()
+        if unknown:
+            parser.error(f"unknown rules: {', '.join(sorted(unknown))}")
+
+    findings = run_rules(files, project, rule_names, args.ignore_scope)
+    baseline = Counter() if args.no_baseline else load_baseline(args.baseline)
+    new, grandfathered, stale = split_by_baseline(findings, baseline)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"baseline written: {len(findings)} findings -> {args.baseline}")
+        return 0
+
+    if args.fix and new:
+        fixable = [f for f in new if f.fixes]
+        if fixable:
+            n = apply_fixes(fixable, root=root)
+            print(f"fixed {sum(len(f.fixes) for f in fixable)} spans in {n} files")
+            # Re-lint so the report reflects the post-fix tree.
+            files = [SourceFile(root / sf.rel, root=root) for sf in files]
+            project = Project(files)
+            findings = run_rules(files, project, rule_names, args.ignore_scope)
+            new, grandfathered, stale = split_by_baseline(findings, baseline)
+
+    if args.json:
+        print(json.dumps({
+            "schema": "cpt-lint-report", "version": 1,
+            "checked_files": len(files),
+            "findings": [f.to_json() for f in new],
+            "grandfathered": len(grandfathered),
+            "stale_baseline": stale,
+        }, indent=2))
+    else:
+        print_human(new, {sf.rel: sf for sf in files}, stale)
+        status = "FAIL" if new else "OK"
+        print(f"{status}: {len(files)} files, {len(new)} new findings, "
+              f"{len(grandfathered)} grandfathered, {len(stale)} stale baseline entries")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
