@@ -25,8 +25,8 @@ std::unique_ptr<pt::PageTable> MakeLoaded(sim::PtKind kind, mem::CacheTouchModel
   Rng rng(1);
   for (unsigned i = 0; i < npages; ++i) {
     // Bursty placement: runs of ~12 pages.
-    const Vpn base = rng.Below(1 << 24) & ~Vpn{0xF};
-    table->InsertBase(base + (i % 12), i & kMaxPpn, Attr::ReadWrite());
+    const Vpn base{rng.Below(1 << 24) & ~0xFull};
+    table->InsertBase(base + (i % 12), Ppn{i & kPpnMask}, Attr::ReadWrite());
   }
   return table;
 }
@@ -38,7 +38,7 @@ void BM_Lookup(benchmark::State& state, sim::PtKind kind) {
   std::vector<VirtAddr> vas;
   Rng rng(1);
   for (unsigned i = 0; i < 4096; ++i) {
-    const Vpn base = rng.Below(1 << 24) & ~Vpn{0xF};
+    const Vpn base{rng.Below(1 << 24) & ~0xFull};
     vas.push_back(VaOf(base + (i % 12)));
   }
   std::size_t i = 0;
@@ -57,8 +57,8 @@ void BM_InsertRemove(benchmark::State& state, sim::PtKind kind) {
   auto table = sim::MakePageTable(kind, cache, opts);
   Rng rng(2);
   for (auto _ : state) {
-    const Vpn vpn = rng.Below(1 << 22);
-    table->InsertBase(vpn, vpn & kMaxPpn, Attr::ReadWrite());
+    const Vpn vpn{rng.Below(1 << 22)};
+    table->InsertBase(vpn, Ppn{vpn.raw() & kPpnMask}, Attr::ReadWrite());
     table->RemoveBase(vpn);
   }
   state.SetItemsProcessed(state.iterations());

@@ -28,10 +28,10 @@ int main(int argc, char** argv) {
   for (const std::uint64_t npages : {16ull, 256ull, 4096ull, 65536ull}) {
     pt::HashedPageTable hashed(cache, {});
     core::ClusteredPageTable clustered(cache, {});
-    const Vpn base = 0x100000;
+    const Vpn base{0x100000};
     for (std::uint64_t i = 0; i < npages; ++i) {
-      hashed.InsertBase(base + i, i & kMaxPpn, Attr::ReadWrite());
-      clustered.InsertBase(base + i, i & kMaxPpn, Attr::ReadWrite());
+      hashed.InsertBase(base + i, Ppn{i & kPpnMask}, Attr::ReadWrite());
+      clustered.InsertBase(base + i, Ppn{i & kPpnMask}, Attr::ReadWrite());
     }
     const std::uint64_t hs = hashed.ProtectRange(base, npages, Attr::ReadOnly());
     const std::uint64_t cs = clustered.ProtectRange(base, npages, Attr::ReadOnly());
@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
     pt::HashedPageTable hashed(cache, {});
     core::ClusteredPageTable clustered(cache, {});
     for (unsigned i = 0; i < 16; ++i) {
-      hashed.InsertBase(0x100 + i, i, Attr::ReadWrite());
-      clustered.InsertBase(0x100 + i, i, Attr::ReadWrite());
+      hashed.InsertBase(Vpn{0x100 + i}, Ppn{i}, Attr::ReadWrite());
+      clustered.InsertBase(Vpn{0x100 + i}, Ppn{i}, Attr::ReadWrite());
     }
     std::printf("  hashed:    16 node allocations + 16 list insertions (%llu nodes)\n",
                 (unsigned long long)hashed.node_count());

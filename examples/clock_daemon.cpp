@@ -34,7 +34,7 @@ int main() {
         const workload::Reference r = gen.Next();
         machine.Access(r.asid, r.va, r.is_write);
       }
-      const Vpn heap_first = VpnOf(0x10000000ull);
+      const Vpn heap_first = VpnOf(VirtAddr{0x10000000ull});
       const std::uint64_t referenced =
           machine.page_table(0).ScanAndClearReferenced(heap_first, 1100);
       std::printf("  epoch %d: %llu heap mappings referenced since last sweep\n", epoch,
@@ -42,7 +42,7 @@ int main() {
     }
     // Immediately re-sweeping finds nothing: the bits were cleared.
     const std::uint64_t again =
-        machine.page_table(0).ScanAndClearReferenced(VpnOf(0x10000000ull), 1100);
+        machine.page_table(0).ScanAndClearReferenced(VpnOf(VirtAddr{0x10000000ull}), 1100);
     std::printf("  immediate re-sweep: %llu (bits were cleared)\n\n",
                 (unsigned long long)again);
   }

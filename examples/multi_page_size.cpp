@@ -31,19 +31,19 @@ struct Mapping {
 std::vector<Mapping> BuildWorkload() {
   std::vector<Mapping> maps;
   for (unsigned i = 0; i < 300; ++i) {
-    maps.push_back({0x100000 + i, 0});  // 300 x 4KB.
+    maps.push_back({Vpn{0x100000 + i}, 0});  // 300 x 4KB.
   }
   for (unsigned i = 0; i < 40; ++i) {
-    maps.push_back({0x200000 + i * 4, 2});  // 40 x 16KB.
+    maps.push_back({Vpn{0x200000 + i * 4}, 2});  // 40 x 16KB.
   }
   for (unsigned i = 0; i < 24; ++i) {
-    maps.push_back({0x300000 + i * 16, 4});  // 24 x 64KB.
+    maps.push_back({Vpn{0x300000 + i * 16}, 4});  // 24 x 64KB.
   }
   for (unsigned i = 0; i < 8; ++i) {
-    maps.push_back({0x400000 + i * 64, 6});  // 8 x 256KB.
+    maps.push_back({Vpn{0x400000 + i * 64}, 6});  // 8 x 256KB.
   }
   for (unsigned i = 0; i < 3; ++i) {
-    maps.push_back({0x500000 + i * 256, 8});  // 3 x 1MB.
+    maps.push_back({Vpn{0x500000 + i * 256}, 8});  // 3 x 1MB.
   }
   return maps;
 }
@@ -58,11 +58,12 @@ int main() {
   core::MultiSizeClustered clustered(cache, {});
   for (const Mapping& m : maps) {
     if (m.size_log2 == 0) {
-      clustered.InsertBase(m.base_vpn, m.base_vpn & kMaxPpn, Attr::ReadWrite());
+      clustered.InsertBase(m.base_vpn, Ppn{m.base_vpn.raw() & kPpnMask}, Attr::ReadWrite());
     } else {
-      clustered.InsertSuperpage(m.base_vpn, PageSize{m.size_log2},
-                                (m.base_vpn & kMaxPpn) & ~((Ppn{1} << m.size_log2) - 1),
-                                Attr::ReadWrite());
+      clustered.InsertSuperpage(
+          m.base_vpn, PageSize{m.size_log2},
+          Ppn{m.base_vpn.raw() & kPpnMask & ~((1ull << m.size_log2) - 1)},
+          Attr::ReadWrite());
     }
   }
 
@@ -77,12 +78,13 @@ int main() {
         continue;
       }
       if (log2 == 0) {
-        table->InsertBase(m.base_vpn, m.base_vpn & kMaxPpn, Attr::ReadWrite());
+        table->InsertBase(m.base_vpn, Ppn{m.base_vpn.raw() & kPpnMask}, Attr::ReadWrite());
       } else {
-        table->UpsertWord(m.base_vpn,
-                          MappingWord::Superpage((m.base_vpn & kMaxPpn) &
-                                                     ~((Ppn{1} << log2) - 1),
-                                                 Attr::ReadWrite(), PageSize{log2}));
+        table->UpsertWord(
+            m.base_vpn,
+            MappingWord::Superpage(
+                Ppn{m.base_vpn.raw() & kPpnMask & ~((1ull << log2) - 1)},
+                Attr::ReadWrite(), PageSize{log2}));
       }
     }
     hashed_bytes += table->SizeBytesPaperModel();
@@ -93,11 +95,12 @@ int main() {
   pt::LinearPageTable linear(cache, {.size_model = pt::LinearPageTable::SizeModel::kOneLevel});
   for (const Mapping& m : maps) {
     if (m.size_log2 == 0) {
-      linear.InsertBase(m.base_vpn, m.base_vpn & kMaxPpn, Attr::ReadWrite());
+      linear.InsertBase(m.base_vpn, Ppn{m.base_vpn.raw() & kPpnMask}, Attr::ReadWrite());
     } else {
-      linear.InsertSuperpage(m.base_vpn, PageSize{m.size_log2},
-                             (m.base_vpn & kMaxPpn) & ~((Ppn{1} << m.size_log2) - 1),
-                             Attr::ReadWrite());
+      linear.InsertSuperpage(
+          m.base_vpn, PageSize{m.size_log2},
+          Ppn{m.base_vpn.raw() & kPpnMask & ~((1ull << m.size_log2) - 1)},
+          Attr::ReadWrite());
     }
   }
 

@@ -29,9 +29,9 @@ std::uint64_t TableBytes(sim::PtKind kind, unsigned objects, unsigned pages_each
   Rng rng(seed);
   for (unsigned o = 0; o < objects; ++o) {
     // Anywhere in the 52-bit VPN space, page-block aligned like a real mmap.
-    const Vpn base = (rng.Below(Vpn{1} << 48) & ~Vpn{0xF});
+    const Vpn base{rng.Below(1ull << 48) & ~0xFull};
     for (unsigned p = 0; p < pages_each; ++p) {
-      table->InsertBase(base + p, (o * pages_each + p) & kMaxPpn, Attr::ReadWrite());
+      table->InsertBase(base + p, Ppn{(o * pages_each + p) & kPpnMask}, Attr::ReadWrite());
     }
   }
   return table->SizeBytesPaperModel();

@@ -33,7 +33,7 @@ void RunOne(const char* label, sim::TlbKind tlb_kind) {
   opts.tlb_kind = tlb_kind;
   sim::Machine machine(opts, 1);
 
-  const VirtAddr buffer = 0x10000000;
+  const VirtAddr buffer{0x10000000};
   const unsigned npages = 1024;  // 4MB.
   StreamBuffer(machine, buffer, npages, 8);
 

@@ -57,7 +57,7 @@ void Detail(const std::string& name) {
       const workload::Segment& seg = spec.processes[p].segments[s];
       std::printf("  seg %zu: base=0x%012llx  %5zu/%llu pages (density %.2f, burst %.0f)  "
                   "%s stride=%llu sojourn=%.0f\n",
-                  s, (unsigned long long)seg.base, snap.pages[p][s].size(),
+                  s, (unsigned long long)seg.base.raw(), snap.pages[p][s].size(),
                   (unsigned long long)seg.span_pages, seg.density, seg.burst_mean,
                   kPatterns[static_cast<int>(seg.pattern)],
                   (unsigned long long)seg.stride_pages, seg.sojourn_mean);
@@ -69,7 +69,7 @@ void Detail(const std::string& name) {
   for (std::size_t p = 0; p < snap.pages.size(); ++p) {
     for (const Vpn vpn : snap.FlatProcess(p)) {
       // Offset per process so all processes fit one diagnostic table.
-      table.InsertBase(vpn + (Vpn{p} << 50), 1, Attr::ReadWrite());
+      table.InsertBase(vpn + (std::uint64_t{p} << 50), Ppn{1}, Attr::ReadWrite());
     }
   }
   std::printf("\nblock occupancy histogram (pages mapped per 16-page block):\n  %s\n",

@@ -33,12 +33,12 @@ namespace cpt::check {
 struct PtNodeView {
   std::uint32_t bucket = 0;   // Hash bucket (chain tables); 0 for tree tables.
   std::uint64_t tag = 0;      // Chain key (VPN/VPBN key) or leaf index.
-  Vpn base_vpn = 0;           // First VPN the node's word array covers.
+  Vpn base_vpn{};           // First VPN the node's word array covers.
   unsigned sub_log2 = 0;      // log2 base pages per word slot.
   const MappingWord* words = nullptr;
   unsigned num_words = 0;
   std::int32_t index = -1;    // Arena index; -1 when not arena-backed.
-  PhysAddr addr = 0;          // Simulated physical address of the node.
+  PhysAddr addr{};          // Simulated physical address of the node.
 };
 
 class PtAuditVisitor {
@@ -59,8 +59,8 @@ struct TlbEntryView {
   bool valid = false;
   std::uint16_t asid = 0;
   std::uint64_t stamp = 0;
-  Vpn base_vpn = 0;             // First VPN covered (block base for PSB/CSB).
-  Ppn base_ppn = 0;             // Base/block PPN of the entry, when one exists.
+  Vpn base_vpn{};             // First VPN covered (block base for PSB/CSB).
+  Ppn base_ppn{};             // Base/block PPN of the entry, when one exists.
   unsigned pages_log2 = 0;      // Coverage span of the tag.
   std::uint64_t valid_vector = 0;  // One bit per covered base page.
   bool block_entry = false;     // PSB TLB: vector-mapped vs single-page form.
@@ -98,6 +98,8 @@ class ReservationAuditVisitor {
     (void)group;
   }
   // One grant-log record (only emitted when the grant log is enabled).
+  // The block key is the allocator's opaque (address space, VPBN) grouping
+  // key, deliberately raw.  cpt-lint: allow(raw-address-param)
   virtual void OnGrant(Ppn ppn, std::uint64_t block_key, unsigned boff, bool properly_placed) {
     (void)ppn;
     (void)block_key;

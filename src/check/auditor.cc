@@ -53,6 +53,9 @@ namespace {
 constexpr std::uint64_t kSkip = ~std::uint64_t{0};
 
 std::string Str(std::uint64_t v) { return std::to_string(v); }
+// Diagnostic formatting is a sanctioned serialization boundary: report
+// strings carry the raw frame number.
+std::string Str(Ppn ppn) { return std::to_string(ppn.raw()); }
 
 // One collected node: the view metadata plus a copy of its word array (the
 // view's `words` pointer is only valid during the walk).
@@ -167,7 +170,7 @@ std::uint64_t CheckNodeWords(const CollectedNode& cn, const WordCheckParams& p,
           report.Add(NodeId(cn) + ": superpage word (SZ=" + Str(sz) +
                      ") smaller than its slot span " + Str(span));
         }
-        if (w.ppn() % claim != 0) {
+        if (!IsSuperpageAligned(w.ppn(), PageSize{sz})) {
           report.Add(NodeId(cn) + ": superpage PPN " + Str(w.ppn()) + " not aligned to 2^" +
                      Str(sz) + " pages");
         }
@@ -186,14 +189,14 @@ std::uint64_t CheckNodeWords(const CollectedNode& cn, const WordCheckParams& p,
         if ((vec & ~mask) != 0) {
           report.Add(NodeId(cn) + ": PSB valid bits beyond subblock factor " + Str(factor));
         }
-        if (vec != 0 && w.ppn() % factor != 0) {
-          report.Add(NodeId(cn) + ": PSB block PPN " + Str(w.ppn()) + " not aligned to factor " +
-                     Str(factor));
+        if (vec != 0 && !IsSuperpageAligned(w.ppn(), PageSize{Log2(factor)})) {
+          report.Add(NodeId(cn) + ": PSB block PPN " + Str(w.ppn()) +
+                     " not aligned to factor " + Str(factor));
         }
         if (vec == 0) {
           continue;  // Empty PSB word.
         }
-        const Vpn block_base = slot_base & ~(Vpn{factor} - 1);
+        const Vpn block_base = SuperpageBaseVpn(slot_base, PageSize{Log2(factor)});
         for (unsigned j = 0; j < factor; ++j) {
           const Vpn page = block_base + j;
           if (((vec >> j) & 1u) != 0 && page >= slot_base && page < slot_base + span) {
@@ -243,7 +246,8 @@ void AuditChain(const NodeCollector& c, const WordCheckParams& wcp,
       report.Add(NodeId(cn) + ": hangs on bucket " + Str(cn.meta.bucket) +
                  " but its tag hashes to bucket " + Str(expect.bucket_of(cn.meta.tag)));
     }
-    if ((cn.meta.base_vpn >> expect.tag_shift) != cn.meta.tag) {
+    // View tags are domain-erased chain keys; recompute the key the same way.
+    if ((cn.meta.base_vpn.raw() >> expect.tag_shift) != cn.meta.tag) {
       report.Add(NodeId(cn) + ": tag inconsistent with base VPN (misaligned tag)");
     }
     translations += CheckNodeWords(cn, wcp, coverage, report);
@@ -273,7 +277,7 @@ AuditReport StructuralAuditor::Audit(const core::ClusteredPageTable& table) {
   wcp.uniform_kind = true;
   wcp.check_nonempty = true;
   ChainExpectations expect;
-  expect.bucket_of = [&table](std::uint64_t tag) { return table.BucketOfTag(tag); };
+  expect.bucket_of = [&table](std::uint64_t tag) { return table.BucketOfTag(Vpbn{tag}); };
   expect.tag_shift = Log2(table.subblock_factor());
   expect.nodes = table.node_count();
   expect.translations = table.live_translations();
@@ -293,7 +297,7 @@ AuditReport StructuralAuditor::Audit(const core::AdaptiveClusteredPageTable& tab
   wcp.uniform_kind = true;
   wcp.check_nonempty = true;
   ChainExpectations expect;
-  expect.bucket_of = [&table](std::uint64_t tag) { return table.BucketOfTag(tag); };
+  expect.bucket_of = [&table](std::uint64_t tag) { return table.BucketOfTag(Vpbn{tag}); };
   expect.tag_shift = Log2(table.subblock_factor());
   expect.nodes = table.node_count();
   expect.translations = table.live_translations();
@@ -360,7 +364,7 @@ AuditReport StructuralAuditor::Audit(const pt::SuperpageIndexHashed& table) {
   ChainExpectations expect;
   const unsigned shift = table.block_shift();
   expect.bucket_of = [&table, shift](std::uint64_t tag) {
-    return table.BucketOfVpn(tag << shift);
+    return table.BucketOfVpn(Vpn{tag << shift});
   };
   expect.tag_shift = shift;
   expect.nodes = table.node_count();
@@ -428,7 +432,7 @@ AuditReport StructuralAuditor::Audit(const pt::ForwardMappedPageTable& table) {
     shift[level + 1] = shift[level] + Fwd::kLevelBits[level - 1];
   }
   const auto prefix_at = [&shift](Vpn vpn, unsigned level) {
-    return vpn >> shift[level + 1];
+    return vpn.raw() >> shift[level + 1];  // Tree prefixes are domain-erased keys.
   };
 
   NodeCollector c;
@@ -543,7 +547,7 @@ void CheckNoDuplicateTags(const std::vector<TlbEntryView>& entries, AuditReport&
     // Tag identity: (asid, base_vpn, block form).  Hash them together; the
     // VPN occupies at most 52 bits.
     const std::uint64_t key =
-        (e.base_vpn << 1 | (e.block_entry ? 1u : 0u)) ^ (std::uint64_t{e.asid} << 54);
+        (e.base_vpn.raw() << 1 | (e.block_entry ? 1u : 0u)) ^ (std::uint64_t{e.asid} << 54);
     if (!seen.insert(key).second) {
       report.Add(EntryId(e) + ": duplicate TLB tag");
     }
@@ -566,12 +570,12 @@ AuditReport StructuralAuditor::AuditTlb(const tlb::Tlb& t) {
       if (!e.valid) {
         continue;
       }
-      const std::uint64_t pages = std::uint64_t{1} << e.pages_log2;
-      if (e.base_vpn % pages != 0) {
+      const PageSize size{e.pages_log2};
+      if (!IsSuperpageAligned(e.base_vpn, size)) {
         report.Add(EntryId(e) + ": VPN not aligned to its 2^" + Str(e.pages_log2) +
                    "-page size");
       }
-      if (e.base_ppn % pages != 0) {
+      if (!IsSuperpageAligned(e.base_ppn, size)) {
         report.Add(EntryId(e) + ": PPN not aligned to its 2^" + Str(e.pages_log2) +
                    "-page size");
       }
@@ -595,10 +599,10 @@ AuditReport StructuralAuditor::AuditTlb(const tlb::Tlb& t) {
       if (e.valid_vector == 0) {
         report.Add(EntryId(e) + ": block entry with empty valid vector");
       }
-      if (e.base_ppn % factor != 0) {
+      if (!IsSuperpageAligned(e.base_ppn, PageSize{Log2(factor)})) {
         report.Add(EntryId(e) + ": block PPN not aligned to factor " + Str(factor));
       }
-      if (e.base_vpn % factor != 0) {
+      if (BoffOf(e.base_vpn, factor) != 0) {
         report.Add(EntryId(e) + ": block VPN not aligned to factor " + Str(factor));
       }
     }
@@ -617,7 +621,7 @@ AuditReport StructuralAuditor::AuditTlb(const tlb::Tlb& t) {
       if ((e.valid_vector & ~mask) != 0) {
         report.Add(EntryId(e) + ": valid bits beyond subblock factor " + Str(factor));
       }
-      if (e.base_vpn % factor != 0) {
+      if (BoffOf(e.base_vpn, factor) != 0) {
         report.Add(EntryId(e) + ": block VPN not aligned to factor " + Str(factor));
       }
       if (e.translations.size() !=
@@ -637,8 +641,9 @@ AuditReport StructuralAuditor::AuditTlb(const tlb::Tlb& t) {
         ++invalid;
         continue;
       }
+      // Recompute the superpage-index set the same way the TLB does.
       const unsigned expected_set =
-          static_cast<unsigned>((e.base_vpn >> super_log2) & (tlb->num_sets() - 1));
+          static_cast<unsigned>((e.base_vpn.raw() >> super_log2) & (tlb->num_sets() - 1));
       if (e.set != expected_set) {
         report.Add(EntryId(e) + ": stored in set " + Str(e.set) + " but indexes to set " +
                    Str(expected_set));
@@ -647,8 +652,8 @@ AuditReport StructuralAuditor::AuditTlb(const tlb::Tlb& t) {
         report.Add(EntryId(e) + ": page size 2^" + Str(e.pages_log2) +
                    " is neither base nor the superpage size");
       }
-      const std::uint64_t pages = std::uint64_t{1} << e.pages_log2;
-      if (e.base_vpn % pages != 0 || e.base_ppn % pages != 0) {
+      const PageSize size{e.pages_log2};
+      if (!IsSuperpageAligned(e.base_vpn, size) || !IsSuperpageAligned(e.base_ppn, size)) {
         report.Add(EntryId(e) + ": VPN/PPN not aligned to its page size");
       }
     }
@@ -767,19 +772,21 @@ AuditReport StructuralAuditor::Audit(const mem::ReservationAllocator& alloc) {
 
   // Fragment pool entries may be stale (documented); only range-check them.
   for (const Ppn ppn : c.fragment_pool) {
-    if (ppn >= alloc.num_frames()) {
+    if (ppn.raw() >= alloc.num_frames()) {
       report.Add("fragment pool holds out-of-range frame " + Str(ppn));
     }
   }
 
   if (alloc.grant_log_enabled()) {
     for (const ReservationCollector::Grant& g : c.grants) {
-      const std::uint64_t group = g.ppn / factor;
-      const std::uint32_t bit = 1u << (g.ppn % factor);
+      // Frame-group arithmetic unwraps the PPN, mirroring the allocator.
+      const std::uint64_t group = g.ppn.raw() / factor;
+      const unsigned slot = static_cast<unsigned>(g.ppn.raw() % factor);
+      const std::uint32_t bit = 1u << slot;
       if (group >= c.groups.size() || (c.groups[group].used_mask & bit) == 0) {
         report.Add("granted frame " + Str(g.ppn) + " is not marked used in its group");
       }
-      if (g.properly_placed && g.ppn % factor != g.boff) {
+      if (g.properly_placed && slot != g.boff) {
         report.Add("grant for boff " + Str(g.boff) + " claims proper placement but sits at frame " +
                    Str(g.ppn));
       }

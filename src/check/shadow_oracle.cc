@@ -134,7 +134,7 @@ void ShadowedPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subbl
   for (unsigned i = 0; i < subblock_factor; ++i) {
     const Vpn vpn = block_base_vpn + i;
     if ((valid_vector >> i) & 1u) {
-      shadow_[vpn] = ShadowEntry{block_base_ppn | i, Kind::kPsb};
+      shadow_[vpn] = ShadowEntry{block_base_ppn + i, Kind::kPsb};
     } else {
       // A cleared vector bit removes only a PSB-provided translation; base
       // PTEs for non-placed pages of the block stay live.

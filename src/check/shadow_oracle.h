@@ -76,7 +76,7 @@ class ShadowedPageTable final : public pt::PageTable {
   // How a page was mapped, so removals only erase their own kind.
   enum class Kind : std::uint8_t { kBase, kSuperpage, kPsb };
   struct ShadowEntry {
-    Ppn ppn = 0;
+    Ppn ppn{};
     Kind kind = Kind::kBase;
   };
 

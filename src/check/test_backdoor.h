@@ -31,7 +31,7 @@ class TestBackdoor {
       if (head == pt::HashedPageTable::kNil) {
         continue;
       }
-      table.arena_[head].base_vpn += Vpn{1} << table.opts_.tag_shift;
+      table.arena_[head].base_vpn += std::uint64_t{1} << table.opts_.tag_shift;
       return true;
     }
     return false;
@@ -103,7 +103,9 @@ class TestBackdoor {
   static bool MisplaceGrant(mem::ReservationAllocator& alloc) {
     for (auto& [ppn, record] : alloc.live_grants_) {
       record.properly_placed = true;
-      record.boff = static_cast<unsigned>((ppn + 1) % alloc.factor_);
+      // Slot arithmetic deliberately erases the domain, mirroring the
+      // allocator's frame-group bookkeeping.
+      record.boff = static_cast<unsigned>((ppn.raw() + 1) % alloc.factor_);
       return true;
     }
     return false;

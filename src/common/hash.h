@@ -38,6 +38,13 @@ class BucketHasher {
                          std::uint64_t context_salt = 0)
       : mask_(num_buckets - 1), kind_(kind), salt_(context_salt) {}
 
+  // Strong address keys (Vpn for hashed tables, Vpbn for clustered ones)
+  // unwrap here: hashing is a sanctioned .raw() boundary.
+  template <class Tag>
+  constexpr std::uint32_t operator()(TaggedU64<Tag> key) const {
+    return (*this)(key.raw());
+  }
+
   constexpr std::uint32_t operator()(std::uint64_t key) const {
     key ^= salt_;
     if (kind_ == HashKind::kMix) {

@@ -143,7 +143,7 @@ class MappingWord {
     return (bits_ & kVBit) != 0;
   }
 
-  constexpr Ppn ppn() const { return (bits_ >> kPpnShift) & kMaxPpn; }
+  constexpr Ppn ppn() const { return Ppn((bits_ >> kPpnShift) & kPpnMask); }
 
   constexpr Attr attr() const {
     return Attr{static_cast<std::uint16_t>(bits_ & kAttrMask)};
@@ -165,7 +165,7 @@ class MappingWord {
 
   // Physical page of base page `boff` inside a properly-placed block: the
   // block-aligned PPN with the low bits replaced by the block offset.
-  constexpr Ppn subpage_ppn(unsigned boff) const { return ppn() | boff; }
+  constexpr Ppn subpage_ppn(unsigned boff) const { return ppn() + boff; }
 
   constexpr MappingWord with_subpage_valid(unsigned boff) const {
     MappingWord w = *this;
@@ -198,7 +198,9 @@ class MappingWord {
   static constexpr std::uint64_t kAttrMask = 0xFFF;
 
   static constexpr std::uint64_t EncodeCommon(Ppn ppn, Attr attr) {
-    return ((ppn & kMaxPpn) << kPpnShift) | (attr.bits & kAttrMask);
+    // No masking needed: the Ppn type itself guarantees raw() <= kPpnMask
+    // (bit-packing is a sanctioned .raw() boundary).
+    return (ppn.raw() << kPpnShift) | (attr.bits & kAttrMask);
   }
   static constexpr std::uint64_t EncodeKind(MappingKind k) {
     return std::uint64_t{static_cast<std::uint8_t>(k)} << kSShift;
@@ -210,17 +212,19 @@ class MappingWord {
 static_assert(sizeof(MappingWord) == 8, "mapping information must take 8 bytes");
 
 // Round-trip sanity checks on the bit layout.
-static_assert(MappingWord::Base(0x123456, Attr::ReadWrite()).ppn() == 0x123456);
+static_assert(MappingWord::Base(Ppn{0x123456}, Attr::ReadWrite()).ppn() == Ppn{0x123456});
 static_assert(MappingWord::Base(kMaxPpn, Attr{}).ppn() == kMaxPpn);
-static_assert(MappingWord::Base(1, Attr{}).kind() == MappingKind::kBase);
-static_assert(MappingWord::Superpage(0x10, Attr{}, kPage64K).page_size() == kPage64K);
-static_assert(MappingWord::Superpage(0x10, Attr{}, kPage64K).kind() == MappingKind::kSuperpage);
-static_assert(MappingWord::PartialSubblock(0x20, Attr{}, 0xBEEF).valid_vector() == 0xBEEF);
-static_assert(MappingWord::PartialSubblock(0x20, Attr{}, 0xBEEF).kind() ==
+static_assert(MappingWord::Base(Ppn{1}, Attr{}).kind() == MappingKind::kBase);
+static_assert(MappingWord::Superpage(Ppn{0x10}, Attr{}, kPage64K).page_size() == kPage64K);
+static_assert(MappingWord::Superpage(Ppn{0x10}, Attr{}, kPage64K).kind() ==
+              MappingKind::kSuperpage);
+static_assert(MappingWord::PartialSubblock(Ppn{0x20}, Attr{}, 0xBEEF).valid_vector() == 0xBEEF);
+static_assert(MappingWord::PartialSubblock(Ppn{0x20}, Attr{}, 0xBEEF).kind() ==
               MappingKind::kPartialSubblock);
-static_assert(MappingWord::PartialSubblock(0x20, Attr{}, 0x8001).subpage_ppn(15) == 0x2F);
+static_assert(MappingWord::PartialSubblock(Ppn{0x20}, Attr{}, 0x8001).subpage_ppn(15) ==
+              Ppn{0x2F});
 static_assert(!MappingWord::Invalid().valid());
-static_assert(MappingWord::PartialSubblock(0x20, Attr{}, 0).valid() == false);
+static_assert(MappingWord::PartialSubblock(Ppn{0x20}, Attr{}, 0).valid() == false);
 
 }  // namespace cpt
 

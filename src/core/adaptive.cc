@@ -98,7 +98,7 @@ void AdaptiveClusteredPageTable::UnlinkNode(std::int32_t idx) {
 }
 
 TlbFill AdaptiveClusteredPageTable::FillFromWord(const Node& n, unsigned boff) const {
-  const Vpn block_first = n.tag << block_log2_;
+  const Vpn block_first = FirstVpnOfBlock(n.tag, factor_);
   TlbFill fill;
   switch (n.kind) {
     case NodeKind::kSingle:
@@ -117,7 +117,7 @@ TlbFill AdaptiveClusteredPageTable::FillFromWord(const Node& n, unsigned boff) c
       const MappingWord w = n.words[0];
       fill.kind = MappingKind::kSuperpage;
       fill.pages_log2 = w.page_size().size_log2;
-      fill.base_vpn = block_first & ~(Vpn{w.page_size().pages()} - 1);
+      fill.base_vpn = SuperpageBaseVpn(block_first, w.page_size());
       fill.word = w;
       break;
     }
@@ -339,7 +339,7 @@ bool AdaptiveClusteredPageTable::RemoveBase(Vpn vpn) {
 void AdaptiveClusteredPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn,
                                                  Attr attr) {
   CPT_DCHECK(size.pages() >= factor_, "sub-block superpages use the fixed-factor table");
-  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(IsSuperpageAligned(base_vpn, size) && IsSuperpageAligned(base_ppn, size));
   const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
   const unsigned blocks = size.pages() / factor_;
   const Vpbn first = VpbnOf(base_vpn, factor_);
@@ -461,24 +461,24 @@ void AdaptiveClusteredPageTable::AuditVisit(check::PtAuditVisitor& visitor) cons
       const Node& n = arena_[idx];
       check::PtNodeView view;
       view.bucket = b;
-      view.tag = n.tag;
+      view.tag = n.tag.raw();  // PtNodeView tags are deliberately domain-erased chain keys.
       view.index = idx;
       view.addr = n.addr;
       view.words = n.words.data();
       view.num_words = static_cast<unsigned>(n.words.size());
       switch (n.kind) {
         case NodeKind::kSingle:
-          view.base_vpn = (n.tag << block_log2_) + n.boff;
+          view.base_vpn = FirstVpnOfBlock(n.tag, factor_) + n.boff;
           view.sub_log2 = 0;
           break;
         case NodeKind::kArray:
-          view.base_vpn = n.tag << block_log2_;
+          view.base_vpn = FirstVpnOfBlock(n.tag, factor_);
           view.sub_log2 = 0;
           break;
         case NodeKind::kSuperpage:
         case NodeKind::kPsb:
           // One compact word covering the whole block.
-          view.base_vpn = n.tag << block_log2_;
+          view.base_vpn = FirstVpnOfBlock(n.tag, factor_);
           view.sub_log2 = block_log2_;
           break;
       }

@@ -91,11 +91,11 @@ class AdaptiveClusteredPageTable final : public pt::PageTable {
   };
 
   struct Node {
-    Vpbn tag = 0;
+    Vpbn tag{};
     NodeKind kind = NodeKind::kSingle;
     std::uint8_t boff = 0;  // kSingle only.
     std::int32_t next = kNil;
-    PhysAddr addr = 0;
+    PhysAddr addr{};
     std::vector<MappingWord> words;  // 1 (single/compact) or factor (array).
   };
 
@@ -120,7 +120,7 @@ class AdaptiveClusteredPageTable final : public pt::PageTable {
   unsigned block_log2_;
   BucketHasher hasher_;
   mem::SimAllocator alloc_;
-  PhysAddr bucket_base_ = 0;
+  PhysAddr bucket_base_{};
   std::uint64_t bucket_stride_ = 0;
   std::vector<Node> arena_;
   std::vector<std::int32_t> free_nodes_;

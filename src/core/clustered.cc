@@ -114,7 +114,7 @@ ClusteredPageTable::Node& ClusteredPageTable::GetOrCreateNode(Vpbn tag, unsigned
         n.words[i] = MappingWord::InvalidSuperpage(PageSize{sub_log2});
         break;
       case MappingKind::kPartialSubblock:
-        n.words[i] = MappingWord::PartialSubblock(0, Attr{}, 0);
+        n.words[i] = MappingWord::PartialSubblock(Ppn{0}, Attr{}, 0);
         break;
     }
   }
@@ -138,7 +138,7 @@ void ClusteredPageTable::UnlinkAndFree(std::int32_t* link) {
 
 TlbFill ClusteredPageTable::FillFromNode(const Node& n, unsigned word_idx) const {
   const MappingWord w = n.words[word_idx];
-  const Vpn block_first = n.tag << block_log2_;
+  const Vpn block_first = FirstVpnOfBlock(n.tag, factor_);
   TlbFill fill;
   fill.kind = w.kind();
   fill.word = w;
@@ -149,8 +149,8 @@ TlbFill ClusteredPageTable::FillFromNode(const Node& n, unsigned word_idx) const
       break;
     case MappingKind::kSuperpage: {
       fill.pages_log2 = w.page_size().size_log2;
-      const Vpn slot_vpn = block_first + (Vpn{word_idx} << n.sub_log2);
-      fill.base_vpn = slot_vpn & ~(Vpn{w.page_size().pages()} - 1);
+      const Vpn slot_vpn = block_first + (std::uint64_t{word_idx} << n.sub_log2);
+      fill.base_vpn = SuperpageBaseVpn(slot_vpn, w.page_size());
       break;
     }
     case MappingKind::kPartialSubblock:
@@ -263,7 +263,7 @@ bool ClusteredPageTable::RemoveBase(Vpn vpn) {
 }
 
 void ClusteredPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
-  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(IsSuperpageAligned(base_vpn, size) && IsSuperpageAligned(base_ppn, size));
   const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
   if (size.pages() < factor_) {
     // A sub-size node: slots of 2^SZ pages each within one block.
@@ -322,7 +322,8 @@ void ClusteredPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subb
                                                Ppn block_base_ppn, Attr attr,
                                                std::uint16_t valid_vector) {
   CPT_DCHECK(subblock_factor == factor_ && factor_ <= MappingWord::kMaxPsbFactor);
-  CPT_DCHECK(block_base_vpn % factor_ == 0 && block_base_ppn % factor_ == 0);
+  CPT_DCHECK(BoffOf(block_base_vpn, factor_) == 0 &&
+             IsSuperpageAligned(block_base_ppn, PageSize{block_log2_}));
   Node& n =
       GetOrCreateNode(VpbnOf(block_base_vpn, factor_), block_log2_, MappingKind::kPartialSubblock);
   live_translations_ -= NodeTranslations(n);
@@ -360,8 +361,8 @@ std::uint64_t ClusteredPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npag
         if (!n.words[i].valid()) {
           continue;
         }
-        const Vpn word_first = (tag << block_log2_) + (Vpn{i} << n.sub_log2);
-        const Vpn word_last = word_first + (Vpn{1} << n.sub_log2) - 1;
+        const Vpn word_first = FirstVpnOfBlock(tag, factor_) + (std::uint64_t{i} << n.sub_log2);
+        const Vpn word_last = word_first + ((std::uint64_t{1} << n.sub_log2) - 1);
         if (word_last >= first_vpn && word_first <= last_vpn) {
           n.words[i] = n.words[i].with_attr(attr);
         }
@@ -377,7 +378,7 @@ bool ClusteredPageTable::BlockReadyForPromotion(Vpbn vpbn) const {
     return false;
   }
   const Ppn first_ppn = n->words[0].ppn();
-  if (!n->words[0].valid() || first_ppn % factor_ != 0) {
+  if (!n->words[0].valid() || !IsSuperpageAligned(first_ppn, PageSize{block_log2_})) {
     return false;
   }
   for (unsigned i = 0; i < factor_; ++i) {
@@ -424,8 +425,8 @@ void ClusteredPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
       const Node& n = arena_[idx];
       check::PtNodeView view;
       view.bucket = b;
-      view.tag = n.tag;
-      view.base_vpn = n.tag << block_log2_;
+      view.tag = n.tag.raw();  // PtNodeView tags are deliberately domain-erased chain keys.
+      view.base_vpn = FirstVpnOfBlock(n.tag, factor_);
       view.sub_log2 = n.sub_log2;
       view.words = n.words.data();
       view.num_words = WordsInNode(n);

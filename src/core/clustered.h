@@ -98,10 +98,10 @@ class ClusteredPageTable final : public pt::PageTable {
   static constexpr std::int32_t kNil = -1;
 
   struct Node {
-    Vpbn tag = 0;
+    Vpbn tag{};
     std::uint8_t sub_log2 = 0;  // log2 base pages covered per word.
     std::int32_t next = kNil;
-    PhysAddr addr = 0;
+    PhysAddr addr{};
     std::array<MappingWord, kMaxSubblockFactor> words{};
   };
 
@@ -126,7 +126,7 @@ class ClusteredPageTable final : public pt::PageTable {
   unsigned block_log2_;
   BucketHasher hasher_;
   mem::SimAllocator alloc_;
-  PhysAddr bucket_base_ = 0;
+  PhysAddr bucket_base_{};
   std::uint64_t bucket_stride_ = 0;
   std::vector<Node> arena_;
   std::vector<std::int32_t> free_nodes_;

@@ -22,8 +22,9 @@ void CacheTouchModel::Touch(PhysAddr addr, std::uint64_t size) {
   if (!in_walk_ || size == 0) {
     return;
   }
-  const std::uint64_t first = addr >> line_shift_;
-  const std::uint64_t last = (addr + size - 1) >> line_shift_;
+  // Line-id derivation is a bit-packing boundary. // cpt-lint: allow(raw-address-param)
+  const std::uint64_t first = addr.raw() >> line_shift_;
+  const std::uint64_t last = (addr.raw() + size - 1) >> line_shift_;
   for (std::uint64_t line = first; line <= last; ++line) {
     // Walks touch a handful of lines, so a linear dedup scan beats a set.
     if (std::find(walk_lines_.begin(), walk_lines_.end(), line) == walk_lines_.end()) {

@@ -6,19 +6,20 @@ namespace cpt::mem {
 
 PhysicalMemory::PhysicalMemory(std::uint64_t num_frames)
     : num_frames_(num_frames), frames_free_(num_frames), used_(num_frames, false) {
-  CPT_CHECK(num_frames > 0 && num_frames <= kMaxPpn + 1);
+  CPT_CHECK(num_frames > 0 && num_frames <= kPpnMask + 1);
 }
 
 std::optional<Ppn> PhysicalMemory::AllocFrame() {
   if (frames_free_ == 0) {
     return std::nullopt;
   }
+  // Frame-table indexing unwraps the PPN. // cpt-lint: allow(raw-address-param)
   for (std::uint64_t i = 0; i < num_frames_; ++i) {
-    const Ppn p = (scan_hint_ + i) % num_frames_;
-    if (!used_[p]) {
-      used_[p] = true;
+    const Ppn p{(scan_hint_.raw() + i) % num_frames_};
+    if (!used_[p.raw()]) {
+      used_[p.raw()] = true;
       --frames_free_;
-      scan_hint_ = (p + 1) % num_frames_;
+      scan_hint_ = Ppn{(p.raw() + 1) % num_frames_};
       return p;
     }
   }
@@ -26,25 +27,26 @@ std::optional<Ppn> PhysicalMemory::AllocFrame() {
 }
 
 bool PhysicalMemory::AllocSpecific(Ppn ppn) {
-  CPT_DCHECK(ppn < num_frames_);
-  if (used_[ppn]) {
+  // Frame-table indexing unwraps the PPN, as in AllocFrame (here and below).
+  CPT_DCHECK(ppn.raw() < num_frames_);
+  if (used_[ppn.raw()]) {
     return false;
   }
-  used_[ppn] = true;
+  used_[ppn.raw()] = true;
   --frames_free_;
   return true;
 }
 
 void PhysicalMemory::FreeFrame(Ppn ppn) {
-  CPT_DCHECK(ppn < num_frames_);
-  CPT_DCHECK(used_[ppn]);
-  used_[ppn] = false;
+  CPT_DCHECK(ppn.raw() < num_frames_);
+  CPT_DCHECK(used_[ppn.raw()]);
+  used_[ppn.raw()] = false;
   ++frames_free_;
 }
 
 bool PhysicalMemory::IsFree(Ppn ppn) const {
-  CPT_DCHECK(ppn < num_frames_);
-  return !used_[ppn];
+  CPT_DCHECK(ppn.raw() < num_frames_);
+  return !used_[ppn.raw()];
 }
 
 }  // namespace cpt::mem

@@ -36,7 +36,7 @@ class PhysicalMemory {
   std::uint64_t num_frames_;
   std::uint64_t frames_free_;
   std::vector<bool> used_;
-  Ppn scan_hint_ = 0;  // Next-fit scan start for AllocFrame.
+  Ppn scan_hint_{};  // Next-fit scan start for AllocFrame.
 };
 
 }  // namespace cpt::mem

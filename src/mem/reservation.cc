@@ -38,7 +38,7 @@ std::optional<ReservationAllocator::FrameGrant> ReservationAllocator::Allocate(
     ++frames_used_;
     ++grants_;
     ++placed_grants_;
-    const Ppn ppn = it->second * factor_ + boff;
+    const Ppn ppn = FrameAt(it->second, boff);
     RecordGrant(ppn, block_key, boff, /*properly_placed=*/true);
     return FrameGrant{ppn, true};
   }
@@ -57,7 +57,7 @@ std::optional<ReservationAllocator::FrameGrant> ReservationAllocator::Allocate(
     ++frames_used_;
     ++grants_;
     ++placed_grants_;
-    const Ppn ppn = g * factor_ + boff;
+    const Ppn ppn = FrameAt(g, boff);
     RecordGrant(ppn, block_key, boff, /*properly_placed=*/true);
     return FrameGrant{ppn, true};
   }
@@ -76,7 +76,7 @@ std::optional<ReservationAllocator::FrameGrant> ReservationAllocator::Allocate(
     const Ppn ppn = fragment_pool_.back();
     fragment_pool_.pop_back();
     Group& grp = groups_[GroupOf(ppn)];
-    const std::uint32_t bit = 1u << (ppn % factor_);
+    const std::uint32_t bit = 1u << SlotOf(ppn);
     if (grp.state != GroupState::kFragmented || (grp.used_mask & bit) != 0) {
       continue;  // Stale entry.
     }
@@ -92,7 +92,7 @@ void ReservationAllocator::RecordGrant(Ppn ppn, std::uint64_t block_key, unsigne
                                        bool properly_placed) {
   if (tracer_ != nullptr) {
     tracer_->Record({.kind = obs::EventKind::kReservationGrant,
-                     .vpn = block_key,
+                     .vpn = Vpn{block_key},  // Grant events carry the caller's block key.
                      .step = boff,
                      .value = properly_placed ? 1u : 0u});
   }
@@ -114,7 +114,7 @@ bool ReservationAllocator::BreakOneReservation() {
     ++reservations_broken_;
     for (unsigned slot = 0; slot < factor_; ++slot) {
       if ((grp.used_mask & (1u << slot)) == 0) {
-        fragment_pool_.push_back(g * factor_ + slot);
+        fragment_pool_.push_back(FrameAt(g, slot));
       }
     }
     if (!fragment_pool_.empty()) {
@@ -126,10 +126,11 @@ bool ReservationAllocator::BreakOneReservation() {
 }
 
 void ReservationAllocator::Free(Ppn ppn) {
-  CPT_DCHECK(ppn < num_frames_);
+  // Range check on the raw frame index, matching GroupOf/SlotOf's crossing.
+  CPT_DCHECK(ppn.raw() < num_frames_);
   const std::uint64_t g = GroupOf(ppn);
   Group& grp = groups_[g];
-  const std::uint32_t bit = 1u << (ppn % factor_);
+  const std::uint32_t bit = 1u << SlotOf(ppn);
   CPT_DCHECK((grp.used_mask & bit) != 0, "freeing an unallocated frame");
   grp.used_mask &= ~bit;
   --frames_used_;

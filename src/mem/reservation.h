@@ -32,7 +32,7 @@ class ReservationAllocator {
   ReservationAllocator(std::uint64_t num_frames, unsigned subblock_factor);
 
   struct FrameGrant {
-    Ppn ppn = 0;
+    Ppn ppn{};
     // True when ppn == block_base + boff within an aligned block reserved
     // for this virtual page block, i.e. the page is properly placed.
     bool properly_placed = false;
@@ -42,6 +42,8 @@ class ReservationAllocator {
   // identified by `block_key` (an (address space, VPBN) key chosen by the
   // caller).  The same (block_key, boff) must not be allocated twice without
   // an intervening Free.  Returns nullopt when physical memory is exhausted.
+  // The key is opaque to the allocator, deliberately raw.
+  // cpt-lint: allow(raw-address-param)
   std::optional<FrameGrant> Allocate(std::uint64_t block_key, unsigned boff);
 
   // Releases a frame previously granted.
@@ -91,13 +93,17 @@ class ReservationAllocator {
     std::uint32_t used_mask = 0;   // Bit per slot.
   };
 
-  std::uint64_t GroupOf(Ppn ppn) const { return ppn / factor_; }
+  // Frame-group arithmetic unwraps the PPN. // cpt-lint: allow(raw-address-param)
+  std::uint64_t GroupOf(Ppn ppn) const { return ppn.raw() / factor_; }
+  unsigned SlotOf(Ppn ppn) const { return static_cast<unsigned>(ppn.raw() % factor_); }
+  Ppn FrameAt(std::uint64_t group, unsigned slot) const { return Ppn{group * factor_ + slot}; }
 
   // Breaks the least-recently-reserved reservation, moving its unused slots
   // to the fragment pool.  Returns false if there is nothing to break.
   bool BreakOneReservation();
 
   // Logs a grant when the grant log is enabled; no-op otherwise.
+  // cpt-lint: allow(raw-address-param): same opaque key as Allocate().
   void RecordGrant(Ppn ppn, std::uint64_t block_key, unsigned boff, bool properly_placed);
 
   unsigned factor_;

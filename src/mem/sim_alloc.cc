@@ -12,7 +12,7 @@ std::uint64_t next_region_id = 1;
 SimAllocator::SimAllocator(std::uint32_t line_size, NodePlacement placement)
     : line_size_(line_size), placement_(placement) {
   CPT_CHECK(IsPowerOfTwo(line_size));
-  bump_ = (next_region_id++ << 44) + kBasePageSize;
+  bump_ = PhysAddr{(next_region_id++ << 44) + kBasePageSize};
 }
 
 std::uint64_t SimAllocator::AlignmentFor(std::uint64_t size) const {
@@ -41,14 +41,15 @@ PhysAddr SimAllocator::Allocate(std::uint64_t size) {
     return addr;
   }
 
-  bump_ = (bump_ + align - 1) & ~(align - 1);
+  // Alignment rounding on the raw byte address. // cpt-lint: allow(raw-address-param)
+  bump_ = PhysAddr{(bump_.raw() + align - 1) & ~(align - 1)};
   const PhysAddr addr = bump_;
   bump_ += rounded;
   return addr;
 }
 
 void SimAllocator::Free(PhysAddr addr, std::uint64_t size) {
-  CPT_DCHECK(addr != 0 && size > 0);
+  CPT_DCHECK(addr != PhysAddr{} && size > 0);
   CPT_DCHECK(bytes_live_ >= size);
   const std::uint64_t align = AlignmentFor(size);
   const std::uint64_t rounded = (size + align - 1) & ~(align - 1);

@@ -57,7 +57,7 @@ class SimAllocator {
 
   std::uint32_t line_size_;
   NodePlacement placement_;
-  PhysAddr bump_ = 0;  // Set in the constructor; never 0 so 0 can mean "null".
+  PhysAddr bump_{};  // Set in the constructor; never 0 so 0 can mean "null".
   std::uint64_t bytes_live_ = 0;
   std::uint64_t high_water_ = 0;
   // Free lists keyed by rounded allocation size.

@@ -28,8 +28,7 @@ const char* ToString(SegmentClass cls) {
   return idx < kSegmentClassCount ? kSegmentClassNames[idx] : "?";
 }
 
-void SegmentMap::Add(std::uint16_t asid, std::uint64_t begin_vpn, std::uint64_t end_vpn,
-                     SegmentClass cls) {
+void SegmentMap::Add(std::uint16_t asid, Vpn begin_vpn, Vpn end_vpn, SegmentClass cls) {
   CPT_CHECK(begin_vpn <= end_vpn);
   if (begin_vpn == end_vpn) {
     return;
@@ -48,14 +47,14 @@ void SegmentMap::SortIfNeeded() const {
   sorted_ = true;
 }
 
-SegmentClass SegmentMap::Classify(std::uint16_t asid, std::uint64_t vpn) const {
+SegmentClass SegmentMap::Classify(std::uint16_t asid, Vpn vpn) const {
   SortIfNeeded();
   // First range with (asid, begin) > (asid, vpn); the candidate is its
   // predecessor.  Ranges are disjoint in practice (segments do not overlap),
   // so one predecessor check suffices.
   auto it = std::upper_bound(
       ranges_.begin(), ranges_.end(), std::make_pair(asid, vpn),
-      [](const std::pair<std::uint16_t, std::uint64_t>& key, const Range& r) {
+      [](const std::pair<std::uint16_t, Vpn>& key, const Range& r) {
         return key.first != r.asid ? key.first < r.asid : key.second < r.begin;
       });
   if (it == ranges_.begin()) {

@@ -57,9 +57,8 @@ const char* ToString(SegmentClass cls);
 // search, cheap enough for every committed walk.
 class SegmentMap {
  public:
-  void Add(std::uint16_t asid, std::uint64_t begin_vpn, std::uint64_t end_vpn,
-           SegmentClass cls);
-  SegmentClass Classify(std::uint16_t asid, std::uint64_t vpn) const;
+  void Add(std::uint16_t asid, Vpn begin_vpn, Vpn end_vpn, SegmentClass cls);
+  SegmentClass Classify(std::uint16_t asid, Vpn vpn) const;
 
   bool empty() const { return ranges_.empty(); }
   std::size_t size() const { return ranges_.size(); }
@@ -67,8 +66,8 @@ class SegmentMap {
  private:
   struct Range {
     std::uint16_t asid = 0;
-    std::uint64_t begin = 0;  // Inclusive VPN.
-    std::uint64_t end = 0;    // Exclusive VPN.
+    Vpn begin{};  // Inclusive VPN.
+    Vpn end{};    // Exclusive VPN.
     SegmentClass cls = SegmentClass::kUnknown;
   };
 
@@ -161,7 +160,7 @@ class AttributionTracer final : public WalkTracer {
   bool block_ = false;           // The service was a block-prefetch fill.
   bool have_hit_ = false;
   std::uint16_t asid_ = 0;
-  std::uint64_t vpn_ = 0;
+  Vpn vpn_{};
   std::uint32_t steps_ = 0;
   std::uint64_t hit_value_ = 0;
   std::uint32_t end_lines_ = 0;

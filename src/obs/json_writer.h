@@ -18,6 +18,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/types.h"
+
 namespace cpt::obs {
 
 class JsonWriter {
@@ -52,6 +54,13 @@ class JsonWriter {
   void KV(std::string_view key, std::int64_t v) { Key(key); Int(v); }
   void KV(std::string_view key, double v) { Key(key); Double(v); }
   void KV(std::string_view key, bool v) { Key(key); Bool(v); }
+  // Strong address types serialize as their raw word (JSON output is a
+  // sanctioned .raw() boundary).
+  template <class Tag>
+  void KV(std::string_view key, TaggedU64<Tag> v) {
+    Key(key);
+    Uint(v.raw());
+  }
 
   // True once every opened container has been closed again.
   bool Complete() const;

@@ -99,7 +99,7 @@ class PerfettoExporter final : public WalkTracer {
   bool walk_open_ = false;
   bool walk_faulted_ = false;
   std::uint64_t walk_start_ = 0;
-  std::uint64_t walk_vpn_ = 0;
+  Vpn walk_vpn_{};
   std::uint32_t walk_steps_ = 0;
 
   // Counter-track accumulators.

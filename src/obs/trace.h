@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/types.h"
 
 namespace cpt::obs {
 
@@ -110,7 +111,9 @@ constexpr unsigned WalkHitPagesLog2Of(std::uint64_t value) {
 struct WalkEvent {
   EventKind kind = EventKind::kTlbHit;
   std::uint16_t asid = 0;   // Process id where the publisher knows it.
-  std::uint64_t vpn = 0;    // Faulting/affected virtual page number.
+  Vpn vpn{};                // Faulting/affected virtual page number.
+                            // (kReservationGrant reuses the slot for the
+                            // caller's block key; same wire field.)
   std::uint32_t step = 0;   // Chain position or tree level (kWalkStep).
   std::uint32_t lines = 0;  // Distinct cache lines touched so far / in total.
   std::uint64_t value = 0;  // Kind-specific payload (see EventKind).

@@ -41,7 +41,7 @@ bool AddressSpace::TouchPage(VirtAddr va) {
   auto [it, inserted] = blocks_.try_emplace(vpbn);
   BlockState& block = it->second;
   if (inserted) {
-    block.ppns.resize(factor_, 0);
+    block.ppns.resize(factor_, Ppn{});
   }
   if (block.resident_mask & bit) {
     return true;  // Already resident and mapped.
@@ -171,7 +171,7 @@ void AddressSpace::UnmapOnePage(Vpn vpn) {
   frames_.Free(block.ppns[boff]);
   block.resident_mask &= ~bit;
   block.placed_mask &= ~bit;
-  block.ppns[boff] = 0;
+  block.ppns[boff] = Ppn{};
   --resident_pages_;
   if (block.resident_mask == 0) {
     blocks_.erase(it);

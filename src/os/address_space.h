@@ -99,10 +99,12 @@ class AddressSpace {
     bool has_psb_pte = false;            // A PSB PTE covers placed pages.
   };
 
+  // Reservation keys deliberately erase the domain: the allocator keys
+  // reservations by a salted integer, not by VPBN.
   std::uint64_t ReservationKey(Vpbn vpbn) const {
-    return (std::uint64_t{id_} << 48) ^ vpbn;
+    return (std::uint64_t{id_} << 48) ^ vpbn.raw();
   }
-  Vpn BlockFirstVpn(Vpbn vpbn) const { return vpbn * factor_; }
+  Vpn BlockFirstVpn(Vpbn vpbn) const { return FirstVpnOfBlock(vpbn, factor_); }
   // The block's aligned physical base, valid when any page is placed.
   Ppn BlockPpnBase(const BlockState& b) const;
   void MapNewPage(Vpbn vpbn, BlockState& block, unsigned boff, bool placed);

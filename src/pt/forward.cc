@@ -25,11 +25,11 @@ TlbFill ForwardMappedPageTable::FillFromWord(Vpn vpn, MappingWord word) const {
       break;
     case MappingKind::kSuperpage:
       fill.pages_log2 = word.page_size().size_log2;
-      fill.base_vpn = vpn & ~(Vpn{word.page_size().pages()} - 1);
+      fill.base_vpn = SuperpageBaseVpn(vpn, word.page_size());
       break;
     case MappingKind::kPartialSubblock:
       fill.pages_log2 = kPsbPagesLog2;
-      fill.base_vpn = vpn & ~((Vpn{1} << kPsbPagesLog2) - 1);
+      fill.base_vpn = SuperpageBaseVpn(vpn, PageSize{kPsbPagesLog2});
       break;
   }
   return fill;
@@ -249,7 +249,7 @@ bool ForwardMappedPageTable::RemoveBase(Vpn vpn) {
 
 void ForwardMappedPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn,
                                              Attr attr) {
-  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(IsSuperpageAligned(base_vpn, size) && IsSuperpageAligned(base_ppn, size));
   const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
   if (opts_.intermediate_superpages) {
     // Find the level whose subtree coverage equals the superpage size.
@@ -293,7 +293,8 @@ void ForwardMappedPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned 
                                                    Ppn block_base_ppn, Attr attr,
                                                    std::uint16_t valid_vector) {
   CPT_DCHECK(subblock_factor == (1u << kPsbPagesLog2));
-  CPT_DCHECK(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
+  CPT_DCHECK(BoffOf(block_base_vpn, subblock_factor) == 0 &&
+             IsSuperpageAligned(block_base_ppn, PageSize{kPsbPagesLog2}));
   const MappingWord word = MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector);
   for (unsigned i = 0; i < subblock_factor; ++i) {
     SetSlot(block_base_vpn + i, word);
@@ -330,7 +331,7 @@ void ForwardMappedPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
     check::PtNodeView view;
     view.bucket = 1;
     view.tag = prefix;
-    view.base_vpn = prefix << kLevelBits[0];
+    view.base_vpn = Vpn{prefix << kLevelBits[0]};
     view.sub_log2 = 0;
     view.words = leaf.slots.data();
     view.num_words = kLeafEntries;
@@ -346,7 +347,7 @@ void ForwardMappedPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
         check::PtNodeView view;
         view.bucket = level;
         view.tag = prefix;
-        view.base_vpn = ((prefix << kLevelBits[level - 1]) | idx) << ShiftOfLevel(level);
+        view.base_vpn = Vpn{((prefix << kLevelBits[level - 1]) | idx) << ShiftOfLevel(level)};
         view.sub_log2 = ShiftOfLevel(level);
         view.words = &word;
         view.num_words = 1;

@@ -77,13 +77,13 @@ class ForwardMappedPageTable final : public PageTable {
   friend class check::TestBackdoor;
 
   struct Leaf {
-    PhysAddr addr = 0;
+    PhysAddr addr{};
     std::array<MappingWord, kLeafEntries> slots{};
     unsigned live = 0;
   };
 
   struct Inner {
-    PhysAddr addr = 0;
+    PhysAddr addr{};
     std::uint32_t children = 0;
     // Intermediate-superpage words keyed by slot index (extension).
     std::unordered_map<unsigned, MappingWord> super_slots;
@@ -96,11 +96,15 @@ class ForwardMappedPageTable final : public PageTable {
     }
     return shift;
   }
+  // Tree coordinates deliberately erase the domain: each level consumes a
+  // fixed VPN field as a slot index, and the remaining high bits key the
+  // node maps.  These are the only crossings from Vpn to tree coordinates.
   static constexpr unsigned IndexAt(Vpn vpn, unsigned level) {
-    return static_cast<unsigned>((vpn >> ShiftOfLevel(level)) & ((1u << kLevelBits[level - 1]) - 1));
+    return static_cast<unsigned>((vpn.raw() >> ShiftOfLevel(level)) &
+                                 ((1u << kLevelBits[level - 1]) - 1));
   }
   static constexpr std::uint64_t PrefixAt(Vpn vpn, unsigned level) {
-    return vpn >> (ShiftOfLevel(level) + kLevelBits[level - 1]);
+    return vpn.raw() >> (ShiftOfLevel(level) + kLevelBits[level - 1]);
   }
   static constexpr std::uint64_t NodeBytesOfLevel(unsigned level) {
     return (std::uint64_t{1} << kLevelBits[level - 1]) * 8;

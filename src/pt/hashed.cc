@@ -121,11 +121,11 @@ std::optional<TlbFill> HashedPageTable::LookupKey(std::uint64_t key, Vpn faultin
 
 std::optional<TlbFill> HashedPageTable::Lookup(VirtAddr va) {
   const Vpn vpn = VpnOf(va);
-  return LookupKey(vpn >> opts_.tag_shift, vpn);
+  return LookupKey(ChainKeyOf(vpn), vpn);
 }
 
 void HashedPageTable::UpsertWord(Vpn base_vpn, MappingWord word) {
-  const std::uint64_t key = base_vpn >> opts_.tag_shift;
+  const std::uint64_t key = ChainKeyOf(base_vpn);
   const std::uint32_t b = hasher_(key);
   for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
     Node& n = arena_[idx];
@@ -177,7 +177,7 @@ void HashedPageTable::InsertBase(Vpn vpn, Ppn ppn, Attr attr) {
 
 bool HashedPageTable::RemoveBase(Vpn vpn) {
   CPT_DCHECK(opts_.tag_shift == 0);
-  return RemoveKey(vpn);
+  return RemoveKey(ChainKeyOf(vpn));
 }
 
 std::optional<MappingWord> HashedPageTable::Peek(std::uint64_t key) const {
@@ -198,8 +198,8 @@ std::uint64_t HashedPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages,
     return 0;
   }
   std::uint64_t searches = 0;
-  const std::uint64_t first_key = first_vpn >> opts_.tag_shift;
-  const std::uint64_t last_key = (first_vpn + npages - 1) >> opts_.tag_shift;
+  const std::uint64_t first_key = ChainKeyOf(first_vpn);
+  const std::uint64_t last_key = ChainKeyOf(first_vpn + (npages - 1));
   for (std::uint64_t key = first_key; key <= last_key; ++key) {
     ++searches;
     const std::uint32_t b = hasher_(key);

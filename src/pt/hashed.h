@@ -100,11 +100,16 @@ class HashedPageTable final : public PageTable {
 
   struct Node {
     std::uint64_t key = 0;
-    Vpn base_vpn = 0;  // First VPN covered by the word (host-side metadata).
+    Vpn base_vpn{};  // First VPN covered by the word (host-side metadata).
     MappingWord word{};
     std::int32_t next = kNil;
-    PhysAddr addr = 0;
+    PhysAddr addr{};
   };
+
+  // Chain keys deliberately erase the domain: a base-keyed table tags nodes
+  // with the VPN, a block-keyed one (tag_shift == log2(s)) with the VPBN.
+  // This is the only crossing from Vpn to a raw chain key.
+  std::uint64_t ChainKeyOf(Vpn vpn) const { return vpn.raw() >> opts_.tag_shift; }
 
   std::uint64_t NodeBytes() const { return opts_.packed_pte ? 16 : 24; }
   std::uint64_t TagNextBytes() const { return opts_.packed_pte ? 8 : 16; }
@@ -123,7 +128,7 @@ class HashedPageTable final : public PageTable {
   Options opts_;
   BucketHasher hasher_;
   mem::SimAllocator alloc_;
-  PhysAddr bucket_base_ = 0;
+  PhysAddr bucket_base_{};
   std::uint64_t bucket_stride_ = 0;
   std::vector<Node> arena_;
   std::vector<std::int32_t> free_nodes_;

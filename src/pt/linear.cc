@@ -27,18 +27,18 @@ TlbFill LinearPageTable::FillFromWord(Vpn vpn, MappingWord word) const {
       break;
     case MappingKind::kSuperpage:
       fill.pages_log2 = word.page_size().size_log2;
-      fill.base_vpn = vpn & ~(Vpn{word.page_size().pages()} - 1);
+      fill.base_vpn = SuperpageBaseVpn(vpn, word.page_size());
       break;
     case MappingKind::kPartialSubblock:
       fill.pages_log2 = kPsbPagesLog2;
-      fill.base_vpn = vpn & ~((Vpn{1} << kPsbPagesLog2) - 1);
+      fill.base_vpn = SuperpageBaseVpn(vpn, PageSize{kPsbPagesLog2});
       break;
   }
   return fill;
 }
 
 LinearPageTable::Leaf& LinearPageTable::LeafFor(Vpn vpn) {
-  const std::uint64_t leaf_index = vpn >> kBitsPerLevel;
+  const std::uint64_t leaf_index = LeafIndexOf(vpn);
   auto [it, inserted] = leaves_.try_emplace(leaf_index);
   if (inserted) {
     it->second.addr = alloc_.Allocate(kBasePageSize);
@@ -48,7 +48,7 @@ LinearPageTable::Leaf& LinearPageTable::LeafFor(Vpn vpn) {
 }
 
 LinearPageTable::Leaf* LinearPageTable::FindLeaf(Vpn vpn) {
-  auto it = leaves_.find(vpn >> kBitsPerLevel);
+  auto it = leaves_.find(LeafIndexOf(vpn));
   return it == leaves_.end() ? nullptr : &it->second;
 }
 
@@ -79,7 +79,7 @@ void LinearPageTable::RemoveUpperLevels(std::uint64_t leaf_index) {
 
 void LinearPageTable::SetSlot(Vpn vpn, MappingWord word) {
   Leaf& leaf = LeafFor(vpn);
-  MappingWord& slot = leaf.slots[vpn % kPtesPerPage];
+  MappingWord& slot = leaf.slots[SlotIndexOf(vpn)];
   const bool was_occupied = slot != MappingWord::Invalid();
   const bool was_translating = was_occupied && FillFromWord(vpn, slot).Covers(vpn);
   const bool now_occupied = word != MappingWord::Invalid();
@@ -95,7 +95,7 @@ MappingWord LinearPageTable::ClearSlot(Vpn vpn) {
   if (leaf == nullptr) {
     return MappingWord::Invalid();
   }
-  MappingWord& slot = leaf->slots[vpn % kPtesPerPage];
+  MappingWord& slot = leaf->slots[SlotIndexOf(vpn)];
   const MappingWord old = slot;
   if (old != MappingWord::Invalid()) {
     if (FillFromWord(vpn, old).Covers(vpn)) {
@@ -103,7 +103,7 @@ MappingWord LinearPageTable::ClearSlot(Vpn vpn) {
     }
     slot = MappingWord::Invalid();
     if (--leaf->live == 0) {
-      const std::uint64_t leaf_index = vpn >> kBitsPerLevel;
+      const std::uint64_t leaf_index = LeafIndexOf(vpn);
       alloc_.Free(leaf->addr, kBasePageSize);
       leaves_.erase(leaf_index);
       RemoveUpperLevels(leaf_index);
@@ -118,7 +118,7 @@ std::optional<TlbFill> LinearPageTable::Lookup(VirtAddr va) {
   if (leaf == nullptr) {
     return std::nullopt;  // The PTE page itself is unmapped: page fault.
   }
-  const unsigned slot = static_cast<unsigned>(vpn % kPtesPerPage);
+  const unsigned slot = SlotIndexOf(vpn);
   // One access to the (virtually addressed) PTE — always a single line.
   cache_.Touch(leaf->addr + slot * 8, 8);
   if (obs::WalkTracer* const tracer = cache_.tracer()) {
@@ -155,7 +155,7 @@ void LinearPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
   if (leaf == nullptr) {
     return;
   }
-  const unsigned slot0 = static_cast<unsigned>(first % kPtesPerPage);
+  const unsigned slot0 = SlotIndexOf(first);
   cache_.Touch(leaf->addr + slot0 * 8, std::uint64_t{subblock_factor} * 8);
   for (unsigned i = 0; i < subblock_factor; ++i) {
     const MappingWord word = leaf->slots[slot0 + i];
@@ -178,7 +178,7 @@ bool LinearPageTable::RemoveBase(Vpn vpn) { return ClearSlot(vpn) != MappingWord
 void LinearPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
   // Replicate-PTEs (Section 4.2): the superpage PTE is stored at the page
   // table site of every base page it covers.
-  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(IsSuperpageAligned(base_vpn, size) && IsSuperpageAligned(base_ppn, size));
   const MappingWord word = MappingWord::Superpage(base_ppn, attr, size);
   for (unsigned i = 0; i < size.pages(); ++i) {
     SetSlot(base_vpn + i, word);
@@ -199,7 +199,8 @@ void LinearPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subbloc
   // Replicated at every base site; updating the vector rewrites all replicas
   // (the §4.3 multi-PTE update cost of replication).
   CPT_DCHECK(subblock_factor == (1u << kPsbPagesLog2));
-  CPT_DCHECK(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
+  CPT_DCHECK(BoffOf(block_base_vpn, subblock_factor) == 0 &&
+             IsSuperpageAligned(block_base_ppn, PageSize{kPsbPagesLog2}));
   const MappingWord word = MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector);
   for (unsigned i = 0; i < subblock_factor; ++i) {
     SetSlot(block_base_vpn + i, word);
@@ -221,7 +222,7 @@ std::uint64_t LinearPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages,
     if (leaf == nullptr) {
       continue;
     }
-    MappingWord& slot = leaf->slots[(first_vpn + i) % kPtesPerPage];
+    MappingWord& slot = leaf->slots[SlotIndexOf(first_vpn + i)];
     if (slot != MappingWord::Invalid()) {
       slot = slot.with_attr(attr);
     }
@@ -237,7 +238,7 @@ void LinearPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
     check::PtNodeView view;
     view.bucket = 0;
     view.tag = leaf_index;
-    view.base_vpn = leaf_index << kBitsPerLevel;
+    view.base_vpn = FirstVpnOfLeaf(leaf_index);
     view.sub_log2 = 0;
     view.words = leaf.slots.data();
     view.num_words = kPtesPerPage;

@@ -86,10 +86,21 @@ class LinearPageTable final : public PageTable {
   friend class check::TestBackdoor;
 
   struct Leaf {
-    PhysAddr addr = 0;
+    PhysAddr addr{};
     std::array<MappingWord, kPtesPerPage> slots{};
     unsigned live = 0;
   };
+
+  // Tree indices deliberately erase the domain: the 6-level radix tree keys
+  // level i by vpn >> (9*i), a plain array index.  These are the only
+  // crossings from Vpn to a leaf index / slot number and back.
+  static constexpr std::uint64_t LeafIndexOf(Vpn vpn) { return vpn.raw() >> kBitsPerLevel; }
+  static constexpr unsigned SlotIndexOf(Vpn vpn) {
+    return static_cast<unsigned>(vpn.raw() % kPtesPerPage);
+  }
+  static constexpr Vpn FirstVpnOfLeaf(std::uint64_t leaf_index) {
+    return Vpn{leaf_index << kBitsPerLevel};
+  }
 
   Leaf& LeafFor(Vpn vpn);
   Leaf* FindLeaf(Vpn vpn);

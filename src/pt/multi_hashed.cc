@@ -48,8 +48,8 @@ std::optional<TlbFill> MultiTableHashed::Lookup(VirtAddr va) {
   const Vpn vpn = VpnOf(va);
   HashedPageTable* first = &base_;
   HashedPageTable* second = &block_;
-  std::uint64_t first_key = vpn;
-  std::uint64_t second_key = vpn >> block_shift_;
+  std::uint64_t first_key = BaseKeyOf(vpn);
+  std::uint64_t second_key = BlockKeyOf(vpn);
   if (opts_.order == SearchOrder::kBlockFirst) {
     std::swap(first, second);
     std::swap(first_key, second_key);
@@ -67,25 +67,26 @@ void MultiTableHashed::InsertBase(Vpn vpn, Ppn ppn, Attr attr) { base_.InsertBas
 bool MultiTableHashed::RemoveBase(Vpn vpn) { return base_.RemoveBase(vpn); }
 
 void MultiTableHashed::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_ppn, Attr attr) {
-  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(IsSuperpageAligned(base_vpn, size) && IsSuperpageAligned(base_ppn, size));
   block_.UpsertWord(base_vpn, MappingWord::Superpage(base_ppn, attr, size));
 }
 
 bool MultiTableHashed::RemoveSuperpage(Vpn base_vpn, PageSize /*size*/) {
-  return block_.RemoveKey(base_vpn >> block_shift_);
+  return block_.RemoveKey(BlockKeyOf(base_vpn));
 }
 
 void MultiTableHashed::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor,
                                              Ppn block_base_ppn, Attr attr,
                                              std::uint16_t valid_vector) {
   CPT_DCHECK(subblock_factor == opts_.subblock_factor);
-  CPT_DCHECK(block_base_vpn % subblock_factor == 0 && block_base_ppn % subblock_factor == 0);
+  CPT_DCHECK(BoffOf(block_base_vpn, subblock_factor) == 0 &&
+             IsSuperpageAligned(block_base_ppn, PageSize{Log2(subblock_factor)}));
   block_.UpsertWord(block_base_vpn,
                     MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector));
 }
 
 bool MultiTableHashed::RemovePartialSubblock(Vpn block_base_vpn, unsigned /*subblock_factor*/) {
-  return block_.RemoveKey(block_base_vpn >> block_shift_);
+  return block_.RemoveKey(BlockKeyOf(block_base_vpn));
 }
 
 std::uint64_t MultiTableHashed::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
@@ -153,7 +154,7 @@ std::uint64_t SuperpageIndexHashed::TranslationCount(const Node& n) const {
 
 std::optional<TlbFill> SuperpageIndexHashed::Lookup(VirtAddr va) {
   const Vpn vpn = VpnOf(va);
-  const std::uint32_t b = hasher_(vpn >> block_shift_);
+  const std::uint32_t b = hasher_(BlockKeyOf(vpn));
   cache_.Touch(BucketAddr(b), 16);
   bool head = true;
   std::uint32_t chain_pos = 0;
@@ -171,7 +172,8 @@ std::optional<TlbFill> SuperpageIndexHashed::Lookup(VirtAddr va) {
     }
     // Tag comparison checks whether this node's covered range contains the
     // faulting page; superpage and base PTEs for one block share the bucket.
-    if ((vpn >> n.pages_log2) == (n.base_vpn >> n.pages_log2)) {
+    const PageSize node_size{n.pages_log2};
+    if (SuperpageBaseVpn(vpn, node_size) == SuperpageBaseVpn(n.base_vpn, node_size)) {
       cache_.Touch(addr + 16, 8);
       TlbFill fill = FillFrom(n);
       if (fill.Covers(vpn)) {
@@ -189,7 +191,7 @@ std::optional<TlbFill> SuperpageIndexHashed::Lookup(VirtAddr va) {
 }
 
 std::int32_t* SuperpageIndexHashed::FindLink(Vpn base_vpn, unsigned pages_log2, MappingKind kind) {
-  const std::uint32_t b = hasher_(base_vpn >> block_shift_);
+  const std::uint32_t b = hasher_(BlockKeyOf(base_vpn));
   std::int32_t* link = &buckets_[b];
   while (*link != kNil) {
     Node& n = arena_[*link];
@@ -217,7 +219,7 @@ void SuperpageIndexHashed::Upsert(Vpn base_vpn, unsigned pages_log2, MappingWord
     arena_.push_back(Node{});
     idx = static_cast<std::int32_t>(arena_.size() - 1);
   }
-  const std::uint32_t b = hasher_(base_vpn >> block_shift_);
+  const std::uint32_t b = hasher_(BlockKeyOf(base_vpn));
   Node& n = arena_[idx];
   n.base_vpn = base_vpn;
   n.pages_log2 = pages_log2;
@@ -255,7 +257,7 @@ void SuperpageIndexHashed::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base
   // Superpages larger than the hash-index size "must be handled another way"
   // (Section 4.2); this implementation restricts them to the index size.
   CPT_DCHECK(size.pages() <= opts_.subblock_factor);
-  CPT_DCHECK(base_vpn % size.pages() == 0 && base_ppn % size.pages() == 0);
+  CPT_DCHECK(IsSuperpageAligned(base_vpn, size) && IsSuperpageAligned(base_ppn, size));
   Upsert(base_vpn, size.size_log2, MappingWord::Superpage(base_ppn, attr, size));
 }
 
@@ -282,13 +284,13 @@ std::uint64_t SuperpageIndexHashed::ProtectRange(Vpn first_vpn, std::uint64_t np
   // One bucket search per page block; every node overlapping the range gets
   // its attributes rewritten.
   std::uint64_t searches = 0;
-  const Vpn last_vpn = first_vpn + npages - 1;
-  for (std::uint64_t key = first_vpn >> block_shift_; key <= (last_vpn >> block_shift_); ++key) {
+  const Vpn last_vpn = first_vpn + (npages - 1);
+  for (std::uint64_t key = BlockKeyOf(first_vpn); key <= BlockKeyOf(last_vpn); ++key) {
     ++searches;
     const std::uint32_t b = hasher_(key);
     for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
       Node& n = arena_[idx];
-      if ((n.base_vpn >> block_shift_) == key && n.base_vpn >= first_vpn &&
+      if (BlockKeyOf(n.base_vpn) == key && n.base_vpn >= first_vpn &&
           n.base_vpn <= last_vpn) {
         n.word = n.word.with_attr(attr);
       }
@@ -319,7 +321,7 @@ void SuperpageIndexHashed::AuditVisit(check::PtAuditVisitor& visitor) const {
       const Node& n = arena_[idx];
       check::PtNodeView view;
       view.bucket = b;
-      view.tag = n.base_vpn >> block_shift_;
+      view.tag = BlockKeyOf(n.base_vpn);
       view.base_vpn = n.base_vpn;
       view.sub_log2 = n.pages_log2;
       view.words = &n.word;

@@ -72,6 +72,13 @@ class MultiTableHashed final : public PageTable {
   void AuditVisit(check::PtAuditVisitor& visitor) const;
 
  private:
+  // Chain keys for the constituent tables deliberately erase the domain: the
+  // base table is VPN-keyed (tag_shift 0), the block table VPBN-keyed.  These
+  // are the only crossings from Vpn to the raw keys LookupKey/RemoveKey take.
+  std::uint64_t BaseKeyOf(Vpn vpn) const { return vpn.raw(); }
+  // cpt-lint: allow(raw-address-param): the sanctioned key crossing above.
+  std::uint64_t BlockKeyOf(Vpn vpn) const { return vpn.raw() >> block_shift_; }
+
   Options opts_;
   unsigned block_shift_;
   HashedPageTable base_;
@@ -109,7 +116,7 @@ class SuperpageIndexHashed final : public PageTable {
   // ---- Invariant auditing (src/check) ----
   unsigned block_shift() const { return block_shift_; }
   std::uint64_t node_count() const { return live_nodes_; }
-  std::uint32_t BucketOfVpn(Vpn vpn) const { return hasher_(vpn >> block_shift_); }
+  std::uint32_t BucketOfVpn(Vpn vpn) const { return hasher_(BlockKeyOf(vpn)); }
   void AuditVisit(check::PtAuditVisitor& visitor) const;
 
  private:
@@ -117,13 +124,19 @@ class SuperpageIndexHashed final : public PageTable {
 
   static constexpr std::int32_t kNil = -1;
 
+  // Hash keys deliberately erase the domain: every node — base, superpage,
+  // or partial-subblock — hashes by its page-block number so one probe finds
+  // them all.  This is the only crossing from Vpn to a raw hash key.
+  // cpt-lint: allow(raw-address-param)
+  std::uint64_t BlockKeyOf(Vpn vpn) const { return vpn.raw() >> block_shift_; }
+
   // A node tagged by the exact range it covers; hashed by page block.
   struct Node {
-    Vpn base_vpn = 0;
+    Vpn base_vpn{};
     unsigned pages_log2 = 0;
     MappingWord word{};
     std::int32_t next = kNil;
-    PhysAddr addr = 0;
+    PhysAddr addr{};
   };
 
   std::int32_t* FindLink(Vpn base_vpn, unsigned pages_log2, MappingKind kind);
@@ -139,7 +152,7 @@ class SuperpageIndexHashed final : public PageTable {
   unsigned block_shift_;
   BucketHasher hasher_;
   mem::SimAllocator alloc_;
-  PhysAddr bucket_base_ = 0;
+  PhysAddr bucket_base_{};
   std::vector<Node> arena_;
   std::vector<std::int32_t> free_nodes_;
   std::vector<std::int32_t> buckets_;

@@ -32,14 +32,15 @@ namespace cpt::pt {
 // What a successful page-table walk loads into the TLB.
 struct TlbFill {
   MappingKind kind = MappingKind::kBase;
-  Vpn base_vpn = 0;         // First VPN covered by this entry.
+  Vpn base_vpn{};         // First VPN covered by this entry.
   unsigned pages_log2 = 0;  // log2(base pages covered).
   MappingWord word{};
 
   unsigned pages() const { return 1u << pages_log2; }
 
   bool Covers(Vpn vpn) const {
-    if ((vpn >> pages_log2) != (base_vpn >> pages_log2) || vpn < base_vpn) {
+    const PageSize size{pages_log2};
+    if (SuperpageBaseVpn(vpn, size) != SuperpageBaseVpn(base_vpn, size) || vpn < base_vpn) {
       return false;
     }
     if (kind == MappingKind::kPartialSubblock) {

@@ -82,8 +82,11 @@ class SoftwareTlb final : public PageTable {
     std::vector<TlbFill> fills;      // 1 fill (base) or up to s (clustered).
   };
 
+  // Slot keys deliberately erase the domain: one array caches VPN-keyed
+  // (base) or VPBN-keyed (clustered) entries depending on configuration, so
+  // the tag is a raw word and only this function may produce one.
   std::uint64_t KeyOf(Vpn vpn) const {
-    return opts_.clustered_entries ? VpbnOf(vpn, opts_.subblock_factor) : vpn;
+    return opts_.clustered_entries ? VpbnOf(vpn, opts_.subblock_factor).raw() : vpn.raw();
   }
   std::uint64_t EntryBytes() const {
     return opts_.clustered_entries ? 8 + 8ull * opts_.subblock_factor : 16;
@@ -98,7 +101,7 @@ class SoftwareTlb final : public PageTable {
   std::unique_ptr<PageTable> backing_;
   BucketHasher hasher_;
   mem::SimAllocator alloc_;
-  PhysAddr array_base_ = 0;
+  PhysAddr array_base_{};
   std::uint64_t slot_stride_ = 0;
   std::vector<Entry> entries_;  // num_sets * ways.
   std::uint64_t clock_ = 0;

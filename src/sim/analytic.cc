@@ -11,7 +11,9 @@ std::uint64_t Nactive(const std::vector<Vpn>& mapped, std::uint64_t region_pages
   std::vector<std::uint64_t> regions;
   regions.reserve(mapped.size());
   for (const Vpn vpn : mapped) {
-    regions.push_back(vpn / region_pages);
+    // Region binning deliberately erases the domain: regions are plain
+    // integer bins of the VPN space.
+    regions.push_back(vpn.raw() / region_pages);
   }
   std::sort(regions.begin(), regions.end());
   regions.erase(std::unique(regions.begin(), regions.end()), regions.end());

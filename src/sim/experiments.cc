@@ -76,8 +76,10 @@ obs::SegmentMap BuildSegmentMap(const workload::WorkloadSpec& spec, bool shared_
     const auto asid = static_cast<std::uint16_t>(p);
     for (const workload::Segment& seg : spec.processes[p].segments) {
       const VirtAddr base =
-          shared_page_table ? seg.base ^ (VirtAddr{asid} << 49) : seg.base;
-      const std::uint64_t begin = VpnOf(base);
+          shared_page_table
+              ? VirtAddr{seg.base.raw() ^ (std::uint64_t{asid} << 49)}
+              : seg.base;
+      const Vpn begin = VpnOf(base);
       map.Add(asid, begin, begin + seg.span_pages, SegmentClassOf(seg.kind));
     }
   }

@@ -166,9 +166,10 @@ class Machine {
   const ProcessCtx& CtxOf(tlb::Asid asid) const {
     return procs_[opts_.shared_page_table ? 0 : asid];
   }
-  // Folds the process id into the high VPN bits under a shared table.
+  // Folds the process id into the high VPN bits under a shared table.  The
+  // salt deliberately erases the domain: it is a raw-bit perturbation.
   VirtAddr EffectiveVa(tlb::Asid asid, VirtAddr va) const {
-    return opts_.shared_page_table ? va ^ (VirtAddr{asid} << 49) : va;
+    return opts_.shared_page_table ? VirtAddr{va.raw() ^ (std::uint64_t{asid} << 49)} : va;
   }
   // Counted walk; page faults are handled and the walk re-runs.  Returns
   // nullopt only if memory is exhausted.

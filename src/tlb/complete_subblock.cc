@@ -100,7 +100,7 @@ void CompleteSubblockTlb::AuditVisit(check::TlbAuditVisitor& visitor) const {
     view.asid = e.asid;
     view.stamp = e.stamp;
     view.base_vpn = FirstVpnOfBlock(e.vpbn, factor_);
-    view.base_ppn = 0;
+    view.base_ppn = Ppn{};
     view.pages_log2 = Log2(factor_);
     view.valid_vector = e.vector;
     view.block_entry = true;

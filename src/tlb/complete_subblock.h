@@ -46,7 +46,7 @@ class CompleteSubblockTlb final : public Tlb {
 
   struct Entry {
     Asid asid = 0;
-    Vpbn vpbn = 0;
+    Vpbn vpbn{};
     std::uint64_t vector = 0;  // Valid bit per base page.
     std::array<Ppn, kMaxFactor> ppns{};
     bool valid = false;

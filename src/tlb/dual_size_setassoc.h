@@ -46,19 +46,22 @@ class DualSizeSetAssocTlb final : public Tlb {
 
   struct Entry {
     Asid asid = 0;
-    Vpn base_vpn = 0;
-    Ppn base_ppn = 0;
+    Vpn base_vpn{};
+    Ppn base_ppn{};
     unsigned pages_log2 = 0;  // 0 = base page; superpage_log2 = large page.
     bool valid = false;
     std::uint64_t stamp = 0;
   };
 
+  // Set indexing always uses the superpage-index bits, whatever the entry's
+  // actual size — that is the design point under test.  Raw crossing.
   unsigned SetOf(Vpn vpn) const {
-    return static_cast<unsigned>((vpn >> superpage_log2_) & (num_sets_ - 1));
+    return static_cast<unsigned>((vpn.raw() >> superpage_log2_) & (num_sets_ - 1));
   }
   bool Matches(const Entry& e, Asid asid, Vpn vpn) const {
+    const PageSize size{e.pages_log2};
     return e.valid && e.asid == asid &&
-           (vpn >> e.pages_log2) == (e.base_vpn >> e.pages_log2);
+           SuperpageBaseVpn(vpn, size) == SuperpageBaseVpn(e.base_vpn, size);
   }
 
   unsigned num_sets_;

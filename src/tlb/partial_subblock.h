@@ -38,12 +38,12 @@ class PartialSubblockTlb final : public Tlb {
 
   struct Entry {
     Asid asid = 0;
-    Vpbn vpbn = 0;
-    Ppn block_ppn = 0;            // Block-aligned when vector-mapped.
+    Vpbn vpbn{};
+    Ppn block_ppn{};            // Block-aligned when vector-mapped.
     std::uint16_t vector = 0;     // Valid bits; single-page entries set one.
     bool block_entry = false;     // True: PSB/superpage form; false: one page.
-    Vpn single_vpn = 0;           // Valid when !block_entry.
-    Ppn single_ppn = 0;
+    Vpn single_vpn{};           // Valid when !block_entry.
+    Ppn single_ppn{};
     bool valid = false;
     std::uint64_t stamp = 0;
   };

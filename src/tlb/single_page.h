@@ -28,8 +28,8 @@ class SinglePageTlb final : public Tlb {
 
   struct Entry {
     Asid asid = 0;
-    Vpn vpn = 0;
-    Ppn ppn = 0;
+    Vpn vpn{};
+    Ppn ppn{};
     bool valid = false;
     std::uint64_t stamp = 0;
   };

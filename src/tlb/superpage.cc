@@ -8,7 +8,9 @@ SuperpageTlb::SuperpageTlb(unsigned num_entries) : Tlb(num_entries), entries_(nu
 
 LookupOutcome SuperpageTlb::Lookup(Asid asid, Vpn vpn) {
   for (Entry& e : entries_) {
-    if (e.valid && e.asid == asid && (vpn >> e.pages_log2) == (e.base_vpn >> e.pages_log2)) {
+    const PageSize size{e.pages_log2};
+    if (e.valid && e.asid == asid &&
+        SuperpageBaseVpn(vpn, size) == SuperpageBaseVpn(e.base_vpn, size)) {
       e.stamp = NextStamp();
       RecordHit();
       if (e.pages_log2 > 0) {

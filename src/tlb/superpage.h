@@ -35,8 +35,8 @@ class SuperpageTlb final : public Tlb {
 
   struct Entry {
     Asid asid = 0;
-    Vpn base_vpn = 0;
-    Ppn base_ppn = 0;
+    Vpn base_vpn{};
+    Ppn base_ppn{};
     unsigned pages_log2 = 0;
     bool valid = false;
     std::uint64_t stamp = 0;

@@ -19,16 +19,16 @@ namespace cpt::workload {
 
 namespace {
 
-constexpr VirtAddr kTextBase = 0x0000000000400000ull;
-constexpr VirtAddr kHeapBase = 0x0000000010000000ull;
-constexpr VirtAddr kDataBase = 0x0000000020000000ull;
-constexpr VirtAddr kMmapBase = 0x00007f0000000000ull;
-constexpr VirtAddr kStackTop = 0x00007fffff000000ull;
+constexpr VirtAddr kTextBase{0x0000000000400000ull};
+constexpr VirtAddr kHeapBase{0x0000000010000000ull};
+constexpr VirtAddr kDataBase{0x0000000020000000ull};
+constexpr VirtAddr kMmapBase{0x00007f0000000000ull};
+constexpr VirtAddr kStackTop{0x00007fffff000000ull};
 
 // Distance between unrelated processes' layouts (keeps reservation keys and
 // linear-tree paths distinct per process even though each process has its
-// own page table).
-constexpr VirtAddr kProcStride = 0x0000010000000000ull;
+// own page table).  A distance, not an address, so it stays a plain integer.
+constexpr std::uint64_t kProcStride = 0x0000010000000000ull;
 
 // Recovers the logical region of a composed segment base.  Per-process
 // offsets are kProcStride multiples, so the within-chunk offset identifies
@@ -36,16 +36,18 @@ constexpr VirtAddr kProcStride = 0x0000010000000000ull;
 // hanging just below kStackTop.  Arena bases composed with offsets large
 // enough to cross a region boundary must pass an explicit kind to Seg().
 SegmentKind ClassifySegmentBase(VirtAddr base) {
-  const VirtAddr chunk = base / kProcStride;
-  const VirtAddr local = base % kProcStride;
-  if (chunk >= kMmapBase / kProcStride) {
-    return local >= (kStackTop % kProcStride) - (1ull << 32) ? SegmentKind::kStack
-                                                             : SegmentKind::kMmap;
+  // Layout arithmetic deliberately erases the domain: process chunks are
+  // kProcStride-sized integer bins of the raw address.
+  const std::uint64_t chunk = base.raw() / kProcStride;
+  const std::uint64_t local = base.raw() % kProcStride;
+  if (chunk >= kMmapBase.raw() / kProcStride) {
+    return local >= (kStackTop.raw() % kProcStride) - (1ull << 32) ? SegmentKind::kStack
+                                                                   : SegmentKind::kMmap;
   }
-  if (local >= kDataBase) {
+  if (local >= kDataBase.raw()) {
     return SegmentKind::kData;
   }
-  if (local >= kHeapBase) {
+  if (local >= kHeapBase.raw()) {
     return SegmentKind::kHeap;
   }
   return SegmentKind::kText;
@@ -126,9 +128,9 @@ WorkloadSpec Compress() {
   ProcessSpec script;
   script.name = "script";
   script.segments = {
-      Seg(kProcStride + kTextBase, 45, 0.55, 5, 1.0, AccessPattern::kSequential, 115),
-      Seg(kProcStride + kHeapBase, 55, 0.5, 5, 1.0, AccessPattern::kRandom, 100),
-      Seg(kProcStride + kMmapBase, 26, 0.5, 4, 0.5, AccessPattern::kSequential, 140),
+      Seg(kTextBase + kProcStride, 45, 0.55, 5, 1.0, AccessPattern::kSequential, 115),
+      Seg(kHeapBase + kProcStride, 55, 0.5, 5, 1.0, AccessPattern::kRandom, 100),
+      Seg(kMmapBase + kProcStride, 26, 0.5, 4, 0.5, AccessPattern::kSequential, 140),
   };
   w.processes = {compress, script};
   return w;
@@ -271,12 +273,12 @@ WorkloadSpec Gcc() {
   for (unsigned i = 0; i < 4; ++i) {
     ProcessSpec h;
     h.name = helpers[i];
-    const VirtAddr off = kProcStride * (i + 1);
+    const std::uint64_t off = kProcStride * (i + 1);
     h.segments = {
-        Seg(off + kTextBase, helper_pages[i] / 2, 0.5, 5, 1.0, AccessPattern::kSequential,
+        Seg(kTextBase + off, helper_pages[i] / 2, 0.5, 5, 1.0, AccessPattern::kSequential,
             2600),
-        Seg(off + kHeapBase, helper_pages[i] / 2, 0.45, 4, 1.0, AccessPattern::kRandom, 2600),
-        Seg(off + kMmapBase + (VirtAddr{i} << 32), 10, 0.4, 3, 0.3,
+        Seg(kHeapBase + off, helper_pages[i] / 2, 0.45, 4, 1.0, AccessPattern::kRandom, 2600),
+        Seg(kMmapBase + (off + (std::uint64_t{i} << 32)), 10, 0.4, 3, 0.3,
             AccessPattern::kSequential, 2600),
     };
     w.processes.push_back(h);
@@ -293,10 +295,12 @@ WorkloadSpec Kernel() {
   ProcessSpec p;
   p.name = "kernel";
   p.segments = {
-      Seg(0xFFFFF00000000000ull, 1500, 0.99, 300, 1.0, AccessPattern::kSequential, 100),
-      Seg(0xFFFFF00100000000ull, 3900, 0.82, 13, 1.0, AccessPattern::kRandom, 100),
-      Seg(0xFFFFF00200000000ull, 2100, 0.97, 90, 1.0, AccessPattern::kSequential, 100),
-      Seg(0xFFFFF00300000000ull, 450, 0.6, 7, 1.0, AccessPattern::kRandom, 100),
+      Seg(VirtAddr{0xFFFFF00000000000ull}, 1500, 0.99, 300, 1.0, AccessPattern::kSequential,
+          100),
+      Seg(VirtAddr{0xFFFFF00100000000ull}, 3900, 0.82, 13, 1.0, AccessPattern::kRandom, 100),
+      Seg(VirtAddr{0xFFFFF00200000000ull}, 2100, 0.97, 90, 1.0, AccessPattern::kSequential,
+          100),
+      Seg(VirtAddr{0xFFFFF00300000000ull}, 450, 0.6, 7, 1.0, AccessPattern::kRandom, 100),
   };
   w.processes = {p};
   return w;

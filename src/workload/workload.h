@@ -55,7 +55,7 @@ static_assert(static_cast<std::size_t>(SegmentKind::kUnknown) + 1 == kSegmentKin
 const char* ToString(SegmentKind kind);
 
 struct Segment {
-  VirtAddr base = 0;          // Page-aligned start of the virtual span.
+  VirtAddr base{};          // Page-aligned start of the virtual span.
   std::uint64_t span_pages = 0;  // Virtual span length.
   double density = 1.0;       // Fraction of span pages actually mapped.
   double burst_mean = 16.0;   // Mean mapped-run length (spatial burstiness).
@@ -87,7 +87,7 @@ struct WorkloadSpec {
 
 struct Reference {
   tlb::Asid asid = 0;
-  VirtAddr va = 0;
+  VirtAddr va{};
   bool is_write = false;
 };
 
@@ -127,7 +127,7 @@ class TraceGenerator {
     std::vector<SegmentState> segments;
     std::vector<double> cumulative_weight;
     double total_weight = 0;
-    Vpn current_page = 0;
+    Vpn current_page{};
     std::uint64_t sojourn_left = 0;
     SegmentState* current_segment = nullptr;
   };

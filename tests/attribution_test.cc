@@ -228,22 +228,22 @@ TEST(MiniJsonTest, AcceptsValidRejectsInvalid) {
 
 TEST(SegmentMapTest, ClassifiesPerAsidRanges) {
   SegmentMap map;
-  map.Add(0, 100, 200, SegmentClass::kText);
-  map.Add(0, 500, 600, SegmentClass::kHeap);
-  map.Add(1, 100, 200, SegmentClass::kStack);
-  EXPECT_EQ(map.Classify(0, 100), SegmentClass::kText);
-  EXPECT_EQ(map.Classify(0, 199), SegmentClass::kText);
-  EXPECT_EQ(map.Classify(0, 200), SegmentClass::kUnknown) << "end is exclusive";
-  EXPECT_EQ(map.Classify(0, 550), SegmentClass::kHeap);
-  EXPECT_EQ(map.Classify(1, 150), SegmentClass::kStack);
-  EXPECT_EQ(map.Classify(2, 150), SegmentClass::kUnknown);
-  EXPECT_EQ(map.Classify(0, 50), SegmentClass::kUnknown);
+  map.Add(0, Vpn{100}, Vpn{200}, SegmentClass::kText);
+  map.Add(0, Vpn{500}, Vpn{600}, SegmentClass::kHeap);
+  map.Add(1, Vpn{100}, Vpn{200}, SegmentClass::kStack);
+  EXPECT_EQ(map.Classify(0, Vpn{100}), SegmentClass::kText);
+  EXPECT_EQ(map.Classify(0, Vpn{199}), SegmentClass::kText);
+  EXPECT_EQ(map.Classify(0, Vpn{200}), SegmentClass::kUnknown) << "end is exclusive";
+  EXPECT_EQ(map.Classify(0, Vpn{550}), SegmentClass::kHeap);
+  EXPECT_EQ(map.Classify(1, Vpn{150}), SegmentClass::kStack);
+  EXPECT_EQ(map.Classify(2, Vpn{150}), SegmentClass::kUnknown);
+  EXPECT_EQ(map.Classify(0, Vpn{50}), SegmentClass::kUnknown);
 }
 
 TEST(SegmentMapTest, EmptyMapClassifiesEverythingUnknown) {
   SegmentMap map;
   EXPECT_TRUE(map.empty());
-  EXPECT_EQ(map.Classify(0, 0), SegmentClass::kUnknown);
+  EXPECT_EQ(map.Classify(0, Vpn{0}), SegmentClass::kUnknown);
 }
 
 // --- TeeTracer -----------------------------------------------------------
@@ -253,8 +253,8 @@ TEST(TeeTracerTest, FansOutToEverySinkIgnoringNull) {
   RingBufferTracer b(8);
   TeeTracer tee{&a, nullptr, &b};
   EXPECT_EQ(tee.size(), 2u);
-  tee.Record({.kind = EventKind::kTlbMiss, .vpn = 1});
-  tee.Record({.kind = EventKind::kWalkEnd, .vpn = 1, .lines = 2});
+  tee.Record({.kind = EventKind::kTlbMiss, .vpn = Vpn{1}});
+  tee.Record({.kind = EventKind::kWalkEnd, .vpn = Vpn{1}, .lines = 2});
   EXPECT_EQ(a.total_recorded(), 2u);
   EXPECT_EQ(b.total_recorded(), 2u);
   EXPECT_EQ(a.counts()[EventKind::kWalkEnd], 1u);
@@ -263,22 +263,22 @@ TEST(TeeTracerTest, FansOutToEverySinkIgnoringNull) {
 // --- AttributionTracer: synthetic event streams --------------------------
 
 WalkEvent Miss(std::uint16_t asid, std::uint64_t vpn) {
-  return {.kind = EventKind::kTlbMiss, .asid = asid, .vpn = vpn};
+  return {.kind = EventKind::kTlbMiss, .asid = asid, .vpn = Vpn{vpn}};
 }
 WalkEvent Step(std::uint64_t vpn, std::uint32_t step) {
-  return {.kind = EventKind::kWalkStep, .vpn = vpn, .step = step, .lines = step};
+  return {.kind = EventKind::kWalkStep, .vpn = Vpn{vpn}, .step = step, .lines = step};
 }
 WalkEvent Hit(std::uint64_t vpn, WalkHitClass cls, unsigned pages_log2 = 0) {
-  return {.kind = EventKind::kWalkHit, .vpn = vpn,
+  return {.kind = EventKind::kWalkHit, .vpn = Vpn{vpn},
           .value = EncodeWalkHitClass(cls, pages_log2)};
 }
 WalkEvent End(std::uint64_t vpn, std::uint32_t lines) {
-  return {.kind = EventKind::kWalkEnd, .vpn = vpn, .lines = lines};
+  return {.kind = EventKind::kWalkEnd, .vpn = Vpn{vpn}, .lines = lines};
 }
 
 TEST(AttributionTracerTest, PlainWalkLandsInAllThreeDimensions) {
   SegmentMap map;
-  map.Add(0, 0x100, 0x200, SegmentClass::kHeap);
+  map.Add(0, Vpn{0x100}, Vpn{0x200}, SegmentClass::kHeap);
   AttributionTracer attr(&map);
   attr.Record(Miss(0, 0x150));
   attr.Record(Step(0x150, 1));
@@ -302,8 +302,8 @@ TEST(AttributionTracerTest, FaultedServiceCountsOnceAsFaultOutcome) {
   AttributionTracer attr;
   attr.Record(Miss(0, 7));
   attr.Record(Step(7, 1));
-  attr.Record({.kind = EventKind::kWalkAbort, .vpn = 7});
-  attr.Record({.kind = EventKind::kPageFault, .vpn = 7});
+  attr.Record({.kind = EventKind::kWalkAbort, .vpn = Vpn{7}});
+  attr.Record({.kind = EventKind::kPageFault, .vpn = Vpn{7}});
   attr.Record(Step(7, 2));
   attr.Record(Hit(7, WalkHitClass::kBase));
   attr.Record(End(7, 2));
@@ -317,12 +317,12 @@ TEST(AttributionTracerTest, FaultedServiceCountsOnceAsFaultOutcome) {
 
 TEST(AttributionTracerTest, BlockPrefetchMarkerCommitsLazily) {
   AttributionTracer attr;
-  attr.Record({.kind = EventKind::kTlbBlockMiss, .vpn = 16});
+  attr.Record({.kind = EventKind::kTlbBlockMiss, .vpn = Vpn{16}});
   attr.Record(Step(16, 1));
   attr.Record(End(16, 4));
   // The complete-subblock path publishes the prefetch marker *after* the
   // walk ends; it must re-label the walk it follows.
-  attr.Record({.kind = EventKind::kBlockPrefetch, .vpn = 16, .value = 4});
+  attr.Record({.kind = EventKind::kBlockPrefetch, .vpn = Vpn{16}, .value = 4});
   AttributionResult r = attr.Result();
   EXPECT_EQ(r.walks, 1u);
   ASSERT_EQ(r.by_page_class.size(), 1u);
@@ -362,7 +362,7 @@ TEST(AttributionTracerTest, EventsOutsideAServiceAreUncounted) {
   // event; they must not pollute the breakdown.
   attr.Record(Step(1, 1));
   attr.Record(End(1, 1));
-  attr.Record({.kind = EventKind::kWalkAbort, .vpn = 2});
+  attr.Record({.kind = EventKind::kWalkAbort, .vpn = Vpn{2}});
   AttributionResult r = attr.Result();
   EXPECT_TRUE(r.empty());
   EXPECT_EQ(r.walks, 0u);
@@ -374,16 +374,16 @@ TEST(AttributionTracerTest, ForwardsEveryEventDownstream) {
   attr.Record(Miss(0, 1));
   attr.Record(Step(1, 1));
   attr.Record(End(1, 1));
-  attr.Record({.kind = EventKind::kBlockPrefetch, .vpn = 1});
-  attr.Record({.kind = EventKind::kSwTlbMiss, .vpn = 2});
+  attr.Record({.kind = EventKind::kBlockPrefetch, .vpn = Vpn{1}});
+  attr.Record({.kind = EventKind::kSwTlbMiss, .vpn = Vpn{2}});
   EXPECT_EQ(ring.total_recorded(), 5u);
   EXPECT_EQ(ring.counts()[EventKind::kBlockPrefetch], 1u);
 }
 
 TEST(AttributionTracerTest, EveryDimensionSumsToTheTotals) {
   SegmentMap map;
-  map.Add(0, 0, 100, SegmentClass::kText);
-  map.Add(1, 0, 100, SegmentClass::kHeap);
+  map.Add(0, Vpn{0}, Vpn{100}, SegmentClass::kText);
+  map.Add(1, Vpn{0}, Vpn{100}, SegmentClass::kHeap);
   AttributionTracer attr(&map);
   // A mix: plain hits at different depths, a fault, a block prefetch, and
   // an out-of-map VPN.
@@ -398,14 +398,14 @@ TEST(AttributionTracerTest, EveryDimensionSumsToTheTotals) {
   attr.Record(End(20, 2));
   attr.Record(Miss(0, 5000));  // Unknown segment.
   attr.Record(Step(5000, 1));
-  attr.Record({.kind = EventKind::kWalkAbort, .vpn = 5000});
+  attr.Record({.kind = EventKind::kWalkAbort, .vpn = Vpn{5000}});
   attr.Record(Step(5000, 1));
   attr.Record(Hit(5000, WalkHitClass::kBase));
   attr.Record(End(5000, 5));
-  attr.Record({.kind = EventKind::kTlbBlockMiss, .asid = 1, .vpn = 32});
+  attr.Record({.kind = EventKind::kTlbBlockMiss, .asid = 1, .vpn = Vpn{32}});
   attr.Record(Step(32, 1));
   attr.Record(End(32, 4));
-  attr.Record({.kind = EventKind::kBlockPrefetch, .vpn = 32, .value = 4});
+  attr.Record({.kind = EventKind::kBlockPrefetch, .vpn = Vpn{32}, .value = 4});
   AttributionResult r = attr.Result();
   EXPECT_EQ(r.walks, 4u);
   EXPECT_EQ(r.lines, 12u);
@@ -423,7 +423,7 @@ TEST(AttributionTracerTest, EveryDimensionSumsToTheTotals) {
 
 TEST(AttributionTracerTest, ToJsonAndExportToEmitEveryCell) {
   SegmentMap map;
-  map.Add(0, 0, 100, SegmentClass::kData);
+  map.Add(0, Vpn{0}, Vpn{100}, SegmentClass::kData);
   AttributionTracer attr(&map);
   attr.Record(Miss(0, 1));
   attr.Record(Step(1, 1));
@@ -462,11 +462,11 @@ TEST(PerfettoExporterTest, EmitsWellFormedChromeTraceJson) {
     exporter.Record(Step(0x42, 1));
     exporter.Record(Hit(0x42, WalkHitClass::kBase));
     exporter.Record(End(0x42, 2));
-    exporter.Record({.kind = EventKind::kPageFault, .vpn = 0x43});
-    exporter.Record({.kind = EventKind::kPtePromotion, .vpn = 0x43, .value = 64});
-    exporter.Record({.kind = EventKind::kReservationGrant, .vpn = 0x44, .value = 1});
-    exporter.Record({.kind = EventKind::kSwTlbHit, .vpn = 0x45});
-    exporter.Record({.kind = EventKind::kBlockPrefetch, .vpn = 0x46, .value = 3});
+    exporter.Record({.kind = EventKind::kPageFault, .vpn = Vpn{0x43}});
+    exporter.Record({.kind = EventKind::kPtePromotion, .vpn = Vpn{0x43}, .value = 64});
+    exporter.Record({.kind = EventKind::kReservationGrant, .vpn = Vpn{0x44}, .value = 1});
+    exporter.Record({.kind = EventKind::kSwTlbHit, .vpn = Vpn{0x45}});
+    exporter.Record({.kind = EventKind::kBlockPrefetch, .vpn = Vpn{0x46}, .value = 3});
     exporter.Finish();
     EXPECT_GT(exporter.events_written(), 0u);
     EXPECT_EQ(exporter.events_dropped(), 0u);

@@ -9,7 +9,7 @@ namespace {
 TEST(CacheTouchModelTest, SingleTouchIsOneLine) {
   CacheTouchModel m(256);
   m.BeginWalk();
-  m.Touch(0x1000, 8);
+  m.Touch(PhysAddr{0x1000}, 8);
   EXPECT_EQ(m.LinesThisWalk(), 1u);
   m.EndWalk();
   EXPECT_EQ(m.total_lines(), 1u);
@@ -19,9 +19,9 @@ TEST(CacheTouchModelTest, SingleTouchIsOneLine) {
 TEST(CacheTouchModelTest, SameLineTouchesDeduplicate) {
   CacheTouchModel m(256);
   m.BeginWalk();
-  m.Touch(0x1000, 8);
-  m.Touch(0x1008, 8);
-  m.Touch(0x10F8, 8);
+  m.Touch(PhysAddr{0x1000}, 8);
+  m.Touch(PhysAddr{0x1008}, 8);
+  m.Touch(PhysAddr{0x10F8}, 8);
   EXPECT_EQ(m.LinesThisWalk(), 1u);
   m.EndWalk();
   EXPECT_EQ(m.total_lines(), 1u);
@@ -30,7 +30,7 @@ TEST(CacheTouchModelTest, SameLineTouchesDeduplicate) {
 TEST(CacheTouchModelTest, StraddlingTouchCountsBothLines) {
   CacheTouchModel m(256);
   m.BeginWalk();
-  m.Touch(0x10F8, 16);  // Crosses the 0x1100 boundary.
+  m.Touch(PhysAddr{0x10F8}, 16);  // Crosses the 0x1100 boundary.
   EXPECT_EQ(m.LinesThisWalk(), 2u);
   m.EndWalk();
 }
@@ -38,14 +38,14 @@ TEST(CacheTouchModelTest, StraddlingTouchCountsBothLines) {
 TEST(CacheTouchModelTest, LargeTouchSpansManyLines) {
   CacheTouchModel m(64);
   m.BeginWalk();
-  m.Touch(0x2000, 256);  // 4 lines of 64 bytes.
+  m.Touch(PhysAddr{0x2000}, 256);  // 4 lines of 64 bytes.
   EXPECT_EQ(m.LinesThisWalk(), 4u);
   m.EndWalk();
 }
 
 TEST(CacheTouchModelTest, TouchOutsideWalkIgnored) {
   CacheTouchModel m(256);
-  m.Touch(0x1000, 8);
+  m.Touch(PhysAddr{0x1000}, 8);
   EXPECT_EQ(m.total_lines(), 0u);
   EXPECT_EQ(m.total_walks(), 0u);
 }
@@ -53,7 +53,7 @@ TEST(CacheTouchModelTest, TouchOutsideWalkIgnored) {
 TEST(CacheTouchModelTest, ZeroSizeTouchIgnored) {
   CacheTouchModel m(256);
   m.BeginWalk();
-  m.Touch(0x1000, 0);
+  m.Touch(PhysAddr{0x1000}, 0);
   EXPECT_EQ(m.LinesThisWalk(), 0u);
   m.EndWalk();
 }
@@ -61,13 +61,13 @@ TEST(CacheTouchModelTest, ZeroSizeTouchIgnored) {
 TEST(CacheTouchModelTest, AbortWalkDiscardsCounting) {
   CacheTouchModel m(256);
   m.BeginWalk();
-  m.Touch(0x1000, 8);
+  m.Touch(PhysAddr{0x1000}, 8);
   m.AbortWalk();
   EXPECT_EQ(m.total_lines(), 0u);
   EXPECT_EQ(m.total_walks(), 0u);
   // A subsequent counted walk works normally.
   m.BeginWalk();
-  m.Touch(0x2000, 8);
+  m.Touch(PhysAddr{0x2000}, 8);
   m.EndWalk();
   EXPECT_EQ(m.total_lines(), 1u);
   EXPECT_EQ(m.total_walks(), 1u);
@@ -76,12 +76,12 @@ TEST(CacheTouchModelTest, AbortWalkDiscardsCounting) {
 TEST(CacheTouchModelTest, AveragesAcrossWalks) {
   CacheTouchModel m(256);
   m.BeginWalk();
-  m.Touch(0x0, 8);
+  m.Touch(PhysAddr{0x0}, 8);
   m.EndWalk();
   m.BeginWalk();
-  m.Touch(0x0, 8);
-  m.Touch(0x1000, 8);
-  m.Touch(0x2000, 8);
+  m.Touch(PhysAddr{0x0}, 8);
+  m.Touch(PhysAddr{0x1000}, 8);
+  m.Touch(PhysAddr{0x2000}, 8);
   m.EndWalk();
   EXPECT_EQ(m.total_walks(), 2u);
   EXPECT_EQ(m.total_lines(), 4u);
@@ -93,7 +93,7 @@ TEST(CacheTouchModelTest, AveragesAcrossWalks) {
 TEST(CacheTouchModelTest, ResetClearsEverything) {
   CacheTouchModel m(256);
   m.BeginWalk();
-  m.Touch(0x0, 8);
+  m.Touch(PhysAddr{0x0}, 8);
   m.EndWalk();
   m.Reset();
   EXPECT_EQ(m.total_lines(), 0u);
@@ -105,7 +105,7 @@ TEST(CacheTouchModelTest, WalkScopeBracketsWalk) {
   CacheTouchModel m(256);
   {
     WalkScope scope(m);
-    m.Touch(0x1000, 8);
+    m.Touch(PhysAddr{0x1000}, 8);
   }
   EXPECT_EQ(m.total_walks(), 1u);
   EXPECT_EQ(m.total_lines(), 1u);
@@ -117,9 +117,9 @@ TEST_P(CacheLineSizeTest, LineIdGranularityMatchesLineSize) {
   const std::uint32_t line = GetParam();
   CacheTouchModel m(line);
   m.BeginWalk();
-  m.Touch(0, 1);
-  m.Touch(line - 1, 1);  // Same line.
-  m.Touch(line, 1);      // Next line.
+  m.Touch(PhysAddr{0}, 1);
+  m.Touch(PhysAddr{line - 1}, 1);  // Same line.
+  m.Touch(PhysAddr{line}, 1);      // Next line.
   EXPECT_EQ(m.LinesThisWalk(), 2u);
   m.EndWalk();
 }

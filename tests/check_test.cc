@@ -50,20 +50,20 @@ class CleanAuditTest : public ::testing::Test {
   template <typename Table>
   void Populate(Table& t, bool sub_block_superpage = true) {
     for (unsigned i = 0; i < 40; ++i) {
-      t.InsertBase(0x1000 + 7 * i, 100 + i, Attr::ReadWrite());
+      t.InsertBase(Vpn{0x1000 + 7 * i}, Ppn{100 + i}, Attr::ReadWrite());
     }
     if (t.features().superpages) {
-      t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+      t.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
       if (sub_block_superpage) {
-        t.InsertSuperpage(0x8000, kPage8K, 0x200, Attr::ReadWrite());
+        t.InsertSuperpage(Vpn{0x8000}, kPage8K, Ppn{0x200}, Attr::ReadWrite());
       }
     }
     if (t.features().partial_subblock) {
-      t.UpsertPartialSubblock(0x10000, 16, 0x300, Attr::ReadWrite(), 0x0F0F);
+      t.UpsertPartialSubblock(Vpn{0x10000}, 16, Ppn{0x300}, Attr::ReadWrite(), 0x0F0F);
     }
     // Some removals so freed nodes and shrunk chains get audited too.
     for (unsigned i = 0; i < 10; ++i) {
-      t.RemoveBase(0x1000 + 7 * i);
+      t.RemoveBase(Vpn{0x1000 + 7 * i});
     }
   }
 
@@ -87,9 +87,9 @@ TEST_F(CleanAuditTest, ClusteredAdaptive) {
 TEST_F(CleanAuditTest, Hashed) {
   pt::HashedPageTable t(cache_, {});
   for (unsigned i = 0; i < 40; ++i) {
-    t.InsertBase(0x1000 + 7 * i, 100 + i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x1000 + 7 * i}, Ppn{100 + i}, Attr::ReadWrite());
   }
-  t.RemoveBase(0x1000);
+  t.RemoveBase(Vpn{0x1000});
   const AuditReport r = StructuralAuditor::Audit(t);
   EXPECT_TRUE(r.ok()) << r.Summary();
 }
@@ -139,17 +139,18 @@ TEST_F(CleanAuditTest, ReservationAllocator) {
 // directly.
 TEST_F(CleanAuditTest, DualSizeSetAssocTlb) {
   tlb::DualSizeSetAssocTlb t(/*num_sets=*/8, /*ways=*/2, /*superpage_log2=*/4);
-  t.Insert(0, 0x4000, pt::TlbFill{.kind = MappingKind::kSuperpage,
-                                  .base_vpn = 0x4000,
-                                  .pages_log2 = 4,
-                                  .word = MappingWord::Superpage(0x100, Attr::ReadWrite(),
-                                                                 kPage64K)});
+  t.Insert(0, Vpn{0x4000},
+           pt::TlbFill{.kind = MappingKind::kSuperpage,
+                       .base_vpn = Vpn{0x4000},
+                       .pages_log2 = 4,
+                       .word = MappingWord::Superpage(Ppn{0x100}, Attr::ReadWrite(),
+                                                      kPage64K)});
   for (unsigned i = 0; i < 24; ++i) {
-    t.Insert(1, 0x9000 + 16 * i,
+    t.Insert(1, Vpn{0x9000 + 16 * i},
              pt::TlbFill{.kind = MappingKind::kBase,
-                         .base_vpn = 0x9000 + 16 * i,
+                         .base_vpn = Vpn{0x9000 + 16 * i},
                          .pages_log2 = 0,
-                         .word = MappingWord::Base(7 + i, Attr::ReadWrite())});
+                         .word = MappingWord::Base(Ppn{7 + i}, Attr::ReadWrite())});
   }
   const AuditReport r = StructuralAuditor::AuditTlb(t);
   EXPECT_TRUE(r.ok()) << r.Summary();
@@ -191,7 +192,7 @@ TEST(CorruptionTest, MisalignedTagIsDetected) {
   mem::CacheTouchModel cache(256);
   pt::HashedPageTable t(cache, {});
   for (unsigned i = 0; i < 8; ++i) {
-    t.InsertBase(0x500 + i, 10 + i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x500 + i}, Ppn{10 + i}, Attr::ReadWrite());
   }
   ASSERT_TRUE(StructuralAuditor::Audit(t).ok());
   ASSERT_TRUE(TestBackdoor::CorruptHashedBaseVpn(t));
@@ -204,7 +205,7 @@ TEST(CorruptionTest, DuplicateCoverageIsDetected) {
   mem::CacheTouchModel cache(256);
   core::ClusteredPageTable t(cache, {});
   for (unsigned i = 0; i < 32; ++i) {
-    t.InsertBase(0x900 + i, 40 + i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x900 + i}, Ppn{40 + i}, Attr::ReadWrite());
   }
   ASSERT_TRUE(StructuralAuditor::Audit(t).ok());
   ASSERT_TRUE(TestBackdoor::SeedDuplicateCoverage(t));
@@ -218,7 +219,7 @@ TEST(CorruptionTest, ChainCycleIsDetected) {
   mem::CacheTouchModel cache(256);
   core::ClusteredPageTable t(cache, {});
   for (unsigned i = 0; i < 32; ++i) {
-    t.InsertBase(0x900 + 16 * i, 40 + i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x900 + 16 * i}, Ppn{40 + i}, Attr::ReadWrite());
   }
   ASSERT_TRUE(StructuralAuditor::Audit(t).ok());
   ASSERT_TRUE(TestBackdoor::SeedChainCycle(t));
@@ -259,15 +260,15 @@ TEST(ShadowOracleTest, CleanUsageHasNoDefects) {
   ShadowedPageTable t(cache, std::make_unique<core::ClusteredPageTable>(
                                  cache, core::ClusteredPageTable::Options{}));
   for (unsigned i = 0; i < 64; ++i) {
-    t.InsertBase(0x2000 + i, 500 + i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x2000} + i, Ppn{500} + i, Attr::ReadWrite());
   }
   for (unsigned i = 0; i < 64; ++i) {
-    EXPECT_TRUE(t.Lookup(VaOf(0x2000 + i)).has_value());
+    EXPECT_TRUE(t.Lookup(VaOf(Vpn{0x2000} + i)).has_value());
   }
-  EXPECT_FALSE(t.Lookup(VaOf(0x9999)).has_value());
+  EXPECT_FALSE(t.Lookup(VaOf(Vpn{0x9999})).has_value());
   for (unsigned i = 0; i < 16; ++i) {
-    t.RemoveBase(0x2000 + i);
-    EXPECT_FALSE(t.Lookup(VaOf(0x2000 + i)).has_value());
+    t.RemoveBase(Vpn{0x2000} + i);
+    EXPECT_FALSE(t.Lookup(VaOf(Vpn{0x2000} + i)).has_value());
   }
   EXPECT_EQ(t.lookups_checked(), 64u + 1 + 16);
   const AuditReport r = t.FinalCheck();
@@ -278,11 +279,11 @@ TEST(ShadowOracleTest, CatchesLostMapping) {
   mem::CacheTouchModel cache(256);
   ShadowedPageTable t(cache, std::make_unique<core::ClusteredPageTable>(
                                  cache, core::ClusteredPageTable::Options{}));
-  t.InsertBase(0x2000, 500, Attr::ReadWrite());
+  t.InsertBase(Vpn{0x2000}, Ppn{500}, Attr::ReadWrite());
   // Remove directly from the wrapped table, behind the oracle's back — the
   // stand-in for a buggy organization losing a mapping.
-  ASSERT_TRUE(t.inner().RemoveBase(0x2000));
-  EXPECT_FALSE(t.Lookup(VaOf(0x2000)).has_value());
+  ASSERT_TRUE(t.inner().RemoveBase(Vpn{0x2000}));
+  EXPECT_FALSE(t.Lookup(VaOf(Vpn{0x2000})).has_value());
   const AuditReport r = t.FinalCheck();
   EXPECT_FALSE(r.ok());
   EXPECT_NE(r.Summary().find("page-faulted"), std::string::npos) << r.Summary();
@@ -292,11 +293,11 @@ TEST(ShadowOracleTest, CatchesWrongTranslation) {
   mem::CacheTouchModel cache(256);
   ShadowedPageTable t(cache, std::make_unique<core::ClusteredPageTable>(
                                  cache, core::ClusteredPageTable::Options{}));
-  t.InsertBase(0x2000, 500, Attr::ReadWrite());
+  t.InsertBase(Vpn{0x2000}, Ppn{500}, Attr::ReadWrite());
   // Remap behind the oracle's back: the table now answers with a PPN the
   // shadow never saw.
-  t.inner().InsertBase(0x2000, 777, Attr::ReadWrite());
-  EXPECT_TRUE(t.Lookup(VaOf(0x2000)).has_value());
+  t.inner().InsertBase(Vpn{0x2000}, Ppn{777}, Attr::ReadWrite());
+  EXPECT_TRUE(t.Lookup(VaOf(Vpn{0x2000})).has_value());
   const AuditReport r = t.defects();
   EXPECT_FALSE(r.ok());
   EXPECT_NE(r.Summary().find("shadow expects"), std::string::npos) << r.Summary();

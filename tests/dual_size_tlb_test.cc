@@ -23,24 +23,24 @@ pt::TlbFill SuperFill(Vpn base_vpn, Ppn base_ppn) {
 
 TEST(DualSizeTlbTest, BothSizesHitViaSuperpageIndex) {
   DualSizeSetAssocTlb tlb(16, 2);
-  tlb.Insert(0, 0x4000, SuperFill(0x4000, 0x100));
-  tlb.Insert(0, 0x9003, BaseFill(0x9003, 0x7));
+  tlb.Insert(0, Vpn{0x4000}, SuperFill(Vpn{0x4000}, Ppn{0x100}));
+  tlb.Insert(0, Vpn{0x9003}, BaseFill(Vpn{0x9003}, Ppn{0x7}));
   for (unsigned i = 0; i < 16; ++i) {
-    EXPECT_EQ(tlb.Lookup(0, 0x4000 + i), LookupOutcome::kHit) << i;
+    EXPECT_EQ(tlb.Lookup(0, Vpn{0x4000} + i), LookupOutcome::kHit) << i;
   }
-  EXPECT_EQ(tlb.Lookup(0, 0x9003), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x9004), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x9003}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x9004}), LookupOutcome::kMiss);
 }
 
 TEST(DualSizeTlbTest, BasePagesOfOneBlockCompeteForOneSet) {
   // 2-way sets: three base pages from one 16-page block all index the same
   // set and cannot coexist — the crowding superpage indexing causes.
   DualSizeSetAssocTlb tlb(16, 2);
-  tlb.Insert(0, 0x8000, BaseFill(0x8000, 1));
-  tlb.Insert(0, 0x8001, BaseFill(0x8001, 2));
-  tlb.Insert(0, 0x8002, BaseFill(0x8002, 3));  // Evicts one of the first two.
+  tlb.Insert(0, Vpn{0x8000}, BaseFill(Vpn{0x8000}, Ppn{1}));
+  tlb.Insert(0, Vpn{0x8001}, BaseFill(Vpn{0x8001}, Ppn{2}));
+  tlb.Insert(0, Vpn{0x8002}, BaseFill(Vpn{0x8002}, Ppn{3}));  // Evicts one of the first two.
   unsigned hits = 0;
-  for (const Vpn vpn : {0x8000ull, 0x8001ull, 0x8002ull}) {
+  for (const Vpn vpn : {Vpn{0x8000}, Vpn{0x8001}, Vpn{0x8002}}) {
     hits += tlb.Lookup(0, vpn) == LookupOutcome::kHit ? 1 : 0;
   }
   EXPECT_EQ(hits, 2u);
@@ -50,47 +50,47 @@ TEST(DualSizeTlbTest, BasePagesOfOneBlockCompeteForOneSet) {
 TEST(DualSizeTlbTest, DistinctBlocksSpreadAcrossSets) {
   DualSizeSetAssocTlb tlb(16, 2);
   for (unsigned b = 0; b < 16; ++b) {
-    tlb.Insert(0, (0x100 + b) * 16ull, BaseFill((0x100 + b) * 16ull, b));
+    tlb.Insert(0, Vpn{(0x100 + b) * 16ull}, BaseFill(Vpn{(0x100 + b) * 16ull}, Ppn{b}));
   }
   for (unsigned b = 0; b < 16; ++b) {
-    EXPECT_EQ(tlb.Lookup(0, (0x100 + b) * 16ull), LookupOutcome::kHit) << b;
+    EXPECT_EQ(tlb.Lookup(0, Vpn{(0x100 + b) * 16ull}), LookupOutcome::kHit) << b;
   }
   EXPECT_EQ(tlb.conflict_evictions(), 0u);
 }
 
 TEST(DualSizeTlbTest, SetLruReplacement) {
   DualSizeSetAssocTlb tlb(16, 2);
-  tlb.Insert(0, 0x8000, BaseFill(0x8000, 1));
-  tlb.Insert(0, 0x8001, BaseFill(0x8001, 2));
-  EXPECT_EQ(tlb.Lookup(0, 0x8000), LookupOutcome::kHit);  // 0x8001 is LRU.
-  tlb.Insert(0, 0x8002, BaseFill(0x8002, 3));
-  EXPECT_EQ(tlb.Lookup(0, 0x8000), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8001), LookupOutcome::kMiss);
+  tlb.Insert(0, Vpn{0x8000}, BaseFill(Vpn{0x8000}, Ppn{1}));
+  tlb.Insert(0, Vpn{0x8001}, BaseFill(Vpn{0x8001}, Ppn{2}));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8000}), LookupOutcome::kHit);  // 0x8001 is LRU.
+  tlb.Insert(0, Vpn{0x8002}, BaseFill(Vpn{0x8002}, Ppn{3}));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8000}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8001}), LookupOutcome::kMiss);
 }
 
 TEST(DualSizeTlbTest, PsbFillDegradesToBaseEntry) {
   DualSizeSetAssocTlb tlb(16, 2);
-  tlb.Insert(0, 0x8005,
+  tlb.Insert(0, Vpn{0x8005},
              pt::TlbFill{.kind = MappingKind::kPartialSubblock,
-                         .base_vpn = 0x8000,
+                         .base_vpn = Vpn{0x8000},
                          .pages_log2 = 4,
-                         .word = MappingWord::PartialSubblock(0x40, Attr::ReadWrite(), 0xFFFF)});
-  EXPECT_EQ(tlb.Lookup(0, 0x8005), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8006), LookupOutcome::kMiss);
+                         .word = MappingWord::PartialSubblock(Ppn{0x40}, Attr::ReadWrite(), 0xFFFF)});
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8005}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8006}), LookupOutcome::kMiss);
 }
 
 TEST(DualSizeTlbTest, AsidsSeparate) {
   DualSizeSetAssocTlb tlb(16, 2);
-  tlb.Insert(0, 0x4000, SuperFill(0x4000, 0x100));
-  EXPECT_EQ(tlb.Lookup(1, 0x4000), LookupOutcome::kMiss);
-  EXPECT_EQ(tlb.Lookup(0, 0x4000), LookupOutcome::kHit);
+  tlb.Insert(0, Vpn{0x4000}, SuperFill(Vpn{0x4000}, Ppn{0x100}));
+  EXPECT_EQ(tlb.Lookup(1, Vpn{0x4000}), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x4000}), LookupOutcome::kHit);
 }
 
 TEST(DualSizeTlbTest, FlushResetsEverything) {
   DualSizeSetAssocTlb tlb(16, 2);
-  tlb.Insert(0, 0x4000, SuperFill(0x4000, 0x100));
+  tlb.Insert(0, Vpn{0x4000}, SuperFill(Vpn{0x4000}, Ppn{0x100}));
   tlb.Flush();
-  EXPECT_EQ(tlb.Lookup(0, 0x4000), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x4000}), LookupOutcome::kMiss);
 }
 
 }  // namespace

@@ -30,26 +30,26 @@ TEST_P(BoundaryTest, ExtremeVpnsRoundTrip) {
   sim::MachineOptions opts;
   auto table = sim::MakePageTable(GetParam(), cache, opts);
   const Vpn extremes[] = {
-      0,                        // First page of the address space.
-      15,                       // Last page of block 0.
-      16,                       // First page of block 1.
-      (Vpn{1} << 52) - 1,       // Last page of the 64-bit VPN space.
-      (Vpn{1} << 52) - 16,      // First page of the last block.
-      (Vpn{1} << 51),           // Kernel-half style address.
+      Vpn{0},                    // First page of the address space.
+      Vpn{15},                   // Last page of block 0.
+      Vpn{16},                   // First page of block 1.
+      Vpn{(1ull << 52) - 1},     // Last page of the 64-bit VPN space.
+      Vpn{(1ull << 52) - 16},    // First page of the last block.
+      Vpn{1ull << 51},           // Kernel-half style address.
   };
-  Ppn next = 1;
+  Ppn next{1};
   for (const Vpn vpn : extremes) {
     table->InsertBase(vpn, next++, Attr::ReadWrite());
   }
-  next = 1;
+  next = Ppn{1};
   for (const Vpn vpn : extremes) {
     mem::WalkScope scope(cache);
     const auto fill = table->Lookup(VaOf(vpn));
-    ASSERT_TRUE(fill.has_value()) << std::hex << vpn;
-    EXPECT_EQ(fill->Translate(vpn), next++) << std::hex << vpn;
+    ASSERT_TRUE(fill.has_value()) << vpn;
+    EXPECT_EQ(fill->Translate(vpn), next++) << vpn;
   }
   for (const Vpn vpn : extremes) {
-    EXPECT_TRUE(table->RemoveBase(vpn)) << std::hex << vpn;
+    EXPECT_TRUE(table->RemoveBase(vpn)) << vpn;
   }
   EXPECT_EQ(table->SizeBytesPaperModel(), 0u);
 }
@@ -71,13 +71,13 @@ INSTANTIATE_TEST_SUITE_P(AllTables, BoundaryTest,
 TEST(BoundaryTest, MaxPpnSurvivesEveryFormat) {
   mem::CacheTouchModel cache(256);
   core::ClusteredPageTable t(cache, {});
-  t.InsertBase(0x10, kMaxPpn, Attr::ReadWrite());
-  t.InsertSuperpage(0x4000, kPage64K, kMaxPpn & ~Ppn{0xF}, Attr::ReadWrite());
-  t.UpsertPartialSubblock(0x8000, 16, kMaxPpn & ~Ppn{0xF}, Attr::ReadWrite(), 0xFFFF);
+  t.InsertBase(Vpn{0x10}, kMaxPpn, Attr::ReadWrite());
+  t.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{kPpnMask & ~0xFull}, Attr::ReadWrite());
+  t.UpsertPartialSubblock(Vpn{0x8000}, 16, Ppn{kPpnMask & ~0xFull}, Attr::ReadWrite(), 0xFFFF);
   mem::WalkScope scope(cache);
-  EXPECT_EQ(t.Lookup(VaOf(0x10))->Translate(0x10), kMaxPpn);
-  EXPECT_EQ(t.Lookup(VaOf(0x400F))->Translate(0x400F), kMaxPpn);
-  EXPECT_EQ(t.Lookup(VaOf(0x800F))->Translate(0x800F), kMaxPpn);
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x10}))->Translate(Vpn{0x10}), kMaxPpn);
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x400F}))->Translate(Vpn{0x400F}), kMaxPpn);
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x800F}))->Translate(Vpn{0x800F}), kMaxPpn);
 }
 
 // ---------------------------------------------------------------------------
@@ -87,25 +87,25 @@ TEST(BoundaryTest, MaxPpnSurvivesEveryFormat) {
 TEST(MixedFormatChurnTest, BlockCyclesThroughAllFormats) {
   mem::CacheTouchModel cache(256);
   core::ClusteredPageTable t(cache, {});
-  const Vpn first = 0x4000;
+  const Vpn first{0x4000};
   for (int cycle = 0; cycle < 20; ++cycle) {
     // Base pages...
     for (unsigned i = 0; i < 16; ++i) {
-      t.InsertBase(first + i, 0x100 + i, Attr::ReadWrite());
+      t.InsertBase(first + i, Ppn{0x100} + i, Attr::ReadWrite());
     }
-    ASSERT_TRUE(t.BlockReadyForPromotion(first / 16));
+    ASSERT_TRUE(t.BlockReadyForPromotion(VpbnOf(first, 16)));
     // ...promoted to a superpage...
     for (unsigned i = 0; i < 16; ++i) {
       t.RemoveBase(first + i);
     }
-    t.InsertSuperpage(first, kPage64K, 0x100, Attr::ReadWrite());
+    t.InsertSuperpage(first, kPage64K, Ppn{0x100}, Attr::ReadWrite());
     {
       mem::WalkScope scope(cache);
-      ASSERT_EQ(t.Lookup(VaOf(first + 7))->Translate(first + 7), 0x107u);
+      ASSERT_EQ(t.Lookup(VaOf(first + 7))->Translate(first + 7), Ppn{0x107});
     }
     // ...demoted to a partial-subblock PTE (one page evicted)...
     ASSERT_TRUE(t.RemoveSuperpage(first, kPage64K));
-    t.UpsertPartialSubblock(first, 16, 0x100, Attr::ReadWrite(), 0x7FFF);
+    t.UpsertPartialSubblock(first, 16, Ppn{0x100}, Attr::ReadWrite(), 0x7FFF);
     {
       mem::WalkScope scope(cache);
       ASSERT_FALSE(t.Lookup(VaOf(first + 15)).has_value());
@@ -123,12 +123,12 @@ TEST(MixedFormatChurnTest, AdaptiveSurvivesPromoteDemoteStorm) {
   core::AdaptiveClusteredPageTable t(cache, {});
   Rng rng(4242);
   std::map<Vpn, Ppn> ref;
-  const Vpn base = 0x10000;
+  const Vpn base{0x10000};
   for (int step = 0; step < 8000; ++step) {
     // Confined to 8 blocks so promote/demote churns constantly.
     const Vpn vpn = base + rng.Below(8 * 16);
     if (rng.Chance(0.55)) {
-      const Ppn ppn = rng.Below(kMaxPpn);
+      const Ppn ppn{rng.Below(kPpnMask)};
       t.InsertBase(vpn, ppn, Attr::ReadWrite());
       ref[vpn] = ppn;
     } else {
@@ -152,16 +152,16 @@ TEST(MixedFormatChurnTest, AdaptiveSurvivesPromoteDemoteStorm) {
 TEST(PartialRangeTest, ProtectRangeTouchesOnlyTheRange) {
   mem::CacheTouchModel cache(256);
   core::ClusteredPageTable t(cache, {});
-  for (Vpn vpn = 0x100; vpn < 0x130; ++vpn) {
-    t.InsertBase(vpn, vpn, Attr::ReadWrite());
+  for (Vpn vpn{0x100}; vpn < Vpn{0x130}; ++vpn) {
+    t.InsertBase(vpn, Ppn{vpn.raw()}, Attr::ReadWrite());
   }
   // Protect a range that starts and ends mid-block.
-  t.ProtectRange(0x108, 0x18, Attr::ReadOnly());
+  t.ProtectRange(Vpn{0x108}, 0x18, Attr::ReadOnly());
   mem::WalkScope scope(cache);
-  EXPECT_EQ(t.Lookup(VaOf(0x107))->word.attr(), Attr::ReadWrite());
-  EXPECT_EQ(t.Lookup(VaOf(0x108))->word.attr(), Attr::ReadOnly());
-  EXPECT_EQ(t.Lookup(VaOf(0x11F))->word.attr(), Attr::ReadOnly());
-  EXPECT_EQ(t.Lookup(VaOf(0x120))->word.attr(), Attr::ReadWrite());
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x107}))->word.attr(), Attr::ReadWrite());
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x108}))->word.attr(), Attr::ReadOnly());
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x11F}))->word.attr(), Attr::ReadOnly());
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x120}))->word.attr(), Attr::ReadWrite());
 }
 
 TEST(PartialRangeTest, UnmapRangePartiallyOverlapsBlocks) {
@@ -169,15 +169,15 @@ TEST(PartialRangeTest, UnmapRangePartiallyOverlapsBlocks) {
   core::ClusteredPageTable table(cache, {});
   mem::ReservationAllocator frames(1 << 12, 16);
   os::AddressSpace as(0, table, frames, {});
-  for (Vpn vpn = 0x100; vpn < 0x140; ++vpn) {
+  for (Vpn vpn{0x100}; vpn < Vpn{0x140}; ++vpn) {
     ASSERT_TRUE(as.TouchPage(VaOf(vpn)));
   }
-  as.UnmapRange(0x10A, 0x20);  // Mid-block to mid-block.
-  for (Vpn vpn = 0x100; vpn < 0x140; ++vpn) {
-    const bool inside = vpn >= 0x10A && vpn < 0x12A;
-    EXPECT_EQ(as.IsResident(vpn), !inside) << std::hex << vpn;
+  as.UnmapRange(Vpn{0x10A}, 0x20);  // Mid-block to mid-block.
+  for (Vpn vpn{0x100}; vpn < Vpn{0x140}; ++vpn) {
+    const bool inside = vpn >= Vpn{0x10A} && vpn < Vpn{0x12A};
+    EXPECT_EQ(as.IsResident(vpn), !inside) << vpn;
     mem::WalkScope scope(cache);
-    EXPECT_EQ(table.Lookup(VaOf(vpn)).has_value(), !inside) << std::hex << vpn;
+    EXPECT_EQ(table.Lookup(VaOf(vpn)).has_value(), !inside) << vpn;
   }
   EXPECT_EQ(as.resident_pages(), 0x40u - 0x20u);
 }
@@ -198,7 +198,7 @@ TEST(PressureTest, SuperpagePolicyDegradesGracefully) {
   unsigned mapped = 0;
   for (unsigned i = 0; i < 16 && mapped < 48; ++i) {
     for (unsigned blk = 0; blk < 4 && mapped < 48; ++blk) {
-      if (as.TouchPage(VaOf(0x100 + blk * 16 + i))) {
+      if (as.TouchPage(VaOf(Vpn{0x100 + blk * 16 + i}))) {
         ++mapped;
       }
     }
@@ -208,7 +208,7 @@ TEST(PressureTest, SuperpagePolicyDegradesGracefully) {
   for (unsigned blk = 0; blk < 4; ++blk) {
     for (unsigned i = 0; i < 16; ++i) {
       mem::WalkScope scope(cache);
-      translated += table.Lookup(VaOf(0x100 + blk * 16 + i)).has_value() ? 1 : 0;
+      translated += table.Lookup(VaOf(Vpn{0x100 + blk * 16 + i})).has_value() ? 1 : 0;
     }
   }
   EXPECT_EQ(translated, 48u) << "every granted frame is mapped";
@@ -225,15 +225,15 @@ TEST(PressureTest, PsbPolicyMixesPlacedAndUnplacedWithinBlock) {
   mem::ReservationAllocator frames(16, 16);
   os::AddressSpace as(0, table, frames,
                       {.strategy = os::PteStrategy::kPartialSubblock, .subblock_factor = 16});
-  ASSERT_TRUE(as.TouchPage(VaOf(0x100)));  // Reserves the only group.
-  ASSERT_TRUE(as.TouchPage(VaOf(0x200)));  // Breaks it; unplaced.
-  ASSERT_TRUE(as.TouchPage(VaOf(0x101)));  // Reservation gone: unplaced.
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x100})));  // Reserves the only group.
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x200})));  // Breaks it; unplaced.
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x101})));  // Reservation gone: unplaced.
   const auto census = as.Census();
   EXPECT_EQ(census.mixed_blocks, 1u);
   mem::WalkScope scope(cache);
-  EXPECT_TRUE(table.Lookup(VaOf(0x100)).has_value());
-  EXPECT_TRUE(table.Lookup(VaOf(0x101)).has_value());
-  EXPECT_TRUE(table.Lookup(VaOf(0x200)).has_value());
+  EXPECT_TRUE(table.Lookup(VaOf(Vpn{0x100})).has_value());
+  EXPECT_TRUE(table.Lookup(VaOf(Vpn{0x101})).has_value());
+  EXPECT_TRUE(table.Lookup(VaOf(Vpn{0x200})).has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -246,23 +246,23 @@ TEST(SwTlbConsistencyTest, PromotionInvalidatesStaleBaseEntries) {
       cache, core::ClusteredPageTable::Options{});
   pt::SoftwareTlb t(cache, std::move(backing), {.num_sets = 64, .ways = 2});
   for (unsigned i = 0; i < 16; ++i) {
-    t.InsertBase(0x4000 + i, 0x100 + i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x4000} + i, Ppn{0x100} + i, Attr::ReadWrite());
   }
   // Cache a few base translations.
   for (unsigned i = 0; i < 16; ++i) {
     mem::WalkScope scope(cache);
-    t.Lookup(VaOf(0x4000 + i));
+    t.Lookup(VaOf(Vpn{0x4000} + i));
   }
   // OS promotes the block.
   for (unsigned i = 0; i < 16; ++i) {
-    t.RemoveBase(0x4000 + i);
+    t.RemoveBase(Vpn{0x4000} + i);
   }
-  t.InsertSuperpage(0x4000, kPage64K, 0x200, Attr::ReadWrite());
+  t.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x200}, Attr::ReadWrite());
   for (unsigned i = 0; i < 16; ++i) {
     mem::WalkScope scope(cache);
-    const auto fill = t.Lookup(VaOf(0x4000 + i));
+    const auto fill = t.Lookup(VaOf(Vpn{0x4000} + i));
     ASSERT_TRUE(fill.has_value());
-    EXPECT_EQ(fill->Translate(0x4000 + i), 0x200u + i) << "stale swtlb entry served";
+    EXPECT_EQ(fill->Translate(Vpn{0x4000} + i), Ppn{0x200} + i) << "stale swtlb entry served";
   }
 }
 
@@ -273,18 +273,18 @@ TEST(SwTlbConsistencyTest, WaysEvictWithinOneSetOnly) {
   // Direct-mapped: two pages hashing to different sets never evict each
   // other, however often they alternate.
   pt::SoftwareTlb t(cache, std::move(backing), {.num_sets = 256, .ways = 1});
-  t.InsertBase(0x1, 0x1, Attr::ReadWrite());
-  t.InsertBase(0x2, 0x2, Attr::ReadWrite());
+  t.InsertBase(Vpn{0x1}, Ppn{0x1}, Attr::ReadWrite());
+  t.InsertBase(Vpn{0x2}, Ppn{0x2}, Attr::ReadWrite());
   {
     mem::WalkScope scope(cache);
-    t.Lookup(VaOf(0x1));
-    t.Lookup(VaOf(0x2));
+    t.Lookup(VaOf(Vpn{0x1}));
+    t.Lookup(VaOf(Vpn{0x2}));
   }
   const auto misses = t.probe_misses();
   for (int i = 0; i < 10; ++i) {
     mem::WalkScope scope(cache);
-    t.Lookup(VaOf(0x1));
-    t.Lookup(VaOf(0x2));
+    t.Lookup(VaOf(Vpn{0x1}));
+    t.Lookup(VaOf(Vpn{0x2}));
   }
   EXPECT_EQ(t.probe_misses(), misses) << "no thrashing across distinct sets";
 }
@@ -297,7 +297,7 @@ TEST(AnalyticPropertyTest, NactiveMonotoneInRegionSize) {
   Rng rng(55);
   std::vector<Vpn> mapped;
   for (int i = 0; i < 500; ++i) {
-    mapped.push_back(rng.Below(1 << 24));
+    mapped.push_back(Vpn{rng.Below(1 << 24)});
   }
   std::uint64_t prev = mapped.size() + 1;
   for (std::uint64_t region = 1; region <= (1 << 20); region *= 4) {
@@ -314,7 +314,7 @@ TEST(AnalyticPropertyTest, ClusteredNeverAboveSixteenthOfHashedBlocks) {
   Rng rng(56);
   std::vector<Vpn> mapped;
   for (int i = 0; i < 300; ++i) {
-    mapped.push_back(rng.Below(1 << 20));
+    mapped.push_back(Vpn{rng.Below(1 << 20)});
   }
   const std::uint64_t pages = sim::analytic::Nactive(mapped, 1);
   const std::uint64_t blocks = sim::analytic::Nactive(mapped, 16);

@@ -41,65 +41,65 @@ class SwTlbTest : public ::testing::Test {
 
 TEST_F(SwTlbTest, SecondLookupHitsTheCache) {
   auto t = Make(false);
-  t->InsertBase(0x1234, 0x9, Attr::ReadWrite());
-  ASSERT_TRUE(Lookup(*t, 0x1234).has_value());
+  t->InsertBase(Vpn{0x1234}, Ppn{0x9}, Attr::ReadWrite());
+  ASSERT_TRUE(Lookup(*t, Vpn{0x1234}).has_value());
   EXPECT_EQ(t->probe_misses(), 1u);
-  ASSERT_TRUE(Lookup(*t, 0x1234).has_value());
+  ASSERT_TRUE(Lookup(*t, Vpn{0x1234}).has_value());
   EXPECT_EQ(t->probe_hits(), 1u);
 }
 
 TEST_F(SwTlbTest, CacheHitCostsOneLine) {
   auto t = Make(false);
-  t->InsertBase(0x1234, 0x9, Attr::ReadWrite());
-  Lookup(*t, 0x1234);  // Fill.
+  t->InsertBase(Vpn{0x1234}, Ppn{0x9}, Attr::ReadWrite());
+  Lookup(*t, Vpn{0x1234});  // Fill.
   cache_.Reset();
-  Lookup(*t, 0x1234);  // Hit.
+  Lookup(*t, Vpn{0x1234});  // Hit.
   EXPECT_EQ(cache_.total_lines(), 1u) << "a software TLB hit is one memory access";
 }
 
 TEST_F(SwTlbTest, MissPaysProbePlusBackingWalk) {
   auto t = Make(false);
-  t->InsertBase(0x1234, 0x9, Attr::ReadWrite());
+  t->InsertBase(Vpn{0x1234}, Ppn{0x9}, Attr::ReadWrite());
   cache_.Reset();
-  Lookup(*t, 0x1234);  // Probe misses, backing walk runs.
+  Lookup(*t, Vpn{0x1234});  // Probe misses, backing walk runs.
   EXPECT_GE(cache_.total_lines(), 2u);
 }
 
 TEST_F(SwTlbTest, TranslationsComeFromBacking) {
   auto t = Make(false);
-  t->InsertBase(0x42, 0x7, Attr::ReadWrite());
-  const auto fill = Lookup(*t, 0x42);
+  t->InsertBase(Vpn{0x42}, Ppn{0x7}, Attr::ReadWrite());
+  const auto fill = Lookup(*t, Vpn{0x42});
   ASSERT_TRUE(fill.has_value());
-  EXPECT_EQ(fill->Translate(0x42), 0x7u);
+  EXPECT_EQ(fill->Translate(Vpn{0x42}), Ppn{0x7});
   EXPECT_EQ(t->live_translations(), 1u);
 }
 
 TEST_F(SwTlbTest, UpdatesInvalidateCachedEntries) {
   auto t = Make(false);
-  t->InsertBase(0x100, 0x1, Attr::ReadWrite());
-  Lookup(*t, 0x100);  // Cache it.
-  t->InsertBase(0x100, 0x2, Attr::ReadWrite());
-  const auto fill = Lookup(*t, 0x100);
+  t->InsertBase(Vpn{0x100}, Ppn{0x1}, Attr::ReadWrite());
+  Lookup(*t, Vpn{0x100});  // Cache it.
+  t->InsertBase(Vpn{0x100}, Ppn{0x2}, Attr::ReadWrite());
+  const auto fill = Lookup(*t, Vpn{0x100});
   ASSERT_TRUE(fill.has_value());
-  EXPECT_EQ(fill->Translate(0x100), 0x2u) << "stale slot must have been invalidated";
-  t->RemoveBase(0x100);
-  EXPECT_FALSE(Lookup(*t, 0x100).has_value());
+  EXPECT_EQ(fill->Translate(Vpn{0x100}), Ppn{0x2}) << "stale slot must have been invalidated";
+  t->RemoveBase(Vpn{0x100});
+  EXPECT_FALSE(Lookup(*t, Vpn{0x100}).has_value());
 }
 
 TEST_F(SwTlbTest, ClusteredEntriesHitOnNeighborPages) {
   auto base = Make(false);
   auto clustered = Make(true);
   for (unsigned i = 0; i < 16; ++i) {
-    base->InsertBase(0x200 + i, i, Attr::ReadWrite());
-    clustered->InsertBase(0x200 + i, i, Attr::ReadWrite());
+    base->InsertBase(Vpn{0x200} + i, Ppn{i}, Attr::ReadWrite());
+    clustered->InsertBase(Vpn{0x200} + i, Ppn{i}, Attr::ReadWrite());
   }
   // Touch page 0 of the block, then page 5.
-  Lookup(*base, 0x200);
-  Lookup(*clustered, 0x200);
+  Lookup(*base, Vpn{0x200});
+  Lookup(*clustered, Vpn{0x200});
   const auto base_misses = base->probe_misses();
   const auto clust_misses = clustered->probe_misses();
-  Lookup(*base, 0x205);
-  Lookup(*clustered, 0x205);
+  Lookup(*base, Vpn{0x205});
+  Lookup(*clustered, Vpn{0x205});
   EXPECT_EQ(base->probe_misses(), base_misses + 1) << "base entry covers one page";
   EXPECT_EQ(clustered->probe_misses(), clust_misses) << "clustered entry covers the block";
 }
@@ -108,7 +108,7 @@ TEST_F(SwTlbTest, SizeIncludesPreallocatedArray) {
   auto t = Make(false);
   // 64 sets * 2 ways * 16B = 2048, plus backing bytes.
   EXPECT_EQ(t->SizeBytesPaperModel(), 2048u);
-  t->InsertBase(1, 1, Attr::ReadWrite());
+  t->InsertBase(Vpn{1}, Ppn{1}, Attr::ReadWrite());
   EXPECT_EQ(t->SizeBytesPaperModel(), 2048u + 24u);
 }
 
@@ -118,12 +118,12 @@ TEST_F(SwTlbTest, SuperpageInvalidationCoversWholeRange) {
   // through the decorator and verify range invalidation via ProtectRange.
   auto t = Make(false);
   for (unsigned i = 0; i < 4; ++i) {
-    t->InsertBase(0x300 + i, i, Attr::ReadWrite());
-    Lookup(*t, 0x300 + i);  // Cache them all.
+    t->InsertBase(Vpn{0x300} + i, Ppn{i}, Attr::ReadWrite());
+    Lookup(*t, Vpn{0x300} + i);  // Cache them all.
   }
-  t->ProtectRange(0x300, 4, Attr::ReadOnly());
+  t->ProtectRange(Vpn{0x300}, 4, Attr::ReadOnly());
   for (unsigned i = 0; i < 4; ++i) {
-    const auto fill = Lookup(*t, 0x300 + i);
+    const auto fill = Lookup(*t, Vpn{0x300} + i);
     ASSERT_TRUE(fill.has_value());
     EXPECT_EQ(fill->word.attr(), Attr::ReadOnly()) << "page " << i;
   }
@@ -151,11 +151,11 @@ TEST_F(SwTlbTest, MakesForwardMappedTablesPractical) {
 TEST(InvertedHashedTest, LookupPaysPointerPlusNode) {
   mem::CacheTouchModel cache(256);
   pt::HashedPageTable t(cache, {.inverted = true});
-  t.InsertBase(0x100, 1, Attr::ReadWrite());
+  t.InsertBase(Vpn{0x100}, Ppn{1}, Attr::ReadWrite());
   cache.Reset();
   {
     mem::WalkScope scope(cache);
-    ASSERT_TRUE(t.Lookup(VaOf(0x100)).has_value());
+    ASSERT_TRUE(t.Lookup(VaOf(Vpn{0x100})).has_value());
   }
   EXPECT_EQ(cache.total_lines(), 2u) << "pointer array + node";
 }
@@ -166,7 +166,7 @@ TEST(InvertedHashedTest, EmptyBucketCostsOnlyThePointer) {
   cache.Reset();
   {
     mem::WalkScope scope(cache);
-    EXPECT_FALSE(t.Lookup(VaOf(0x55555)).has_value());
+    EXPECT_FALSE(t.Lookup(VaOf(Vpn{0x55555})).has_value());
   }
   EXPECT_EQ(cache.total_lines(), 1u);
 }
@@ -185,9 +185,9 @@ TEST(InvertedHashedTest, BucketArrayIsSmallerThanEmbedded) {
 TEST(AdaptiveTest, IsolatedPagesUseCompactNodes) {
   mem::CacheTouchModel cache(256);
   core::AdaptiveClusteredPageTable t(cache, {});
-  t.InsertBase(0x100, 1, Attr::ReadWrite());
+  t.InsertBase(Vpn{0x100}, Ppn{1}, Attr::ReadWrite());
   EXPECT_EQ(t.SizeBytesPaperModel(), 24u) << "one 24-byte single-page node";
-  t.InsertBase(0x900, 2, Attr::ReadWrite());
+  t.InsertBase(Vpn{0x900}, Ppn{2}, Attr::ReadWrite());
   EXPECT_EQ(t.SizeBytesPaperModel(), 48u);
   EXPECT_EQ(t.promotions(), 0u);
 }
@@ -196,16 +196,16 @@ TEST(AdaptiveTest, DenseBlockPromotesToArrayNode) {
   mem::CacheTouchModel cache(256);
   core::AdaptiveClusteredPageTable t(cache, {});
   for (unsigned i = 0; i < 6; ++i) {
-    t.InsertBase(0x100 + i, i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x100} + i, Ppn{i}, Attr::ReadWrite());
   }
   EXPECT_EQ(t.promotions(), 1u);
   EXPECT_EQ(t.node_count(), 1u);
   EXPECT_EQ(t.SizeBytesPaperModel(), 144u);
   for (unsigned i = 0; i < 6; ++i) {
     mem::WalkScope scope(cache);
-    const auto fill = t.Lookup(VaOf(0x100 + i));
+    const auto fill = t.Lookup(VaOf(Vpn{0x100} + i));
     ASSERT_TRUE(fill.has_value()) << "page " << i;
-    EXPECT_EQ(fill->Translate(0x100 + i), i);
+    EXPECT_EQ(fill->Translate(Vpn{0x100} + i), Ppn{i});
   }
 }
 
@@ -213,17 +213,17 @@ TEST(AdaptiveTest, SparseRemovalDemotesBackToSingles) {
   mem::CacheTouchModel cache(256);
   core::AdaptiveClusteredPageTable t(cache, {});
   for (unsigned i = 0; i < 8; ++i) {
-    t.InsertBase(0x100 + i, i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x100} + i, Ppn{i}, Attr::ReadWrite());
   }
   EXPECT_EQ(t.promotions(), 1u);
   for (unsigned i = 0; i < 5; ++i) {
-    EXPECT_TRUE(t.RemoveBase(0x100 + i));
+    EXPECT_TRUE(t.RemoveBase(Vpn{0x100} + i));
   }
   EXPECT_EQ(t.demotions(), 1u);
   EXPECT_EQ(t.SizeBytesPaperModel(), 3u * 24) << "three singles again";
   for (unsigned i = 5; i < 8; ++i) {
     mem::WalkScope scope(cache);
-    EXPECT_TRUE(t.Lookup(VaOf(0x100 + i)).has_value());
+    EXPECT_TRUE(t.Lookup(VaOf(Vpn{0x100} + i)).has_value());
   }
 }
 
@@ -237,11 +237,11 @@ TEST(AdaptiveTest, NeverWorseThanBothFixedChoices) {
   pt::HashedPageTable hashed(cache, {});
   Rng rng(77);
   for (int i = 0; i < 2000; ++i) {
-    const Vpn vpn = rng.Below(4000);
+    const Vpn vpn{rng.Below(4000)};
     if (rng.Chance(0.65)) {
-      adaptive.InsertBase(vpn, vpn, Attr::ReadWrite());
-      fixed.InsertBase(vpn, vpn, Attr::ReadWrite());
-      hashed.InsertBase(vpn, vpn, Attr::ReadWrite());
+      adaptive.InsertBase(vpn, Ppn{vpn.raw()}, Attr::ReadWrite());
+      fixed.InsertBase(vpn, Ppn{vpn.raw()}, Attr::ReadWrite());
+      hashed.InsertBase(vpn, Ppn{vpn.raw()}, Attr::ReadWrite());
     } else {
       adaptive.RemoveBase(vpn);
       fixed.RemoveBase(vpn);
@@ -260,10 +260,10 @@ TEST(AdaptiveTest, MixedSparseAndDenseBlocksGetDifferentFormats) {
   core::AdaptiveClusteredPageTable t(cache, {});
   // A dense block (16 pages) and four isolated pages.
   for (unsigned i = 0; i < 16; ++i) {
-    t.InsertBase(0x100 + i, i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x100} + i, Ppn{i}, Attr::ReadWrite());
   }
   for (unsigned i = 0; i < 4; ++i) {
-    t.InsertBase(0x1000 + i * 64, i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x1000 + i * 64}, Ppn{i}, Attr::ReadWrite());
   }
   EXPECT_EQ(t.SizeBytesPaperModel(), 144u + 4 * 24);
   // Fixed clustered would pay 5 * 144; hashed would pay 20 * 24.
@@ -274,17 +274,17 @@ TEST(AdaptiveTest, MixedSparseAndDenseBlocksGetDifferentFormats) {
 TEST(AdaptiveTest, SuperpageAndPsbUseCompactNodes) {
   mem::CacheTouchModel cache(256);
   core::AdaptiveClusteredPageTable t(cache, {});
-  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
-  t.UpsertPartialSubblock(0x8000, 16, 0x200, Attr::ReadWrite(), 0x00FF);
+  t.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
+  t.UpsertPartialSubblock(Vpn{0x8000}, 16, Ppn{0x200}, Attr::ReadWrite(), 0x00FF);
   EXPECT_EQ(t.SizeBytesPaperModel(), 48u);
   {
     mem::WalkScope scope(cache);
-    EXPECT_EQ(t.Lookup(VaOf(0x4008))->Translate(0x4008), 0x108u);
-    EXPECT_EQ(t.Lookup(VaOf(0x8003))->Translate(0x8003), 0x203u);
-    EXPECT_FALSE(t.Lookup(VaOf(0x8009)).has_value());
+    EXPECT_EQ(t.Lookup(VaOf(Vpn{0x4008}))->Translate(Vpn{0x4008}), Ppn{0x108});
+    EXPECT_EQ(t.Lookup(VaOf(Vpn{0x8003}))->Translate(Vpn{0x8003}), Ppn{0x203});
+    EXPECT_FALSE(t.Lookup(VaOf(Vpn{0x8009})).has_value());
   }
-  EXPECT_TRUE(t.RemoveSuperpage(0x4000, kPage64K));
-  EXPECT_TRUE(t.RemovePartialSubblock(0x8000, 16));
+  EXPECT_TRUE(t.RemoveSuperpage(Vpn{0x4000}, kPage64K));
+  EXPECT_TRUE(t.RemovePartialSubblock(Vpn{0x8000}, 16));
   EXPECT_EQ(t.SizeBytesPaperModel(), 0u);
 }
 

@@ -32,35 +32,35 @@ class HashedTest : public ::testing::Test {
 };
 
 TEST_F(HashedTest, TwentyFourBytesPerPte) {
-  for (Vpn vpn = 0; vpn < 10; ++vpn) {
-    table_.InsertBase(0x5000 + vpn, vpn, Attr::ReadWrite());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    table_.InsertBase(Vpn{0x5000 + i}, Ppn{i}, Attr::ReadWrite());
   }
   EXPECT_EQ(table_.SizeBytesPaperModel(), 240u);
   EXPECT_EQ(table_.node_count(), 10u);
 }
 
 TEST_F(HashedTest, SingleNodeLookupTouchesOneLine) {
-  table_.InsertBase(0x100, 1, Attr::ReadWrite());
-  EXPECT_EQ(LinesFor(0x100), 1u);
+  table_.InsertBase(Vpn{0x100}, Ppn{1}, Attr::ReadWrite());
+  EXPECT_EQ(LinesFor(Vpn{0x100}), 1u);
 }
 
 TEST_F(HashedTest, EmptyBucketProbeTouchesHeadLine) {
-  EXPECT_EQ(LinesFor(0xABCDE), 1u) << "the embedded head slot is always read";
+  EXPECT_EQ(LinesFor(Vpn{0xABCDE}), 1u) << "the embedded head slot is always read";
 }
 
 TEST_F(HashedTest, ChainCollisionsCostExtraLines) {
   // Force collisions with a tiny table: 4 buckets, 64 PTEs -> chains of ~16.
   mem::CacheTouchModel cache(256);
   HashedPageTable t(cache, {.num_buckets = 4});
-  for (Vpn vpn = 0; vpn < 64; ++vpn) {
-    t.InsertBase(vpn, vpn, Attr::ReadWrite());
+  for (Vpn vpn{}; vpn < Vpn{64}; ++vpn) {
+    t.InsertBase(vpn, Ppn{vpn.raw()}, Attr::ReadWrite());
   }
   const Histogram chains = t.ChainLengthHistogram();
   EXPECT_EQ(chains.total(), 4u);
   EXPECT_DOUBLE_EQ(chains.mean(), 16.0);
   // Looking up the chain tail touches many distinct lines.
   std::uint64_t max_lines = 0;
-  for (Vpn vpn = 0; vpn < 64; ++vpn) {
+  for (Vpn vpn{}; vpn < Vpn{64}; ++vpn) {
     cache.Reset();
     {
       mem::WalkScope scope(cache);
@@ -74,35 +74,36 @@ TEST_F(HashedTest, ChainCollisionsCostExtraLines) {
 TEST_F(HashedTest, PackedVariantShrinksSizeOnly) {
   mem::CacheTouchModel cache(256);
   HashedPageTable packed(cache, {.packed_pte = true});
-  for (Vpn vpn = 0; vpn < 10; ++vpn) {
-    packed.InsertBase(vpn * 997, vpn, Attr::ReadWrite());
-    table_.InsertBase(vpn * 997, vpn, Attr::ReadWrite());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    packed.InsertBase(Vpn{i * 997}, Ppn{i}, Attr::ReadWrite());
+    table_.InsertBase(Vpn{i * 997}, Ppn{i}, Attr::ReadWrite());
   }
   EXPECT_EQ(packed.SizeBytesPaperModel(), 160u);  // 16 bytes per PTE.
   EXPECT_EQ(table_.SizeBytesPaperModel(), 240u);
   EXPECT_EQ(packed.SizeBytesPaperModel() * 3, table_.SizeBytesPaperModel() * 2)
       << "Section 7: packing saves 33%";
-  for (Vpn vpn = 0; vpn < 10; ++vpn) {
+  for (std::uint64_t i = 0; i < 10; ++i) {
     mem::WalkScope scope(cache);
-    EXPECT_TRUE(packed.Lookup(VaOf(vpn * 997)).has_value());
+    EXPECT_TRUE(packed.Lookup(VaOf(Vpn{i * 997})).has_value());
   }
 }
 
 TEST_F(HashedTest, BlockKeyedTableStoresSuperpageAndPsb) {
   mem::CacheTouchModel cache(256);
   HashedPageTable block(cache, {.tag_shift = 4});
-  block.UpsertWord(0x4000, MappingWord::Superpage(0x100, Attr::ReadWrite(), kPage64K));
+  block.UpsertWord(Vpn{0x4000}, MappingWord::Superpage(Ppn{0x100}, Attr::ReadWrite(), kPage64K));
   {
     mem::WalkScope scope(cache);
-    const auto fill = block.Lookup(VaOf(0x4009));
+    const auto fill = block.Lookup(VaOf(Vpn{0x4009}));
     ASSERT_TRUE(fill.has_value());
-    EXPECT_EQ(fill->Translate(0x4009), 0x109u);
+    EXPECT_EQ(fill->Translate(Vpn{0x4009}), Ppn{0x109});
   }
-  block.UpsertWord(0x8000, MappingWord::PartialSubblock(0x200, Attr::ReadWrite(), 0x0010));
+  block.UpsertWord(Vpn{0x8000},
+                   MappingWord::PartialSubblock(Ppn{0x200}, Attr::ReadWrite(), 0x0010));
   {
     mem::WalkScope scope(cache);
-    EXPECT_TRUE(block.Lookup(VaOf(0x8004)).has_value());
-    EXPECT_FALSE(block.Lookup(VaOf(0x8005)).has_value());
+    EXPECT_TRUE(block.Lookup(VaOf(Vpn{0x8004})).has_value());
+    EXPECT_FALSE(block.Lookup(VaOf(Vpn{0x8005})).has_value());
   }
   EXPECT_EQ(block.live_translations(), 17u);
 }
@@ -110,18 +111,20 @@ TEST_F(HashedTest, BlockKeyedTableStoresSuperpageAndPsb) {
 TEST_F(HashedTest, UpsertReplacesPsbVectorInPlace) {
   mem::CacheTouchModel cache(256);
   HashedPageTable block(cache, {.tag_shift = 4});
-  block.UpsertWord(0x8000, MappingWord::PartialSubblock(0x200, Attr::ReadWrite(), 0x0001));
-  block.UpsertWord(0x8000, MappingWord::PartialSubblock(0x200, Attr::ReadWrite(), 0x0003));
+  block.UpsertWord(Vpn{0x8000},
+                   MappingWord::PartialSubblock(Ppn{0x200}, Attr::ReadWrite(), 0x0001));
+  block.UpsertWord(Vpn{0x8000},
+                   MappingWord::PartialSubblock(Ppn{0x200}, Attr::ReadWrite(), 0x0003));
   EXPECT_EQ(block.node_count(), 1u);
   EXPECT_EQ(block.live_translations(), 2u);
 }
 
 TEST_F(HashedTest, PeekDoesNotTouchCache) {
-  table_.InsertBase(0x42, 0x7, Attr::ReadWrite());
+  table_.InsertBase(Vpn{0x42}, Ppn{0x7}, Attr::ReadWrite());
   cache_.Reset();
-  const auto word = table_.Peek(0x42);
+  const auto word = table_.Peek(0x42);  // Peek takes a raw chain key (tag_shift == 0).
   ASSERT_TRUE(word.has_value());
-  EXPECT_EQ(word->ppn(), 0x7u);
+  EXPECT_EQ(word->ppn(), Ppn{0x7});
   EXPECT_EQ(cache_.total_lines(), 0u);
 }
 
@@ -129,10 +132,10 @@ TEST_F(HashedTest, RandomChurnKeepsStructureConsistent) {
   Rng rng(17);
   std::uint64_t inserted = 0;
   for (int step = 0; step < 3000; ++step) {
-    const Vpn vpn = rng.Below(2000);
+    const Vpn vpn{rng.Below(2000)};
     if (rng.Chance(0.6)) {
-      const bool fresh = !table_.Peek(vpn).has_value();
-      table_.InsertBase(vpn, vpn, Attr::ReadWrite());
+      const bool fresh = !table_.Peek(vpn.raw()).has_value();
+      table_.InsertBase(vpn, Ppn{vpn.raw()}, Attr::ReadWrite());
       inserted += fresh ? 1 : 0;
     } else {
       inserted -= table_.RemoveBase(vpn) ? 1 : 0;
@@ -149,18 +152,18 @@ TEST_F(HashedTest, RandomChurnKeepsStructureConsistent) {
 TEST(MultiTableHashedTest, BaseFirstPaysTwoSearchesForSuperpages) {
   mem::CacheTouchModel cache(256);
   MultiTableHashed t(cache, {});
-  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
-  t.InsertBase(0x9000, 0x1, Attr::ReadWrite());
+  t.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
+  t.InsertBase(Vpn{0x9000}, Ppn{0x1}, Attr::ReadWrite());
   cache.Reset();
   {
     mem::WalkScope scope(cache);
-    ASSERT_TRUE(t.Lookup(VaOf(0x4005)).has_value());
+    ASSERT_TRUE(t.Lookup(VaOf(Vpn{0x4005})).has_value());
   }
   const auto superpage_lines = cache.total_lines();
   cache.Reset();
   {
     mem::WalkScope scope(cache);
-    ASSERT_TRUE(t.Lookup(VaOf(0x9000)).has_value());
+    ASSERT_TRUE(t.Lookup(VaOf(Vpn{0x9000})).has_value());
   }
   const auto base_lines = cache.total_lines();
   EXPECT_EQ(base_lines, 1u) << "base PTE found in the first table";
@@ -170,18 +173,18 @@ TEST(MultiTableHashedTest, BaseFirstPaysTwoSearchesForSuperpages) {
 TEST(MultiTableHashedTest, BlockFirstReversesTheCost) {
   mem::CacheTouchModel cache(256);
   MultiTableHashed t(cache, {.order = MultiTableHashed::SearchOrder::kBlockFirst});
-  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
-  t.InsertBase(0x9000, 0x1, Attr::ReadWrite());
+  t.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
+  t.InsertBase(Vpn{0x9000}, Ppn{0x1}, Attr::ReadWrite());
   cache.Reset();
   {
     mem::WalkScope scope(cache);
-    ASSERT_TRUE(t.Lookup(VaOf(0x4005)).has_value());
+    ASSERT_TRUE(t.Lookup(VaOf(Vpn{0x4005})).has_value());
   }
   EXPECT_EQ(cache.total_lines(), 1u);
   cache.Reset();
   {
     mem::WalkScope scope(cache);
-    ASSERT_TRUE(t.Lookup(VaOf(0x9000)).has_value());
+    ASSERT_TRUE(t.Lookup(VaOf(Vpn{0x9000})).has_value());
   }
   EXPECT_EQ(cache.total_lines(), 2u);
 }
@@ -189,8 +192,8 @@ TEST(MultiTableHashedTest, BlockFirstReversesTheCost) {
 TEST(MultiTableHashedTest, SizeSumsBothTables) {
   mem::CacheTouchModel cache(256);
   MultiTableHashed t(cache, {});
-  t.InsertBase(0x9000, 0x1, Attr::ReadWrite());
-  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  t.InsertBase(Vpn{0x9000}, Ppn{0x1}, Attr::ReadWrite());
+  t.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
   EXPECT_EQ(t.SizeBytesPaperModel(), 48u);
   EXPECT_EQ(t.live_translations(), 17u);
 }
@@ -198,12 +201,12 @@ TEST(MultiTableHashedTest, SizeSumsBothTables) {
 TEST(MultiTableHashedTest, ProtectRangeCoversBothTables) {
   mem::CacheTouchModel cache(256);
   MultiTableHashed t(cache, {});
-  t.InsertBase(0x4010, 0x1, Attr::ReadWrite());
-  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
-  t.ProtectRange(0x4000, 32, Attr::ReadOnly());
+  t.InsertBase(Vpn{0x4010}, Ppn{0x1}, Attr::ReadWrite());
+  t.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
+  t.ProtectRange(Vpn{0x4000}, 32, Attr::ReadOnly());
   mem::WalkScope scope(cache);
-  EXPECT_EQ(t.Lookup(VaOf(0x4005))->word.attr(), Attr::ReadOnly());
-  EXPECT_EQ(t.Lookup(VaOf(0x4010))->word.attr(), Attr::ReadOnly());
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x4005}))->word.attr(), Attr::ReadOnly());
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x4010}))->word.attr(), Attr::ReadOnly());
 }
 
 // ---------------------------------------------------------------------------
@@ -215,7 +218,7 @@ TEST(SuperpageIndexTest, OneProbeButLongerChains) {
   SuperpageIndexHashed t(cache, {});
   // Sixteen base pages of one block all chain into one bucket.
   for (unsigned i = 0; i < 16; ++i) {
-    t.InsertBase(0x100 + i, i, Attr::ReadWrite());
+    t.InsertBase(Vpn{0x100} + i, Ppn{i}, Attr::ReadWrite());
   }
   const Histogram chains = t.ChainLengthHistogram();
   EXPECT_EQ(chains.max_value(), 16u) << "the whole block shares a bucket";
@@ -223,7 +226,7 @@ TEST(SuperpageIndexTest, OneProbeButLongerChains) {
   cache.Reset();
   {
     mem::WalkScope scope(cache);
-    ASSERT_TRUE(t.Lookup(VaOf(0x100)).has_value());
+    ASSERT_TRUE(t.Lookup(VaOf(Vpn{0x100})).has_value());
   }
   EXPECT_GE(cache.total_lines(), 1u);
 }
@@ -231,26 +234,26 @@ TEST(SuperpageIndexTest, OneProbeButLongerChains) {
 TEST(SuperpageIndexTest, PsbPteShortensChains) {
   mem::CacheTouchModel cache(256);
   SuperpageIndexHashed t(cache, {});
-  t.UpsertPartialSubblock(0x100, 16, 0x40, Attr::ReadWrite(), 0xFFFF);
+  t.UpsertPartialSubblock(Vpn{0x100}, 16, Ppn{0x40}, Attr::ReadWrite(), 0xFFFF);
   EXPECT_EQ(t.ChainLengthHistogram().max_value(), 1u)
       << "one PSB PTE replaces sixteen chained base PTEs (Section 4.3)";
   for (unsigned i = 0; i < 16; ++i) {
     mem::WalkScope scope(cache);
-    EXPECT_TRUE(t.Lookup(VaOf(0x100 + i)).has_value());
+    EXPECT_TRUE(t.Lookup(VaOf(Vpn{0x100} + i)).has_value());
   }
 }
 
 TEST(SuperpageIndexTest, SmallerSuperpagesCoResideInBucket) {
   mem::CacheTouchModel cache(256);
   SuperpageIndexHashed t(cache, {});
-  t.InsertSuperpage(0x100, kPage16K, 0x20, Attr::ReadWrite());   // Pages 0-3.
-  t.InsertSuperpage(0x104, kPage16K, 0x60, Attr::ReadWrite());   // Pages 4-7.
-  t.InsertBase(0x108, 0x99, Attr::ReadWrite());
+  t.InsertSuperpage(Vpn{0x100}, kPage16K, Ppn{0x20}, Attr::ReadWrite());   // Pages 0-3.
+  t.InsertSuperpage(Vpn{0x104}, kPage16K, Ppn{0x60}, Attr::ReadWrite());   // Pages 4-7.
+  t.InsertBase(Vpn{0x108}, Ppn{0x99}, Attr::ReadWrite());
   mem::WalkScope scope(cache);
-  EXPECT_EQ(t.Lookup(VaOf(0x102))->Translate(0x102), 0x22u);
-  EXPECT_EQ(t.Lookup(VaOf(0x105))->Translate(0x105), 0x61u);
-  EXPECT_EQ(t.Lookup(VaOf(0x108))->Translate(0x108), 0x99u);
-  EXPECT_FALSE(t.Lookup(VaOf(0x109)).has_value());
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x102}))->Translate(Vpn{0x102}), Ppn{0x22});
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x105}))->Translate(Vpn{0x105}), Ppn{0x61});
+  EXPECT_EQ(t.Lookup(VaOf(Vpn{0x108}))->Translate(Vpn{0x108}), Ppn{0x99});
+  EXPECT_FALSE(t.Lookup(VaOf(Vpn{0x109})).has_value());
 }
 
 TEST(SuperpageIndexTest, RejectsSuperpagesLargerThanIndex) {
@@ -258,9 +261,9 @@ TEST(SuperpageIndexTest, RejectsSuperpagesLargerThanIndex) {
   SuperpageIndexHashed t(cache, {});
   // A 64KB superpage equals the index size and is fine; larger must be
   // "handled another way" (Section 4.2) and is rejected by contract.
-  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  t.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
   EXPECT_EQ(t.live_translations(), 16u);
-  EXPECT_DEBUG_DEATH(t.InsertSuperpage(0x8000, PageSize{5}, 0x200, Attr::ReadWrite()), "");
+  EXPECT_DEBUG_DEATH(t.InsertSuperpage(Vpn{0x8000}, PageSize{5}, Ppn{0x200}, Attr::ReadWrite()), "");
 }
 
 }  // namespace

@@ -28,16 +28,16 @@ class LinearTest : public ::testing::Test {
 };
 
 TEST_F(LinearTest, OneLeafPagePer512Vpns) {
-  table_.InsertBase(0, 1, Attr::ReadWrite());
-  table_.InsertBase(511, 2, Attr::ReadWrite());
+  table_.InsertBase(Vpn{0}, Ppn{1}, Attr::ReadWrite());
+  table_.InsertBase(Vpn{511}, Ppn{2}, Attr::ReadWrite());
   const auto counts = table_.ActiveNodesPerLevel();
   EXPECT_EQ(counts[0], 1u) << "both PTEs share one leaf page";
-  table_.InsertBase(512, 3, Attr::ReadWrite());
+  table_.InsertBase(Vpn{512}, Ppn{3}, Attr::ReadWrite());
   EXPECT_EQ(table_.ActiveNodesPerLevel()[0], 2u);
 }
 
 TEST_F(LinearTest, SixLevelSizeChargesAllLevels) {
-  table_.InsertBase(0x100, 1, Attr::ReadWrite());
+  table_.InsertBase(Vpn{0x100}, Ppn{1}, Attr::ReadWrite());
   // One page per level: 6 * 4KB.
   EXPECT_EQ(table_.SizeBytesPaperModel(), 6u * kBasePageSize);
   const auto counts = table_.ActiveNodesPerLevel();
@@ -47,8 +47,8 @@ TEST_F(LinearTest, SixLevelSizeChargesAllLevels) {
 }
 
 TEST_F(LinearTest, DistantRegionsShareOnlyUpperLevels) {
-  table_.InsertBase(0x100, 1, Attr::ReadWrite());
-  table_.InsertBase(Vpn{1} << 30, 2, Attr::ReadWrite());
+  table_.InsertBase(Vpn{0x100}, Ppn{1}, Attr::ReadWrite());
+  table_.InsertBase(Vpn{1ull << 30}, Ppn{2}, Attr::ReadWrite());
   const auto counts = table_.ActiveNodesPerLevel();
   EXPECT_EQ(counts[0], 2u);  // Distinct leaves (level 1 covers 2^9 pages).
   EXPECT_EQ(counts[1], 2u);  // Level 2 covers 2^18 pages: still distinct.
@@ -61,21 +61,21 @@ TEST_F(LinearTest, DistantRegionsShareOnlyUpperLevels) {
 TEST_F(LinearTest, OneLevelModeChargesLeavesOnly) {
   mem::CacheTouchModel cache(256);
   LinearPageTable one(cache, {.size_model = LinearPageTable::SizeModel::kOneLevel});
-  one.InsertBase(0x100, 1, Attr::ReadWrite());
-  one.InsertBase(Vpn{1} << 40, 2, Attr::ReadWrite());
+  one.InsertBase(Vpn{0x100}, Ppn{1}, Attr::ReadWrite());
+  one.InsertBase(Vpn{1ull << 40}, Ppn{2}, Attr::ReadWrite());
   EXPECT_EQ(one.SizeBytesPaperModel(), 2u * kBasePageSize);
 }
 
 TEST_F(LinearTest, LookupTouchesExactlyOneLine) {
-  table_.InsertBase(0x1234, 0x9, Attr::ReadWrite());
+  table_.InsertBase(Vpn{0x1234}, Ppn{0x9}, Attr::ReadWrite());
   cache_.Reset();
-  Lookup(0x1234);
+  Lookup(Vpn{0x1234});
   EXPECT_EQ(cache_.total_lines(), 1u) << "a linear walk reads one PTE slot";
 }
 
 TEST_F(LinearTest, EmptyLeafIsFreedAndLevelsUnwind) {
-  table_.InsertBase(0x100, 1, Attr::ReadWrite());
-  EXPECT_TRUE(table_.RemoveBase(0x100));
+  table_.InsertBase(Vpn{0x100}, Ppn{1}, Attr::ReadWrite());
+  EXPECT_TRUE(table_.RemoveBase(Vpn{0x100}));
   EXPECT_EQ(table_.SizeBytesPaperModel(), 0u);
   for (const auto count : table_.ActiveNodesPerLevel()) {
     EXPECT_EQ(count, 0u);
@@ -83,15 +83,15 @@ TEST_F(LinearTest, EmptyLeafIsFreedAndLevelsUnwind) {
 }
 
 TEST_F(LinearTest, ReplicatedSuperpageFillsSixteenSlots) {
-  table_.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
   // All replicas live in one leaf: size is one page (+ upper levels).
   EXPECT_EQ(table_.ActiveNodesPerLevel()[0], 1u);
   EXPECT_EQ(table_.live_translations(), 16u);
   // Each slot returns the full superpage fill.
-  const auto fill = Lookup(0x400B);
+  const auto fill = Lookup(Vpn{0x400B});
   ASSERT_TRUE(fill.has_value());
   EXPECT_EQ(fill->kind, MappingKind::kSuperpage);
-  EXPECT_EQ(fill->base_vpn, 0x4000u);
+  EXPECT_EQ(fill->base_vpn, Vpn{0x4000});
 }
 
 TEST_F(LinearTest, SuperpageReplicasCannotShrinkTable) {
@@ -100,9 +100,9 @@ TEST_F(LinearTest, SuperpageReplicasCannotShrinkTable) {
   mem::CacheTouchModel cache(256);
   LinearPageTable base_only(cache, {});
   for (unsigned i = 0; i < 16; ++i) {
-    base_only.InsertBase(0x4000 + i, 0x100 + i, Attr::ReadWrite());
+    base_only.InsertBase(Vpn{0x4000} + i, Ppn{0x100} + i, Attr::ReadWrite());
   }
-  table_.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
   EXPECT_EQ(table_.SizeBytesPaperModel(), base_only.SizeBytesPaperModel());
 }
 
@@ -124,31 +124,31 @@ class ForwardTest : public ::testing::Test {
 };
 
 TEST_F(ForwardTest, WalkTouchesSevenLines) {
-  table_.InsertBase(0x1234, 0x9, Attr::ReadWrite());
+  table_.InsertBase(Vpn{0x1234}, Ppn{0x9}, Attr::ReadWrite());
   cache_.Reset();
-  Lookup(0x1234);
+  Lookup(Vpn{0x1234});
   EXPECT_EQ(cache_.total_lines(), 7u) << "one PTP/PTE read per level";
 }
 
 TEST_F(ForwardTest, NodeSizesFollowLevelSplit) {
-  table_.InsertBase(0, 1, Attr::ReadWrite());
+  table_.InsertBase(Vpn{0}, Ppn{1}, Attr::ReadWrite());
   // Leaf 256*8 + five 256*8 inner + one 16*8 root.
   EXPECT_EQ(table_.SizeBytesPaperModel(), 6u * 2048 + 128);
 }
 
 TEST_F(ForwardTest, LeavesCover256Pages) {
-  table_.InsertBase(0, 1, Attr::ReadWrite());
-  table_.InsertBase(255, 2, Attr::ReadWrite());
+  table_.InsertBase(Vpn{0}, Ppn{1}, Attr::ReadWrite());
+  table_.InsertBase(Vpn{255}, Ppn{2}, Attr::ReadWrite());
   EXPECT_EQ(table_.ActiveNodesPerLevel()[0], 1u);
-  table_.InsertBase(256, 3, Attr::ReadWrite());
+  table_.InsertBase(Vpn{256}, Ppn{3}, Attr::ReadWrite());
   EXPECT_EQ(table_.ActiveNodesPerLevel()[0], 2u);
 }
 
 TEST_F(ForwardTest, TreeUnwindsOnRemoval) {
-  table_.InsertBase(0x1234, 1, Attr::ReadWrite());
-  table_.InsertBase((Vpn{1} << 50) + 5, 2, Attr::ReadWrite());
-  EXPECT_TRUE(table_.RemoveBase(0x1234));
-  EXPECT_TRUE(table_.RemoveBase((Vpn{1} << 50) + 5));
+  table_.InsertBase(Vpn{0x1234}, Ppn{1}, Attr::ReadWrite());
+  table_.InsertBase(Vpn{(1ull << 50) + 5}, Ppn{2}, Attr::ReadWrite());
+  EXPECT_TRUE(table_.RemoveBase(Vpn{0x1234}));
+  EXPECT_TRUE(table_.RemoveBase(Vpn{(1ull << 50) + 5}));
   EXPECT_EQ(table_.SizeBytesPaperModel(), 0u);
   for (const auto count : table_.ActiveNodesPerLevel()) {
     EXPECT_EQ(count, 0u);
@@ -160,18 +160,18 @@ TEST_F(ForwardTest, IntermediateSuperpageShortCircuitsWalk) {
   ForwardMappedPageTable t(cache, {.intermediate_superpages = true});
   // A 1MB superpage (2^8 pages) matches a full leaf's coverage, so it can
   // live in the level-2 PTP slot.
-  t.InsertSuperpage(0x4000, PageSize{8}, 0x1000, Attr::ReadWrite());
+  t.InsertSuperpage(Vpn{0x4000}, PageSize{8}, Ppn{0x1000}, Attr::ReadWrite());
   cache.Reset();
   {
     mem::WalkScope scope(cache);
-    const auto fill = t.Lookup(VaOf(0x4055));
+    const auto fill = t.Lookup(VaOf(Vpn{0x4055}));
     ASSERT_TRUE(fill.has_value());
     EXPECT_EQ(fill->kind, MappingKind::kSuperpage);
-    EXPECT_EQ(fill->Translate(0x4055), 0x1055u);
+    EXPECT_EQ(fill->Translate(Vpn{0x4055}), Ppn{0x1055});
   }
   EXPECT_EQ(cache.total_lines(), 6u) << "the walk stops one level early";
   EXPECT_EQ(t.ActiveNodesPerLevel()[0], 0u) << "no leaf node allocated";
-  EXPECT_TRUE(t.RemoveSuperpage(0x4000, PageSize{8}));
+  EXPECT_TRUE(t.RemoveSuperpage(Vpn{0x4000}, PageSize{8}));
   EXPECT_EQ(t.SizeBytesPaperModel(), 0u);
 }
 
@@ -179,10 +179,10 @@ TEST_F(ForwardTest, NonLevelAlignedSuperpageStillReplicates) {
   mem::CacheTouchModel cache(256);
   ForwardMappedPageTable t(cache, {.intermediate_superpages = true});
   // 64KB (2^4 pages) matches no level boundary: falls back to replication.
-  t.InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
+  t.InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
   EXPECT_EQ(t.ActiveNodesPerLevel()[0], 1u);
   mem::WalkScope scope(cache);
-  EXPECT_TRUE(t.Lookup(VaOf(0x4005)).has_value());
+  EXPECT_TRUE(t.Lookup(VaOf(Vpn{0x4005})).has_value());
 }
 
 TEST_F(ForwardTest, LevelSplitCoversFiftyTwoBits) {

@@ -14,13 +14,13 @@ struct Result {
 class Table {
  public:
   // BAD: missing [[nodiscard]].
-  Result Lookup(std::uint64_t vpn) const;
+  Result Lookup(std::uint64_t slot) const;
 
   // GOOD: already annotated.
   [[nodiscard]] Result LookupKey(std::uint64_t key) const;
 
   // GOOD: void-returning mutator named Lookup-ish is not a query.
-  void Insert(std::uint64_t vpn);
+  void Insert(std::uint64_t slot);
 };
 
 }  // namespace fx

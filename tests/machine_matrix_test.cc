@@ -133,14 +133,14 @@ TEST(SharedTableTest, ProcessesShareOneTableWithoutAliasing) {
   opts.pt_kind = PtKind::kClustered;
   opts.shared_page_table = true;
   Machine m(opts, 2);
-  m.Access(0, VaOf(0x100));
-  m.Access(1, VaOf(0x100));  // Same VA, different process.
+  m.Access(0, VaOf(Vpn{0x100}));
+  m.Access(1, VaOf(Vpn{0x100}));  // Same VA, different process.
   EXPECT_EQ(&m.page_table(0), &m.page_table(1)) << "one shared table";
   EXPECT_EQ(m.page_table(0).live_translations(), 2u)
       << "both processes' pages coexist without aliasing";
   // Each process sees its own translation, and the TLB separates them too.
-  m.Access(0, VaOf(0x100));
-  m.Access(1, VaOf(0x100));
+  m.Access(0, VaOf(Vpn{0x100}));
+  m.Access(1, VaOf(Vpn{0x100}));
   EXPECT_EQ(m.tlb().stats().hits, 2u);
 }
 

@@ -22,7 +22,7 @@ TEST(SimAllocatorTest, AllocationsAreLineAlignedByDefault) {
   SimAllocator a(256);
   for (int i = 0; i < 16; ++i) {
     const PhysAddr addr = a.Allocate(24);
-    EXPECT_EQ(addr % 256, 0u) << "allocation " << i;
+    EXPECT_EQ(addr.raw() % 256, 0u) << "allocation " << i;
   }
 }
 
@@ -30,14 +30,14 @@ TEST(SimAllocatorTest, PackedPlacementUsesEightByteAlignment) {
   SimAllocator a(256, NodePlacement::kPacked);
   const PhysAddr first = a.Allocate(24);
   const PhysAddr second = a.Allocate(24);
-  EXPECT_EQ(first % 8, 0u);
+  EXPECT_EQ(first.raw() % 8, 0u);
   EXPECT_EQ(second - first, 24u) << "packed nodes are contiguous";
 }
 
 TEST(SimAllocatorTest, PageSizedAllocationsArePageAligned) {
   SimAllocator a(256);
   const PhysAddr addr = a.Allocate(kBasePageSize);
-  EXPECT_EQ(addr % kBasePageSize, 0u);
+  EXPECT_EQ(addr.raw() % kBasePageSize, 0u);
 }
 
 TEST(SimAllocatorTest, LiveBytesTrackAllocateAndFree) {
@@ -65,13 +65,13 @@ TEST(SimAllocatorTest, DistinctAllocatorsUseDisjointRegions) {
   SimAllocator b(256);
   const PhysAddr pa = a.Allocate(64);
   const PhysAddr pb = b.Allocate(64);
-  EXPECT_NE(pa >> 44, pb >> 44) << "regions must not alias in the line model";
+  EXPECT_NE(pa.raw() >> 44, pb.raw() >> 44) << "regions must not alias in the line model";
 }
 
 TEST(SimAllocatorTest, NeverReturnsNull) {
   SimAllocator a(64);
   for (int i = 0; i < 100; ++i) {
-    EXPECT_NE(a.Allocate(8), 0u);
+    EXPECT_NE(a.Allocate(8), PhysAddr{0});
   }
 }
 
@@ -128,10 +128,10 @@ TEST(PhysicalMemoryTest, FreeMakesFrameAvailableAgain) {
 
 TEST(PhysicalMemoryTest, AllocSpecificRespectsOccupancy) {
   PhysicalMemory pm(8);
-  EXPECT_TRUE(pm.AllocSpecific(5));
-  EXPECT_FALSE(pm.AllocSpecific(5));
-  pm.FreeFrame(5);
-  EXPECT_TRUE(pm.AllocSpecific(5));
+  EXPECT_TRUE(pm.AllocSpecific(Ppn{5}));
+  EXPECT_FALSE(pm.AllocSpecific(Ppn{5}));
+  pm.FreeFrame(Ppn{5});
+  EXPECT_TRUE(pm.AllocSpecific(Ppn{5}));
 }
 
 // ---------------------------------------------------------------------------
@@ -143,7 +143,7 @@ TEST(ReservationTest, FirstTouchReservesAlignedBlock) {
   const auto g = ra.Allocate(/*block_key=*/1, /*boff=*/5);
   ASSERT_TRUE(g.has_value());
   EXPECT_TRUE(g->properly_placed);
-  EXPECT_EQ(g->ppn % 16, 5u) << "frame must sit at its block offset";
+  EXPECT_EQ(g->ppn.raw() % 16, 5u) << "frame must sit at its block offset";
 }
 
 TEST(ReservationTest, SameBlockGetsMatchingSlots) {
@@ -161,7 +161,7 @@ TEST(ReservationTest, DistinctBlocksGetDistinctGroups) {
   ReservationAllocator ra(256, 16);
   const Ppn a = ra.Allocate(1, 0)->ppn;
   const Ppn b = ra.Allocate(2, 0)->ppn;
-  EXPECT_NE(a / 16, b / 16);
+  EXPECT_NE(a.raw() / 16, b.raw() / 16);
 }
 
 TEST(ReservationTest, PressureBreaksReservationsButStillAllocates) {
@@ -247,7 +247,7 @@ TEST(ReservationPropertyTest, NoDoubleGrantsUnderPressure) {
       }
       EXPECT_EQ(in_use.count(g->ppn), 0u) << "double grant at step " << step;
       if (g->properly_placed) {
-        EXPECT_EQ(g->ppn % 8, boff);
+        EXPECT_EQ(g->ppn.raw() % 8, boff);
       }
       in_use[g->ppn] = Owner{key, boff};
       block_masks[key] |= 1u << boff;

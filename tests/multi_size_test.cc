@@ -23,84 +23,84 @@ class MultiSizeTest : public ::testing::Test {
 };
 
 TEST_F(MultiSizeTest, BasePagesGoToSmallTable) {
-  table_.InsertBase(0x100, 1, Attr::ReadWrite());
+  table_.InsertBase(Vpn{0x100}, Ppn{1}, Attr::ReadWrite());
   EXPECT_EQ(table_.small_table().node_count(), 1u);
   EXPECT_EQ(table_.large_table().node_count(), 0u);
-  EXPECT_TRUE(Lookup(0x100).has_value());
+  EXPECT_TRUE(Lookup(Vpn{0x100}).has_value());
 }
 
 TEST_F(MultiSizeTest, SmallSuperpagesStayInSmallTable) {
-  table_.InsertSuperpage(0x4000, kPage16K, 0x100, Attr::ReadWrite());
-  table_.InsertSuperpage(0x8000, kPage64K, 0x200, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x4000}, kPage16K, Ppn{0x100}, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x8000}, kPage64K, Ppn{0x200}, Attr::ReadWrite());
   EXPECT_EQ(table_.small_table().node_count(), 2u);
   EXPECT_EQ(table_.large_table().node_count(), 0u);
-  EXPECT_EQ(Lookup(0x4002)->Translate(0x4002), 0x102u);
-  EXPECT_EQ(Lookup(0x800F)->Translate(0x800F), 0x20Fu);
+  EXPECT_EQ(Lookup(Vpn{0x4002})->Translate(Vpn{0x4002}), Ppn{0x102});
+  EXPECT_EQ(Lookup(Vpn{0x800F})->Translate(Vpn{0x800F}), Ppn{0x20F});
 }
 
 TEST_F(MultiSizeTest, LargeSuperpagesGoToLargeTable) {
   // 256KB = 64 pages: exactly one compact node in the 64-page-block table.
-  table_.InsertSuperpage(0x10000, PageSize{6}, 0x1000, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x10000}, PageSize{6}, Ppn{0x1000}, Attr::ReadWrite());
   EXPECT_EQ(table_.large_table().node_count(), 1u);
   EXPECT_EQ(table_.large_table().SizeBytesPaperModel(), 24u);
-  EXPECT_EQ(Lookup(0x10020)->Translate(0x10020), 0x1020u);
+  EXPECT_EQ(Lookup(Vpn{0x10020})->Translate(Vpn{0x10020}), Ppn{0x1020});
 }
 
 TEST_F(MultiSizeTest, OneMegabyteSuperpageUsesFourReplicas) {
-  table_.InsertSuperpage(0x20000, PageSize{8}, 0x2000, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x20000}, PageSize{8}, Ppn{0x2000}, Attr::ReadWrite());
   EXPECT_EQ(table_.large_table().node_count(), 4u) << "256 pages / 64-page blocks";
   for (unsigned off = 0; off < 256; off += 37) {
-    const auto fill = Lookup(0x20000 + off);
+    const auto fill = Lookup(Vpn{0x20000} + off);
     ASSERT_TRUE(fill.has_value()) << "offset " << off;
-    EXPECT_EQ(fill->Translate(0x20000 + off), 0x2000u + off);
-    EXPECT_EQ(fill->base_vpn, 0x20000u);
+    EXPECT_EQ(fill->Translate(Vpn{0x20000} + off), Ppn{0x2000} + off);
+    EXPECT_EQ(fill->base_vpn, Vpn{0x20000});
   }
-  EXPECT_TRUE(table_.RemoveSuperpage(0x20000, PageSize{8}));
+  EXPECT_TRUE(table_.RemoveSuperpage(Vpn{0x20000}, PageSize{8}));
   EXPECT_EQ(table_.SizeBytesPaperModel(), 0u);
 }
 
 TEST_F(MultiSizeTest, AllFiveMipsSizesCoexist) {
-  table_.InsertBase(0x100, 0x1, Attr::ReadWrite());
-  table_.InsertSuperpage(0x1000, kPage16K, 0x10, Attr::ReadWrite());
-  table_.InsertSuperpage(0x2000, kPage64K, 0x40, Attr::ReadWrite());
-  table_.InsertSuperpage(0x4000, PageSize{6}, 0x80, Attr::ReadWrite());
-  table_.InsertSuperpage(0x8000, PageSize{8}, 0x200, Attr::ReadWrite());
-  EXPECT_EQ(Lookup(0x100)->Translate(0x100), 0x1u);
-  EXPECT_EQ(Lookup(0x1003)->Translate(0x1003), 0x13u);
-  EXPECT_EQ(Lookup(0x2008)->Translate(0x2008), 0x48u);
-  EXPECT_EQ(Lookup(0x4030)->Translate(0x4030), 0xB0u);
-  EXPECT_EQ(Lookup(0x80FF)->Translate(0x80FF), 0x2FFu);
+  table_.InsertBase(Vpn{0x100}, Ppn{0x1}, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x1000}, kPage16K, Ppn{0x10}, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x2000}, kPage64K, Ppn{0x40}, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x4000}, PageSize{6}, Ppn{0x80}, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x8000}, PageSize{8}, Ppn{0x200}, Attr::ReadWrite());
+  EXPECT_EQ(Lookup(Vpn{0x100})->Translate(Vpn{0x100}), Ppn{0x1});
+  EXPECT_EQ(Lookup(Vpn{0x1003})->Translate(Vpn{0x1003}), Ppn{0x13});
+  EXPECT_EQ(Lookup(Vpn{0x2008})->Translate(Vpn{0x2008}), Ppn{0x48});
+  EXPECT_EQ(Lookup(Vpn{0x4030})->Translate(Vpn{0x4030}), Ppn{0xB0});
+  EXPECT_EQ(Lookup(Vpn{0x80FF})->Translate(Vpn{0x80FF}), Ppn{0x2FF});
   EXPECT_EQ(table_.live_translations(), 1u + 4 + 16 + 64 + 256);
 }
 
 TEST_F(MultiSizeTest, SmallPageMissCostsOnlyOneTableSearch) {
-  table_.InsertBase(0x100, 1, Attr::ReadWrite());
+  table_.InsertBase(Vpn{0x100}, Ppn{1}, Attr::ReadWrite());
   cache_.Reset();
-  Lookup(0x100);
+  Lookup(Vpn{0x100});
   EXPECT_EQ(cache_.total_lines(), 1u) << "found in the first (small) table";
 }
 
 TEST_F(MultiSizeTest, LargeSuperpageMissPaysBothSearches) {
-  table_.InsertSuperpage(0x10000, PageSize{6}, 0x1000, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x10000}, PageSize{6}, Ppn{0x1000}, Attr::ReadWrite());
   cache_.Reset();
-  Lookup(0x10010);
+  Lookup(Vpn{0x10010});
   EXPECT_EQ(cache_.total_lines(), 2u) << "small-table miss + large-table hit";
 }
 
 TEST_F(MultiSizeTest, PsbLivesInSmallTable) {
-  table_.UpsertPartialSubblock(0x8000, 16, 0x40, Attr::ReadWrite(), 0x00FF);
+  table_.UpsertPartialSubblock(Vpn{0x8000}, 16, Ppn{0x40}, Attr::ReadWrite(), 0x00FF);
   EXPECT_EQ(table_.small_table().node_count(), 1u);
-  EXPECT_TRUE(Lookup(0x8007).has_value());
-  EXPECT_FALSE(Lookup(0x8008).has_value());
-  EXPECT_TRUE(table_.RemovePartialSubblock(0x8000, 16));
+  EXPECT_TRUE(Lookup(Vpn{0x8007}).has_value());
+  EXPECT_FALSE(Lookup(Vpn{0x8008}).has_value());
+  EXPECT_TRUE(table_.RemovePartialSubblock(Vpn{0x8000}, 16));
 }
 
 TEST_F(MultiSizeTest, ProtectRangeSpansBothTables) {
-  table_.InsertBase(0x10000, 0x1, Attr::ReadWrite());
-  table_.InsertSuperpage(0x10040, PageSize{6}, 0x1000, Attr::ReadWrite());
-  table_.ProtectRange(0x10000, 0x80, Attr::ReadOnly());
-  EXPECT_EQ(Lookup(0x10000)->word.attr(), Attr::ReadOnly());
-  EXPECT_EQ(Lookup(0x10050)->word.attr(), Attr::ReadOnly());
+  table_.InsertBase(Vpn{0x10000}, Ppn{0x1}, Attr::ReadWrite());
+  table_.InsertSuperpage(Vpn{0x10040}, PageSize{6}, Ppn{0x1000}, Attr::ReadWrite());
+  table_.ProtectRange(Vpn{0x10000}, 0x80, Attr::ReadOnly());
+  EXPECT_EQ(Lookup(Vpn{0x10000})->word.attr(), Attr::ReadOnly());
+  EXPECT_EQ(Lookup(Vpn{0x10050})->word.attr(), Attr::ReadOnly());
 }
 
 }  // namespace

@@ -173,7 +173,7 @@ TEST(RunningStatsTest, DegenerateCountsAreZero) {
 // --- RingBufferTracer ----------------------------------------------------
 
 WalkEvent StepEvent(std::uint64_t vpn) {
-  return {.kind = EventKind::kWalkStep, .vpn = vpn, .step = 1, .lines = 1};
+  return {.kind = EventKind::kWalkStep, .vpn = Vpn{vpn}, .step = 1, .lines = 1};
 }
 
 TEST(RingBufferTracerTest, OverflowKeepsNewestOldestFirst) {
@@ -189,7 +189,7 @@ TEST(RingBufferTracerTest, OverflowKeepsNewestOldestFirst) {
   const auto events = ring.Events();
   ASSERT_EQ(events.size(), 4u);
   for (std::uint64_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(events[i].vpn, i + 2) << "oldest surviving event first";
+    EXPECT_EQ(events[i].vpn, Vpn{i + 2}) << "oldest surviving event first";
   }
 }
 
@@ -207,14 +207,14 @@ TEST(RingBufferTracerTest, ClearResetsEverything) {
   ring.Record(StepEvent(7));
   const auto events = ring.Events();
   ASSERT_EQ(events.size(), 1u);
-  EXPECT_EQ(events[0].vpn, 7u);
+  EXPECT_EQ(events[0].vpn, Vpn{7});
 }
 
 TEST(RingBufferTracerTest, WriteJsonlEmitsOneParsableObjectPerEvent) {
   RingBufferTracer ring(8);
-  ring.Record({.kind = EventKind::kTlbMiss, .asid = 3, .vpn = 0x2a});
-  ring.Record({.kind = EventKind::kWalkStep, .vpn = 0x2a, .step = 2, .lines = 2});
-  ring.Record({.kind = EventKind::kReservationGrant, .vpn = 1, .value = 1});
+  ring.Record({.kind = EventKind::kTlbMiss, .asid = 3, .vpn = Vpn{0x2a}});
+  ring.Record({.kind = EventKind::kWalkStep, .vpn = Vpn{0x2a}, .step = 2, .lines = 2});
+  ring.Record({.kind = EventKind::kReservationGrant, .vpn = Vpn{1}, .value = 1});
   std::ostringstream os;
   ring.WriteJsonl(os);
   EXPECT_EQ(os.str(),
@@ -261,10 +261,10 @@ TEST(StatsTracerTest, ChainLengthCountsStepsPerCountedWalk) {
   // Walk 1: two steps, then end.
   stats.Record(StepEvent(1));
   stats.Record(StepEvent(1));
-  stats.Record({.kind = EventKind::kWalkEnd, .vpn = 1, .lines = 2});
+  stats.Record({.kind = EventKind::kWalkEnd, .vpn = Vpn{1}, .lines = 2});
   // Walk 2: one step, then end.
   stats.Record(StepEvent(2));
-  stats.Record({.kind = EventKind::kWalkEnd, .vpn = 2, .lines = 1});
+  stats.Record({.kind = EventKind::kWalkEnd, .vpn = Vpn{2}, .lines = 1});
   EXPECT_EQ(stats.chain_length().total(), 2u);
   EXPECT_EQ(stats.chain_length().count(2), 1u);
   EXPECT_EQ(stats.chain_length().count(1), 1u);
@@ -279,9 +279,9 @@ TEST(StatsTracerTest, AbortedWalkStepsAreDiscarded) {
   stats.Record(StepEvent(1));
   stats.Record(StepEvent(1));
   stats.Record(StepEvent(1));
-  stats.Record({.kind = EventKind::kWalkAbort, .vpn = 1});
+  stats.Record({.kind = EventKind::kWalkAbort, .vpn = Vpn{1}});
   stats.Record(StepEvent(1));
-  stats.Record({.kind = EventKind::kWalkEnd, .vpn = 1, .lines = 1});
+  stats.Record({.kind = EventKind::kWalkEnd, .vpn = Vpn{1}, .lines = 1});
   EXPECT_EQ(stats.chain_length().total(), 1u);
   EXPECT_EQ(stats.chain_length().count(1), 1u);
   EXPECT_EQ(stats.chain_length().count(3), 0u)
@@ -292,8 +292,8 @@ TEST(StatsTracerTest, ForwardsEveryEventDownstream) {
   RingBufferTracer ring(16);
   StatsTracer stats(&ring);
   stats.Record(StepEvent(1));
-  stats.Record({.kind = EventKind::kWalkEnd, .vpn = 1, .lines = 1});
-  stats.Record({.kind = EventKind::kPageFault, .vpn = 2});
+  stats.Record({.kind = EventKind::kWalkEnd, .vpn = Vpn{1}, .lines = 1});
+  stats.Record({.kind = EventKind::kPageFault, .vpn = Vpn{2}});
   EXPECT_EQ(ring.total_recorded(), 3u);
   EXPECT_EQ(ring.counts()[EventKind::kPageFault], 1u);
 }
@@ -336,8 +336,8 @@ TEST(MachineTracingTest, TracedMissesMatchDenominatorMisses) {
   // Sweep more pages than the TLB holds, twice, to mix cold faults,
   // capacity misses, and hits.
   for (int round = 0; round < 2; ++round) {
-    for (Vpn vpn = 0; vpn < 100; ++vpn) {
-      machine.Access(0, VaOf(0x1000 + vpn * 3));
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      machine.Access(0, VaOf(Vpn{0x1000 + i * 3}));
     }
   }
   EXPECT_GT(stats.counts().TlbMisses(), 0u);
@@ -359,8 +359,8 @@ TEST(MachineTracingTest, DetachedMachineCountsAreUnchangedByTracing) {
     if (traced) {
       machine.AttachTracer(&stats);
     }
-    for (Vpn vpn = 0; vpn < 200; ++vpn) {
-      machine.Access(0, VaOf(0x400 + vpn * 5));
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      machine.Access(0, VaOf(Vpn{0x400 + i * 5}));
     }
     return std::pair<std::uint64_t, double>(machine.DenominatorMisses(),
                                             machine.AvgLinesPerMiss());

@@ -41,22 +41,22 @@ class OsClusteredTest : public ::testing::Test {
 
 TEST_F(OsClusteredTest, TouchMapsAndRepeatTouchIsIdempotent) {
   MakeAspace(PteStrategy::kBaseOnly);
-  EXPECT_TRUE(aspace_->TouchPage(VaOf(0x100)));
-  EXPECT_TRUE(aspace_->TouchPage(VaOf(0x100)));
+  EXPECT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x100})));
+  EXPECT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x100})));
   EXPECT_EQ(aspace_->resident_pages(), 1u);
   EXPECT_EQ(aspace_->stats().faults, 1u);
-  EXPECT_TRUE(Lookup(0x100).has_value());
-  EXPECT_TRUE(aspace_->IsResident(0x100));
-  EXPECT_FALSE(aspace_->IsResident(0x101));
+  EXPECT_TRUE(Lookup(Vpn{0x100}).has_value());
+  EXPECT_TRUE(aspace_->IsResident(Vpn{0x100}));
+  EXPECT_FALSE(aspace_->IsResident(Vpn{0x101}));
 }
 
 TEST_F(OsClusteredTest, SuperpagePolicyPromotesFullBlock) {
   MakeAspace(PteStrategy::kSuperpage);
   for (unsigned i = 0; i < 16; ++i) {
-    ASSERT_TRUE(aspace_->TouchPage(VaOf(0x100 + i)));
+    ASSERT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x100} + i)));
   }
   EXPECT_EQ(aspace_->stats().promotions, 1u);
-  const auto fill = Lookup(0x105);
+  const auto fill = Lookup(Vpn{0x105});
   ASSERT_TRUE(fill.has_value());
   EXPECT_EQ(fill->kind, MappingKind::kSuperpage);
   EXPECT_EQ(fill->pages_log2, 4u);
@@ -68,26 +68,26 @@ TEST_F(OsClusteredTest, SuperpagePolicyPromotesFullBlock) {
 TEST_F(OsClusteredTest, SuperpagePolicyKeepsPartialBlocksAsBase) {
   MakeAspace(PteStrategy::kSuperpage);
   for (unsigned i = 0; i < 15; ++i) {
-    ASSERT_TRUE(aspace_->TouchPage(VaOf(0x100 + i)));
+    ASSERT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x100} + i)));
   }
   EXPECT_EQ(aspace_->stats().promotions, 0u);
-  EXPECT_EQ(Lookup(0x105)->kind, MappingKind::kBase);
+  EXPECT_EQ(Lookup(Vpn{0x105})->kind, MappingKind::kBase);
   EXPECT_EQ(aspace_->Census().base_blocks, 1u);
 }
 
 TEST_F(OsClusteredTest, UnmapDemotesSuperpage) {
   MakeAspace(PteStrategy::kSuperpage);
   for (unsigned i = 0; i < 16; ++i) {
-    ASSERT_TRUE(aspace_->TouchPage(VaOf(0x100 + i)));
+    ASSERT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x100} + i)));
   }
-  aspace_->UnmapRange(0x103, 1);
+  aspace_->UnmapRange(Vpn{0x103}, 1);
   EXPECT_EQ(aspace_->stats().demotions, 1u);
-  EXPECT_FALSE(Lookup(0x103).has_value());
+  EXPECT_FALSE(Lookup(Vpn{0x103}).has_value());
   for (unsigned i = 0; i < 16; ++i) {
     if (i == 3) {
       continue;
     }
-    const auto fill = Lookup(0x100 + i);
+    const auto fill = Lookup(Vpn{0x100} + i);
     ASSERT_TRUE(fill.has_value()) << "page " << i;
     EXPECT_EQ(fill->kind, MappingKind::kBase);
   }
@@ -97,36 +97,36 @@ TEST_F(OsClusteredTest, UnmapDemotesSuperpage) {
 TEST_F(OsClusteredTest, RetouchAfterDemotionRepromotes) {
   MakeAspace(PteStrategy::kSuperpage);
   for (unsigned i = 0; i < 16; ++i) {
-    ASSERT_TRUE(aspace_->TouchPage(VaOf(0x100 + i)));
+    ASSERT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x100} + i)));
   }
-  aspace_->UnmapRange(0x103, 1);
-  ASSERT_TRUE(aspace_->TouchPage(VaOf(0x103)));
+  aspace_->UnmapRange(Vpn{0x103}, 1);
+  ASSERT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x103})));
   EXPECT_EQ(aspace_->stats().promotions, 2u);
-  EXPECT_EQ(Lookup(0x103)->kind, MappingKind::kSuperpage);
+  EXPECT_EQ(Lookup(Vpn{0x103})->kind, MappingKind::kSuperpage);
 }
 
 TEST_F(OsClusteredTest, PsbPolicyBuildsVectorIncrementally) {
   MakeAspace(PteStrategy::kPartialSubblock);
-  ASSERT_TRUE(aspace_->TouchPage(VaOf(0x200)));
-  ASSERT_TRUE(aspace_->TouchPage(VaOf(0x207)));
-  ASSERT_TRUE(aspace_->TouchPage(VaOf(0x20F)));
-  const auto fill = Lookup(0x207);
+  ASSERT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x200})));
+  ASSERT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x207})));
+  ASSERT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x20F})));
+  const auto fill = Lookup(Vpn{0x207});
   ASSERT_TRUE(fill.has_value());
   EXPECT_EQ(fill->kind, MappingKind::kPartialSubblock);
   EXPECT_EQ(fill->word.valid_vector(), 0b1000'0000'1000'0001);
-  EXPECT_FALSE(Lookup(0x201).has_value());
+  EXPECT_FALSE(Lookup(Vpn{0x201}).has_value());
   EXPECT_EQ(table_.SizeBytesPaperModel(), 24u) << "one compact PSB node";
 }
 
 TEST_F(OsClusteredTest, PsbUnmapShrinksVectorAndFreesNode) {
   MakeAspace(PteStrategy::kPartialSubblock);
   for (unsigned i = 0; i < 4; ++i) {
-    ASSERT_TRUE(aspace_->TouchPage(VaOf(0x200 + i)));
+    ASSERT_TRUE(aspace_->TouchPage(VaOf(Vpn{0x200} + i)));
   }
-  aspace_->UnmapRange(0x200, 2);
-  EXPECT_FALSE(Lookup(0x200).has_value());
-  EXPECT_TRUE(Lookup(0x202).has_value());
-  aspace_->UnmapRange(0x202, 2);
+  aspace_->UnmapRange(Vpn{0x200}, 2);
+  EXPECT_FALSE(Lookup(Vpn{0x200}).has_value());
+  EXPECT_TRUE(Lookup(Vpn{0x202}).has_value());
+  aspace_->UnmapRange(Vpn{0x202}, 2);
   EXPECT_EQ(table_.SizeBytesPaperModel(), 0u);
   EXPECT_EQ(aspace_->resident_pages(), 0u);
 }
@@ -139,11 +139,11 @@ TEST_F(OsClusteredTest, PsbPlacementFailureFallsBackToBasePte) {
   AddressSpace as(0, table_, small,
                   AddressSpaceOptions{.strategy = PteStrategy::kPartialSubblock,
                                       .subblock_factor = 16});
-  ASSERT_TRUE(as.TouchPage(VaOf(0x100)));
-  ASSERT_TRUE(as.TouchPage(VaOf(0x200)));
-  ASSERT_TRUE(as.TouchPage(VaOf(0x300)));
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x100})));
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x200})));
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x300})));
   EXPECT_EQ(as.stats().placement_failures, 1u);
-  const auto fill = Lookup(0x300);
+  const auto fill = Lookup(Vpn{0x300});
   ASSERT_TRUE(fill.has_value());
   EXPECT_EQ(fill->kind, MappingKind::kBase);
 }
@@ -152,9 +152,9 @@ TEST_F(OsClusteredTest, OutOfMemoryReportsFalse) {
   mem::ReservationAllocator tiny(16, 16);
   AddressSpace as(0, table_, tiny, AddressSpaceOptions{.subblock_factor = 16});
   for (unsigned i = 0; i < 16; ++i) {
-    ASSERT_TRUE(as.TouchPage(VaOf(0x100 + i)));
+    ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x100} + i)));
   }
-  EXPECT_FALSE(as.TouchPage(VaOf(0x200)));
+  EXPECT_FALSE(as.TouchPage(VaOf(Vpn{0x200})));
   EXPECT_EQ(as.stats().oom_faults, 1u);
 }
 
@@ -162,12 +162,12 @@ TEST_F(OsClusteredTest, UnmapFreesFramesForReuse) {
   mem::ReservationAllocator tiny(16, 16);
   AddressSpace as(0, table_, tiny, AddressSpaceOptions{.subblock_factor = 16});
   for (unsigned i = 0; i < 16; ++i) {
-    ASSERT_TRUE(as.TouchPage(VaOf(0x100 + i)));
+    ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x100} + i)));
   }
-  as.UnmapRange(0x100, 16);
+  as.UnmapRange(Vpn{0x100}, 16);
   EXPECT_EQ(tiny.frames_used(), 0u);
   for (unsigned i = 0; i < 16; ++i) {
-    EXPECT_TRUE(as.TouchPage(VaOf(0x900 + i))) << "page " << i;
+    EXPECT_TRUE(as.TouchPage(VaOf(Vpn{0x900} + i))) << "page " << i;
   }
 }
 
@@ -180,9 +180,9 @@ TEST_F(OsClusteredTest, CensusCountsMixedBlocks) {
   // Fill two blocks' reservations, then force a third block's page to be
   // unplaced while also adding placed pages to it?  With 2 groups the third
   // block is entirely unplaced: it becomes a base-only block.
-  ASSERT_TRUE(as.TouchPage(VaOf(0x100)));
-  ASSERT_TRUE(as.TouchPage(VaOf(0x200)));
-  ASSERT_TRUE(as.TouchPage(VaOf(0x300)));
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x100})));
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x200})));
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x300})));
   const auto census = as.Census();
   EXPECT_EQ(census.psb_blocks, 2u);
   EXPECT_EQ(census.base_blocks, 1u);
@@ -197,16 +197,16 @@ TEST(OsMultiHashedTest, SuperpagePolicyUsesBlockTable) {
                   AddressSpaceOptions{.strategy = PteStrategy::kSuperpage,
                                       .subblock_factor = 16});
   for (unsigned i = 0; i < 16; ++i) {
-    ASSERT_TRUE(as.TouchPage(VaOf(0x100 + i)));
+    ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x100} + i)));
   }
   EXPECT_EQ(as.stats().promotions, 1u);
   EXPECT_EQ(table.base_table().node_count(), 0u) << "base PTEs removed on promotion";
   EXPECT_EQ(table.block_table().node_count(), 1u);
   mem::WalkScope scope(cache);
-  const auto fill = table.Lookup(VaOf(0x108));
+  const auto fill = table.Lookup(VaOf(Vpn{0x108}));
   ASSERT_TRUE(fill.has_value());
   EXPECT_EQ(fill->kind, MappingKind::kSuperpage);
-  EXPECT_EQ(fill->Translate(0x108), fill->word.ppn() + 8);
+  EXPECT_EQ(fill->Translate(Vpn{0x108}), fill->word.ppn() + 8);
 }
 
 TEST(OsMultiHashedTest, PsbPolicyKeepsBaseTableForUnplacedOnly) {
@@ -216,9 +216,9 @@ TEST(OsMultiHashedTest, PsbPolicyKeepsBaseTableForUnplacedOnly) {
   AddressSpace as(0, table, frames,
                   AddressSpaceOptions{.strategy = PteStrategy::kPartialSubblock,
                                       .subblock_factor = 16});
-  ASSERT_TRUE(as.TouchPage(VaOf(0x100)));  // placed -> PSB
-  ASSERT_TRUE(as.TouchPage(VaOf(0x200)));  // placed -> PSB
-  ASSERT_TRUE(as.TouchPage(VaOf(0x300)));  // unplaced -> base
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x100})));  // placed -> PSB
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x200})));  // placed -> PSB
+  ASSERT_TRUE(as.TouchPage(VaOf(Vpn{0x300})));  // unplaced -> base
   EXPECT_EQ(table.block_table().node_count(), 2u);
   EXPECT_EQ(table.base_table().node_count(), 1u);
 }

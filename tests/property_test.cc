@@ -22,7 +22,7 @@ namespace {
 TEST(PteFuzzTest, BaseWordsRoundTripRandomFields) {
   Rng rng(1001);
   for (int i = 0; i < 20000; ++i) {
-    const Ppn ppn = rng.Below(kMaxPpn + 1);
+    const Ppn ppn{rng.Below(kPpnMask + 1)};
     const Attr attr{static_cast<std::uint16_t>(rng.Below(0x1000))};
     const MappingWord w = MappingWord::Base(ppn, attr);
     ASSERT_EQ(w.ppn(), ppn);
@@ -38,10 +38,10 @@ TEST(PteFuzzTest, SuperpageWordsRoundTripRandomFields) {
   Rng rng(1002);
   for (int i = 0; i < 20000; ++i) {
     const unsigned size_log2 = static_cast<unsigned>(rng.Below(16));
-    const Ppn ppn = rng.Below(kMaxPpn + 1) & ~((Ppn{1} << size_log2) - 1);
+    const Ppn ppn{rng.Below(kPpnMask + 1) & ~((1ull << size_log2) - 1)};
     const Attr attr{static_cast<std::uint16_t>(rng.Below(0x1000))};
     const MappingWord w = MappingWord::Superpage(ppn, attr, PageSize{size_log2});
-    ASSERT_EQ(w.ppn(), ppn & kMaxPpn);
+    ASSERT_EQ(w.ppn(), Ppn{ppn.raw() & kPpnMask});
     ASSERT_EQ(w.attr(), attr);
     ASSERT_EQ(w.page_size().size_log2, size_log2);
     ASSERT_EQ(w.kind(), MappingKind::kSuperpage);
@@ -51,7 +51,7 @@ TEST(PteFuzzTest, SuperpageWordsRoundTripRandomFields) {
 TEST(PteFuzzTest, PsbWordsRoundTripRandomFields) {
   Rng rng(1003);
   for (int i = 0; i < 20000; ++i) {
-    const Ppn ppn = (rng.Below(kMaxPpn + 1)) & ~Ppn{0xF};
+    const Ppn ppn{rng.Below(kPpnMask + 1) & ~0xFull};
     const auto vector = static_cast<std::uint16_t>(rng.Below(0x10000));
     const Attr attr{static_cast<std::uint16_t>(rng.Below(0x1000))};
     const MappingWord w = MappingWord::PartialSubblock(ppn, attr, vector);
@@ -61,14 +61,14 @@ TEST(PteFuzzTest, PsbWordsRoundTripRandomFields) {
     ASSERT_EQ(w.valid(), vector != 0);
     for (unsigned boff = 0; boff < 16; ++boff) {
       ASSERT_EQ(w.subpage_valid(boff), ((vector >> boff) & 1) != 0);
-      ASSERT_EQ(w.subpage_ppn(boff), ppn | boff);
+      ASSERT_EQ(w.subpage_ppn(boff), ppn + boff);
     }
   }
 }
 
 TEST(PteFuzzTest, VectorBitFlipsAreExact) {
   Rng rng(1004);
-  MappingWord w = MappingWord::PartialSubblock(0x40, Attr::ReadWrite(), 0);
+  MappingWord w = MappingWord::PartialSubblock(Ppn{0x40}, Attr::ReadWrite(), 0);
   std::uint16_t model = 0;
   for (int i = 0; i < 5000; ++i) {
     const unsigned boff = static_cast<unsigned>(rng.Below(16));
@@ -80,7 +80,7 @@ TEST(PteFuzzTest, VectorBitFlipsAreExact) {
       model &= static_cast<std::uint16_t>(~(1u << boff));
     }
     ASSERT_EQ(w.valid_vector(), model);
-    ASSERT_EQ(w.ppn(), 0x40u) << "vector updates must not disturb the PPN";
+    ASSERT_EQ(w.ppn(), Ppn{0x40}) << "vector updates must not disturb the PPN";
     ASSERT_EQ(w.attr(), Attr::ReadWrite());
   }
 }
@@ -93,8 +93,8 @@ TEST(TlbFillTest, CoverageImpliesTranslationConsistency) {
   Rng rng(1005);
   for (int i = 0; i < 10000; ++i) {
     const unsigned pages_log2 = static_cast<unsigned>(rng.Below(5));
-    const Vpn base = (rng.Below(1 << 28)) & ~((Vpn{1} << pages_log2) - 1);
-    const Ppn ppn_base = (rng.Below(1 << 20)) & ~((Ppn{1} << pages_log2) - 1);
+    const Vpn base{rng.Below(1 << 28) & ~((1ull << pages_log2) - 1)};
+    const Ppn ppn_base{rng.Below(1 << 20) & ~((1ull << pages_log2) - 1)};
     pt::TlbFill fill{.kind = MappingKind::kSuperpage,
                      .base_vpn = base,
                      .pages_log2 = pages_log2,
@@ -105,7 +105,7 @@ TEST(TlbFillTest, CoverageImpliesTranslationConsistency) {
       ASSERT_EQ(fill.Translate(base + off), ppn_base + off);
     }
     ASSERT_FALSE(fill.Covers(base + fill.pages()));
-    if (base > 0) {
+    if (base > Vpn{0}) {
       ASSERT_FALSE(fill.Covers(base - 1));
     }
   }
@@ -124,7 +124,7 @@ TEST_P(BlockEquivalenceTest, BlockFetchMatchesPointLookups) {
   Rng rng(1006);
 
   // Random mixed-format population over 64 blocks.
-  const Vpn base = 0x40000;
+  const Vpn base{0x40000};
   for (int step = 0; step < 600; ++step) {
     const Vpn block_first = base + rng.Below(64) * 16;
     switch (rng.Below(4)) {
@@ -134,7 +134,8 @@ TEST_P(BlockEquivalenceTest, BlockFetchMatchesPointLookups) {
         if (table->features().superpages) {
           table->RemoveSuperpage(block_first, kPage64K);
         }
-        table->InsertBase(block_first + rng.Below(16), rng.Below(kMaxPpn), Attr::ReadWrite());
+        table->InsertBase(block_first + rng.Below(16), Ppn{rng.Below(kPpnMask)},
+                          Attr::ReadWrite());
         break;
       case 1:
         if (table->features().superpages) {
@@ -149,7 +150,7 @@ TEST_P(BlockEquivalenceTest, BlockFetchMatchesPointLookups) {
           for (unsigned i = 0; i < 16; ++i) {
             table->RemoveBase(block_first + i);
           }
-          table->InsertSuperpage(block_first, kPage64K, (rng.Below(1000) + 1) * 16,
+          table->InsertSuperpage(block_first, kPage64K, Ppn{(rng.Below(1000) + 1) * 16},
                                  Attr::ReadWrite());
         }
         break;

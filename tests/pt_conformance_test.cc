@@ -33,60 +33,60 @@ class PtConformanceTest : public ::testing::TestWithParam<PtKind> {
 };
 
 TEST_P(PtConformanceTest, EmptyTableFaultsEverywhere) {
-  EXPECT_FALSE(Lookup(0).has_value());
-  EXPECT_FALSE(Lookup(0x12345).has_value());
-  EXPECT_FALSE(Lookup((Vpn{1} << 51) + 17).has_value());
+  EXPECT_FALSE(Lookup(Vpn{0}).has_value());
+  EXPECT_FALSE(Lookup(Vpn{0x12345}).has_value());
+  EXPECT_FALSE(Lookup(Vpn{(1ull << 51) + 17}).has_value());
   EXPECT_EQ(table_->live_translations(), 0u);
 }
 
 TEST_P(PtConformanceTest, InsertThenLookupTranslates) {
-  table_->InsertBase(0x1234, 0x777, Attr::ReadWrite());
-  const auto fill = Lookup(0x1234);
+  table_->InsertBase(Vpn{0x1234}, Ppn{0x777}, Attr::ReadWrite());
+  const auto fill = Lookup(Vpn{0x1234});
   ASSERT_TRUE(fill.has_value());
-  EXPECT_TRUE(fill->Covers(0x1234));
-  EXPECT_EQ(fill->Translate(0x1234), 0x777u);
+  EXPECT_TRUE(fill->Covers(Vpn{0x1234}));
+  EXPECT_EQ(fill->Translate(Vpn{0x1234}), Ppn{0x777});
   EXPECT_EQ(fill->kind, MappingKind::kBase);
   EXPECT_EQ(table_->live_translations(), 1u);
 }
 
 TEST_P(PtConformanceTest, LookupUsesFullVaNotJustVpn) {
-  table_->InsertBase(0x1234, 0x777, Attr::ReadWrite());
+  table_->InsertBase(Vpn{0x1234}, Ppn{0x777}, Attr::ReadWrite());
   mem::WalkScope scope(cache_);
-  const auto fill = table_->Lookup(VaOf(0x1234) + 0xABC);  // Offset within page.
+  const auto fill = table_->Lookup(VaOf(Vpn{0x1234}) + 0xABC);  // Offset within page.
   ASSERT_TRUE(fill.has_value());
-  EXPECT_EQ(fill->Translate(0x1234), 0x777u);
+  EXPECT_EQ(fill->Translate(Vpn{0x1234}), Ppn{0x777});
 }
 
 TEST_P(PtConformanceTest, NeighborPagesAreIndependent) {
-  table_->InsertBase(0x1000, 0x10, Attr::ReadWrite());
-  EXPECT_TRUE(Lookup(0x1000).has_value());
-  EXPECT_FALSE(Lookup(0x1001).has_value());
-  EXPECT_FALSE(Lookup(0xFFF).has_value());
+  table_->InsertBase(Vpn{0x1000}, Ppn{0x10}, Attr::ReadWrite());
+  EXPECT_TRUE(Lookup(Vpn{0x1000}).has_value());
+  EXPECT_FALSE(Lookup(Vpn{0x1001}).has_value());
+  EXPECT_FALSE(Lookup(Vpn{0xFFF}).has_value());
 }
 
 TEST_P(PtConformanceTest, ReinsertOverwritesMapping) {
-  table_->InsertBase(0x99, 0x1, Attr::ReadWrite());
-  table_->InsertBase(0x99, 0x2, Attr::ReadOnly());
-  const auto fill = Lookup(0x99);
+  table_->InsertBase(Vpn{0x99}, Ppn{0x1}, Attr::ReadWrite());
+  table_->InsertBase(Vpn{0x99}, Ppn{0x2}, Attr::ReadOnly());
+  const auto fill = Lookup(Vpn{0x99});
   ASSERT_TRUE(fill.has_value());
-  EXPECT_EQ(fill->Translate(0x99), 0x2u);
+  EXPECT_EQ(fill->Translate(Vpn{0x99}), Ppn{0x2});
   EXPECT_EQ(table_->live_translations(), 1u);
 }
 
 TEST_P(PtConformanceTest, RemoveBaseMakesPageFault) {
-  table_->InsertBase(0x55, 0x5, Attr::ReadWrite());
-  EXPECT_TRUE(table_->RemoveBase(0x55));
-  EXPECT_FALSE(Lookup(0x55).has_value());
+  table_->InsertBase(Vpn{0x55}, Ppn{0x5}, Attr::ReadWrite());
+  EXPECT_TRUE(table_->RemoveBase(Vpn{0x55}));
+  EXPECT_FALSE(Lookup(Vpn{0x55}).has_value());
   EXPECT_EQ(table_->live_translations(), 0u);
-  EXPECT_FALSE(table_->RemoveBase(0x55)) << "double remove must report false";
+  EXPECT_FALSE(table_->RemoveBase(Vpn{0x55})) << "double remove must report false";
 }
 
 TEST_P(PtConformanceTest, SizeReturnsToZeroAfterRemovingAll) {
-  for (Vpn vpn = 0x4000; vpn < 0x4040; ++vpn) {
-    table_->InsertBase(vpn, vpn & kMaxPpn, Attr::ReadWrite());
+  for (Vpn vpn{0x4000}; vpn < Vpn{0x4040}; ++vpn) {
+    table_->InsertBase(vpn, Ppn{vpn.raw() & kPpnMask}, Attr::ReadWrite());
   }
   EXPECT_GT(table_->SizeBytesPaperModel(), 0u);
-  for (Vpn vpn = 0x4000; vpn < 0x4040; ++vpn) {
+  for (Vpn vpn{0x4000}; vpn < Vpn{0x4040}; ++vpn) {
     EXPECT_TRUE(table_->RemoveBase(vpn));
   }
   EXPECT_EQ(table_->SizeBytesPaperModel(), 0u)
@@ -96,17 +96,17 @@ TEST_P(PtConformanceTest, SizeReturnsToZeroAfterRemovingAll) {
 
 TEST_P(PtConformanceTest, SparseHighAddressesWork) {
   // Exercise 64-bit sparsity: pages scattered across the full VPN space.
-  const Vpn vpns[] = {0x1,
-                      0xFFFF,
-                      (Vpn{1} << 30) + 3,
-                      (Vpn{1} << 40) + 12345,
-                      (Vpn{1} << 51) + 7,
-                      (Vpn{1} << 52) - 1};
-  Ppn next = 100;
+  const Vpn vpns[] = {Vpn{0x1},
+                      Vpn{0xFFFF},
+                      Vpn{(1ull << 30) + 3},
+                      Vpn{(1ull << 40) + 12345},
+                      Vpn{(1ull << 51) + 7},
+                      Vpn{(1ull << 52) - 1}};
+  Ppn next{100};
   for (const Vpn vpn : vpns) {
     table_->InsertBase(vpn, next++, Attr::ReadWrite());
   }
-  next = 100;
+  next = Ppn{100};
   for (const Vpn vpn : vpns) {
     const auto fill = Lookup(vpn);
     ASSERT_TRUE(fill.has_value()) << "vpn 0x" << std::hex << vpn;
@@ -116,12 +116,12 @@ TEST_P(PtConformanceTest, SparseHighAddressesWork) {
 }
 
 TEST_P(PtConformanceTest, ProtectRangeRewritesAttributes) {
-  for (Vpn vpn = 0x800; vpn < 0x810; ++vpn) {
-    table_->InsertBase(vpn, vpn, Attr::ReadWrite());
+  for (Vpn vpn{0x800}; vpn < Vpn{0x810}; ++vpn) {
+    table_->InsertBase(vpn, Ppn{vpn.raw()}, Attr::ReadWrite());
   }
-  const std::uint64_t searches = table_->ProtectRange(0x800, 16, Attr::ReadOnly());
+  const std::uint64_t searches = table_->ProtectRange(Vpn{0x800}, 16, Attr::ReadOnly());
   EXPECT_GT(searches, 0u);
-  for (Vpn vpn = 0x800; vpn < 0x810; ++vpn) {
+  for (Vpn vpn{0x800}; vpn < Vpn{0x810}; ++vpn) {
     const auto fill = Lookup(vpn);
     ASSERT_TRUE(fill.has_value());
     EXPECT_EQ(fill->word.attr(), Attr::ReadOnly()) << "vpn 0x" << std::hex << vpn;
@@ -129,9 +129,9 @@ TEST_P(PtConformanceTest, ProtectRangeRewritesAttributes) {
 }
 
 TEST_P(PtConformanceTest, WalksAlwaysTouchAtLeastOneLineWhenMapped) {
-  table_->InsertBase(0x3210, 0x99, Attr::ReadWrite());
+  table_->InsertBase(Vpn{0x3210}, Ppn{0x99}, Attr::ReadWrite());
   cache_.Reset();
-  Lookup(0x3210);
+  Lookup(Vpn{0x3210});
   EXPECT_GE(cache_.total_lines(), 1u);
   EXPECT_EQ(cache_.total_walks(), 1u);
 }
@@ -143,15 +143,15 @@ TEST_P(PtConformanceTest, RandomOpsMatchReferenceModel) {
   // Two clusters of VPNs: one dense window, one sparse high region.
   auto random_vpn = [&]() -> Vpn {
     if (rng.Chance(0.7)) {
-      return 0x10000 + rng.Below(512);
+      return Vpn{0x10000 + rng.Below(512)};
     }
-    return (Vpn{1} << 44) + rng.Below(100000) * 16;
+    return Vpn{(1ull << 44) + rng.Below(100000) * 16};
   };
   for (int step = 0; step < 4000; ++step) {
     const Vpn vpn = random_vpn();
     const double dice = rng.NextDouble();
     if (dice < 0.5) {
-      const Ppn ppn = rng.Below(kMaxPpn);
+      const Ppn ppn{rng.Below(kPpnMask)};
       table_->InsertBase(vpn, ppn, Attr::ReadWrite());
       ref[vpn] = ppn;
     } else if (dice < 0.75) {
@@ -198,25 +198,25 @@ class PtSpPsbConformanceTest : public PtConformanceTest {};
 
 TEST_P(PtSpPsbConformanceTest, SuperpageCoversAllBasePages) {
   ASSERT_TRUE(table_->features().superpages);
-  table_->InsertSuperpage(0x4000, kPage64K, 0x1000, Attr::ReadWrite());
+  table_->InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x1000}, Attr::ReadWrite());
   for (unsigned i = 0; i < 16; ++i) {
-    const auto fill = Lookup(0x4000 + i);
+    const auto fill = Lookup(Vpn{0x4000} + i);
     ASSERT_TRUE(fill.has_value()) << "page " << i;
     EXPECT_EQ(fill->kind, MappingKind::kSuperpage);
-    EXPECT_EQ(fill->Translate(0x4000 + i), 0x1000u + i);
-    EXPECT_EQ(fill->base_vpn, 0x4000u);
+    EXPECT_EQ(fill->Translate(Vpn{0x4000} + i), Ppn{0x1000} + i);
+    EXPECT_EQ(fill->base_vpn, Vpn{0x4000});
     EXPECT_EQ(fill->pages_log2, 4u);
   }
-  EXPECT_FALSE(Lookup(0x3FFF).has_value());
-  EXPECT_FALSE(Lookup(0x4010).has_value());
+  EXPECT_FALSE(Lookup(Vpn{0x3FFF}).has_value());
+  EXPECT_FALSE(Lookup(Vpn{0x4010}).has_value());
   EXPECT_EQ(table_->live_translations(), 16u);
 }
 
 TEST_P(PtSpPsbConformanceTest, RemoveSuperpageClearsAllPages) {
-  table_->InsertSuperpage(0x4000, kPage64K, 0x1000, Attr::ReadWrite());
-  EXPECT_TRUE(table_->RemoveSuperpage(0x4000, kPage64K));
+  table_->InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x1000}, Attr::ReadWrite());
+  EXPECT_TRUE(table_->RemoveSuperpage(Vpn{0x4000}, kPage64K));
   for (unsigned i = 0; i < 16; ++i) {
-    EXPECT_FALSE(Lookup(0x4000 + i).has_value());
+    EXPECT_FALSE(Lookup(Vpn{0x4000} + i).has_value());
   }
   EXPECT_EQ(table_->live_translations(), 0u);
   EXPECT_EQ(table_->SizeBytesPaperModel(), 0u);
@@ -225,59 +225,59 @@ TEST_P(PtSpPsbConformanceTest, RemoveSuperpageClearsAllPages) {
 TEST_P(PtSpPsbConformanceTest, PartialSubblockHonorsValidVector) {
   ASSERT_TRUE(table_->features().partial_subblock);
   const std::uint16_t vector = 0b0101'0000'1111'0011;
-  table_->UpsertPartialSubblock(0x8000, 16, 0x2000, Attr::ReadWrite(), vector);
+  table_->UpsertPartialSubblock(Vpn{0x8000}, 16, Ppn{0x2000}, Attr::ReadWrite(), vector);
   for (unsigned i = 0; i < 16; ++i) {
-    const auto fill = Lookup(0x8000 + i);
+    const auto fill = Lookup(Vpn{0x8000} + i);
     const bool expected = (vector >> i) & 1;
     ASSERT_EQ(fill.has_value(), expected) << "page " << i;
     if (expected) {
       EXPECT_EQ(fill->kind, MappingKind::kPartialSubblock);
-      EXPECT_EQ(fill->Translate(0x8000 + i), 0x2000u + i);
+      EXPECT_EQ(fill->Translate(Vpn{0x8000} + i), Ppn{0x2000} + i);
     }
   }
   EXPECT_EQ(table_->live_translations(), 8u);
 }
 
 TEST_P(PtSpPsbConformanceTest, PsbVectorGrowsIncrementally) {
-  table_->UpsertPartialSubblock(0x8000, 16, 0x2000, Attr::ReadWrite(), 0x0001);
-  EXPECT_TRUE(Lookup(0x8000).has_value());
-  EXPECT_FALSE(Lookup(0x8001).has_value());
-  table_->UpsertPartialSubblock(0x8000, 16, 0x2000, Attr::ReadWrite(), 0x0003);
-  EXPECT_TRUE(Lookup(0x8001).has_value());
+  table_->UpsertPartialSubblock(Vpn{0x8000}, 16, Ppn{0x2000}, Attr::ReadWrite(), 0x0001);
+  EXPECT_TRUE(Lookup(Vpn{0x8000}).has_value());
+  EXPECT_FALSE(Lookup(Vpn{0x8001}).has_value());
+  table_->UpsertPartialSubblock(Vpn{0x8000}, 16, Ppn{0x2000}, Attr::ReadWrite(), 0x0003);
+  EXPECT_TRUE(Lookup(Vpn{0x8001}).has_value());
   EXPECT_EQ(table_->live_translations(), 2u);
 }
 
 TEST_P(PtSpPsbConformanceTest, RemovePartialSubblockClearsBlock) {
-  table_->UpsertPartialSubblock(0x8000, 16, 0x2000, Attr::ReadWrite(), 0xFFFF);
-  EXPECT_TRUE(table_->RemovePartialSubblock(0x8000, 16));
+  table_->UpsertPartialSubblock(Vpn{0x8000}, 16, Ppn{0x2000}, Attr::ReadWrite(), 0xFFFF);
+  EXPECT_TRUE(table_->RemovePartialSubblock(Vpn{0x8000}, 16));
   for (unsigned i = 0; i < 16; ++i) {
-    EXPECT_FALSE(Lookup(0x8000 + i).has_value());
+    EXPECT_FALSE(Lookup(Vpn{0x8000} + i).has_value());
   }
   EXPECT_EQ(table_->SizeBytesPaperModel(), 0u);
 }
 
 TEST_P(PtSpPsbConformanceTest, SuperpagesAndBasePagesCoexist) {
-  table_->InsertSuperpage(0x4000, kPage64K, 0x1000, Attr::ReadWrite());
-  table_->InsertBase(0x4010, 0x555, Attr::ReadWrite());  // Next block over.
-  const auto sp = Lookup(0x4007);
-  const auto base = Lookup(0x4010);
+  table_->InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x1000}, Attr::ReadWrite());
+  table_->InsertBase(Vpn{0x4010}, Ppn{0x555}, Attr::ReadWrite());  // Next block over.
+  const auto sp = Lookup(Vpn{0x4007});
+  const auto base = Lookup(Vpn{0x4010});
   ASSERT_TRUE(sp && base);
-  EXPECT_EQ(sp->Translate(0x4007), 0x1007u);
-  EXPECT_EQ(base->Translate(0x4010), 0x555u);
+  EXPECT_EQ(sp->Translate(Vpn{0x4007}), Ppn{0x1007});
+  EXPECT_EQ(base->Translate(Vpn{0x4010}), Ppn{0x555});
   EXPECT_EQ(table_->live_translations(), 17u);
 }
 
 TEST_P(PtSpPsbConformanceTest, MixedPsbAndBaseWithinOneBlock) {
   // Properly-placed pages in the PSB PTE; a straggler page (placement
   // failed) as a base PTE in the same block.
-  table_->UpsertPartialSubblock(0x8000, 16, 0x2000, Attr::ReadWrite(), 0x00FF);
-  table_->InsertBase(0x800A, 0x12345, Attr::ReadWrite());
-  const auto psb = Lookup(0x8003);
-  const auto straggler = Lookup(0x800A);
+  table_->UpsertPartialSubblock(Vpn{0x8000}, 16, Ppn{0x2000}, Attr::ReadWrite(), 0x00FF);
+  table_->InsertBase(Vpn{0x800A}, Ppn{0x12345}, Attr::ReadWrite());
+  const auto psb = Lookup(Vpn{0x8003});
+  const auto straggler = Lookup(Vpn{0x800A});
   ASSERT_TRUE(psb && straggler);
-  EXPECT_EQ(psb->Translate(0x8003), 0x2003u);
-  EXPECT_EQ(straggler->Translate(0x800A), 0x12345u);
-  EXPECT_FALSE(Lookup(0x800C).has_value()) << "neither PTE covers page 12";
+  EXPECT_EQ(psb->Translate(Vpn{0x8003}), Ppn{0x2003});
+  EXPECT_EQ(straggler->Translate(Vpn{0x800A}), Ppn{0x12345});
+  EXPECT_FALSE(Lookup(Vpn{0x800C}).has_value()) << "neither PTE covers page 12";
 }
 
 INSTANTIATE_TEST_SUITE_P(SpPsbTables, PtSpPsbConformanceTest,
@@ -305,26 +305,26 @@ TEST_P(PtBlockFetchTest, LookupBlockReturnsAllResidentPages) {
   const std::uint16_t mask = 0b0011'1111'1100'0001;
   for (unsigned i = 0; i < 16; ++i) {
     if ((mask >> i) & 1) {
-      table_->InsertBase(0x6000 + i, 0x100 + i, Attr::ReadWrite());
+      table_->InsertBase(Vpn{0x6000} + i, Ppn{0x100} + i, Attr::ReadWrite());
     }
   }
   std::vector<pt::TlbFill> fills;
   {
     mem::WalkScope scope(cache_);
-    table_->LookupBlock(VaOf(0x6005), 16, fills);
+    table_->LookupBlock(VaOf(Vpn{0x6005}), 16, fills);
   }
   // Every resident page must be covered by some fill; no absent page may be.
   for (unsigned i = 0; i < 16; ++i) {
     bool covered = false;
     for (const auto& f : fills) {
-      covered |= f.Covers(0x6000 + i);
+      covered |= f.Covers(Vpn{0x6000} + i);
     }
     EXPECT_EQ(covered, ((mask >> i) & 1) != 0) << "page " << i;
   }
   for (const auto& f : fills) {
     for (unsigned i = 0; i < 16; ++i) {
-      if (f.Covers(0x6000 + i)) {
-        EXPECT_EQ(f.Translate(0x6000 + i), 0x100u + i);
+      if (f.Covers(Vpn{0x6000} + i)) {
+        EXPECT_EQ(f.Translate(Vpn{0x6000} + i), Ppn{0x100} + i);
       }
     }
   }
@@ -334,13 +334,13 @@ TEST_P(PtBlockFetchTest, AdjacentTablesFetchBlocksCheaperThanHashed) {
   // The paper's Section 4.4 point: block prefetch costs ~1 line for tables
   // with adjacent PTEs and ~s probes for hashed tables.
   for (unsigned i = 0; i < 16; ++i) {
-    table_->InsertBase(0x6000 + i, 0x100 + i, Attr::ReadWrite());
+    table_->InsertBase(Vpn{0x6000} + i, Ppn{0x100} + i, Attr::ReadWrite());
   }
   cache_.Reset();
   std::vector<pt::TlbFill> fills;
   {
     mem::WalkScope scope(cache_);
-    table_->LookupBlock(VaOf(0x6000), 16, fills);
+    table_->LookupBlock(VaOf(Vpn{0x6000}), 16, fills);
   }
   if (GetParam() == PtKind::kForward) {
     // Adjacent at the leaf, but the descent itself costs one line per level.

@@ -25,10 +25,10 @@ TEST(AttrTest, FlagOperations) {
 }
 
 TEST(MappingWordTest, BaseRoundTrip) {
-  const MappingWord w = MappingWord::Base(0xABCDEF1, Attr::ReadOnly());
+  const MappingWord w = MappingWord::Base(Ppn{0xABCDEF1}, Attr::ReadOnly());
   EXPECT_TRUE(w.valid());
   EXPECT_EQ(w.kind(), MappingKind::kBase);
-  EXPECT_EQ(w.ppn(), 0xABCDEF1u);
+  EXPECT_EQ(w.ppn(), Ppn{0xABCDEF1});
   EXPECT_EQ(w.attr(), Attr::ReadOnly());
 }
 
@@ -46,17 +46,17 @@ TEST(MappingWordTest, InvalidIsNotValid) {
 }
 
 TEST(MappingWordTest, SuperpageRoundTrip) {
-  const MappingWord w = MappingWord::Superpage(0x1000, Attr::ReadWrite(), kPage64K);
+  const MappingWord w = MappingWord::Superpage(Ppn{0x1000}, Attr::ReadWrite(), kPage64K);
   EXPECT_TRUE(w.valid());
   EXPECT_EQ(w.kind(), MappingKind::kSuperpage);
   EXPECT_EQ(w.page_size(), kPage64K);
   EXPECT_EQ(w.page_size().pages(), 16u);
-  EXPECT_EQ(w.ppn(), 0x1000u);
+  EXPECT_EQ(w.ppn(), Ppn{0x1000});
 }
 
 TEST(MappingWordTest, SuperpageSizesEncodeInSzField) {
   for (unsigned log2 = 1; log2 <= 15; ++log2) {
-    const MappingWord w = MappingWord::Superpage(0, Attr{}, PageSize{log2});
+    const MappingWord w = MappingWord::Superpage(Ppn{0}, Attr{}, PageSize{log2});
     EXPECT_EQ(w.page_size().size_log2, log2) << "SZ=" << log2;
     EXPECT_TRUE(w.valid());
   }
@@ -70,15 +70,15 @@ TEST(MappingWordTest, InvalidSuperpageKeepsSzReadable) {
 }
 
 TEST(MappingWordTest, PartialSubblockRoundTrip) {
-  const MappingWord w = MappingWord::PartialSubblock(0x40, Attr::ReadWrite(), 0x8421);
+  const MappingWord w = MappingWord::PartialSubblock(Ppn{0x40}, Attr::ReadWrite(), 0x8421);
   EXPECT_EQ(w.kind(), MappingKind::kPartialSubblock);
   EXPECT_EQ(w.valid_vector(), 0x8421);
-  EXPECT_EQ(w.ppn(), 0x40u);
+  EXPECT_EQ(w.ppn(), Ppn{0x40});
   EXPECT_TRUE(w.valid());
 }
 
 TEST(MappingWordTest, PartialSubblockValidityTracksVector) {
-  const MappingWord empty = MappingWord::PartialSubblock(0x40, Attr{}, 0);
+  const MappingWord empty = MappingWord::PartialSubblock(Ppn{0x40}, Attr{}, 0);
   EXPECT_FALSE(empty.valid());
   const MappingWord one = empty.with_subpage_valid(7);
   EXPECT_TRUE(one.valid());
@@ -91,24 +91,25 @@ TEST(MappingWordTest, PartialSubblockValidityTracksVector) {
 TEST(MappingWordTest, PartialSubblockSubpagePpn) {
   // Block-aligned PPN 0x40; page at offset 5 lives at frame 0x45 when the
   // block is properly placed.
-  const MappingWord w = MappingWord::PartialSubblock(0x40, Attr{}, 0xFFFF);
+  const MappingWord w = MappingWord::PartialSubblock(Ppn{0x40}, Attr{}, 0xFFFF);
   for (unsigned boff = 0; boff < 16; ++boff) {
-    EXPECT_EQ(w.subpage_ppn(boff), 0x40u + boff);
+    EXPECT_EQ(w.subpage_ppn(boff), Ppn{0x40} + boff);
   }
 }
 
 TEST(MappingWordTest, PsbVectorDoesNotCorruptPpnOrAttr) {
-  const MappingWord w = MappingWord::PartialSubblock(kMaxPpn & ~0xFull, Attr{0xABC}, 0xFFFF);
-  EXPECT_EQ(w.ppn(), kMaxPpn & ~0xFull);
+  const MappingWord w =
+      MappingWord::PartialSubblock(Ppn{kPpnMask & ~0xFull}, Attr{0xABC}, 0xFFFF);
+  EXPECT_EQ(w.ppn(), Ppn{kPpnMask & ~0xFull});
   EXPECT_EQ(w.attr().bits, 0xABC);
   EXPECT_EQ(w.valid_vector(), 0xFFFF);
 }
 
 TEST(MappingWordTest, WithAttrPreservesEverythingElse) {
-  const MappingWord w = MappingWord::Superpage(0x777, Attr{0x111}, kPage64K);
+  const MappingWord w = MappingWord::Superpage(Ppn{0x777}, Attr{0x111}, kPage64K);
   const MappingWord w2 = w.with_attr(Attr{0xFFF});
   EXPECT_EQ(w2.attr().bits, 0xFFF);
-  EXPECT_EQ(w2.ppn(), 0x777u);
+  EXPECT_EQ(w2.ppn(), Ppn{0x777});
   EXPECT_EQ(w2.page_size(), kPage64K);
   EXPECT_EQ(w2.kind(), MappingKind::kSuperpage);
 }
@@ -116,16 +117,16 @@ TEST(MappingWordTest, WithAttrPreservesEverythingElse) {
 TEST(MappingWordTest, EightBytes) { EXPECT_EQ(sizeof(MappingWord), 8u); }
 
 TEST(TypesTest, VpnDecomposition) {
-  const VirtAddr va = 0x0000123456789ABCull;
-  EXPECT_EQ(VpnOf(va), va >> 12);
+  const VirtAddr va{0x0000123456789ABCull};
+  EXPECT_EQ(VpnOf(va), Vpn{0x0000123456789ull});
   EXPECT_EQ(PageOffset(va), 0xABCull);
-  EXPECT_EQ(VaOf(VpnOf(va)), va & ~kBasePageMask);
+  EXPECT_EQ(VaOf(VpnOf(va)), VirtAddr{0x0000123456789000ull});
 }
 
 TEST(TypesTest, BlockDecomposition) {
-  const Vpn vpn = 0x12345;
-  EXPECT_EQ(VpbnOf(vpn, 16), vpn / 16);
-  EXPECT_EQ(BoffOf(vpn, 16), vpn % 16);
+  const Vpn vpn{0x12345};
+  EXPECT_EQ(VpbnOf(vpn, 16), Vpbn{0x1234});
+  EXPECT_EQ(BoffOf(vpn, 16), 5u);
   EXPECT_EQ(FirstVpnOfBlock(VpbnOf(vpn, 16), 16) + BoffOf(vpn, 16), vpn);
 }
 

@@ -26,55 +26,55 @@ class RefBitsTest : public ::testing::TestWithParam<PtKind> {
 };
 
 TEST_P(RefBitsTest, UpdateSetsAndClearsFlags) {
-  table_->InsertBase(0x100, 0x1, Attr::ReadWrite());
-  EXPECT_FALSE(table_->PeekAttr(0x100)->test(Attr::kReferenced));
-  EXPECT_TRUE(table_->UpdateAttrFlags(0x100, Attr::kReferenced | Attr::kModified, 0));
-  const Attr attr = *table_->PeekAttr(0x100);
+  table_->InsertBase(Vpn{0x100}, Ppn{0x1}, Attr::ReadWrite());
+  EXPECT_FALSE(table_->PeekAttr(Vpn{0x100})->test(Attr::kReferenced));
+  EXPECT_TRUE(table_->UpdateAttrFlags(Vpn{0x100}, Attr::kReferenced | Attr::kModified, 0));
+  const Attr attr = *table_->PeekAttr(Vpn{0x100});
   EXPECT_TRUE(attr.test(Attr::kReferenced));
   EXPECT_TRUE(attr.test(Attr::kModified));
   EXPECT_TRUE(attr.test(Attr::kWrite)) << "protection bits must survive";
-  EXPECT_TRUE(table_->UpdateAttrFlags(0x100, 0, Attr::kReferenced));
-  EXPECT_FALSE(table_->PeekAttr(0x100)->test(Attr::kReferenced));
-  EXPECT_TRUE(table_->PeekAttr(0x100)->test(Attr::kModified));
+  EXPECT_TRUE(table_->UpdateAttrFlags(Vpn{0x100}, 0, Attr::kReferenced));
+  EXPECT_FALSE(table_->PeekAttr(Vpn{0x100})->test(Attr::kReferenced));
+  EXPECT_TRUE(table_->PeekAttr(Vpn{0x100})->test(Attr::kModified));
 }
 
 TEST_P(RefBitsTest, UpdateOnUnmappedPageFails) {
-  EXPECT_FALSE(table_->UpdateAttrFlags(0xDEAD, Attr::kReferenced, 0));
-  EXPECT_FALSE(table_->PeekAttr(0xDEAD).has_value());
+  EXPECT_FALSE(table_->UpdateAttrFlags(Vpn{0xDEAD}, Attr::kReferenced, 0));
+  EXPECT_FALSE(table_->PeekAttr(Vpn{0xDEAD}).has_value());
 }
 
 TEST_P(RefBitsTest, UpdatesAreUncounted) {
-  table_->InsertBase(0x100, 0x1, Attr::ReadWrite());
+  table_->InsertBase(Vpn{0x100}, Ppn{0x1}, Attr::ReadWrite());
   cache_.Reset();
-  table_->UpdateAttrFlags(0x100, Attr::kReferenced, 0);
-  table_->PeekAttr(0x100);
+  table_->UpdateAttrFlags(Vpn{0x100}, Attr::kReferenced, 0);
+  table_->PeekAttr(Vpn{0x100});
   EXPECT_EQ(cache_.total_walks(), 0u) << "R/M maintenance is not walk cost";
 }
 
 TEST_P(RefBitsTest, ScanCountsAndClears) {
-  for (Vpn vpn = 0x200; vpn < 0x220; ++vpn) {
-    table_->InsertBase(vpn, vpn, Attr::ReadWrite());
+  for (Vpn vpn{0x200}; vpn < Vpn{0x220}; ++vpn) {
+    table_->InsertBase(vpn, Ppn{vpn.raw()}, Attr::ReadWrite());
   }
   // Touch a subset.
-  for (const Vpn vpn : {0x200ull, 0x205ull, 0x21Full}) {
+  for (const Vpn vpn : {Vpn{0x200}, Vpn{0x205}, Vpn{0x21F}}) {
     table_->UpdateAttrFlags(vpn, Attr::kReferenced, 0);
   }
-  EXPECT_EQ(table_->ScanAndClearReferenced(0x200, 32), 3u);
-  EXPECT_EQ(table_->ScanAndClearReferenced(0x200, 32), 0u) << "bits cleared by first sweep";
+  EXPECT_EQ(table_->ScanAndClearReferenced(Vpn{0x200}, 32), 3u);
+  EXPECT_EQ(table_->ScanAndClearReferenced(Vpn{0x200}, 32), 0u) << "bits cleared by first sweep";
 }
 
 TEST_P(RefBitsTest, SuperpageWordCarriesOneReferencedBit) {
   if (!table_->features().superpages) {
     GTEST_SKIP();
   }
-  table_->InsertSuperpage(0x4000, kPage64K, 0x100, Attr::ReadWrite());
-  EXPECT_TRUE(table_->UpdateAttrFlags(0x4007, Attr::kReferenced, 0));
+  table_->InsertSuperpage(Vpn{0x4000}, kPage64K, Ppn{0x100}, Attr::ReadWrite());
+  EXPECT_TRUE(table_->UpdateAttrFlags(Vpn{0x4007}, Attr::kReferenced, 0));
   // The single superpage PTE is referenced, visible through any covered page.
-  EXPECT_TRUE(table_->PeekAttr(0x4000)->test(Attr::kReferenced));
-  EXPECT_TRUE(table_->PeekAttr(0x400F)->test(Attr::kReferenced));
+  EXPECT_TRUE(table_->PeekAttr(Vpn{0x4000})->test(Attr::kReferenced));
+  EXPECT_TRUE(table_->PeekAttr(Vpn{0x400F})->test(Attr::kReferenced));
   // One PTE, so the sweep counts it once.
-  EXPECT_EQ(table_->ScanAndClearReferenced(0x4000, 16), 1u);
-  EXPECT_FALSE(table_->PeekAttr(0x4003)->test(Attr::kReferenced));
+  EXPECT_EQ(table_->ScanAndClearReferenced(Vpn{0x4000}, 16), 1u);
+  EXPECT_FALSE(table_->PeekAttr(Vpn{0x4003})->test(Attr::kReferenced));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPageTables, RefBitsTest,
@@ -96,10 +96,10 @@ TEST(RefBitsMachineTest, MissHandlerSetsReferencedAndModified) {
   opts.pt_kind = sim::PtKind::kClustered;
   opts.maintain_ref_bits = true;
   sim::Machine m(opts, 1);
-  m.Access(0, VaOf(0x100), /*is_write=*/false);
-  m.Access(0, VaOf(0x101), /*is_write=*/true);
-  const Attr read_attr = *m.page_table(0).PeekAttr(0x100);
-  const Attr write_attr = *m.page_table(0).PeekAttr(0x101);
+  m.Access(0, VaOf(Vpn{0x100}), /*is_write=*/false);
+  m.Access(0, VaOf(Vpn{0x101}), /*is_write=*/true);
+  const Attr read_attr = *m.page_table(0).PeekAttr(Vpn{0x100});
+  const Attr write_attr = *m.page_table(0).PeekAttr(Vpn{0x101});
   EXPECT_TRUE(read_attr.test(Attr::kReferenced));
   EXPECT_FALSE(read_attr.test(Attr::kModified));
   EXPECT_TRUE(write_attr.test(Attr::kReferenced));
@@ -110,8 +110,8 @@ TEST(RefBitsMachineTest, DisabledByDefault) {
   sim::MachineOptions opts;
   opts.pt_kind = sim::PtKind::kClustered;
   sim::Machine m(opts, 1);
-  m.Access(0, VaOf(0x100), /*is_write=*/true);
-  EXPECT_FALSE(m.page_table(0).PeekAttr(0x100)->test(Attr::kReferenced));
+  m.Access(0, VaOf(Vpn{0x100}), /*is_write=*/true);
+  EXPECT_FALSE(m.page_table(0).PeekAttr(Vpn{0x100})->test(Attr::kReferenced));
 }
 
 TEST(RefBitsMachineTest, TraceDrivenSweepFindsHotPages) {
@@ -128,9 +128,9 @@ TEST(RefBitsMachineTest, TraceDrivenSweepFindsHotPages) {
     m.Access(r.asid, r.va, r.is_write);
   }
   // The heap was exercised: a sweep over it finds referenced mappings.
-  const std::uint64_t hot = m.page_table(0).ScanAndClearReferenced(VpnOf(0x10000000ull), 1100);
+  const std::uint64_t hot = m.page_table(0).ScanAndClearReferenced(VpnOf(VirtAddr{0x10000000ull}), 1100);
   EXPECT_GT(hot, 0u);
-  EXPECT_EQ(m.page_table(0).ScanAndClearReferenced(VpnOf(0x10000000ull), 1100), 0u);
+  EXPECT_EQ(m.page_table(0).ScanAndClearReferenced(VpnOf(VirtAddr{0x10000000ull}), 1100), 0u);
 }
 
 TEST(RefBitsMachineTest, WritesAppearInTraces) {

@@ -15,10 +15,10 @@ TEST(MachineTest, AccessFaultsThenHits) {
   MachineOptions opts;
   opts.pt_kind = PtKind::kClustered;
   Machine m(opts, 1);
-  m.Access(0, VaOf(0x100));  // Cold: TLB miss + page fault.
+  m.Access(0, VaOf(Vpn{0x100}));  // Cold: TLB miss + page fault.
   EXPECT_EQ(m.TotalPageFaults(), 1u);
   EXPECT_EQ(m.tlb().stats().misses, 1u);
-  m.Access(0, VaOf(0x100));  // Warm: TLB hit.
+  m.Access(0, VaOf(Vpn{0x100}));  // Warm: TLB hit.
   EXPECT_EQ(m.tlb().stats().hits, 1u);
   EXPECT_EQ(m.tlb().stats().misses, 1u);
 }
@@ -27,7 +27,7 @@ TEST(MachineTest, ColdFaultWalksAreNotCounted) {
   MachineOptions opts;
   opts.pt_kind = PtKind::kHashed;
   Machine m(opts, 1);
-  m.Access(0, VaOf(0x100));
+  m.Access(0, VaOf(Vpn{0x100}));
   // Exactly one counted walk (the successful one after fault handling).
   EXPECT_EQ(m.cache().total_walks(), 1u);
 }
@@ -56,8 +56,8 @@ TEST(MachineTest, LinearUsesReferenceTlbDenominator) {
   // Touch more pages than the effective TLB holds; the reference TLB (64
   // entries) must miss at most as often as the 56-entry effective TLB.
   for (int round = 0; round < 4; ++round) {
-    for (Vpn vpn = 0; vpn < 60; ++vpn) {
-      m.Access(0, VaOf(0x1000 + vpn));
+    for (std::uint64_t i = 0; i < 60; ++i) {
+      m.Access(0, VaOf(Vpn{0x1000 + i}));
     }
   }
   EXPECT_LE(m.DenominatorMisses(), m.tlb().stats().misses);
@@ -74,13 +74,13 @@ TEST(MachineTest, CompleteSubblockPrefetchEliminatesResidentSubblockMisses) {
   Machine m(opts, 1);
   // Make a full block resident.
   for (unsigned i = 0; i < 16; ++i) {
-    m.Access(0, VaOf(0x100 + i));
+    m.Access(0, VaOf(Vpn{0x100} + i));
   }
   m.tlb().Flush();
   m.tlb().ResetStats();
   // One block miss loads all 16 mappings; the rest hit.
   for (unsigned i = 0; i < 16; ++i) {
-    m.Access(0, VaOf(0x100 + i));
+    m.Access(0, VaOf(Vpn{0x100} + i));
   }
   EXPECT_EQ(m.tlb().stats().block_misses, 1u);
   EXPECT_EQ(m.tlb().stats().subblock_misses, 0u);
@@ -94,12 +94,12 @@ TEST(MachineTest, CompleteSubblockWithoutPrefetchTakesSubblockMisses) {
   opts.prefetch_on_block_miss = false;
   Machine m(opts, 1);
   for (unsigned i = 0; i < 16; ++i) {
-    m.Access(0, VaOf(0x100 + i));
+    m.Access(0, VaOf(Vpn{0x100} + i));
   }
   m.tlb().Flush();
   m.tlb().ResetStats();
   for (unsigned i = 0; i < 16; ++i) {
-    m.Access(0, VaOf(0x100 + i));
+    m.Access(0, VaOf(Vpn{0x100} + i));
   }
   EXPECT_EQ(m.tlb().stats().block_misses, 1u);
   EXPECT_EQ(m.tlb().stats().subblock_misses, 15u);
@@ -124,10 +124,10 @@ TEST(MachineTest, PerProcessPageTablesAreIsolated) {
   MachineOptions opts;
   opts.pt_kind = PtKind::kClustered;
   Machine m(opts, 2);
-  m.Access(0, VaOf(0x100));
+  m.Access(0, VaOf(Vpn{0x100}));
   EXPECT_EQ(m.page_table(0).live_translations(), 1u);
   EXPECT_EQ(m.page_table(1).live_translations(), 0u);
-  m.Access(1, VaOf(0x100));
+  m.Access(1, VaOf(Vpn{0x100}));
   EXPECT_EQ(m.page_table(1).live_translations(), 1u);
 }
 
@@ -136,25 +136,25 @@ TEST(MachineTest, PerProcessPageTablesAreIsolated) {
 // ---------------------------------------------------------------------------
 
 TEST(AnalyticTest, NactiveCountsAlignedRegions) {
-  const std::vector<Vpn> mapped = {0, 1, 15, 16, 100, 4096};
+  const std::vector<Vpn> mapped = {Vpn{0}, Vpn{1}, Vpn{15}, Vpn{16}, Vpn{100}, Vpn{4096}};
   EXPECT_EQ(analytic::Nactive(mapped, 1), 6u);
   EXPECT_EQ(analytic::Nactive(mapped, 16), 4u);   // {0,1,15}, {16}, {100}, {4096}.
   EXPECT_EQ(analytic::Nactive(mapped, 4096), 2u);  // {0..4095}, {4096}.
 }
 
 TEST(AnalyticTest, HashedFormulaExact) {
-  const std::vector<Vpn> mapped = {1, 2, 3, 100, 5000};
+  const std::vector<Vpn> mapped = {Vpn{1}, Vpn{2}, Vpn{3}, Vpn{100}, Vpn{5000}};
   EXPECT_EQ(analytic::HashedBytes(mapped), 5u * 24);
 }
 
 TEST(AnalyticTest, ClusteredFormulaExact) {
-  const std::vector<Vpn> mapped = {0, 1, 2, 16, 33};
+  const std::vector<Vpn> mapped = {Vpn{0}, Vpn{1}, Vpn{2}, Vpn{16}, Vpn{33}};
   // Blocks {0},{1},{2} with s=16 -> 3 * (8*16+16) = 432.
   EXPECT_EQ(analytic::ClusteredBytes(mapped, 16), 3u * 144);
 }
 
 TEST(AnalyticTest, ClusteredWithSpInterpolates) {
-  const std::vector<Vpn> mapped = {0, 16, 32, 48};  // 4 blocks.
+  const std::vector<Vpn> mapped = {Vpn{0}, Vpn{16}, Vpn{32}, Vpn{48}};  // 4 blocks.
   EXPECT_DOUBLE_EQ(analytic::ClusteredWithSpBytes(mapped, 16, 0.0), 4.0 * 144);
   EXPECT_DOUBLE_EQ(analytic::ClusteredWithSpBytes(mapped, 16, 1.0), 4.0 * 24);
   EXPECT_DOUBLE_EQ(analytic::ClusteredWithSpBytes(mapped, 16, 0.5), 2.0 * 144 + 2.0 * 24);

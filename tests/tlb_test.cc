@@ -40,9 +40,9 @@ pt::TlbFill PsbFill(Vpn block_base, Ppn block_ppn, std::uint16_t vector) {
 
 TEST(SinglePageTlbTest, MissThenHit) {
   SinglePageTlb tlb(4);
-  EXPECT_EQ(tlb.Lookup(0, 0x100), LookupOutcome::kMiss);
-  tlb.Insert(0, 0x100, BaseFill(0x100, 1));
-  EXPECT_EQ(tlb.Lookup(0, 0x100), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x100}), LookupOutcome::kMiss);
+  tlb.Insert(0, Vpn{0x100}, BaseFill(Vpn{0x100}, Ppn{1}));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x100}), LookupOutcome::kHit);
   EXPECT_EQ(tlb.stats().accesses, 2u);
   EXPECT_EQ(tlb.stats().hits, 1u);
   EXPECT_EQ(tlb.stats().misses, 1u);
@@ -50,44 +50,44 @@ TEST(SinglePageTlbTest, MissThenHit) {
 
 TEST(SinglePageTlbTest, LruEvictsLeastRecentlyUsed) {
   SinglePageTlb tlb(2);
-  tlb.Insert(0, 1, BaseFill(1, 1));
-  tlb.Insert(0, 2, BaseFill(2, 2));
-  EXPECT_EQ(tlb.Lookup(0, 1), LookupOutcome::kHit);  // 2 becomes LRU.
-  tlb.Insert(0, 3, BaseFill(3, 3));                   // Evicts 2.
-  EXPECT_EQ(tlb.Lookup(0, 1), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 3), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 2), LookupOutcome::kMiss);
+  tlb.Insert(0, Vpn{1}, BaseFill(Vpn{1}, Ppn{1}));
+  tlb.Insert(0, Vpn{2}, BaseFill(Vpn{2}, Ppn{2}));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{1}), LookupOutcome::kHit);  // 2 becomes LRU.
+  tlb.Insert(0, Vpn{3}, BaseFill(Vpn{3}, Ppn{3}));                   // Evicts 2.
+  EXPECT_EQ(tlb.Lookup(0, Vpn{1}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{3}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{2}), LookupOutcome::kMiss);
 }
 
 TEST(SinglePageTlbTest, AsidsDoNotAlias) {
   SinglePageTlb tlb(4);
-  tlb.Insert(0, 0x100, BaseFill(0x100, 1));
-  EXPECT_EQ(tlb.Lookup(1, 0x100), LookupOutcome::kMiss);
-  EXPECT_EQ(tlb.Lookup(0, 0x100), LookupOutcome::kHit);
+  tlb.Insert(0, Vpn{0x100}, BaseFill(Vpn{0x100}, Ppn{1}));
+  EXPECT_EQ(tlb.Lookup(1, Vpn{0x100}), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x100}), LookupOutcome::kHit);
 }
 
 TEST(SinglePageTlbTest, SuperpageFillInstallsOnlyFaultingPage) {
   SinglePageTlb tlb(4);
-  tlb.Insert(0, 0x4005, SuperFill(0x4000, 0x100, kPage64K));
-  EXPECT_EQ(tlb.Lookup(0, 0x4005), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x4006), LookupOutcome::kMiss);
+  tlb.Insert(0, Vpn{0x4005}, SuperFill(Vpn{0x4000}, Ppn{0x100}, kPage64K));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x4005}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x4006}), LookupOutcome::kMiss);
 }
 
 TEST(SinglePageTlbTest, FlushInvalidatesEverything) {
   SinglePageTlb tlb(4);
-  tlb.Insert(0, 1, BaseFill(1, 1));
+  tlb.Insert(0, Vpn{1}, BaseFill(Vpn{1}, Ppn{1}));
   tlb.Flush();
-  EXPECT_EQ(tlb.Lookup(0, 1), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{1}), LookupOutcome::kMiss);
 }
 
 TEST(SinglePageTlbTest, ReinsertDoesNotDuplicate) {
   SinglePageTlb tlb(2);
-  tlb.Insert(0, 1, BaseFill(1, 1));
-  tlb.Insert(0, 1, BaseFill(1, 9));
-  tlb.Insert(0, 2, BaseFill(2, 2));
+  tlb.Insert(0, Vpn{1}, BaseFill(Vpn{1}, Ppn{1}));
+  tlb.Insert(0, Vpn{1}, BaseFill(Vpn{1}, Ppn{9}));
+  tlb.Insert(0, Vpn{2}, BaseFill(Vpn{2}, Ppn{2}));
   // Both entries must still fit: the re-insert reused 1's slot.
-  EXPECT_EQ(tlb.Lookup(0, 1), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 2), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{1}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{2}), LookupOutcome::kHit);
 }
 
 // ---------------------------------------------------------------------------
@@ -96,41 +96,41 @@ TEST(SinglePageTlbTest, ReinsertDoesNotDuplicate) {
 
 TEST(SuperpageTlbTest, SuperpageEntryCoversWholeRange) {
   SuperpageTlb tlb(4);
-  tlb.Insert(0, 0x4003, SuperFill(0x4000, 0x100, kPage64K));
+  tlb.Insert(0, Vpn{0x4003}, SuperFill(Vpn{0x4000}, Ppn{0x100}, kPage64K));
   for (unsigned i = 0; i < 16; ++i) {
-    EXPECT_EQ(tlb.Lookup(0, 0x4000 + i), LookupOutcome::kHit) << i;
+    EXPECT_EQ(tlb.Lookup(0, Vpn{0x4000} + i), LookupOutcome::kHit) << i;
   }
-  EXPECT_EQ(tlb.Lookup(0, 0x3FFF), LookupOutcome::kMiss);
-  EXPECT_EQ(tlb.Lookup(0, 0x4010), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x3FFF}), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x4010}), LookupOutcome::kMiss);
   EXPECT_GT(tlb.SuperpageHitFraction(), 0.9);
 }
 
 TEST(SuperpageTlbTest, MixedSizesCoexist) {
   SuperpageTlb tlb(4);
-  tlb.Insert(0, 0x4000, SuperFill(0x4000, 0x100, kPage64K));
-  tlb.Insert(0, 0x9000, BaseFill(0x9000, 0x7));
-  tlb.Insert(0, 0x8002, SuperFill(0x8002, 0x52, kPage8K));
-  EXPECT_EQ(tlb.Lookup(0, 0x400F), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x9000), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8003), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8004), LookupOutcome::kMiss);
+  tlb.Insert(0, Vpn{0x4000}, SuperFill(Vpn{0x4000}, Ppn{0x100}, kPage64K));
+  tlb.Insert(0, Vpn{0x9000}, BaseFill(Vpn{0x9000}, Ppn{0x7}));
+  tlb.Insert(0, Vpn{0x8002}, SuperFill(Vpn{0x8002}, Ppn{0x52}, kPage8K));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x400F}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x9000}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8003}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8004}), LookupOutcome::kMiss);
 }
 
 TEST(SuperpageTlbTest, PsbFillDegradesToBaseEntry) {
   SuperpageTlb tlb(4);
-  tlb.Insert(0, 0x8005, PsbFill(0x8000, 0x40, 0xFFFF));
-  EXPECT_EQ(tlb.Lookup(0, 0x8005), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8006), LookupOutcome::kMiss);
+  tlb.Insert(0, Vpn{0x8005}, PsbFill(Vpn{0x8000}, Ppn{0x40}, 0xFFFF));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8005}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8006}), LookupOutcome::kMiss);
 }
 
 TEST(SuperpageTlbTest, LruAcrossMixedSizes) {
   SuperpageTlb tlb(2);
-  tlb.Insert(0, 0x4000, SuperFill(0x4000, 0x100, kPage64K));
-  tlb.Insert(0, 0x9000, BaseFill(0x9000, 0x7));
-  EXPECT_EQ(tlb.Lookup(0, 0x4001), LookupOutcome::kHit);
-  tlb.Insert(0, 0xA000, BaseFill(0xA000, 0x8));  // Evicts 0x9000.
-  EXPECT_EQ(tlb.Lookup(0, 0x9000), LookupOutcome::kMiss);
-  EXPECT_EQ(tlb.Lookup(0, 0x4002), LookupOutcome::kHit);
+  tlb.Insert(0, Vpn{0x4000}, SuperFill(Vpn{0x4000}, Ppn{0x100}, kPage64K));
+  tlb.Insert(0, Vpn{0x9000}, BaseFill(Vpn{0x9000}, Ppn{0x7}));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x4001}), LookupOutcome::kHit);
+  tlb.Insert(0, Vpn{0xA000}, BaseFill(Vpn{0xA000}, Ppn{0x8}));  // Evicts 0x9000.
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x9000}), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x4002}), LookupOutcome::kHit);
 }
 
 // ---------------------------------------------------------------------------
@@ -139,52 +139,52 @@ TEST(SuperpageTlbTest, LruAcrossMixedSizes) {
 
 TEST(PartialSubblockTlbTest, VectorControlsHits) {
   PartialSubblockTlb tlb(4, 16);
-  tlb.Insert(0, 0x8000, PsbFill(0x8000, 0x40, 0b0000'0000'1010'0001));
-  EXPECT_EQ(tlb.Lookup(0, 0x8000), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8005), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8007), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8001), LookupOutcome::kMiss);
-  EXPECT_EQ(tlb.Lookup(0, 0x800F), LookupOutcome::kMiss);
+  tlb.Insert(0, Vpn{0x8000}, PsbFill(Vpn{0x8000}, Ppn{0x40}, 0b0000'0000'1010'0001));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8000}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8005}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8007}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8001}), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x800F}), LookupOutcome::kMiss);
 }
 
 TEST(PartialSubblockTlbTest, VectorRefreshGrowsCoverage) {
   PartialSubblockTlb tlb(4, 16);
-  tlb.Insert(0, 0x8000, PsbFill(0x8000, 0x40, 0x0001));
-  EXPECT_EQ(tlb.Lookup(0, 0x8001), LookupOutcome::kMiss);
-  tlb.Insert(0, 0x8001, PsbFill(0x8000, 0x40, 0x0003));
-  EXPECT_EQ(tlb.Lookup(0, 0x8001), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8000), LookupOutcome::kHit);
+  tlb.Insert(0, Vpn{0x8000}, PsbFill(Vpn{0x8000}, Ppn{0x40}, 0x0001));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8001}), LookupOutcome::kMiss);
+  tlb.Insert(0, Vpn{0x8001}, PsbFill(Vpn{0x8000}, Ppn{0x40}, 0x0003));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8001}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8000}), LookupOutcome::kHit);
 }
 
 TEST(PartialSubblockTlbTest, NotProperlyPlacedPagesUseSingleEntries) {
   PartialSubblockTlb tlb(4, 16);
-  tlb.Insert(0, 0x8003, BaseFill(0x8003, 0x123));  // Unplaced page.
-  tlb.Insert(0, 0x8000, PsbFill(0x8000, 0x40, 0x0001));
-  EXPECT_EQ(tlb.Lookup(0, 0x8003), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8000), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8004), LookupOutcome::kMiss);
+  tlb.Insert(0, Vpn{0x8003}, BaseFill(Vpn{0x8003}, Ppn{0x123}));  // Unplaced page.
+  tlb.Insert(0, Vpn{0x8000}, PsbFill(Vpn{0x8000}, Ppn{0x40}, 0x0001));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8003}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8000}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8004}), LookupOutcome::kMiss);
 }
 
 TEST(PartialSubblockTlbTest, BlockSizedSuperpageBecomesFullVector) {
   PartialSubblockTlb tlb(4, 16);
-  tlb.Insert(0, 0x4000, SuperFill(0x4000, 0x100, kPage64K));
+  tlb.Insert(0, Vpn{0x4000}, SuperFill(Vpn{0x4000}, Ppn{0x100}, kPage64K));
   for (unsigned i = 0; i < 16; ++i) {
-    EXPECT_EQ(tlb.Lookup(0, 0x4000 + i), LookupOutcome::kHit) << i;
+    EXPECT_EQ(tlb.Lookup(0, Vpn{0x4000} + i), LookupOutcome::kHit) << i;
   }
   EXPECT_GT(tlb.SubblockHitFraction(), 0.9);
 }
 
 TEST(PartialSubblockTlbTest, SmallerFactorMasksVector) {
   PartialSubblockTlb tlb(4, 4);
-  tlb.Insert(0, 0x8000, pt::TlbFill{.kind = MappingKind::kPartialSubblock,
-                                    .base_vpn = 0x8000,
+  tlb.Insert(0, Vpn{0x8000}, pt::TlbFill{.kind = MappingKind::kPartialSubblock,
+                                    .base_vpn = Vpn{0x8000},
                                     .pages_log2 = 2,
                                     .word = MappingWord::PartialSubblock(
-                                        0x40, Attr::ReadWrite(), 0b0101)});
-  EXPECT_EQ(tlb.Lookup(0, 0x8000), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8002), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8001), LookupOutcome::kMiss);
-  EXPECT_EQ(tlb.Lookup(0, 0x8004), LookupOutcome::kMiss) << "next block over";
+                                        Ppn{0x40}, Attr::ReadWrite(), 0b0101)});
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8000}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8002}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8001}), LookupOutcome::kMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8004}), LookupOutcome::kMiss) << "next block over";
 }
 
 // ---------------------------------------------------------------------------
@@ -193,57 +193,57 @@ TEST(PartialSubblockTlbTest, SmallerFactorMasksVector) {
 
 TEST(CompleteSubblockTlbTest, DistinguishesBlockAndSubblockMisses) {
   CompleteSubblockTlb tlb(4, 16);
-  EXPECT_EQ(tlb.Lookup(0, 0x8000), LookupOutcome::kBlockMiss);
-  tlb.Insert(0, 0x8000, BaseFill(0x8000, 1));
-  EXPECT_EQ(tlb.Lookup(0, 0x8000), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8001), LookupOutcome::kSubblockMiss);
-  tlb.Insert(0, 0x8001, BaseFill(0x8001, 2));
-  EXPECT_EQ(tlb.Lookup(0, 0x8001), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8000}), LookupOutcome::kBlockMiss);
+  tlb.Insert(0, Vpn{0x8000}, BaseFill(Vpn{0x8000}, Ppn{1}));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8000}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8001}), LookupOutcome::kSubblockMiss);
+  tlb.Insert(0, Vpn{0x8001}, BaseFill(Vpn{0x8001}, Ppn{2}));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8001}), LookupOutcome::kHit);
   EXPECT_EQ(tlb.stats().block_misses, 1u);
   EXPECT_EQ(tlb.stats().subblock_misses, 1u);
 }
 
 TEST(CompleteSubblockTlbTest, SubblockMissDoesNotEvict) {
   CompleteSubblockTlb tlb(2, 16);
-  tlb.Insert(0, 0x8000, BaseFill(0x8000, 1));
-  tlb.Insert(0, 0x9000, BaseFill(0x9000, 2));
+  tlb.Insert(0, Vpn{0x8000}, BaseFill(Vpn{0x8000}, Ppn{1}));
+  tlb.Insert(0, Vpn{0x9000}, BaseFill(Vpn{0x9000}, Ppn{2}));
   // Subblock insert into the 0x8000 block must not displace 0x9000's entry.
-  EXPECT_EQ(tlb.Lookup(0, 0x8001), LookupOutcome::kSubblockMiss);
-  tlb.Insert(0, 0x8001, BaseFill(0x8001, 3));
-  EXPECT_EQ(tlb.Lookup(0, 0x9000), LookupOutcome::kHit);
-  EXPECT_EQ(tlb.Lookup(0, 0x8001), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8001}), LookupOutcome::kSubblockMiss);
+  tlb.Insert(0, Vpn{0x8001}, BaseFill(Vpn{0x8001}, Ppn{3}));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x9000}), LookupOutcome::kHit);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x8001}), LookupOutcome::kHit);
 }
 
 TEST(CompleteSubblockTlbTest, PrefetchLoadsWholeBlock) {
   CompleteSubblockTlb tlb(4, 16);
   std::vector<pt::TlbFill> fills;
   for (unsigned i = 0; i < 16; i += 2) {  // Even pages resident.
-    fills.push_back(BaseFill(0x8000 + i, 0x100 + i));
+    fills.push_back(BaseFill(Vpn{0x8000} + i, Ppn{0x100} + i));
   }
-  tlb.InsertBlock(0, 0x8005, fills);
+  tlb.InsertBlock(0, Vpn{0x8005}, fills);
   for (unsigned i = 0; i < 16; ++i) {
     const auto expect = (i % 2 == 0) ? LookupOutcome::kHit : LookupOutcome::kSubblockMiss;
-    EXPECT_EQ(tlb.Lookup(0, 0x8000 + i), expect) << "page " << i;
+    EXPECT_EQ(tlb.Lookup(0, Vpn{0x8000} + i), expect) << "page " << i;
   }
 }
 
 TEST(CompleteSubblockTlbTest, PrefetchExpandsSuperpageFills) {
   CompleteSubblockTlb tlb(4, 16);
-  const pt::TlbFill fill = SuperFill(0x4000, 0x100, kPage64K);
-  tlb.InsertBlock(0, 0x4000, std::span<const pt::TlbFill>(&fill, 1));
+  const pt::TlbFill fill = SuperFill(Vpn{0x4000}, Ppn{0x100}, kPage64K);
+  tlb.InsertBlock(0, Vpn{0x4000}, std::span<const pt::TlbFill>(&fill, 1));
   for (unsigned i = 0; i < 16; ++i) {
-    EXPECT_EQ(tlb.Lookup(0, 0x4000 + i), LookupOutcome::kHit) << i;
+    EXPECT_EQ(tlb.Lookup(0, Vpn{0x4000} + i), LookupOutcome::kHit) << i;
   }
 }
 
 TEST(CompleteSubblockTlbTest, BlockMissEvictsLruEntry) {
   CompleteSubblockTlb tlb(2, 16);
-  tlb.Insert(0, 0x1000, BaseFill(0x1000, 1));
-  tlb.Insert(0, 0x2000, BaseFill(0x2000, 2));
-  EXPECT_EQ(tlb.Lookup(0, 0x1000), LookupOutcome::kHit);  // 0x2000 is LRU.
-  tlb.Insert(0, 0x3000, BaseFill(0x3000, 3));
-  EXPECT_EQ(tlb.Lookup(0, 0x2000), LookupOutcome::kBlockMiss);
-  EXPECT_EQ(tlb.Lookup(0, 0x1000), LookupOutcome::kHit);
+  tlb.Insert(0, Vpn{0x1000}, BaseFill(Vpn{0x1000}, Ppn{1}));
+  tlb.Insert(0, Vpn{0x2000}, BaseFill(Vpn{0x2000}, Ppn{2}));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x1000}), LookupOutcome::kHit);  // 0x2000 is LRU.
+  tlb.Insert(0, Vpn{0x3000}, BaseFill(Vpn{0x3000}, Ppn{3}));
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x2000}), LookupOutcome::kBlockMiss);
+  EXPECT_EQ(tlb.Lookup(0, Vpn{0x1000}), LookupOutcome::kHit);
 }
 
 // Property: a single-page TLB with N entries and a complete-subblock TLB
@@ -255,17 +255,17 @@ TEST(TlbPropertyTest, SubblockTlbDominatesSinglePageWithinOneBlock) {
   CompleteSubblockTlb subblock(4, 16);
   Rng rng(5);
   for (int i = 0; i < 2000; ++i) {
-    const Vpn vpn = 0x8000 + rng.Below(16);  // One block.
+    const Vpn vpn = Vpn{0x8000} + rng.Below(16);  // One block.
     const bool single_hit = single.Lookup(0, vpn) == LookupOutcome::kHit;
     const bool sub_hit = subblock.Lookup(0, vpn) == LookupOutcome::kHit;
     if (single_hit) {
       EXPECT_TRUE(sub_hit) << "iteration " << i;
     }
     if (!single_hit) {
-      single.Insert(0, vpn, BaseFill(vpn, vpn));
+      single.Insert(0, vpn, BaseFill(vpn, Ppn{vpn.raw()}));
     }
     if (!sub_hit) {
-      subblock.Insert(0, vpn, BaseFill(vpn, vpn));
+      subblock.Insert(0, vpn, BaseFill(vpn, Ppn{vpn.raw()}));
     }
   }
   EXPECT_LE(subblock.stats().misses, single.stats().misses);
@@ -278,17 +278,17 @@ TEST(TlbPropertyTest, LruInclusionAcrossSizes) {
   SinglePageTlb big(16);
   Rng rng(6);
   for (int i = 0; i < 5000; ++i) {
-    const Vpn vpn = rng.Below(40);
+    const Vpn vpn{rng.Below(40)};
     const bool small_hit = small.Lookup(0, vpn) == LookupOutcome::kHit;
     const bool big_hit = big.Lookup(0, vpn) == LookupOutcome::kHit;
     if (small_hit) {
       EXPECT_TRUE(big_hit) << "inclusion violated at " << i;
     }
     if (!small_hit) {
-      small.Insert(0, vpn, BaseFill(vpn, vpn));
+      small.Insert(0, vpn, BaseFill(vpn, Ppn{vpn.raw()}));
     }
     if (!big_hit) {
-      big.Insert(0, vpn, BaseFill(vpn, vpn));
+      big.Insert(0, vpn, BaseFill(vpn, Ppn{vpn.raw()}));
     }
   }
   EXPECT_LE(big.stats().misses, small.stats().misses);

@@ -143,7 +143,7 @@ TEST(TraceTest, SojournControlsPageChangeRate) {
     ProcessSpec p;
     p.name = "p";
     Segment seg;
-    seg.base = 0x10000000;
+    seg.base = VirtAddr{0x10000000};
     seg.span_pages = 1000;
     seg.density = 1.0;
     seg.pattern = AccessPattern::kRandom;
@@ -155,7 +155,7 @@ TEST(TraceTest, SojournControlsPageChangeRate) {
   auto page_changes = [](const WorkloadSpec& spec) {
     const Snapshot snap = BuildSnapshot(spec);
     TraceGenerator gen(spec, snap);
-    Vpn last = ~Vpn{0};
+    Vpn last{~std::uint64_t{0}};
     std::uint64_t changes = 0;
     for (int i = 0; i < 50000; ++i) {
       const Vpn vpn = VpnOf(gen.Next().va);

@@ -34,6 +34,10 @@ Rules (see DESIGN.md "Static analysis" for the catalog and policy):
                           matching  #endif  //  comment.
   nodiscard-query         Lookup/LookupKey query methods in headers must
                           be [[nodiscard]].
+  raw-address-param       address-domain values (va/vpn/vpbn/ppn/pfn/block
+                          names) cross public-header APIs as the strong
+                          types from common/types.h, never raw
+                          std::uint64_t parameters or returns.
 
 Suppressions:
   // cpt-lint: allow(rule[, rule])   suppress on this line (trailing) or,
@@ -934,6 +938,100 @@ class NodiscardQuery(Rule):
             j -= 1
         start = j + 1
         return start, toks[start:name_index]
+
+
+# ---- raw-address-param -----------------------------------------------------
+
+WORD_SPLIT_RE = re.compile(r"[A-Z]+(?=[A-Z][a-z])|[A-Z]?[a-z0-9]+|[A-Z]+")
+
+
+def identifier_words(name):
+    """Lowercased word list of a snake_case or CamelCase identifier."""
+    words = []
+    for chunk in name.strip("_").split("_"):
+        words.extend(w.lower() for w in WORD_SPLIT_RE.findall(chunk))
+    return words
+
+
+@register
+class RawAddressParam(Rule):
+    name = "raw-address-param"
+    help = ("address-domain values cross public-header APIs as strong types "
+            "(VirtAddr/Vpn/Vpbn/Ppn from common/types.h), never as raw "
+            "std::uint64_t parameters or returns")
+    include = ("src/*.h", "src/*/*.h", "tests/lint/fixtures/*.h")
+
+    # A parameter or function whose name contains one of these words (after
+    # snake/camel word-splitting) carries an address-domain value; "block" is
+    # included for block numbers, but factor/count/shift words mark scalar
+    # quantities that legitimately stay integral.
+    DOMAIN_WORDS = {"va", "vpn", "vpbn", "ppn", "pfn", "block"}
+    SCALAR_WORDS = {"factor", "count", "shift", "log2", "bits", "mask",
+                    "size", "bytes", "len", "num", "misses", "hits"}
+    CALL_PREV = {".", "->", "::", "(", ",", "=", "return", "!", "<", "&&",
+                 "||", "case", "+", "-", "*", "/", "%", "&", "|", "^"}
+
+    def check(self, sf, project):
+        if not sf.rel.endswith((".h", ".hpp")):
+            return []  # Intrinsically a header rule, even under --ignore-scope.
+        findings = []
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or i + 1 >= len(toks) or toks[i + 1].text != "(":
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            if prev is not None and prev.text in self.CALL_PREV:
+                continue  # a call or expression, not a declaration
+            close = _match_paren(toks, i + 1, "(", ")")
+            self._check_params(sf, toks, i + 2, close, t.text, findings)
+            self._check_return(sf, toks, i, t, findings)
+        return findings
+
+    def _check_params(self, sf, toks, start, close, fn_name, findings):
+        k = start
+        while k < close:
+            if not self._is_u64(toks, k):
+                k += 1
+                continue
+            # std::uint64_t NAME followed by ',' ')' or '=' is a parameter
+            # declaration; anything else (casts, templates) is not.
+            name_tok = toks[k + 1] if k + 1 < close else None
+            after = toks[k + 2].text if k + 2 <= close else ""
+            k += 1
+            if name_tok is None or name_tok.kind != "id":
+                continue
+            if after not in (",", ")", "="):
+                continue
+            words = identifier_words(name_tok.text)
+            if set(words) & self.DOMAIN_WORDS and not (set(words) & self.SCALAR_WORDS):
+                findings.append(Finding(
+                    self.name, sf, name_tok.line,
+                    f"parameter '{name_tok.text}' of {fn_name}() carries an "
+                    f"address-domain value as raw std::uint64_t; use the "
+                    f"strong type from common/types.h"))
+
+    def _check_return(self, sf, toks, name_index, name_tok, findings):
+        j = name_index - 1
+        prefix = []
+        while j >= 0 and toks[j].text not in (";", "{", "}") and len(prefix) < 12:
+            if toks[j].text == ":" and j > 0 and toks[j - 1].text in (
+                    "public", "private", "protected"):
+                break
+            prefix.append(toks[j].text)
+            j -= 1
+        ids = [p for p in prefix if ID_RE.fullmatch(p)]
+        if not ids or ids[0] != "uint64_t":
+            return  # return type is not uint64_t
+        words = identifier_words(name_tok.text)
+        if set(words) & self.DOMAIN_WORDS and not (set(words) & self.SCALAR_WORDS):
+            findings.append(Finding(
+                self.name, sf, name_tok.line,
+                f"{name_tok.text}() returns an address-domain value as raw "
+                f"std::uint64_t; return the strong type from common/types.h"))
+
+    @staticmethod
+    def _is_u64(toks, k):
+        return toks[k].kind == "id" and toks[k].text == "uint64_t"
 
 
 # ---------------------------------------------------------------------------
