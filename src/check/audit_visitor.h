@@ -35,7 +35,9 @@ struct PtNodeView {
   std::uint64_t tag = 0;      // Chain key (VPN/VPBN key) or leaf index.
   Vpn base_vpn{};           // First VPN the node's word array covers.
   unsigned sub_log2 = 0;      // log2 base pages per word slot.
-  const MappingWord* words = nullptr;
+  // Word storage is atomic tree-wide (Section 3.1); auditors snapshot each
+  // slot with load() before checking it.
+  const AtomicMappingWord* words = nullptr;
   unsigned num_words = 0;
   std::int32_t index = -1;    // Arena index; -1 when not arena-backed.
   PhysAddr addr{};          // Simulated physical address of the node.

@@ -69,7 +69,10 @@ class NodeCollector final : public PtAuditVisitor {
   void OnNode(const PtNodeView& node) override {
     CollectedNode cn;
     cn.meta = node;
-    cn.words.assign(node.words, node.words + node.num_words);
+    cn.words.reserve(node.num_words);
+    for (unsigned i = 0; i < node.num_words; ++i) {
+      cn.words.push_back(node.words[i].load());
+    }
     cn.meta.words = nullptr;
     nodes.push_back(std::move(cn));
   }

@@ -27,7 +27,8 @@ class TestBackdoor {
   // base_vpn >> tag_shift no longer matches the node's key — the
   // "misaligned tag" defect.
   static bool CorruptHashedBaseVpn(pt::HashedPageTable& table) {
-    for (std::int32_t head : table.buckets_) {
+    for (const auto& bucket : table.buckets_) {
+      const std::int32_t head = bucket.load_relaxed();
       if (head == pt::HashedPageTable::kNil) {
         continue;
       }

@@ -29,6 +29,7 @@
 #ifndef CPT_COMMON_PTE_H_
 #define CPT_COMMON_PTE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -225,6 +226,110 @@ static_assert(MappingWord::PartialSubblock(Ppn{0x20}, Attr{}, 0x8001).subpage_pp
               Ppn{0x2F});
 static_assert(!MappingWord::Invalid().valid());
 static_assert(MappingWord::PartialSubblock(Ppn{0x20}, Attr{}, 0).valid() == false);
+
+// ---------------------------------------------------------------------------
+// Atomic PTE storage (Section 3.1).
+// ---------------------------------------------------------------------------
+
+// The storage cell for a mapping word that may be touched by more than one
+// thread: the paper's Section 3.1 has the TLB miss handler set the
+// Referenced/Modified attribute bits "lock-free" while other processors walk
+// the same table.  This wrapper makes that real:
+//
+//   - R/M-bit sets are a single fetch_or on the word (no lock, no CAS);
+//   - the rare full-word rewrite that must also CLEAR bits goes through a
+//     CAS loop (ApplyAttrUpdate below);
+//   - structural writes (insert/remove, done single-threaded or under the
+//     owning table's locks) use plain release stores, and walkers read with
+//     acquire loads, so a concurrently published word is seen whole.
+//
+// There are deliberately no implicit conversions to or from MappingWord:
+// every access site must choose load() / store() / FetchOrAttr(), which is
+// what lets the compiler enumerate the entire R/M-bit path.  Copying is NOT
+// atomic — it exists solely for single-threaded structural phases (vector
+// growth, node cloning in tests, audit snapshots).
+class AtomicMappingWord {
+ public:
+  constexpr AtomicMappingWord() = default;
+  explicit constexpr AtomicMappingWord(MappingWord w) : cell_(w.bits()) {}
+
+  // relaxed: structural copy, only legal while no other thread accesses
+  // either cell (see the class comment).
+  AtomicMappingWord(const AtomicMappingWord& other)
+      : cell_(other.cell_.load(std::memory_order_relaxed)) {}
+  AtomicMappingWord& operator=(const AtomicMappingWord& other) {
+    // relaxed: structural copy (single-threaded phases only; class comment).
+    cell_.store(other.cell_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+
+  // acquire: a walker that observes a word published by store() must also
+  // observe every write the publisher sequenced before it.
+  MappingWord load() const {
+    return MappingWord::FromBits(cell_.load(std::memory_order_acquire));
+  }
+
+  // release: publishes the word (and everything written before it) to
+  // concurrent acquire loaders.
+  void store(MappingWord w) { cell_.store(w.bits(), std::memory_order_release); }
+
+  // Section 3.1 lock-free R/M set: OR the attribute bits into the word in
+  // one atomic step.  The mask must stay within the low 12 ATTR bits, so the
+  // operation can never corrupt the PPN/kind/valid fields regardless of what
+  // the word holds concurrently.
+  void FetchOrAttr(std::uint16_t set_mask) {
+    CPT_DCHECK((set_mask & ~std::uint16_t{0xFFF}) == 0, "attr mask beyond the 12 ATTR bits");
+    // acq_rel: the RMW both observes the latest word and publishes the
+    // updated attribute bits to subsequent acquire loaders.
+    cell_.fetch_or(std::uint64_t{set_mask}, std::memory_order_acq_rel);
+  }
+
+  // CAS step for read-modify-write updates that cannot be expressed as a
+  // fetch_or (attribute clears, full-word rewrites).  On failure `expected`
+  // is refreshed with the observed word.
+  bool CompareExchange(MappingWord& expected, MappingWord desired) {
+    std::uint64_t raw = expected.bits();
+    // acq_rel / acquire: success publishes the new word; failure still
+    // acquires the observed word so the retry sees its payload.
+    const bool ok = cell_.compare_exchange_weak(raw, desired.bits(), std::memory_order_acq_rel,
+                                                std::memory_order_acquire);
+    if (!ok) {
+      expected = MappingWord::FromBits(raw);
+    }
+    return ok;
+  }
+
+ private:
+  std::atomic<std::uint64_t> cell_{0};
+};
+
+// The §3.1 claim only holds if the atomic word really is a bare 64-bit cell:
+// no lock table, no size penalty versus the plain word it replaces.
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "PTE words must be lock-free atomics (Section 3.1)");
+static_assert(sizeof(AtomicMappingWord) == sizeof(MappingWord),
+              "atomic PTE storage must not change the paper's size model");
+
+// Applies an attribute-flag update to one PTE cell: the common set-only case
+// (R/M maintenance from the miss handler) is a single lock-free fetch_or;
+// updates that clear bits take the CAS path.  Bits outside the 12-bit ATTR
+// field are never touched, and a concurrent FetchOrAttr can interleave with
+// the CAS loop without losing either update.
+inline void ApplyAttrUpdate(AtomicMappingWord& cell, std::uint16_t set_mask,
+                            std::uint16_t clear_mask) {
+  if (clear_mask == 0) {
+    cell.FetchOrAttr(set_mask);
+    return;
+  }
+  MappingWord expected = cell.load();
+  for (;;) {
+    const auto bits =
+        static_cast<std::uint16_t>((expected.attr().bits | set_mask) & ~clear_mask);
+    if (cell.CompareExchange(expected, expected.with_attr(Attr{bits}))) {
+      return;
+    }
+  }
+}
 
 }  // namespace cpt
 

@@ -1,0 +1,290 @@
+// Thread-safety contract layer: annotated lock wrappers and atomic cells.
+//
+// The simulator's measurement loops are single-threaded, but ROADMAP item 1
+// (parallel trace replay) and the Section 3.1 lock-free R/M-bit maintenance
+// need a small set of concurrency primitives whose locking discipline is
+// machine-checked rather than tribal knowledge:
+//
+//   - Under Clang, every wrapper below carries Thread Safety Analysis
+//     capability attributes, so `-Wthread-safety -Werror` (CI's clang job)
+//     rejects code that touches a CPT_GUARDED_BY member without holding its
+//     mutex.  Under other compilers the attributes expand to nothing.
+//   - Under every compiler, debug builds CPT_DCHECK dynamic misuse the
+//     static analysis cannot see: unlocking a mutex that is not held, or
+//     destroying one while it is locked.
+//   - tools/cpt_lint.py closes the loop: `raw-sync-primitive` keeps bare
+//     std::mutex/std::lock_guard/pthread out of the tree (this header is the
+//     one sanctioned home), `guarded-by-coverage` forces mutable members of
+//     CPT_SHARED classes to be guarded, atomic, or const, and
+//     `atomic-discipline` demands a justification comment next to every
+//     explicit memory_order argument.
+//
+// See DESIGN.md "Concurrency contracts" for the annotation conventions and
+// the memory-order policy.
+#ifndef CPT_COMMON_SYNC_H_
+#define CPT_COMMON_SYNC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <type_traits>
+
+#include "common/check.h"
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis attribute macros (no-ops elsewhere).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define CPT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CPT_THREAD_ANNOTATION(x)
+#endif
+
+// A lockable type (a capability in TSA terms).
+#define CPT_LOCKABLE CPT_THREAD_ANNOTATION(capability("mutex"))
+// An RAII type that acquires in its constructor and releases in its
+// destructor.
+#define CPT_SCOPED_LOCKABLE CPT_THREAD_ANNOTATION(scoped_lockable)
+// Data member: reads/writes require holding the named mutex.
+#define CPT_GUARDED_BY(x) CPT_THREAD_ANNOTATION(guarded_by(x))
+// Pointer member: the pointee (not the pointer) is guarded.
+#define CPT_PT_GUARDED_BY(x) CPT_THREAD_ANNOTATION(pt_guarded_by(x))
+// Function: caller must hold the listed mutexes (exclusive / shared).
+#define CPT_REQUIRES(...) CPT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CPT_REQUIRES_SHARED(...) \
+  CPT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+// Function: acquires / releases the listed mutexes.
+#define CPT_ACQUIRE(...) CPT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CPT_ACQUIRE_SHARED(...) \
+  CPT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define CPT_RELEASE(...) CPT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CPT_RELEASE_SHARED(...) \
+  CPT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define CPT_TRY_ACQUIRE(...) CPT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Function: caller must NOT hold the listed mutexes (deadlock prevention).
+#define CPT_EXCLUDES(...) CPT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Escape hatch for code the analysis cannot model (dynamic lock sets).
+#define CPT_NO_THREAD_SAFETY_ANALYSIS CPT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Marks a class whose instances are part of the concurrency contract: they
+// may be reached from more than one thread, so every mutable data member
+// must be CPT_GUARDED_BY a mutex, an atomic cell, or const.  The marker
+// itself compiles to nothing; tools/cpt_lint.py's `guarded-by-coverage`
+// rule keys on the token and enforces the member discipline.
+#define CPT_SHARED
+
+namespace cpt {
+
+// ---------------------------------------------------------------------------
+// Annotated lock wrappers.
+// ---------------------------------------------------------------------------
+
+// std::mutex with TSA capability attributes plus debug-build misuse checks.
+// The wrapped primitive is deliberately not exposed: locking goes through
+// the annotated methods (usually via MutexLock) so the analysis sees every
+// acquire/release pair.
+class CPT_LOCKABLE Mutex {
+ public:
+  Mutex() = default;
+  // relaxed: destruction racing any lock op is already a use-after-free.
+  ~Mutex() { CPT_DCHECK(!held_.load(std::memory_order_relaxed), "Mutex destroyed while held"); }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CPT_ACQUIRE() {
+    mu_.lock();
+    // relaxed: held_ is only read/written by the lock holder (and by the
+    // destructor/DCHECKs, which race only when the program is already wrong).
+    held_.store(true, std::memory_order_relaxed);
+  }
+
+  void unlock() CPT_RELEASE() {
+    // relaxed: see lock(); the flag is diagnostic state owned by the holder.
+    CPT_DCHECK(held_.load(std::memory_order_relaxed), "unlock of a Mutex not held");
+    held_.store(false, std::memory_order_relaxed);
+    mu_.unlock();
+  }
+
+  bool try_lock() CPT_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    // relaxed: see lock().
+    held_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::atomic<bool> held_{false};
+};
+
+// std::shared_mutex with TSA attributes: exclusive lock for writers, shared
+// lock for concurrent readers.  Misuse checks mirror Mutex; the reader count
+// additionally catches destroy-while-readers-active.
+class CPT_LOCKABLE SharedMutex {
+ public:
+  SharedMutex() = default;
+  ~SharedMutex() {
+    // relaxed: destruction racing any lock op is already a use-after-free.
+    CPT_DCHECK(!held_.load(std::memory_order_relaxed), "SharedMutex destroyed while held");
+    CPT_DCHECK(readers_.load(std::memory_order_relaxed) == 0,
+               "SharedMutex destroyed with active readers");
+  }
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CPT_ACQUIRE() {
+    mu_.lock();
+    // relaxed: held_ is diagnostic state owned by the exclusive holder.
+    held_.store(true, std::memory_order_relaxed);
+  }
+
+  void unlock() CPT_RELEASE() {
+    // relaxed: see lock().
+    CPT_DCHECK(held_.load(std::memory_order_relaxed), "unlock of a SharedMutex not held");
+    held_.store(false, std::memory_order_relaxed);
+    mu_.unlock();
+  }
+
+  void lock_shared() CPT_ACQUIRE_SHARED() {
+    mu_.lock_shared();
+    // relaxed: the counter is diagnostic; the shared_mutex provides ordering.
+    readers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void unlock_shared() CPT_RELEASE_SHARED() {
+    // relaxed: see lock_shared().
+    CPT_DCHECK(readers_.load(std::memory_order_relaxed) > 0,
+               "unlock_shared of a SharedMutex with no readers");
+    // relaxed: diagnostic counter; the shared_mutex provides the ordering.
+    readers_.fetch_sub(1, std::memory_order_relaxed);
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<bool> held_{false};
+  std::atomic<int> readers_{0};
+};
+
+// Scoped exclusive lock (the only idiomatic way to take a cpt::Mutex).
+class CPT_SCOPED_LOCKABLE MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CPT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CPT_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Scoped shared (reader) lock over a SharedMutex.
+class CPT_SCOPED_LOCKABLE SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) CPT_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedMutexLock() CPT_RELEASE() { mu_.unlock_shared(); }
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// ---------------------------------------------------------------------------
+// Copyable atomic cell.
+// ---------------------------------------------------------------------------
+
+// std::atomic<T> with two deliberate differences: every access names its
+// memory order in the method name (so call sites read as their ordering
+// contract), and the cell is copyable so it can live inside the simulator's
+// node/bucket containers.  Copying is NOT an atomic operation — it exists
+// solely for single-threaded structural phases (vector growth, table
+// construction, audit snapshots); concurrent phases must never copy cells.
+template <class T>
+class AtomicCell {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  constexpr AtomicCell() = default;
+  explicit constexpr AtomicCell(T v) : v_(v) {}
+
+  // relaxed: structural copy, only legal while no other thread accesses
+  // either cell (see the class comment).
+  AtomicCell(const AtomicCell& other) : v_(other.v_.load(std::memory_order_relaxed)) {}
+  AtomicCell& operator=(const AtomicCell& other) {
+    // relaxed: structural copy (single-threaded phases only; class comment).
+    v_.store(other.v_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+
+  // relaxed: for counters and flags where only the value, not the ordering
+  // of surrounding writes, matters to the reader.
+  T load_relaxed() const { return v_.load(std::memory_order_relaxed); }
+  // acquire: pairs with store_release publication of data written before it.
+  T load_acquire() const { return v_.load(std::memory_order_acquire); }
+  // relaxed: see load_relaxed.
+  void store_relaxed(T v) { v_.store(v, std::memory_order_relaxed); }
+  // release: publishes every write sequenced before it to acquire loaders.
+  void store_release(T v) { v_.store(v, std::memory_order_release); }
+
+  T fetch_add_relaxed(T delta)
+    requires std::is_integral_v<T>
+  {
+    // relaxed: statistics counter increment; readers only need the total.
+    return v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  T fetch_sub_relaxed(T delta)
+    requires std::is_integral_v<T>
+  {
+    // relaxed: statistics counter decrement; see fetch_add_relaxed.
+    return v_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<T> v_{};
+};
+
+// ---------------------------------------------------------------------------
+// Lock striping.
+// ---------------------------------------------------------------------------
+
+// A power-of-two array of mutexes for striped locking over a hash space.
+// The stripe for a key is picked by masking its hash, so two keys contend
+// only when they collide mod `count`.  TSA cannot statically name a
+// dynamically selected stripe; callers take the returned Mutex through
+// MutexLock, and the containing class documents the stripe discipline (see
+// pt::HashedPageTable for the pattern).
+class StripeSet {
+ public:
+  // count == 0 builds an empty set (striping disabled).
+  explicit StripeSet(unsigned count)
+      : count_(count), stripes_(count > 0 ? std::make_unique<Mutex[]>(count) : nullptr) {
+    CPT_CHECK(count == 0 || (count & (count - 1)) == 0,
+              "stripe count must be zero or a power of two");
+  }
+
+  bool empty() const { return count_ == 0; }
+  unsigned count() const { return count_; }
+
+  // The stripe owning `hash`.  Only valid on a non-empty set.
+  Mutex& StripeFor(std::uint64_t hash) const {
+    CPT_DCHECK(count_ > 0, "StripeFor on an empty StripeSet");
+    return stripes_[hash & (count_ - 1)];
+  }
+
+ private:
+  unsigned count_;
+  std::unique_ptr<Mutex[]> stripes_;
+};
+
+}  // namespace cpt
+
+#endif  // CPT_COMMON_SYNC_H_

@@ -42,16 +42,16 @@ std::uint64_t AdaptiveClusteredPageTable::WordTranslations(const MappingWord& w)
 
 std::uint64_t AdaptiveClusteredPageTable::NodeTranslations(const Node& n) const {
   if (n.kind == NodeKind::kSingle) {
-    return n.words[0].valid() ? 1 : 0;
+    return n.words[0].load().valid() ? 1 : 0;
   }
   if (n.kind == NodeKind::kArray) {
     std::uint64_t total = 0;
-    for (const MappingWord& w : n.words) {
-      total += w.valid() ? 1 : 0;
+    for (const AtomicMappingWord& cell : n.words) {
+      total += cell.load().valid() ? 1 : 0;
     }
     return total;
   }
-  return WordTranslations(n.words[0]);
+  return WordTranslations(n.words[0].load());
 }
 
 std::int32_t AdaptiveClusteredPageTable::AllocNode(Vpbn tag, NodeKind kind, unsigned nwords) {
@@ -68,7 +68,7 @@ std::int32_t AdaptiveClusteredPageTable::AllocNode(Vpbn tag, NodeKind kind, unsi
   n.tag = tag;
   n.kind = kind;
   n.boff = 0;
-  n.words.assign(nwords, MappingWord::Invalid());
+  n.words.assign(nwords, AtomicMappingWord{MappingWord::Invalid()});
   n.next = buckets_[b];
   buckets_[b] = idx;
   n.addr = alloc_.Allocate(NodeBytes(n));
@@ -105,16 +105,16 @@ TlbFill AdaptiveClusteredPageTable::FillFromWord(const Node& n, unsigned boff) c
       fill.kind = MappingKind::kBase;
       fill.base_vpn = block_first + n.boff;
       fill.pages_log2 = 0;
-      fill.word = n.words[0];
+      fill.word = n.words[0].load();
       break;
     case NodeKind::kArray:
       fill.kind = MappingKind::kBase;
       fill.base_vpn = block_first + boff;
       fill.pages_log2 = 0;
-      fill.word = n.words[boff];
+      fill.word = n.words[boff].load();
       break;
     case NodeKind::kSuperpage: {
-      const MappingWord w = n.words[0];
+      const MappingWord w = n.words[0].load();
       fill.kind = MappingKind::kSuperpage;
       fill.pages_log2 = w.page_size().size_log2;
       fill.base_vpn = SuperpageBaseVpn(block_first, w.page_size());
@@ -125,7 +125,7 @@ TlbFill AdaptiveClusteredPageTable::FillFromWord(const Node& n, unsigned boff) c
       fill.kind = MappingKind::kPartialSubblock;
       fill.base_vpn = block_first;
       fill.pages_log2 = block_log2_;
-      fill.word = n.words[0];
+      fill.word = n.words[0].load();
       break;
   }
   return fill;
@@ -194,11 +194,11 @@ void AdaptiveClusteredPageTable::LookupBlock(VirtAddr va, unsigned subblock_fact
     cache_.Touch(addr + 16, 8ull * n.words.size());
     if (n.kind == NodeKind::kArray) {
       for (unsigned i = 0; i < factor_; ++i) {
-        if (n.words[i].valid()) {
+        if (n.words[i].load().valid()) {
           out.push_back(FillFromWord(n, i));
         }
       }
-    } else if (n.words[0].valid()) {
+    } else if (n.words[0].load().valid()) {
       out.push_back(FillFromWord(n, n.boff));
     }
   }
@@ -212,10 +212,10 @@ unsigned AdaptiveClusteredPageTable::BlockBaseOccupancy(Vpbn tag) const {
       continue;
     }
     if (n.kind == NodeKind::kSingle) {
-      occupancy += n.words[0].valid() ? 1 : 0;
+      occupancy += n.words[0].load().valid() ? 1 : 0;
     } else if (n.kind == NodeKind::kArray) {
-      for (const MappingWord& w : n.words) {
-        occupancy += w.valid() ? 1 : 0;
+      for (const AtomicMappingWord& cell : n.words) {
+        occupancy += cell.load().valid() ? 1 : 0;
       }
     }
   }
@@ -234,7 +234,7 @@ void AdaptiveClusteredPageTable::PromoteToArray(Vpbn tag) {
     const std::int32_t next = arena_[idx].next;
     Node& n = arena_[idx];
     if (n.tag == tag && n.kind == NodeKind::kSingle) {
-      words[n.boff] = n.words[0];
+      words[n.boff] = n.words[0].load();
       live_translations_ -= NodeTranslations(n);
       UnlinkNode(idx);
     }
@@ -243,7 +243,7 @@ void AdaptiveClusteredPageTable::PromoteToArray(Vpbn tag) {
   const std::int32_t array_idx = AllocNode(tag, NodeKind::kArray, factor_);
   Node& array = arena_[array_idx];
   for (unsigned i = 0; i < factor_; ++i) {
-    array.words[i] = words[i];
+    array.words[i].store(words[i]);
   }
   live_translations_ += NodeTranslations(array);
   ++promotions_;
@@ -262,7 +262,7 @@ void AdaptiveClusteredPageTable::DemoteToSingles(Vpbn tag) {
   }
   MappingWord words[kMaxFactor];
   for (unsigned i = 0; i < factor_; ++i) {
-    words[i] = arena_[array_idx].words[i];
+    words[i] = arena_[array_idx].words[i].load();
   }
   live_translations_ -= NodeTranslations(arena_[array_idx]);
   UnlinkNode(array_idx);
@@ -270,7 +270,7 @@ void AdaptiveClusteredPageTable::DemoteToSingles(Vpbn tag) {
     if (words[i].valid()) {
       const std::int32_t idx = AllocNode(tag, NodeKind::kSingle, 1);
       arena_[idx].boff = static_cast<std::uint8_t>(i);
-      arena_[idx].words[0] = words[i];
+      arena_[idx].words[0].store(words[i]);
       ++live_translations_;
     }
   }
@@ -289,19 +289,19 @@ void AdaptiveClusteredPageTable::InsertBase(Vpn vpn, Ppn ppn, Attr attr) {
     }
     if (n.kind == NodeKind::kArray) {
       live_translations_ -= NodeTranslations(n);
-      n.words[boff] = word;
+      n.words[boff].store(word);
       live_translations_ += NodeTranslations(n);
       return;
     }
     if (n.kind == NodeKind::kSingle && n.boff == boff) {
-      n.words[0] = word;  // Replace: translation count unchanged (1 -> 1).
+      n.words[0].store(word);  // Replace: translation count unchanged (1 -> 1).
       return;
     }
   }
   // New single-page node; promote the block if it crossed the threshold.
   const std::int32_t idx = AllocNode(tag, NodeKind::kSingle, 1);
   arena_[idx].boff = static_cast<std::uint8_t>(boff);
-  arena_[idx].words[0] = word;
+  arena_[idx].words[0].store(word);
   ++live_translations_;
   if (BlockBaseOccupancy(tag) >= opts_.promote_occupancy) {
     PromoteToArray(tag);
@@ -316,13 +316,13 @@ bool AdaptiveClusteredPageTable::RemoveBase(Vpn vpn) {
     if (n.tag != tag) {
       continue;
     }
-    if (n.kind == NodeKind::kSingle && n.boff == boff && n.words[0].valid()) {
+    if (n.kind == NodeKind::kSingle && n.boff == boff && n.words[0].load().valid()) {
       --live_translations_;
       UnlinkNode(idx);
       return true;
     }
-    if (n.kind == NodeKind::kArray && n.words[boff].valid()) {
-      n.words[boff] = MappingWord::Invalid();
+    if (n.kind == NodeKind::kArray && n.words[boff].load().valid()) {
+      n.words[boff].store(MappingWord::Invalid());
       --live_translations_;
       const unsigned occupancy = BlockBaseOccupancy(tag);
       if (occupancy == 0) {
@@ -350,7 +350,7 @@ void AdaptiveClusteredPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Pp
       Node& n = arena_[idx];
       if (n.tag == first + blk && n.kind == NodeKind::kSuperpage) {
         live_translations_ -= NodeTranslations(n);
-        n.words[0] = word;
+        n.words[0].store(word);
         live_translations_ += NodeTranslations(n);
         found = true;
         break;
@@ -358,7 +358,7 @@ void AdaptiveClusteredPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Pp
     }
     if (!found) {
       const std::int32_t idx = AllocNode(first + blk, NodeKind::kSuperpage, 1);
-      arena_[idx].words[0] = word;
+      arena_[idx].words[0].store(word);
       live_translations_ += factor_;
     }
   }
@@ -394,13 +394,13 @@ void AdaptiveClusteredPageTable::UpsertPartialSubblock(Vpn block_base_vpn,
     Node& n = arena_[idx];
     if (n.tag == tag && n.kind == NodeKind::kPsb) {
       live_translations_ -= NodeTranslations(n);
-      n.words[0] = word;
+      n.words[0].store(word);
       live_translations_ += NodeTranslations(n);
       return;
     }
   }
   const std::int32_t idx = AllocNode(tag, NodeKind::kPsb, 1);
-  arena_[idx].words[0] = word;
+  arena_[idx].words[0].store(word);
   live_translations_ += WordTranslations(word);
 }
 
@@ -414,6 +414,51 @@ bool AdaptiveClusteredPageTable::RemovePartialSubblock(Vpn block_base_vpn,
       UnlinkNode(idx);
       return true;
     }
+  }
+  return false;
+}
+
+bool AdaptiveClusteredPageTable::UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask,
+                                                 std::uint16_t clear_mask) {
+  // Uncounted structural update: R/M-bit maintenance rides on the walk the
+  // miss already paid for (Section 3.1), so it models no memory traffic.
+  // Multi-block superpages replicate one compact node per covered block; the
+  // update must hit every replica or a later scan at a sibling block would
+  // read stale bits.
+  const Vpbn vpbn = VpbnOf(vpn, factor_);
+  const unsigned boff = BoffOf(vpn, factor_);
+  for (std::int32_t idx = buckets_[hasher_(vpbn)]; idx != kNil; idx = arena_[idx].next) {
+    Node& n = arena_[idx];
+    if (n.tag != vpbn) {
+      continue;
+    }
+    if (n.kind == NodeKind::kSingle && n.boff != boff) {
+      continue;
+    }
+    const TlbFill fill = FillFromWord(n, boff);
+    if (!fill.Covers(vpn)) {
+      continue;
+    }
+    const unsigned word_idx = n.kind == NodeKind::kArray ? boff : 0;
+    ApplyAttrUpdate(n.words[word_idx], set_mask, clear_mask);
+    if (n.kind == NodeKind::kSuperpage && fill.pages_log2 > block_log2_) {
+      const unsigned blocks = 1u << (fill.pages_log2 - block_log2_);
+      const Vpbn first_block = VpbnOf(fill.base_vpn, factor_);
+      for (unsigned blk = 0; blk < blocks; ++blk) {
+        if (first_block + blk == vpbn) {
+          continue;
+        }
+        for (std::int32_t sidx = buckets_[hasher_(first_block + blk)]; sidx != kNil;
+             sidx = arena_[sidx].next) {
+          Node& sibling = arena_[sidx];
+          if (sibling.tag == first_block + blk && sibling.kind == NodeKind::kSuperpage) {
+            ApplyAttrUpdate(sibling.words[0], set_mask, clear_mask);
+            break;
+          }
+        }
+      }
+    }
+    return true;
   }
   return false;
 }
@@ -433,8 +478,9 @@ std::uint64_t AdaptiveClusteredPageTable::ProtectRange(Vpn first_vpn, std::uint6
         continue;
       }
       for (std::size_t i = 0; i < n.words.size(); ++i) {
-        if (n.words[i].valid()) {
-          n.words[i] = n.words[i].with_attr(attr);
+        const MappingWord w = n.words[i].load();
+        if (w.valid()) {
+          n.words[i].store(w.with_attr(attr));
         }
       }
     }

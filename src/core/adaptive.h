@@ -61,6 +61,7 @@ class AdaptiveClusteredPageTable final : public pt::PageTable {
   void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor, Ppn block_base_ppn,
                              Attr attr, std::uint16_t valid_vector) override;
   bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) override;
+  bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) override;
   std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
   std::uint64_t SizeBytesPaperModel() const override { return paper_bytes_; }
   std::uint64_t SizeBytesActual() const override;
@@ -96,7 +97,7 @@ class AdaptiveClusteredPageTable final : public pt::PageTable {
     std::uint8_t boff = 0;  // kSingle only.
     std::int32_t next = kNil;
     PhysAddr addr{};
-    std::vector<MappingWord> words;  // 1 (single/compact) or factor (array).
+    std::vector<AtomicMappingWord> words;  // 1 (single/compact) or factor (array).
   };
 
   std::uint64_t NodeBytes(const Node& n) const {

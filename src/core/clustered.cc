@@ -31,7 +31,7 @@ std::uint64_t ClusteredPageTable::NodeTranslations(const Node& n) const {
   std::uint64_t total = 0;
   const unsigned words = WordsInNode(n);
   for (unsigned i = 0; i < words; ++i) {
-    const MappingWord& w = n.words[i];
+    const MappingWord w = n.words[i].load();
     switch (w.kind()) {
       case MappingKind::kBase:
         total += w.valid() ? 1 : 0;
@@ -54,7 +54,7 @@ std::uint64_t ClusteredPageTable::NodeTranslations(const Node& n) const {
 bool ClusteredPageTable::NodeEmpty(const Node& n) const {
   const unsigned words = WordsInNode(n);
   for (unsigned i = 0; i < words; ++i) {
-    if (n.words[i].valid()) {
+    if (n.words[i].load().valid()) {
       return false;
     }
   }
@@ -65,7 +65,7 @@ std::int32_t* ClusteredPageTable::FindLink(Vpbn tag, unsigned sub_log2, MappingK
   std::int32_t* link = &buckets_[hasher_(tag)];
   while (*link != kNil) {
     Node& n = arena_[*link];
-    if (n.tag == tag && n.sub_log2 == sub_log2 && n.words[0].kind() == kind0) {
+    if (n.tag == tag && n.sub_log2 == sub_log2 && n.words[0].load().kind() == kind0) {
       return link;
     }
     link = &n.next;
@@ -77,7 +77,7 @@ const ClusteredPageTable::Node* ClusteredPageTable::FindNode(Vpbn tag, unsigned 
                                                              MappingKind kind0) const {
   for (std::int32_t idx = buckets_[hasher_(tag)]; idx != kNil; idx = arena_[idx].next) {
     const Node& n = arena_[idx];
-    if (n.tag == tag && n.sub_log2 == sub_log2 && n.words[0].kind() == kind0) {
+    if (n.tag == tag && n.sub_log2 == sub_log2 && n.words[0].load().kind() == kind0) {
       return &n;
     }
   }
@@ -108,13 +108,13 @@ ClusteredPageTable::Node& ClusteredPageTable::GetOrCreateNode(Vpbn tag, unsigned
   for (unsigned i = 0; i < words; ++i) {
     switch (kind0) {
       case MappingKind::kBase:
-        n.words[i] = MappingWord::Invalid();
+        n.words[i].store(MappingWord::Invalid());
         break;
       case MappingKind::kSuperpage:
-        n.words[i] = MappingWord::InvalidSuperpage(PageSize{sub_log2});
+        n.words[i].store(MappingWord::InvalidSuperpage(PageSize{sub_log2}));
         break;
       case MappingKind::kPartialSubblock:
-        n.words[i] = MappingWord::PartialSubblock(Ppn{0}, Attr{}, 0);
+        n.words[i].store(MappingWord::PartialSubblock(Ppn{0}, Attr{}, 0));
         break;
     }
   }
@@ -137,7 +137,7 @@ void ClusteredPageTable::UnlinkAndFree(std::int32_t* link) {
 }
 
 TlbFill ClusteredPageTable::FillFromNode(const Node& n, unsigned word_idx) const {
-  const MappingWord w = n.words[word_idx];
+  const MappingWord w = n.words[word_idx].load();
   const Vpn block_first = FirstVpnOfBlock(n.tag, factor_);
   TlbFill fill;
   fill.kind = w.kind();
@@ -230,7 +230,7 @@ void ClusteredPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
     const unsigned words = WordsInNode(n);
     cache_.Touch(addr + 16, 8ull * words);
     for (unsigned i = 0; i < words; ++i) {
-      if (n.words[i].valid()) {
+      if (n.words[i].load().valid()) {
         out.push_back(FillFromNode(n, i));
       }
     }
@@ -240,7 +240,7 @@ void ClusteredPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
 void ClusteredPageTable::InsertBase(Vpn vpn, Ppn ppn, Attr attr) {
   Node& n = GetOrCreateNode(VpbnOf(vpn, factor_), 0, MappingKind::kBase);
   live_translations_ -= NodeTranslations(n);
-  n.words[BoffOf(vpn, factor_)] = MappingWord::Base(ppn, attr);
+  n.words[BoffOf(vpn, factor_)].store(MappingWord::Base(ppn, attr));
   live_translations_ += NodeTranslations(n);
 }
 
@@ -250,12 +250,12 @@ bool ClusteredPageTable::RemoveBase(Vpn vpn) {
     return false;
   }
   Node& n = arena_[*link];
-  MappingWord& slot = n.words[BoffOf(vpn, factor_)];
-  if (!slot.valid()) {
+  AtomicMappingWord& slot = n.words[BoffOf(vpn, factor_)];
+  if (!slot.load().valid()) {
     return false;
   }
   --live_translations_;
-  slot = MappingWord::Invalid();
+  slot.store(MappingWord::Invalid());
   if (NodeEmpty(n)) {
     UnlinkAndFree(link);
   }
@@ -269,7 +269,7 @@ void ClusteredPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_p
     // A sub-size node: slots of 2^SZ pages each within one block.
     Node& n = GetOrCreateNode(VpbnOf(base_vpn, factor_), size.size_log2, MappingKind::kSuperpage);
     live_translations_ -= NodeTranslations(n);
-    n.words[BoffOf(base_vpn, factor_) >> size.size_log2] = word;
+    n.words[BoffOf(base_vpn, factor_) >> size.size_log2].store(word);
     live_translations_ += NodeTranslations(n);
     return;
   }
@@ -281,7 +281,7 @@ void ClusteredPageTable::InsertSuperpage(Vpn base_vpn, PageSize size, Ppn base_p
   for (unsigned b = 0; b < blocks; ++b) {
     Node& n = GetOrCreateNode(first_block + b, block_log2_, MappingKind::kSuperpage);
     live_translations_ -= NodeTranslations(n);
-    n.words[0] = word;
+    n.words[0].store(word);
     live_translations_ += NodeTranslations(n);
   }
 }
@@ -294,12 +294,12 @@ bool ClusteredPageTable::RemoveSuperpage(Vpn base_vpn, PageSize size) {
       return false;
     }
     Node& n = arena_[*link];
-    MappingWord& slot = n.words[BoffOf(base_vpn, factor_) >> size.size_log2];
-    if (!slot.valid()) {
+    AtomicMappingWord& slot = n.words[BoffOf(base_vpn, factor_) >> size.size_log2];
+    if (!slot.load().valid()) {
       return false;
     }
     live_translations_ -= size.pages();
-    slot = MappingWord::InvalidSuperpage(size);
+    slot.store(MappingWord::InvalidSuperpage(size));
     if (NodeEmpty(n)) {
       UnlinkAndFree(link);
     }
@@ -327,7 +327,7 @@ void ClusteredPageTable::UpsertPartialSubblock(Vpn block_base_vpn, unsigned subb
   Node& n =
       GetOrCreateNode(VpbnOf(block_base_vpn, factor_), block_log2_, MappingKind::kPartialSubblock);
   live_translations_ -= NodeTranslations(n);
-  n.words[0] = MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector);
+  n.words[0].store(MappingWord::PartialSubblock(block_base_ppn, attr, valid_vector));
   live_translations_ += NodeTranslations(n);
 }
 
@@ -340,6 +340,43 @@ bool ClusteredPageTable::RemovePartialSubblock(Vpn block_base_vpn, unsigned /*su
   live_translations_ -= NodeTranslations(arena_[*link]);
   UnlinkAndFree(link);
   return true;
+}
+
+bool ClusteredPageTable::UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask,
+                                         std::uint16_t clear_mask) {
+  // Uncounted structural update: R/M-bit maintenance rides on the walk the
+  // miss already paid for (Section 3.1), so it models no memory traffic.
+  // Superpages larger than one block replicate one word per covered block;
+  // the update must hit every replica or a later scan at a sibling block
+  // would read stale bits.
+  const Vpbn vpbn = VpbnOf(vpn, factor_);
+  const unsigned boff = BoffOf(vpn, factor_);
+  for (std::int32_t idx = buckets_[hasher_(vpbn)]; idx != kNil; idx = arena_[idx].next) {
+    Node& n = arena_[idx];
+    if (n.tag != vpbn) {
+      continue;
+    }
+    const unsigned word_idx = boff >> n.sub_log2;
+    const TlbFill fill = FillFromNode(n, word_idx);
+    if (!fill.Covers(vpn)) {
+      continue;
+    }
+    ApplyAttrUpdate(n.words[word_idx], set_mask, clear_mask);
+    if (fill.kind == MappingKind::kSuperpage && fill.pages_log2 > block_log2_) {
+      const unsigned blocks = 1u << (fill.pages_log2 - block_log2_);
+      const Vpbn first_block = VpbnOf(fill.base_vpn, factor_);
+      for (unsigned b = 0; b < blocks; ++b) {
+        if (first_block + b == vpbn) {
+          continue;
+        }
+        if (std::int32_t* link = FindLink(first_block + b, block_log2_, MappingKind::kSuperpage)) {
+          ApplyAttrUpdate(arena_[*link].words[0], set_mask, clear_mask);
+        }
+      }
+    }
+    return true;
+  }
+  return false;
 }
 
 std::uint64_t ClusteredPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
@@ -358,13 +395,14 @@ std::uint64_t ClusteredPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npag
       }
       const unsigned words = WordsInNode(n);
       for (unsigned i = 0; i < words; ++i) {
-        if (!n.words[i].valid()) {
+        const MappingWord w = n.words[i].load();
+        if (!w.valid()) {
           continue;
         }
         const Vpn word_first = FirstVpnOfBlock(tag, factor_) + (std::uint64_t{i} << n.sub_log2);
         const Vpn word_last = word_first + ((std::uint64_t{1} << n.sub_log2) - 1);
         if (word_last >= first_vpn && word_first <= last_vpn) {
-          n.words[i] = n.words[i].with_attr(attr);
+          n.words[i].store(w.with_attr(attr));
         }
       }
     }
@@ -377,12 +415,13 @@ bool ClusteredPageTable::BlockReadyForPromotion(Vpbn vpbn) const {
   if (n == nullptr) {
     return false;
   }
-  const Ppn first_ppn = n->words[0].ppn();
-  if (!n->words[0].valid() || !IsSuperpageAligned(first_ppn, PageSize{block_log2_})) {
+  const MappingWord first_word = n->words[0].load();
+  const Ppn first_ppn = first_word.ppn();
+  if (!first_word.valid() || !IsSuperpageAligned(first_ppn, PageSize{block_log2_})) {
     return false;
   }
   for (unsigned i = 0; i < factor_; ++i) {
-    const MappingWord& w = n->words[i];
+    const MappingWord w = n->words[i].load();
     if (!w.valid() || w.kind() != MappingKind::kBase || w.ppn() != first_ppn + i) {
       return false;
     }
@@ -395,7 +434,7 @@ std::optional<MappingWord> ClusteredPageTable::PeekBase(Vpn vpn) const {
   if (n == nullptr) {
     return std::nullopt;
   }
-  const MappingWord w = n->words[BoffOf(vpn, factor_)];
+  const MappingWord w = n->words[BoffOf(vpn, factor_)].load();
   return w.valid() ? std::optional<MappingWord>(w) : std::nullopt;
 }
 
@@ -454,10 +493,10 @@ Histogram ClusteredPageTable::BlockOccupancyHistogram() const {
   for (std::uint32_t b = 0; b < buckets_.size(); ++b) {
     for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
       const Node& n = arena_[idx];
-      if (n.sub_log2 == 0 && n.words[0].kind() == MappingKind::kBase) {
+      if (n.sub_log2 == 0 && n.words[0].load().kind() == MappingKind::kBase) {
         std::size_t occ = 0;
         for (unsigned i = 0; i < factor_; ++i) {
-          occ += n.words[i].valid() ? 1 : 0;
+          occ += n.words[i].load().valid() ? 1 : 0;
         }
         h.Add(occ);
       }

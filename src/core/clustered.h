@@ -62,6 +62,7 @@ class ClusteredPageTable final : public pt::PageTable {
   void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor, Ppn block_base_ppn,
                              Attr attr, std::uint16_t valid_vector) override;
   bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) override;
+  bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) override;
   std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
   std::uint64_t SizeBytesPaperModel() const override;
   std::uint64_t SizeBytesActual() const override;
@@ -102,7 +103,7 @@ class ClusteredPageTable final : public pt::PageTable {
     std::uint8_t sub_log2 = 0;  // log2 base pages covered per word.
     std::int32_t next = kNil;
     PhysAddr addr{};
-    std::array<MappingWord, kMaxSubblockFactor> words{};
+    std::array<AtomicMappingWord, kMaxSubblockFactor> words{};
   };
 
   unsigned WordsInNode(const Node& n) const { return factor_ >> n.sub_log2; }

@@ -71,6 +71,13 @@ bool MultiSizeClustered::RemovePartialSubblock(Vpn block_base_vpn, unsigned subb
   return small_.RemovePartialSubblock(block_base_vpn, subblock_factor);
 }
 
+bool MultiSizeClustered::UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask,
+                                         std::uint16_t clear_mask) {
+  // Probe order matches Lookup: small-block table first, then large.
+  return small_.UpdateAttrFlags(vpn, set_mask, clear_mask) ||
+         large_.UpdateAttrFlags(vpn, set_mask, clear_mask);
+}
+
 std::uint64_t MultiSizeClustered::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
   return small_.ProtectRange(first_vpn, npages, attr) +
          large_.ProtectRange(first_vpn, npages, attr);

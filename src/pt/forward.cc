@@ -78,10 +78,12 @@ void ForwardMappedPageTable::AddIntermediateSuper(Vpn vpn, unsigned level, Mappi
   }
   const unsigned idx = IndexAt(vpn, level);
   auto& slots = it->second.super_slots;
-  if (slots.find(idx) == slots.end()) {
+  auto [slot_it, slot_inserted] = slots.try_emplace(idx, AtomicMappingWord{word});
+  if (slot_inserted) {
     live_translations_ += word.page_size().pages();
+  } else {
+    slot_it->second.store(word);
   }
-  slots[idx] = word;
 }
 
 void ForwardMappedPageTable::MaybeFreeInner(Vpn vpn, unsigned level) {
@@ -119,15 +121,16 @@ ForwardMappedPageTable::Leaf* ForwardMappedPageTable::FindLeaf(Vpn vpn) {
 
 void ForwardMappedPageTable::SetSlot(Vpn vpn, MappingWord word) {
   Leaf& leaf = LeafFor(vpn);
-  MappingWord& slot = leaf.slots[IndexAt(vpn, 1)];
-  const bool was_occupied = slot != MappingWord::Invalid();
-  const bool was_translating = was_occupied && FillFromWord(vpn, slot).Covers(vpn);
+  AtomicMappingWord& slot = leaf.slots[IndexAt(vpn, 1)];
+  const MappingWord old = slot.load();
+  const bool was_occupied = old != MappingWord::Invalid();
+  const bool was_translating = was_occupied && FillFromWord(vpn, old).Covers(vpn);
   const bool now_occupied = word != MappingWord::Invalid();
   const bool now_translating = now_occupied && FillFromWord(vpn, word).Covers(vpn);
   leaf.live += static_cast<unsigned>(now_occupied) - static_cast<unsigned>(was_occupied);
   live_translations_ +=
       static_cast<std::uint64_t>(now_translating) - static_cast<std::uint64_t>(was_translating);
-  slot = word;
+  slot.store(word);
 }
 
 MappingWord ForwardMappedPageTable::ClearSlot(Vpn vpn) {
@@ -135,13 +138,13 @@ MappingWord ForwardMappedPageTable::ClearSlot(Vpn vpn) {
   if (leaf == nullptr) {
     return MappingWord::Invalid();
   }
-  MappingWord& slot = leaf->slots[IndexAt(vpn, 1)];
-  const MappingWord old = slot;
+  AtomicMappingWord& slot = leaf->slots[IndexAt(vpn, 1)];
+  const MappingWord old = slot.load();
   if (old != MappingWord::Invalid()) {
     if (FillFromWord(vpn, old).Covers(vpn)) {
       --live_translations_;
     }
-    slot = MappingWord::Invalid();
+    slot.store(MappingWord::Invalid());
     if (--leaf->live == 0) {
       alloc_.Free(leaf->addr, NodeBytesOfLevel(1));
       leaves_.erase(PrefixAt(vpn, 1));
@@ -172,7 +175,7 @@ std::optional<TlbFill> ForwardMappedPageTable::Lookup(VirtAddr va) {
     if (opts_.intermediate_superpages) {
       auto slot_it = it->second.super_slots.find(idx);
       if (slot_it != it->second.super_slots.end()) {
-        TlbFill fill = FillFromWord(vpn, slot_it->second);
+        TlbFill fill = FillFromWord(vpn, slot_it->second.load());
         if (fill.Covers(vpn)) {
           if (tracer != nullptr) {
             tracer->Record({.kind = obs::EventKind::kWalkHit,
@@ -191,7 +194,7 @@ std::optional<TlbFill> ForwardMappedPageTable::Lookup(VirtAddr va) {
     return std::nullopt;
   }
   cache_.Touch(leaf->addr + IndexAt(vpn, 1) * 8, 8);
-  const MappingWord word = leaf->slots[IndexAt(vpn, 1)];
+  const MappingWord word = leaf->slots[IndexAt(vpn, 1)].load();
   if (word == MappingWord::Invalid()) {
     return std::nullopt;
   }
@@ -228,7 +231,7 @@ void ForwardMappedPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
   const unsigned slot0 = IndexAt(first, 1);
   cache_.Touch(leaf->addr + slot0 * 8, std::uint64_t{subblock_factor} * 8);
   for (unsigned i = 0; i < subblock_factor; ++i) {
-    const MappingWord word = leaf->slots[slot0 + i];
+    const MappingWord word = leaf->slots[slot0 + i].load();
     if (word == MappingWord::Invalid()) {
       continue;
     }
@@ -309,6 +312,59 @@ bool ForwardMappedPageTable::RemovePartialSubblock(Vpn block_base_vpn, unsigned 
   return any;
 }
 
+bool ForwardMappedPageTable::UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask,
+                                             std::uint16_t clear_mask) {
+  // Uncounted structural update: R/M-bit maintenance rides on the walk the
+  // miss already paid for (Section 3.1), so it models no memory traffic.
+  if (opts_.intermediate_superpages) {
+    for (unsigned level = kNumLevels; level >= 2; --level) {
+      auto it = inner_[level].find(PrefixAt(vpn, level));
+      if (it == inner_[level].end()) {
+        return false;
+      }
+      auto slot_it = it->second.super_slots.find(IndexAt(vpn, level));
+      if (slot_it != it->second.super_slots.end()) {
+        const TlbFill fill = FillFromWord(vpn, slot_it->second.load());
+        if (!fill.Covers(vpn)) {
+          return false;
+        }
+        // Intermediate superpage PTEs are single-site: one word, no replicas.
+        ApplyAttrUpdate(slot_it->second, set_mask, clear_mask);
+        return true;
+      }
+    }
+  }
+  // Leaf words use Replicate-PTEs: the update must hit every covered site or
+  // a later scan at a sibling site would read stale bits.
+  Leaf* leaf = FindLeaf(vpn);
+  if (leaf == nullptr) {
+    return false;
+  }
+  const MappingWord word = leaf->slots[IndexAt(vpn, 1)].load();
+  if (word == MappingWord::Invalid()) {
+    return false;
+  }
+  const TlbFill fill = FillFromWord(vpn, word);
+  if (!fill.Covers(vpn)) {
+    return false;
+  }
+  const std::uint64_t npages = std::uint64_t{1} << fill.pages_log2;
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    const Vpn site = fill.base_vpn + i;
+    Leaf* site_leaf = PrefixAt(site, 1) == PrefixAt(vpn, 1) ? leaf : FindLeaf(site);
+    if (site_leaf == nullptr) {
+      continue;
+    }
+    AtomicMappingWord& slot = site_leaf->slots[IndexAt(site, 1)];
+    const MappingWord replica = slot.load();
+    if (replica == MappingWord::Invalid() || replica.kind() != fill.kind) {
+      continue;
+    }
+    ApplyAttrUpdate(slot, set_mask, clear_mask);
+  }
+  return true;
+}
+
 std::uint64_t ForwardMappedPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages,
                                                    Attr attr) {
   for (std::uint64_t i = 0; i < npages; ++i) {
@@ -316,9 +372,10 @@ std::uint64_t ForwardMappedPageTable::ProtectRange(Vpn first_vpn, std::uint64_t 
     if (leaf == nullptr) {
       continue;
     }
-    MappingWord& slot = leaf->slots[IndexAt(first_vpn + i, 1)];
-    if (slot != MappingWord::Invalid()) {
-      slot = slot.with_attr(attr);
+    AtomicMappingWord& slot = leaf->slots[IndexAt(first_vpn + i, 1)];
+    const MappingWord word = slot.load();
+    if (word != MappingWord::Invalid()) {
+      slot.store(word.with_attr(attr));
     }
   }
   return npages;

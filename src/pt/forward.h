@@ -61,6 +61,7 @@ class ForwardMappedPageTable final : public PageTable {
   void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor, Ppn block_base_ppn,
                              Attr attr, std::uint16_t valid_vector) override;
   bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) override;
+  bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) override;
   std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
   std::uint64_t SizeBytesPaperModel() const override;
   std::uint64_t SizeBytesActual() const override;
@@ -78,7 +79,7 @@ class ForwardMappedPageTable final : public PageTable {
 
   struct Leaf {
     PhysAddr addr{};
-    std::array<MappingWord, kLeafEntries> slots{};
+    std::array<AtomicMappingWord, kLeafEntries> slots{};
     unsigned live = 0;
   };
 
@@ -86,7 +87,7 @@ class ForwardMappedPageTable final : public PageTable {
     PhysAddr addr{};
     std::uint32_t children = 0;
     // Intermediate-superpage words keyed by slot index (extension).
-    std::unordered_map<unsigned, MappingWord> super_slots;
+    std::unordered_map<unsigned, AtomicMappingWord> super_slots;
   };
 
   static constexpr unsigned ShiftOfLevel(unsigned level) {

@@ -33,42 +33,55 @@ HashedPageTable::HashedPageTable(mem::CacheTouchModel& cache, Options opts)
     : PageTable(cache),
       opts_(opts),
       hasher_(opts.num_buckets, opts.hash_kind),
+      bucket_stride_(opts.inverted ? 8 : std::bit_ceil<std::uint64_t>(opts.packed_pte ? 16 : 24)),
       alloc_(cache.line_size(), opts.placement),
-      buckets_(opts.num_buckets, kNil) {
+      bucket_base_(alloc_.Allocate(std::uint64_t{opts.num_buckets} * bucket_stride_)),
+      buckets_(opts.num_buckets, AtomicCell<std::int32_t>{kNil}),
+      stripes_(opts.lock_stripes) {
   CPT_CHECK(IsPowerOfTwo(opts.num_buckets));
-  bucket_stride_ = opts_.inverted ? 8 : std::bit_ceil(NodeBytes());
-  bucket_base_ = alloc_.Allocate(std::uint64_t{opts_.num_buckets} * bucket_stride_);
+  if (!stripes_.empty()) {
+    // Lock-free walkers hold pointers into the arena across stripe-locked
+    // inserts, so the backing store must never reallocate (header comment).
+    arena_.reserve(opts_.striped_node_capacity);
+  }
 }
 
 HashedPageTable::~HashedPageTable() = default;
 
 std::int32_t HashedPageTable::AllocNode() {
+  MutexLock lock(alloc_mu_);
+  std::int32_t idx;
   if (!free_nodes_.empty()) {
-    const std::int32_t idx = free_nodes_.back();
+    idx = free_nodes_.back();
     free_nodes_.pop_back();
-    return idx;
+  } else {
+    CPT_CHECK(stripes_.empty() || arena_.size() < arena_.capacity(),
+              "striped arena exhausted: raise Options::striped_node_capacity");
+    arena_.push_back(Node{});
+    idx = static_cast<std::int32_t>(arena_.size() - 1);
   }
-  arena_.push_back(Node{});
-  return static_cast<std::int32_t>(arena_.size() - 1);
+  arena_[idx].addr = alloc_.Allocate(NodeBytes());
+  return idx;
 }
 
 void HashedPageTable::FreeNode(std::int32_t idx) {
+  MutexLock lock(alloc_mu_);
   alloc_.Free(arena_[idx].addr, NodeBytes());
   arena_[idx] = Node{};
   free_nodes_.push_back(idx);
 }
 
-TlbFill HashedPageTable::FillFrom(const Node& n, Vpn /*faulting_vpn*/) const {
+TlbFill HashedPageTable::FillFrom(const Node& n, MappingWord word) const {
   TlbFill fill;
-  fill.kind = n.word.kind();
-  fill.word = n.word;
+  fill.kind = word.kind();
+  fill.word = word;
   fill.base_vpn = n.base_vpn;
-  switch (n.word.kind()) {
+  switch (word.kind()) {
     case MappingKind::kBase:
       fill.pages_log2 = 0;
       break;
     case MappingKind::kSuperpage:
-      fill.pages_log2 = n.word.page_size().size_log2;
+      fill.pages_log2 = word.page_size().size_log2;
       break;
     case MappingKind::kPartialSubblock:
       fill.pages_log2 = opts_.tag_shift;
@@ -86,7 +99,7 @@ std::optional<TlbFill> HashedPageTable::LookupKey(std::uint64_t key, Vpn faultin
   std::uint32_t chain_pos = 0;
   obs::WalkTracer* const tracer = cache_.tracer();
   cache_.Touch(BucketAddr(b), opts_.inverted ? 8 : TagNextBytes());
-  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+  for (std::int32_t idx = buckets_[b].load_acquire(); idx != kNil; idx = arena_[idx].next) {
     const Node& n = arena_[idx];
     const PhysAddr addr = (head && !opts_.inverted) ? BucketAddr(b) : n.addr;
     // The handler reads the tag and next pointer of every node it visits.
@@ -100,7 +113,7 @@ std::optional<TlbFill> HashedPageTable::LookupKey(std::uint64_t key, Vpn faultin
     if (n.key == key) {
       // Read the mapping word of the matching node.
       cache_.Touch(addr + TagNextBytes(), 8);
-      TlbFill fill = FillFrom(n, faulting_vpn);
+      TlbFill fill = FillFrom(n, n.word.load());
       if (fill.Covers(faulting_vpn)) {
         if (tracer != nullptr) {
           tracer->Record({.kind = obs::EventKind::kWalkHit,
@@ -125,16 +138,30 @@ std::optional<TlbFill> HashedPageTable::Lookup(VirtAddr va) {
 }
 
 void HashedPageTable::UpsertWord(Vpn base_vpn, MappingWord word) {
+  if (!stripes_.empty()) {
+    // Stripe by *bucket index*, not by chain key: distinct keys sharing a
+    // bucket must serialize their head updates, and only the bucket index
+    // captures that.  The stripe is selected at runtime, beyond TSA's static
+    // lock model; the scoped MutexLock still gives TSan and the debug checks
+    // the acquire/release pair.
+    MutexLock lock(stripes_.StripeFor(hasher_(ChainKeyOf(base_vpn))));
+    UpsertWordImpl(base_vpn, word);
+    return;
+  }
+  UpsertWordImpl(base_vpn, word);
+}
+
+void HashedPageTable::UpsertWordImpl(Vpn base_vpn, MappingWord word) {
   const std::uint64_t key = ChainKeyOf(base_vpn);
   const std::uint32_t b = hasher_(key);
-  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+  for (std::int32_t idx = buckets_[b].load_acquire(); idx != kNil; idx = arena_[idx].next) {
     Node& n = arena_[idx];
-    if (n.key == key && n.base_vpn == base_vpn && n.word.kind() == word.kind() &&
-        (word.kind() != MappingKind::kSuperpage ||
-         n.word.page_size() == word.page_size())) {
-      live_translations_ -= TranslationsOf(n.word, opts_.tag_shift);
-      n.word = word;
-      live_translations_ += TranslationsOf(word, opts_.tag_shift);
+    const MappingWord old = n.word.load();
+    if (n.key == key && n.base_vpn == base_vpn && old.kind() == word.kind() &&
+        (word.kind() != MappingKind::kSuperpage || old.page_size() == word.page_size())) {
+      live_translations_.fetch_sub_relaxed(TranslationsOf(old, opts_.tag_shift));
+      n.word.store(word);
+      live_translations_.fetch_add_relaxed(TranslationsOf(word, opts_.tag_shift));
       return;
     }
   }
@@ -142,30 +169,40 @@ void HashedPageTable::UpsertWord(Vpn base_vpn, MappingWord word) {
   Node& n = arena_[idx];
   n.key = key;
   n.base_vpn = base_vpn;
-  n.word = word;
-  n.next = buckets_[b];
-  n.addr = alloc_.Allocate(NodeBytes());
-  buckets_[b] = idx;
-  ++live_nodes_;
-  live_translations_ += TranslationsOf(word, opts_.tag_shift);
+  n.word.store(word);
+  n.next = buckets_[b].load_acquire();
+  // Publish: the release store makes the fully-initialized node visible to
+  // any walker that acquire-loads this bucket head.
+  buckets_[b].store_release(idx);
+  live_nodes_.fetch_add_relaxed(1);
+  live_translations_.fetch_add_relaxed(TranslationsOf(word, opts_.tag_shift));
 }
 
 bool HashedPageTable::RemoveKey(std::uint64_t key) {
+  // Single-writer only (header comment): unlinking under concurrent walkers
+  // would need deferred node reclamation.
   const std::uint32_t b = hasher_(key);
-  std::int32_t* link = &buckets_[b];
   bool removed = false;
-  while (*link != kNil) {
-    const std::int32_t idx = *link;
+  std::int32_t idx = buckets_[b].load_acquire();
+  std::int32_t prev = kNil;
+  while (idx != kNil) {
     Node& n = arena_[idx];
+    const std::int32_t next = n.next;
     if (n.key == key) {
-      live_translations_ -= TranslationsOf(n.word, opts_.tag_shift);
-      *link = n.next;
+      live_translations_.fetch_sub_relaxed(TranslationsOf(n.word.load(), opts_.tag_shift));
+      if (prev == kNil) {
+        buckets_[b].store_release(next);
+      } else {
+        arena_[prev].next = next;
+      }
       FreeNode(idx);
-      --live_nodes_;
+      live_nodes_.fetch_sub_relaxed(1);
       removed = true;
+      idx = next;
       continue;  // Remove every node with this key (mixed-size blocks).
     }
-    link = &n.next;
+    prev = idx;
+    idx = next;
   }
   return removed;
 }
@@ -182,9 +219,9 @@ bool HashedPageTable::RemoveBase(Vpn vpn) {
 
 std::optional<MappingWord> HashedPageTable::Peek(std::uint64_t key) const {
   const std::uint32_t b = hasher_(key);
-  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+  for (std::int32_t idx = buckets_[b].load_acquire(); idx != kNil; idx = arena_[idx].next) {
     if (arena_[idx].key == key) {
-      return arena_[idx].word;
+      return arena_[idx].word.load();
     }
   }
   return std::nullopt;
@@ -203,24 +240,49 @@ std::uint64_t HashedPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages,
   for (std::uint64_t key = first_key; key <= last_key; ++key) {
     ++searches;
     const std::uint32_t b = hasher_(key);
-    for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    for (std::int32_t idx = buckets_[b].load_acquire(); idx != kNil; idx = arena_[idx].next) {
       Node& n = arena_[idx];
       if (n.key == key) {
-        n.word = n.word.with_attr(attr);
+        n.word.store(n.word.load().with_attr(attr));
       }
     }
   }
   return searches;
 }
 
-std::uint64_t HashedPageTable::SizeBytesPaperModel() const { return live_nodes_ * NodeBytes(); }
+bool HashedPageTable::UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) {
+  // Section 3.1: an uncounted chain walk, then an atomic R/M update on the
+  // covering word — no lock, no word rewrite, safe under concurrent walkers.
+  const std::uint64_t key = ChainKeyOf(vpn);
+  const std::uint32_t b = hasher_(key);
+  for (std::int32_t idx = buckets_[b].load_acquire(); idx != kNil; idx = arena_[idx].next) {
+    Node& n = arena_[idx];
+    if (n.key != key) {
+      continue;
+    }
+    const TlbFill fill = FillFrom(n, n.word.load());
+    if (!fill.Covers(vpn)) {
+      continue;  // Keep searching, as in LookupKey (Section 5).
+    }
+    ApplyAttrUpdate(n.word, set_mask, clear_mask);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t HashedPageTable::SizeBytesPaperModel() const {
+  return live_nodes_.load_relaxed() * NodeBytes();
+}
 
 std::uint64_t HashedPageTable::SizeBytesActual() const {
+  MutexLock lock(alloc_mu_);
   // bytes_live already includes the embedded-head bucket array.
   return alloc_.bytes_live();
 }
 
-std::uint64_t HashedPageTable::live_translations() const { return live_translations_; }
+std::uint64_t HashedPageTable::live_translations() const {
+  return live_translations_.load_relaxed();
+}
 
 std::string HashedPageTable::name() const {
   std::string n = opts_.packed_pte ? "hashed-packed" : "hashed";
@@ -234,10 +296,10 @@ std::string HashedPageTable::name() const {
 }
 
 void HashedPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
-  const std::uint64_t step_limit = live_nodes_ + 1;
+  const std::uint64_t step_limit = live_nodes_.load_relaxed() + 1;
   for (std::uint32_t b = 0; b < buckets_.size(); ++b) {
     std::uint64_t steps = 0;
-    for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    for (std::int32_t idx = buckets_[b].load_acquire(); idx != kNil; idx = arena_[idx].next) {
       if (++steps > step_limit || idx < 0 ||
           static_cast<std::size_t>(idx) >= arena_.size()) {
         visitor.OnChainCycle(b);
@@ -260,9 +322,9 @@ void HashedPageTable::AuditVisit(check::PtAuditVisitor& visitor) const {
 
 Histogram HashedPageTable::ChainLengthHistogram() const {
   Histogram h;
-  for (const std::int32_t head : buckets_) {
+  for (const AtomicCell<std::int32_t>& head : buckets_) {
     std::size_t len = 0;
-    for (std::int32_t idx = head; idx != kNil; idx = arena_[idx].next) {
+    for (std::int32_t idx = head.load_acquire(); idx != kNil; idx = arena_[idx].next) {
       ++len;
     }
     h.Add(len);

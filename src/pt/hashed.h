@@ -15,9 +15,23 @@
 // bucket-head access itself is not charged a separate line — the paper's
 // 1 + alpha/2 model counts the first PTE of the chain as the first access
 // (bucket heads are "an array of hash nodes", Figure 4).
+//
+// Concurrency contract (see DESIGN.md "Concurrency contracts"):
+//   - Mapping words are atomic cells: concurrent Lookup + R/M-bit updates
+//     (Section 3.1) are always safe, on any table.
+//   - Structural mutation (Insert*/Remove*/ProtectRange) is single-writer by
+//     default.  With Options::lock_stripes > 0 the bucket chains are
+//     partitioned across a stripe-lock set and concurrent UpsertWord /
+//     InsertBase calls are safe: a node is fully initialized, then published
+//     by a release store of its bucket head, so lock-free walkers see it
+//     whole.  Concurrent removal is NOT supported in either mode (unlinked
+//     nodes would need deferred reclamation).
+//   - Lock order: stripe mutex before alloc_mu_; neither is ever held while
+//     calling out of this class.
 #ifndef CPT_PT_HASHED_H_
 #define CPT_PT_HASHED_H_
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -25,12 +39,13 @@
 #include "check/fwd.h"
 #include "common/hash.h"
 #include "common/stats.h"
+#include "common/sync.h"
 #include "mem/sim_alloc.h"
 #include "pt/page_table.h"
 
 namespace cpt::pt {
 
-class HashedPageTable final : public PageTable {
+class CPT_SHARED HashedPageTable final : public PageTable {
  public:
   struct Options {
     std::uint32_t num_buckets = kDefaultHashBuckets;
@@ -47,6 +62,15 @@ class HashedPageTable final : public PageTable {
     bool inverted = false;
     HashKind hash_kind = HashKind::kMix;
     mem::NodePlacement placement = mem::NodePlacement::kLineAligned;
+    // Striped-lock mode (default off): a power-of-two number of mutexes
+    // sharding the bucket space, making concurrent inserts safe (see the
+    // header comment).  Zero keeps the historical single-writer mode with
+    // no locking on the update path.
+    unsigned lock_stripes = 0;
+    // Striped mode pre-reserves the node arena at this capacity so it never
+    // reallocates while lock-free walkers hold pointers into it; exceeding
+    // it is a hard CPT_CHECK failure.  Ignored when lock_stripes == 0.
+    std::uint64_t striped_node_capacity = std::uint64_t{1} << 18;
   };
 
   HashedPageTable(mem::CacheTouchModel& cache, Options opts);
@@ -57,8 +81,12 @@ class HashedPageTable final : public PageTable {
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;
   std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
+  // Lock-free R/M-bit update (Section 3.1): an uncounted chain walk followed
+  // by an atomic fetch_or/CAS on the covering word — safe against concurrent
+  // walkers and other updaters in every mode.
+  bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) override;
   std::uint64_t SizeBytesPaperModel() const override;
-  std::uint64_t SizeBytesActual() const override;
+  std::uint64_t SizeBytesActual() const override CPT_EXCLUDES(alloc_mu_);
   std::uint64_t live_translations() const override;
   std::string name() const override;
 
@@ -76,9 +104,11 @@ class HashedPageTable final : public PageTable {
   // ---- Introspection for tests and benches ----
   unsigned tag_shift() const { return opts_.tag_shift; }
   std::uint32_t num_buckets() const { return opts_.num_buckets; }
-  std::uint64_t node_count() const { return live_nodes_; }
+  bool striped() const { return !stripes_.empty(); }
+  std::uint64_t node_count() const { return live_nodes_.load_relaxed(); }
   double LoadFactor() const {
-    return static_cast<double>(live_nodes_) / static_cast<double>(opts_.num_buckets);
+    return static_cast<double>(live_nodes_.load_relaxed()) /
+           static_cast<double>(opts_.num_buckets);
   }
   Histogram ChainLengthHistogram() const;
 
@@ -101,7 +131,7 @@ class HashedPageTable final : public PageTable {
   struct Node {
     std::uint64_t key = 0;
     Vpn base_vpn{};  // First VPN covered by the word (host-side metadata).
-    MappingWord word{};
+    AtomicMappingWord word{};
     std::int32_t next = kNil;
     PhysAddr addr{};
   };
@@ -121,20 +151,31 @@ class HashedPageTable final : public PageTable {
   // straddles a cache line.
   PhysAddr BucketAddr(std::uint32_t b) const { return bucket_base_ + b * bucket_stride_; }
 
-  std::int32_t AllocNode();
-  void FreeNode(std::int32_t idx);
-  TlbFill FillFrom(const Node& n, Vpn faulting_vpn) const;
+  std::int32_t AllocNode() CPT_EXCLUDES(alloc_mu_);
+  void FreeNode(std::int32_t idx) CPT_EXCLUDES(alloc_mu_);
+  TlbFill FillFrom(const Node& n, MappingWord word) const;
+  // The shared body of UpsertWord; in striped mode the caller holds the
+  // key's stripe mutex (a dynamic capability TSA cannot name statically).
+  void UpsertWordImpl(Vpn base_vpn, MappingWord word);
 
-  Options opts_;
-  BucketHasher hasher_;
-  mem::SimAllocator alloc_;
-  PhysAddr bucket_base_{};
-  std::uint64_t bucket_stride_ = 0;
-  std::vector<Node> arena_;
-  std::vector<std::int32_t> free_nodes_;
-  std::vector<std::int32_t> buckets_;
-  std::uint64_t live_nodes_ = 0;
-  std::uint64_t live_translations_ = 0;
+  const Options opts_;
+  const BucketHasher hasher_;
+  const std::uint64_t bucket_stride_;
+  mem::SimAllocator alloc_ CPT_GUARDED_BY(alloc_mu_);
+  const PhysAddr bucket_base_;
+  // Node storage.  Not TSA-guarded: lock-free walkers traverse it
+  // concurrently with (striped) inserts.  Safe because nodes are published
+  // only via release stores of bucket heads after full initialization, and
+  // striped mode pre-reserves capacity so element addresses never move.
+  // Growth and the free list are serialized by alloc_mu_.
+  std::vector<Node> arena_;  // cpt-lint: allow(guarded-by-coverage)
+  std::vector<std::int32_t> free_nodes_ CPT_GUARDED_BY(alloc_mu_);
+  // Bucket heads: release-published by inserts, acquire-read by walkers.
+  std::vector<AtomicCell<std::int32_t>> buckets_;
+  mutable Mutex alloc_mu_;
+  StripeSet stripes_;
+  AtomicCell<std::uint64_t> live_nodes_;
+  AtomicCell<std::uint64_t> live_translations_;
 };
 
 }  // namespace cpt::pt

@@ -79,15 +79,16 @@ void LinearPageTable::RemoveUpperLevels(std::uint64_t leaf_index) {
 
 void LinearPageTable::SetSlot(Vpn vpn, MappingWord word) {
   Leaf& leaf = LeafFor(vpn);
-  MappingWord& slot = leaf.slots[SlotIndexOf(vpn)];
-  const bool was_occupied = slot != MappingWord::Invalid();
-  const bool was_translating = was_occupied && FillFromWord(vpn, slot).Covers(vpn);
+  AtomicMappingWord& slot = leaf.slots[SlotIndexOf(vpn)];
+  const MappingWord old = slot.load();
+  const bool was_occupied = old != MappingWord::Invalid();
+  const bool was_translating = was_occupied && FillFromWord(vpn, old).Covers(vpn);
   const bool now_occupied = word != MappingWord::Invalid();
   const bool now_translating = now_occupied && FillFromWord(vpn, word).Covers(vpn);
   leaf.live += static_cast<unsigned>(now_occupied) - static_cast<unsigned>(was_occupied);
   live_translations_ +=
       static_cast<std::uint64_t>(now_translating) - static_cast<std::uint64_t>(was_translating);
-  slot = word;
+  slot.store(word);
 }
 
 MappingWord LinearPageTable::ClearSlot(Vpn vpn) {
@@ -95,13 +96,13 @@ MappingWord LinearPageTable::ClearSlot(Vpn vpn) {
   if (leaf == nullptr) {
     return MappingWord::Invalid();
   }
-  MappingWord& slot = leaf->slots[SlotIndexOf(vpn)];
-  const MappingWord old = slot;
+  AtomicMappingWord& slot = leaf->slots[SlotIndexOf(vpn)];
+  const MappingWord old = slot.load();
   if (old != MappingWord::Invalid()) {
     if (FillFromWord(vpn, old).Covers(vpn)) {
       --live_translations_;
     }
-    slot = MappingWord::Invalid();
+    slot.store(MappingWord::Invalid());
     if (--leaf->live == 0) {
       const std::uint64_t leaf_index = LeafIndexOf(vpn);
       alloc_.Free(leaf->addr, kBasePageSize);
@@ -127,7 +128,7 @@ std::optional<TlbFill> LinearPageTable::Lookup(VirtAddr va) {
                     .step = 1,
                     .lines = static_cast<std::uint32_t>(cache_.LinesThisWalk())});
   }
-  const MappingWord word = leaf->slots[slot];
+  const MappingWord word = leaf->slots[slot].load();
   if (word == MappingWord::Invalid()) {
     return std::nullopt;
   }
@@ -158,7 +159,7 @@ void LinearPageTable::LookupBlock(VirtAddr va, unsigned subblock_factor,
   const unsigned slot0 = SlotIndexOf(first);
   cache_.Touch(leaf->addr + slot0 * 8, std::uint64_t{subblock_factor} * 8);
   for (unsigned i = 0; i < subblock_factor; ++i) {
-    const MappingWord word = leaf->slots[slot0 + i];
+    const MappingWord word = leaf->slots[slot0 + i].load();
     if (word == MappingWord::Invalid()) {
       continue;
     }
@@ -215,6 +216,41 @@ bool LinearPageTable::RemovePartialSubblock(Vpn block_base_vpn, unsigned subbloc
   return any;
 }
 
+bool LinearPageTable::UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) {
+  // Uncounted structural update: R/M-bit maintenance rides on the walk the
+  // miss already paid for (Section 3.1), so it models no memory traffic.
+  // Replicate-PTEs store the superpage/PSB word at every covered base-page
+  // site, so the update must hit every replica — otherwise a later scan at a
+  // sibling site would read stale bits.
+  Leaf* leaf = FindLeaf(vpn);
+  if (leaf == nullptr) {
+    return false;
+  }
+  const MappingWord word = leaf->slots[SlotIndexOf(vpn)].load();
+  if (word == MappingWord::Invalid()) {
+    return false;
+  }
+  const TlbFill fill = FillFromWord(vpn, word);
+  if (!fill.Covers(vpn)) {
+    return false;
+  }
+  const std::uint64_t npages = std::uint64_t{1} << fill.pages_log2;
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    const Vpn site = fill.base_vpn + i;
+    Leaf* site_leaf = LeafIndexOf(site) == LeafIndexOf(vpn) ? leaf : FindLeaf(site);
+    if (site_leaf == nullptr) {
+      continue;
+    }
+    AtomicMappingWord& slot = site_leaf->slots[SlotIndexOf(site)];
+    const MappingWord replica = slot.load();
+    if (replica == MappingWord::Invalid() || replica.kind() != fill.kind) {
+      continue;
+    }
+    ApplyAttrUpdate(slot, set_mask, clear_mask);
+  }
+  return true;
+}
+
 std::uint64_t LinearPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
   // Direct array indexing: one slot visit per page.
   for (std::uint64_t i = 0; i < npages; ++i) {
@@ -222,9 +258,10 @@ std::uint64_t LinearPageTable::ProtectRange(Vpn first_vpn, std::uint64_t npages,
     if (leaf == nullptr) {
       continue;
     }
-    MappingWord& slot = leaf->slots[SlotIndexOf(first_vpn + i)];
-    if (slot != MappingWord::Invalid()) {
-      slot = slot.with_attr(attr);
+    AtomicMappingWord& slot = leaf->slots[SlotIndexOf(first_vpn + i)];
+    const MappingWord word = slot.load();
+    if (word != MappingWord::Invalid()) {
+      slot.store(word.with_attr(attr));
     }
   }
   return npages;

@@ -70,6 +70,7 @@ class LinearPageTable final : public PageTable {
   void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor, Ppn block_base_ppn,
                              Attr attr, std::uint16_t valid_vector) override;
   bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) override;
+  bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) override;
   std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
   std::uint64_t SizeBytesPaperModel() const override;
   std::uint64_t SizeBytesActual() const override;
@@ -87,7 +88,7 @@ class LinearPageTable final : public PageTable {
 
   struct Leaf {
     PhysAddr addr{};
-    std::array<MappingWord, kPtesPerPage> slots{};
+    std::array<AtomicMappingWord, kPtesPerPage> slots{};
     unsigned live = 0;
   };
 

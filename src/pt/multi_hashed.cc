@@ -89,6 +89,17 @@ bool MultiTableHashed::RemovePartialSubblock(Vpn block_base_vpn, unsigned /*subb
   return block_.RemoveKey(BlockKeyOf(block_base_vpn));
 }
 
+bool MultiTableHashed::UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) {
+  // R/M bits live in whichever constituent table holds the covering PTE;
+  // probe in the configured search order, same as Lookup.
+  if (opts_.order == SearchOrder::kBlockFirst) {
+    return block_.UpdateAttrFlags(vpn, set_mask, clear_mask) ||
+           base_.UpdateAttrFlags(vpn, set_mask, clear_mask);
+  }
+  return base_.UpdateAttrFlags(vpn, set_mask, clear_mask) ||
+         block_.UpdateAttrFlags(vpn, set_mask, clear_mask);
+}
+
 std::uint64_t MultiTableHashed::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
   return base_.ProtectRange(first_vpn, npages, attr) +
          block_.ProtectRange(first_vpn, npages, attr);
@@ -133,21 +144,22 @@ SuperpageIndexHashed::SuperpageIndexHashed(mem::CacheTouchModel& cache, Options 
   bucket_base_ = alloc_.Allocate(std::uint64_t{opts_.num_buckets} * 32);
 }
 
-TlbFill SuperpageIndexHashed::FillFrom(const Node& n) const {
-  return TlbFill{.kind = n.word.kind(),
+TlbFill SuperpageIndexHashed::FillFrom(const Node& n, MappingWord word) const {
+  return TlbFill{.kind = word.kind(),
                  .base_vpn = n.base_vpn,
                  .pages_log2 = n.pages_log2,
-                 .word = n.word};
+                 .word = word};
 }
 
 std::uint64_t SuperpageIndexHashed::TranslationCount(const Node& n) const {
-  switch (n.word.kind()) {
+  const MappingWord word = n.word.load();
+  switch (word.kind()) {
     case MappingKind::kBase:
-      return n.word.valid() ? 1 : 0;
+      return word.valid() ? 1 : 0;
     case MappingKind::kSuperpage:
-      return n.word.valid() ? (std::uint64_t{1} << n.pages_log2) : 0;
+      return word.valid() ? (std::uint64_t{1} << n.pages_log2) : 0;
     case MappingKind::kPartialSubblock:
-      return std::popcount(static_cast<unsigned>(n.word.valid_vector()));
+      return std::popcount(static_cast<unsigned>(word.valid_vector()));
   }
   return 0;
 }
@@ -175,7 +187,7 @@ std::optional<TlbFill> SuperpageIndexHashed::Lookup(VirtAddr va) {
     const PageSize node_size{n.pages_log2};
     if (SuperpageBaseVpn(vpn, node_size) == SuperpageBaseVpn(n.base_vpn, node_size)) {
       cache_.Touch(addr + 16, 8);
-      TlbFill fill = FillFrom(n);
+      TlbFill fill = FillFrom(n, n.word.load());
       if (fill.Covers(vpn)) {
         if (tracer != nullptr) {
           tracer->Record({.kind = obs::EventKind::kWalkHit,
@@ -195,7 +207,7 @@ std::int32_t* SuperpageIndexHashed::FindLink(Vpn base_vpn, unsigned pages_log2, 
   std::int32_t* link = &buckets_[b];
   while (*link != kNil) {
     Node& n = arena_[*link];
-    if (n.base_vpn == base_vpn && n.pages_log2 == pages_log2 && n.word.kind() == kind) {
+    if (n.base_vpn == base_vpn && n.pages_log2 == pages_log2 && n.word.load().kind() == kind) {
       return link;
     }
     link = &n.next;
@@ -207,7 +219,7 @@ void SuperpageIndexHashed::Upsert(Vpn base_vpn, unsigned pages_log2, MappingWord
   if (std::int32_t* link = FindLink(base_vpn, pages_log2, word.kind())) {
     Node& n = arena_[*link];
     live_translations_ -= TranslationCount(n);
-    n.word = word;
+    n.word.store(word);
     live_translations_ += TranslationCount(n);
     return;
   }
@@ -223,7 +235,7 @@ void SuperpageIndexHashed::Upsert(Vpn base_vpn, unsigned pages_log2, MappingWord
   Node& n = arena_[idx];
   n.base_vpn = base_vpn;
   n.pages_log2 = pages_log2;
-  n.word = word;
+  n.word.store(word);
   n.next = buckets_[b];
   n.addr = alloc_.Allocate(24);
   buckets_[b] = idx;
@@ -277,6 +289,29 @@ bool SuperpageIndexHashed::RemovePartialSubblock(Vpn block_base_vpn, unsigned /*
   return Remove(block_base_vpn, block_shift_, MappingKind::kPartialSubblock);
 }
 
+bool SuperpageIndexHashed::UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask,
+                                           std::uint16_t clear_mask) {
+  // Uncounted structural walk: R/M-bit maintenance is a hardware side effect
+  // of the walk the miss already paid for (Section 3.1), so it models no
+  // extra memory traffic.  The update hits the word in place — atomically —
+  // so a single node carries the bit for every page it covers.
+  const std::uint32_t b = hasher_(BlockKeyOf(vpn));
+  for (std::int32_t idx = buckets_[b]; idx != kNil; idx = arena_[idx].next) {
+    Node& n = arena_[idx];
+    const PageSize node_size{n.pages_log2};
+    if (SuperpageBaseVpn(vpn, node_size) != SuperpageBaseVpn(n.base_vpn, node_size)) {
+      continue;
+    }
+    const TlbFill fill = FillFrom(n, n.word.load());
+    if (!fill.Covers(vpn)) {
+      continue;
+    }
+    ApplyAttrUpdate(n.word, set_mask, clear_mask);
+    return true;
+  }
+  return false;
+}
+
 std::uint64_t SuperpageIndexHashed::ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) {
   if (npages == 0) {
     return 0;
@@ -292,7 +327,7 @@ std::uint64_t SuperpageIndexHashed::ProtectRange(Vpn first_vpn, std::uint64_t np
       Node& n = arena_[idx];
       if (BlockKeyOf(n.base_vpn) == key && n.base_vpn >= first_vpn &&
           n.base_vpn <= last_vpn) {
-        n.word = n.word.with_attr(attr);
+        n.word.store(n.word.load().with_attr(attr));
       }
     }
   }

@@ -57,6 +57,7 @@ class MultiTableHashed final : public PageTable {
   void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor, Ppn block_base_ppn,
                              Attr attr, std::uint16_t valid_vector) override;
   bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) override;
+  bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) override;
   std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
   std::uint64_t SizeBytesPaperModel() const override;
   std::uint64_t SizeBytesActual() const override;
@@ -105,6 +106,7 @@ class SuperpageIndexHashed final : public PageTable {
   void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor, Ppn block_base_ppn,
                              Attr attr, std::uint16_t valid_vector) override;
   bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) override;
+  bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) override;
   std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
   std::uint64_t SizeBytesPaperModel() const override;
   std::uint64_t SizeBytesActual() const override;
@@ -134,7 +136,7 @@ class SuperpageIndexHashed final : public PageTable {
   struct Node {
     Vpn base_vpn{};
     unsigned pages_log2 = 0;
-    MappingWord word{};
+    AtomicMappingWord word{};
     std::int32_t next = kNil;
     PhysAddr addr{};
   };
@@ -142,7 +144,7 @@ class SuperpageIndexHashed final : public PageTable {
   std::int32_t* FindLink(Vpn base_vpn, unsigned pages_log2, MappingKind kind);
   void Upsert(Vpn base_vpn, unsigned pages_log2, MappingWord word);
   bool Remove(Vpn base_vpn, unsigned pages_log2, MappingKind kind);
-  TlbFill FillFrom(const Node& n) const;
+  TlbFill FillFrom(const Node& n, MappingWord word) const;
   std::uint64_t TranslationCount(const Node& n) const;
 
   // Embedded bucket-head addressing (see HashedPageTable::BucketAddr).

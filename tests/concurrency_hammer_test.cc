@@ -1,0 +1,298 @@
+// Concurrency hammer for the thread-safety contracts (DESIGN.md
+// "Concurrency contracts"), meant to run under ThreadSanitizer (the `tsan`
+// CMake preset; these tests carry the `concurrency` ctest label).
+//
+// Contract under test:
+//   - mapping words are atomic cells: concurrent Lookup + R/M-bit updates
+//     (Section 3.1) are safe on any table, in any mode;
+//   - HashedPageTable with Options::lock_stripes > 0 additionally allows
+//     concurrent inserts (release-published nodes, stripe-serialized chain
+//     mutation);
+//   - the cache-touch model is single-walker: exactly one thread performs
+//     counted walks, so every other thread sticks to uncounted operations
+//     (UpdateAttrFlags, Peek/PeekBase, InsertBase).
+//
+// gtest assertions are not thread-safe, so worker threads record failures
+// in atomics and the main thread asserts after joining.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "check/auditor.h"
+#include "check/shadow_oracle.h"
+#include "core/clustered.h"
+#include "mem/cache_model.h"
+#include "pt/hashed.h"
+#include "pt/page_table.h"
+
+namespace cpt {
+namespace {
+
+constexpr std::uint16_t kRefMod = Attr::kReferenced | Attr::kModified;
+
+// Deterministic VPN->PPN mapping so every thread can verify translations
+// without shared bookkeeping.
+Ppn PpnFor(Vpn vpn) { return Ppn{vpn.raw() ^ 0xA5A5u}; }
+
+void JoinAll(std::vector<std::thread>& threads) {
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+// N threads hammer one striped hashed table: a single counted walker, two
+// R/M updaters over the seeded range, and two inserters filling disjoint
+// fresh ranges.  Afterwards the structure, the translations, the monotonic
+// R/M bits, and the shadow oracle must all agree.
+TEST(ConcurrencyHammerTest, StripedHashedInsertLookupUpdate) {
+  constexpr unsigned kSeedPages = 512;
+  constexpr unsigned kNewPerThread = 2048;
+  constexpr unsigned kInserters = 2;
+  constexpr unsigned kUpdaters = 2;
+  constexpr unsigned kPasses = 40;
+  const Vpn seed_base{0x1000};
+
+  mem::CacheTouchModel cache(256);
+  auto owned = std::make_unique<pt::HashedPageTable>(
+      cache, pt::HashedPageTable::Options{.num_buckets = 1024,
+                                          .lock_stripes = 8,
+                                          .striped_node_capacity = 1u << 16});
+  pt::HashedPageTable& table = *owned;
+  check::ShadowedPageTable oracle(cache, std::move(owned));
+
+  // Single-threaded setup phase, mirrored into the shadow.
+  for (unsigned i = 0; i < kSeedPages; ++i) {
+    oracle.InsertBase(seed_base + i, PpnFor(seed_base + i), Attr::ReadWrite());
+  }
+
+  std::atomic<std::uint64_t> walker_misses{0};
+  std::atomic<std::uint64_t> walker_wrong_ppn{0};
+  std::atomic<std::uint64_t> update_failures{0};
+  std::vector<std::thread> threads;
+
+  // The one counted walker (single-walker cache-model contract).
+  threads.emplace_back([&] {
+    for (unsigned pass = 0; pass < kPasses; ++pass) {
+      for (unsigned i = 0; i < kSeedPages; ++i) {
+        const Vpn vpn = seed_base + i;
+        const auto fill = table.Lookup(VaOf(vpn));
+        if (!fill.has_value()) {
+          walker_misses.fetch_add(1, std::memory_order_relaxed);
+        } else if (fill->word.ppn() != PpnFor(vpn)) {
+          walker_wrong_ppn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  // Uncounted R/M-bit updaters: set-only, so the bits are monotonic and the
+  // post-join check is exact.
+  for (unsigned u = 0; u < kUpdaters; ++u) {
+    threads.emplace_back([&, u] {
+      for (unsigned pass = 0; pass < kPasses; ++pass) {
+        for (unsigned i = u; i < kSeedPages; ++i) {
+          if (!table.UpdateAttrFlags(seed_base + i, kRefMod, 0)) {
+            update_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  // Inserters on disjoint VPN ranges; their chains still collide in the
+  // shared bucket space, which is exactly what the stripes must survive.
+  for (unsigned t = 0; t < kInserters; ++t) {
+    threads.emplace_back([&, t] {
+      const Vpn first{0x100000 + std::uint64_t{t} * kNewPerThread};
+      for (unsigned i = 0; i < kNewPerThread; ++i) {
+        table.InsertBase(first + i, PpnFor(first + i), Attr::ReadWrite());
+      }
+    });
+  }
+  JoinAll(threads);
+
+  EXPECT_EQ(walker_misses.load(), 0u);
+  EXPECT_EQ(walker_wrong_ppn.load(), 0u);
+  EXPECT_EQ(update_failures.load(), 0u);
+
+  // R/M bits first: mirroring the hammered inserts below rewrites words and
+  // InsertBase wipes attributes.
+  for (unsigned i = 0; i < kSeedPages; ++i) {
+    const auto attr = table.PeekAttr(seed_base + i);
+    ASSERT_TRUE(attr.has_value());
+    EXPECT_TRUE(attr->test(Attr::kReferenced));
+    EXPECT_TRUE(attr->test(Attr::kModified));
+  }
+
+  // Every hammered insert must have survived (a lost bucket head drops
+  // whole chains), then gets mirrored so the shadow knows about it.
+  for (unsigned t = 0; t < kInserters; ++t) {
+    const Vpn first{0x100000 + std::uint64_t{t} * kNewPerThread};
+    for (unsigned i = 0; i < kNewPerThread; ++i) {
+      const Vpn vpn = first + i;
+      const auto word = table.Peek(vpn.raw());
+      ASSERT_TRUE(word.has_value()) << "lost insert at vpn " << vpn.raw();
+      EXPECT_EQ(word->ppn(), PpnFor(vpn));
+      oracle.InsertBase(vpn, PpnFor(vpn), Attr::ReadWrite());
+    }
+  }
+
+  const std::uint64_t expected = kSeedPages + kInserters * std::uint64_t{kNewPerThread};
+  EXPECT_EQ(table.node_count(), expected);
+  EXPECT_EQ(table.live_translations(), expected);
+
+  // Cross-checked sweep through the oracle, plus a guaranteed miss.
+  for (unsigned i = 0; i < kSeedPages; ++i) {
+    EXPECT_TRUE(oracle.Lookup(VaOf(seed_base + i)).has_value());
+  }
+  EXPECT_FALSE(oracle.Lookup(VaOf(Vpn{0xDEAD0000})).has_value());
+  EXPECT_TRUE(oracle.FinalCheck().ok()) << oracle.FinalCheck().Summary();
+
+  const check::AuditReport report = check::StructuralAuditor::Audit(table);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Default (unstriped) mode still guarantees safe concurrent readers and
+// R/M updaters against a structurally frozen table.
+TEST(ConcurrencyHammerTest, UnstripedHashedLookupUpdate) {
+  constexpr unsigned kPages = 1024;
+  constexpr unsigned kUpdaters = 2;
+  constexpr unsigned kPasses = 40;
+  const Vpn base{0x7000};
+
+  mem::CacheTouchModel cache(256);
+  pt::HashedPageTable table(cache, pt::HashedPageTable::Options{.num_buckets = 512});
+  for (unsigned i = 0; i < kPages; ++i) {
+    table.InsertBase(base + i, PpnFor(base + i), Attr::ReadWrite());
+  }
+
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {  // counted walker
+    for (unsigned pass = 0; pass < kPasses; ++pass) {
+      for (unsigned i = 0; i < kPages; ++i) {
+        const Vpn vpn = base + i;
+        const auto fill = table.Lookup(VaOf(vpn));
+        if (!fill.has_value() || fill->word.ppn() != PpnFor(vpn)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  threads.emplace_back([&] {  // uncounted reader
+    for (unsigned pass = 0; pass < kPasses; ++pass) {
+      for (unsigned i = 0; i < kPages; ++i) {
+        const Vpn vpn = base + i;
+        const auto word = table.Peek(vpn.raw());
+        if (!word.has_value() || !word->valid()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  for (unsigned u = 0; u < kUpdaters; ++u) {
+    threads.emplace_back([&] {
+      for (unsigned pass = 0; pass < kPasses; ++pass) {
+        for (unsigned i = 0; i < kPages; ++i) {
+          if (!table.UpdateAttrFlags(base + i, kRefMod, 0)) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  JoinAll(threads);
+
+  EXPECT_EQ(failures.load(), 0u);
+  for (unsigned i = 0; i < kPages; ++i) {
+    const auto attr = table.PeekAttr(base + i);
+    ASSERT_TRUE(attr.has_value());
+    EXPECT_TRUE(attr->test(Attr::kReferenced));
+    EXPECT_TRUE(attr->test(Attr::kModified));
+    EXPECT_TRUE(attr->test(Attr::kWrite)) << "protection bits must survive the hammer";
+  }
+  const check::AuditReport report = check::StructuralAuditor::Audit(table);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Clustered table: concurrent Lookup, PeekBase, and R/M updates over base
+// pages and a superpage word (whose single PTE all covered pages share).
+TEST(ConcurrencyHammerTest, ClusteredLookupUpdate) {
+  constexpr unsigned kPages = 512;
+  constexpr unsigned kUpdaters = 2;
+  constexpr unsigned kPasses = 40;
+  const Vpn base{0x2000};
+  const Vpn super_base{0x40000};  // 64KB-aligned.
+
+  mem::CacheTouchModel cache(256);
+  core::ClusteredPageTable table(cache, core::ClusteredPageTable::Options{.num_buckets = 512});
+  for (unsigned i = 0; i < kPages; ++i) {
+    table.InsertBase(base + i, PpnFor(base + i), Attr::ReadWrite());
+  }
+  table.InsertSuperpage(super_base, kPage64K, Ppn{0x5000}, Attr::ReadWrite());
+  const unsigned super_pages = kPage64K.pages();
+
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {  // counted walker
+    for (unsigned pass = 0; pass < kPasses; ++pass) {
+      for (unsigned i = 0; i < kPages; ++i) {
+        if (!table.Lookup(VaOf(base + i)).has_value()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      for (unsigned i = 0; i < super_pages; ++i) {
+        if (!table.Lookup(VaOf(super_base + i)).has_value()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  threads.emplace_back([&] {  // uncounted reader
+    for (unsigned pass = 0; pass < kPasses; ++pass) {
+      for (unsigned i = 0; i < kPages; ++i) {
+        if (!table.PeekBase(base + i).has_value()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  for (unsigned u = 0; u < kUpdaters; ++u) {
+    threads.emplace_back([&, u] {
+      for (unsigned pass = 0; pass < kPasses; ++pass) {
+        for (unsigned i = 0; i < kPages; ++i) {
+          if (!table.UpdateAttrFlags(base + i, kRefMod, 0)) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        // Both updaters hit the same superpage word through different
+        // covered pages: one PTE, concurrently fetch_or'd.
+        if (!table.UpdateAttrFlags(super_base + u, Attr::kReferenced, 0)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  JoinAll(threads);
+
+  EXPECT_EQ(failures.load(), 0u);
+  for (unsigned i = 0; i < kPages; ++i) {
+    const auto attr = table.PeekAttr(base + i);
+    ASSERT_TRUE(attr.has_value());
+    EXPECT_TRUE(attr->test(Attr::kReferenced));
+    EXPECT_TRUE(attr->test(Attr::kModified));
+  }
+  // The superpage's one PTE is referenced and counts exactly once.
+  EXPECT_TRUE(table.PeekAttr(super_base + super_pages - 1)->test(Attr::kReferenced));
+  EXPECT_EQ(table.ScanAndClearReferenced(super_base, super_pages), 1u);
+
+  const check::AuditReport report = check::StructuralAuditor::Audit(table);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace cpt

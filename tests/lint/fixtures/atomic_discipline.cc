@@ -1,0 +1,41 @@
+// Fixture: atomic-discipline.
+//
+// Every explicit memory_order_* argument states why that order suffices in
+// an adjacent comment, and a member accessed through the atomic API is
+// never also mutated with raw assignment sugar in the same file.
+#include <atomic>
+
+namespace fx {
+
+class Publisher {
+ public:
+  // release: publishes the payload written before the flag flip.
+  void Publish() { ready_.store(true, std::memory_order_release); }
+
+  // (The next load is BAD: no justification comment anywhere near it --
+  // not even this one, which sits too far above to count as adjacent.)
+
+  bool ReadyBad() const {
+    return ready_.load(std::memory_order_acquire);
+  }
+
+  bool ReadyGood() const {
+    // acquire: pairs with the release store in Publish().
+    return ready_.load(std::memory_order_acquire);
+  }
+
+  void Tick() {
+    // relaxed: statistics counter; readers only need the total.
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // BAD: ticks_ uses the atomic API above, so raw `=` sugar (seq_cst
+  // assignment hiding as a plain write) is mixing disciplines.
+  void Reset() { ticks_ = 0; }
+
+ private:
+  std::atomic<bool> ready_{false};
+  std::atomic<long> ticks_{0};
+};
+
+}  // namespace fx

@@ -1,0 +1,39 @@
+// Fixture: guarded-by-coverage.
+//
+// A class marked CPT_SHARED promises cross-thread use, so every mutable
+// data member must name its synchronization story: CPT_GUARDED_BY a
+// capability, an atomic type, or const.  Unmarked classes are exempt.
+namespace fx {
+
+class CPT_SHARED Disciplined {
+ public:
+  void Bump();
+
+ private:
+  const int limit_ = 8;                 // const: exempt
+  int count_ CPT_GUARDED_BY(mu_) = 0;   // guarded: ok
+  AtomicCell<int> hits_;                // atomic wrapper: ok
+  std::atomic<int> raw_hits_{0};        // std::atomic: ok
+  AtomicMappingWord word_;              // atomic PTE cell: ok
+  mutable Mutex mu_;                    // the capability itself: ok
+  static int shared_statics_are_not_members_;
+};
+
+class CPT_SHARED Sloppy {
+ public:
+  int Total() const;
+
+ private:
+  // BAD: plain mutable members of a shared class with no declared guard.
+  int counter_ = 0;
+  std::vector<int> items_;
+  // A deliberate, documented exception stays allowed:
+  long grandfathered_ = 0;  // cpt-lint: allow(guarded-by-coverage)
+};
+
+class SingleThreaded {
+ private:
+  int anything_goes_ = 0;  // not CPT_SHARED: out of the rule's scope
+};
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Fixture: raw-sync-primitive.
+//
+// Synchronization primitives outside common/sync.h must be the annotated
+// cpt wrappers (cpt::Mutex, cpt::MutexLock, ...), never bare std or
+// pthread primitives, so Clang TSA sees every capability.
+#include <mutex>
+
+namespace fx {
+
+std::mutex g_lock;  // BAD: bare std::mutex
+
+int Critical(int v) {
+  std::lock_guard<std::mutex> hold(g_lock);  // BAD twice: lock_guard + mutex
+  return v + 1;
+}
+
+pthread_mutex_t g_raw;  // BAD: pthread primitive
+
+void InitRaw() {
+  pthread_mutex_init(&g_raw, nullptr);  // BAD: pthread call
+}
+
+// A documented exception stays allowed:
+std::mutex g_grandfathered;  // cpt-lint: allow(raw-sync-primitive)
+
+}  // namespace fx

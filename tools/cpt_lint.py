@@ -38,6 +38,15 @@ Rules (see DESIGN.md "Static analysis" for the catalog and policy):
                           names) cross public-header APIs as the strong
                           types from common/types.h, never raw
                           std::uint64_t parameters or returns.
+  guarded-by-coverage     mutable data members of CPT_SHARED-marked classes
+                          must be CPT_GUARDED_BY, atomic, or const.
+  atomic-discipline       every explicit memory_order_* argument carries an
+                          adjacent justification comment, and a member
+                          accessed through the atomic API is never also
+                          mutated with raw assignment in the same file.
+  raw-sync-primitive      no bare std::mutex/std::lock_guard/pthread_*
+                          outside common/sync.h; use the annotated cpt
+                          wrappers.
 
 Suppressions:
   // cpt-lint: allow(rule[, rule])   suppress on this line (trailing) or,
@@ -63,8 +72,11 @@ Usage:
 import argparse
 import fnmatch
 import json
+import multiprocessing
+import os
 import re
 import sys
+import time
 from collections import Counter
 from pathlib import Path
 
@@ -1034,6 +1046,208 @@ class RawAddressParam(Rule):
         return toks[k].kind == "id" and toks[k].text == "uint64_t"
 
 
+# ---- guarded-by-coverage ---------------------------------------------------
+
+@register
+class GuardedByCoverage(Rule):
+    name = "guarded-by-coverage"
+    help = ("mutable data members of CPT_SHARED-marked classes must be "
+            "CPT_GUARDED_BY, atomic, or const (DESIGN.md 'Concurrency "
+            "contracts')")
+    include = ("src/*", "tests/lint/fixtures/*")
+
+    # Types that are their own synchronization story.
+    ATOMIC_TYPES = {"atomic", "atomic_flag", "AtomicCell", "AtomicMappingWord"}
+    # The capabilities themselves, and capability containers.
+    CAPABILITY_TYPES = {"Mutex", "SharedMutex", "StripeSet"}
+    GUARD_MACROS = {"CPT_GUARDED_BY", "CPT_PT_GUARDED_BY"}
+    EXEMPT_SPECIFIERS = {"const", "constexpr", "static", "using", "typedef",
+                         "friend", "enum"}
+
+    def check(self, sf, project):
+        findings = []
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.text != "CPT_SHARED":
+                continue
+            prev = toks[i - 1].text if i > 0 else ""
+            if prev not in ("class", "struct"):
+                continue
+            name = toks[i + 1].text if i + 1 < len(toks) else "?"
+            j = i + 1
+            while j < len(toks) and toks[j].text not in ("{", ";"):
+                j += 1
+            if j >= len(toks) or toks[j].text != "{":
+                continue  # forward declaration
+            close = _match_paren(toks, j, "{", "}")
+            self._check_members(sf, toks, name, j, close, findings)
+        return findings
+
+    def _check_members(self, sf, toks, cls, open_idx, close, findings):
+        stmt = []
+        k = open_idx + 1
+        while k < close:
+            t = toks[k]
+            if t.text in ("(", "["):
+                stmt.append(t)
+                k = _match_paren(toks, k, t.text, ")" if t.text == "(" else "]") + 1
+                continue
+            if t.text == "{":
+                # Method body, nested type body, or brace initializer: the
+                # contents are not this class's direct members.
+                stmt.append(t)
+                k = _match_paren(toks, k, "{", "}") + 1
+                if k < close and toks[k].text != ";":
+                    stmt = []  # brace-terminated definition (method body)
+                continue
+            if t.text == ";":
+                self._check_stmt(sf, cls, stmt, findings)
+                stmt = []
+                k += 1
+                continue
+            stmt.append(t)
+            k += 1
+
+    def _check_stmt(self, sf, cls, stmt, findings):
+        texts = [t.text for t in stmt]
+        if not stmt or set(texts) & self.EXEMPT_SPECIFIERS:
+            return
+        if set(texts) & self.GUARD_MACROS:
+            return
+        name_tok = self._member_name(stmt)
+        if name_tok is None:
+            return
+        type_texts = set(texts[:texts.index(name_tok.text)])
+        if type_texts & (self.ATOMIC_TYPES | self.CAPABILITY_TYPES):
+            return
+        findings.append(Finding(
+            self.name, sf, name_tok.line,
+            f"mutable member '{name_tok.text}' of CPT_SHARED class {cls} is "
+            f"neither CPT_GUARDED_BY, atomic, nor const"))
+
+    @staticmethod
+    def _member_name(stmt):
+        """The data-member name: an id ending in '_' that is the last token
+        or directly precedes its initializer ('=', '{', '[')."""
+        for idx, t in enumerate(stmt):
+            if t.kind != "id" or not t.text.endswith("_"):
+                continue
+            if idx == len(stmt) - 1:
+                return t
+            if stmt[idx + 1].text in ("=", "{", "["):
+                return t
+        return None
+
+
+# ---- atomic-discipline -----------------------------------------------------
+
+@register
+class AtomicDiscipline(Rule):
+    name = "atomic-discipline"
+    help = ("explicit memory_order_* arguments need an adjacent justification "
+            "comment, and a member accessed via the atomic API must not also "
+            "be mutated with raw assignment in the same file")
+    include = ("src/*", "tests/lint/fixtures/*")
+
+    # std::atomic API plus the cpt wrappers (AtomicCell / AtomicMappingWord).
+    ATOMIC_METHODS = {"load", "store", "exchange", "fetch_add", "fetch_sub",
+                      "fetch_or", "fetch_and", "fetch_xor",
+                      "compare_exchange_weak", "compare_exchange_strong",
+                      "load_relaxed", "load_acquire", "store_relaxed",
+                      "store_release", "fetch_add_relaxed", "fetch_sub_relaxed",
+                      "FetchOrAttr", "CompareExchange"}
+    MUTATORS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                "<<=", ">>=", "++", "--"}
+    # A comment on the same line, or ending at most this many lines above,
+    # justifies the order (call arguments often wrap one line).
+    ADJACENT_LINES = 2
+
+    def check(self, sf, project):
+        findings = []
+        toks = sf.tokens
+        justified = set()
+        for c in sf.comments:
+            justified.update(range(c.line, c.end_line + self.ADJACENT_LINES + 1))
+        flagged_lines = set()
+        for t in toks:
+            if t.kind != "id" or not t.text.startswith("memory_order"):
+                continue
+            if t.line in justified or t.line in flagged_lines:
+                continue
+            flagged_lines.add(t.line)
+            findings.append(Finding(
+                self.name, sf, t.line,
+                f"explicit {t.text} argument without an adjacent justification "
+                f"comment (state the pairing/ordering it relies on)"))
+        findings.extend(self._check_mixing(sf, toks))
+        return findings
+
+    def _check_mixing(self, sf, toks):
+        # Members (ids ending in '_') accessed through the atomic API ...
+        atomic_members = set()
+        for i, t in enumerate(toks):
+            if (t.kind == "id" and t.text in self.ATOMIC_METHODS
+                    and i > 1 and toks[i - 1].text == "."
+                    and i + 1 < len(toks) and toks[i + 1].text == "("
+                    and toks[i - 2].kind == "id" and toks[i - 2].text.endswith("_")):
+                atomic_members.add(toks[i - 2].text)
+        if not atomic_members:
+            return []
+        # ... must never also be written through plain assignment sugar.
+        out = []
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.text not in atomic_members:
+                continue
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            prev = toks[i - 1].text if i > 0 else ""
+            if nxt in self.MUTATORS or prev in ("++", "--"):
+                out.append(Finding(
+                    self.name, sf, t.line,
+                    f"raw mutation of '{t.text}', which is accessed through "
+                    f"the atomic API elsewhere in this file; use the atomic "
+                    f"member functions for every access"))
+        return out
+
+
+# ---- raw-sync-primitive ----------------------------------------------------
+
+@register
+class RawSyncPrimitive(Rule):
+    name = "raw-sync-primitive"
+    help = ("no bare std::mutex/std::lock_guard/pthread_* outside "
+            "common/sync.h; use the annotated cpt::Mutex/MutexLock wrappers")
+    include = ("src/*", "bench/*", "examples/*", "tests/lint/fixtures/*")
+    # The wrappers themselves are built on the std primitives.
+    exclude = ("src/common/sync.h",)
+
+    BANNED_STD = {"mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+                  "recursive_timed_mutex", "lock_guard", "unique_lock",
+                  "scoped_lock", "shared_lock", "condition_variable",
+                  "condition_variable_any", "once_flag", "call_once"}
+
+    def check(self, sf, project):
+        findings = []
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            if t.text.startswith("pthread_"):
+                findings.append(Finding(
+                    self.name, sf, t.line,
+                    f"raw {t.text}; use the annotated wrappers from "
+                    f"common/sync.h (cpt::Mutex / cpt::MutexLock)"))
+                continue
+            prev = toks[i - 1].text if i > 0 else ""
+            prev2 = toks[i - 2].text if i > 1 else ""
+            if t.text in self.BANNED_STD and prev == "::" and prev2 == "std":
+                findings.append(Finding(
+                    self.name, sf, t.line,
+                    f"bare std::{t.text}; use the annotated wrappers from "
+                    f"common/sync.h (cpt::Mutex / cpt::MutexLock) so Clang "
+                    f"TSA sees the capability"))
+        return findings
+
+
 # ---------------------------------------------------------------------------
 # Enum export (the single source of truth for Python-side validators)
 # ---------------------------------------------------------------------------
@@ -1087,17 +1301,56 @@ def collect_source_files(root=REPO_ROOT, roots=LINT_ROOTS):
     return out
 
 
-def run_rules(files, project, rule_names=None, ignore_scope=False):
+def _lint_one_file(sf, project, rule_names, ignore_scope):
+    """Findings plus per-rule wall time (seconds) for one file."""
     findings = []
-    for sf in files:
-        for name, rule in RULES.items():
-            if rule_names is not None and name not in rule_names:
-                continue
-            if not ignore_scope and not rule.applies(sf.rel):
-                continue
-            for f in rule.check(sf, project):
-                if not sf.suppressed(f.rule, f.line):
-                    findings.append(f)
+    timing = Counter()
+    for name, rule in RULES.items():
+        if rule_names is not None and name not in rule_names:
+            continue
+        if not ignore_scope and not rule.applies(sf.rel):
+            continue
+        t0 = time.perf_counter()
+        for f in rule.check(sf, project):
+            if not sf.suppressed(f.rule, f.line):
+                findings.append(f)
+        timing[name] += time.perf_counter() - t0
+    return findings, timing
+
+
+# Worker context for --jobs: set before forking so children inherit the
+# parsed files and project instead of repickling them per task.
+_FORK_CTX = None
+
+
+def _lint_file_at(index):
+    files, project, rule_names, ignore_scope = _FORK_CTX
+    return _lint_one_file(files[index], project, rule_names, ignore_scope)
+
+
+def run_rules(files, project, rule_names=None, ignore_scope=False, jobs=1,
+              rule_timing=None):
+    findings = []
+    timing = Counter()
+    if jobs > 1 and len(files) > 1 and "fork" in multiprocessing.get_all_start_methods():
+        global _FORK_CTX
+        _FORK_CTX = (files, project, rule_names, ignore_scope)
+        try:
+            with multiprocessing.get_context("fork").Pool(min(jobs, len(files))) as pool:
+                for file_findings, file_timing in pool.map(
+                        _lint_file_at, range(len(files))):
+                    findings.extend(file_findings)
+                    timing.update(file_timing)
+        finally:
+            _FORK_CTX = None
+    else:
+        for sf in files:
+            file_findings, file_timing = _lint_one_file(
+                sf, project, rule_names, ignore_scope)
+            findings.extend(file_findings)
+            timing.update(file_timing)
+    if rule_timing is not None:
+        rule_timing.update(timing)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -1208,7 +1461,11 @@ def main(argv=None):
                         help="run every rule on every file (fixture tests)")
     parser.add_argument("--root", default=str(REPO_ROOT),
                         help="repository root (for relative paths and guards)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint files with N processes (0 = cpu count)")
     args = parser.parse_args(argv)
+    if args.jobs == 0:
+        args.jobs = os.cpu_count() or 1
 
     if args.list_rules:
         for name, rule in sorted(RULES.items()):
@@ -1237,7 +1494,9 @@ def main(argv=None):
         if unknown:
             parser.error(f"unknown rules: {', '.join(sorted(unknown))}")
 
-    findings = run_rules(files, project, rule_names, args.ignore_scope)
+    rule_timing = Counter()
+    findings = run_rules(files, project, rule_names, args.ignore_scope,
+                         jobs=args.jobs, rule_timing=rule_timing)
     baseline = Counter() if args.no_baseline else load_baseline(args.baseline)
     new, grandfathered, stale = split_by_baseline(findings, baseline)
 
@@ -1254,7 +1513,9 @@ def main(argv=None):
             # Re-lint so the report reflects the post-fix tree.
             files = [SourceFile(root / sf.rel, root=root) for sf in files]
             project = Project(files)
-            findings = run_rules(files, project, rule_names, args.ignore_scope)
+            rule_timing = Counter()
+            findings = run_rules(files, project, rule_names, args.ignore_scope,
+                                 jobs=args.jobs, rule_timing=rule_timing)
             new, grandfathered, stale = split_by_baseline(findings, baseline)
 
     if args.json:
@@ -1264,6 +1525,8 @@ def main(argv=None):
             "findings": [f.to_json() for f in new],
             "grandfathered": len(grandfathered),
             "stale_baseline": stale,
+            "rule_timing_ms": {name: round(secs * 1000.0, 3)
+                               for name, secs in sorted(rule_timing.items())},
         }, indent=2))
     else:
         print_human(new, {sf.rel: sf for sf in files}, stale)
