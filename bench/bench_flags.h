@@ -9,11 +9,22 @@
 //   --perfetto=<path>  render the walk-event stream as Chrome trace-event
 //                   JSON loadable in ui.perfetto.dev: one track per
 //                   component plus counter tracks (see obs/perfetto.h)
+//   --timeseries=<path>  write windowed time-series JSONL: one window line
+//                   every --timeseries-window simulated references (default
+//                   8192), via obs::IntervalSnapshotter; windows also render
+//                   as Perfetto counter tracks when --perfetto is given
 //
-// All flags are parsed and *removed* from argv, so a wrapped argument
-// parser (google-benchmark in bench_micro) never sees them.  With no flags,
-// Hooks() returns empty hooks, no tracer is ever attached, and the bench's
-// text output is bit-identical to the pre-telemetry binaries.
+// All flags are parsed and *removed* from argv, so a bench's own argument
+// parsing never sees them.  With no flags, Hooks() returns empty hooks, no
+// tracer is ever attached, and the bench's text output is bit-identical to
+// the pre-telemetry binaries.
+//
+// Schema v2: every JSON report additionally carries a bench-wide "host_perf"
+// section (perf_event counters with rusage fallback — obs/perf.h's
+// degradation contract keeps the shape identical either way), a
+// "throughput" section aggregating refs/sec over every recorded access
+// measurement, and per-measurement "timing" blocks gain per-phase host
+// samples.  v1 consumers must re-pin baselines.
 //
 // Error handling: an unopenable path, a malformed flag, or a stream that
 // goes bad while writing all terminate the bench with a nonzero exit and a
@@ -32,7 +43,9 @@
 #include "obs/attribution.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/perfetto.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "sim/experiments.h"
 #include "sim/report.h"
@@ -42,7 +55,11 @@ namespace cpt::bench {
 
 // Version of the JSON document layout; bump on breaking schema changes.
 // tools/check_bench_json.py validates against this.
-inline constexpr std::uint64_t kBenchSchemaVersion = 1;
+// v2: host_perf + throughput sections, timing.phases, timeseries sidecar.
+inline constexpr std::uint64_t kBenchSchemaVersion = 2;
+
+// Default time-series window width, in simulated references.
+inline constexpr std::uint64_t kDefaultTimeseriesWindow = 8192;
 
 class BenchIo {
  public:
@@ -54,6 +71,8 @@ class BenchIo {
     std::string json_path;
     std::string trace_path;
     std::string perfetto_path;
+    std::string timeseries_path;
+    std::uint64_t timeseries_window = kDefaultTimeseriesWindow;
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
       const std::string_view arg = argv[i];
@@ -66,6 +85,17 @@ class BenchIo {
       } else if (arg.rfind("--perfetto", 0) == 0 &&
                  (arg.size() == 10 || arg[10] == '=')) {
         perfetto_path = RequireValue(arg, "--perfetto");
+      } else if (arg.rfind("--timeseries-window", 0) == 0 &&
+                 (arg.size() == 19 || arg[19] == '=')) {
+        const std::string v = RequireValue(arg, "--timeseries-window");
+        timeseries_window = std::strtoull(v.c_str(), nullptr, 10);
+        if (timeseries_window == 0) {
+          std::fprintf(stderr, "usage: --timeseries-window=<refs> (> 0)\n");
+          std::exit(2);
+        }
+      } else if (arg.rfind("--timeseries", 0) == 0 &&
+                 (arg.size() == 12 || arg[12] == '=')) {
+        timeseries_path = RequireValue(arg, "--timeseries");
       } else {
         argv[out++] = argv[i];
       }
@@ -114,22 +144,73 @@ class BenchIo {
       writer_->Key("entries");
       writer_->BeginArray();
     }
+    if (!timeseries_path.empty()) {
+      timeseries_path_ = timeseries_path;
+      timeseries_os_.open(timeseries_path);
+      if (!timeseries_os_) {
+        Die("cannot open timeseries file", timeseries_path);
+      }
+      snapshotter_ = std::make_unique<obs::IntervalSnapshotter>(
+          timeseries_window, &metrics_, perfetto_.get());
+      obs::JsonWriter w(timeseries_os_, /*pretty=*/false);
+      w.BeginObject();
+      w.KV("type", "header");
+      w.KV("schema", "cpt-bench-timeseries");
+      w.KV("schema_version", kBenchSchemaVersion);
+      w.KV("bench", bench_name_);
+      w.KV("window_refs", timeseries_window);
+      w.EndObject();
+      timeseries_os_ << '\n';
+    }
+    // Attachment order matters: the snapshotter samples the Perfetto logical
+    // clock at window boundaries, so it must see each event *after* the
+    // exporter has ticked (obs/snapshot.h).
     tee_.Add(ring_.get());
     tee_.Add(perfetto_.get());
+    tee_.Add(snapshotter_.get());
+    bench_perf_.Start();
   }
 
   ~BenchIo() {
+    const obs::HostPerfSample bench_perf = bench_perf_.Stop();
     if (writer_ != nullptr) {
       writer_->EndArray();
       if (!metrics_.empty()) {
         writer_->Key("metrics");
         metrics_.ToJson(*writer_);
       }
+      // Bench-wide host cost (whole process, all phases) and aggregate
+      // simulated-reference throughput over every recorded access run.
+      writer_->Key("host_perf");
+      obs::ToJson(*writer_, bench_perf);
+      writer_->Key("throughput");
+      writer_->BeginObject();
+      writer_->KV("refs", throughput_refs_);
+      writer_->KV("wall_seconds", throughput_seconds_);
+      writer_->KV("refs_per_sec",
+                  throughput_seconds_ > 0.0
+                      ? static_cast<double>(throughput_refs_) / throughput_seconds_
+                      : 0.0);
+      writer_->EndObject();
+      if (snapshotter_ != nullptr) {
+        writer_->Key("timeseries");
+        writer_->BeginObject();
+        writer_->KV("window_refs", snapshotter_->window_refs());
+        writer_->KV("total_refs", snapshotter_->total_refs());
+        writer_->KV("windows", timeseries_windows_);
+        writer_->EndObject();
+      }
       writer_->EndObject();
       json_os_ << '\n';
       json_os_.flush();
       if (!json_os_) {
         DieLate("json report write failed", json_path_);
+      }
+    }
+    if (timeseries_os_.is_open()) {
+      timeseries_os_.flush();
+      if (!timeseries_os_) {
+        DieLate("timeseries file write failed", timeseries_path_);
       }
     }
     if (perfetto_ != nullptr) {
@@ -153,21 +234,23 @@ class BenchIo {
   bool json_enabled() const { return writer_ != nullptr; }
   bool trace_enabled() const { return ring_ != nullptr; }
   bool perfetto_enabled() const { return perfetto_ != nullptr; }
+  bool timeseries_enabled() const { return snapshotter_ != nullptr; }
 
   // Hooks for MeasureAccessTime: histograms are collected only when a JSON
-  // report wants them; events are recorded when a trace file or a Perfetto
-  // trace wants them (both at once fan out through a tee).
+  // report wants them; events are recorded when a trace file, Perfetto
+  // trace, or time-series file wants them (all fan out through a tee).
   // Default-constructed (no flags) attaches nothing.
   sim::MeasureHooks Hooks() {
-    obs::WalkTracer* tracer = nullptr;
-    if (ring_ != nullptr && perfetto_ != nullptr) {
-      tracer = &tee_;
-    } else if (ring_ != nullptr) {
-      tracer = ring_.get();
-    } else if (perfetto_ != nullptr) {
-      tracer = perfetto_.get();
-    }
-    return sim::MeasureHooks{.tracer = tracer, .collect = json_enabled()};
+    return sim::MeasureHooks{.tracer = tee_.size() > 0 ? &tee_ : nullptr,
+                             .collect = json_enabled()};
+  }
+
+  // Accumulates one run into the report's aggregate "throughput" section.
+  // RecordAccess calls this automatically; benches with their own replay
+  // loops (bench_micro) call it directly.
+  void AddThroughput(std::uint64_t refs, double seconds) {
+    throughput_refs_ += refs;
+    throughput_seconds_ += seconds;
   }
 
   // Records one access-time measurement under a series label ("clustered",
@@ -187,7 +270,9 @@ class BenchIo {
                        {"pt", sim::ToString(m.options.pt_kind)}});
       }
     }
+    AddThroughput(m.trace_refs, m.wall_seconds);
     FlushTraceSection("access", series, m.workload, m.rng_seed, m.options);
+    FlushTimeseriesSection("access", series, m.workload);
     MarkSection("access", series, m.workload);
   }
 
@@ -299,18 +384,51 @@ class BenchIo {
     ring_->Clear();
   }
 
+  // One time-series section: a context line naming the measurement, then
+  // the snapshotter's windows (the final partial window included), then a
+  // Reset() so the next measurement starts a fresh window sequence.
+  void FlushTimeseriesSection(std::string_view type, std::string_view series,
+                              std::string_view workload) {
+    if (snapshotter_ == nullptr) {
+      return;
+    }
+    snapshotter_->Finish();
+    {
+      obs::JsonWriter w(timeseries_os_, /*pretty=*/false);
+      w.BeginObject();
+      w.KV("type", "context");
+      w.KV("entry_type", type);
+      w.KV("series", series);
+      w.KV("workload", workload);
+      w.KV("window_refs", snapshotter_->window_refs());
+      w.KV("windows", std::uint64_t{snapshotter_->windows().size()});
+      w.EndObject();
+    }
+    timeseries_os_ << '\n';
+    snapshotter_->WriteJsonl(timeseries_os_);
+    timeseries_windows_ += snapshotter_->windows().size();
+    snapshotter_->Reset();
+  }
+
   std::string bench_name_;
   std::string json_path_;
   std::string trace_path_;
   std::string perfetto_path_;
+  std::string timeseries_path_;
   std::ofstream trace_os_;
   std::ofstream json_os_;
   std::ofstream perfetto_os_;
+  std::ofstream timeseries_os_;
   std::unique_ptr<obs::JsonWriter> writer_;  // After json_os_: destroyed first.
   std::unique_ptr<obs::RingBufferTracer> ring_;
   std::unique_ptr<obs::PerfettoExporter> perfetto_;  // After perfetto_os_.
-  obs::TeeTracer tee_;  // Fans events out when both --trace and --perfetto.
+  std::unique_ptr<obs::IntervalSnapshotter> snapshotter_;  // After perfetto_.
+  obs::TeeTracer tee_;  // Fans events out to every enabled consumer.
   obs::MetricRegistry metrics_;  // Attribution instruments, dumped at exit.
+  obs::HostPerfCounters bench_perf_;  // Whole-bench host-cost bracket.
+  std::uint64_t throughput_refs_ = 0;      // Aggregate refs over access runs.
+  double throughput_seconds_ = 0.0;        // Aggregate replay wall time.
+  std::uint64_t timeseries_windows_ = 0;   // Windows written across sections.
 };
 
 }  // namespace cpt::bench

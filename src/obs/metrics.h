@@ -39,6 +39,18 @@ class MetricRegistry {
   std::size_t size() const { return instruments_.size(); }
   bool empty() const { return instruments_.empty(); }
 
+  // Visits every counter instrument in dump order (name, labels, value).
+  // Used by IntervalSnapshotter to delta-sample a registry at window
+  // boundaries without exposing the instrument map.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [key, inst] : instruments_) {
+      if (inst.type == Type::kCounter) {
+        fn(inst.name, inst.labels, inst.counter);
+      }
+    }
+  }
+
   // Emits the registry as a JSON array of {name, labels, type, ...} objects,
   // ordered by (name, labels) for deterministic output.
   void ToJson(JsonWriter& w) const;

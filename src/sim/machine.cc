@@ -342,10 +342,20 @@ void Machine::Preload(const workload::Snapshot& snapshot) {
   }
 }
 
-void Machine::Run(const std::vector<workload::Reference>& trace) {
+Machine::RunStats Machine::Run(const std::vector<workload::Reference>& trace) {
+  RunStats stats;
+  stats.refs = trace.size();
+  obs::HostPerfCounters perf;
+  perf.Start();
   for (const workload::Reference& ref : trace) {
     Access(ref.asid, ref.va, ref.is_write);
   }
+  stats.host_perf = perf.Stop();
+  stats.wall_seconds = stats.host_perf.wall_seconds;
+  if (stats.wall_seconds > 0.0) {
+    stats.refs_per_sec = static_cast<double>(stats.refs) / stats.wall_seconds;
+  }
+  return stats;
 }
 
 std::uint64_t Machine::DenominatorMisses() const {

@@ -26,6 +26,7 @@
 
 #include "check/auditor.h"
 #include "mem/cache_model.h"
+#include "obs/perf.h"
 #include "mem/reservation.h"
 #include "os/address_space.h"
 #include "pt/page_table.h"
@@ -119,7 +120,16 @@ class Machine {
   // table (the paper's simulators see resident pages only).
   void Preload(const workload::Snapshot& snapshot);
 
-  void Run(const std::vector<workload::Reference>& trace);
+  // Replays a whole trace and reports host-side throughput of the loop
+  // (perf_event counters when available, rusage/wall-clock fallback — the
+  // degradation contract in obs/perf.h).  Simulated counts are unaffected.
+  struct RunStats {
+    std::uint64_t refs = 0;
+    double wall_seconds = 0.0;
+    double refs_per_sec = 0.0;
+    obs::HostPerfSample host_perf;
+  };
+  RunStats Run(const std::vector<workload::Reference>& trace);
 
   // ---- Metrics ----
   const mem::CacheTouchModel& cache() const { return cache_; }

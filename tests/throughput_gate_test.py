@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""End-to-end test of the refs/sec throughput gate.
+
+Runs bench_micro three times — twice at normal speed, once with
+CPT_MICRO_SLOWDOWN spinning inside the timed region — and drives
+tools/bench_diff.py --throughput-tol over the reports:
+
+  green: two honest runs of the same binary must pass the gate (the
+         tolerance absorbs scheduler noise on shared runners);
+  red:   a binary made ~10x slower must fail, and must fail *through the
+         gate* (the "THROUGHPUT REGRESSION" verdict), not merely through
+         some incidental structural diff.
+
+Usage: throughput_gate_test.py <bench_micro> <bench_diff.py> <scratch-dir>
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+
+def run_micro(bench, out_path, slowdown=0):
+    env = dict(os.environ)
+    # Small but non-trivial: big enough that refs/sec is rate-limited by
+    # the lookup loop, small enough that three runs stay fast in CI.
+    env["CPT_MICRO_ITERS"] = "200000"
+    env["CPT_MICRO_REPS"] = "3"
+    env["CPT_MICRO_WARMUP"] = "1"
+    if slowdown:
+        env["CPT_MICRO_SLOWDOWN"] = str(slowdown)
+    else:
+        env.pop("CPT_MICRO_SLOWDOWN", None)
+    proc = subprocess.run(
+        [bench, f"--json={out_path}", "--filter=lookup/clustered"],
+        env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"bench_micro failed (exit {proc.returncode}): {proc.stderr}")
+    with open(out_path, encoding="utf-8") as f:
+        report = json.load(f)
+    micros = [e for e in report.get("entries", []) if e.get("type") == "micro"]
+    if len(micros) != 1:
+        raise SystemExit(f"expected exactly one micro entry, got {len(micros)}")
+    return report
+
+
+def run_diff(diff_tool, baseline, current, tol):
+    return subprocess.run(
+        [sys.executable, diff_tool, str(baseline), str(current),
+         "--throughput-tol", str(tol)],
+        capture_output=True, text=True)
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench, diff_tool, scratch = sys.argv[1], sys.argv[2], pathlib.Path(sys.argv[3])
+    scratch.mkdir(parents=True, exist_ok=True)
+
+    # The noise band on a shared 1-core runner is wide (medians have been
+    # observed ~30% apart across back-to-back runs); 0.6 keeps the green
+    # path honest while the deliberate ~90% slowdown still lands far red.
+    tol = 0.6
+
+    base_path = scratch / "base.json"
+    same_path = scratch / "same.json"
+    slow_path = scratch / "slow.json"
+    base = run_micro(bench, base_path)
+    run_micro(bench, same_path)
+    run_micro(bench, slow_path, slowdown=3000)
+
+    failures = []
+
+    # Sanity: the baseline carries both gate points (aggregate + micro).
+    if not isinstance(base.get("throughput", {}).get("refs_per_sec"), (int, float)):
+        failures.append("baseline lacks aggregate throughput.refs_per_sec")
+    micro = next(e for e in base["entries"] if e.get("type") == "micro")
+    if "median_refs_per_sec" not in micro.get("throughput", {}):
+        failures.append("baseline micro entry lacks median_refs_per_sec")
+
+    green = run_diff(diff_tool, base_path, same_path, tol)
+    if green.returncode != 0:
+        failures.append(
+            f"green path: identical binary failed the gate (exit "
+            f"{green.returncode}):\n{green.stdout}{green.stderr}")
+    elif "within band" not in green.stdout and "FASTER" not in green.stdout:
+        failures.append(
+            f"green path: gate rows missing from output:\n{green.stdout}")
+
+    red = run_diff(diff_tool, base_path, slow_path, tol)
+    if red.returncode != 1:
+        failures.append(
+            f"red path: slowed binary got exit {red.returncode}, wanted 1:\n"
+            f"{red.stdout}{red.stderr}")
+    # The failure must be the throughput verdict itself: a config-key
+    # mismatch (slowdown is stamped in the entry) also fails the diff, but
+    # structurally — that alone would not prove the gate fired.
+    if "THROUGHPUT REGRESSION" not in red.stdout:
+        failures.append(
+            f"red path: no THROUGHPUT REGRESSION verdict in:\n{red.stdout}")
+
+    if failures:
+        print("throughput_gate_test: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("throughput_gate_test: OK (green passed, slowdown=3000 gated red)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ Usage:
   tools/check_bench_json.py report.json [report2.json ...]
   tools/check_bench_json.py --trace trace.jsonl report.json
   tools/check_bench_json.py --perfetto trace.perfetto.json
+  tools/check_bench_json.py --timeseries windows.jsonl
 
 Exit status 0 iff every file validates; failures print one line each.
 """
@@ -20,7 +21,7 @@ import sys
 from pathlib import Path
 
 SCHEMA = "cpt-bench-report"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # The single source of truth for event-kind names is the kEventKindNames
 # table in src/obs/trace.h.  Rather than regex-scraping the header here,
@@ -94,7 +95,43 @@ SIZE_FIELDS = {
     "census": dict,
     "rng_seed": int,
     "wall_seconds": (int, float),
+    "host_perf": dict,
     "options": dict,
+}
+
+# Shape of obs::ToJson(HostPerfSample): identical whether perf_event_open
+# succeeded or not (the degradation contract in src/obs/perf.h) — counters
+# simply read zero on perf-less hosts.
+HOST_PERF_FIELDS = {
+    "available": bool,
+    "source": str,
+    "reason": str,
+    "wall_seconds": (int, float),
+    "user_seconds": (int, float),
+    "sys_seconds": (int, float),
+    "max_rss_kb": int,
+    "minor_faults": int,
+    "major_faults": int,
+    "voluntary_ctx_switches": int,
+    "involuntary_ctx_switches": int,
+    "counters": dict,
+    "derived": dict,
+}
+
+HOST_PERF_COUNTERS = {
+    "cycles", "instructions", "llc_misses", "dtlb_load_misses",
+    "branch_misses", "time_enabled_ns", "time_running_ns",
+}
+
+HOST_PERF_DERIVED = {"ipc", "llc_mpki", "dtlb_mpki", "branch_mpki"}
+
+MICRO_THROUGHPUT_FIELDS = {
+    "median_refs_per_sec": (int, float),
+    "best_refs_per_sec": (int, float),
+    "worst_refs_per_sec": (int, float),
+    "median_ns_per_op": (int, float),
+    "rep_refs_per_sec": list,
+    "rep_seconds": list,
 }
 
 OPTION_FIELDS = {
@@ -122,6 +159,69 @@ def check_fields(obj, fields, where):
 def check_options(opts, where):
     missing = OPTION_FIELDS - opts.keys()
     require(not missing, f"{where}: options missing {sorted(missing)}")
+
+
+def check_host_perf(hp, where):
+    check_fields(hp, HOST_PERF_FIELDS, where)
+    require(hp["source"] in ("perf_event", "rusage"),
+            f"{where}: host_perf source {hp['source']!r}")
+    if not hp["available"]:
+        require(hp["reason"], f"{where}: degraded host_perf must carry a reason")
+        require(hp["source"] == "rusage",
+                f"{where}: degraded host_perf must report source 'rusage'")
+    missing = HOST_PERF_COUNTERS - hp["counters"].keys()
+    require(not missing, f"{where}: host_perf counters missing {sorted(missing)}")
+    for name in HOST_PERF_COUNTERS:
+        require(isinstance(hp["counters"][name], int),
+                f"{where}: host_perf counter '{name}' not an int")
+    missing = HOST_PERF_DERIVED - hp["derived"].keys()
+    require(not missing, f"{where}: host_perf derived missing {sorted(missing)}")
+    for name in HOST_PERF_DERIVED:
+        require(isinstance(hp["derived"][name], (int, float)),
+                f"{where}: host_perf derived '{name}' not numeric")
+
+
+def check_timing(timing, where):
+    for field in ("wall_seconds", "refs_per_sec", "misses_per_sec"):
+        require(isinstance(timing.get(field), (int, float)),
+                f"{where}: timing missing numeric '{field}'")
+    require(isinstance(timing.get("host_perf"), dict),
+            f"{where}: timing missing host_perf")
+    check_host_perf(timing["host_perf"], f"{where}.timing")
+    phases = timing.get("phases")
+    require(isinstance(phases, list) and phases,
+            f"{where}: timing missing non-empty phases")
+    for p, phase in enumerate(phases):
+        pw = f"{where}.phases[{p}]"
+        require(isinstance(phase.get("name"), str) and phase["name"],
+                f"{pw}: missing name")
+        require(isinstance(phase.get("work"), int), f"{pw}: missing int work")
+        for field in ("wall_seconds", "work_per_sec"):
+            require(isinstance(phase.get(field), (int, float)),
+                    f"{pw}: missing numeric '{field}'")
+        require(isinstance(phase.get("host_perf"), dict),
+                f"{pw}: missing host_perf")
+        check_host_perf(phase["host_perf"], pw)
+
+
+def check_micro_entry(entry, i):
+    where = f"entries[{i}] (micro/{entry.get('series', '?')})"
+    require("series" in entry, f"{where}: missing 'series'")
+    for field in ("iterations", "reps", "warmup_reps"):
+        require(isinstance(entry.get(field), int),
+                f"{where}: missing int '{field}'")
+    tp = entry.get("throughput")
+    require(isinstance(tp, dict), f"{where}: missing throughput")
+    check_fields(tp, MICRO_THROUGHPUT_FIELDS, where)
+    for field in ("rep_refs_per_sec", "rep_seconds"):
+        require(len(tp[field]) == entry["reps"],
+                f"{where}: {field} has {len(tp[field])} samples for "
+                f"{entry['reps']} reps")
+        require(all(isinstance(v, (int, float)) for v in tp[field]),
+                f"{where}: non-numeric sample in {field}")
+    require(isinstance(entry.get("host_perf"), dict),
+            f"{where}: missing host_perf")
+    check_host_perf(entry["host_perf"], where)
 
 
 def check_attribution(attr, where):
@@ -153,7 +253,10 @@ def check_measurement_entry(entry, i):
     fields = ACCESS_FIELDS if entry["type"] == "access" else SIZE_FIELDS
     check_fields(m, fields, where)
     check_options(m["options"], where)
+    if entry["type"] == "size":
+        check_host_perf(m["host_perf"], where)
     if entry["type"] == "access":
+        check_timing(m["timing"], where)
         require(m["denominator_misses"] <= m["effective_misses"] + m.get("block_misses", 0)
                 + m.get("subblock_misses", 0) or m["denominator_misses"] >= 0,
                 f"{where}: nonsensical miss counts")
@@ -180,9 +283,7 @@ def check_table_entry(entry, i):
                 f"{where}: row {r} has {len(row)} cells for {len(cols)} columns")
 
 
-def check_report(path):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+def check_report_doc(doc):
     require(doc.get("schema") == SCHEMA, f"schema is {doc.get('schema')!r}")
     require(doc.get("schema_version") == SCHEMA_VERSION,
             f"schema_version is {doc.get('schema_version')!r}")
@@ -196,7 +297,9 @@ def check_report(path):
             check_measurement_entry(entry, i)
         elif entry["type"] == "table":
             check_table_entry(entry, i)
-        # Custom entry types (micro, rangeops, ...) only need type + series.
+        elif entry["type"] == "micro":
+            check_micro_entry(entry, i)
+        # Other custom entry types (rangeops, ...) only need type + series.
         else:
             require("series" in entry, f"entries[{i}]: missing 'series'")
     if "metrics" in doc:
@@ -206,7 +309,30 @@ def check_report(path):
                     f"metrics[{j}]: missing name")
             require(inst.get("type") in ("counter", "gauge", "histogram", "stats"),
                     f"metrics[{j}]: bad type {inst.get('type')!r}")
+    # v2: every report carries a bench-wide host_perf and an aggregate
+    # throughput section; timeseries summary appears iff --timeseries ran.
+    require(isinstance(doc.get("host_perf"), dict), "missing host_perf section")
+    check_host_perf(doc["host_perf"], "<report>")
+    tp = doc.get("throughput")
+    require(isinstance(tp, dict), "missing throughput section")
+    require(isinstance(tp.get("refs"), int), "throughput missing int refs")
+    for field in ("wall_seconds", "refs_per_sec"):
+        require(isinstance(tp.get(field), (int, float)),
+                f"throughput missing numeric '{field}'")
+    if "timeseries" in doc:
+        ts = doc["timeseries"]
+        require(isinstance(ts.get("window_refs"), int) and ts["window_refs"] > 0,
+                "timeseries missing positive window_refs")
+        for field in ("total_refs", "windows"):
+            require(isinstance(ts.get(field), int),
+                    f"timeseries missing int '{field}'")
     return len(entries)
+
+
+def check_report(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return check_report_doc(doc)
 
 
 def check_trace(path):
@@ -224,6 +350,76 @@ def check_trace(path):
                     f"line {lineno}: unknown kind {rec.get('kind')!r}")
             n += 1
     return n
+
+
+def check_timeseries_lines(lines):
+    """Validates a --timeseries JSONL document given as parsed records.
+
+    Layout: one header, then per measurement a context line declaring its
+    window count followed by exactly that many window lines with contiguous
+    0-based indexes.  Only a section's final window may be partial.
+    """
+    require(lines, "empty timeseries file")
+    header = lines[0]
+    require(header.get("schema") == "cpt-bench-timeseries",
+            f"bad timeseries header schema {header.get('schema')!r}")
+    require(header.get("schema_version") == SCHEMA_VERSION,
+            f"timeseries schema_version is {header.get('schema_version')!r}")
+    window_refs = header.get("window_refs")
+    require(isinstance(window_refs, int) and window_refs > 0,
+            "timeseries header missing positive window_refs")
+
+    n_windows = 0
+    expected = None  # Declared window count of the open section.
+    seen = 0
+    def close_section(lineno):
+        if expected is not None:
+            require(seen == expected,
+                    f"line {lineno}: section declared {expected} windows, "
+                    f"got {seen}")
+    for lineno, rec in enumerate(lines[1:], start=2):
+        kind = rec.get("type")
+        if kind == "context":
+            close_section(lineno)
+            require("series" in rec and isinstance(rec.get("windows"), int),
+                    f"line {lineno}: malformed timeseries context")
+            expected, seen = rec["windows"], 0
+        elif kind == "window":
+            require(expected is not None,
+                    f"line {lineno}: window before any context line")
+            require(rec.get("window") == seen,
+                    f"line {lineno}: window index {rec.get('window')} != {seen}")
+            for field in ("start_ref", "refs", "lines"):
+                require(isinstance(rec.get(field), int),
+                        f"line {lineno}: window missing int '{field}'")
+            for field in ("miss_rate", "lines_per_miss"):
+                require(isinstance(rec.get(field), (int, float)),
+                        f"line {lineno}: window missing numeric '{field}'")
+            require(0 < rec["refs"] <= window_refs,
+                    f"line {lineno}: window refs {rec['refs']} outside "
+                    f"(0, {window_refs}]")
+            if seen < expected - 1:
+                require(rec["refs"] == window_refs,
+                        f"line {lineno}: non-final window is partial "
+                        f"({rec['refs']} < {window_refs})")
+            events = rec.get("events", {})
+            require(isinstance(events, dict),
+                    f"line {lineno}: window events not an object")
+            for name in events:
+                require(name in EVENT_KINDS,
+                        f"line {lineno}: unknown event kind '{name}'")
+            seen += 1
+            n_windows += 1
+        else:
+            raise Failure(f"line {lineno}: unknown record type {kind!r}")
+    close_section(len(lines))
+    return n_windows
+
+
+def check_timeseries(path):
+    with open(path, encoding="utf-8") as f:
+        lines = [json.loads(line) for line in f if line.strip()]
+    return check_timeseries_lines(lines)
 
 
 def check_perfetto(path):
@@ -252,6 +448,108 @@ def check_perfetto(path):
     return len(events)
 
 
+def _sample_host_perf(available=True):
+    return {
+        "available": available,
+        "source": "perf_event" if available else "rusage",
+        "reason": "" if available else "perf_event_open: Operation not permitted",
+        "wall_seconds": 0.5, "user_seconds": 0.4, "sys_seconds": 0.1,
+        "max_rss_kb": 10240, "minor_faults": 12, "major_faults": 0,
+        "voluntary_ctx_switches": 1, "involuntary_ctx_switches": 2,
+        "counters": {"cycles": 1000 if available else 0,
+                     "instructions": 2000 if available else 0,
+                     "llc_misses": 3, "dtlb_load_misses": 4,
+                     "branch_misses": 5,
+                     "time_enabled_ns": 100, "time_running_ns": 100}
+        if available else dict.fromkeys(HOST_PERF_COUNTERS, 0),
+        "derived": {"ipc": 2.0, "llc_mpki": 1.5, "dtlb_mpki": 2.0,
+                    "branch_mpki": 2.5}
+        if available else dict.fromkeys(HOST_PERF_DERIVED, 0.0),
+    }
+
+
+def _self_test_v2():
+    """Synthetic-document round trips for the v2 sections: each valid doc
+    must pass, each deliberately broken variant must raise Failure."""
+    valid = {
+        "schema": SCHEMA, "schema_version": SCHEMA_VERSION, "bench": "t",
+        "trace_len_override": 0,
+        "entries": [{
+            "type": "micro", "series": "lookup/clustered",
+            "iterations": 1000, "reps": 3, "warmup_reps": 1, "slowdown": 0,
+            "throughput": {
+                "median_refs_per_sec": 2e7, "best_refs_per_sec": 2.2e7,
+                "worst_refs_per_sec": 1.9e7, "median_ns_per_op": 50.0,
+                "rep_refs_per_sec": [1.9e7, 2e7, 2.2e7],
+                "rep_seconds": [5e-5, 5e-5, 4.5e-5]},
+            "host_perf": _sample_host_perf(False),
+        }],
+        "host_perf": _sample_host_perf(True),
+        "throughput": {"refs": 3000, "wall_seconds": 1.5e-4,
+                       "refs_per_sec": 2e7},
+        "timeseries": {"window_refs": 512, "total_refs": 3000, "windows": 6},
+    }
+    checks = [("valid v2 report", valid, None)]
+
+    import copy
+    broken = copy.deepcopy(valid)
+    del broken["host_perf"]
+    checks.append(("missing host_perf section", broken, "host_perf"))
+    broken = copy.deepcopy(valid)
+    broken["entries"][0]["host_perf"]["reason"] = ""
+    checks.append(("degraded without reason", broken, "reason"))
+    broken = copy.deepcopy(valid)
+    del broken["throughput"]["refs_per_sec"]
+    checks.append(("throughput missing refs_per_sec", broken, "refs_per_sec"))
+    broken = copy.deepcopy(valid)
+    broken["entries"][0]["throughput"]["rep_seconds"] = [1.0]
+    checks.append(("rep count mismatch", broken, "samples"))
+    broken = copy.deepcopy(valid)
+    del broken["host_perf"]["counters"]["dtlb_load_misses"]
+    checks.append(("missing perf counter", broken, "dtlb_load_misses"))
+
+    for label, doc, expect in checks:
+        try:
+            check_report_doc(doc)
+            ok = expect is None
+            err = ""
+        except Failure as e:
+            ok = expect is not None and expect in str(e)
+            err = str(e)
+        if not ok:
+            raise Failure(f"self-test '{label}': "
+                          + (f"unexpected error {err!r}" if err
+                             else "broken doc passed validation"))
+
+    ts_valid = [
+        {"schema": "cpt-bench-timeseries", "schema_version": SCHEMA_VERSION,
+         "bench": "t", "window_refs": 4, "type": "header"},
+        {"type": "context", "series": "a", "workload": "w", "windows": 2},
+        {"type": "window", "window": 0, "start_ref": 0, "refs": 4, "lines": 2,
+         "miss_rate": 0.25, "lines_per_miss": 2.0, "events": {"tlb_miss": 1}},
+        {"type": "window", "window": 1, "start_ref": 4, "refs": 3, "lines": 0,
+         "miss_rate": 0.0, "lines_per_miss": 0.0, "events": {}},
+    ]
+    if check_timeseries_lines(ts_valid) != 2:
+        raise Failure("self-test: timeseries window count wrong")
+    ts_broken = [dict(rec) for rec in ts_valid]
+    ts_broken[3]["window"] = 5  # Non-contiguous index.
+    try:
+        check_timeseries_lines(ts_broken)
+        raise Failure("self-test: non-contiguous window index passed")
+    except Failure as e:
+        if "window index" not in str(e):
+            raise
+    ts_partial = [dict(rec) for rec in ts_valid]
+    ts_partial[2]["refs"] = 2  # Partial window that is not the section's last.
+    try:
+        check_timeseries_lines(ts_partial)
+        raise Failure("self-test: early partial window passed")
+    except Failure as e:
+        if "partial" not in str(e):
+            raise
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("reports", nargs="*", help="--json report files")
@@ -259,13 +557,17 @@ def main():
                         help="--trace JSONL files")
     parser.add_argument("--perfetto", action="append", default=[],
                         help="--perfetto Chrome trace-event files")
+    parser.add_argument("--timeseries", action="append", default=[],
+                        help="--timeseries windowed JSONL files")
     parser.add_argument("--enums-json", default=None,
                         help="pre-exported cpt-lint-enums JSON (default: "
                              "import tools/cpt_lint.py and export in-process)")
     parser.add_argument("--self-test", action="store_true",
-                        help="verify the cpt_lint enum import path and exit")
+                        help="verify the cpt_lint enum import path and the "
+                             "v2 section validators, then exit")
     args = parser.parse_args()
-    if not args.self_test and not args.reports and not args.trace and not args.perfetto:
+    if (not args.self_test and not args.reports and not args.trace
+            and not args.perfetto and not args.timeseries):
         parser.error("nothing to check")
 
     try:
@@ -283,8 +585,13 @@ def main():
         if missing:
             print(f"FAIL self-test: core event kinds missing: {sorted(missing)}")
             return 1
-        print(f"OK   self-test: {len(EVENT_KINDS)} event kinds via cpt_lint "
-              f"({', '.join(sorted(core))}, ...)")
+        try:
+            _self_test_v2()
+        except Failure as e:
+            print(f"FAIL self-test: {e}")
+            return 1
+        print(f"OK   self-test: {len(EVENT_KINDS)} event kinds via cpt_lint; "
+              "v2 host_perf/throughput/timeseries validators round-trip")
         return 0
 
     failed = False
@@ -306,6 +613,13 @@ def main():
         try:
             n = check_perfetto(path)
             print(f"OK   {path}: {n} trace events")
+        except (Failure, json.JSONDecodeError, OSError) as e:
+            print(f"FAIL {path}: {e}")
+            failed = True
+    for path in args.timeseries:
+        try:
+            n = check_timeseries(path)
+            print(f"OK   {path}: {n} windows")
         except (Failure, json.JSONDecodeError, OSError) as e:
             print(f"FAIL {path}: {e}")
             failed = True

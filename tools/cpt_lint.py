@@ -30,6 +30,12 @@ Rules (see DESIGN.md "Static analysis" for the catalog and policy):
                           code; use CPT_CHECK / CPT_DCHECK.
   determinism-guards      no rand()/time()/std::random_device outside
                           common/rng.h; no float literal ==/!= compares.
+  timing-discipline       no raw std::chrono clocks (steady_clock,
+                          high_resolution_clock, system_clock) or
+                          clock_gettime/clock_getres outside obs/timer.*
+                          and obs/perf.* — every host-time measurement
+                          flows through ScopedTimer/PhaseProfiler or
+                          HostPerfCounters so reports stay comparable.
   include-guard           headers use canonical CPT_..._H_ guards with a
                           matching  #endif  //  comment.
   nodiscard-query         Lookup/LookupKey query methods in headers must
@@ -834,6 +840,48 @@ class DeterminismGuards(Rule):
                     self.name, sf, t.line,
                     "exact float comparison against a literal; compare "
                     "integers or use an explicit tolerance"))
+        return findings
+
+
+# ---- timing-discipline ----------------------------------------------------
+
+@register
+class TimingDiscipline(Rule):
+    name = "timing-discipline"
+    help = ("raw clock reads live only in obs/timer.* and obs/perf.*; "
+            "measure host time with ScopedTimer/PhaseProfiler or "
+            "HostPerfCounters so every reported number shares one clock")
+    include = ("src/*", "bench/*", "examples/*", "tests/*")
+    exclude = ("src/obs/timer.h", "src/obs/timer.cc",
+               "src/obs/perf.h", "src/obs/perf.cc")
+
+    # std::chrono clock types whose now() is a raw wall/CPU-time read.
+    BANNED_CLOCKS = {"steady_clock", "high_resolution_clock", "system_clock"}
+    # POSIX clock syscalls (distinct identifiers from determinism-guards'
+    # banned clock()/time()).
+    BANNED_CALLS = {"clock_gettime", "clock_getres"}
+
+    def check(self, sf, project):
+        findings = []
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            prev = toks[i - 1].text if i > 0 else ""
+            if prev in (".", "->"):
+                continue  # Member access, not the chrono type / libc call.
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            if t.text in self.BANNED_CLOCKS:
+                findings.append(Finding(
+                    self.name, sf, t.line,
+                    f"raw std::chrono::{t.text} use; route host timing "
+                    "through obs/timer.h (ScopedTimer/PhaseProfiler) or "
+                    "obs/perf.h (HostPerfCounters)"))
+            elif t.text in self.BANNED_CALLS and nxt == "(":
+                findings.append(Finding(
+                    self.name, sf, t.line,
+                    f"{t.text}() bypasses the shared timing layer; use "
+                    "obs/timer.h or obs/perf.h"))
         return findings
 
 
