@@ -1,0 +1,150 @@
+// Lock-contention scaling bench: hammers striped HashedPageTable inserts
+// across 1/2/4/8 threads and reports the strong-scaling curve plus the
+// stripe-lock telemetry behind it (common/sync.h counters, rendered per-site
+// by the JSON report's "concurrency" section).
+//
+// Each run inserts the same total number of distinct VPNs (fixed work,
+// partitioned into disjoint per-thread ranges), so acquisitions reconcile
+// exactly: every InsertBase takes its bucket's stripe lock once and — all
+// keys being fresh — the node allocator's mutex once.  Contended counts are
+// approximate (try-lock-first detection; see common/sync.h) and host-
+// dependent; they are the heat signal, never a gated metric.
+//
+//   CPT_CONTENTION_INSERTS=<n>   total inserts per run (default 262144)
+//   CPT_CONTENTION_STRIPES=<n>   stripe count, power of two (default 64)
+//   CPT_CONTENTION_THREADS=<n>   cap the thread ladder at n (default 8)
+//   CPT_CONTENTION_TIMING=1      also collect wait-time histograms
+//
+// The tsan-concurrency CI job runs this with a small insert count as a
+// smoke test; the contention JSON it uploads is the reviewable artifact.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench/bench_flags.h"
+#include "common/sync.h"
+#include "mem/cache_model.h"
+#include "obs/timer.h"
+#include "pt/hashed.h"
+
+namespace {
+
+using namespace cpt;
+
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const std::uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0 || std::strcmp(env, "0") == 0) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+struct RunResult {
+  unsigned threads = 0;
+  std::uint64_t inserts = 0;
+  double wall_seconds = 0.0;
+  double inserts_per_sec = 0.0;
+  std::uint64_t stripe_acquisitions = 0;
+  std::uint64_t stripe_contended = 0;
+  std::uint64_t alloc_acquisitions = 0;
+  std::uint64_t alloc_contended = 0;
+};
+
+// One strong-scaling point: `threads` workers insert disjoint slices of
+// `total_inserts` fresh VPNs into one striped table.  Concurrent InsertBase
+// is an uncounted operation under the single-walker cache-model contract
+// (no thread walks), so no counted-op coordination is needed.
+RunResult RunOnce(unsigned threads, std::uint64_t total_inserts, unsigned stripes) {
+  mem::CacheTouchModel cache(256);
+  pt::HashedPageTable table(
+      cache, pt::HashedPageTable::Options{.num_buckets = 1u << 15,
+                                          .lock_stripes = stripes,
+                                          .striped_node_capacity = total_inserts + 1024});
+
+  RunResult r;
+  r.threads = threads;
+  const std::uint64_t per_thread = total_inserts / threads;
+  r.inserts = per_thread * threads;
+  {
+    obs::ScopedTimer timer(&r.wall_seconds);
+    ThreadGroup workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.Spawn([&table, t, per_thread] {
+        const Vpn first{0x100000 + std::uint64_t{t} * per_thread};
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          table.InsertBase(first + i, Ppn{(t + i) & kPpnMask}, Attr::ReadWrite());
+        }
+      });
+    }
+    workers.JoinAll();
+  }
+  r.inserts_per_sec =
+      r.wall_seconds > 0.0 ? static_cast<double>(r.inserts) / r.wall_seconds : 0.0;
+
+  // All workers have joined, so the lock-free counter snapshots are exact.
+  r.stripe_acquisitions = table.stripe_set().total_acquisitions();
+  r.stripe_contended = table.stripe_set().total_contended();
+  r.alloc_acquisitions = table.alloc_mutex().acquisitions();
+  r.alloc_contended = table.alloc_mutex().contended();
+  CPT_CHECK(r.stripe_acquisitions == r.inserts,
+            "stripe acquisitions must reconcile with inserts");
+  CPT_CHECK(r.alloc_acquisitions == r.inserts,
+            "alloc acquisitions must reconcile with fresh-key inserts");
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchIo io("bench_contention", &argc, argv);
+
+  const std::uint64_t total_inserts = EnvU64("CPT_CONTENTION_INSERTS", 1u << 18);
+  const unsigned stripes =
+      static_cast<unsigned>(EnvU64("CPT_CONTENTION_STRIPES", 64));
+  const unsigned max_threads =
+      static_cast<unsigned>(EnvU64("CPT_CONTENTION_THREADS", 8));
+  CPT_CHECK(total_inserts > 0);
+  CPT_CHECK(stripes > 0 && (stripes & (stripes - 1)) == 0,
+            "CPT_CONTENTION_STRIPES must be a power of two");
+  CPT_CHECK(max_threads > 0);
+
+  std::printf("Striped hashed-table insert scaling (%llu inserts, %u stripes)\n",
+              static_cast<unsigned long long>(total_inserts), stripes);
+  std::printf("%8s %12s %10s %12s %8s %12s %10s\n", "threads", "inserts", "wall_s",
+              "inserts/s", "speedup", "stripe_acq", "contended");
+
+  double base_rate = 0.0;
+  for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+    const RunResult r = RunOnce(threads, total_inserts, stripes);
+    if (threads == 1) {
+      base_rate = r.inserts_per_sec;
+    }
+    const double speedup = base_rate > 0.0 ? r.inserts_per_sec / base_rate : 0.0;
+    std::printf("%8u %12llu %10.4f %12.0f %8.2f %12llu %10llu\n", r.threads,
+                static_cast<unsigned long long>(r.inserts), r.wall_seconds,
+                r.inserts_per_sec, speedup,
+                static_cast<unsigned long long>(r.stripe_acquisitions),
+                static_cast<unsigned long long>(r.stripe_contended));
+
+    io.AddThroughput(r.inserts, r.wall_seconds);
+    const std::string series = "threads=" + std::to_string(threads);
+    io.RecordCustom("contention", series, [&](cpt::obs::JsonWriter& w) {
+      w.KV("threads", std::uint64_t{r.threads});
+      w.KV("inserts", r.inserts);
+      w.KV("stripes", std::uint64_t{stripes});
+      w.KV("wall_seconds", r.wall_seconds);
+      w.KV("inserts_per_sec", r.inserts_per_sec);
+      w.KV("speedup", speedup);
+      w.KV("stripe_acquisitions", r.stripe_acquisitions);
+      w.KV("stripe_contended", r.stripe_contended);
+      w.KV("alloc_acquisitions", r.alloc_acquisitions);
+      w.KV("alloc_contended", r.alloc_contended);
+    });
+  }
+  return 0;
+}

@@ -4,6 +4,56 @@
 
 namespace cpt {
 
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const std::uint64_t n_combined = n_ + other.n_;
+  const double delta = other.mean_ - mean_;
+  // Chan et al.'s pairwise combine: the cross term scales by the product of
+  // the two counts over the combined count, which degrades gracefully when
+  // one side dominates.
+  mean_ += delta * (static_cast<double>(other.n_) /
+                    static_cast<double>(n_combined));
+  m2_ += other.m2_ + delta * delta *
+                         (static_cast<double>(n_) *
+                          static_cast<double>(other.n_) /
+                          static_cast<double>(n_combined));
+  n_ = n_combined;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.total_ == 0) {
+    return;
+  }
+  total_ += other.total_;
+  overflow_ += other.overflow_;
+  overflow_sum_ += other.overflow_sum_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+  for (std::size_t v = 0; v < other.counts_.size(); ++v) {
+    if (other.counts_[v] == 0) {
+      continue;
+    }
+    if (v >= max_buckets_) {
+      // The other histogram had room for this value; this one clamps it.
+      overflow_ += other.counts_[v];
+      overflow_sum_ += static_cast<std::uint64_t>(v) * other.counts_[v];
+      continue;
+    }
+    if (v >= counts_.size()) {
+      counts_.resize(v + 1, 0);
+    }
+    counts_[v] += other.counts_[v];
+  }
+}
+
 std::string Histogram::ToString() const {
   std::ostringstream os;
   for (std::size_t v = 0; v < counts_.size(); ++v) {

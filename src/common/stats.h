@@ -25,6 +25,14 @@ class RunningStats {
     m2_ += delta * (x - mean_);
   }
 
+  // Folds another stream's summary into this one (parallel Welford / Chan
+  // combine).  Equivalent to having Add()ed the other stream's samples here,
+  // up to floating-point rounding: counts and sums are exact, mean/m2 use the
+  // pairwise update so variance stays stable even when the two streams have
+  // very different magnitudes.  Merging per-shard stats in shard-index order
+  // yields a deterministic result for a deterministic per-shard input.
+  void Merge(const RunningStats& other);
+
   std::uint64_t count() const { return n_; }
   double sum() const { return sum_; }
   double mean() const { return n_ == 0 ? 0.0 : mean_; }
@@ -69,6 +77,12 @@ class Histogram {
     ++counts_[value];
     max_seen_ = std::max(max_seen_, value);
   }
+
+  // Folds another histogram into this one bucket-by-bucket.  Buckets the
+  // other histogram resolved but this one clamps (a smaller max_buckets_
+  // here) fold into this histogram's overflow bucket, preserving total()
+  // and mean() exactly.
+  void Merge(const Histogram& other);
 
   std::uint64_t total() const { return total_; }
   std::uint64_t count(std::size_t value) const {

@@ -1,0 +1,34 @@
+#include "common/sync.h"
+
+#include <cstdlib>
+
+namespace cpt {
+namespace {
+
+// Tri-state cache for the CPT_CONTENTION_TIMING switch: -1 unresolved,
+// 0 off, 1 on.  Function-local so header-only users of sync.h share one
+// instance through this translation unit.
+AtomicCell<int>& TimingState() {
+  static AtomicCell<int> state{-1};
+  return state;
+}
+
+}  // namespace
+
+bool ContentionTimingEnabled() {
+  int s = TimingState().load_relaxed();
+  if (s < 0) {
+    // Racing first queries both read getenv and store the same value, so the
+    // relaxed store is benign.
+    const char* env = std::getenv("CPT_CONTENTION_TIMING");
+    s = (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) ? 1 : 0;
+    TimingState().store_relaxed(s);
+  }
+  return s == 1;
+}
+
+void SetContentionTimingForTest(bool enabled) {
+  TimingState().store_relaxed(enabled ? 1 : 0);
+}
+
+}  // namespace cpt

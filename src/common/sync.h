@@ -13,23 +13,35 @@
 //     static analysis cannot see: unlocking a mutex that is not held, or
 //     destroying one while it is locked.
 //   - tools/cpt_lint.py closes the loop: `raw-sync-primitive` keeps bare
-//     std::mutex/std::lock_guard/pthread out of the tree (this header is the
-//     one sanctioned home), `guarded-by-coverage` forces mutable members of
-//     CPT_SHARED classes to be guarded, atomic, or const, and
-//     `atomic-discipline` demands a justification comment next to every
+//     std::mutex/std::lock_guard/std::thread/pthread out of the tree (this
+//     header is the one sanctioned home), `guarded-by-coverage` forces
+//     mutable members of CPT_SHARED classes to be guarded, atomic, or const,
+//     and `atomic-discipline` demands a justification comment next to every
 //     explicit memory_order argument.
 //
-// See DESIGN.md "Concurrency contracts" for the annotation conventions and
-// the memory-order policy.
+// Every lock is also a telemetry source: cheap always-on counters record
+// acquisitions and contended acquisitions (detected try-lock-first), and the
+// CPT_CONTENTION_TIMING environment flag opts into per-lock wait-time
+// histograms.  src/obs/contention.h aggregates them into named sites; the
+// counters themselves live here so common/ stays dependency-free.
+//
+// See DESIGN.md "Concurrency contracts" and "Concurrency observability" for
+// the annotation conventions and the memory-order policy.
 #ifndef CPT_COMMON_SYNC_H_
 #define CPT_COMMON_SYNC_H_
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 #include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -77,125 +89,6 @@
 #define CPT_SHARED
 
 namespace cpt {
-
-// ---------------------------------------------------------------------------
-// Annotated lock wrappers.
-// ---------------------------------------------------------------------------
-
-// std::mutex with TSA capability attributes plus debug-build misuse checks.
-// The wrapped primitive is deliberately not exposed: locking goes through
-// the annotated methods (usually via MutexLock) so the analysis sees every
-// acquire/release pair.
-class CPT_LOCKABLE Mutex {
- public:
-  Mutex() = default;
-  // relaxed: destruction racing any lock op is already a use-after-free.
-  ~Mutex() { CPT_DCHECK(!held_.load(std::memory_order_relaxed), "Mutex destroyed while held"); }
-  Mutex(const Mutex&) = delete;
-  Mutex& operator=(const Mutex&) = delete;
-
-  void lock() CPT_ACQUIRE() {
-    mu_.lock();
-    // relaxed: held_ is only read/written by the lock holder (and by the
-    // destructor/DCHECKs, which race only when the program is already wrong).
-    held_.store(true, std::memory_order_relaxed);
-  }
-
-  void unlock() CPT_RELEASE() {
-    // relaxed: see lock(); the flag is diagnostic state owned by the holder.
-    CPT_DCHECK(held_.load(std::memory_order_relaxed), "unlock of a Mutex not held");
-    held_.store(false, std::memory_order_relaxed);
-    mu_.unlock();
-  }
-
-  bool try_lock() CPT_TRY_ACQUIRE(true) {
-    if (!mu_.try_lock()) {
-      return false;
-    }
-    // relaxed: see lock().
-    held_.store(true, std::memory_order_relaxed);
-    return true;
-  }
-
- private:
-  std::mutex mu_;
-  std::atomic<bool> held_{false};
-};
-
-// std::shared_mutex with TSA attributes: exclusive lock for writers, shared
-// lock for concurrent readers.  Misuse checks mirror Mutex; the reader count
-// additionally catches destroy-while-readers-active.
-class CPT_LOCKABLE SharedMutex {
- public:
-  SharedMutex() = default;
-  ~SharedMutex() {
-    // relaxed: destruction racing any lock op is already a use-after-free.
-    CPT_DCHECK(!held_.load(std::memory_order_relaxed), "SharedMutex destroyed while held");
-    CPT_DCHECK(readers_.load(std::memory_order_relaxed) == 0,
-               "SharedMutex destroyed with active readers");
-  }
-  SharedMutex(const SharedMutex&) = delete;
-  SharedMutex& operator=(const SharedMutex&) = delete;
-
-  void lock() CPT_ACQUIRE() {
-    mu_.lock();
-    // relaxed: held_ is diagnostic state owned by the exclusive holder.
-    held_.store(true, std::memory_order_relaxed);
-  }
-
-  void unlock() CPT_RELEASE() {
-    // relaxed: see lock().
-    CPT_DCHECK(held_.load(std::memory_order_relaxed), "unlock of a SharedMutex not held");
-    held_.store(false, std::memory_order_relaxed);
-    mu_.unlock();
-  }
-
-  void lock_shared() CPT_ACQUIRE_SHARED() {
-    mu_.lock_shared();
-    // relaxed: the counter is diagnostic; the shared_mutex provides ordering.
-    readers_.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  void unlock_shared() CPT_RELEASE_SHARED() {
-    // relaxed: see lock_shared().
-    CPT_DCHECK(readers_.load(std::memory_order_relaxed) > 0,
-               "unlock_shared of a SharedMutex with no readers");
-    // relaxed: diagnostic counter; the shared_mutex provides the ordering.
-    readers_.fetch_sub(1, std::memory_order_relaxed);
-    mu_.unlock_shared();
-  }
-
- private:
-  std::shared_mutex mu_;
-  std::atomic<bool> held_{false};
-  std::atomic<int> readers_{0};
-};
-
-// Scoped exclusive lock (the only idiomatic way to take a cpt::Mutex).
-class CPT_SCOPED_LOCKABLE MutexLock {
- public:
-  explicit MutexLock(Mutex& mu) CPT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
-  ~MutexLock() CPT_RELEASE() { mu_.unlock(); }
-  MutexLock(const MutexLock&) = delete;
-  MutexLock& operator=(const MutexLock&) = delete;
-
- private:
-  Mutex& mu_;
-};
-
-// Scoped shared (reader) lock over a SharedMutex.
-class CPT_SCOPED_LOCKABLE SharedMutexLock {
- public:
-  explicit SharedMutexLock(SharedMutex& mu) CPT_ACQUIRE_SHARED(mu) : mu_(mu) {
-    mu_.lock_shared();
-  }
-  ~SharedMutexLock() CPT_RELEASE() { mu_.unlock_shared(); }
-  SharedMutexLock(const SharedMutexLock&) = delete;
-  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
-
- private:
-  SharedMutex& mu_;
-};
 
 // ---------------------------------------------------------------------------
 // Copyable atomic cell.
@@ -253,6 +146,250 @@ class AtomicCell {
 };
 
 // ---------------------------------------------------------------------------
+// Contention telemetry plumbing.
+// ---------------------------------------------------------------------------
+
+// Process-wide switch for the opt-in wait-time histograms.  Resolved from
+// the CPT_CONTENTION_TIMING environment variable on first query (any
+// non-empty value other than "0" enables) and cached.  Locks snapshot the
+// switch at construction, so flipping it mid-run only affects locks created
+// afterwards — which is exactly what a test wants and what a bench never
+// does.
+bool ContentionTimingEnabled();
+// Test hook: overrides the cached switch for locks constructed after the
+// call.  Not thread-safe against concurrent lock construction.
+void SetContentionTimingForTest(bool enabled);
+
+// Wait-time histogram for contended acquisitions, log2(ns) buckets: bucket 0
+// counts zero-duration waits, bucket i counts waits with bit_width(ns) == i,
+// the last bucket absorbs everything from ~2s up.  Fixed-size and atomic so
+// Record() is wait-free and the struct needs no lock of its own.
+struct WaitHistogram {
+  static constexpr std::size_t kBuckets = 32;
+
+  AtomicCell<std::uint64_t> counts[kBuckets];
+  AtomicCell<std::uint64_t> total_ns;
+
+  void Record(std::uint64_t ns) {
+    const std::size_t b =
+        std::min<std::size_t>(static_cast<std::size_t>(std::bit_width(ns)), kBuckets - 1);
+    counts[b].fetch_add_relaxed(1);
+    total_ns.fetch_add_relaxed(ns);
+  }
+
+  std::uint64_t total_count() const {
+    std::uint64_t n = 0;
+    for (const auto& c : counts) {
+      n += c.load_relaxed();
+    }
+    return n;
+  }
+};
+
+namespace internal {
+
+// Monotonic nanosecond read for wait timing.  common/ sits below obs/, so
+// the shared timing layer (obs/timer.h) is unreachable from here without an
+// upward dependency; this is the one sanctioned raw clock read outside obs/,
+// and it is only ever executed on the already-slow contended path with
+// CPT_CONTENTION_TIMING set.
+inline std::uint64_t WaitClockNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now()  // cpt-lint: allow(timing-discipline)
+              .time_since_epoch())
+          .count());
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Annotated lock wrappers.
+// ---------------------------------------------------------------------------
+
+// std::mutex with TSA capability attributes plus debug-build misuse checks.
+// The wrapped primitive is deliberately not exposed: locking goes through
+// the annotated methods (usually via MutexLock) so the analysis sees every
+// acquire/release pair.
+//
+// Telemetry: lock() runs try-lock-first, so `acquisitions` counts every
+// exclusive acquisition exactly while `contended` counts the subset that
+// found the mutex held and had to block.  (std::mutex::try_lock may fail
+// spuriously, so `contended` is a close approximation, not an oracle —
+// treat it as a heat signal, never assert exact values on it.)  When the
+// lock was constructed with contention timing enabled, contended waits are
+// additionally timed into a WaitHistogram.
+class CPT_LOCKABLE Mutex {
+ public:
+  Mutex()
+      : wait_histo_(ContentionTimingEnabled() ? std::make_unique<WaitHistogram>() : nullptr) {}
+  // relaxed: destruction racing any lock op is already a use-after-free.
+  ~Mutex() { CPT_DCHECK(!held_.load(std::memory_order_relaxed), "Mutex destroyed while held"); }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CPT_ACQUIRE() {
+    if (!mu_.try_lock()) {
+      contended_.fetch_add_relaxed(1);
+      if (wait_histo_ != nullptr) {
+        const std::uint64_t t0 = internal::WaitClockNs();
+        mu_.lock();
+        wait_histo_->Record(internal::WaitClockNs() - t0);
+      } else {
+        mu_.lock();
+      }
+    }
+    acquisitions_.fetch_add_relaxed(1);
+    // relaxed: held_ is only read/written by the lock holder (and by the
+    // destructor/DCHECKs, which race only when the program is already wrong).
+    held_.store(true, std::memory_order_relaxed);
+  }
+
+  void unlock() CPT_RELEASE() {
+    // relaxed: see lock(); the flag is diagnostic state owned by the holder.
+    CPT_DCHECK(held_.load(std::memory_order_relaxed), "unlock of a Mutex not held");
+    held_.store(false, std::memory_order_relaxed);
+    mu_.unlock();
+  }
+
+  bool try_lock() CPT_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    acquisitions_.fetch_add_relaxed(1);
+    // relaxed: see lock().
+    held_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  // --- telemetry (readable at any time; counters are relaxed) ---
+  // Total successful exclusive acquisitions (lock() + successful try_lock()).
+  std::uint64_t acquisitions() const { return acquisitions_.load_relaxed(); }
+  // Acquisitions that found the mutex held and blocked.
+  std::uint64_t contended() const { return contended_.load_relaxed(); }
+  // Non-null iff this lock was constructed with contention timing enabled.
+  const WaitHistogram* wait_histogram() const { return wait_histo_.get(); }
+
+ private:
+  std::mutex mu_;
+  std::atomic<bool> held_{false};
+  AtomicCell<std::uint64_t> acquisitions_;
+  AtomicCell<std::uint64_t> contended_;
+  std::unique_ptr<WaitHistogram> wait_histo_;
+};
+
+// std::shared_mutex with TSA attributes: exclusive lock for writers, shared
+// lock for concurrent readers.  Misuse checks mirror Mutex; the reader count
+// additionally catches destroy-while-readers-active.  Telemetry mirrors
+// Mutex with separate exclusive/shared counter pairs; one WaitHistogram
+// covers both flavors of contended wait (per-flavor split was not worth a
+// second 33-word array per lock).
+class CPT_LOCKABLE SharedMutex {
+ public:
+  SharedMutex()
+      : wait_histo_(ContentionTimingEnabled() ? std::make_unique<WaitHistogram>() : nullptr) {}
+  ~SharedMutex() {
+    // relaxed: destruction racing any lock op is already a use-after-free.
+    CPT_DCHECK(!held_.load(std::memory_order_relaxed), "SharedMutex destroyed while held");
+    CPT_DCHECK(readers_.load(std::memory_order_relaxed) == 0,
+               "SharedMutex destroyed with active readers");
+  }
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CPT_ACQUIRE() {
+    if (!mu_.try_lock()) {
+      contended_.fetch_add_relaxed(1);
+      if (wait_histo_ != nullptr) {
+        const std::uint64_t t0 = internal::WaitClockNs();
+        mu_.lock();
+        wait_histo_->Record(internal::WaitClockNs() - t0);
+      } else {
+        mu_.lock();
+      }
+    }
+    acquisitions_.fetch_add_relaxed(1);
+    // relaxed: held_ is diagnostic state owned by the exclusive holder.
+    held_.store(true, std::memory_order_relaxed);
+  }
+
+  void unlock() CPT_RELEASE() {
+    // relaxed: see lock().
+    CPT_DCHECK(held_.load(std::memory_order_relaxed), "unlock of a SharedMutex not held");
+    held_.store(false, std::memory_order_relaxed);
+    mu_.unlock();
+  }
+
+  void lock_shared() CPT_ACQUIRE_SHARED() {
+    if (!mu_.try_lock_shared()) {
+      shared_contended_.fetch_add_relaxed(1);
+      if (wait_histo_ != nullptr) {
+        const std::uint64_t t0 = internal::WaitClockNs();
+        mu_.lock_shared();
+        wait_histo_->Record(internal::WaitClockNs() - t0);
+      } else {
+        mu_.lock_shared();
+      }
+    }
+    shared_acquisitions_.fetch_add_relaxed(1);
+    // relaxed: the counter is diagnostic; the shared_mutex provides ordering.
+    readers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void unlock_shared() CPT_RELEASE_SHARED() {
+    // relaxed: see lock_shared().
+    CPT_DCHECK(readers_.load(std::memory_order_relaxed) > 0,
+               "unlock_shared of a SharedMutex with no readers");
+    // relaxed: diagnostic counter; the shared_mutex provides the ordering.
+    readers_.fetch_sub(1, std::memory_order_relaxed);
+    mu_.unlock_shared();
+  }
+
+  // --- telemetry (readable at any time; counters are relaxed) ---
+  std::uint64_t acquisitions() const { return acquisitions_.load_relaxed(); }
+  std::uint64_t contended() const { return contended_.load_relaxed(); }
+  std::uint64_t shared_acquisitions() const { return shared_acquisitions_.load_relaxed(); }
+  std::uint64_t shared_contended() const { return shared_contended_.load_relaxed(); }
+  const WaitHistogram* wait_histogram() const { return wait_histo_.get(); }
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<bool> held_{false};
+  std::atomic<int> readers_{0};
+  AtomicCell<std::uint64_t> acquisitions_;
+  AtomicCell<std::uint64_t> contended_;
+  AtomicCell<std::uint64_t> shared_acquisitions_;
+  AtomicCell<std::uint64_t> shared_contended_;
+  std::unique_ptr<WaitHistogram> wait_histo_;
+};
+
+// Scoped exclusive lock (the only idiomatic way to take a cpt::Mutex).
+class CPT_SCOPED_LOCKABLE MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CPT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CPT_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Scoped shared (reader) lock over a SharedMutex.
+class CPT_SCOPED_LOCKABLE SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) CPT_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedMutexLock() CPT_RELEASE() { mu_.unlock_shared(); }
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// ---------------------------------------------------------------------------
 // Lock striping.
 // ---------------------------------------------------------------------------
 
@@ -262,6 +399,9 @@ class AtomicCell {
 // dynamically selected stripe; callers take the returned Mutex through
 // MutexLock, and the containing class documents the stripe discipline (see
 // pt::HashedPageTable for the pattern).
+//
+// Each stripe carries the Mutex telemetry above; stripe(i) exposes them for
+// per-stripe heat maps (obs/contention.h renders the breakdown).
 class StripeSet {
  public:
   // count == 0 builds an empty set (striping disabled).
@@ -280,9 +420,75 @@ class StripeSet {
     return stripes_[hash & (count_ - 1)];
   }
 
+  // The index StripeFor would pick (for telemetry labels and tests).
+  unsigned IndexFor(std::uint64_t hash) const {
+    CPT_DCHECK(count_ > 0, "IndexFor on an empty StripeSet");
+    return static_cast<unsigned>(hash & (count_ - 1));
+  }
+
+  // Read-only access to stripe `i`'s telemetry counters.
+  const Mutex& stripe(unsigned i) const {
+    CPT_DCHECK(i < count_, "stripe index out of range");
+    return stripes_[i];
+  }
+
+  // Sum of per-stripe exclusive acquisitions (lock-free snapshot; exact once
+  // all writers have quiesced).
+  std::uint64_t total_acquisitions() const {
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < count_; ++i) {
+      n += stripes_[i].acquisitions();
+    }
+    return n;
+  }
+
+  // Sum of per-stripe contended acquisitions (approximate; see Mutex).
+  std::uint64_t total_contended() const {
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < count_; ++i) {
+      n += stripes_[i].contended();
+    }
+    return n;
+  }
+
  private:
   unsigned count_;
   std::unique_ptr<Mutex[]> stripes_;
+};
+
+// ---------------------------------------------------------------------------
+// Thread group.
+// ---------------------------------------------------------------------------
+
+// The sanctioned home for std::thread (the raw-sync-primitive lint rule bans
+// it elsewhere in src/ and bench/): a join-on-destruction worker group, so
+// thread lifetimes are scoped to an object and detached threads cannot
+// exist.  Threads are joined in spawn order.
+class ThreadGroup {
+ public:
+  ThreadGroup() = default;
+  ~ThreadGroup() { JoinAll(); }
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+
+  template <class Fn, class... Args>
+  void Spawn(Fn&& fn, Args&&... args) {
+    threads_.emplace_back(std::forward<Fn>(fn), std::forward<Args>(args)...);
+  }
+
+  std::size_t size() const { return threads_.size(); }
+
+  void JoinAll() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    threads_.clear();
+  }
+
+ private:
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace cpt

@@ -1,0 +1,201 @@
+#include "obs/contention.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/json_writer.h"
+
+namespace cpt::obs {
+
+namespace {
+
+void FoldWait(const WaitHistogram* wh, bool& has_wait, std::uint64_t& total_ns,
+              std::array<std::uint64_t, WaitHistogram::kBuckets>& buckets) {
+  if (wh == nullptr) {
+    return;
+  }
+  has_wait = true;
+  total_ns += wh->total_ns.load_relaxed();
+  for (std::size_t b = 0; b < WaitHistogram::kBuckets; ++b) {
+    buckets[b] += wh->counts[b].load_relaxed();
+  }
+}
+
+}  // namespace
+
+ContentionRegistry& ContentionRegistry::Global() {
+  static ContentionRegistry registry;
+  return registry;
+}
+
+std::uint64_t ContentionRegistry::RegisterEntry(Entry e) {
+  CPT_CHECK(!e.name.empty(), "contention site needs a non-empty name");
+  MutexLock lock(mu_);
+  const std::uint64_t id = next_id_++;
+  live_.emplace(id, std::move(e));
+  return id;
+}
+
+std::uint64_t ContentionRegistry::Register(std::string_view name, const Mutex* mu) {
+  CPT_CHECK(mu != nullptr, "null Mutex in contention site");
+  Entry e;
+  e.name = std::string(name);
+  e.mu = mu;
+  return RegisterEntry(std::move(e));
+}
+
+std::uint64_t ContentionRegistry::Register(std::string_view name, const SharedMutex* mu) {
+  CPT_CHECK(mu != nullptr, "null SharedMutex in contention site");
+  Entry e;
+  e.name = std::string(name);
+  e.smu = mu;
+  return RegisterEntry(std::move(e));
+}
+
+std::uint64_t ContentionRegistry::Register(std::string_view name, const StripeSet* stripes) {
+  CPT_CHECK(stripes != nullptr, "null StripeSet in contention site");
+  Entry e;
+  e.name = std::string(name);
+  e.stripes = stripes;
+  return RegisterEntry(std::move(e));
+}
+
+void ContentionRegistry::FoldEntry(const Entry& e, Retired& into) {
+  if (e.mu != nullptr) {
+    into.acquisitions += e.mu->acquisitions();
+    into.contended += e.mu->contended();
+    FoldWait(e.mu->wait_histogram(), into.has_wait, into.wait_total_ns, into.wait_buckets);
+  }
+  if (e.smu != nullptr) {
+    into.acquisitions += e.smu->acquisitions();
+    into.contended += e.smu->contended();
+    into.shared_acquisitions += e.smu->shared_acquisitions();
+    into.shared_contended += e.smu->shared_contended();
+    FoldWait(e.smu->wait_histogram(), into.has_wait, into.wait_total_ns, into.wait_buckets);
+  }
+  if (e.stripes != nullptr && !e.stripes->empty()) {
+    if (into.stripes.size() < e.stripes->count()) {
+      into.stripes.resize(e.stripes->count());
+    }
+    for (unsigned i = 0; i < e.stripes->count(); ++i) {
+      const Mutex& stripe = e.stripes->stripe(i);
+      into.stripes[i].acquisitions += stripe.acquisitions();
+      into.stripes[i].contended += stripe.contended();
+      // Site-level totals for a stripe site are the stripe sums, so the
+      // per-stripe breakdown reconciles exactly with the site header.
+      into.acquisitions += stripe.acquisitions();
+      into.contended += stripe.contended();
+      FoldWait(stripe.wait_histogram(), into.has_wait, into.wait_total_ns, into.wait_buckets);
+    }
+  }
+}
+
+void ContentionRegistry::Unregister(std::uint64_t id) {
+  if (id == 0) {
+    return;
+  }
+  MutexLock lock(mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return;
+  }
+  FoldEntry(it->second, retired_[it->second.name]);
+  live_.erase(it);
+}
+
+std::vector<ContentionSiteSnapshot> ContentionRegistry::Snapshot() const {
+  // Aggregate by name: start from the retired totals, fold every live site
+  // in on top.  std::map keeps the result name-sorted.
+  std::map<std::string, Retired> agg;
+  {
+    MutexLock lock(mu_);
+    agg = retired_;
+    for (const auto& [id, e] : live_) {
+      FoldEntry(e, agg[e.name]);
+    }
+  }
+  std::vector<ContentionSiteSnapshot> out;
+  out.reserve(agg.size());
+  for (auto& [name, r] : agg) {
+    ContentionSiteSnapshot s;
+    s.name = name;
+    s.acquisitions = r.acquisitions;
+    s.contended = r.contended;
+    s.shared_acquisitions = r.shared_acquisitions;
+    s.shared_contended = r.shared_contended;
+    s.has_wait = r.has_wait;
+    s.wait_total_ns = r.wait_total_ns;
+    s.wait_buckets = r.wait_buckets;
+    s.stripes = std::move(r.stripes);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ContentionRegistry::ToJson(JsonWriter& w) const {
+  const std::vector<ContentionSiteSnapshot> sites = Snapshot();
+  std::uint64_t total_acq = 0;
+  std::uint64_t total_cont = 0;
+  w.BeginObject();
+  w.KV("contention_timing", ContentionTimingEnabled());
+  w.Key("sites");
+  w.BeginArray();
+  for (const ContentionSiteSnapshot& s : sites) {
+    total_acq += s.total_acquisitions();
+    total_cont += s.total_contended();
+    w.BeginObject();
+    w.KV("name", s.name);
+    w.KV("acquisitions", s.acquisitions);
+    w.KV("contended", s.contended);
+    w.KV("shared_acquisitions", s.shared_acquisitions);
+    w.KV("shared_contended", s.shared_contended);
+    w.KV("contended_fraction", s.contended_fraction());
+    if (s.has_wait) {
+      w.Key("wait");
+      w.BeginObject();
+      w.KV("count", s.wait_count());
+      w.KV("total_ns", s.wait_total_ns);
+      w.Key("buckets");
+      w.BeginObject();
+      for (std::size_t b = 0; b < s.wait_buckets.size(); ++b) {
+        if (s.wait_buckets[b] != 0) {
+          // Key is the log2(ns) bucket index (see WaitHistogram).
+          w.KV(std::to_string(b), s.wait_buckets[b]);
+        }
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    if (!s.stripes.empty()) {
+      w.Key("stripes");
+      w.BeginArray();
+      for (std::size_t i = 0; i < s.stripes.size(); ++i) {
+        w.BeginObject();
+        w.KV("index", static_cast<std::uint64_t>(i));
+        w.KV("acquisitions", s.stripes[i].acquisitions);
+        w.KV("contended", s.stripes[i].contended);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("totals");
+  w.BeginObject();
+  w.KV("acquisitions", total_acq);
+  w.KV("contended", total_cont);
+  w.KV("contended_fraction",
+       total_acq == 0 ? 0.0 : static_cast<double>(total_cont) / static_cast<double>(total_acq));
+  w.EndObject();
+  w.EndObject();
+}
+
+void ContentionRegistry::ResetForTest() {
+  MutexLock lock(mu_);
+  live_.clear();
+  retired_.clear();
+}
+
+}  // namespace cpt::obs

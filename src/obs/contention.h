@@ -1,0 +1,168 @@
+// Lock-contention observability: a process-wide registry of named lock
+// sites.
+//
+// The counters themselves live inside cpt::Mutex / cpt::SharedMutex /
+// cpt::StripeSet (common/sync.h) so common/ stays dependency-free; this
+// layer adds the *names*.  A lock owner registers each interesting lock (or
+// stripe set) under a dotted site name ("pt.hashed.alloc",
+// "pt.hashed.stripes") via an RAII ContentionSite handle, and the registry
+// can snapshot every live site's counters at any time — per-site totals,
+// contended fractions, per-stripe heat maps, and (when CPT_CONTENTION_TIMING
+// is set) log2-bucketed wait-time histograms.
+//
+// Lifetime: sites usually die before the report is written (a bench
+// destroys its Machines, then BenchIo's destructor emits the JSON), so
+// unregistration folds the lock's final counters into a retained per-name
+// aggregate.  A snapshot therefore sees every acquisition ever made under a
+// name, whether the lock is still alive or not.  Multiple concurrent
+// registrations of one name (e.g. four machines each owning a
+// "pt.hashed.stripes" set) aggregate into one site, summed index-wise for
+// stripes.
+//
+// Thread safety: Register/Unregister/Snapshot serialize on an internal
+// mutex; the counter reads themselves are relaxed atomic loads, so
+// snapshotting while workers run is safe and sees a momentary (not
+// necessarily mutually consistent) view.  Exact reconciliation claims hold
+// once the workers have quiesced.
+#ifndef CPT_OBS_CONTENTION_H_
+#define CPT_OBS_CONTENTION_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace cpt::obs {
+
+class JsonWriter;
+
+// Point-in-time counters for one named site, live + retired combined.
+struct ContentionSiteSnapshot {
+  std::string name;
+  std::uint64_t acquisitions = 0;         // Exclusive (lock / try_lock success).
+  std::uint64_t contended = 0;            // Exclusive acquisitions that blocked.
+  std::uint64_t shared_acquisitions = 0;  // SharedMutex readers.
+  std::uint64_t shared_contended = 0;
+
+  // Wait-time histogram, summed over the site's locks; all-zero unless the
+  // locks were built with contention timing enabled (`has_wait` says which).
+  bool has_wait = false;
+  std::uint64_t wait_total_ns = 0;
+  std::array<std::uint64_t, WaitHistogram::kBuckets> wait_buckets{};
+
+  // Per-stripe (acquisitions, contended) pairs, index-wise across the
+  // site's stripe sets; empty for plain Mutex/SharedMutex sites.
+  struct Stripe {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended = 0;
+  };
+  std::vector<Stripe> stripes;
+
+  std::uint64_t total_acquisitions() const { return acquisitions + shared_acquisitions; }
+  std::uint64_t total_contended() const { return contended + shared_contended; }
+  double contended_fraction() const {
+    const std::uint64_t n = total_acquisitions();
+    return n == 0 ? 0.0 : static_cast<double>(total_contended()) / static_cast<double>(n);
+  }
+  std::uint64_t wait_count() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : wait_buckets) {
+      n += c;
+    }
+    return n;
+  }
+};
+
+class CPT_SHARED ContentionRegistry {
+ public:
+  // The process-wide instance every ContentionSite registers with and every
+  // bench report snapshots.
+  static ContentionRegistry& Global();
+
+  ContentionRegistry() = default;
+  ContentionRegistry(const ContentionRegistry&) = delete;
+  ContentionRegistry& operator=(const ContentionRegistry&) = delete;
+
+  // Registration (normally via the ContentionSite RAII handle below).  The
+  // referenced lock must outlive the registration.  Returns an id for
+  // Unregister; id 0 is never issued.
+  std::uint64_t Register(std::string_view name, const Mutex* mu);
+  std::uint64_t Register(std::string_view name, const SharedMutex* mu);
+  std::uint64_t Register(std::string_view name, const StripeSet* stripes);
+  // Folds the site's final counters into the retained per-name aggregate
+  // and drops the lock reference.  Ignores id 0 / unknown ids.
+  void Unregister(std::uint64_t id);
+
+  // All sites (live + retired), aggregated by name, sorted by name.
+  std::vector<ContentionSiteSnapshot> Snapshot() const;
+
+  // The bench report's `concurrency` section: {contention_timing, sites:[…],
+  // totals:{…}}.  Deterministically ordered.
+  void ToJson(JsonWriter& w) const;
+
+  // Drops every live registration and retired aggregate.  Test isolation
+  // only — never call while sites are registered by live objects.
+  void ResetForTest();
+
+ private:
+  struct Entry {
+    std::string name;
+    const Mutex* mu = nullptr;
+    const SharedMutex* smu = nullptr;
+    const StripeSet* stripes = nullptr;
+  };
+
+  // Retained counters of unregistered sites, keyed by name.
+  struct Retired {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended = 0;
+    std::uint64_t shared_acquisitions = 0;
+    std::uint64_t shared_contended = 0;
+    bool has_wait = false;
+    std::uint64_t wait_total_ns = 0;
+    std::array<std::uint64_t, WaitHistogram::kBuckets> wait_buckets{};
+    std::vector<ContentionSiteSnapshot::Stripe> stripes;
+  };
+
+  static void FoldEntry(const Entry& e, Retired& into);
+
+  std::uint64_t RegisterEntry(Entry e);
+
+  mutable Mutex mu_;
+  std::uint64_t next_id_ CPT_GUARDED_BY(mu_) = 1;
+  std::map<std::uint64_t, Entry> live_ CPT_GUARDED_BY(mu_);
+  std::map<std::string, Retired> retired_ CPT_GUARDED_BY(mu_);
+};
+
+// RAII site registration against ContentionRegistry::Global().  Declare it
+// AFTER the lock members it names, so it unregisters (and folds the final
+// counters) before the locks are destroyed.
+class ContentionSite {
+ public:
+  ContentionSite() = default;  // Empty handle; registers nothing.
+  ContentionSite(std::string_view name, const Mutex* mu)
+      : id_(ContentionRegistry::Global().Register(name, mu)) {}
+  ContentionSite(std::string_view name, const SharedMutex* mu)
+      : id_(ContentionRegistry::Global().Register(name, mu)) {}
+  // An empty StripeSet (striping disabled) registers nothing, so owners can
+  // declare the handle unconditionally.
+  ContentionSite(std::string_view name, const StripeSet* stripes)
+      : id_(stripes == nullptr || stripes->empty()
+                ? 0
+                : ContentionRegistry::Global().Register(name, stripes)) {}
+  ~ContentionSite() { ContentionRegistry::Global().Unregister(id_); }
+
+  ContentionSite(const ContentionSite&) = delete;
+  ContentionSite& operator=(const ContentionSite&) = delete;
+
+ private:
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace cpt::obs
+
+#endif  // CPT_OBS_CONTENTION_H_

@@ -39,6 +39,13 @@ class MetricRegistry {
   std::size_t size() const { return instruments_.size(); }
   bool empty() const { return instruments_.empty(); }
 
+  // Folds `other` into this registry instrument-by-instrument: counters sum,
+  // histograms and stats Merge, gauges take `other`'s value (last writer
+  // wins, so folding shards in index order is deterministic).  Instruments
+  // only present in `other` are interned here; re-merging the same name with
+  // a different type trips a CPT_CHECK.
+  void MergeFrom(const MetricRegistry& other);
+
   // Visits every counter instrument in dump order (name, labels, value).
   // Used by IntervalSnapshotter to delta-sample a registry at window
   // boundaries without exposing the instrument map.

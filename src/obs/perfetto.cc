@@ -15,13 +15,37 @@ PerfettoExporter::PerfettoExporter(std::ostream& os, Options opts)
   writer_->Key("traceEvents");
   writer_->BeginArray();
   EmitMeta("process_name", 0, "cpt-sim");
-  EmitMeta("thread_name", kTrackTlb, "TLB");
-  EmitMeta("thread_name", kTrackWalk, "PT walk");
-  EmitMeta("thread_name", kTrackOs, "OS");
-  EmitMeta("thread_name", kTrackAllocator, "allocator");
-  EmitMeta("thread_name", kTrackSwTlb, "softTLB");
-  EmitMeta("thread_name", kTrackSections, "sections");
-  EmitMeta("thread_name", kTrackTimeseries, "timeseries");
+  EnsureShardTracks(0);
+}
+
+void PerfettoExporter::EnsureShardTracks(std::uint16_t shard) {
+  if (shard < shard_announced_.size() && shard_announced_[shard]) {
+    return;
+  }
+  if (shard >= shard_announced_.size()) {
+    shard_announced_.resize(shard + 1, false);
+  }
+  shard_announced_[shard] = true;
+  // Shard 0 keeps the original bare names so single-threaded traces are
+  // unchanged; other shards get a suffixed copy of each track.
+  const std::string suffix = shard == 0 ? "" : " (shard " + std::to_string(shard) + ")";
+  EmitMeta("thread_name", Tid(shard, kTrackTlb), "TLB" + suffix);
+  EmitMeta("thread_name", Tid(shard, kTrackWalk), "PT walk" + suffix);
+  EmitMeta("thread_name", Tid(shard, kTrackOs), "OS" + suffix);
+  EmitMeta("thread_name", Tid(shard, kTrackAllocator), "allocator" + suffix);
+  EmitMeta("thread_name", Tid(shard, kTrackSwTlb), "softTLB" + suffix);
+  if (shard == 0) {
+    // Sections and timeseries are run-global; they exist once.
+    EmitMeta("thread_name", Tid(0, kTrackSections), "sections");
+    EmitMeta("thread_name", Tid(0, kTrackTimeseries), "timeseries");
+  }
+}
+
+PerfettoExporter::WalkState& PerfettoExporter::WalkStateFor(std::uint16_t shard) {
+  if (shard >= walk_.size()) {
+    walk_.resize(shard + 1);
+  }
+  return walk_[shard];
 }
 
 PerfettoExporter::~PerfettoExporter() { Finish(); }
@@ -136,10 +160,13 @@ void PerfettoExporter::BeginSection(std::string_view label) {
 void PerfettoExporter::Record(const WalkEvent& event) {
   CPT_CHECK(!finished_);
   ++now_;
+  const std::uint16_t shard = event.shard;
+  EnsureShardTracks(shard);
+  WalkState& walk = WalkStateFor(shard);
   switch (event.kind) {
     case EventKind::kTlbHit:
       if (opts_.include_hits) {
-        Instant("tlb_hit", kTrackTlb);
+        Instant("tlb_hit", Tid(shard, kTrackTlb));
       }
       break;
 
@@ -147,45 +174,46 @@ void PerfettoExporter::Record(const WalkEvent& event) {
     case EventKind::kTlbBlockMiss:
     case EventKind::kTlbSubblockMiss:
       ++misses_;
-      Instant(ToString(event.kind), kTrackTlb);
-      walk_open_ = true;
-      walk_faulted_ = false;
-      walk_start_ = now_;
-      walk_vpn_ = event.vpn;
-      walk_steps_ = 0;
+      Instant(ToString(event.kind), Tid(shard, kTrackTlb));
+      walk.open = true;
+      walk.faulted = false;
+      walk.start = now_;
+      walk.vpn = event.vpn;
+      walk.steps = 0;
       break;
 
     case EventKind::kWalkStep:
-      if (walk_open_) {
-        ++walk_steps_;
+      if (walk.open) {
+        ++walk.steps;
       }
       break;
 
     case EventKind::kWalkHit:
-      break;  // Folded into the slice args via walk_steps_.
+      break;  // Folded into the slice args via walk.steps.
 
     case EventKind::kWalkAbort:
-      if (walk_open_) {
-        walk_faulted_ = true;
+      if (walk.open) {
+        walk.faulted = true;
       }
       break;
 
     case EventKind::kWalkEnd: {
-      if (!walk_open_) {
+      if (!walk.open) {
         break;
       }
-      walk_open_ = false;
+      walk.open = false;
       lines_ += event.lines;
       ++walks_;
       if (Budget()) {
-        BeginEvent("X", walk_faulted_ ? "walk+fault" : "walk", kTrackWalk, walk_start_);
-        writer_->KV("dur", now_ - walk_start_ + 1);
+        BeginEvent("X", walk.faulted ? "walk+fault" : "walk", Tid(shard, kTrackWalk),
+                   walk.start);
+        writer_->KV("dur", now_ - walk.start + 1);
         writer_->Key("args");
         writer_->BeginObject();
-        writer_->KV("vpn", walk_vpn_);
-        writer_->KV("steps", std::uint64_t{walk_steps_});
+        writer_->KV("vpn", walk.vpn);
+        writer_->KV("steps", std::uint64_t{walk.steps});
         writer_->KV("lines", std::uint64_t{event.lines});
-        writer_->KV("faulted", walk_faulted_);
+        writer_->KV("faulted", walk.faulted);
         writer_->EndObject();
         EndEvent();
         ++events_written_;
@@ -197,22 +225,22 @@ void PerfettoExporter::Record(const WalkEvent& event) {
     }
 
     case EventKind::kPageFault:
-      Instant("page_fault", kTrackOs);
+      Instant("page_fault", Tid(shard, kTrackOs));
       break;
     case EventKind::kPtePromotion:
-      Instant("pte_promotion", kTrackOs);
+      Instant("pte_promotion", Tid(shard, kTrackOs));
       break;
     case EventKind::kBlockPrefetch:
-      Instant("block_prefetch", kTrackTlb);
+      Instant("block_prefetch", Tid(shard, kTrackTlb));
       break;
     case EventKind::kReservationGrant:
-      Instant(event.value != 0 ? "grant" : "grant_misplaced", kTrackAllocator);
+      Instant(event.value != 0 ? "grant" : "grant_misplaced", Tid(shard, kTrackAllocator));
       break;
     case EventKind::kSwTlbHit:
-      Instant("swtlb_hit", kTrackSwTlb);
+      Instant("swtlb_hit", Tid(shard, kTrackSwTlb));
       break;
     case EventKind::kSwTlbMiss:
-      Instant("swtlb_miss", kTrackSwTlb);
+      Instant("swtlb_miss", Tid(shard, kTrackSwTlb));
       break;
   }
 }

@@ -1,0 +1,139 @@
+#include "obs/sharded.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cpt::obs {
+
+ShardedMetricRegistry::ShardedMetricRegistry(std::size_t shard_count) {
+  CPT_CHECK(shard_count > 0, "ShardedMetricRegistry needs at least one shard");
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<MetricRegistry>());
+  }
+}
+
+MetricRegistry& ShardedMetricRegistry::shard(std::size_t i) {
+  CPT_CHECK(i < shards_.size(), "shard index out of range");
+  return *shards_[i];
+}
+
+MetricRegistry ShardedMetricRegistry::Merged() const {
+  MetricRegistry merged;
+  for (const auto& s : shards_) {
+    merged.MergeFrom(*s);
+  }
+  return merged;
+}
+
+ShardTracer::ShardTracer(std::uint16_t shard_index, std::size_t capacity)
+    : shard_(shard_index), capacity_(std::max<std::size_t>(capacity, 1)) {
+  buffer_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void ShardTracer::Record(const WalkEvent& event) {
+  ++total_;
+  ++counts_[event.kind];
+  Entry e;
+  e.ref = current_ref_;
+  e.seq = seq_++;
+  e.event = event;
+  e.event.shard = shard_;
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(e);
+    return;
+  }
+  buffer_[next_] = e;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<ShardTracer::Entry> ShardTracer::Entries() const {
+  std::vector<Entry> out;
+  out.reserve(buffer_.size());
+  // Oldest first: the ring's insertion cursor points at the oldest entry
+  // once the buffer has wrapped.
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(next_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+ShardedTraceBuffer::ShardedTraceBuffer(std::size_t shard_count, std::size_t capacity_per_shard) {
+  CPT_CHECK(shard_count > 0, "ShardedTraceBuffer needs at least one shard");
+  CPT_CHECK(shard_count <= UINT16_MAX, "shard count exceeds WalkEvent::shard range");
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(
+        std::make_unique<ShardTracer>(static_cast<std::uint16_t>(i), capacity_per_shard));
+  }
+}
+
+ShardTracer& ShardedTraceBuffer::shard(std::size_t i) {
+  CPT_CHECK(i < shards_.size(), "shard index out of range");
+  return *shards_[i];
+}
+
+std::vector<WalkEvent> ShardedTraceBuffer::MergedEvents() const {
+  std::vector<ShardTracer::Entry> all;
+  all.reserve(TotalRecorded() - TotalDropped());
+  for (const auto& s : shards_) {
+    const std::vector<ShardTracer::Entry> entries = s->Entries();
+    all.insert(all.end(), entries.begin(), entries.end());
+  }
+  // (ref, shard, seq): global replay order, then shard index for
+  // deterministic cross-shard ties, then per-shard emission order.  A
+  // stable_sort would also work, but the key is already a total order.
+  std::sort(all.begin(), all.end(), [](const ShardTracer::Entry& a, const ShardTracer::Entry& b) {
+    if (a.ref != b.ref) {
+      return a.ref < b.ref;
+    }
+    if (a.event.shard != b.event.shard) {
+      return a.event.shard < b.event.shard;
+    }
+    return a.seq < b.seq;
+  });
+  std::vector<WalkEvent> out;
+  out.reserve(all.size());
+  for (const ShardTracer::Entry& e : all) {
+    out.push_back(e.event);
+  }
+  return out;
+}
+
+void ShardedTraceBuffer::WriteMergedJsonl(std::ostream& os) const {
+  for (const WalkEvent& e : MergedEvents()) {
+    EventToJson(os, e);
+    os << '\n';
+  }
+}
+
+EventCounts ShardedTraceBuffer::MergedCounts() const {
+  EventCounts merged;
+  for (const auto& s : shards_) {
+    for (std::size_t k = 0; k < kEventKindCount; ++k) {
+      const auto kind = static_cast<EventKind>(k);
+      merged[kind] += s->counts()[kind];
+    }
+  }
+  return merged;
+}
+
+std::uint64_t ShardedTraceBuffer::TotalRecorded() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) {
+    n += s->total_recorded();
+  }
+  return n;
+}
+
+std::uint64_t ShardedTraceBuffer::TotalDropped() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) {
+    n += s->dropped();
+  }
+  return n;
+}
+
+}  // namespace cpt::obs

@@ -1,0 +1,129 @@
+// Thread-sharded telemetry: per-shard metric registries and trace buffers
+// with deterministic fan-in merges.
+//
+// ROADMAP item 1 splits a replay across worker shards.  The telemetry
+// contract that must survive that split is determinism: a sharded run, with
+// telemetry attached, must report bit-identical *simulated* metrics to the
+// equivalent serial run.  The two classes here provide the sharded half:
+//
+//   ShardedMetricRegistry — one private MetricRegistry per shard (no
+//     cross-thread sharing, no locks on the hot path); Merged() folds the
+//     shards in index order, so counters sum and histograms/RunningStats
+//     combine the same way every run.
+//
+//   ShardedTraceBuffer — one ring-buffered WalkTracer per shard.  Workers
+//     stamp each reference with its *global* trace index (BeginRef) before
+//     emitting events, and the fan-in merge orders events by
+//     (ref, shard, seq): global replay order first, shard index to break
+//     cross-shard ties deterministically, per-shard sequence to keep one
+//     walk's events in emission order.  The merged stream of a 1-shard run
+//     is byte-identical to a plain RingBufferTracer dump of the same
+//     events.
+//
+// Neither class is itself thread-safe across one shard: exactly one worker
+// may use shard(i) at a time, which is the whole point — synchronization
+// happens once at merge time, not per event.
+#ifndef CPT_OBS_SHARDED_H_
+#define CPT_OBS_SHARDED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cpt::obs {
+
+class ShardedMetricRegistry {
+ public:
+  explicit ShardedMetricRegistry(std::size_t shard_count);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  // Shard `i`'s private registry; owned by exactly one worker at a time.
+  MetricRegistry& shard(std::size_t i);
+
+  // Deterministic fold: shard 0, then shard 1, … into a fresh registry.
+  // Counters sum; histograms and stats Merge; gauges take the last shard's
+  // value (shards writing the same gauge should agree or not share it).
+  MetricRegistry Merged() const;
+
+ private:
+  // unique_ptr so references handed to workers stay stable.
+  std::vector<std::unique_ptr<MetricRegistry>> shards_;
+};
+
+// One shard's tracer: a bounded ring of (ref, seq, event) records.  The
+// worker calls BeginRef(global_ref_index) before replaying each reference;
+// every event recorded until the next BeginRef is stamped with that ref and
+// an incrementing per-shard sequence number, and with the shard id in
+// WalkEvent::shard (shard 0 keeps shard == 0, preserving the single-thread
+// wire format).
+class ShardTracer final : public WalkTracer {
+ public:
+  ShardTracer(std::uint16_t shard_index, std::size_t capacity);
+
+  void BeginRef(std::uint64_t ref_index) { current_ref_ = ref_index; }
+  void Record(const WalkEvent& event) override;
+
+  std::uint16_t shard_index() const { return shard_; }
+  std::size_t size() const { return buffer_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total_recorded() const { return total_; }
+  const EventCounts& counts() const { return counts_; }
+
+ private:
+  friend class ShardedTraceBuffer;
+
+  struct Entry {
+    std::uint64_t ref = 0;
+    std::uint64_t seq = 0;
+    WalkEvent event;
+  };
+
+  // Buffered entries, oldest first (same unwrap as RingBufferTracer).
+  std::vector<Entry> Entries() const;
+
+  std::uint16_t shard_;
+  std::size_t capacity_;
+  std::vector<Entry> buffer_;  // Ring storage.
+  std::size_t next_ = 0;       // Insertion cursor once full.
+  std::uint64_t current_ref_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_ = 0;
+  EventCounts counts_;
+};
+
+class ShardedTraceBuffer {
+ public:
+  // `capacity_per_shard` bounds each shard's ring independently, so one
+  // chatty shard cannot evict another shard's events.
+  explicit ShardedTraceBuffer(std::size_t shard_count,
+                              std::size_t capacity_per_shard = 1 << 16);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  ShardTracer& shard(std::size_t i);
+
+  // Surviving events across all shards, merged in (ref, shard, seq) order.
+  std::vector<WalkEvent> MergedEvents() const;
+
+  // One compact JSON object per line per merged event (the --trace format).
+  void WriteMergedJsonl(std::ostream& os) const;
+
+  // Per-kind totals summed over shards (order-independent, hence exact even
+  // though rings may have dropped events).
+  EventCounts MergedCounts() const;
+
+  std::uint64_t TotalRecorded() const;
+  std::uint64_t TotalDropped() const;
+
+ private:
+  std::vector<std::unique_ptr<ShardTracer>> shards_;
+};
+
+}  // namespace cpt::obs
+
+#endif  // CPT_OBS_SHARDED_H_

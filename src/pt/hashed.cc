@@ -37,7 +37,10 @@ HashedPageTable::HashedPageTable(mem::CacheTouchModel& cache, Options opts)
       alloc_(cache.line_size(), opts.placement),
       bucket_base_(alloc_.Allocate(std::uint64_t{opts.num_buckets} * bucket_stride_)),
       buckets_(opts.num_buckets, AtomicCell<std::int32_t>{kNil}),
-      stripes_(opts.lock_stripes) {
+      stripes_(opts.lock_stripes),
+      alloc_site_(opts.inverted ? "pt.hashed_inverted.alloc" : "pt.hashed.alloc", &alloc_mu_),
+      stripe_site_(opts.inverted ? "pt.hashed_inverted.stripes" : "pt.hashed.stripes",
+                   &stripes_) {
   CPT_CHECK(IsPowerOfTwo(opts.num_buckets));
   if (!stripes_.empty()) {
     // Lock-free walkers hold pointers into the arena across stripe-locked

@@ -41,6 +41,7 @@
 #include "common/stats.h"
 #include "common/sync.h"
 #include "mem/sim_alloc.h"
+#include "obs/contention.h"
 #include "pt/page_table.h"
 
 namespace cpt::pt {
@@ -105,6 +106,11 @@ class CPT_SHARED HashedPageTable final : public PageTable {
   unsigned tag_shift() const { return opts_.tag_shift; }
   std::uint32_t num_buckets() const { return opts_.num_buckets; }
   bool striped() const { return !stripes_.empty(); }
+  // The stripe-lock set (empty unless striped) and the node-allocator lock:
+  // read-only views of their acquisition/contention counters, for telemetry
+  // reconciliation in tests and benches.
+  const StripeSet& stripe_set() const { return stripes_; }
+  const Mutex& alloc_mutex() const { return alloc_mu_; }
   std::uint64_t node_count() const { return live_nodes_.load_relaxed(); }
   double LoadFactor() const {
     return static_cast<double>(live_nodes_.load_relaxed()) /
@@ -176,6 +182,12 @@ class CPT_SHARED HashedPageTable final : public PageTable {
   StripeSet stripes_;
   AtomicCell<std::uint64_t> live_nodes_;
   AtomicCell<std::uint64_t> live_translations_;
+  // Contention-observability registrations (obs/contention.h): set once in
+  // the constructor, touched again only by their destructors, so they carry
+  // no guard.  Declared LAST so they unregister — folding the final counts
+  // into the global registry — before the locks they reference die.
+  obs::ContentionSite alloc_site_;   // cpt-lint: allow(guarded-by-coverage)
+  obs::ContentionSite stripe_site_;  // cpt-lint: allow(guarded-by-coverage)
 };
 
 }  // namespace cpt::pt

@@ -78,7 +78,8 @@ std::unique_ptr<pt::PageTable> MakeBareTable(PtKind kind, mem::CacheTouchModel& 
                                                           pt::ForwardMappedPageTable::Options{});
     case PtKind::kHashed:
       return std::make_unique<pt::HashedPageTable>(
-          cache, pt::HashedPageTable::Options{.num_buckets = opts.num_buckets});
+          cache, pt::HashedPageTable::Options{.num_buckets = opts.num_buckets,
+                                              .lock_stripes = opts.lock_stripes});
     case PtKind::kHashedMulti:
       return std::make_unique<pt::MultiTableHashed>(
           cache,
@@ -102,8 +103,9 @@ std::unique_ptr<pt::PageTable> MakeBareTable(PtKind kind, mem::CacheTouchModel& 
                                                     .subblock_factor = opts.subblock_factor});
     case PtKind::kHashedInverted:
       return std::make_unique<pt::HashedPageTable>(
-          cache,
-          pt::HashedPageTable::Options{.num_buckets = opts.num_buckets, .inverted = true});
+          cache, pt::HashedPageTable::Options{.num_buckets = opts.num_buckets,
+                                              .inverted = true,
+                                              .lock_stripes = opts.lock_stripes});
   }
   return nullptr;
 }

@@ -1,0 +1,43 @@
+# Script-mode ctest helper: the contention bench, end to end at smoke scale.
+# Runs bench_contention with a reduced insert budget and requires that it
+#   1. exits 0 — the in-bench reconciliation CPT_CHECKs (stripe acquisitions
+#      == inserts, alloc acquisitions == inserts, per run) all held,
+#   2. produces a report that tools/check_bench_json.py accepts — which
+#      validates the `concurrency` section's internal sums exactly, and
+#   3. actually exercised the striped paths: the report names the stripe and
+#      allocator sites and records nonzero stripe acquisitions.
+#
+# Invoked as:
+#   cmake -DBENCH=<binary> -DCHECKER=<check_bench_json.py> -DPYTHON=<python3>
+#         -DOUT=<scratch.json> -P this_file
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env CPT_CONTENTION_INSERTS=20000
+          CPT_CONTENTION_THREADS=4
+          "${BENCH}" "--json=${OUT}"
+  RESULT_VARIABLE result
+  ERROR_VARIABLE err)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "contention bench run failed (exit ${result}): ${err}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${OUT}"
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR
+          "contention report failed schema validation: ${out} ${err}")
+endif()
+
+file(READ "${OUT}" report)
+if(NOT report MATCHES "\"name\": \"pt.hashed.stripes\"")
+  message(FATAL_ERROR "contention report does not name the stripe site")
+endif()
+if(NOT report MATCHES "\"name\": \"pt.hashed.alloc\"")
+  message(FATAL_ERROR "contention report does not name the allocator site")
+endif()
+if(NOT report MATCHES "\"stripe_acquisitions\": [1-9]")
+  message(FATAL_ERROR "contention report records no stripe acquisitions")
+endif()
+message(STATUS "contention bench report is schema-valid with live stripe sites")

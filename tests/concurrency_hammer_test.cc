@@ -119,6 +119,22 @@ TEST(ConcurrencyHammerTest, StripedHashedInsertLookupUpdate) {
   EXPECT_EQ(walker_wrong_ppn.load(), 0u);
   EXPECT_EQ(update_failures.load(), 0u);
 
+  // Contention telemetry must reconcile exactly now that the workers have
+  // quiesced (and before the oracle-mirroring below re-upserts the hammered
+  // keys): every insert so far (seed + hammered) took exactly one stripe
+  // lock, Lookup / UpdateAttrFlags took none, and each fresh key allocated
+  // one node under the allocator lock.  The per-stripe counters must in
+  // turn sum to the set-level total.
+  const std::uint64_t inserts_so_far = kSeedPages + kInserters * std::uint64_t{kNewPerThread};
+  ASSERT_TRUE(table.striped());
+  EXPECT_EQ(table.stripe_set().total_acquisitions(), inserts_so_far);
+  EXPECT_EQ(table.alloc_mutex().acquisitions(), inserts_so_far);
+  std::uint64_t per_stripe = 0;
+  for (unsigned s = 0; s < table.stripe_set().count(); ++s) {
+    per_stripe += table.stripe_set().stripe(s).acquisitions();
+  }
+  EXPECT_EQ(per_stripe, table.stripe_set().total_acquisitions());
+
   // R/M bits first: mirroring the hammered inserts below rewrites words and
   // InsertBase wipes attributes.
   for (unsigned i = 0; i < kSeedPages; ++i) {
@@ -144,6 +160,13 @@ TEST(ConcurrencyHammerTest, StripedHashedInsertLookupUpdate) {
   const std::uint64_t expected = kSeedPages + kInserters * std::uint64_t{kNewPerThread};
   EXPECT_EQ(table.node_count(), expected);
   EXPECT_EQ(table.live_translations(), expected);
+
+  // The mirroring upserts above each took a stripe lock (chain mutation)
+  // but allocated nothing: the allocator count is unchanged while the
+  // stripe count grew by exactly the re-upserted keys.
+  EXPECT_EQ(table.stripe_set().total_acquisitions(),
+            expected + kInserters * std::uint64_t{kNewPerThread});
+  EXPECT_EQ(table.alloc_mutex().acquisitions(), expected);
 
   // Cross-checked sweep through the oracle, plus a guaranteed miss.
   for (unsigned i = 0; i < kSeedPages; ++i) {

@@ -1,0 +1,393 @@
+// Tests for the concurrency-observability layer: the named lock-site
+// registry (obs/contention.h) and the thread-sharded telemetry fan-in
+// (obs/sharded.h), plus the Perfetto exporter's per-shard track mapping.
+//
+// The contention tests share the process-wide ContentionRegistry::Global(),
+// so each one starts from ResetForTest() and keeps every ContentionSite it
+// creates scoped inside the test body.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/sync.h"
+#include "obs/contention.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/perfetto.h"
+#include "obs/sharded.h"
+#include "obs/trace.h"
+
+namespace cpt::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ContentionRegistry
+
+class ContentionRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ContentionRegistry::Global().ResetForTest(); }
+  void TearDown() override { ContentionRegistry::Global().ResetForTest(); }
+};
+
+TEST_F(ContentionRegistryTest, LiveSiteSnapshotAndRetiredFold) {
+  {
+    Mutex mu;
+    ContentionSite site("test.mu", &mu);
+    for (int i = 0; i < 3; ++i) {
+      mu.lock();
+      mu.unlock();
+    }
+
+    std::vector<ContentionSiteSnapshot> live = ContentionRegistry::Global().Snapshot();
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].name, "test.mu");
+    EXPECT_EQ(live[0].acquisitions, 3u);
+    EXPECT_EQ(live[0].contended, 0u);
+    EXPECT_EQ(live[0].shared_acquisitions, 0u);
+    EXPECT_TRUE(live[0].stripes.empty());
+    EXPECT_EQ(live[0].total_acquisitions(), 3u);
+    EXPECT_DOUBLE_EQ(live[0].contended_fraction(), 0.0);
+  }
+
+  // The site (and its mutex) are gone, but the name's counters survive in
+  // the retired aggregate — a report written after teardown sees them.
+  std::vector<ContentionSiteSnapshot> retired = ContentionRegistry::Global().Snapshot();
+  ASSERT_EQ(retired.size(), 1u);
+  EXPECT_EQ(retired[0].name, "test.mu");
+  EXPECT_EQ(retired[0].acquisitions, 3u);
+}
+
+TEST_F(ContentionRegistryTest, SameNameAggregatesAcrossRegistrations) {
+  Mutex a;
+  Mutex b;
+  ContentionSite site_a("test.shared_name", &a);
+
+  for (int i = 0; i < 2; ++i) {
+    a.lock();
+    a.unlock();
+  }
+  {
+    // `b` registers, acquires 5 times, and retires while `a` stays live:
+    // the snapshot must fold live + retired counters under one name.
+    ContentionSite site_b("test.shared_name", &b);
+    for (int i = 0; i < 5; ++i) {
+      b.lock();
+      b.unlock();
+    }
+  }
+
+  std::vector<ContentionSiteSnapshot> snap = ContentionRegistry::Global().Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "test.shared_name");
+  EXPECT_EQ(snap[0].acquisitions, 7u);
+}
+
+TEST_F(ContentionRegistryTest, SharedMutexSplitsSharedAndExclusive) {
+  SharedMutex mu;
+  ContentionSite site("test.rw", &mu);
+
+  mu.lock_shared();
+  mu.unlock_shared();
+  mu.lock_shared();
+  mu.unlock_shared();
+  mu.lock();
+  mu.unlock();
+
+  std::vector<ContentionSiteSnapshot> snap = ContentionRegistry::Global().Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].acquisitions, 1u);
+  EXPECT_EQ(snap[0].shared_acquisitions, 2u);
+  EXPECT_EQ(snap[0].total_acquisitions(), 3u);
+}
+
+TEST_F(ContentionRegistryTest, StripeSetSnapshotReconcilesPerStripe) {
+  StripeSet stripes(4);
+  ContentionSite site("test.stripes", &stripes);
+
+  // Hit stripe 1 twice and stripe 3 once via the hash-selection path the
+  // page tables use (StripeFor masks the hash, so hash == stripe index here).
+  for (std::uint64_t hash : {1u, 1u, 3u}) {
+    MutexLock lock(stripes.StripeFor(hash));
+  }
+
+  std::vector<ContentionSiteSnapshot> snap = ContentionRegistry::Global().Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  ASSERT_EQ(snap[0].stripes.size(), 4u);
+  EXPECT_EQ(snap[0].stripes[0].acquisitions, 0u);
+  EXPECT_EQ(snap[0].stripes[1].acquisitions, 2u);
+  EXPECT_EQ(snap[0].stripes[2].acquisitions, 0u);
+  EXPECT_EQ(snap[0].stripes[3].acquisitions, 1u);
+
+  // Site-level totals are the per-stripe sums by construction.
+  std::uint64_t per_stripe_sum = 0;
+  for (const ContentionSiteSnapshot::Stripe& s : snap[0].stripes) {
+    per_stripe_sum += s.acquisitions;
+  }
+  EXPECT_EQ(per_stripe_sum, snap[0].acquisitions);
+  EXPECT_EQ(snap[0].acquisitions, 3u);
+}
+
+TEST_F(ContentionRegistryTest, EmptyStripeSetRegistersNothing) {
+  StripeSet none(0);
+  ContentionSite site("test.unstriped", &none);
+  EXPECT_TRUE(ContentionRegistry::Global().Snapshot().empty());
+}
+
+TEST_F(ContentionRegistryTest, ContendedWaitShowsUpInSnapshotWhenTimed) {
+  SetContentionTimingForTest(true);
+  Mutex mu;  // Built while timing is on, so it carries a histogram.
+  ContentionSite site("test.timed", &mu);
+
+  mu.lock();
+  ThreadGroup workers;
+  workers.Spawn([&mu] {
+    mu.lock();
+    mu.unlock();
+  });
+  // The contended counter is bumped *before* the worker blocks, so polling
+  // it is a deterministic rendezvous — no clocks, no sleeps.
+  while (mu.contended() == 0) {
+  }
+  mu.unlock();
+  workers.JoinAll();
+  SetContentionTimingForTest(false);
+
+  std::vector<ContentionSiteSnapshot> snap = ContentionRegistry::Global().Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].acquisitions, 2u);
+  EXPECT_EQ(snap[0].contended, 1u);
+  EXPECT_TRUE(snap[0].has_wait);
+  EXPECT_EQ(snap[0].wait_count(), 1u);
+}
+
+TEST_F(ContentionRegistryTest, ToJsonEmitsSortedSitesAndExactTotals) {
+  Mutex mu;
+  StripeSet stripes(2);
+  // Registered in reverse-alphabetical order; the dump must sort by name.
+  ContentionSite site_z("z.lock", &mu);
+  ContentionSite site_a("a.stripes", &stripes);
+
+  mu.lock();
+  mu.unlock();
+  { MutexLock lock(stripes.StripeFor(0)); }
+  { MutexLock lock(stripes.StripeFor(1)); }
+
+  std::ostringstream os;
+  {
+    JsonWriter w(os, /*pretty=*/false);
+    ContentionRegistry::Global().ToJson(w);
+    EXPECT_TRUE(w.Complete());
+  }
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"contention_timing\":false"), std::string::npos) << json;
+  const std::size_t a_pos = json.find("\"name\":\"a.stripes\"");
+  const std::size_t z_pos = json.find("\"name\":\"z.lock\"");
+  ASSERT_NE(a_pos, std::string::npos) << json;
+  ASSERT_NE(z_pos, std::string::npos) << json;
+  EXPECT_LT(a_pos, z_pos) << "sites must be name-sorted";
+  EXPECT_NE(json.find("\"stripes\":[{\"index\":0,\"acquisitions\":1,\"contended\":0},"
+                      "{\"index\":1,\"acquisitions\":1,\"contended\":0}]"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"totals\":{\"acquisitions\":3,\"contended\":0"), std::string::npos)
+      << json;
+  // Timing was off for these locks: no wait subtree anywhere.
+  EXPECT_EQ(json.find("\"wait\""), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedMetricRegistry
+
+std::string RegistryJson(const MetricRegistry& reg) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  reg.ToJson(w);
+  return os.str();
+}
+
+TEST(ShardedMetricRegistryTest, MergedFoldsCountersHistosStatsAndGauges) {
+  ShardedMetricRegistry sharded(3);
+
+  sharded.shard(0).Counter("refs") = 5;
+  sharded.shard(1).Counter("refs") = 7;
+  sharded.shard(2).Counter("faults") = 1;  // Only present in shard 2.
+
+  sharded.shard(0).Gauge("load_factor") = 0.25;
+  sharded.shard(2).Gauge("load_factor") = 0.75;  // Last shard wins.
+
+  sharded.shard(0).Histo("chain").Add(1);
+  sharded.shard(0).Histo("chain").Add(2);
+  sharded.shard(1).Histo("chain").Add(2);
+
+  sharded.shard(0).Stats("secs").Add(1.0);
+  sharded.shard(1).Stats("secs").Add(3.0);
+
+  MetricRegistry merged = sharded.Merged();
+  EXPECT_EQ(merged.Counter("refs"), 12u);
+  EXPECT_EQ(merged.Counter("faults"), 1u);
+  EXPECT_DOUBLE_EQ(merged.Gauge("load_factor"), 0.75);
+  EXPECT_EQ(merged.Histo("chain").total(), 3u);
+  EXPECT_EQ(merged.Histo("chain").count(2), 2u);
+  EXPECT_EQ(merged.Stats("secs").count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.Stats("secs").mean(), 2.0);
+  EXPECT_DOUBLE_EQ(merged.Stats("secs").min(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.Stats("secs").max(), 3.0);
+}
+
+TEST(ShardedMetricRegistryTest, MergedIsDeterministic) {
+  ShardedMetricRegistry sharded(4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    sharded.shard(s).Counter("walks") = 10 * (s + 1);
+    sharded.shard(s).Histo("lines").Add(s);
+    sharded.shard(s).Stats("rate").Add(static_cast<double>(s) + 0.5);
+  }
+  // Two independent folds must serialize byte-identically — the contract a
+  // sharded replay's report depends on.
+  EXPECT_EQ(RegistryJson(sharded.Merged()), RegistryJson(sharded.Merged()));
+}
+
+// ---------------------------------------------------------------------------
+// ShardedTraceBuffer
+
+WalkEvent MissAt(std::uint64_t vpn) {
+  WalkEvent e;
+  e.kind = EventKind::kTlbMiss;
+  e.vpn = Vpn{vpn};
+  return e;
+}
+
+TEST(ShardedTraceBufferTest, MergeOrdersByRefThenShardThenSeq) {
+  ShardedTraceBuffer buf(2, /*capacity_per_shard=*/16);
+
+  // Shard 1 records *first* in real time; the merge must still put shard
+  // 0's ref-0 events ahead of shard 1's ref-1 events, and keep shard 1's
+  // two events for one ref in emission order.
+  buf.shard(1).BeginRef(1);
+  buf.shard(1).Record(MissAt(0xB1));
+  buf.shard(1).Record(MissAt(0xB2));
+  buf.shard(0).BeginRef(0);
+  buf.shard(0).Record(MissAt(0xA0));
+  buf.shard(0).BeginRef(2);
+  buf.shard(0).Record(MissAt(0xC0));
+
+  std::vector<WalkEvent> merged = buf.MergedEvents();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].vpn.raw(), 0xA0u);
+  EXPECT_EQ(merged[1].vpn.raw(), 0xB1u);
+  EXPECT_EQ(merged[2].vpn.raw(), 0xB2u);
+  EXPECT_EQ(merged[3].vpn.raw(), 0xC0u);
+
+  // Each event carries its shard id (0 stays 0, preserving the wire format).
+  EXPECT_EQ(merged[0].shard, 0u);
+  EXPECT_EQ(merged[1].shard, 1u);
+  EXPECT_EQ(merged[2].shard, 1u);
+  EXPECT_EQ(merged[3].shard, 0u);
+}
+
+TEST(ShardedTraceBufferTest, SameRefTiesBreakByShardIndex) {
+  ShardedTraceBuffer buf(2, 16);
+  buf.shard(1).BeginRef(7);
+  buf.shard(1).Record(MissAt(0xB0));
+  buf.shard(0).BeginRef(7);
+  buf.shard(0).Record(MissAt(0xA0));
+
+  std::vector<WalkEvent> merged = buf.MergedEvents();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].vpn.raw(), 0xA0u);  // Shard 0 first on equal refs.
+  EXPECT_EQ(merged[1].vpn.raw(), 0xB0u);
+}
+
+TEST(ShardedTraceBufferTest, SingleShardWireFormatMatchesRingBuffer) {
+  RingBufferTracer plain(16);
+  ShardedTraceBuffer sharded(1, 16);
+  sharded.shard(0).BeginRef(0);
+
+  for (std::uint64_t vpn : {0x10u, 0x20u, 0x30u}) {
+    WalkEvent e = MissAt(vpn);
+    e.asid = 3;
+    e.lines = 2;
+    plain.Record(e);
+    sharded.shard(0).Record(e);
+  }
+
+  std::ostringstream plain_os;
+  std::ostringstream sharded_os;
+  plain.WriteJsonl(plain_os);
+  sharded.WriteMergedJsonl(sharded_os);
+  // Byte-identical: shard 0 keeps shard == 0, which the serializer omits.
+  EXPECT_EQ(sharded_os.str(), plain_os.str());
+  EXPECT_EQ(sharded_os.str().find("\"shard\""), std::string::npos);
+}
+
+TEST(ShardedTraceBufferTest, NonzeroShardAppearsOnTheWire) {
+  ShardedTraceBuffer buf(2, 16);
+  buf.shard(1).BeginRef(0);
+  buf.shard(1).Record(MissAt(0x40));
+
+  std::ostringstream os;
+  buf.WriteMergedJsonl(os);
+  EXPECT_NE(os.str().find("\"shard\":1"), std::string::npos) << os.str();
+}
+
+TEST(ShardedTraceBufferTest, RingsDropIndependentlyButCountsStayExact) {
+  ShardedTraceBuffer buf(2, /*capacity_per_shard=*/4);
+  buf.shard(0).BeginRef(0);
+  buf.shard(1).BeginRef(0);
+
+  for (int i = 0; i < 10; ++i) {
+    buf.shard(0).Record(MissAt(static_cast<std::uint64_t>(i)));
+  }
+  buf.shard(1).Record(MissAt(0x100));
+  buf.shard(1).Record(MissAt(0x101));
+
+  // The chatty shard dropped; the quiet one kept everything.
+  EXPECT_EQ(buf.shard(0).dropped(), 6u);
+  EXPECT_EQ(buf.shard(0).size(), 4u);
+  EXPECT_EQ(buf.shard(1).dropped(), 0u);
+  EXPECT_EQ(buf.shard(1).size(), 2u);
+  EXPECT_EQ(buf.TotalRecorded(), 12u);
+  EXPECT_EQ(buf.TotalDropped(), 6u);
+
+  // Per-kind counts aggregate everything *recorded*, not just survivors.
+  EXPECT_EQ(buf.MergedCounts()[EventKind::kTlbMiss], 12u);
+  EXPECT_EQ(buf.MergedEvents().size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto per-shard tracks
+
+TEST(PerfettoShardTest, ShardEventsRenderOnTheirOwnTracks) {
+  std::ostringstream os;
+  {
+    PerfettoExporter exporter(os);
+    WalkEvent miss = MissAt(0x50);
+    exporter.Record(miss);  // Shard 0.
+    miss.shard = 1;
+    exporter.Record(miss);  // Shard 1: announces its own track set.
+    exporter.Finish();
+  }
+  const std::string trace = os.str();
+
+  // Shard 1's TLB track is named with the shard suffix and lives at
+  // tid = shard * stride + track = 1 * 8 + 1 = 9.
+  EXPECT_NE(trace.find("TLB (shard 1)"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"tid\":9"), std::string::npos) << trace;
+}
+
+TEST(PerfettoShardTest, SingleShardTraceHasNoShardSuffixes) {
+  std::ostringstream os;
+  {
+    PerfettoExporter exporter(os);
+    exporter.Record(MissAt(0x60));
+    exporter.Finish();
+  }
+  EXPECT_EQ(os.str().find("(shard"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpt::obs

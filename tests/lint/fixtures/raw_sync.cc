@@ -20,6 +20,15 @@ void InitRaw() {
   pthread_mutex_init(&g_raw, nullptr);  // BAD: pthread call
 }
 
+std::condition_variable g_cv;  // BAD: condition variables have no wrapper yet
+
+std::atomic_flag g_spin = ATOMIC_FLAG_INIT;  // BAD: use cpt::AtomicCell
+
+void SpawnDetached() {
+  std::thread worker([] {});  // BAD: bare thread; use cpt::ThreadGroup
+  worker.detach();
+}
+
 // A documented exception stays allowed:
 std::mutex g_grandfathered;  // cpt-lint: allow(raw-sync-primitive)
 

@@ -50,9 +50,9 @@ Rules (see DESIGN.md "Static analysis" for the catalog and policy):
                           adjacent justification comment, and a member
                           accessed through the atomic API is never also
                           mutated with raw assignment in the same file.
-  raw-sync-primitive      no bare std::mutex/std::lock_guard/pthread_*
-                          outside common/sync.h; use the annotated cpt
-                          wrappers.
+  raw-sync-primitive      no bare std::mutex/std::lock_guard/std::thread/
+                          pthread_* outside common/sync.h; use the annotated
+                          cpt wrappers (Mutex/MutexLock/ThreadGroup).
 
 Suppressions:
   // cpt-lint: allow(rule[, rule])   suppress on this line (trailing) or,
@@ -1262,8 +1262,9 @@ class AtomicDiscipline(Rule):
 @register
 class RawSyncPrimitive(Rule):
     name = "raw-sync-primitive"
-    help = ("no bare std::mutex/std::lock_guard/pthread_* outside "
-            "common/sync.h; use the annotated cpt::Mutex/MutexLock wrappers")
+    help = ("no bare std::mutex/std::lock_guard/std::thread/pthread_* "
+            "outside common/sync.h; use the annotated cpt::Mutex/MutexLock/"
+            "ThreadGroup wrappers")
     include = ("src/*", "bench/*", "examples/*", "tests/lint/fixtures/*")
     # The wrappers themselves are built on the std primitives.
     exclude = ("src/common/sync.h",)
@@ -1271,7 +1272,11 @@ class RawSyncPrimitive(Rule):
     BANNED_STD = {"mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
                   "recursive_timed_mutex", "lock_guard", "unique_lock",
                   "scoped_lock", "shared_lock", "condition_variable",
-                  "condition_variable_any", "once_flag", "call_once"}
+                  "condition_variable_any", "once_flag", "call_once",
+                  # Bare threads bypass the join-on-destruct discipline and
+                  # atomic_flag the AtomicCell telemetry; use cpt::ThreadGroup
+                  # and cpt::AtomicCell (common/sync.h).
+                  "thread", "jthread", "atomic_flag"}
 
     def check(self, sf, project):
         findings = []
