@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bench/bench_flags.h"
+#include "common/hotguard.h"
 #include "common/rng.h"
 #include "mem/cache_model.h"
 #include "obs/perf.h"
@@ -135,11 +136,26 @@ std::function<void(std::uint64_t, std::uint64_t)> MachineAccessBody() {
   auto machine = std::make_shared<sim::Machine>(opts, 1);
   machine->Preload(*snap);
   auto gen = std::make_shared<workload::TraceGenerator>(spec, *snap);
-  return [machine, gen, snap](std::uint64_t iters, std::uint64_t slowdown) {
-    for (std::uint64_t n = 0; n < iters; ++n) {
-      const auto r = gen->Next();
-      machine->Access(r.asid, r.va);
-      SlowdownSpin(slowdown);
+  auto warmed = std::make_shared<bool>(false);
+  return [machine, gen, snap, warmed](std::uint64_t iters, std::uint64_t slowdown) {
+    auto replay = [&] {
+      for (std::uint64_t n = 0; n < iters; ++n) {
+        const auto r = gen->Next();
+        machine->Access(r.asid, r.va);
+        SlowdownSpin(slowdown);
+      }
+    };
+    if (*warmed) {
+      // Every repetition after the first runs under the allocation guard:
+      // the bench doubles as a smoke assertion that the steady-state replay
+      // is heap-free (common/hotguard.h; hot-no-alloc's dynamic twin).
+      HotPathScope guard("bench_micro.machine_access");
+      replay();
+    } else {
+      // The first (warm-up by default) repetition grows every pool and
+      // scratch buffer to its high-water mark.
+      *warmed = true;
+      replay();
     }
   };
 }

@@ -1,0 +1,52 @@
+// Runtime allocation guard for the steady-state replay loop.
+//
+// cpt::HotPathScope is the dynamic half of the hot-path discipline whose
+// static half is cpt_lint.py's hot-no-alloc rule (see common/hotpath.h and
+// DESIGN.md "Hot-path discipline").  While a scope is live on a thread,
+// any heap allocation on that thread — operator new, new[], their aligned
+// and nothrow variants — is a hard CPT_CHECK-style failure naming the
+// scope's site string.  The static rule proves no *reachable statement*
+// allocates; the scope proves no *executed* allocation happened on a real
+// replay, catching what the heuristic call graph cannot see (indirect
+// calls through std function objects, resize hiding inside a library
+// call, a path the lint boundary pruned too generously).
+//
+// Mechanism: linking this translation unit (pulled in automatically by
+// any binary that constructs a HotPathScope) replaces the global operator
+// new/delete family with malloc/free forwarders that consult a
+// thread-local depth counter.  Outside any scope the forwarders are a
+// single thread-local load on top of malloc; sanitizers still intercept
+// the underlying malloc/free, so ASan/LSan/TSan coverage is unchanged.
+//
+// The guard compiles to a no-op under NDEBUG or -DCPT_NO_HOTGUARD (this
+// repo strips NDEBUG on purpose — see common/check.h — so in practice it
+// is always armed).  Scopes nest; the guard trips while any is live.
+//
+// Usage:
+//   cpt::HotPathScope guard("bench_micro.machine_access");
+//   for (...) machine.Access(...);   // aborts loudly if anything allocates
+#ifndef CPT_COMMON_HOTGUARD_H_
+#define CPT_COMMON_HOTGUARD_H_
+
+namespace cpt {
+
+class HotPathScope {
+ public:
+  // `site` must outlive the scope (string literals in practice); it names
+  // the guarded region in the failure message.
+  explicit HotPathScope(const char* site);
+  ~HotPathScope();
+
+  HotPathScope(const HotPathScope&) = delete;
+  HotPathScope& operator=(const HotPathScope&) = delete;
+
+  // True when a scope is live on the calling thread (test introspection).
+  static bool ActiveOnThisThread();
+
+ private:
+  const char* site_;
+};
+
+}  // namespace cpt
+
+#endif  // CPT_COMMON_HOTGUARD_H_

@@ -22,6 +22,9 @@ AdaptiveClusteredPageTable::AdaptiveClusteredPageTable(mem::CacheTouchModel& cac
   CPT_CHECK(opts.demote_occupancy < opts.promote_occupancy);
   bucket_stride_ = std::bit_ceil(std::uint64_t{24});
   bucket_base_ = alloc_.Allocate(std::uint64_t{opts_.num_buckets} * bucket_stride_);
+  // Hot-path hygiene: UnlinkNode recycles through this free list during
+  // reclustering, so give it slack up front (common/hotpath.h discipline).
+  free_nodes_.reserve(64);
 }
 
 AdaptiveClusteredPageTable::~AdaptiveClusteredPageTable() = default;

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/hotpath.h"
 #include "core/clustered.h"
 #include "pt/page_table.h"
 
@@ -40,8 +41,9 @@ class MultiSizeClustered final : public pt::PageTable {
 
   MultiSizeClustered(mem::CacheTouchModel& cache, Options opts);
 
-  [[nodiscard]] std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
-  void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<pt::TlbFill>& out) override;
+  [[nodiscard]] CPT_HOT std::optional<pt::TlbFill> Lookup(VirtAddr va) override;
+  CPT_HOT void LookupBlock(VirtAddr va, unsigned subblock_factor,
+                           std::vector<pt::TlbFill>& out) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;
   pt::PtFeatures features() const override {
@@ -52,7 +54,8 @@ class MultiSizeClustered final : public pt::PageTable {
   void UpsertPartialSubblock(Vpn block_base_vpn, unsigned subblock_factor, Ppn block_base_ppn,
                              Attr attr, std::uint16_t valid_vector) override;
   bool RemovePartialSubblock(Vpn block_base_vpn, unsigned subblock_factor) override;
-  bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) override;
+  CPT_HOT bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask,
+                               std::uint16_t clear_mask) override;
   std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
   std::uint64_t SizeBytesPaperModel() const override;
   std::uint64_t SizeBytesActual() const override;

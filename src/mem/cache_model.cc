@@ -11,6 +11,11 @@ CacheTouchModel::CacheTouchModel(std::uint32_t line_size) : line_size_(line_size
   CPT_CHECK(IsPowerOfTwo(line_size));
   line_shift_ = Log2(line_size);
   walk_lines_.reserve(32);
+  // Pre-size the per-walk histogram past any realistic lines-per-walk value
+  // (the paper's tables top out under 20) so EndWalk never allocates in
+  // steady state — the hot-path allocation guard (common/hotguard.h) runs
+  // over full replays in tests.
+  per_walk_.Reserve(64);
 }
 
 void CacheTouchModel::BeginWalk() {

@@ -52,6 +52,11 @@ std::optional<ReservationAllocator::FrameGrant> ReservationAllocator::Allocate(
     grp.owner_key = block_key;
     grp.used_mask = 1u << boff;
     by_owner_.emplace(block_key, g);
+    // Fault path only: frames are granted while faulting, which Preload()
+    // front-loads; the replay steady state never reaches here.  (The hot
+    // traversal sees this through same-name resolution with the PTE-node
+    // allocator, not through a real hot call chain.)
+    // cpt-lint: allow(hot-no-alloc)
     reservation_fifo_.push_back(g);
     ++reservations_made_;
     ++frames_used_;
@@ -114,6 +119,8 @@ bool ReservationAllocator::BreakOneReservation() {
     ++reservations_broken_;
     for (unsigned slot = 0; slot < factor_; ++slot) {
       if ((grp.used_mask & (1u << slot)) == 0) {
+        // Fault path only (see Allocate); never on the replay steady state.
+        // cpt-lint: allow(hot-no-alloc)
         fragment_pool_.push_back(FrameAt(g, slot));
       }
     }
@@ -142,6 +149,8 @@ void ReservationAllocator::Free(Ppn ppn) {
       grp.state = GroupState::kFree;
       free_groups_.push_back(g);
     } else {
+      // Unmap/teardown path only; never on the replay steady state.
+      // cpt-lint: allow(hot-no-alloc)
       fragment_pool_.push_back(ppn);
     }
   } else if (grp.state == GroupState::kReserved && grp.used_mask == 0) {

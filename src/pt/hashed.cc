@@ -52,6 +52,8 @@ HashedPageTable::HashedPageTable(mem::CacheTouchModel& cache, Options opts)
 HashedPageTable::~HashedPageTable() = default;
 
 std::int32_t HashedPageTable::AllocNode() {
+  // hot-lock: bounded critical section — a free-list pop or an arena bump,
+  // no I/O, no nested locks; contended only during concurrent inserts.
   MutexLock lock(alloc_mu_);
   std::int32_t idx;
   if (!free_nodes_.empty()) {
@@ -147,6 +149,8 @@ void HashedPageTable::UpsertWord(Vpn base_vpn, MappingWord word) {
     // captures that.  The stripe is selected at runtime, beyond TSA's static
     // lock model; the scoped MutexLock still gives TSan and the debug checks
     // the acquire/release pair.
+    // hot-lock: one bucket-chain head update per acquisition; stripe count
+    // bounds contention and the section never blocks on anything else.
     MutexLock lock(stripes_.StripeFor(hasher_(ChainKeyOf(base_vpn))));
     UpsertWordImpl(base_vpn, word);
     return;

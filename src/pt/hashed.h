@@ -38,6 +38,7 @@
 
 #include "check/fwd.h"
 #include "common/hash.h"
+#include "common/hotpath.h"
 #include "common/stats.h"
 #include "common/sync.h"
 #include "mem/sim_alloc.h"
@@ -78,14 +79,15 @@ class CPT_SHARED HashedPageTable final : public PageTable {
   ~HashedPageTable() override;
 
   // ---- PageTable interface ----
-  [[nodiscard]] std::optional<TlbFill> Lookup(VirtAddr va) override;
+  [[nodiscard]] CPT_HOT std::optional<TlbFill> Lookup(VirtAddr va) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;
   std::uint64_t ProtectRange(Vpn first_vpn, std::uint64_t npages, Attr attr) override;
   // Lock-free R/M-bit update (Section 3.1): an uncounted chain walk followed
   // by an atomic fetch_or/CAS on the covering word — safe against concurrent
   // walkers and other updaters in every mode.
-  bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask) override;
+  CPT_HOT bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask,
+                               std::uint16_t clear_mask) override;
   std::uint64_t SizeBytesPaperModel() const override;
   std::uint64_t SizeBytesActual() const override CPT_EXCLUDES(alloc_mu_);
   std::uint64_t live_translations() const override;
@@ -98,7 +100,7 @@ class CPT_SHARED HashedPageTable final : public PageTable {
   bool RemoveKey(std::uint64_t key);
   // Chain walk for the key; cache-line counted.  `faulting_vpn` selects the
   // covered page when building the fill.
-  [[nodiscard]] std::optional<TlbFill> LookupKey(std::uint64_t key, Vpn faulting_vpn);
+  [[nodiscard]] CPT_HOT std::optional<TlbFill> LookupKey(std::uint64_t key, Vpn faulting_vpn);
   // Uncounted read of the stored word (OS-side inspection).
   std::optional<MappingWord> Peek(std::uint64_t key) const;
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hotpath.h"
 #include "common/pte.h"
 #include "common/types.h"
 #include "mem/cache_model.h"
@@ -100,14 +101,15 @@ class PageTable {
   // Walks the table for `va`.  Returns nullopt on page fault.  The walk's
   // cache-line touches are recorded in cache() between BeginWalk/EndWalk,
   // which the caller (sim::Machine or WalkScope) brackets.
-  [[nodiscard]] virtual std::optional<TlbFill> Lookup(VirtAddr va) = 0;
+  [[nodiscard]] CPT_HOT virtual std::optional<TlbFill> Lookup(VirtAddr va) = 0;
 
   // Complete-subblock prefetch (Section 4.4): fetches mappings for every
   // resident base page of va's page block of `subblock_factor` pages.
   // The default implementation performs one full Lookup per base page, which
   // is the multiple-probe cost the paper charges hashed tables; tables with
   // adjacent PTE storage override it.
-  virtual void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<TlbFill>& out);
+  CPT_HOT virtual void LookupBlock(VirtAddr va, unsigned subblock_factor,
+                                   std::vector<TlbFill>& out);
 
   // ---- OS update path ----
 
@@ -141,7 +143,7 @@ class PageTable {
   // re-walks (uncounted) and asks the table to rewrite the found word; it
   // works for every organization because UpdateWordAttr dispatches on the
   // fill the walk produced.
-  virtual bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask);
+  CPT_HOT virtual bool UpdateAttrFlags(Vpn vpn, std::uint16_t set_mask, std::uint16_t clear_mask);
 
   // Reads the attribute bits of the covering word without counting lines.
   std::optional<Attr> PeekAttr(Vpn vpn);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/hotpath.h"
 #include "mem/sim_alloc.h"
 #include "pt/page_table.h"
 
@@ -48,8 +49,9 @@ class SoftwareTlb final : public PageTable {
   ~SoftwareTlb() override;
 
   // ---- PageTable interface ----
-  [[nodiscard]] std::optional<TlbFill> Lookup(VirtAddr va) override;
-  void LookupBlock(VirtAddr va, unsigned subblock_factor, std::vector<TlbFill>& out) override;
+  [[nodiscard]] CPT_HOT std::optional<TlbFill> Lookup(VirtAddr va) override;
+  CPT_HOT void LookupBlock(VirtAddr va, unsigned subblock_factor,
+                           std::vector<TlbFill>& out) override;
   void InsertBase(Vpn vpn, Ppn ppn, Attr attr) override;
   bool RemoveBase(Vpn vpn) override;
   PtFeatures features() const override { return backing_->features(); }

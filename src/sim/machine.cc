@@ -165,6 +165,10 @@ Machine::Machine(MachineOptions opts, unsigned num_processes)
   if (opts_.audit) {
     frames_.EnableGrantLog();
   }
+  // The block-prefetch scratch must never grow mid-replay: Access() runs
+  // under the hot-path allocation guard in tests (common/hotguard.h), and a
+  // block fetch yields at most one fill per base page of the block.
+  block_fills_.reserve(opts_.subblock_factor);
   const os::PteStrategy strategy = EffectiveStrategy();
   // A shared page table (Section 7) serves every process through one
   // context; per-process tables get one context each.

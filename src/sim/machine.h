@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "check/auditor.h"
+#include "common/hotpath.h"
 #include "mem/cache_model.h"
 #include "obs/perf.h"
 #include "mem/reservation.h"
@@ -112,8 +113,11 @@ class Machine {
   Machine(MachineOptions opts, unsigned num_processes);
   ~Machine();
 
-  // Models one memory reference by process `asid`.
-  void Access(tlb::Asid asid, VirtAddr va, bool is_write = false);
+  // Models one memory reference by process `asid`.  This is the hot root of
+  // the whole simulator (common/hotpath.h): everything it reaches is held
+  // to the hot-path lint rules, and replays under cpt::HotPathScope prove
+  // the steady state allocation-free.
+  CPT_HOT void Access(tlb::Asid asid, VirtAddr va, bool is_write = false);
 
   // ---- Telemetry (src/obs) ----
   // Publishes every TLB probe, walk step, page fault, promotion, and
@@ -135,7 +139,7 @@ class Machine {
     double refs_per_sec = 0.0;
     obs::HostPerfSample host_perf;
   };
-  RunStats Run(const std::vector<workload::Reference>& trace);
+  CPT_HOT RunStats Run(const std::vector<workload::Reference>& trace);
 
   // ---- Metrics ----
   const mem::CacheTouchModel& cache() const { return cache_; }
@@ -189,9 +193,9 @@ class Machine {
   }
   // Counted walk; page faults are handled and the walk re-runs.  Returns
   // nullopt only if memory is exhausted.
-  std::optional<pt::TlbFill> WalkCounted(ProcessCtx& proc, VirtAddr va);
+  CPT_HOT std::optional<pt::TlbFill> WalkCounted(ProcessCtx& proc, VirtAddr va);
   // Uncounted walk for reference-TLB refills.
-  std::optional<pt::TlbFill> WalkUncounted(ProcessCtx& proc, VirtAddr va);
+  CPT_HOT std::optional<pt::TlbFill> WalkUncounted(ProcessCtx& proc, VirtAddr va);
 
   MachineOptions opts_;
   unsigned num_processes_ = 1;

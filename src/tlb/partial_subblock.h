@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "check/fwd.h"
+#include "common/hotpath.h"
 #include "tlb/tlb.h"
 
 namespace cpt::tlb {
@@ -19,8 +20,8 @@ class PartialSubblockTlb final : public Tlb {
  public:
   PartialSubblockTlb(unsigned num_entries, unsigned subblock_factor);
 
-  [[nodiscard]] LookupOutcome Lookup(Asid asid, Vpn vpn) override;
-  void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) override;
+  [[nodiscard]] CPT_HOT LookupOutcome Lookup(Asid asid, Vpn vpn) override;
+  CPT_HOT void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) override;
   void Flush() override;
   std::string name() const override { return "partial-subblock"; }
 

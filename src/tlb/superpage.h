@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "check/fwd.h"
+#include "common/hotpath.h"
 #include "tlb/tlb.h"
 
 namespace cpt::tlb {
@@ -16,8 +17,8 @@ class SuperpageTlb final : public Tlb {
  public:
   explicit SuperpageTlb(unsigned num_entries);
 
-  [[nodiscard]] LookupOutcome Lookup(Asid asid, Vpn vpn) override;
-  void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) override;
+  [[nodiscard]] CPT_HOT LookupOutcome Lookup(Asid asid, Vpn vpn) override;
+  CPT_HOT void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) override;
   void Flush() override;
   std::string name() const override { return "superpage"; }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/hotpath.h"
 #include "common/types.h"
 #include "pt/page_table.h"
 
@@ -52,10 +53,10 @@ class Tlb {
   Tlb& operator=(const Tlb&) = delete;
 
   // Probes the TLB for (asid, vpn), updating recency and statistics.
-  [[nodiscard]] virtual LookupOutcome Lookup(Asid asid, Vpn vpn) = 0;
+  [[nodiscard]] CPT_HOT virtual LookupOutcome Lookup(Asid asid, Vpn vpn) = 0;
 
   // Installs the page-table fill that satisfied a miss on (asid, vpn).
-  virtual void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) = 0;
+  CPT_HOT virtual void Insert(Asid asid, Vpn vpn, const pt::TlbFill& fill) = 0;
 
   virtual void Flush() = 0;
 

@@ -16,6 +16,8 @@
 // in atomics and the main thread asserts after joining.
 #include <gtest/gtest.h>
 
+#include "common/hotguard.h"
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -78,7 +80,7 @@ TEST(ConcurrencyHammerTest, StripedHashedInsertLookupUpdate) {
 
   // The one counted walker (single-walker cache-model contract).
   threads.emplace_back([&] {
-    for (unsigned pass = 0; pass < kPasses; ++pass) {
+    auto sweep = [&] {
       for (unsigned i = 0; i < kSeedPages; ++i) {
         const Vpn vpn = seed_base + i;
         const auto fill = table.Lookup(VaOf(vpn));
@@ -88,6 +90,14 @@ TEST(ConcurrencyHammerTest, StripedHashedInsertLookupUpdate) {
           walker_wrong_ppn.fetch_add(1, std::memory_order_relaxed);
         }
       }
+    };
+    // First pass grows the cache model's scratch to its high-water mark;
+    // later passes run under the thread-local allocation guard while the
+    // inserter threads allocate freely (common/hotguard.h).
+    sweep();
+    HotPathScope guard("hammer.counted_walker");
+    for (unsigned pass = 1; pass < kPasses; ++pass) {
+      sweep();
     }
   });
   // Uncounted R/M-bit updaters: set-only, so the bits are monotonic and the

@@ -1,0 +1,57 @@
+// Fixture: hot-no-alloc (whole-program; see common/hotpath.h).
+//
+// FxRootAlloc is a CPT_HOT root: everything it reaches transitively is held
+// to the no-allocation rule.  FxColdRepair is CPT_COLD, so the traversal
+// prunes there and its resize is fine; spare_ is sanctioned by the reserve
+// in FxWarm.
+#include <vector>
+
+namespace fxhot {
+
+struct Fill {
+  int x;
+};
+
+struct Table {
+  std::vector<int> slots_;
+  std::vector<Fill> spare_;
+
+  // BAD: unreserved growth on a hot path.
+  void Insert(int v) {
+    slots_.push_back(v);
+  }
+
+  // GOOD: the reserve here sanctions spare_ everywhere.
+  void FxWarm() {
+    spare_.reserve(64);
+  }
+
+  // GOOD: reserved receiver.
+  void Recycle(Fill f) {
+    spare_.push_back(f);
+  }
+};
+
+// BAD: operator new behind one call level.
+int* FxDeepAlloc() {
+  return new int(7);
+}
+
+int FxMiddle(Table& t) {
+  t.Insert(1);
+  t.Recycle(Fill{2});
+  return *FxDeepAlloc();
+}
+
+// GOOD: CPT_COLD prunes the traversal here (the repair path is OS work).
+CPT_COLD void FxColdRepair(Table& t) {
+  t.slots_.resize(1024);
+}
+
+// The hot root.  Calling the cold function is fine; its body is exempt.
+CPT_HOT int FxRootAlloc(Table& t) {
+  FxColdRepair(t);
+  return FxMiddle(t);
+}
+
+}  // namespace fxhot

@@ -1,0 +1,47 @@
+// Fixture: hot-lock-discipline (whole-program; see common/hotpath.h).
+//
+// FxRootLock is a CPT_HOT root.  cpt wrapper locks it reaches need an
+// adjacent '// hot-lock:' justification (and are budgeted in the debt
+// ledger); bare blocking calls never pass, justified or not.
+namespace fxlock {
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+struct Clock {
+  void wait();
+};
+
+Mutex g_mu;
+
+// BAD: lock without an adjacent justification comment.
+int FxUnjustified(int v) {
+  MutexLock lock(g_mu);
+  return v + 1;
+}
+
+// GOOD: justified lock (still budgeted in tools/hotpath_debt.json).
+int FxJustified(int v) {
+  // hot-lock: single counter increment; bounded, no nested locks.
+  MutexLock lock(g_mu);
+  return v + 2;
+}
+
+// BAD: bare blocking call — a justification does not help.
+void FxBackoff(Clock& clk) {
+  // hot-lock: irrelevant; sleeps and waits are never hot-path legal.
+  clk.wait();
+}
+
+int FxSpin(Clock& clk, int v) {
+  FxBackoff(clk);
+  return FxUnjustified(v) + FxJustified(v);
+}
+
+// The hot root.
+CPT_HOT int FxRootLock(Clock& clk) {
+  return FxSpin(clk, 1);
+}
+
+}  // namespace fxlock

@@ -1,0 +1,41 @@
+// Fixture: hot-no-throw (whole-program; see common/hotpath.h).
+//
+// FxRootThrow is a CPT_HOT root.  Exceptions and throwing std calls are
+// banned everywhere it reaches; hot-path failures are CPT_CHECK aborts.
+#include <vector>
+
+namespace fxthrow {
+
+struct Index {
+  std::vector<int> dense_;
+
+  // BAD: .at() throws on the failure path.
+  int Get(int i) {
+    return dense_.at(i);
+  }
+
+  // GOOD: suppressed with a rationale comment.
+  int First() {
+    // cpt-lint: allow(hot-no-throw)
+    return dense_.at(0);
+  }
+};
+
+// BAD: a throw statement behind one call level.
+int FxParse(int raw) {
+  if (raw < 0) {
+    throw raw;
+  }
+  return raw;
+}
+
+int FxStep(Index& idx, int i) {
+  return idx.Get(i) + FxParse(i);
+}
+
+// The hot root.
+CPT_HOT int FxRootThrow(Index& idx) {
+  return FxStep(idx, 3) + idx.First();
+}
+
+}  // namespace fxthrow

@@ -141,11 +141,81 @@ def nodiscard_fix_test():
     print(f"ok   {name}")
 
 
+def fix_idempotency_test():
+    """--fix is a fixed point: a second pass changes nothing, byte for byte."""
+    name = "fix/idempotent"
+    with tempfile.TemporaryDirectory() as tmp:
+        victims = []
+        for fixture in ("raw_assert.cc", "nodiscard.h"):
+            victim = Path(tmp) / fixture
+            shutil.copy(FIXTURES / fixture, victim)
+            victims.append(victim)
+        args = ("--ignore-scope", "--no-baseline", "--fix", "--root", tmp,
+                *(str(v) for v in victims))
+        run_lint(*args)
+        first = {v.name: v.read_bytes() for v in victims}
+        run_lint(*args)
+        second = {v.name: v.read_bytes() for v in victims}
+        if first != second:
+            changed = [n for n in first if first[n] != second[n]]
+            return fail(name, f"second --fix pass rewrote {changed}")
+    print(f"ok   {name}")
+
+
+def exit_code_test():
+    """0 = clean, 1 = findings, 2 = internal error — never conflated."""
+    name = "exit/codes"
+    with tempfile.TemporaryDirectory() as tmp:
+        clean = Path(tmp) / "clean.cc"
+        clean.write_text("namespace fx {\nint Identity(int v) { return v; }\n"
+                         "}  // namespace fx\n")
+        proc = run_lint("--ignore-scope", "--no-baseline", str(clean))
+        if proc.returncode != 0:
+            return fail(name, f"clean file exited {proc.returncode}:\n{proc.stdout}")
+        proc = run_lint("--ignore-scope", "--no-baseline",
+                        str(FIXTURES / "determinism.cc"))
+        if proc.returncode != 1:
+            return fail(name, f"findings exited {proc.returncode}, want 1")
+        # An unreadable input is an internal error, not a lint verdict.
+        garbled = Path(tmp) / "garbled.cc"
+        garbled.write_bytes(b"int x = \xff\xfe;\n")
+        proc = run_lint("--ignore-scope", "--no-baseline", str(garbled))
+        if proc.returncode != 2:
+            return fail(name, f"unreadable input exited {proc.returncode}, want 2")
+        if "internal error" not in proc.stderr:
+            return fail(name, f"missing internal-error diagnostic:\n{proc.stderr}")
+        # A malformed baseline is an internal error too.
+        broken = Path(tmp) / "baseline.json"
+        broken.write_text("{not json")
+        proc = run_lint("--ignore-scope", "--baseline", str(broken), str(clean))
+        if proc.returncode != 2:
+            return fail(name, f"broken baseline exited {proc.returncode}, want 2")
+    print(f"ok   {name}")
+
+
+def timing_keys_test():
+    """Shared parses are accounted once: file-parse + hot-call-graph keys."""
+    name = "timing/shared-parse"
+    proc = run_lint("--ignore-scope", "--no-baseline", "--json",
+                    str(FIXTURES / "hotpath_alloc.cc"))
+    data = json.loads(proc.stdout)
+    timing = data.get("rule_timing_ms", {})
+    missing = {"file-parse", "hot-call-graph"} - set(timing)
+    if missing:
+        return fail(name, f"missing rule_timing_ms keys: {sorted(missing)}")
+    if timing["file-parse"] <= 0:
+        return fail(name, f"file-parse not accounted: {timing}")
+    print(f"ok   {name}")
+
+
 def main():
     golden_tests()
     baseline_roundtrip_test()
     fix_test()
     nodiscard_fix_test()
+    fix_idempotency_test()
+    exit_code_test()
+    timing_keys_test()
     if FAILURES:
         print(f"\n{len(FAILURES)} lint fixture test(s) failed")
         return 1
