@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/hotpath.h"
 
 // ---------------------------------------------------------------------------
 // Clang Thread Safety Analysis attribute macros (no-ops elsewhere).
@@ -164,7 +165,10 @@ void SetContentionTimingForTest(bool enabled);
 // counts zero-duration waits, bucket i counts waits with bit_width(ns) == i,
 // the last bucket absorbs everything from ~2s up.  Fixed-size and atomic so
 // Record() is wait-free and the struct needs no lock of its own.
-struct WaitHistogram {
+// Cache-aligned: the histogram is hammered from every contended waiter, and
+// without the alignment its first bucket would share a line with whatever
+// the allocator placed in front of it.
+struct CPT_CACHE_ALIGNED WaitHistogram {
   static constexpr std::size_t kBuckets = 32;
 
   AtomicCell<std::uint64_t> counts[kBuckets];
@@ -219,7 +223,12 @@ inline std::uint64_t WaitClockNs() {
 // treat it as a heat signal, never assert exact values on it.)  When the
 // lock was constructed with contention timing enabled, contended waits are
 // additionally timed into a WaitHistogram.
-class CPT_LOCKABLE Mutex {
+//
+// Cache-aligned: stripe sets and lock arrays place Mutexes back to back,
+// and each one mixes the kernel futex word with write-hot telemetry
+// counters — unaligned, two neighboring stripes would ping-pong one line
+// between cores and the stripe partitioning would buy nothing.
+class CPT_CACHE_ALIGNED CPT_LOCKABLE Mutex {
  public:
   Mutex()
       : wait_histo_(ContentionTimingEnabled() ? std::make_unique<WaitHistogram>() : nullptr) {}
@@ -278,13 +287,19 @@ class CPT_LOCKABLE Mutex {
   std::unique_ptr<WaitHistogram> wait_histo_;
 };
 
+// Adjacent Mutexes (StripeSet arrays) must start on distinct
+// destructive-interference lines; cross-checked against the layout ledger.
+static_assert(alignof(Mutex) == CPT_CACHE_LINE);
+static_assert(sizeof(Mutex) % CPT_CACHE_LINE == 0);
+
 // std::shared_mutex with TSA attributes: exclusive lock for writers, shared
 // lock for concurrent readers.  Misuse checks mirror Mutex; the reader count
 // additionally catches destroy-while-readers-active.  Telemetry mirrors
 // Mutex with separate exclusive/shared counter pairs; one WaitHistogram
 // covers both flavors of contended wait (per-flavor split was not worth a
-// second 33-word array per lock).
-class CPT_LOCKABLE SharedMutex {
+// second 33-word array per lock).  Cache-aligned for the same reason as
+// Mutex: the primitive and its telemetry live on the lock's own lines.
+class CPT_CACHE_ALIGNED CPT_LOCKABLE SharedMutex {
  public:
   SharedMutex()
       : wait_histo_(ContentionTimingEnabled() ? std::make_unique<WaitHistogram>() : nullptr) {}
@@ -362,6 +377,9 @@ class CPT_LOCKABLE SharedMutex {
   AtomicCell<std::uint64_t> shared_contended_;
   std::unique_ptr<WaitHistogram> wait_histo_;
 };
+
+static_assert(alignof(SharedMutex) == CPT_CACHE_LINE);
+static_assert(alignof(WaitHistogram) == CPT_CACHE_LINE);
 
 // Scoped exclusive lock (the only idiomatic way to take a cpt::Mutex).
 class CPT_SCOPED_LOCKABLE MutexLock {

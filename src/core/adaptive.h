@@ -102,6 +102,8 @@ class AdaptiveClusteredPageTable final : public pt::PageTable {
     PhysAddr addr{};
     std::vector<AtomicMappingWord> words;  // 1 (single/compact) or factor (array).
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule).
+  static_assert(sizeof(Node) == 48 && alignof(Node) == 8);
 
   std::uint64_t NodeBytes(const Node& n) const {
     return n.kind == NodeKind::kArray ? 16 + 8ull * factor_ : 24;

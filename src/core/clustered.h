@@ -108,6 +108,10 @@ class ClusteredPageTable final : public pt::PageTable {
     PhysAddr addr{};
     std::array<AtomicMappingWord, kMaxSubblockFactor> words{};
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule):
+  // the paper-model NodeBytes() below charges a *used* prefix of this
+  // worst-case host struct, so its real extent must stay visible.
+  static_assert(sizeof(Node) == 536 && alignof(Node) == 8);
 
   unsigned WordsInNode(const Node& n) const { return factor_ >> n.sub_log2; }
   std::uint64_t NodeBytes(const Node& n) const { return 16 + 8ull * WordsInNode(n); }

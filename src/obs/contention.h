@@ -60,7 +60,8 @@ struct ContentionSiteSnapshot {
     std::uint64_t acquisitions = 0;
     std::uint64_t contended = 0;
   };
-  std::vector<Stripe> stripes;
+  // Cold single-threaded snapshot data, not live per-stripe state.
+  std::vector<Stripe> stripes;  // cpt-lint: allow(false-sharing)
 
   std::uint64_t total_acquisitions() const { return acquisitions + shared_acquisitions; }
   std::uint64_t total_contended() const { return contended + shared_contended; }
@@ -125,7 +126,8 @@ class CPT_SHARED ContentionRegistry {
     bool has_wait = false;
     std::uint64_t wait_total_ns = 0;
     std::array<std::uint64_t, WaitHistogram::kBuckets> wait_buckets{};
-    std::vector<ContentionSiteSnapshot::Stripe> stripes;
+    // Cold fold of a dead site's counters, only touched under mu_.
+    std::vector<ContentionSiteSnapshot::Stripe> stripes;  // cpt-lint: allow(false-sharing)
   };
 
   static void FoldEntry(const Entry& e, Retired& into);

@@ -21,13 +21,17 @@
 #include <utility>
 #include <vector>
 
+#include "common/hotpath.h"
 #include "common/stats.h"
 
 namespace cpt::obs {
 
 class JsonWriter;
 
-class MetricRegistry {
+// Cache-aligned: ShardedMetricRegistry hands each worker thread its own
+// registry, and each shard's hot counters must not share a
+// destructive-interference line with a neighboring shard's.
+class CPT_CACHE_ALIGNED MetricRegistry {
  public:
   using Labels = std::vector<std::pair<std::string, std::string>>;
 

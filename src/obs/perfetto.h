@@ -129,7 +129,9 @@ class PerfettoExporter final : public WalkTracer {
   std::uint64_t events_written_ = 0;
   std::uint64_t events_dropped_ = 0;
 
-  std::vector<bool> shard_announced_;  // [shard] -> thread_name metas emitted.
+  // Exporter state is single-threaded (merge-time), so the packed
+  // vector<bool> cannot false-share across workers.
+  std::vector<bool> shard_announced_;  // cpt-lint: allow(false-sharing)
   std::vector<WalkState> walk_;        // [shard] -> open-walk slice state.
 
   // Counter-track accumulators (aggregated across shards; sampled on shard

@@ -32,6 +32,7 @@
 #include <ostream>
 #include <vector>
 
+#include "common/hotpath.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -61,7 +62,11 @@ class ShardedMetricRegistry {
 // an incrementing per-shard sequence number, and with the shard id in
 // WalkEvent::shard (shard 0 keeps shard == 0, preserving the single-thread
 // wire format).
-class ShardTracer final : public WalkTracer {
+//
+// Cache-aligned: each shard's ring cursor and counters are written once per
+// recorded event by that shard's worker; adjacent shards must not share a
+// destructive-interference line.
+class CPT_CACHE_ALIGNED ShardTracer final : public WalkTracer {
  public:
   ShardTracer(std::uint16_t shard_index, std::size_t capacity);
 

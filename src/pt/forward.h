@@ -85,6 +85,8 @@ class ForwardMappedPageTable final : public PageTable {
     std::array<AtomicMappingWord, kLeafEntries> slots{};
     unsigned live = 0;
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule).
+  static_assert(sizeof(Leaf) == 2064 && alignof(Leaf) == 8);
 
   struct Inner {
     PhysAddr addr{};
@@ -92,6 +94,7 @@ class ForwardMappedPageTable final : public PageTable {
     // Intermediate-superpage words keyed by slot index (extension).
     std::unordered_map<unsigned, AtomicMappingWord> super_slots;
   };
+  static_assert(sizeof(Inner) == 72 && alignof(Inner) == 8);
 
   static constexpr unsigned ShiftOfLevel(unsigned level) {
     unsigned shift = 0;

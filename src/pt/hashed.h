@@ -143,6 +143,10 @@ class CPT_SHARED HashedPageTable final : public PageTable {
     std::int32_t next = kNil;
     PhysAddr addr{};
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule):
+  // the paper model charges NodeBytes()/TagNextBytes() per chain step, so
+  // the host struct backing those constants must stay this shape.
+  static_assert(sizeof(Node) == 40 && alignof(Node) == 8);
 
   // Chain keys deliberately erase the domain: a base-keyed table tags nodes
   // with the VPN, a block-keyed one (tag_shift == log2(s)) with the VPBN.

@@ -94,6 +94,8 @@ class LinearPageTable final : public PageTable {
     std::array<AtomicMappingWord, kPtesPerPage> slots{};
     unsigned live = 0;
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule).
+  static_assert(sizeof(Leaf) == 4112 && alignof(Leaf) == 8);
 
   // Tree indices deliberately erase the domain: the 6-level radix tree keys
   // level i by vpn >> (9*i), a plain array index.  These are the only

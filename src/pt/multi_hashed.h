@@ -143,6 +143,8 @@ class SuperpageIndexHashed final : public PageTable {
     std::int32_t next = kNil;
     PhysAddr addr{};
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule).
+  static_assert(sizeof(Node) == 40 && alignof(Node) == 8);
 
   std::int32_t* FindLink(Vpn base_vpn, unsigned pages_log2, MappingKind kind);
   void Upsert(Vpn base_vpn, unsigned pages_log2, MappingWord word);

@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/fwd.h"
 #include "common/hash.h"
 #include "common/hotpath.h"
 #include "mem/sim_alloc.h"
@@ -77,12 +78,17 @@ class SoftwareTlb final : public PageTable {
   void FlushCache();
 
  private:
+  friend class check::TestBackdoor;
+
   struct Entry {
     std::uint64_t key = 0;           // VPN or VPBN.
     bool valid = false;
     std::uint64_t stamp = 0;         // For way replacement.
     std::vector<TlbFill> fills;      // 1 fill (base) or up to s (clustered).
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule):
+  // EntryBytes() charges the paper model, this pins the host struct.
+  static_assert(sizeof(Entry) == 48 && alignof(Entry) == 8);
 
   // Slot keys deliberately erase the domain: one array caches VPN-keyed
   // (base) or VPBN-keyed (clustered) entries depending on configuration, so

@@ -53,6 +53,8 @@ class CompleteSubblockTlb final : public Tlb {
     bool valid = false;
     std::uint64_t stamp = 0;
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule).
+  static_assert(sizeof(Entry) == 552 && alignof(Entry) == 8);
 
   Entry* FindTag(Asid asid, Vpbn vpbn);
   Entry& AllocEntry(Asid asid, Vpbn vpbn);

@@ -53,6 +53,8 @@ class DualSizeSetAssocTlb final : public Tlb {
     bool valid = false;
     std::uint64_t stamp = 0;
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule).
+  static_assert(sizeof(Entry) == 40 && alignof(Entry) == 8);
 
   // Set indexing always uses the superpage-index bits, whatever the entry's
   // actual size — that is the design point under test.  Raw crossing.

@@ -48,6 +48,9 @@ class PartialSubblockTlb final : public Tlb {
     bool valid = false;
     std::uint64_t stamp = 0;
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule):
+  // exactly one destructive-interference line per entry.
+  static_assert(sizeof(Entry) == 64 && alignof(Entry) == 8);
 
   bool Covers(const Entry& e, Asid asid, Vpn vpn) const;
 

@@ -42,6 +42,8 @@ class SuperpageTlb final : public Tlb {
     bool valid = false;
     std::uint64_t stamp = 0;
   };
+  // Pinned against tools/layout_ledger.json (cpt_lint layout-ledger rule).
+  static_assert(sizeof(Entry) == 40 && alignof(Entry) == 8);
 
   std::vector<Entry> entries_;
   std::uint64_t super_hits_ = 0;

@@ -1,0 +1,65 @@
+// Fixture: layout-ledger (static_assert cross-check) and the layout model
+// itself.  The structs below exercise the padding arithmetic the layout
+// rules reason from — bit-fields, alignas, nested structs,
+// [[no_unique_address]], arrays — and pin it with literal static_asserts.
+// Deliberately wrong pins must be flagged; correct ones must stay silent.
+// The template at the bottom must be skipped with a notice, not crash the
+// model or produce findings.
+#ifndef CPT_TESTS_LINT_FIXTURES_LAYOUT_MODEL_H_
+#define CPT_TESTS_LINT_FIXTURES_LAYOUT_MODEL_H_
+
+#include <cstdint>
+
+namespace fx {
+
+// Bit-fields pack into their container type: 3 + 7 bits share one uint32,
+// then padding aligns the uint64 tail.
+struct BitPacked {
+  std::uint32_t kind : 3;
+  std::uint32_t flags : 7;
+  std::uint64_t payload;
+};
+// GOOD: matches the model (and the compiler).
+static_assert(sizeof(BitPacked) == 16 && alignof(BitPacked) == 8);
+
+// BAD: claims a size the model refutes (the real size is 16).
+static_assert(sizeof(BitPacked) == 24);
+
+struct Empty {};
+
+// Nested struct + [[no_unique_address]] empty member + trailing array.
+struct Outer {
+  struct Inner {
+    std::uint16_t tag = 0;
+    std::uint8_t kind = 0;
+  };
+  [[no_unique_address]] Empty stateless;
+  Inner inner;
+  std::uint8_t slots[3];
+};
+// GOOD: Inner is {u16, u8, pad} = 4 bytes; Outer packs Empty into the
+// padding and ends 4 + 3 rounded to alignment 2.
+static_assert(sizeof(Outer::Inner) == 4 && alignof(Outer::Inner) == 2);
+static_assert(sizeof(Outer) == 8);
+
+// An alignas member hoists the whole struct's alignment.
+struct Overaligned {
+  alignas(32) std::uint8_t ring[24];
+  std::uint32_t head = 0;
+};
+// BAD: alignof is 32, not 1 — the alignas on the member is load-bearing.
+static_assert(alignof(Overaligned) == 1);
+// GOOD: 24 + 4 rounded up to the 32-byte boundary.
+static_assert(sizeof(Overaligned) == 32);
+
+// Template-dependent layout cannot be modeled from source; the analyzer
+// must record a skip notice for this struct and move on silently.
+template <typename T>
+struct Slot {
+  T value;
+  std::uint32_t stamp = 0;
+};
+
+}  // namespace fx
+
+#endif  // CPT_TESTS_LINT_FIXTURES_LAYOUT_MODEL_H_

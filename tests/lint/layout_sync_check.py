@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Agreement check: the compiled binary's ABI vs the linter's layout model.
+
+Runs the cpt_dump_layout helper (path passed as argv[1]) and
+`tools/cpt_lint.py --layout-report`, then requires that every struct the
+binary dumps was resolved by the linter's layout model with the identical
+size, alignment, and — for every field the binary probed with offsetof —
+the identical field offset.  The global contract values (host cache line,
+simulated cache line, mapping-word width) must agree too.
+
+This is the drift gate for the layout-discipline rules: the false-sharing
+and model-truth-sync rules reason entirely from the Python model's padding
+arithmetic, and tools/layout_ledger.json is generated from it.  If this
+check passes, every byte count those rules gate on is exactly what the C++
+compiler built.
+"""
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT = REPO_ROOT / "tools" / "cpt_lint.py"
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: layout_sync_check.py <path-to-cpt_dump_layout>")
+        return 2
+    dumped = json.loads(subprocess.run(
+        [sys.argv[1]], capture_output=True, text=True, check=True).stdout)
+    report = json.loads(subprocess.run(
+        [sys.executable, str(LINT), "--layout-report"],
+        cwd=REPO_ROOT, capture_output=True, text=True, check=True).stdout)
+
+    assert dumped["schema"] == "cpt-dump-layout", dumped["schema"]
+    model = report["resolved"]
+
+    errors = []
+    for key in ("host_line_bytes", "sim_line_bytes", "word_bytes"):
+        if dumped[key] != report["ledger"][key]:
+            errors.append(
+                f"{key}: binary {dumped[key]} != model {report['ledger'][key]}")
+
+    checked_fields = 0
+    for qual, binary in dumped["structs"].items():
+        resolved = model.get(qual)
+        if resolved is None:
+            errors.append(f"{qual}: binary dumps it, layout model never "
+                          "resolved it (skipped or missing)")
+            continue
+        if binary["size"] != resolved["size"]:
+            errors.append(f"{qual}: sizeof {binary['size']} (binary) != "
+                          f"{resolved['size']} (model)")
+        if binary["align"] != resolved["align"]:
+            errors.append(f"{qual}: alignof {binary['align']} (binary) != "
+                          f"{resolved['align']} (model)")
+        model_offsets = {f["name"]: f["offset"] for f in resolved["fields"]}
+        for fname, off in binary["fields"].items():
+            if fname not in model_offsets:
+                errors.append(f"{qual}::{fname}: binary probes it, model "
+                              "has no such field")
+            elif model_offsets[fname] != off:
+                errors.append(f"{qual}::{fname}: offsetof {off} (binary) != "
+                              f"{model_offsets[fname]} (model)")
+            checked_fields += 1
+
+    if errors:
+        print("layout sync check FAILED:")
+        for e in errors:
+            print(" ", e)
+        return 1
+    print(f"layout sync check passed: {len(dumped['structs'])} structs, "
+          f"{checked_fields} field offsets agree (binary ABI == linter model)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

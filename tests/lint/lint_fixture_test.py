@@ -200,11 +200,100 @@ def timing_keys_test():
                     str(FIXTURES / "hotpath_alloc.cc"))
     data = json.loads(proc.stdout)
     timing = data.get("rule_timing_ms", {})
-    missing = {"file-parse", "hot-call-graph"} - set(timing)
+    missing = {"file-parse", "hot-call-graph", "layout-model"} - set(timing)
     if missing:
         return fail(name, f"missing rule_timing_ms keys: {sorted(missing)}")
     if timing["file-parse"] <= 0:
         return fail(name, f"file-parse not accounted: {timing}")
+    print(f"ok   {name}")
+
+
+def layout_ledger_tamper_test():
+    """A tampered ledger turns layout-ledger red; the committed one is green."""
+    name = "layout/ledger-tamper"
+    ledger_path = REPO_ROOT / "tools" / "layout_ledger.json"
+    victim = "src/pt/hashed.h"
+    with tempfile.TemporaryDirectory() as tmp:
+        tampered = Path(tmp) / "layout_ledger.json"
+        bad = json.loads(ledger_path.read_text())
+        bad["structs"]["HashedPageTable::Node"]["size"] -= 8
+        tampered.write_text(json.dumps(bad))
+        proc = run_lint("--no-baseline", "--layout-ledger", str(tampered), victim)
+        if proc.returncode != 1 or "layout-ledger" not in proc.stdout:
+            return fail(name, f"shrunken ledger entry not flagged "
+                              f"(exit {proc.returncode}):\n{proc.stdout}")
+        if "grew from" not in proc.stdout:
+            return fail(name, f"missing ratchet notice:\n{proc.stdout}")
+    proc = run_lint("--no-baseline", victim)
+    if proc.returncode != 0:
+        return fail(name, f"committed ledger not clean:\n{proc.stdout}")
+    print(f"ok   {name}")
+
+
+def model_truth_tamper_test():
+    """Drifted model-truth accounting turns model-truth-sync red."""
+    name = "layout/model-truth-tamper"
+    ledger_path = REPO_ROOT / "tools" / "layout_ledger.json"
+    victim = "src/common/types.h"
+    with tempfile.TemporaryDirectory() as tmp:
+        tampered = Path(tmp) / "layout_ledger.json"
+        bad = json.loads(ledger_path.read_text())
+        bad["model_truth"]["hashed-node"]["accounting_bytes"] = [512]
+        tampered.write_text(json.dumps(bad))
+        proc = run_lint("--no-baseline", "--layout-ledger", str(tampered), victim)
+        if proc.returncode != 1 or "model-truth drift" not in proc.stdout:
+            return fail(name, f"model-truth drift not flagged "
+                              f"(exit {proc.returncode}):\n{proc.stdout}")
+    proc = run_lint("--no-baseline", victim)
+    if proc.returncode != 0:
+        return fail(name, f"committed ledger not clean:\n{proc.stdout}")
+    print(f"ok   {name}")
+
+
+def write_layout_roundtrip_test():
+    """--write-layout is deterministic and reproduces the committed ledger."""
+    name = "layout/write-roundtrip"
+    committed = (REPO_ROOT / "tools" / "layout_ledger.json").read_text()
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = Path(tmp) / "layout_ledger.json"
+        proc = run_lint("--write-layout", "--layout-ledger", str(fresh))
+        if proc.returncode != 0:
+            return fail(name, f"--write-layout failed:\n{proc.stdout}{proc.stderr}")
+        if json.loads(fresh.read_text()) != json.loads(committed):
+            return fail(name, "regenerated ledger differs from the committed "
+                              "tools/layout_ledger.json; it is stale — re-run "
+                              "--write-layout and commit")
+        # A fresh regeneration must also lint clean.
+        proc = run_lint("--no-baseline", "--layout-ledger", str(fresh),
+                        "src/pt/hashed.h")
+        if proc.returncode != 0:
+            return fail(name, f"fresh ledger not clean:\n{proc.stdout}")
+    print(f"ok   {name}")
+
+
+def sarif_output_test():
+    """--sarif emits valid SARIF 2.1.0 with stable fingerprints for findings."""
+    name = "sarif/output"
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "lint.sarif"
+        proc = run_lint("--ignore-scope", "--no-baseline", "--sarif", str(out),
+                        str(FIXTURES / "determinism.cc"))
+        if proc.returncode != 1:
+            return fail(name, f"expected findings (exit 1), got {proc.returncode}")
+        sarif = json.loads(out.read_text())
+        if sarif.get("version") != "2.1.0":
+            return fail(name, f"bad SARIF version: {sarif.get('version')}")
+        runs = sarif.get("runs") or [{}]
+        results = runs[0].get("results", [])
+        if not results:
+            return fail(name, "no SARIF results for a fixture with findings")
+        r = results[0]
+        need = {"ruleId", "message", "locations", "partialFingerprints"}
+        if not need <= set(r):
+            return fail(name, f"SARIF result missing keys: {sorted(need - set(r))}")
+        rules = {d["id"] for d in runs[0]["tool"]["driver"]["rules"]}
+        if not {x["ruleId"] for x in results} <= rules:
+            return fail(name, "SARIF results reference undeclared rules")
     print(f"ok   {name}")
 
 
@@ -216,6 +305,10 @@ def main():
     fix_idempotency_test()
     exit_code_test()
     timing_keys_test()
+    layout_ledger_tamper_test()
+    model_truth_tamper_test()
+    write_layout_roundtrip_test()
+    sarif_output_test()
     if FAILURES:
         print(f"\n{len(FAILURES)} lint fixture test(s) failed")
         return 1
